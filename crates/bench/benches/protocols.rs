@@ -1,0 +1,97 @@
+//! Criterion benchmarks for full protocol executions: the initial GKA
+//! under all five authentication schemes, and the four dynamic protocols.
+//! Wall-clock here measures the *whole simulated group* (all `n` nodes'
+//! crypto plus the medium), i.e. `n ×` the per-node work Figure 1 prices.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use egka_core::{authbd, dynamics, proposed, ssn, AuthKit, Pkg, RunConfig, SecurityProfile, UserId};
+use egka_hash::ChaChaRng;
+use egka_sig::Ecdsa;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_initial(c: &mut Criterion) {
+    let mut rng = ChaChaRng::seed_from_u64(0x6b61);
+    let pkg = Pkg::setup(&mut rng, SecurityProfile::Toy);
+    let mut group = c.benchmark_group("initial_gka");
+    group.sample_size(10);
+    for n in [4usize, 8, 16] {
+        let keys = pkg.extract_group(n as u32);
+        group.bench_with_input(BenchmarkId::new("proposed", n), &n, |b, _| {
+            b.iter(|| proposed::run(pkg.params(), black_box(&keys), 1, RunConfig::default()));
+        });
+        group.bench_with_input(BenchmarkId::new("ssn", n), &n, |b, _| {
+            b.iter(|| ssn::run(pkg.params(), black_box(&keys), 1));
+        });
+    }
+    // Certificate-based baseline at one size (per-verify cost dominates).
+    let bd = egka_bigint::gen_schnorr_group(&mut rng, 256, 96);
+    let kit = AuthKit::setup_ecdsa(&mut rng, Ecdsa::new(egka_ec::secp160r1()), 8);
+    group.bench_function("bd_ecdsa/8", |b| {
+        b.iter(|| authbd::run(black_box(&bd), &kit, 1));
+    });
+    group.finish();
+}
+
+fn bench_dynamics(c: &mut Criterion) {
+    let mut rng = ChaChaRng::seed_from_u64(0x6b62);
+    let pkg = Pkg::setup(&mut rng, SecurityProfile::Toy);
+    let n = 12;
+    let keys = pkg.extract_group(n);
+    let (_, session) = proposed::run(pkg.params(), &keys, 5, RunConfig::default());
+    let newcomer_key = pkg.extract(UserId(100));
+    let keys_b = (n..n + 4).map(|i| pkg.extract(UserId(i))).collect::<Vec<_>>();
+    let (_, session_b) = proposed::run(pkg.params(), &keys_b, 6, RunConfig::default());
+
+    let mut group = c.benchmark_group("dynamics_n12");
+    group.sample_size(10);
+    group.bench_function("join", |b| {
+        b.iter(|| dynamics::join(black_box(&session), UserId(100), &newcomer_key, 7, false));
+    });
+    group.bench_function("leave", |b| {
+        b.iter(|| dynamics::leave(black_box(&session), 3, 8));
+    });
+    group.bench_function("merge_12_plus_4", |b| {
+        b.iter(|| dynamics::merge(black_box(&session), &session_b, 9));
+    });
+    group.bench_function("partition_drop4", |b| {
+        b.iter(|| dynamics::partition(black_box(&session), &[8, 9, 10, 11], 10));
+    });
+    // The paper's baseline for the same event: re-run authenticated BD.
+    let bd = egka_bigint::gen_schnorr_group(&mut rng, 256, 96);
+    let kit = AuthKit::setup_ecdsa(&mut rng, Ecdsa::new(egka_ec::secp160r1()), n as usize + 1);
+    group.bench_function("bd_reexec_join_n12", |b| {
+        b.iter(|| authbd::run_with_trust(black_box(&bd), &kit, 11, |i, j| i < 12 && j < 12));
+    });
+    group.finish();
+}
+
+fn bench_retransmission(c: &mut Criterion) {
+    // Fault-free vs one-retransmission runs: the cost of the paper's
+    // "all members retransmit" recovery.
+    let mut rng = ChaChaRng::seed_from_u64(0x6b63);
+    let pkg = Pkg::setup(&mut rng, SecurityProfile::Toy);
+    let keys = pkg.extract_group(6);
+    let mut group = c.benchmark_group("retransmission");
+    group.sample_size(10);
+    group.bench_function("clean", |b| {
+        b.iter(|| proposed::run(pkg.params(), &keys, 1, RunConfig::default()));
+    });
+    group.bench_function("one_corrupt_x", |b| {
+        b.iter(|| {
+            proposed::run(
+                pkg.params(),
+                &keys,
+                1,
+                RunConfig {
+                    max_attempts: 3,
+                    fault: Some(egka_core::Fault::CorruptX { node: 2, on_attempt: 0 }),
+                },
+            )
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_initial, bench_dynamics, bench_retransmission);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Reproduces **Table 3** — communication energy cost model.
+//!
+//! Every derived row is exactly `size_bits × per-bit cost`; the printed
+//! paper values are recovered from the transceiver models and the paper's
+//! wire sizes (263-byte DSA / 86-byte ECDSA certificates, 320/388/1184-bit
+//! signatures).
+//!
+//! ```text
+//! cargo run --release -p egka-bench --bin repro_table3
+//! ```
+
+use egka_energy::{wire, Transceiver};
+
+fn main() {
+    println!("Table 3. Communication Energy Cost");
+    println!("==================================\n");
+    let radios = Transceiver::paper_pair();
+    println!(
+        "{:<34}{:>18}{:>14}",
+        "Item", radios[0].name, "WLAN Card"
+    );
+    println!(
+        "{:<34}{:>14.2} µJ{:>12.2} µJ",
+        "Tx per bit", radios[0].tx_uj_per_bit, radios[1].tx_uj_per_bit
+    );
+    println!(
+        "{:<34}{:>14.2} µJ{:>12.2} µJ",
+        "Rx per bit", radios[0].rx_uj_per_bit, radios[1].rx_uj_per_bit
+    );
+    let items: [(&str, u64); 6] = [
+        ("263-Bytes DSA cert", wire::DSA_CERT_BITS),
+        ("86-Bytes ECDSA cert", wire::ECDSA_CERT_BITS),
+        ("DSA/ECDSA sign. (2x160 b)", wire::DSA_SIG_BITS),
+        ("SOK sign. (2x194 b)", wire::SOK_SIG_BITS),
+        ("GQ sign. (1024+160 b)", wire::GQ_SIG_BITS),
+        ("BD share z_i (1024 b)", wire::Z_BITS),
+    ];
+    for (name, bits) in items {
+        println!(
+            "Tx. {:<30}{:>14.2} mJ{:>12.2} mJ",
+            name,
+            radios[0].tx_energy_mj(bits),
+            radios[1].tx_energy_mj(bits)
+        );
+        println!(
+            "Rx. {:<30}{:>14.2} mJ{:>12.2} mJ",
+            name,
+            radios[0].rx_energy_mj(bits),
+            radios[1].rx_energy_mj(bits)
+        );
+    }
+}

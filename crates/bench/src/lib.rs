@@ -1,0 +1,67 @@
+//! # egka-bench
+//!
+//! Reproduction harness binaries and Criterion micro-benchmarks.
+//!
+//! ## `repro_*` binaries — one per paper artifact
+//!
+//! | Binary | Artifact | What it does |
+//! |---|---|---|
+//! | `repro_table1` | Table 1 | symbolic complexity table + closed forms evaluated at `n`, verified against instrumented runs |
+//! | `repro_table2` | Table 2 | computational energy model, re-derived via the paper's extrapolation rule |
+//! | `repro_table3` | Table 3 | communication energy model from per-bit costs × wire sizes |
+//! | `repro_table4` | Table 4 | symbolic dynamic-protocol complexity + measured message counts |
+//! | `repro_table5` | Table 5 | instrumented dynamic-protocol energies vs the paper's joules |
+//! | `repro_figure1` | Figure 1 | the energy sweep, ASCII log-scale chart + CSV |
+//!
+//! Run e.g. `cargo run --release -p egka-bench --bin repro_figure1`.
+//!
+//! ## Criterion benches
+//!
+//! * `substrates` — bigint/Montgomery, SHA-256, AES, curve and pairing ops;
+//! * `signatures` — sign/verify for GQ, DSA, ECDSA, SOK, plus the paper's
+//!   central ablation: **batch vs individual GQ verification**;
+//! * `protocols` — full GKA rounds and dynamic events at small `n`;
+//! * `tables` — the table/figure generators (closed-form path).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Formats a joule value with engineering-friendly precision.
+pub fn fmt_joules(j: f64) -> String {
+    if j >= 1.0 {
+        format!("{j:.3} J")
+    } else if j >= 1e-3 {
+        format!("{:.3} mJ", j * 1e3)
+    } else {
+        format!("{:.3} µJ", j * 1e6)
+    }
+}
+
+/// Parses `--flag value`-style options from `std::env::args`.
+pub fn arg_value(name: &str) -> Option<String> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == name {
+            return args.next();
+        }
+    }
+    None
+}
+
+/// True when `--flag` is present.
+pub fn has_flag(name: &str) -> bool {
+    std::env::args().any(|a| a == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn joule_formatting() {
+        assert_eq!(fmt_joules(1.234), "1.234 J");
+        assert_eq!(fmt_joules(0.039), "39.000 mJ");
+        assert_eq!(fmt_joules(0.00000134 * 1000.0), "1.340 mJ");
+        assert_eq!(fmt_joules(0.0000005), "0.500 µJ");
+    }
+}

@@ -1,0 +1,155 @@
+//! Multi-precision division (Knuth TAOCP vol. 2, Algorithm D).
+
+use crate::limbs;
+use crate::ubig::Ubig;
+
+/// Divides `u` by `v`, returning `(quotient, remainder)`.
+///
+/// # Panics
+/// Panics if `v` is zero.
+pub fn div_rem(u: &Ubig, v: &Ubig) -> (Ubig, Ubig) {
+    assert!(!v.is_zero(), "division by zero");
+    if u < v {
+        return (Ubig::zero(), u.clone());
+    }
+    if v.limbs().len() == 1 {
+        let (q, r) = div_rem_by_limb(u.limbs(), v.limbs()[0]);
+        return (Ubig::from_limbs(q), Ubig::from_u64(r));
+    }
+    div_rem_knuth(u, v)
+}
+
+/// Fast path: divisor fits in a single limb.
+fn div_rem_by_limb(u: &[u64], v: u64) -> (Vec<u64>, u64) {
+    let mut q = vec![0u64; u.len()];
+    let mut rem = 0u64;
+    for i in (0..u.len()).rev() {
+        let cur = ((rem as u128) << 64) | u[i] as u128;
+        q[i] = (cur / v as u128) as u64;
+        rem = (cur % v as u128) as u64;
+    }
+    (q, rem)
+}
+
+/// Knuth Algorithm D for divisors of two or more limbs.
+fn div_rem_knuth(u: &Ubig, v: &Ubig) -> (Ubig, Ubig) {
+    let n = v.limbs().len();
+    let m = u.limbs().len() - n;
+
+    // D1: normalize so the divisor's top limb has its high bit set.
+    let shift = v.limbs()[n - 1].leading_zeros();
+    let mut vn = v.limbs().to_vec();
+    limbs::shl_small(&mut vn, shift);
+    let mut un = u.limbs().to_vec();
+    un.push(0);
+    let spill = limbs::shl_small(&mut un, shift);
+    debug_assert_eq!(spill, 0);
+
+    let mut q = vec![0u64; m + 1];
+    let b = 1u128 << 64;
+
+    // D2-D7: main loop over quotient digits, most significant first.
+    for j in (0..=m).rev() {
+        // D3: estimate qhat from the top two dividend limbs.
+        let top = ((un[j + n] as u128) << 64) | un[j + n - 1] as u128;
+        let mut qhat = top / vn[n - 1] as u128;
+        let mut rhat = top % vn[n - 1] as u128;
+        while qhat >= b
+            || qhat * vn[n - 2] as u128 > ((rhat << 64) | un[j + n - 2] as u128)
+        {
+            qhat -= 1;
+            rhat += vn[n - 1] as u128;
+            if rhat >= b {
+                break;
+            }
+        }
+
+        // D4: multiply and subtract: un[j..j+n+1] -= qhat * vn.
+        let mut borrow = 0i128;
+        let mut carry = 0u128;
+        for i in 0..n {
+            let p = qhat * vn[i] as u128 + carry;
+            carry = p >> 64;
+            let t = un[i + j] as i128 - (p as u64) as i128 - borrow;
+            un[i + j] = t as u64;
+            borrow = i128::from(t < 0);
+        }
+        let t = un[j + n] as i128 - carry as i128 - borrow;
+        un[j + n] = t as u64;
+
+        if t < 0 {
+            // D6: estimate was one too large; add the divisor back.
+            qhat -= 1;
+            let carry = limbs::add_assign(&mut un[j..j + n + 1], &vn);
+            debug_assert_eq!(carry, 1, "add-back must overflow into the borrowed bit");
+            // the carry cancels the negative top limb: drop it.
+            let _ = carry;
+        }
+        q[j] = qhat as u64;
+    }
+
+    // D8: denormalize the remainder.
+    un.truncate(n);
+    limbs::shr_small(&mut un, shift);
+    (Ubig::from_limbs(q), Ubig::from_limbs(un))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn h(s: &str) -> Ubig {
+        Ubig::from_hex(s).unwrap()
+    }
+
+    #[test]
+    fn divide_by_one_limb() {
+        let u = h("123456789abcdef0123456789abcdef");
+        let (q, r) = div_rem(&u, &Ubig::from_u64(0x10));
+        assert_eq!(q, h("123456789abcdef0123456789abcde"));
+        assert_eq!(r, Ubig::from_u64(0xf));
+    }
+
+    #[test]
+    fn small_over_large_is_zero() {
+        let (q, r) = div_rem(&Ubig::from_u64(5), &h("ffffffffffffffffffffffffffffffff"));
+        assert!(q.is_zero());
+        assert_eq!(r, Ubig::from_u64(5));
+    }
+
+    #[test]
+    fn reconstruction_identity() {
+        let u = h("fedcba9876543210fedcba9876543210fedcba9876543210");
+        let v = h("123456789abcdef123456789");
+        let (q, r) = div_rem(&u, &v);
+        assert!(r < v);
+        assert_eq!(&(&q * &v) + &r, u);
+    }
+
+    #[test]
+    fn exact_division() {
+        let v = h("deadbeefcafebabe1234567890abcdef");
+        let q_expect = h("1000000000000001");
+        let u = &v * &q_expect;
+        let (q, r) = div_rem(&u, &v);
+        assert_eq!(q, q_expect);
+        assert!(r.is_zero());
+    }
+
+    #[test]
+    fn triggers_qhat_correction() {
+        // Crafted so the initial qhat estimate is too large (Knuth's D6 path):
+        // top limbs of dividend equal the divisor's top limb.
+        let u = Ubig::from_limbs(vec![0, 0, 0x8000_0000_0000_0000, 0x7fff_ffff_ffff_ffff]);
+        let v = Ubig::from_limbs(vec![1, 0x8000_0000_0000_0000]);
+        let (q, r) = div_rem(&u, &v);
+        assert!(r < v);
+        assert_eq!(&(&q * &v) + &r, u);
+    }
+
+    #[test]
+    #[should_panic(expected = "division by zero")]
+    fn div_by_zero_panics() {
+        div_rem(&Ubig::from_u64(1), &Ubig::zero());
+    }
+}

@@ -1,0 +1,123 @@
+//! Uniform random sampling of [`Ubig`] values via any [`rand::Rng`].
+
+use rand::Rng;
+
+use crate::ubig::Ubig;
+
+/// Samples a uniform integer with exactly `bits` significant bits
+/// (the top bit is forced to 1).
+///
+/// # Panics
+/// Panics if `bits == 0`.
+pub fn random_bits<R: Rng + ?Sized>(rng: &mut R, bits: u32) -> Ubig {
+    assert!(bits > 0, "cannot sample a 0-bit integer");
+    let limb_count = bits.div_ceil(64) as usize;
+    let mut limbs = vec![0u64; limb_count];
+    for l in limbs.iter_mut() {
+        *l = rng.next_u64();
+    }
+    let top_bits = bits % 64;
+    if top_bits != 0 {
+        limbs[limb_count - 1] &= (1u64 << top_bits) - 1;
+    }
+    let mut v = Ubig::from_limbs(limbs);
+    v.set_bit(bits - 1);
+    v
+}
+
+/// Samples uniformly from `[0, bound)` by rejection.
+///
+/// # Panics
+/// Panics if `bound` is zero.
+pub fn random_below<R: Rng + ?Sized>(rng: &mut R, bound: &Ubig) -> Ubig {
+    assert!(!bound.is_zero(), "empty sampling range");
+    let bits = bound.bit_length();
+    let limb_count = bits.div_ceil(64) as usize;
+    let top_bits = bits % 64;
+    loop {
+        let mut limbs = vec![0u64; limb_count];
+        for l in limbs.iter_mut() {
+            *l = rng.next_u64();
+        }
+        if top_bits != 0 {
+            limbs[limb_count - 1] &= (1u64 << top_bits) - 1;
+        }
+        let v = Ubig::from_limbs(limbs);
+        if &v < bound {
+            return v;
+        }
+    }
+}
+
+/// Samples uniformly from `[lo, hi)`.
+///
+/// # Panics
+/// Panics if `lo >= hi`.
+pub fn random_range<R: Rng + ?Sized>(rng: &mut R, lo: &Ubig, hi: &Ubig) -> Ubig {
+    let width = hi
+        .checked_sub(lo)
+        .expect("random_range requires lo < hi");
+    assert!(!width.is_zero(), "random_range requires lo < hi");
+    random_below(rng, &width).add_ref(lo)
+}
+
+/// Samples a uniform element of `Z_m^*` (non-zero, coprime to `m`).
+///
+/// For prime or RSA-composite `m` the expected number of rejections is ~1.
+pub fn random_unit<R: Rng + ?Sized>(rng: &mut R, m: &Ubig) -> Ubig {
+    loop {
+        let v = random_below(rng, m);
+        if v.is_zero() {
+            continue;
+        }
+        if crate::modular::gcd(&v, m).is_one() {
+            return v;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn random_bits_has_exact_length() {
+        let mut rng = SmallRng::seed_from_u64(42);
+        for bits in [1u32, 2, 63, 64, 65, 160, 512, 1024] {
+            let v = random_bits(&mut rng, bits);
+            assert_eq!(v.bit_length(), bits, "bits = {bits}");
+        }
+    }
+
+    #[test]
+    fn random_below_in_range() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let bound = Ubig::from_u64(1000);
+        for _ in 0..200 {
+            assert!(random_below(&mut rng, &bound) < bound);
+        }
+    }
+
+    #[test]
+    fn random_range_respects_bounds() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        let lo = Ubig::from_u64(100);
+        let hi = Ubig::from_u64(110);
+        for _ in 0..100 {
+            let v = random_range(&mut rng, &lo, &hi);
+            assert!(v >= lo && v < hi);
+        }
+    }
+
+    #[test]
+    fn random_unit_is_coprime() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let m = Ubig::from_u64(2 * 3 * 5 * 7 * 11 * 13);
+        for _ in 0..50 {
+            let v = random_unit(&mut rng, &m);
+            assert!(crate::modular::gcd(&v, &m).is_one());
+        }
+    }
+}

@@ -1,0 +1,650 @@
+//! [`Ubig`]: an arbitrary-precision unsigned integer.
+//!
+//! Representation: little-endian `Vec<u64>` limbs with no most-significant
+//! zero limbs (zero is the empty vector). All arithmetic is by-reference to
+//! avoid accidental clones in hot paths; operator impls for owned values
+//! forward to the reference versions.
+
+use core::cmp::Ordering;
+use core::fmt;
+use core::ops::{Add, BitAnd, Mul, Rem, Shl, Shr, Sub};
+
+use crate::limbs;
+
+/// Arbitrary-precision unsigned integer.
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct Ubig {
+    /// Little-endian limbs, normalized (no trailing zero limbs).
+    pub(crate) limbs: Vec<u64>,
+}
+
+impl Ubig {
+    /// The value 0.
+    pub fn zero() -> Self {
+        Ubig { limbs: Vec::new() }
+    }
+
+    /// The value 1.
+    pub fn one() -> Self {
+        Ubig { limbs: vec![1] }
+    }
+
+    /// Builds from a `u64`.
+    pub fn from_u64(v: u64) -> Self {
+        if v == 0 {
+            Self::zero()
+        } else {
+            Ubig { limbs: vec![v] }
+        }
+    }
+
+    /// Builds from a `u128`.
+    pub fn from_u128(v: u128) -> Self {
+        let lo = v as u64;
+        let hi = (v >> 64) as u64;
+        let mut u = Ubig { limbs: vec![lo, hi] };
+        u.normalize();
+        u
+    }
+
+    /// Builds from little-endian limbs (normalizing).
+    pub fn from_limbs(limbs: Vec<u64>) -> Self {
+        let mut u = Ubig { limbs };
+        u.normalize();
+        u
+    }
+
+    /// Exposes the little-endian limbs.
+    pub fn limbs(&self) -> &[u64] {
+        &self.limbs
+    }
+
+    /// True iff the value is 0.
+    pub fn is_zero(&self) -> bool {
+        self.limbs.is_empty()
+    }
+
+    /// True iff the value is 1.
+    pub fn is_one(&self) -> bool {
+        self.limbs.len() == 1 && self.limbs[0] == 1
+    }
+
+    /// True iff the value is even (0 is even).
+    pub fn is_even(&self) -> bool {
+        self.limbs.first().is_none_or(|l| l & 1 == 0)
+    }
+
+    /// True iff the value is odd.
+    pub fn is_odd(&self) -> bool {
+        !self.is_even()
+    }
+
+    /// Number of significant bits (0 for the value 0).
+    pub fn bit_length(&self) -> u32 {
+        match self.limbs.last() {
+            None => 0,
+            Some(&top) => {
+                (self.limbs.len() as u32 - 1) * limbs::LIMB_BITS + (64 - top.leading_zeros())
+            }
+        }
+    }
+
+    /// Value of bit `i` (little-endian bit numbering).
+    pub fn bit(&self, i: u32) -> bool {
+        let limb = (i / limbs::LIMB_BITS) as usize;
+        if limb >= self.limbs.len() {
+            return false;
+        }
+        (self.limbs[limb] >> (i % limbs::LIMB_BITS)) & 1 == 1
+    }
+
+    /// Sets bit `i` to 1, growing the limb vector if needed.
+    pub fn set_bit(&mut self, i: u32) {
+        let limb = (i / limbs::LIMB_BITS) as usize;
+        if limb >= self.limbs.len() {
+            self.limbs.resize(limb + 1, 0);
+        }
+        self.limbs[limb] |= 1 << (i % limbs::LIMB_BITS);
+    }
+
+    /// Number of trailing zero bits; `None` for the value 0.
+    pub fn trailing_zeros(&self) -> Option<u32> {
+        for (i, &l) in self.limbs.iter().enumerate() {
+            if l != 0 {
+                return Some(i as u32 * limbs::LIMB_BITS + l.trailing_zeros());
+            }
+        }
+        None
+    }
+
+    /// Truncates to a `u64` (low limb).
+    pub fn low_u64(&self) -> u64 {
+        self.limbs.first().copied().unwrap_or(0)
+    }
+
+    /// Converts to `u64` if the value fits.
+    pub fn to_u64(&self) -> Option<u64> {
+        match self.limbs.len() {
+            0 => Some(0),
+            1 => Some(self.limbs[0]),
+            _ => None,
+        }
+    }
+
+    pub(crate) fn normalize(&mut self) {
+        let n = limbs::normalized_len(&self.limbs);
+        self.limbs.truncate(n);
+    }
+
+    // ----- arithmetic cores (by reference) -----
+
+    /// `self + rhs`.
+    pub fn add_ref(&self, rhs: &Ubig) -> Ubig {
+        let (big, small) = if self.limbs.len() >= rhs.limbs.len() {
+            (self, rhs)
+        } else {
+            (rhs, self)
+        };
+        let mut out = big.limbs.clone();
+        let carry = limbs::add_assign(&mut out, &small.limbs);
+        if carry != 0 {
+            out.push(carry);
+        }
+        Ubig { limbs: out }
+    }
+
+    /// `self - rhs`, or `None` if it would underflow.
+    pub fn checked_sub(&self, rhs: &Ubig) -> Option<Ubig> {
+        if self < rhs {
+            return None;
+        }
+        let mut out = self.limbs.clone();
+        let borrow = limbs::sub_assign(&mut out, &rhs.limbs);
+        debug_assert_eq!(borrow, 0);
+        let mut r = Ubig { limbs: out };
+        r.normalize();
+        Some(r)
+    }
+
+    /// `self * rhs` (schoolbook below the Karatsuba threshold).
+    pub fn mul_ref(&self, rhs: &Ubig) -> Ubig {
+        if self.is_zero() || rhs.is_zero() {
+            return Ubig::zero();
+        }
+        const KARATSUBA_THRESHOLD: usize = 32;
+        if self.limbs.len() >= KARATSUBA_THRESHOLD && rhs.limbs.len() >= KARATSUBA_THRESHOLD {
+            return self.mul_karatsuba(rhs);
+        }
+        let mut out = vec![0u64; self.limbs.len() + rhs.limbs.len()];
+        limbs::mul_schoolbook(&mut out, &self.limbs, &rhs.limbs);
+        Ubig::from_limbs(out)
+    }
+
+    /// Karatsuba multiplication for large operands.
+    fn mul_karatsuba(&self, rhs: &Ubig) -> Ubig {
+        let half = self.limbs.len().min(rhs.limbs.len()) / 2;
+        let (a0, a1) = self.split_at_limb(half);
+        let (b0, b1) = rhs.split_at_limb(half);
+        let z0 = a0.mul_ref(&b0);
+        let z2 = a1.mul_ref(&b1);
+        let z1 = a0.add_ref(&a1).mul_ref(&b0.add_ref(&b1));
+        // z1 - z0 - z2 >= 0 always
+        let mid = z1
+            .checked_sub(&z0)
+            .and_then(|t| t.checked_sub(&z2))
+            .expect("karatsuba middle term underflow");
+        let mut acc = z0;
+        acc = acc.add_ref(&mid.shl_limbs(half));
+        acc.add_ref(&z2.shl_limbs(2 * half))
+    }
+
+    fn split_at_limb(&self, k: usize) -> (Ubig, Ubig) {
+        if k >= self.limbs.len() {
+            return (self.clone(), Ubig::zero());
+        }
+        (
+            Ubig::from_limbs(self.limbs[..k].to_vec()),
+            Ubig::from_limbs(self.limbs[k..].to_vec()),
+        )
+    }
+
+    fn shl_limbs(&self, k: usize) -> Ubig {
+        if self.is_zero() {
+            return Ubig::zero();
+        }
+        let mut out = vec![0u64; k + self.limbs.len()];
+        out[k..].copy_from_slice(&self.limbs);
+        Ubig { limbs: out }
+    }
+
+    /// `self²` — currently forwards to multiplication.
+    pub fn square(&self) -> Ubig {
+        self.mul_ref(self)
+    }
+
+    /// Euclidean division: returns `(quotient, remainder)`.
+    ///
+    /// # Panics
+    /// Panics if `divisor` is zero.
+    pub fn div_rem(&self, divisor: &Ubig) -> (Ubig, Ubig) {
+        crate::div::div_rem(self, divisor)
+    }
+
+    /// `self mod m`.
+    pub fn rem_ref(&self, m: &Ubig) -> Ubig {
+        self.div_rem(m).1
+    }
+
+    /// Left shift by an arbitrary number of bits.
+    pub fn shl_bits(&self, sh: u32) -> Ubig {
+        if self.is_zero() || sh == 0 {
+            let c = self.clone();
+            if sh > 0 && !c.is_zero() {
+                // unreachable; kept for clarity
+            }
+            return c;
+        }
+        let limb_shift = (sh / limbs::LIMB_BITS) as usize;
+        let bit_shift = sh % limbs::LIMB_BITS;
+        let mut out = vec![0u64; limb_shift + self.limbs.len() + 1];
+        out[limb_shift..limb_shift + self.limbs.len()].copy_from_slice(&self.limbs);
+        if bit_shift > 0 {
+            let spill = limbs::shl_small(&mut out[limb_shift..], bit_shift);
+            debug_assert_eq!(spill, 0, "reserved limb absorbs the spill");
+        }
+        Ubig::from_limbs(out)
+    }
+
+    /// Right shift by an arbitrary number of bits.
+    pub fn shr_bits(&self, sh: u32) -> Ubig {
+        let limb_shift = (sh / limbs::LIMB_BITS) as usize;
+        if limb_shift >= self.limbs.len() {
+            return Ubig::zero();
+        }
+        let bit_shift = sh % limbs::LIMB_BITS;
+        let mut out = self.limbs[limb_shift..].to_vec();
+        limbs::shr_small(&mut out, bit_shift);
+        Ubig::from_limbs(out)
+    }
+
+    /// Bitwise AND.
+    pub fn bitand_ref(&self, rhs: &Ubig) -> Ubig {
+        let n = self.limbs.len().min(rhs.limbs.len());
+        let out: Vec<u64> = self.limbs[..n]
+            .iter()
+            .zip(&rhs.limbs[..n])
+            .map(|(a, b)| a & b)
+            .collect();
+        Ubig::from_limbs(out)
+    }
+
+    // ----- conversions -----
+
+    /// Parses a big-endian byte string.
+    pub fn from_bytes_be(bytes: &[u8]) -> Ubig {
+        let mut limbs = Vec::with_capacity(bytes.len().div_ceil(8));
+        for chunk in bytes.rchunks(8) {
+            let mut limb = 0u64;
+            for &b in chunk {
+                limb = (limb << 8) | b as u64;
+            }
+            limbs.push(limb);
+        }
+        Ubig::from_limbs(limbs)
+    }
+
+    /// Serializes to minimal-length big-endian bytes (empty for zero).
+    pub fn to_bytes_be(&self) -> Vec<u8> {
+        if self.is_zero() {
+            return Vec::new();
+        }
+        let mut out = Vec::with_capacity(self.limbs.len() * 8);
+        for &l in self.limbs.iter().rev() {
+            out.extend_from_slice(&l.to_be_bytes());
+        }
+        let first_nonzero = out.iter().position(|&b| b != 0).unwrap_or(out.len() - 1);
+        out.drain(..first_nonzero);
+        out
+    }
+
+    /// Serializes to exactly `width` big-endian bytes, left-padded with zeros.
+    ///
+    /// # Panics
+    /// Panics if the value does not fit in `width` bytes.
+    pub fn to_bytes_be_padded(&self, width: usize) -> Vec<u8> {
+        let raw = self.to_bytes_be();
+        assert!(
+            raw.len() <= width,
+            "value needs {} bytes, field is {} bytes",
+            raw.len(),
+            width
+        );
+        let mut out = vec![0u8; width - raw.len()];
+        out.extend_from_slice(&raw);
+        out
+    }
+
+    /// Parses a hex string (no `0x` prefix, case-insensitive).
+    pub fn from_hex(s: &str) -> Result<Ubig, ParseUbigError> {
+        if s.is_empty() {
+            return Err(ParseUbigError::Empty);
+        }
+        let mut limbs = Vec::with_capacity(s.len().div_ceil(16));
+        let bytes = s.as_bytes();
+        let mut i = bytes.len();
+        while i > 0 {
+            let start = i.saturating_sub(16);
+            let mut limb = 0u64;
+            for &c in &bytes[start..i] {
+                let d = (c as char)
+                    .to_digit(16)
+                    .ok_or(ParseUbigError::InvalidDigit(c as char))?;
+                limb = (limb << 4) | d as u64;
+            }
+            limbs.push(limb);
+            i = start;
+        }
+        Ok(Ubig::from_limbs(limbs))
+    }
+
+    /// Lower-case hex rendering without a prefix (`"0"` for zero).
+    pub fn to_hex(&self) -> String {
+        if self.is_zero() {
+            return "0".to_string();
+        }
+        let mut s = format!("{:x}", self.limbs.last().unwrap());
+        for &l in self.limbs.iter().rev().skip(1) {
+            s.push_str(&format!("{l:016x}"));
+        }
+        s
+    }
+
+    /// Parses a decimal string.
+    pub fn from_decimal(s: &str) -> Result<Ubig, ParseUbigError> {
+        if s.is_empty() {
+            return Err(ParseUbigError::Empty);
+        }
+        let mut acc = Ubig::zero();
+        let ten_pow_19 = Ubig::from_u64(10u64.pow(19));
+        let bytes = s.as_bytes();
+        let mut i = 0;
+        while i < bytes.len() {
+            let end = (i + 19).min(bytes.len());
+            let chunk = &s[i..end];
+            let v: u64 = chunk
+                .parse()
+                .map_err(|_| ParseUbigError::InvalidDigit(chunk.chars().next().unwrap_or('?')))?;
+            let scale = if end - i == 19 {
+                ten_pow_19.clone()
+            } else {
+                Ubig::from_u64(10u64.pow((end - i) as u32))
+            };
+            acc = acc.mul_ref(&scale).add_ref(&Ubig::from_u64(v));
+            i = end;
+        }
+        Ok(acc)
+    }
+
+    /// Decimal rendering.
+    pub fn to_decimal(&self) -> String {
+        if self.is_zero() {
+            return "0".to_string();
+        }
+        let ten_pow_19 = Ubig::from_u64(10u64.pow(19));
+        let mut chunks: Vec<u64> = Vec::new();
+        let mut cur = self.clone();
+        while !cur.is_zero() {
+            let (q, r) = cur.div_rem(&ten_pow_19);
+            chunks.push(r.low_u64());
+            cur = q;
+        }
+        let mut s = format!("{}", chunks.last().unwrap());
+        for &c in chunks.iter().rev().skip(1) {
+            s.push_str(&format!("{c:019}"));
+        }
+        s
+    }
+}
+
+/// Error parsing a [`Ubig`] from a string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseUbigError {
+    /// The input string was empty.
+    Empty,
+    /// The input contained a character that is not a digit in the base.
+    InvalidDigit(char),
+}
+
+impl fmt::Display for ParseUbigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseUbigError::Empty => write!(f, "empty integer literal"),
+            ParseUbigError::InvalidDigit(c) => write!(f, "invalid digit {c:?}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseUbigError {}
+
+impl PartialOrd for Ubig {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Ubig {
+    fn cmp(&self, other: &Self) -> Ordering {
+        limbs::cmp(&self.limbs, &other.limbs)
+    }
+}
+
+impl fmt::Debug for Ubig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Ubig(0x{})", self.to_hex())
+    }
+}
+
+impl fmt::Display for Ubig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_decimal())
+    }
+}
+
+impl From<u64> for Ubig {
+    fn from(v: u64) -> Self {
+        Ubig::from_u64(v)
+    }
+}
+
+impl From<u32> for Ubig {
+    fn from(v: u32) -> Self {
+        Ubig::from_u64(v as u64)
+    }
+}
+
+// Operator impls: reference versions are primary.
+impl Add for &Ubig {
+    type Output = Ubig;
+    fn add(self, rhs: &Ubig) -> Ubig {
+        self.add_ref(rhs)
+    }
+}
+impl Add for Ubig {
+    type Output = Ubig;
+    fn add(self, rhs: Ubig) -> Ubig {
+        self.add_ref(&rhs)
+    }
+}
+impl Sub for &Ubig {
+    type Output = Ubig;
+    fn sub(self, rhs: &Ubig) -> Ubig {
+        self.checked_sub(rhs).expect("Ubig subtraction underflow")
+    }
+}
+impl Sub for Ubig {
+    type Output = Ubig;
+    fn sub(self, rhs: Ubig) -> Ubig {
+        (&self) - (&rhs)
+    }
+}
+impl Mul for &Ubig {
+    type Output = Ubig;
+    fn mul(self, rhs: &Ubig) -> Ubig {
+        self.mul_ref(rhs)
+    }
+}
+impl Mul for Ubig {
+    type Output = Ubig;
+    fn mul(self, rhs: Ubig) -> Ubig {
+        self.mul_ref(&rhs)
+    }
+}
+impl Rem for &Ubig {
+    type Output = Ubig;
+    fn rem(self, rhs: &Ubig) -> Ubig {
+        self.rem_ref(rhs)
+    }
+}
+impl Shl<u32> for &Ubig {
+    type Output = Ubig;
+    fn shl(self, sh: u32) -> Ubig {
+        self.shl_bits(sh)
+    }
+}
+impl Shr<u32> for &Ubig {
+    type Output = Ubig;
+    fn shr(self, sh: u32) -> Ubig {
+        self.shr_bits(sh)
+    }
+}
+impl BitAnd for &Ubig {
+    type Output = Ubig;
+    fn bitand(self, rhs: &Ubig) -> Ubig {
+        self.bitand_ref(rhs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn u(v: u64) -> Ubig {
+        Ubig::from_u64(v)
+    }
+
+    #[test]
+    fn zero_is_normalized_empty() {
+        assert!(Ubig::zero().is_zero());
+        assert_eq!(Ubig::from_limbs(vec![0, 0, 0]), Ubig::zero());
+    }
+
+    #[test]
+    fn add_sub_roundtrip_small() {
+        let a = u(123456789);
+        let b = u(987654321);
+        assert_eq!((&(&a + &b) - &b), a);
+    }
+
+    #[test]
+    fn mul_known_value() {
+        let a = Ubig::from_hex("ffffffffffffffff").unwrap();
+        let sq = a.square();
+        assert_eq!(sq.to_hex(), "fffffffffffffffe0000000000000001");
+    }
+
+    #[test]
+    fn karatsuba_matches_schoolbook() {
+        // 40-limb operands exceed the Karatsuba threshold.
+        let a = Ubig::from_limbs((1..=40u64).map(|i| i.wrapping_mul(0x9e3779b97f4a7c15)).collect());
+        let b = Ubig::from_limbs((1..=40u64).map(|i| i.wrapping_mul(0xc2b2ae3d27d4eb4f)).collect());
+        let kara = a.mul_karatsuba(&b);
+        let mut out = vec![0u64; a.limbs.len() + b.limbs.len()];
+        limbs::mul_schoolbook(&mut out, &a.limbs, &b.limbs);
+        assert_eq!(kara, Ubig::from_limbs(out));
+    }
+
+    #[test]
+    fn hex_roundtrip() {
+        let s = "deadbeefcafef00d0123456789abcdef00000000ffffffff";
+        let v = Ubig::from_hex(s).unwrap();
+        assert_eq!(v.to_hex(), s);
+    }
+
+    #[test]
+    fn hex_rejects_invalid() {
+        assert!(Ubig::from_hex("xyz").is_err());
+        assert!(Ubig::from_hex("").is_err());
+    }
+
+    #[test]
+    fn decimal_roundtrip() {
+        let s = "123456789012345678901234567890123456789012345678901234567890";
+        let v = Ubig::from_decimal(s).unwrap();
+        assert_eq!(v.to_decimal(), s);
+    }
+
+    #[test]
+    fn bytes_be_roundtrip() {
+        let v = Ubig::from_hex("0102030405060708090a0b0c0d0e0f").unwrap();
+        let bytes = v.to_bytes_be();
+        assert_eq!(bytes.len(), 15);
+        assert_eq!(Ubig::from_bytes_be(&bytes), v);
+    }
+
+    #[test]
+    fn padded_bytes() {
+        let v = u(0xabcd);
+        assert_eq!(v.to_bytes_be_padded(4), vec![0, 0, 0xab, 0xcd]);
+    }
+
+    #[test]
+    #[should_panic(expected = "value needs")]
+    fn padded_bytes_overflow_panics() {
+        u(0x1_0000).to_bytes_be_padded(2);
+    }
+
+    #[test]
+    fn bit_length_and_bits() {
+        let v = Ubig::from_hex("8000000000000000").unwrap(); // 2^63
+        assert_eq!(v.bit_length(), 64);
+        assert!(v.bit(63));
+        assert!(!v.bit(62));
+        assert_eq!(u(0).bit_length(), 0);
+    }
+
+    #[test]
+    fn set_bit_grows() {
+        let mut v = Ubig::zero();
+        v.set_bit(130);
+        assert_eq!(v.bit_length(), 131);
+        assert!(v.bit(130));
+    }
+
+    #[test]
+    fn shifts() {
+        let v = u(1);
+        let big = v.shl_bits(1000);
+        assert_eq!(big.bit_length(), 1001);
+        assert_eq!(big.shr_bits(1000), u(1));
+        assert_eq!(big.shr_bits(1001), Ubig::zero());
+    }
+
+    #[test]
+    fn trailing_zeros() {
+        assert_eq!(u(0).trailing_zeros(), None);
+        assert_eq!(u(8).trailing_zeros(), Some(3));
+        assert_eq!(u(1).shl_bits(200).trailing_zeros(), Some(200));
+    }
+
+    #[test]
+    fn checked_sub_underflow() {
+        assert!(u(3).checked_sub(&u(5)).is_none());
+        assert_eq!(u(5).checked_sub(&u(3)), Some(u(2)));
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(u(3) < u(5));
+        assert!(Ubig::from_hex("10000000000000000").unwrap() > u(u64::MAX));
+    }
+}

@@ -1,0 +1,419 @@
+//! The Join protocol (paper §7, three rounds).
+//!
+//! ```text
+//! Round 1: U_{n+1} → {U_1, U_n}:  m_{n+1} = U_{n+1} ‖ z_{n+1} ‖ σ_{n+1}
+//! Round 2: U_1 → G∖{U_1}:         m'_1  = U_1 ‖ E_K(K* ‖ U_1)
+//!          U_n → G'∖{U_n}:        m''_n = U_n ‖ E_K(K_DH ‖ U_n) ‖ z_n ‖ σ''_n
+//! Round 3: U_n → U_{n+1}:         m'''_n = U_n ‖ E_{K_DH}(K* ‖ U_n)
+//! Key:     K' = K* · K_DH = g^{r'_1 r_2 + … + r_n r_{n+1} + r_{n+1} r'_1}
+//! ```
+//!
+//! where `K* = K · (z_2 z_n)^{−r_1} · (z_2 z_{n+1})^{r'_1}` (eq. (5)) and
+//! `K_DH = g^{r_n r_{n+1}}`. Only `U_1` and `U_{n+1}` pay exponentiations
+//! (2 each; the sponsor `U_n` pays 1 — Table 5 prices it even though
+//! Table 4's footnote forgets it); bystanders only decrypt.
+
+use egka_bigint::{mod_inverse, mod_mul, mod_pow, Ubig};
+use egka_energy::complexity::{JOIN_M1_BITS, JOIN_MNN_BITS, JOIN_MN_BITS, JOIN_M_NEW_BITS};
+use egka_energy::{CompOp, Meter, Scheme};
+use egka_hash::ChaChaRng;
+use egka_net::Medium;
+use egka_sig::{GqSecretKey, GqSignature};
+use rand::SeedableRng;
+
+use crate::dynamics::{open_key, seal_key};
+use crate::group::{GroupSession, MemberState};
+use crate::ident::UserId;
+use crate::proposed::NodeReport;
+use crate::wire::{kind, Reader, Writer};
+
+/// Result of a Join run.
+#[derive(Clone, Debug)]
+pub struct JoinOutcome {
+    /// The post-join session (`n + 1` members; `U_1`'s exponent refreshed).
+    pub session: GroupSession,
+    /// Per-node reports in new-ring order `[U_1, …, U_n, U_{n+1}]`.
+    pub reports: Vec<NodeReport>,
+}
+
+/// Runs the Join protocol: `newcomer` (with `newcomer_key`) joins
+/// `session` between `U_n` and `U_1`.
+///
+/// With `composable = true`, `U_1` additionally computes and disseminates
+/// its refreshed share `z'_1` inside `m'_1`'s envelope (one extra
+/// exponentiation, +1024 nominal bits), closing the specification gap that
+/// otherwise leaves the ring unusable for a *subsequent* Leave (see
+/// [`crate::dynamics`] module docs).
+///
+/// # Panics
+/// Panics if the session has fewer than 3 members, on any signature or
+/// envelope failure, or if the final keys disagree.
+pub fn join(
+    session: &GroupSession,
+    newcomer: UserId,
+    newcomer_key: &GqSecretKey,
+    seed: u64,
+    composable: bool,
+) -> JoinOutcome {
+    let n = session.n();
+    assert!(n >= 3, "Join distinguishes U_1, U_n and a bystander");
+    let params = &session.params;
+    let key_material = session.key_material();
+
+    let medium = Medium::new();
+    // Endpoints 0..n-1: existing ring; endpoint n: the newcomer.
+    let eps: Vec<_> = (0..=n).map(|_| medium.join()).collect();
+    let meters: Vec<Meter> = (0..=n).map(|_| Meter::new()).collect();
+    let mut rngs: Vec<ChaChaRng> = (0..=n as u64)
+        .map(|i| ChaChaRng::seed_from_u64(seed ^ i.wrapping_mul(0x9e37_79b9_7f4a_7c15)))
+        .collect();
+
+    // ---- Round 1: the newcomer announces itself to U_1 and U_n ----
+    let (new_r, new_z);
+    {
+        let rng = &mut rngs[n];
+        let share = crate::bd::round1_share(rng, &params.bd);
+        meters[n].record(CompOp::ModExp); // z_{n+1}
+        let mut body = Writer::new();
+        body.put_id(newcomer).put_ubig(&share.z);
+        let sig = params.gq.sign(rng, newcomer_key, &body.finish());
+        meters[n].record(CompOp::SignGen(Scheme::Gq));
+        let mut w = Writer::new();
+        w.put_id(newcomer)
+            .put_ubig(&share.z)
+            .put_ubig(&sig.s)
+            .put_ubig(&sig.c);
+        eps[n].multicast(
+            &[eps[0].id(), eps[n - 1].id()],
+            kind::JOIN_ANNOUNCE,
+            w.finish(),
+            JOIN_M_NEW_BITS,
+        );
+        new_r = share.r;
+        new_z = share.z;
+    }
+
+    // Shared verification of σ_{n+1} (performed independently by U_1, U_n).
+    let verify_announce = |who: usize| -> (UserId, Ubig) {
+        let pkt = eps[who].recv_kind(kind::JOIN_ANNOUNCE);
+        let mut r = Reader::new(&pkt.payload);
+        let id = r.get_id().expect("announce id");
+        let z = r.get_ubig().expect("announce z");
+        let s = r.get_ubig().expect("announce sig s");
+        let c = r.get_ubig().expect("announce sig c");
+        r.expect_end().expect("no trailing bytes");
+        let mut body = Writer::new();
+        body.put_id(id).put_ubig(&z);
+        let ok = params
+            .gq
+            .verify(&id.to_bytes(), &body.finish(), &GqSignature { s, c });
+        meters[who].record(CompOp::SignVerify(Scheme::Gq));
+        assert!(ok, "newcomer announcement signature rejected");
+        (id, z)
+    };
+
+    // ---- Round 2 (1): U_1 refreshes r_1 and re-keys the old group ----
+    let u1 = &session.members[0];
+    let (_, z_new_seen_by_u1) = verify_announce(0);
+    let (new_r1, k_star, z1_new);
+    {
+        let rng = &mut rngs[0];
+        let r1p = loop {
+            let r = egka_bigint::random_below(rng, &params.bd.q);
+            if !r.is_zero() {
+                break r;
+            }
+        };
+        // K* = K · (z_2 · z_n)^{−r_1} · (z_2 · z_{n+1})^{r'_1}   (eq. (5))
+        let z2 = session.z_of(1);
+        let zn = session.z_of(n - 1);
+        let a = mod_mul(z2, zn, &params.bd.p);
+        let a_inv = mod_inverse(&a, &params.bd.p).expect("unit");
+        meters[0].record(CompOp::ModInv);
+        let term1 = mod_pow(&a_inv, &u1.r, &params.bd.p);
+        meters[0].record(CompOp::ModExp);
+        let b = mod_mul(z2, &z_new_seen_by_u1, &params.bd.p);
+        let term2 = mod_pow(&b, &r1p, &params.bd.p);
+        meters[0].record(CompOp::ModExp);
+        let ks = mod_mul(&mod_mul(&session.key, &term1, &params.bd.p), &term2, &params.bd.p);
+        // Composable mode: also derive and ship z'_1 (one extra exp).
+        let z1p = if composable {
+            let z = mod_pow(&params.bd.g, &r1p, &params.bd.p);
+            meters[0].record(CompOp::ModExp);
+            Some(z)
+        } else {
+            None
+        };
+        let sealed = seal_key(rng, &key_material, &ks, u1.id, z1p.as_ref());
+        meters[0].record(CompOp::SymEnc);
+        let mut w = Writer::new();
+        w.put_id(u1.id).put_bytes(&sealed);
+        let old_group_minus_u1: Vec<_> = (1..n).map(|i| eps[i].id()).collect();
+        let bits = JOIN_M1_BITS + if composable { egka_energy::wire::Z_BITS } else { 0 };
+        eps[0].multicast(&old_group_minus_u1, kind::JOIN_CONTROLLER, w.finish(), bits);
+        new_r1 = r1p;
+        k_star = ks;
+        z1_new = z1p.unwrap_or_else(|| {
+            // Paper-exact mode: z'_1 exists mathematically but is never
+            // divulged; the omniscient session bookkeeping below recomputes
+            // it un-metered (a real peer could not).
+            mod_pow(&params.bd.g, &new_r1, &params.bd.p)
+        });
+    }
+
+    // ---- Round 2 (2): U_n builds the DH bridge to the newcomer ----
+    let un = &session.members[n - 1];
+    let (_, z_new_seen_by_un) = verify_announce(n - 1);
+    let k_dh_at_un;
+    {
+        let rng = &mut rngs[n - 1];
+        let k_dh = mod_pow(&z_new_seen_by_un, &un.r, &params.bd.p);
+        meters[n - 1].record(CompOp::ModExp);
+        let sealed = seal_key(rng, &key_material, &k_dh, un.id, None);
+        meters[n - 1].record(CompOp::SymEnc);
+        let mut body = Writer::new();
+        body.put_bytes(&sealed).put_ubig(&un.z);
+        let sig = params.gq.sign(rng, &un.gq_key, &body.finish());
+        meters[n - 1].record(CompOp::SignGen(Scheme::Gq));
+        let mut w = Writer::new();
+        w.put_id(un.id)
+            .put_bytes(&sealed)
+            .put_ubig(&un.z)
+            .put_ubig(&sig.s)
+            .put_ubig(&sig.c);
+        // Everyone but U_n itself needs this: the old group decrypts K_DH,
+        // the newcomer verifies σ''_n and reads z_n.
+        let everyone_else: Vec<_> = (0..=n)
+            .filter(|&i| i != n - 1)
+            .map(|i| eps[i].id())
+            .collect();
+        eps[n - 1].multicast(&everyone_else, kind::JOIN_SPONSOR, w.finish(), JOIN_MN_BITS);
+        k_dh_at_un = k_dh;
+    }
+
+    // ---- Round 3 ----
+    // Each old-group member processes m'_1 and m''_n; U_n additionally
+    // hands K* to the newcomer under K_DH.
+    let read_sponsor = |who: usize| -> (Vec<u8>, Ubig, GqSignature) {
+        let pkt = eps[who].recv_kind(kind::JOIN_SPONSOR);
+        let mut r = Reader::new(&pkt.payload);
+        let id = r.get_id().expect("sponsor id");
+        assert_eq!(id, un.id);
+        let sealed = r.get_bytes().expect("sponsor envelope").to_vec();
+        let zn = r.get_ubig().expect("sponsor z_n");
+        let s = r.get_ubig().expect("sponsor sig s");
+        let c = r.get_ubig().expect("sponsor sig c");
+        r.expect_end().expect("no trailing bytes");
+        (sealed, zn, GqSignature { s, c })
+    };
+
+    // U_n: decrypt K* from m'_1, re-encrypt under K_DH, unicast.
+    {
+        let pkt = eps[n - 1].recv_kind(kind::JOIN_CONTROLLER);
+        let mut r = Reader::new(&pkt.payload);
+        let id = r.get_id().expect("controller id");
+        assert_eq!(id, u1.id);
+        let sealed = r.get_bytes().expect("controller envelope");
+        let (ks, _z1) = open_key(&key_material, sealed, u1.id).expect("valid K* envelope");
+        meters[n - 1].record(CompOp::SymDec);
+        assert_eq!(ks, k_star);
+        let rng = &mut rngs[n - 1];
+        let dh_material = k_dh_at_un.to_bytes_be();
+        let sealed2 = seal_key(rng, &dh_material, &ks, un.id, None);
+        meters[n - 1].record(CompOp::SymEnc);
+        let mut w = Writer::new();
+        w.put_id(un.id).put_bytes(&sealed2);
+        eps[n - 1].unicast(eps[n].id(), kind::JOIN_HANDOFF, w.finish(), JOIN_MNN_BITS);
+    }
+
+    // The newcomer: verify σ''_n, derive K_DH, open the handoff.
+    let new_key_at_newcomer;
+    {
+        let (sealed_kdh, zn_seen, sig) = read_sponsor(n);
+        let _ = sealed_kdh; // the newcomer cannot open E_K(·); it uses the handoff
+        let mut body = Writer::new();
+        body.put_bytes(&{
+            // reconstruct exactly what U_n signed: sealed ‖ z_n
+            let mut b = Writer::new();
+            b.put_bytes(&sealed_kdh).put_ubig(&zn_seen);
+            b.finish().to_vec()
+        });
+        // Verify over the same bytes U_n signed.
+        let mut signed = Writer::new();
+        signed.put_bytes(&sealed_kdh).put_ubig(&zn_seen);
+        let ok = params.gq.verify(&un.id.to_bytes(), &signed.finish(), &sig);
+        meters[n].record(CompOp::SignVerify(Scheme::Gq));
+        assert!(ok, "sponsor signature rejected");
+        let k_dh = mod_pow(&zn_seen, &new_r, &params.bd.p);
+        meters[n].record(CompOp::ModExp);
+        let pkt = eps[n].recv_kind(kind::JOIN_HANDOFF);
+        let mut r = Reader::new(&pkt.payload);
+        let id = r.get_id().expect("handoff id");
+        assert_eq!(id, un.id);
+        let sealed = r.get_bytes().expect("handoff envelope");
+        let (ks, _) = open_key(&k_dh.to_bytes_be(), sealed, un.id).expect("valid handoff");
+        meters[n].record(CompOp::SymDec);
+        new_key_at_newcomer = mod_mul(&ks, &k_dh, &params.bd.p);
+    }
+
+    // Bystanders U_2 … U_{n-1}: two decryptions, then the new key.
+    let mut bystander_keys = Vec::with_capacity(n.saturating_sub(2));
+    for i in 1..n - 1 {
+        let pkt = eps[i].recv_kind(kind::JOIN_CONTROLLER);
+        let mut r = Reader::new(&pkt.payload);
+        let _ = r.get_id().expect("controller id");
+        let sealed = r.get_bytes().expect("controller envelope");
+        let (ks, _z1) = open_key(&key_material, sealed, u1.id).expect("valid K* envelope");
+        meters[i].record(CompOp::SymDec);
+        let (sealed_kdh, _zn, _sig) = read_sponsor(i);
+        let (kdh, _) = open_key(&key_material, &sealed_kdh, un.id).expect("valid K_DH envelope");
+        meters[i].record(CompOp::SymDec);
+        bystander_keys.push(mod_mul(&ks, &kdh, &params.bd.p));
+    }
+
+    // U_1: read m''_n, decrypt K_DH, compute the new key.
+    let new_key_at_u1 = {
+        let (sealed_kdh, _zn, _sig) = read_sponsor(0);
+        let (kdh, _) = open_key(&key_material, &sealed_kdh, un.id).expect("valid K_DH envelope");
+        meters[0].record(CompOp::SymDec);
+        mod_mul(&k_star, &kdh, &params.bd.p)
+    };
+    // U_n already holds both K* and K_DH.
+    let new_key_at_un = mod_mul(&k_star, &k_dh_at_un, &params.bd.p);
+
+    // ---- Assemble outcome ----
+    let mut members = session.members.clone();
+    members[0].r = new_r1;
+    members[0].z = z1_new;
+    members.push(MemberState {
+        id: newcomer,
+        gq_key: newcomer_key.clone(),
+        r: new_r,
+        z: new_z,
+        // The newcomer has not yet committed a (τ, t); a fresh pair is
+        // produced on its first Leave/Partition round. Zero marks "none".
+        tau: Ubig::zero(),
+        t: Ubig::zero(),
+    });
+    let new_key = new_key_at_u1;
+    assert_eq!(new_key, new_key_at_un, "U_n key diverged");
+    assert_eq!(new_key, new_key_at_newcomer, "newcomer key diverged");
+    for (i, k) in bystander_keys.iter().enumerate() {
+        assert_eq!(&new_key, k, "bystander U_{} key diverged", i + 2);
+    }
+
+    let reports: Vec<NodeReport> = (0..=n)
+        .map(|i| {
+            let mut counts = meters[i].snapshot();
+            let stats = medium.stats(eps[i].id());
+            counts.tx_bits = stats.tx_bits;
+            counts.rx_bits = stats.rx_bits;
+            counts.tx_bits_actual = stats.tx_bits_actual;
+            counts.rx_bits_actual = stats.rx_bits_actual;
+            counts.msgs_tx = stats.msgs_tx;
+            counts.msgs_rx = stats.msgs_rx;
+            NodeReport {
+                id: if i == n { newcomer } else { session.members[i].id },
+                key: new_key.clone(),
+                counts,
+            }
+        })
+        .collect();
+
+    let session_out = GroupSession {
+        params: params.clone(),
+        members,
+        key: new_key,
+    };
+    JoinOutcome { session: session_out, reports }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dynamics::testutil::{new_member, session};
+    use egka_energy::complexity::proposed_join;
+
+    #[test]
+    fn join_agrees_and_preserves_invariant() {
+        let (pkg, s0) = session(4, 1);
+        let nk = new_member(&pkg, 4);
+        let out = join(&s0, UserId(4), &nk, 99, true);
+        assert_eq!(out.session.n(), 5);
+        assert!(out.session.invariant_holds(), "ring invariant after join");
+        assert_ne!(out.session.key, s0.key, "key must change");
+    }
+
+    #[test]
+    fn paper_mode_counts_match_table5_closed_form() {
+        let (pkg, s0) = session(6, 2);
+        let nk = new_member(&pkg, 6);
+        let out = join(&s0, UserId(6), &nk, 100, false);
+        let roles = proposed_join(6);
+        // Role order in closed form: U1, Un, Un+1, Others.
+        let u1 = &out.reports[0].counts;
+        let un = &out.reports[5].counts;
+        let nc = &out.reports[6].counts;
+        let by = &out.reports[2].counts;
+        for (got, want, name) in [
+            (u1, &roles[0].counts, "U1"),
+            (un, &roles[1].counts, "Un"),
+            (nc, &roles[2].counts, "Un+1"),
+            (by, &roles[3].counts, "Others"),
+        ] {
+            assert_eq!(got.exps(), want.exps(), "{name} exps");
+            assert_eq!(
+                got.get(CompOp::SignGen(Scheme::Gq)),
+                want.get(CompOp::SignGen(Scheme::Gq)),
+                "{name} sign gen"
+            );
+            assert_eq!(
+                got.get(CompOp::SignVerify(Scheme::Gq)),
+                want.get(CompOp::SignVerify(Scheme::Gq)),
+                "{name} sign ver"
+            );
+            assert_eq!(got.tx_bits, want.tx_bits, "{name} tx bits");
+            assert_eq!(got.rx_bits, want.rx_bits, "{name} rx bits");
+            assert_eq!(got.msgs_tx, want.msgs_tx, "{name} msgs tx");
+            assert_eq!(got.msgs_rx, want.msgs_rx, "{name} msgs rx");
+        }
+    }
+
+    #[test]
+    fn composable_mode_costs_one_more_exp_at_u1() {
+        let (pkg, s0) = session(4, 3);
+        let nk = new_member(&pkg, 4);
+        let paper = join(&s0, UserId(4), &nk, 7, false);
+        let comp = join(&s0, UserId(4), &nk, 7, true);
+        assert_eq!(
+            comp.reports[0].counts.exps(),
+            paper.reports[0].counts.exps() + 1
+        );
+        assert_eq!(
+            comp.reports[0].counts.tx_bits,
+            paper.reports[0].counts.tx_bits + egka_energy::wire::Z_BITS
+        );
+    }
+
+    #[test]
+    fn paper_mode_session_still_bookkeeps_ring() {
+        // Even without disseminating z'_1 the omniscient session state must
+        // stay consistent (it models "what the math is", not "who knows it").
+        let (pkg, s0) = session(4, 4);
+        let nk = new_member(&pkg, 4);
+        let out = join(&s0, UserId(4), &nk, 8, false);
+        assert!(out.session.invariant_holds());
+    }
+
+    #[test]
+    fn forged_announcement_is_rejected() {
+        let (pkg, s0) = session(4, 5);
+        // Key extracted for a DIFFERENT identity: the announcement
+        // signature cannot verify as U9.
+        let wrong_key = new_member(&pkg, 8);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            join(&s0, UserId(9), &wrong_key, 9, true)
+        }));
+        assert!(result.is_err(), "announcement under mismatched key must fail");
+    }
+}

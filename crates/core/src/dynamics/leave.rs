@@ -1,0 +1,347 @@
+//! The Leave and Partition protocols (paper §7, two rounds each).
+//!
+//! Both are the same *reduced re-key*: the departing user(s) are cut out of
+//! the ring, the remaining **odd-indexed** users (paper indexing
+//! `j ∈ {1, 3, 5, …}`; 1-based) refresh their exponents and GQ commitments,
+//! everyone recomputes `X'_i` over the closed ring, and a single batch
+//! verification (paper eq. (10)/(12)) plus Lemma 1 guard the new key
+//!
+//! ```text
+//! K' = ∏_{i ∉ L} g^{r_i r_{i+1}}        (eqs. (11)/(13))
+//! ```
+//!
+//! Even-indexed members keep their old exponent **and reuse their old GQ
+//! commitment `τ_i` against the fresh challenge `c̄`** — exactly as
+//! specified, soundness caveat documented in [`crate::dynamics`].
+
+use std::collections::BTreeSet;
+
+use egka_bigint::{mod_mul, Ubig};
+use egka_energy::complexity::{LP_R1_BITS, LP_R2_BITS};
+use egka_energy::{CompOp, Meter, Scheme};
+use egka_hash::ChaChaRng;
+use egka_net::Medium;
+use rand::SeedableRng;
+
+use crate::bd;
+use crate::group::{GroupSession, MemberState};
+use crate::proposed::NodeReport;
+use crate::wire::{kind, Reader, Writer};
+
+/// Result of a Leave or Partition run.
+#[derive(Clone, Debug)]
+pub struct LeaveOutcome {
+    /// The post-event session (remaining members, original ring order).
+    pub session: GroupSession,
+    /// Per-remaining-member reports, new-ring order.
+    pub reports: Vec<NodeReport>,
+    /// Positions (in the new ring) of the members that refreshed
+    /// (the paper's `v` odd-indexed users).
+    pub refreshers: Vec<usize>,
+}
+
+/// Single-user Leave: `leaver` is the position in `session`'s ring.
+///
+/// # Panics
+/// Panics if `leaver` is out of range, if fewer than 3 members remain, or
+/// on any verification failure.
+pub fn leave(session: &GroupSession, leaver: usize, seed: u64) -> LeaveOutcome {
+    reduced_rekey(session, &BTreeSet::from([leaver]), seed)
+}
+
+/// Partition: all `leavers` (ring positions) depart at once.
+///
+/// # Panics
+/// As [`leave`]; also panics if `leavers` is empty or removes everyone.
+pub fn partition(session: &GroupSession, leavers: &[usize], seed: u64) -> LeaveOutcome {
+    let set: BTreeSet<usize> = leavers.iter().copied().collect();
+    assert!(!set.is_empty(), "partition must remove at least one member");
+    reduced_rekey(session, &set, seed)
+}
+
+fn reduced_rekey(session: &GroupSession, leavers: &BTreeSet<usize>, seed: u64) -> LeaveOutcome {
+    let n = session.n();
+    assert!(leavers.iter().all(|&l| l < n), "leaver out of range");
+    let remaining: Vec<usize> = (0..n).filter(|i| !leavers.contains(i)).collect();
+    let n_rem = remaining.len();
+    assert!(n_rem >= 3, "at least three members must remain");
+    let params = &session.params;
+
+    // Paper's "odd-indexed" is 1-based: U_1, U_3, … ⇒ 0-based even ring
+    // positions. Members that have never committed a (τ, t) — e.g. a
+    // freshly joined user — must refresh regardless of parity.
+    let refreshes: Vec<bool> = remaining
+        .iter()
+        .map(|&p| p % 2 == 0 || session.members[p].t.is_zero())
+        .collect();
+    for (k, &p) in remaining.iter().enumerate() {
+        assert!(
+            refreshes[k] || !session.members[p].t.is_zero(),
+            "non-refreshing member U{} has no stored GQ commitment",
+            session.members[p].id.0
+        );
+    }
+
+    let medium = Medium::new();
+    let eps: Vec<_> = (0..n_rem).map(|_| medium.join()).collect();
+    let ids: Vec<_> = (0..n_rem).map(|k| eps[k].id()).collect();
+    let meters: Vec<Meter> = (0..n_rem).map(|_| Meter::new()).collect();
+    let mut rngs: Vec<ChaChaRng> = (0..n_rem as u64)
+        .map(|i| ChaChaRng::seed_from_u64(seed ^ i.wrapping_mul(0xbf58_476d_1ce4_e5b9)))
+        .collect();
+
+    // Working copies of each member's view: shares and commitments of the
+    // remaining ring (indexed by new-ring position).
+    let mut rs: Vec<Ubig> = remaining.iter().map(|&p| session.members[p].r.clone()).collect();
+    let mut zs: Vec<Ubig> = remaining.iter().map(|&p| session.members[p].z.clone()).collect();
+    let mut taus: Vec<Ubig> = remaining.iter().map(|&p| session.members[p].tau.clone()).collect();
+    let mut ts: Vec<Ubig> = remaining.iter().map(|&p| session.members[p].t.clone()).collect();
+
+    // ---- Round 1: refreshers broadcast fresh (z', t') ----
+    for k in 0..n_rem {
+        if !refreshes[k] {
+            continue;
+        }
+        let rng = &mut rngs[k];
+        let share = bd::round1_share(rng, &params.bd);
+        meters[k].record(CompOp::ModExp); // z'_j
+        let (tau, t) = params.gq.commit(rng); // τ'^e: half of the SignGen charged below
+        let mut w = Writer::new();
+        w.put_id(session.members[remaining[k]].id)
+            .put_ubig(&share.z)
+            .put_ubig(&t);
+        let others: Vec<_> = ids
+            .iter()
+            .enumerate()
+            .filter(|&(j, _)| j != k)
+            .map(|(_, &id)| id)
+            .collect();
+        eps[k].multicast(&others, kind::LP_ROUND1, w.finish(), LP_R1_BITS);
+        rs[k] = share.r;
+        zs[k] = share.z;
+        taus[k] = tau;
+        ts[k] = t;
+    }
+    // Drain round-1: every member hears every *other* refresher.
+    let v = refreshes.iter().filter(|&&r| r).count();
+    for k in 0..n_rem {
+        let expect = if refreshes[k] { v - 1 } else { v };
+        for _ in 0..expect {
+            let pkt = eps[k].recv_kind(kind::LP_ROUND1);
+            let mut r = Reader::new(&pkt.payload);
+            let _id = r.get_id().expect("round-1 id");
+            let _z = r.get_ubig().expect("round-1 z");
+            let _t = r.get_ubig().expect("round-1 t");
+            r.expect_end().expect("no trailing bytes");
+            // Views already updated in the shared vectors above; a receiving
+            // node would store (_id → _z, _t) here. The decode validates the
+            // frame; the assert below validates content equality.
+            debug_assert!(zs.iter().any(|z| *z == _z));
+        }
+    }
+
+    // ---- Round 2: everyone broadcasts (X'_i, s̄_i); controller last ----
+    let z_prod = zs
+        .iter()
+        .fold(Ubig::one(), |acc, z| mod_mul(&acc, z, &params.bd.p));
+    let t_agg = params.gq.aggregate_commitments(&ts);
+    let bind = z_prod.to_bytes_be();
+    let challenge = params.gq.shared_challenge(&t_agg, &bind);
+
+    let mut xs: Vec<Ubig> = Vec::with_capacity(n_rem);
+    let mut ss: Vec<Ubig> = Vec::with_capacity(n_rem);
+    for k in 0..n_rem {
+        let x = bd::round2_x(
+            &params.bd,
+            &rs[k],
+            &zs[(k + n_rem - 1) % n_rem],
+            &zs[(k + 1) % n_rem],
+        );
+        meters[k].record(CompOp::ModExp);
+        meters[k].record(CompOp::ModInv);
+        let member = &session.members[remaining[k]];
+        let s = params.gq.respond(&member.gq_key, &taus[k], &challenge);
+        // Fresh commit + respond for refreshers; commitment *reuse* +
+        // respond for the rest — the paper charges one signature
+        // generation either way (Table 5's even-row joules include it).
+        meters[k].record(CompOp::SignGen(Scheme::Gq));
+        xs.push(x);
+        ss.push(s);
+    }
+    let send = |k: usize| {
+        let mut w = Writer::new();
+        w.put_id(session.members[remaining[k]].id)
+            .put_ubig(&xs[k])
+            .put_ubig(&ss[k]);
+        let others: Vec<_> = ids
+            .iter()
+            .enumerate()
+            .filter(|&(j, _)| j != k)
+            .map(|(_, &id)| id)
+            .collect();
+        eps[k].multicast(&others, kind::LP_ROUND2, w.finish(), LP_R2_BITS);
+    };
+    for k in 1..n_rem {
+        send(k);
+    }
+    // Controller (first remaining member) broadcasts last.
+    for _ in 0..n_rem - 1 {
+        let _ = eps[0].recv_kind(kind::LP_ROUND2);
+    }
+    send(0);
+    for (k, ep) in eps.iter().enumerate().skip(1) {
+        for _ in 0..n_rem - 1 {
+            let _ = ep.recv_kind(kind::LP_ROUND2);
+        }
+        let _ = k;
+    }
+
+    // ---- Verification + key (per member) ----
+    let id_bytes: Vec<Vec<u8>> = remaining
+        .iter()
+        .map(|&p| session.members[p].id.to_bytes().to_vec())
+        .collect();
+    let id_refs: Vec<&[u8]> = id_bytes.iter().map(|v| v.as_slice()).collect();
+    let mut keys = Vec::with_capacity(n_rem);
+    for k in 0..n_rem {
+        let ok = params.gq.aggregate_verify(&id_refs, &ss, &challenge, &bind);
+        meters[k].record(CompOp::SignVerify(Scheme::Gq));
+        assert!(ok, "batch verification (eq. 10/12) failed");
+        assert!(bd::lemma1_holds(&params.bd, &xs), "Lemma 1 failed");
+        let ring: Vec<Ubig> = (0..n_rem).map(|j| xs[(k + j) % n_rem].clone()).collect();
+        let key = bd::compute_key(&params.bd, &rs[k], &zs[(k + n_rem - 1) % n_rem], &ring);
+        meters[k].record(CompOp::ModExp);
+        keys.push(key);
+    }
+    assert!(keys.windows(2).all(|w| w[0] == w[1]), "leave keys diverged");
+    let new_key = keys.pop().expect("non-empty group");
+    assert_ne!(new_key, session.key, "key must change on departure");
+
+    // ---- Assemble outcome ----
+    let members: Vec<MemberState> = remaining
+        .iter()
+        .enumerate()
+        .map(|(k, &p)| {
+            let m = &session.members[p];
+            MemberState {
+                id: m.id,
+                gq_key: m.gq_key.clone(),
+                r: rs[k].clone(),
+                z: zs[k].clone(),
+                tau: taus[k].clone(),
+                t: ts[k].clone(),
+            }
+        })
+        .collect();
+    let reports: Vec<NodeReport> = (0..n_rem)
+        .map(|k| {
+            let mut counts = meters[k].snapshot();
+            let stats = medium.stats(eps[k].id());
+            counts.tx_bits = stats.tx_bits;
+            counts.rx_bits = stats.rx_bits;
+            counts.tx_bits_actual = stats.tx_bits_actual;
+            counts.rx_bits_actual = stats.rx_bits_actual;
+            counts.msgs_tx = stats.msgs_tx;
+            counts.msgs_rx = stats.msgs_rx;
+            NodeReport {
+                id: session.members[remaining[k]].id,
+                key: new_key.clone(),
+                counts,
+            }
+        })
+        .collect();
+    LeaveOutcome {
+        session: GroupSession {
+            params: params.clone(),
+            members,
+            key: new_key,
+        },
+        reports,
+        refreshers: refreshes
+            .iter()
+            .enumerate()
+            .filter(|&(_, &r)| r)
+            .map(|(k, _)| k)
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dynamics::testutil::session;
+    use egka_energy::complexity::{proposed_leave, proposed_partition};
+
+    #[test]
+    fn leave_agrees_and_preserves_invariant() {
+        let (_, s0) = session(6, 10);
+        let out = leave(&s0, 3, 50); // U4 (1-based even) departs
+        assert_eq!(out.session.n(), 5);
+        assert!(out.session.invariant_holds());
+        assert_ne!(out.session.key, s0.key);
+    }
+
+    #[test]
+    fn leave_counts_match_table5_closed_form() {
+        // n = 8, leaver at 0-based 3 (1-based 4, even) ⇒ v = 4 refreshers.
+        let (_, s0) = session(8, 11);
+        let out = leave(&s0, 3, 51);
+        let roles = proposed_leave(8, 4);
+        let odd_want = &roles[0].counts;
+        let even_want = &roles[1].counts;
+        assert_eq!(out.refreshers.len(), 4);
+        for (k, rep) in out.reports.iter().enumerate() {
+            let want = if out.refreshers.contains(&k) { odd_want } else { even_want };
+            let tag = format!("pos {k} ({})", rep.id);
+            assert_eq!(rep.counts.exps(), want.exps(), "{tag} exps");
+            assert_eq!(rep.counts.tx_bits, want.tx_bits, "{tag} tx");
+            assert_eq!(rep.counts.rx_bits, want.rx_bits, "{tag} rx");
+            assert_eq!(rep.counts.msgs_tx, want.msgs_tx, "{tag} msgs tx");
+            assert_eq!(rep.counts.msgs_rx, want.msgs_rx, "{tag} msgs rx");
+        }
+    }
+
+    #[test]
+    fn partition_removes_several_and_agrees() {
+        let (_, s0) = session(9, 12);
+        let out = partition(&s0, &[1, 5, 7], 52);
+        assert_eq!(out.session.n(), 6);
+        assert!(out.session.invariant_holds());
+    }
+
+    #[test]
+    fn partition_counts_match_closed_form() {
+        // n = 10, leavers at 0-based {1, 3} (1-based 2 and 4, both even) ⇒
+        // remaining = 8, refreshers v = 5 (1-based 1,3,5,7,9).
+        let (_, s0) = session(10, 13);
+        let out = partition(&s0, &[1, 3], 53);
+        let roles = proposed_partition(10, 2, 5);
+        assert_eq!(out.refreshers.len(), 5);
+        for (k, rep) in out.reports.iter().enumerate() {
+            let want = if out.refreshers.contains(&k) {
+                &roles[0].counts
+            } else {
+                &roles[1].counts
+            };
+            assert_eq!(rep.counts.exps(), want.exps(), "pos {k} exps");
+            assert_eq!(rep.counts.rx_bits, want.rx_bits, "pos {k} rx");
+        }
+    }
+
+    #[test]
+    fn departed_member_cannot_compute_new_key() {
+        // The leaver knows K and all old shares; the new key must differ
+        // from anything derivable with its stale r (spot check: it differs
+        // from the old key and from K^anything trivial).
+        let (_, s0) = session(5, 14);
+        let out = leave(&s0, 2, 54);
+        assert_ne!(out.session.key, s0.key);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least three members")]
+    fn leave_below_minimum_panics() {
+        let (_, s0) = session(3, 15);
+        let _ = leave(&s0, 1, 55);
+    }
+}

@@ -1,0 +1,404 @@
+//! The Merge protocol (paper §7, three rounds, `k = 2` groups).
+//!
+//! The two controllers `U_1` (group A) and `U_{n+1}` (group B) refresh
+//! their exponents, exchange signed round-1 messages carrying their fresh
+//! share and their group's *edge* share, derive a pairwise DH key, and then
+//! swap the two half-keys
+//!
+//! ```text
+//! K*_A = K_A · (z_2 z_n)^{−r_1} · (z_2 z_{n+m})^{r'_1}          (eq. (7))
+//! K*_B = K_B · (z_n z_{n+2})^{r'_{n+1}} · (z_{n+2} z_{n+m})^{−r_{n+1}}  (eq. (8))
+//! ```
+//!
+//! through symmetric envelopes (under each group's old key and under the
+//! controllers' DH key), so that every member of the merged ring computes
+//! `K' = K*_A · K*_B` (eq. (9)). Only the two controllers exponentiate
+//! (4 each); all bystanders just decrypt twice.
+
+use egka_bigint::{mod_inverse, mod_mul, mod_pow, Ubig};
+use egka_energy::complexity::{MERGE_R1_BITS, MERGE_R2_BITS, MERGE_R3_BITS};
+use egka_energy::{CompOp, Meter, Scheme};
+use egka_hash::ChaChaRng;
+use egka_net::Medium;
+use egka_sig::GqSignature;
+use rand::SeedableRng;
+
+use crate::dynamics::{open_key, seal_key};
+use crate::group::{GroupSession, MemberState};
+use crate::proposed::NodeReport;
+use crate::wire::{kind, Reader, Writer};
+
+/// Result of a Merge run.
+#[derive(Clone, Debug)]
+pub struct MergeOutcome {
+    /// The merged session: ring = group A then group B, controllers'
+    /// exponents refreshed.
+    pub session: GroupSession,
+    /// Per-node reports, merged-ring order.
+    pub reports: Vec<NodeReport>,
+}
+
+/// Merges `a` and `b` (which must share parameters — same PKG).
+///
+/// # Panics
+/// Panics if the parameter sets differ, either group has fewer than 2
+/// members, or any signature/envelope check fails.
+pub fn merge(a: &GroupSession, b: &GroupSession, seed: u64) -> MergeOutcome {
+    assert_eq!(a.params.bd.p, b.params.bd.p, "groups must share the BD group");
+    assert_eq!(a.params.gq.n, b.params.gq.n, "groups must share the PKG");
+    let n = a.n();
+    let m = b.n();
+    assert!(n >= 2 && m >= 2, "merge needs two non-trivial groups");
+    let params = &a.params;
+    let ka_material = a.key_material();
+    let kb_material = b.key_material();
+
+    let medium = Medium::new();
+    // Endpoints: 0..n-1 = group A, n..n+m-1 = group B.
+    let eps: Vec<_> = (0..n + m).map(|_| medium.join()).collect();
+    let meters: Vec<Meter> = (0..n + m).map(|_| Meter::new()).collect();
+    let mut rng_a = ChaChaRng::seed_from_u64(seed ^ 0xa);
+    let mut rng_b = ChaChaRng::seed_from_u64(seed ^ 0xb);
+
+    let u1 = &a.members[0];
+    let un1 = &b.members[0];
+
+    // ---- Round 1: both controllers refresh and announce ----
+    // m'_1 = U_1 ‖ z̃_1 ‖ z_n ‖ σ'_1 → U_{n+1};   symmetric for B.
+    let round1 = |ctrl: &MemberState,
+                  edge_z: &Ubig,
+                  rng: &mut ChaChaRng,
+                  meter: &Meter|
+     -> (Ubig, Ubig, Vec<u8>) {
+        let r_new = loop {
+            let r = egka_bigint::random_below(rng, &params.bd.q);
+            if !r.is_zero() {
+                break r;
+            }
+        };
+        let z_new = mod_pow(&params.bd.g, &r_new, &params.bd.p);
+        meter.record(CompOp::ModExp);
+        let mut body = Writer::new();
+        body.put_id(ctrl.id).put_ubig(&z_new).put_ubig(edge_z);
+        let sig = params.gq.sign(rng, &ctrl.gq_key, &body.finish());
+        meter.record(CompOp::SignGen(Scheme::Gq));
+        let mut w = Writer::new();
+        w.put_id(ctrl.id)
+            .put_ubig(&z_new)
+            .put_ubig(edge_z)
+            .put_ubig(&sig.s)
+            .put_ubig(&sig.c);
+        (r_new, z_new, w.finish().to_vec())
+    };
+    let (r1_new, z1_new, m1) = round1(u1, a.z_of(n - 1), &mut rng_a, &meters[0]);
+    let (rn1_new, zn1_new, mn1) = round1(un1, b.z_of(m - 1), &mut rng_b, &meters[n]);
+    eps[0].multicast(&[eps[n].id()], kind::MERGE_R1, m1.into(), MERGE_R1_BITS);
+    eps[n].multicast(&[eps[0].id()], kind::MERGE_R1, mn1.into(), MERGE_R1_BITS);
+
+    // ---- Round 2: verify peer, derive DH, compute half-keys ----
+    let read_r1 = |who: usize, meter: &Meter| -> (Ubig, Ubig) {
+        let pkt = eps[who].recv_kind(kind::MERGE_R1);
+        let mut r = Reader::new(&pkt.payload);
+        let id = r.get_id().expect("r1 id");
+        let z_new = r.get_ubig().expect("r1 z~");
+        let edge = r.get_ubig().expect("r1 edge z");
+        let s = r.get_ubig().expect("r1 sig s");
+        let c = r.get_ubig().expect("r1 sig c");
+        r.expect_end().expect("no trailing bytes");
+        let mut body = Writer::new();
+        body.put_id(id).put_ubig(&z_new).put_ubig(&edge);
+        let ok = params
+            .gq
+            .verify(&id.to_bytes(), &body.finish(), &GqSignature { s, c });
+        meter.record(CompOp::SignVerify(Scheme::Gq));
+        assert!(ok, "merge round-1 signature rejected");
+        (z_new, edge)
+    };
+
+    // U_1's view.
+    let (zn1_seen, edge_b) = read_r1(0, &meters[0]); // z̃_{n+1}, z_{n+m}
+    let k_dh_a = mod_pow(&zn1_seen, &r1_new, &params.bd.p);
+    meters[0].record(CompOp::ModExp);
+    // K*_A = K_A · (z_2 z_n)^{−r_1} · (z_2 z_{n+m})^{r'_1}
+    let k_star_a = {
+        let z2 = a.z_of(1);
+        let zn = a.z_of(n - 1);
+        let t1_base = mod_inverse(&mod_mul(z2, zn, &params.bd.p), &params.bd.p).expect("unit");
+        meters[0].record(CompOp::ModInv);
+        let t1 = mod_pow(&t1_base, &u1.r, &params.bd.p);
+        meters[0].record(CompOp::ModExp);
+        let t2 = mod_pow(&mod_mul(z2, &edge_b, &params.bd.p), &r1_new, &params.bd.p);
+        meters[0].record(CompOp::ModExp);
+        mod_mul(&mod_mul(&a.key, &t1, &params.bd.p), &t2, &params.bd.p)
+    };
+
+    // U_{n+1}'s view.
+    let (z1_seen, edge_a) = read_r1(n, &meters[n]); // z̃_1, z_n
+    let k_dh_b = mod_pow(&z1_seen, &rn1_new, &params.bd.p);
+    meters[n].record(CompOp::ModExp);
+    assert_eq!(k_dh_a, k_dh_b, "controllers' DH keys must match");
+    // K*_B = K_B · (z_n z_{n+2})^{r'_{n+1}} · (z_{n+2} z_{n+m})^{−r_{n+1}}
+    let k_star_b = {
+        let zn2 = b.z_of(1); // z_{n+2}: group B's second member
+        let znm = b.z_of(m - 1); // z_{n+m}
+        let t1 = mod_pow(&mod_mul(&edge_a, zn2, &params.bd.p), &rn1_new, &params.bd.p);
+        meters[n].record(CompOp::ModExp);
+        let t2_base =
+            mod_inverse(&mod_mul(zn2, znm, &params.bd.p), &params.bd.p).expect("unit");
+        meters[n].record(CompOp::ModInv);
+        let t2 = mod_pow(&t2_base, &un1.r, &params.bd.p);
+        meters[n].record(CompOp::ModExp);
+        mod_mul(&mod_mul(&b.key, &t1, &params.bd.p), &t2, &params.bd.p)
+    };
+
+    // Round-2 broadcasts: each controller seals its half-key under its
+    // group key and under the DH key.
+    let dh_material = k_dh_a.to_bytes_be();
+    let send_r2 = |who: usize,
+                   ctrl_id: crate::ident::UserId,
+                   half: &Ubig,
+                   group_material: &[u8],
+                   targets: &[egka_net::NodeId],
+                   rng: &mut ChaChaRng,
+                   meter: &Meter| {
+        let env_group = seal_key(rng, group_material, half, ctrl_id, None);
+        meter.record(CompOp::SymEnc);
+        let env_dh = seal_key(rng, &dh_material, half, ctrl_id, None);
+        meter.record(CompOp::SymEnc);
+        let mut w = Writer::new();
+        w.put_id(ctrl_id).put_bytes(&env_group).put_bytes(&env_dh);
+        eps[who].multicast(targets, kind::MERGE_R2, w.finish(), MERGE_R2_BITS);
+    };
+    // A's bystanders + the peer controller.
+    let a_targets: Vec<_> = (1..n).map(|i| eps[i].id()).chain([eps[n].id()]).collect();
+    send_r2(0, u1.id, &k_star_a, &ka_material, &a_targets, &mut rng_a, &meters[0]);
+    let b_targets: Vec<_> = (n + 1..n + m)
+        .map(|i| eps[i].id())
+        .chain([eps[0].id()])
+        .collect();
+    send_r2(n, un1.id, &k_star_b, &kb_material, &b_targets, &mut rng_b, &meters[n]);
+
+    // ---- Round 3: controllers re-export the peer half-key to their group ----
+    let relay = |who: usize,
+                 ctrl_id: crate::ident::UserId,
+                 peer_id: crate::ident::UserId,
+                 group_material: &[u8],
+                 targets: &[egka_net::NodeId],
+                 rng: &mut ChaChaRng,
+                 meter: &Meter|
+     -> Ubig {
+        let pkt = eps[who].recv_kind(kind::MERGE_R2);
+        let mut r = Reader::new(&pkt.payload);
+        let id = r.get_id().expect("r2 id");
+        assert_eq!(id, peer_id);
+        let _env_group = r.get_bytes().expect("r2 group envelope");
+        let env_dh = r.get_bytes().expect("r2 dh envelope").to_vec();
+        r.expect_end().expect("no trailing bytes");
+        let (peer_half, _) = open_key(&dh_material, &env_dh, peer_id).expect("valid DH envelope");
+        meter.record(CompOp::SymDec);
+        let env = seal_key(rng, group_material, &peer_half, ctrl_id, None);
+        meter.record(CompOp::SymEnc);
+        let mut w = Writer::new();
+        w.put_id(ctrl_id).put_bytes(&env);
+        eps[who].multicast(targets, kind::MERGE_R3, w.finish(), MERGE_R3_BITS);
+        peer_half
+    };
+    let a_bystanders: Vec<_> = (1..n).map(|i| eps[i].id()).collect();
+    let b_bystanders: Vec<_> = (n + 1..n + m).map(|i| eps[i].id()).collect();
+    let k_star_b_at_u1 = relay(0, u1.id, un1.id, &ka_material, &a_bystanders, &mut rng_a, &meters[0]);
+    let k_star_a_at_un1 = relay(n, un1.id, u1.id, &kb_material, &b_bystanders, &mut rng_b, &meters[n]);
+    assert_eq!(k_star_b_at_u1, k_star_b);
+    assert_eq!(k_star_a_at_un1, k_star_a);
+
+    // ---- Key computation ----
+    let new_key = mod_mul(&k_star_a, &k_star_b, &params.bd.p);
+    // Bystanders: open their controller's R2 (own half) and R3 (peer half).
+    let open_bystander = |who: usize,
+                          ctrl_id: crate::ident::UserId,
+                          group_material: &[u8],
+                          meter: &Meter|
+     -> Ubig {
+        let pkt = eps[who].recv_kind(kind::MERGE_R2);
+        let mut r = Reader::new(&pkt.payload);
+        let id = r.get_id().expect("r2 id");
+        assert_eq!(id, ctrl_id);
+        let env_group = r.get_bytes().expect("r2 group envelope");
+        let (own_half, _) = open_key(group_material, env_group, ctrl_id).expect("valid envelope");
+        meter.record(CompOp::SymDec);
+        let _env_dh = r.get_bytes().expect("r2 dh envelope");
+        r.expect_end().expect("no trailing bytes");
+        let pkt3 = eps[who].recv_kind(kind::MERGE_R3);
+        let mut r3 = Reader::new(&pkt3.payload);
+        let id3 = r3.get_id().expect("r3 id");
+        assert_eq!(id3, ctrl_id);
+        let env3 = r3.get_bytes().expect("r3 envelope");
+        let (peer_half, _) = open_key(group_material, env3, ctrl_id).expect("valid envelope");
+        meter.record(CompOp::SymDec);
+        mod_mul(&own_half, &peer_half, &params.bd.p)
+    };
+    for i in 1..n {
+        let k = open_bystander(i, u1.id, &ka_material, &meters[i]);
+        assert_eq!(k, new_key, "group-A bystander key diverged");
+    }
+    for i in n + 1..n + m {
+        let k = open_bystander(i, un1.id, &kb_material, &meters[i]);
+        assert_eq!(k, new_key, "group-B bystander key diverged");
+    }
+
+    // ---- Assemble outcome ----
+    let mut members = Vec::with_capacity(n + m);
+    for (pos, src) in a.members.iter().enumerate() {
+        let mut mstate = src.clone();
+        if pos == 0 {
+            mstate.r = r1_new.clone();
+            mstate.z = z1_new.clone();
+        }
+        members.push(mstate);
+    }
+    for (pos, src) in b.members.iter().enumerate() {
+        let mut mstate = src.clone();
+        if pos == 0 {
+            mstate.r = rn1_new.clone();
+            mstate.z = zn1_new.clone();
+        }
+        members.push(mstate);
+    }
+    let reports: Vec<NodeReport> = (0..n + m)
+        .map(|i| {
+            let mut counts = meters[i].snapshot();
+            let stats = medium.stats(eps[i].id());
+            counts.tx_bits = stats.tx_bits;
+            counts.rx_bits = stats.rx_bits;
+            counts.tx_bits_actual = stats.tx_bits_actual;
+            counts.rx_bits_actual = stats.rx_bits_actual;
+            counts.msgs_tx = stats.msgs_tx;
+            counts.msgs_rx = stats.msgs_rx;
+            NodeReport { id: members[i].id, key: new_key.clone(), counts }
+        })
+        .collect();
+    MergeOutcome {
+        session: GroupSession { params: params.clone(), members, key: new_key },
+        reports,
+    }
+}
+
+/// Merges `k ≥ 2` groups by controller-chained pairwise merges — the
+/// generalization Table 4's `6(k−1)` message count implies (the paper's
+/// text only spells out `k = 2`). Each fold is a full three-round Merge;
+/// per-node counts accumulate across folds (keyed by identity).
+///
+/// # Panics
+/// As [`merge`]; also panics if fewer than two sessions are given.
+pub fn merge_many(sessions: &[&GroupSession], seed: u64) -> MergeOutcome {
+    assert!(sessions.len() >= 2, "merge_many needs at least two groups");
+    let mut acc = merge(sessions[0], sessions[1], seed);
+    for (k, next) in sessions.iter().enumerate().skip(2) {
+        let step = merge(&acc.session, next, seed ^ (k as u64) << 8);
+        // Accumulate counts per identity across folds.
+        let mut reports = step.reports;
+        for prev in &acc.reports {
+            if let Some(r) = reports.iter_mut().find(|r| r.id == prev.id) {
+                r.counts.merge(&prev.counts);
+            }
+        }
+        acc = MergeOutcome { session: step.session, reports };
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dynamics::testutil::session;
+    use crate::params::{Pkg, SecurityProfile};
+    use crate::proposed::{self, RunConfig};
+    use egka_energy::complexity::proposed_merge;
+
+    /// Two groups extracted from the same PKG.
+    fn two_groups(n: u32, m: u32, seed: u64) -> (GroupSession, GroupSession) {
+        let mut rng = ChaChaRng::seed_from_u64(0x6d65_7267 ^ seed);
+        let pkg = Pkg::setup(&mut rng, SecurityProfile::Toy);
+        let keys_a = pkg.extract_group(n);
+        let keys_b: Vec<_> = (n..n + m).map(|i| pkg.extract(crate::ident::UserId(i))).collect();
+        let (_, sa) = proposed::run(pkg.params(), &keys_a, seed, RunConfig::default());
+        let (_, sb) = proposed::run(pkg.params(), &keys_b, seed ^ 1, RunConfig::default());
+        (sa, sb)
+    }
+
+    #[test]
+    fn merge_agrees_and_preserves_invariant() {
+        let (sa, sb) = two_groups(4, 3, 20);
+        let out = merge(&sa, &sb, 21);
+        assert_eq!(out.session.n(), 7);
+        assert!(out.session.invariant_holds());
+        assert_ne!(out.session.key, sa.key);
+        assert_ne!(out.session.key, sb.key);
+    }
+
+    #[test]
+    fn merge_counts_match_table5_closed_form() {
+        let (sa, sb) = two_groups(5, 4, 22);
+        let out = merge(&sa, &sb, 23);
+        let roles = proposed_merge(5, 4);
+        let ctrl_want = &roles[0].counts;
+        let by_want = &roles[2].counts;
+        for (i, rep) in out.reports.iter().enumerate() {
+            let want = if i == 0 || i == 5 { ctrl_want } else { by_want };
+            let tag = format!("pos {i}");
+            assert_eq!(rep.counts.exps(), want.exps(), "{tag} exps");
+            assert_eq!(
+                rep.counts.get(CompOp::SignGen(Scheme::Gq)),
+                want.get(CompOp::SignGen(Scheme::Gq)),
+                "{tag} gen"
+            );
+            assert_eq!(rep.counts.tx_bits, want.tx_bits, "{tag} tx");
+            assert_eq!(rep.counts.rx_bits, want.rx_bits, "{tag} rx");
+        }
+    }
+
+    #[test]
+    fn merged_group_can_run_leave() {
+        // Composition: merge then leave — exercises the session bookkeeping
+        // across dynamic events.
+        let (sa, sb) = two_groups(4, 4, 24);
+        let merged = merge(&sa, &sb, 25);
+        let out = crate::dynamics::leave(&merged.session, 5, 26);
+        assert_eq!(out.session.n(), 7);
+        assert!(out.session.invariant_holds());
+    }
+
+    #[test]
+    fn merge_many_realizes_6_k_minus_1_messages() {
+        // k = 3 groups: total messages must be 6(k−1) = 12.
+        let mut rng = ChaChaRng::seed_from_u64(0x6d6d);
+        let pkg = Pkg::setup(&mut rng, SecurityProfile::Toy);
+        let mut sessions = Vec::new();
+        let mut base = 0u32;
+        for (g, size) in [(0u64, 3u32), (1, 4), (2, 3)] {
+            let keys: Vec<_> = (base..base + size)
+                .map(|i| pkg.extract(crate::ident::UserId(i)))
+                .collect();
+            let (_, s) = proposed::run(pkg.params(), &keys, 30 + g, RunConfig::default());
+            sessions.push(s);
+            base += size;
+        }
+        let refs: Vec<&GroupSession> = sessions.iter().collect();
+        let out = merge_many(&refs, 31);
+        assert_eq!(out.session.n(), 10);
+        assert!(out.session.invariant_holds());
+        let total_msgs: u64 = out.reports.iter().map(|r| r.counts.msgs_tx).sum();
+        assert_eq!(total_msgs, 12, "6(k−1) for k = 3");
+        // All keys fresh and agreed.
+        for s in &sessions {
+            assert_ne!(out.session.key, s.key);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "share the BD group")]
+    fn merging_foreign_groups_panics() {
+        let (sa, _) = two_groups(3, 2, 27);
+        let (_, sb) = session(3, 28); // different PKG entirely
+        let _ = merge(&sa, &sb, 29);
+    }
+}

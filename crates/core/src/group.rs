@@ -1,0 +1,130 @@
+//! Group session state carried between the initial GKA and the dynamic
+//! membership protocols.
+//!
+//! After a successful run of the proposed protocol every member holds: its
+//! ring position, its BD exponent `r_i`, everyone's public share `z_j`, its
+//! last GQ commitment `(τ_i, t_i)` and the group key `K`. The dynamic
+//! protocols (paper §7) consume and update exactly this state — e.g. the
+//! Leave protocol's even-indexed members *reuse* their stored `τ_i` against
+//! a fresh challenge, precisely as the paper specifies (see the security
+//! note in `DESIGN.md` §security-notes).
+//!
+//! [`GroupSession`] is the omniscient test-harness view (all members); each
+//! member's *own* knowledge is the corresponding [`MemberState`] plus the
+//! public `z` shares, which protocol code accesses through
+//! [`GroupSession::z_of`] to keep the "who knows what" discipline visible.
+
+use egka_bigint::Ubig;
+use egka_sig::GqSecretKey;
+
+use crate::ident::UserId;
+use crate::params::Params;
+
+/// One member's private protocol state.
+#[derive(Clone, Debug)]
+pub struct MemberState {
+    /// Identity.
+    pub id: UserId,
+    /// Extracted GQ ID key.
+    pub gq_key: GqSecretKey,
+    /// Current BD exponent `r_i`.
+    pub r: Ubig,
+    /// Current public share `z_i = g^{r_i}` (known to the whole group).
+    pub z: Ubig,
+    /// Last GQ commitment randomness `τ_i`.
+    pub tau: Ubig,
+    /// Last GQ commitment `t_i = τ_i^e` (known to the whole group).
+    pub t: Ubig,
+}
+
+/// A group that has agreed on a key.
+#[derive(Clone, Debug)]
+pub struct GroupSession {
+    /// Shared protocol parameters.
+    pub params: Params,
+    /// Members in ring order (`members[0]` is the controller `U_1`).
+    pub members: Vec<MemberState>,
+    /// The current group key `K`.
+    pub key: Ubig,
+}
+
+impl GroupSession {
+    /// Group size `n`.
+    pub fn n(&self) -> usize {
+        self.members.len()
+    }
+
+    /// The public share of the member at ring position `i`.
+    pub fn z_of(&self, i: usize) -> &Ubig {
+        &self.members[i].z
+    }
+
+    /// Ring predecessor of position `i`.
+    pub fn pred(&self, i: usize) -> usize {
+        (i + self.n() - 1) % self.n()
+    }
+
+    /// Ring successor of position `i`.
+    pub fn succ(&self, i: usize) -> usize {
+        (i + 1) % self.n()
+    }
+
+    /// Serializes the key for use as symmetric key material (`E_K(·)`).
+    pub fn key_material(&self) -> Vec<u8> {
+        self.key.to_bytes_be()
+    }
+
+    /// Checks the defining invariant: `K = g^{Σ r_i r_{i+1}}` and
+    /// `z_i = g^{r_i}` for every member (test/debug helper; a real node
+    /// cannot evaluate this, it requires all secrets).
+    pub fn invariant_holds(&self) -> bool {
+        use egka_bigint::{mod_mul, mod_pow};
+        let g = &self.params.bd;
+        for m in &self.members {
+            if mod_pow(&g.g, &m.r, &g.p) != m.z {
+                return false;
+            }
+        }
+        let n = self.n();
+        let mut exp = Ubig::zero();
+        for i in 0..n {
+            let prod = mod_mul(&self.members[i].r, &self.members[(i + 1) % n].r, &g.q);
+            exp = egka_bigint::mod_add(&exp, &prod, &g.q);
+        }
+        mod_pow(&g.g, &exp, &g.p) == self.key
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::params::{Pkg, SecurityProfile};
+    use crate::proposed::{self, RunConfig};
+    use egka_hash::ChaChaRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn session_from_run_satisfies_invariant() {
+        let mut rng = ChaChaRng::seed_from_u64(0x475253);
+        let pkg = Pkg::setup(&mut rng, SecurityProfile::Toy);
+        let keys = pkg.extract_group(4);
+        let (_, session) = proposed::run(pkg.params(), &keys, 5, RunConfig::default());
+        assert!(session.invariant_holds());
+        assert_eq!(session.n(), 4);
+        assert_eq!(session.pred(0), 3);
+        assert_eq!(session.succ(3), 0);
+    }
+
+    #[test]
+    fn tampered_session_fails_invariant() {
+        let mut rng = ChaChaRng::seed_from_u64(0x475254);
+        let pkg = Pkg::setup(&mut rng, SecurityProfile::Toy);
+        let keys = pkg.extract_group(3);
+        let (_, mut session) = proposed::run(pkg.params(), &keys, 6, RunConfig::default());
+        session.key = egka_bigint::mod_mul(
+            &session.key,
+            &session.params.bd.g,
+            &session.params.bd.p,
+        );
+        assert!(!session.invariant_holds());
+    }
+}

@@ -1,0 +1,47 @@
+//! User identities.
+//!
+//! The paper's users carry 32-bit identities (`Extract: the PKG verifies the
+//! 32-bit identity U_i`); [`UserId`] is that identity. Everything that hashes
+//! or transmits an identity goes through [`UserId::to_bytes`] so the wire
+//! width matches the accounting width (`egka_energy::wire::ID_BITS`).
+
+use core::fmt;
+
+/// A 32-bit user identity.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct UserId(pub u32);
+
+impl UserId {
+    /// Canonical 4-byte big-endian encoding (32 bits on the wire).
+    pub fn to_bytes(self) -> [u8; 4] {
+        self.0.to_be_bytes()
+    }
+
+    /// Inverse of [`UserId::to_bytes`].
+    pub fn from_bytes(b: [u8; 4]) -> Self {
+        UserId(u32::from_be_bytes(b))
+    }
+}
+
+impl fmt::Display for UserId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "U{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn byte_roundtrip() {
+        for v in [0u32, 1, 0xdead_beef, u32::MAX] {
+            assert_eq!(UserId::from_bytes(UserId(v).to_bytes()), UserId(v));
+        }
+    }
+
+    #[test]
+    fn display_is_paper_notation() {
+        assert_eq!(UserId(7).to_string(), "U7");
+    }
+}

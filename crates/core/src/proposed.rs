@@ -1,0 +1,501 @@
+//! The paper's proposed ID-based authenticated GKA protocol (§4).
+//!
+//! Two broadcast rounds over the ring `U_1 … U_n`:
+//!
+//! ```text
+//! Round 1:  m_i  = U_i ‖ z_i ‖ t_i          z_i = g^{r_i},  t_i = τ_i^e
+//! Round 2:  m'_i = U_i ‖ X_i ‖ s_i          X_i = (z_{i+1}/z_{i-1})^{r_i}
+//!                                           c   = H(T, Z),  s_i = τ_i·S_{U_i}^c
+//! Check:    c == H((∏ s_i)^e · (∏ H(U_i))^{−c}, Z)          (eq. (2))
+//!           ∏ X_i ≡ 1 (mod p)                               (Lemma 1)
+//! Key:      K = g^{r_1 r_2 + … + r_n r_1}                   (eq. (3))
+//! ```
+//!
+//! `U_1` acts as the trusted controller and broadcasts its Round-2 message
+//! last. If either check fails, *all members retransmit* (fresh randomness,
+//! bounded retries here); [`Fault`] injects the two corruptions the checks
+//! are designed to catch.
+//!
+//! Every node runs on its own state machine over the shared
+//! [`egka_net::Medium`]; rounds execute in lockstep with per-round
+//! fan-out across threads ([`crate::par`]). Operation counts are recorded
+//! into per-node [`Meter`]s with exactly the granularity the paper's cost
+//! model prices (Table 1 column 1: 3 exponentiations, 1 GQ signature
+//! generation, 1 batch verification).
+
+use egka_bigint::{mod_mul, Ubig};
+use egka_energy::complexity::InitialProtocol;
+use egka_energy::{CompOp, Meter, OpCounts, Scheme};
+use egka_hash::ChaChaRng;
+use egka_net::{Endpoint, Medium};
+use egka_sig::GqSecretKey;
+use rand::SeedableRng;
+
+use crate::bd;
+use crate::group::{GroupSession, MemberState};
+use crate::ident::UserId;
+use crate::params::Params;
+use crate::par::par_for_each_mut;
+use crate::wire::{kind, Reader, Writer};
+
+/// Fault injection for the retransmission path.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Fault {
+    /// Node `node` broadcasts a corrupted `X` on attempt `on_attempt`
+    /// (caught by Lemma 1).
+    CorruptX {
+        /// Ring index of the faulty node.
+        node: usize,
+        /// Zero-based attempt on which the fault fires.
+        on_attempt: u32,
+    },
+    /// Node `node` broadcasts a corrupted response `s` on attempt
+    /// `on_attempt` (caught by the batch verification, eq. (2)).
+    CorruptS {
+        /// Ring index of the faulty node.
+        node: usize,
+        /// Zero-based attempt on which the fault fires.
+        on_attempt: u32,
+    },
+}
+
+/// Run configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct RunConfig {
+    /// Upper bound on protocol attempts (paper: unbounded "retransmit").
+    pub max_attempts: u32,
+    /// Optional injected fault.
+    pub fault: Option<Fault>,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        RunConfig { max_attempts: 3, fault: None }
+    }
+}
+
+/// Per-node outcome of a protocol run.
+#[derive(Clone, Debug)]
+pub struct NodeReport {
+    /// The node's identity.
+    pub id: UserId,
+    /// The derived group key.
+    pub key: Ubig,
+    /// Instrumented operation and traffic counts.
+    pub counts: OpCounts,
+}
+
+/// Outcome of a full protocol run.
+#[derive(Clone, Debug)]
+pub struct RunReport {
+    /// Per-node reports, in ring order.
+    pub nodes: Vec<NodeReport>,
+    /// Number of attempts used (1 = no retransmission).
+    pub attempts: u32,
+}
+
+impl RunReport {
+    /// True iff every node derived the same key.
+    pub fn keys_agree(&self) -> bool {
+        self.nodes.windows(2).all(|w| w[0].key == w[1].key)
+    }
+
+    /// The agreed key.
+    ///
+    /// # Panics
+    /// Panics if the keys do not agree.
+    pub fn key(&self) -> &Ubig {
+        assert!(self.keys_agree(), "group keys diverged");
+        &self.nodes[0].key
+    }
+}
+
+struct Node {
+    idx: usize,
+    id: UserId,
+    ring: Vec<UserId>,
+    key: GqSecretKey,
+    ep: Endpoint,
+    meter: Meter,
+    rng: ChaChaRng,
+    fault: Option<Fault>,
+    // per-attempt state
+    share: Option<bd::Share>,
+    tau: Ubig,
+    t: Ubig,
+    zs: Vec<Ubig>,
+    ts: Vec<Ubig>,
+    xs: Vec<Ubig>,
+    ss: Vec<Ubig>,
+    challenge: Ubig,
+    bind: Vec<u8>,
+    derived: Option<Ubig>,
+}
+
+/// Runs the proposed protocol for `n = keys.len()` users and returns the
+/// per-node reports plus the resulting [`GroupSession`] (input state for
+/// the dynamic protocols).
+///
+/// # Panics
+/// Panics if fewer than two keys are supplied, if a fault survives
+/// `max_attempts`, or if an internal invariant breaks.
+pub fn run(params: &Params, keys: &[GqSecretKey], seed: u64, config: RunConfig) -> (RunReport, GroupSession) {
+    let n = keys.len();
+    assert!(n >= 2, "a group needs at least two members");
+    // Identities come from the extracted keys (a merged ring's members are
+    // not numbered 0..n), positions from slice order.
+    let ring: Vec<UserId> = keys
+        .iter()
+        .map(|k| {
+            let b: [u8; 4] = k.id.as_slice().try_into().expect("32-bit identities");
+            UserId::from_bytes(b)
+        })
+        .collect();
+    let medium = Medium::new();
+    let mut nodes: Vec<Node> = (0..n)
+        .map(|i| Node {
+            idx: i,
+            id: ring[i],
+            ring: ring.clone(),
+            key: keys[i].clone(),
+            ep: medium.join(),
+            meter: Meter::new(),
+            rng: ChaChaRng::seed_from_u64(seed ^ (i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15)),
+            fault: config.fault.filter(|f| match *f {
+                Fault::CorruptX { node, .. } | Fault::CorruptS { node, .. } => node == i,
+            }),
+            share: None,
+            tau: Ubig::zero(),
+            t: Ubig::zero(),
+            zs: vec![Ubig::zero(); n],
+            ts: vec![Ubig::zero(); n],
+            xs: vec![Ubig::zero(); n],
+            ss: vec![Ubig::zero(); n],
+            challenge: Ubig::zero(),
+            bind: Vec::new(),
+            derived: None,
+        })
+        .collect();
+
+    let mut attempts = 0;
+    loop {
+        attempts += 1;
+        assert!(
+            attempts <= config.max_attempts,
+            "protocol did not converge within {} attempts",
+            config.max_attempts
+        );
+        let attempt = attempts - 1;
+        round1(params, &mut nodes, attempt);
+        round2(params, &mut nodes, attempt);
+        if verify_and_derive(params, &mut nodes) {
+            break;
+        }
+        // Failure detected identically by every node: all retransmit.
+    }
+
+    let reports: Vec<NodeReport> = nodes
+        .iter()
+        .map(|node| {
+            let mut counts = node.meter.snapshot();
+            let stats = medium.stats(node.ep.id());
+            counts.tx_bits = stats.tx_bits;
+            counts.rx_bits = stats.rx_bits;
+            counts.tx_bits_actual = stats.tx_bits_actual;
+            counts.rx_bits_actual = stats.rx_bits_actual;
+            counts.msgs_tx = stats.msgs_tx;
+            counts.msgs_rx = stats.msgs_rx;
+            NodeReport {
+                id: node.id,
+                key: node.derived.clone().expect("derived after convergence"),
+                counts,
+            }
+        })
+        .collect();
+    let session = GroupSession {
+        params: params.clone(),
+        members: nodes
+            .iter()
+            .map(|node| {
+                let share = node.share.as_ref().expect("share set");
+                MemberState {
+                    id: node.id,
+                    gq_key: node.key.clone(),
+                    r: share.r.clone(),
+                    z: share.z.clone(),
+                    tau: node.tau.clone(),
+                    t: node.t.clone(),
+                }
+            })
+            .collect(),
+        key: reports[0].key.clone(),
+    };
+    let report = RunReport { nodes: reports, attempts };
+    assert!(report.keys_agree(), "post-verification keys must agree");
+    (report, session)
+}
+
+/// Round 1: every node samples `(r_i, τ_i)`, broadcasts `m_i = U_i‖z_i‖t_i`
+/// and collects everyone else's.
+fn round1(params: &Params, nodes: &mut [Node], _attempt: u32) {
+    let n = nodes.len();
+    // Compute + send (parallel: 2 exponentiations per node).
+    par_for_each_mut(nodes, |_, node| {
+        let share = bd::round1_share(&mut node.rng, &params.bd);
+        node.meter.record(CompOp::ModExp); // z_i = g^{r_i}
+        let (tau, t) = params.gq.commit(&mut node.rng);
+        // t_i = τ^e is half of the GQ signature generation; the other half
+        // (s_i = τ·S^c) happens in Round 2. Charged as one SignGen there.
+        let mut w = Writer::new();
+        w.put_id(node.id).put_ubig(&share.z).put_ubig(&t);
+        node.ep.broadcast(
+            kind::ROUND1,
+            w.finish(),
+            InitialProtocol::ProposedGqBatch.round1_bits(),
+        );
+        node.zs[node.idx] = share.z.clone();
+        node.ts[node.idx] = t.clone();
+        node.share = Some(share);
+        node.tau = tau;
+        node.t = t;
+    });
+    // Drain: every node reads the other n−1 announcements.
+    par_for_each_mut(nodes, |_, node| {
+        for _ in 0..n - 1 {
+            let pkt = node.ep.recv_kind(kind::ROUND1);
+            let mut r = Reader::new(&pkt.payload);
+            let id = r.get_id().expect("well-formed round-1 id");
+            let z = r.get_ubig().expect("well-formed z");
+            let t = r.get_ubig().expect("well-formed t");
+            r.expect_end().expect("no trailing bytes");
+            let j = node
+                .ring
+                .iter()
+                .position(|&u| u == id)
+                .expect("round-1 sender is a ring member");
+            node.zs[j] = z;
+            node.ts[j] = t;
+        }
+    });
+}
+
+/// Round 2: every node computes `X_i`, the shared challenge `c = H(T, Z)`
+/// and its response `s_i`; `U_1` (ring index 0) broadcasts last.
+fn round2(params: &Params, nodes: &mut [Node], attempt: u32) {
+    let n = nodes.len();
+    par_for_each_mut(nodes, |_, node| {
+        let share = node.share.as_ref().expect("round 1 done");
+        let mut x = bd::round2_x(
+            &params.bd,
+            &share.r,
+            &node.zs[(node.idx + n - 1) % n],
+            &node.zs[(node.idx + 1) % n],
+        );
+        node.meter.record(CompOp::ModExp); // X_i
+        node.meter.record(CompOp::ModInv); // 1/z_{i-1} (negligible)
+        if let Some(Fault::CorruptX { on_attempt, .. }) = node.fault {
+            if on_attempt == attempt {
+                x = mod_mul(&x, &params.bd.g, &params.bd.p);
+            }
+        }
+        // Z = ∏ z_i, T = ∏ t_i, c = H(T, Z).
+        let z_prod = node
+            .zs
+            .iter()
+            .fold(Ubig::one(), |acc, z| mod_mul(&acc, z, &params.bd.p));
+        let t_agg = params.gq.aggregate_commitments(&node.ts);
+        node.bind = z_prod.to_bytes_be();
+        node.challenge = params.gq.shared_challenge(&t_agg, &node.bind);
+        node.meter.record(CompOp::Hash);
+        let mut s = params.gq.respond(&node.key, &node.tau, &node.challenge);
+        // Commit (Round 1) + respond: one GQ signature generation.
+        node.meter.record(CompOp::SignGen(Scheme::Gq));
+        if let Some(Fault::CorruptS { on_attempt, .. }) = node.fault {
+            if on_attempt == attempt {
+                s = mod_mul(&s, &Ubig::from_u64(3), &params.gq.n);
+            }
+        }
+        node.xs[node.idx] = x;
+        node.ss[node.idx] = s;
+    });
+    // Send phase with controller-last ordering: everyone except U_1 sends,
+    // then U_1 (having heard all m'_j) sends. Rounds are lockstep, so
+    // retransmitted attempts reuse the same message kind.
+    let send = |node: &Node| {
+        let mut w = Writer::new();
+        w.put_id(node.id)
+            .put_ubig(&node.xs[node.idx])
+            .put_ubig(&node.ss[node.idx]);
+        node.ep
+            .broadcast(kind::ROUND2, w.finish(), InitialProtocol::ProposedGqBatch.round2_bits());
+    };
+    for node in nodes.iter().skip(1) {
+        send(node);
+    }
+    // Controller drains the n−1 messages first (the paper's "U_1 broadcasts
+    // last"), then answers.
+    {
+        let controller = &mut nodes[0];
+        for _ in 0..n - 1 {
+            let pkt = controller.ep.recv_kind(kind::ROUND2);
+            store_round2(controller, &pkt.payload);
+        }
+        send(&nodes[0]);
+    }
+    // Everyone else drains the other n−1 messages (their own excluded).
+    par_for_each_mut(&mut nodes[1..], |_, node| {
+        for _ in 0..n - 1 {
+            let pkt = node.ep.recv_kind(kind::ROUND2);
+            store_round2(node, &pkt.payload);
+        }
+    });
+}
+
+fn store_round2(node: &mut Node, payload: &[u8]) {
+    let mut r = Reader::new(payload);
+    let id = r.get_id().expect("well-formed round-2 id");
+    let x = r.get_ubig().expect("well-formed X");
+    let s = r.get_ubig().expect("well-formed s");
+    r.expect_end().expect("no trailing bytes");
+    let j = node
+        .ring
+        .iter()
+        .position(|&u| u == id)
+        .expect("round-2 sender is a ring member");
+    node.xs[j] = x;
+    node.ss[j] = s;
+}
+
+/// Batch verification (eq. (2)) + Lemma 1 + key derivation. Returns whether
+/// the attempt succeeded on every node (the checks are deterministic and
+/// identical across nodes, so agreement is structural).
+fn verify_and_derive(params: &Params, nodes: &mut [Node]) -> bool {
+    let n = nodes.len();
+    let ok = std::sync::atomic::AtomicBool::new(true);
+    par_for_each_mut(nodes, |_, node| {
+        let ids: Vec<Vec<u8>> = node.ring.iter().map(|u| u.to_bytes().to_vec()).collect();
+        let id_refs: Vec<&[u8]> = ids.iter().map(|v| v.as_slice()).collect();
+        let batch_ok =
+            params
+                .gq
+                .aggregate_verify(&id_refs, &node.ss, &node.challenge, &node.bind);
+        // One priced batch verification, however it came out.
+        node.meter.record(CompOp::SignVerify(Scheme::Gq));
+        if !batch_ok {
+            ok.store(false, std::sync::atomic::Ordering::Relaxed);
+            return;
+        }
+        if !bd::lemma1_holds(&params.bd, &node.xs) {
+            ok.store(false, std::sync::atomic::Ordering::Relaxed);
+            return;
+        }
+        let share = node.share.as_ref().expect("round 1 done");
+        let ring: Vec<Ubig> = (0..n).map(|j| node.xs[(node.idx + j) % n].clone()).collect();
+        let key = bd::compute_key(
+            &params.bd,
+            &share.r,
+            &node.zs[(node.idx + n - 1) % n],
+            &ring,
+        );
+        node.meter.record(CompOp::ModExp); // the key exponentiation
+        node.derived = Some(key);
+    });
+    ok.load(std::sync::atomic::Ordering::Relaxed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::{Pkg, SecurityProfile};
+
+    fn setup(n: u32) -> (Params, Vec<GqSecretKey>) {
+        let mut rng = ChaChaRng::seed_from_u64(0x50524f50);
+        let pkg = Pkg::setup(&mut rng, SecurityProfile::Toy);
+        let keys = pkg.extract_group(n);
+        (pkg.params().clone(), keys)
+    }
+
+    #[test]
+    fn group_of_five_agrees() {
+        let (params, keys) = setup(5);
+        let (report, session) = run(&params, &keys, 42, RunConfig::default());
+        assert!(report.keys_agree());
+        assert_eq!(report.attempts, 1);
+        assert_eq!(session.members.len(), 5);
+        assert_eq!(&session.key, report.key());
+    }
+
+    #[test]
+    fn two_party_group_works() {
+        let (params, keys) = setup(2);
+        let (report, _) = run(&params, &keys, 7, RunConfig::default());
+        assert!(report.keys_agree());
+    }
+
+    #[test]
+    fn counts_match_table1_closed_form() {
+        let (params, keys) = setup(8);
+        let (report, _) = run(&params, &keys, 1, RunConfig::default());
+        let expect = InitialProtocol::ProposedGqBatch.per_user_counts(8);
+        for node in &report.nodes {
+            assert_eq!(node.counts.exps(), expect.exps(), "{}", node.id);
+            assert_eq!(
+                node.counts.get(CompOp::SignGen(Scheme::Gq)),
+                expect.get(CompOp::SignGen(Scheme::Gq))
+            );
+            assert_eq!(
+                node.counts.get(CompOp::SignVerify(Scheme::Gq)),
+                expect.get(CompOp::SignVerify(Scheme::Gq))
+            );
+            assert_eq!(node.counts.msgs_tx, expect.msgs_tx);
+            assert_eq!(node.counts.msgs_rx, expect.msgs_rx);
+            assert_eq!(node.counts.tx_bits, expect.tx_bits);
+            assert_eq!(node.counts.rx_bits, expect.rx_bits);
+        }
+    }
+
+    #[test]
+    fn keys_differ_across_runs() {
+        let (params, keys) = setup(3);
+        let (r1, _) = run(&params, &keys, 1, RunConfig::default());
+        let (r2, _) = run(&params, &keys, 2, RunConfig::default());
+        assert_ne!(r1.key(), r2.key());
+    }
+
+    #[test]
+    fn corrupt_x_triggers_one_retransmission() {
+        let (params, keys) = setup(4);
+        let config = RunConfig {
+            max_attempts: 3,
+            fault: Some(Fault::CorruptX { node: 2, on_attempt: 0 }),
+        };
+        let (report, _) = run(&params, &keys, 9, config);
+        assert!(report.keys_agree());
+        assert_eq!(report.attempts, 2, "one failed attempt, one clean");
+        // Traffic doubles relative to a clean run.
+        assert_eq!(report.nodes[0].counts.msgs_tx, 4);
+    }
+
+    #[test]
+    fn corrupt_s_triggers_one_retransmission() {
+        let (params, keys) = setup(4);
+        let config = RunConfig {
+            max_attempts: 3,
+            fault: Some(Fault::CorruptS { node: 1, on_attempt: 0 }),
+        };
+        let (report, _) = run(&params, &keys, 10, config);
+        assert!(report.keys_agree());
+        assert_eq!(report.attempts, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "did not converge")]
+    fn fault_with_no_retry_budget_panics() {
+        let (params, keys) = setup(3);
+        let config = RunConfig {
+            max_attempts: 1,
+            fault: Some(Fault::CorruptS { node: 1, on_attempt: 0 }),
+        };
+        let _ = run(&params, &keys, 11, config);
+    }
+}

@@ -1,0 +1,314 @@
+//! The Saeednia–Safavi-Naini (SSN) ID-based GKA baseline (Table 1, last
+//! column).
+//!
+//! The ACISP '98 paper is engineered here to the exact complexity profile
+//! the reproduced paper reports for it — `2n + 4` modular exponentiations
+//! per user, 2 messages transmitted, `2(n − 1)` received, no signature
+//! generations or verifications (authentication is *implicit*, per-sender,
+//! ID-based) — with 1024-bit ID-based values ("1024-bit SSN scheme"). See
+//! `DESIGN.md` (substitution table) for why this preserves every behaviour
+//! the evaluation depends on.
+//!
+//! Structure (a BD ring with per-sender GQ-style implicit authentication):
+//!
+//! ```text
+//! Round 1:  m_i  = U_i ‖ z_i ‖ t_i        z_i = g^{r_i}, t_i = τ_i^e   [2 exp]
+//! Round 2:  m'_i = U_i ‖ X_i ‖ s_i        c_i = H(U_i, z_i, X_i, t_i, Z)
+//!                                         s_i = τ_i·S_{U_i}^{c_i}      [2 exp]
+//! Check:    ∀j:  t_j == s_j^e · H(U_j)^{−c_j}                      [2 exp each]
+//! Key:      K' = K_BD^{H_q(Z)}   (key-confirmation exponent)        [1 + 1 exp]
+//! ```
+//!
+//! Unlike the proposed protocol's single batch check, each user verifies
+//! every other member **individually** — the `2(n − 1)` verification
+//! exponentiations are exactly what makes SSN's column grow with `n`
+//! (and what the proposed protocol's batch verification eliminates).
+
+use egka_bigint::{mod_mul, mod_pow, Ubig};
+use egka_energy::complexity::InitialProtocol;
+use egka_energy::{CompOp, Meter};
+use egka_hash::{hash_to_below, ChaChaRng};
+use egka_net::{Endpoint, Medium};
+use egka_sig::GqSecretKey;
+use rand::SeedableRng;
+
+use crate::bd;
+use crate::ident::UserId;
+use crate::params::Params;
+use crate::par::par_for_each_mut;
+use crate::proposed::{NodeReport, RunReport};
+use crate::wire::{kind, Reader, Writer};
+
+struct Node {
+    idx: usize,
+    id: UserId,
+    key: GqSecretKey,
+    ep: Endpoint,
+    meter: Meter,
+    rng: ChaChaRng,
+    share: Option<bd::Share>,
+    tau: Ubig,
+    zs: Vec<Ubig>,
+    ts: Vec<Ubig>,
+    xs: Vec<Ubig>,
+    ss: Vec<Ubig>,
+    derived: Option<Ubig>,
+}
+
+/// The per-sender implicit-authentication challenge
+/// `c_j = H(U_j ‖ z_j ‖ X_j ‖ t_j ‖ Z)`, reduced into `Z_e`' challenge
+/// space (160 bits).
+fn challenge(params: &Params, id: UserId, z: &Ubig, x: &Ubig, t: &Ubig, z_prod: &Ubig) -> Ubig {
+    let mut w = Writer::new();
+    w.put_id(id).put_ubig(z).put_ubig(x).put_ubig(t).put_ubig(z_prod);
+    egka_hash::challenge_hash(&[&w.finish()])
+        .rem_ref(&params.gq.e)
+}
+
+/// Runs the SSN protocol for `keys.len()` users.
+///
+/// # Panics
+/// Panics on any failed implicit-authentication check (honest runs only).
+pub fn run(params: &Params, keys: &[GqSecretKey], seed: u64) -> RunReport {
+    let n = keys.len();
+    assert!(n >= 2, "a group needs at least two members");
+    // This baseline is only exercised on freshly numbered groups; the
+    // proposed protocol is the one that composes with dynamic events.
+    assert!(
+        keys.iter()
+            .enumerate()
+            .all(|(i, k)| k.id == UserId(i as u32).to_bytes()),
+        "SSN driver expects identities U0..U{}",
+        n - 1
+    );
+    let medium = Medium::new();
+    let proto = InitialProtocol::Ssn;
+    let mut nodes: Vec<Node> = (0..n)
+        .map(|i| Node {
+            idx: i,
+            id: UserId(i as u32),
+            key: keys[i].clone(),
+            ep: medium.join(),
+            meter: Meter::new(),
+            rng: ChaChaRng::seed_from_u64(seed ^ (i as u64).wrapping_mul(0xd6e8_feb8_6659_fd93)),
+            share: None,
+            tau: Ubig::zero(),
+            zs: vec![Ubig::zero(); n],
+            ts: vec![Ubig::zero(); n],
+            xs: vec![Ubig::zero(); n],
+            ss: vec![Ubig::zero(); n],
+            derived: None,
+        })
+        .collect();
+
+    // ---- Round 1 ----
+    par_for_each_mut(&mut nodes, |_, node| {
+        let share = bd::round1_share(&mut node.rng, &params.bd);
+        node.meter.record(CompOp::ModExp); // z_i
+        let (tau, t) = params.gq.commit(&mut node.rng);
+        node.meter.record(CompOp::ModExp); // t_i = τ^e (priced individually here)
+        let mut w = Writer::new();
+        w.put_id(node.id).put_ubig(&share.z).put_ubig(&t);
+        node.ep.broadcast(kind::ROUND1, w.finish(), proto.round1_bits());
+        node.zs[node.idx] = share.z.clone();
+        node.ts[node.idx] = t;
+        node.tau = tau;
+        node.share = Some(share);
+    });
+    par_for_each_mut(&mut nodes, |_, node| {
+        for _ in 0..n - 1 {
+            let pkt = node.ep.recv_kind(kind::ROUND1);
+            let mut r = Reader::new(&pkt.payload);
+            let id = r.get_id().expect("round-1 id");
+            let z = r.get_ubig().expect("round-1 z");
+            let t = r.get_ubig().expect("round-1 t");
+            r.expect_end().expect("no trailing bytes");
+            let j = id.0 as usize;
+            node.zs[j] = z;
+            node.ts[j] = t;
+        }
+    });
+
+    // ---- Round 2 ----
+    par_for_each_mut(&mut nodes, |_, node| {
+        let share = node.share.as_ref().expect("round 1 done");
+        let x = bd::round2_x(
+            &params.bd,
+            &share.r,
+            &node.zs[(node.idx + n - 1) % n],
+            &node.zs[(node.idx + 1) % n],
+        );
+        node.meter.record(CompOp::ModExp); // X_i
+        node.meter.record(CompOp::ModInv);
+        let z_prod = node
+            .zs
+            .iter()
+            .fold(Ubig::one(), |acc, z| mod_mul(&acc, z, &params.bd.p));
+        let c = challenge(params, node.id, &share.z, &x, &node.ts[node.idx], &z_prod);
+        let s = params.gq.respond(&node.key, &node.tau, &c);
+        node.meter.record(CompOp::ModExp); // S^{c_i}
+        node.xs[node.idx] = x;
+        node.ss[node.idx] = s;
+    });
+    let send = |node: &Node| {
+        let mut w = Writer::new();
+        w.put_id(node.id)
+            .put_ubig(&node.xs[node.idx])
+            .put_ubig(&node.ss[node.idx]);
+        node.ep.broadcast(kind::ROUND2, w.finish(), proto.round2_bits());
+    };
+    for node in nodes.iter().skip(1) {
+        send(node);
+    }
+    {
+        let controller = &mut nodes[0];
+        for _ in 0..n - 1 {
+            let pkt = controller.ep.recv_kind(kind::ROUND2);
+            store_round2(controller, &pkt.payload);
+        }
+        send(&nodes[0]);
+    }
+    par_for_each_mut(&mut nodes[1..], |_, node| {
+        for _ in 0..n - 1 {
+            let pkt = node.ep.recv_kind(kind::ROUND2);
+            store_round2(node, &pkt.payload);
+        }
+    });
+
+    // ---- Per-sender implicit authentication + key ----
+    par_for_each_mut(&mut nodes, |_, node| {
+        let z_prod = node
+            .zs
+            .iter()
+            .fold(Ubig::one(), |acc, z| mod_mul(&acc, z, &params.bd.p));
+        for j in 0..n {
+            if j == node.idx {
+                continue;
+            }
+            let c = challenge(
+                params,
+                UserId(j as u32),
+                &node.zs[j],
+                &node.xs[j],
+                &node.ts[j],
+                &z_prod,
+            );
+            // t_j == s_j^e · H(U_j)^{−c_j}: two modular exponentiations.
+            let se = mod_pow(&node.ss[j], &params.gq.e, &params.gq.n);
+            node.meter.record(CompOp::ModExp);
+            let h = params.gq.hash_id(&UserId(j as u32).to_bytes());
+            let h_inv = egka_bigint::mod_inverse(&h, &params.gq.n).expect("unit");
+            let hc = mod_pow(&h_inv, &c, &params.gq.n);
+            node.meter.record(CompOp::ModExp);
+            node.meter.record(CompOp::ModInv);
+            let t_rec = mod_mul(&se, &hc, &params.gq.n);
+            assert_eq!(t_rec, node.ts[j], "implicit authentication of U{j} failed");
+        }
+        let share = node.share.as_ref().expect("round 1 done");
+        let ring: Vec<Ubig> = (0..n).map(|k| node.xs[(node.idx + k) % n].clone()).collect();
+        let k_bd = bd::compute_key(
+            &params.bd,
+            &share.r,
+            &node.zs[(node.idx + n - 1) % n],
+            &ring,
+        );
+        node.meter.record(CompOp::ModExp); // BD key
+        // Key confirmation exponent: K' = K_BD^{H_q(Z)}.
+        let kc = hash_to_below(b"egka.ssn.confirm.v1", &z_prod.to_bytes_be(), &params.bd.q);
+        let key = mod_pow(&k_bd, &kc, &params.bd.p);
+        node.meter.record(CompOp::ModExp);
+        node.derived = Some(key);
+    });
+
+    let nodes_out: Vec<NodeReport> = nodes
+        .iter()
+        .map(|node| {
+            let mut counts = node.meter.snapshot();
+            let stats = medium.stats(node.ep.id());
+            counts.tx_bits = stats.tx_bits;
+            counts.rx_bits = stats.rx_bits;
+            counts.tx_bits_actual = stats.tx_bits_actual;
+            counts.rx_bits_actual = stats.rx_bits_actual;
+            counts.msgs_tx = stats.msgs_tx;
+            counts.msgs_rx = stats.msgs_rx;
+            NodeReport {
+                id: node.id,
+                key: node.derived.clone().expect("derived"),
+                counts,
+            }
+        })
+        .collect();
+    let report = RunReport { nodes: nodes_out, attempts: 1 };
+    assert!(report.keys_agree(), "SSN keys must agree");
+    report
+}
+
+fn store_round2(node: &mut Node, payload: &[u8]) {
+    let mut r = Reader::new(payload);
+    let id = r.get_id().expect("round-2 id");
+    let x = r.get_ubig().expect("round-2 X");
+    let s = r.get_ubig().expect("round-2 s");
+    r.expect_end().expect("no trailing bytes");
+    let j = id.0 as usize;
+    node.xs[j] = x;
+    node.ss[j] = s;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::{Pkg, SecurityProfile};
+
+    fn setup(n: u32) -> (Params, Vec<GqSecretKey>) {
+        let mut rng = ChaChaRng::seed_from_u64(0x53534e);
+        let pkg = Pkg::setup(&mut rng, SecurityProfile::Toy);
+        (pkg.params().clone(), pkg.extract_group(n))
+    }
+
+    #[test]
+    fn group_agrees() {
+        let (params, keys) = setup(5);
+        let report = run(&params, &keys, 1);
+        assert!(report.keys_agree());
+    }
+
+    #[test]
+    fn exponent_count_is_2n_plus_4() {
+        for n in [2u32, 3, 6, 9] {
+            let (params, keys) = setup(n);
+            let report = run(&params, &keys, 2);
+            let expect = InitialProtocol::Ssn.per_user_counts(n as u64);
+            for node in &report.nodes {
+                assert_eq!(
+                    node.counts.exps(),
+                    expect.exps(),
+                    "n = {n}, {}",
+                    node.id
+                );
+                assert_eq!(node.counts.msgs_tx, 2);
+                assert_eq!(node.counts.msgs_rx, 2 * (n as u64 - 1));
+                assert_eq!(node.counts.tx_bits, expect.tx_bits);
+                assert_eq!(node.counts.rx_bits, expect.rx_bits);
+            }
+        }
+    }
+
+    #[test]
+    fn no_signature_ops_are_recorded() {
+        let (params, keys) = setup(4);
+        let report = run(&params, &keys, 3);
+        use egka_energy::Scheme;
+        for node in &report.nodes {
+            for s in Scheme::ALL {
+                assert_eq!(node.counts.get(CompOp::SignGen(s)), 0);
+                assert_eq!(node.counts.get(CompOp::SignVerify(s)), 0);
+            }
+        }
+    }
+
+    #[test]
+    fn keys_differ_across_runs() {
+        let (params, keys) = setup(3);
+        assert_ne!(run(&params, &keys, 10).key(), run(&params, &keys, 11).key());
+    }
+}

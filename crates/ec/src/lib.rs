@@ -1,0 +1,37 @@
+//! # egka-ec
+//!
+//! From-scratch elliptic-curve arithmetic for the `egka` reproduction of
+//! Tan & Teo, *"Energy-Efficient ID-based Group Key Agreement Protocols for
+//! Wireless Networks"* (IPPS 2006).
+//!
+//! The paper prices two elliptic-curve primitives (Table 2):
+//!
+//! * **EC scalar multiplication** (8.8 mJ) — the cost unit of ECDSA, the
+//!   certificate-based baseline of Tables 1/4/5;
+//! * **Tate pairing** (47.0 mJ) and **MapToPoint** (18.4 mJ) — the cost
+//!   units of the SOK ID-based signature baseline.
+//!
+//! This crate provides the real machinery behind those rows:
+//!
+//! * [`field`] — prime fields `F_p` (Montgomery-backed) and the quadratic
+//!   extension `F_p²` with `i² = −1`;
+//! * [`curve`] — short-Weierstrass curves, Jacobian arithmetic, wNAF scalar
+//!   multiplication, SEC1 point compression;
+//! * [`curves`] — secp160r1 (the paper's 160-bit ECDSA curve), secp192r1,
+//!   secp256k1 and a toy curve for exhaustive tests;
+//! * [`pairing`] — the modified Tate pairing on a supersingular curve
+//!   `y² = x³ + x` with embedding degree 2 (BKLS denominator elimination),
+//!   plus MapToPoint hashing and pairing-group parameter generation.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod curve;
+pub mod curves;
+pub mod field;
+pub mod pairing;
+
+pub use curve::{Curve, Point};
+pub use curves::{secp160r1, secp192r1, secp256k1, tiny19};
+pub use field::{Fp, Fp2, Fp2El};
+pub use pairing::{gen_pairing_group, PairingGroup};

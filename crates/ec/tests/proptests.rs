@@ -1,0 +1,109 @@
+//! Property tests on the elliptic-curve substrate: field axioms, curve
+//! group laws (on both the exhaustive toy curve and secp160r1), point
+//! compression, and pairing bilinearity.
+
+use egka_bigint::{mod_add, mod_mul, Ubig};
+use egka_ec::{secp160r1, tiny19, Curve, Fp, PairingGroup, Point};
+use proptest::prelude::*;
+
+fn fp160() -> Fp {
+    secp160r1().field().clone()
+}
+
+/// Deterministic pseudo-element of a field from a u64 seed.
+fn elem(f: &Fp, seed: u64) -> Ubig {
+    f.reduce(&Ubig::from_u64(seed).mul_ref(&Ubig::from_hex("9e3779b97f4a7c15f39cc0605cedc835").unwrap()))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn field_ring_axioms(a in any::<u64>(), b in any::<u64>(), c in any::<u64>()) {
+        let f = fp160();
+        let (a, b, c) = (elem(&f, a), elem(&f, b), elem(&f, c));
+        // commutativity + associativity + distributivity
+        prop_assert_eq!(f.add(&a, &b), f.add(&b, &a));
+        prop_assert_eq!(f.mul(&a, &b), f.mul(&b, &a));
+        prop_assert_eq!(f.add(&f.add(&a, &b), &c), f.add(&a, &f.add(&b, &c)));
+        prop_assert_eq!(f.mul(&f.mul(&a, &b), &c), f.mul(&a, &f.mul(&b, &c)));
+        prop_assert_eq!(
+            f.mul(&a, &f.add(&b, &c)),
+            f.add(&f.mul(&a, &b), &f.mul(&a, &c))
+        );
+        // additive/multiplicative inverses
+        prop_assert!(f.add(&a, &f.neg(&a)).is_zero());
+        if !a.is_zero() {
+            prop_assert!(f.mul(&a, &f.inv(&a).unwrap()).is_one());
+        }
+        // squares have roots (p ≡ 3 mod 4)
+        let sq = f.sqr(&a);
+        let r = f.sqrt(&sq).unwrap();
+        prop_assert_eq!(f.sqr(&r), sq);
+    }
+
+    #[test]
+    fn scalar_mul_is_homomorphic(a in 1u64..u64::MAX, b in 1u64..u64::MAX) {
+        let c = secp160r1();
+        let (ka, kb) = (Ubig::from_u64(a), Ubig::from_u64(b));
+        // (a+b)G = aG + bG
+        let sum = mod_add(&ka, &kb, c.order());
+        prop_assert_eq!(
+            c.mul_gen(&sum),
+            c.add(&c.mul_gen(&ka), &c.mul_gen(&kb))
+        );
+        // a(bG) = (ab)G
+        let prod = mod_mul(&ka, &kb, c.order());
+        let bg = c.mul_gen(&kb);
+        prop_assert_eq!(c.mul(&ka, &bg), c.mul_gen(&prod));
+    }
+
+    #[test]
+    fn points_stay_on_curve_and_compress(k in 1u64..u64::MAX) {
+        let c = secp160r1();
+        let p = c.mul_gen(&Ubig::from_u64(k));
+        prop_assert!(c.is_on_curve(&p));
+        prop_assert_eq!(c.decompress(&c.compress(&p)), Some(p));
+    }
+
+    #[test]
+    fn tiny_curve_full_group_law(i in 0u64..21, j in 0u64..21) {
+        let c: Curve = tiny19();
+        let g = c.generator().clone();
+        let p = c.mul_raw(&Ubig::from_u64(i), &g);
+        let q = c.mul_raw(&Ubig::from_u64(j), &g);
+        let direct = c.add(&p, &q);
+        let via_scalar = c.mul_raw(&Ubig::from_u64(i + j), &g);
+        prop_assert_eq!(direct, via_scalar);
+        // negation: P + (−P) = ∞
+        prop_assert!(c.add(&p, &c.neg(&p)).is_infinity());
+    }
+}
+
+proptest! {
+    // Pairings are expensive; fewer cases.
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn pairing_bilinearity(a in 1u64..1_000_000, b in 1u64..1_000_000) {
+        use egka_hash::ChaChaRng;
+        use rand::SeedableRng;
+        let mut rng = ChaChaRng::seed_from_u64(0x70726f70);
+        let g = egka_ec::gen_pairing_group(&mut rng, 80, 48);
+        let gen: Point = g.curve().generator().clone();
+        let (ka, kb) = (Ubig::from_u64(a), Ubig::from_u64(b));
+        let lhs = g.pairing(&g.curve().mul(&ka, &gen), &g.curve().mul(&kb, &gen));
+        let ab = mod_mul(&ka, &kb, g.order());
+        let rhs = g.fp2().pow(&g.pairing(&gen, &gen), &ab);
+        prop_assert_eq!(lhs, rhs);
+    }
+}
+
+#[test]
+fn fixture_pairing_group_is_reusable() {
+    // Not a proptest (expensive); pins that the 194-bit fixture behaves.
+    let g = PairingGroup::paper_fixture();
+    let p = g.map_to_point(b"prop-fixture");
+    assert!(g.curve().is_on_curve(&p));
+    assert!(g.curve().mul_raw(g.order(), &p).is_infinity());
+}

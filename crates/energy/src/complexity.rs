@@ -1,0 +1,729 @@
+//! Closed-form per-user operation counts — the paper's Tables 1 and 4, and
+//! the per-role breakdown behind Table 5.
+//!
+//! Every function here produces the same [`OpCounts`] shape that the
+//! instrumented protocol runs produce, so `egka-sim` can diff them
+//! (`closed_form == instrumented` is asserted by integration tests for the
+//! sizes we actually execute).
+//!
+//! ## Reverse-engineered accounting conventions
+//!
+//! Reconstructing Table 5's printed joules pins down three conventions the
+//! paper never states explicitly (all three are encoded here and documented
+//! in `EXPERIMENTS.md`):
+//!
+//! 1. **Intended recipients only.** A node is charged reception only for
+//!    messages it *uses* (e.g. the Join announcement `m_{n+1}` is charged to
+//!    `U_1` and `U_n` but not to bystanders), matching duty-cycled radios.
+//! 2. **Certificate verification is cached.** Re-running BD after a Join
+//!    charges returning members one certificate verification (the
+//!    newcomer's); the newcomer pays for all `n`. (BD-Join `U_1..U_n` =
+//!    1.234 J vs `U_{n+1}` = 2.31 J is reproduced only under this rule.)
+//! 3. **Envelopes cost their plaintext size.** `E_K(K*||U_1)` is priced at
+//!    `1024 + 32` bits — no IV/tag/padding overhead. The real envelope's
+//!    overhead is measured separately as an ablation.
+//!
+//! Where the paper's own tables disagree with each other (Table 4's "2 sign
+//! gen, n+3 verifications" for re-executed BD vs Table 1/Table 5's "1 gen,
+//! n−1 verifications"), we implement the Table 1/Table 5 convention — it is
+//! the one whose joules the paper actually prints — and keep Table 4's
+//! symbolic strings verbatim for display.
+
+use crate::ops::{CompOp, OpCounts, Scheme};
+use crate::radio::wire;
+
+/// The five initial-GKA columns of Table 1.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum InitialProtocol {
+    /// The paper's proposal: BD + GQ batch verification.
+    ProposedGqBatch,
+    /// BD authenticated with SOK (pairing) signatures.
+    BdSok,
+    /// BD authenticated with ECDSA + certificates.
+    BdEcdsa,
+    /// BD authenticated with DSA + certificates.
+    BdDsa,
+    /// The Saeednia–Safavi-Naini ID-based scheme.
+    Ssn,
+}
+
+impl InitialProtocol {
+    /// All columns in Table 1 order.
+    pub const ALL: [InitialProtocol; 5] = [
+        InitialProtocol::ProposedGqBatch,
+        InitialProtocol::BdSok,
+        InitialProtocol::BdEcdsa,
+        InitialProtocol::BdDsa,
+        InitialProtocol::Ssn,
+    ];
+
+    /// Column header as printed in the paper.
+    pub fn name(self) -> &'static str {
+        match self {
+            InitialProtocol::ProposedGqBatch => "Our Prop. sch.",
+            InitialProtocol::BdSok => "BD with SOK",
+            InitialProtocol::BdEcdsa => "BD with ECDSA",
+            InitialProtocol::BdDsa => "BD with DSA",
+            InitialProtocol::Ssn => "SSN sch.",
+        }
+    }
+
+    /// Short machine-friendly key (CSV columns, bench ids).
+    pub fn key(self) -> &'static str {
+        match self {
+            InitialProtocol::ProposedGqBatch => "proposed",
+            InitialProtocol::BdSok => "bd_sok",
+            InitialProtocol::BdEcdsa => "bd_ecdsa",
+            InitialProtocol::BdDsa => "bd_dsa",
+            InitialProtocol::Ssn => "ssn",
+        }
+    }
+
+    /// Nominal bits of the Round-1 broadcast `m_i`.
+    pub fn round1_bits(self) -> u64 {
+        match self {
+            // U_i || z_i || t_i
+            InitialProtocol::ProposedGqBatch => wire::ID_BITS + wire::Z_BITS + wire::T_BITS,
+            // U_i || z_i (ID-based, no cert)
+            InitialProtocol::BdSok => wire::ID_BITS + wire::Z_BITS,
+            // U_i || z_i || cert
+            InitialProtocol::BdEcdsa => {
+                wire::ID_BITS + wire::Z_BITS + wire::cert_bits(Scheme::Ecdsa)
+            }
+            InitialProtocol::BdDsa => wire::ID_BITS + wire::Z_BITS + wire::cert_bits(Scheme::Dsa),
+            // U_i || z_i || t_i (ID-based implicit-authentication tag)
+            InitialProtocol::Ssn => wire::ID_BITS + wire::Z_BITS + wire::T_BITS,
+        }
+    }
+
+    /// Nominal bits of the Round-2 broadcast `m'_i`.
+    pub fn round2_bits(self) -> u64 {
+        match self {
+            // U_i || X_i || s_i  (the shared challenge c is recomputed, only
+            // the 1024-bit response travels)
+            InitialProtocol::ProposedGqBatch => {
+                wire::ID_BITS + wire::X_BITS + wire::GQ_S_ONLY_BITS
+            }
+            // U_i || X_i || σ_i
+            InitialProtocol::BdSok => wire::ID_BITS + wire::X_BITS + wire::sig_bits(Scheme::Sok),
+            InitialProtocol::BdEcdsa => {
+                wire::ID_BITS + wire::X_BITS + wire::sig_bits(Scheme::Ecdsa)
+            }
+            InitialProtocol::BdDsa => wire::ID_BITS + wire::X_BITS + wire::sig_bits(Scheme::Dsa),
+            // U_i || X_i || s_i (implicit-authentication response)
+            InitialProtocol::Ssn => wire::ID_BITS + wire::X_BITS + wire::GQ_S_ONLY_BITS,
+        }
+    }
+
+    /// Closed-form per-user counts for the initial GKA at group size `n`
+    /// (Table 1 column evaluated at `n`, plus the traffic the energy model
+    /// needs for Figure 1).
+    ///
+    /// # Panics
+    /// Panics if `n < 2`.
+    pub fn per_user_counts(self, n: u64) -> OpCounts {
+        assert!(n >= 2, "a group needs at least two members");
+        let mut c = OpCounts::new();
+        // All five protocols transmit 2 messages and receive 2(n−1).
+        c.msgs_tx = 2;
+        c.msgs_rx = 2 * (n - 1);
+        c.tx_bits = self.round1_bits() + self.round2_bits();
+        c.rx_bits = (n - 1) * (self.round1_bits() + self.round2_bits());
+        match self {
+            InitialProtocol::ProposedGqBatch => {
+                c.add(CompOp::ModExp, 3);
+                c.add(CompOp::SignGen(Scheme::Gq), 1);
+                c.add(CompOp::SignVerify(Scheme::Gq), 1); // the single batch check
+            }
+            InitialProtocol::BdSok => {
+                c.add(CompOp::ModExp, 3);
+                c.add(CompOp::MapToPoint, n - 1);
+                c.add(CompOp::SignGen(Scheme::Sok), 1);
+                c.add(CompOp::SignVerify(Scheme::Sok), n - 1);
+            }
+            InitialProtocol::BdEcdsa => {
+                c.add(CompOp::ModExp, 3);
+                c.add(CompOp::SignGen(Scheme::Ecdsa), 1);
+                c.add(CompOp::SignVerify(Scheme::Ecdsa), n - 1);
+                c.add(CompOp::CertVerify(Scheme::Ecdsa), n - 1);
+            }
+            InitialProtocol::BdDsa => {
+                c.add(CompOp::ModExp, 3);
+                c.add(CompOp::SignGen(Scheme::Dsa), 1);
+                c.add(CompOp::SignVerify(Scheme::Dsa), n - 1);
+                c.add(CompOp::CertVerify(Scheme::Dsa), n - 1);
+            }
+            InitialProtocol::Ssn => {
+                c.add(CompOp::ModExp, 2 * n + 4);
+            }
+        }
+        c
+    }
+}
+
+/// A row of the symbolic Table 1, exactly as printed.
+#[derive(Clone, Copy, Debug)]
+pub struct Table1Symbolic {
+    /// Row label.
+    pub row: &'static str,
+    /// One entry per protocol column (Table 1 order).
+    pub entries: [&'static str; 5],
+}
+
+/// The paper's Table 1, verbatim.
+pub fn table1_symbolic() -> [Table1Symbolic; 9] {
+    [
+        Table1Symbolic { row: "Exp.", entries: ["3", "3", "3", "3", "2n+4"] },
+        Table1Symbolic { row: "Msg Tx", entries: ["2", "2", "2", "2", "2"] },
+        Table1Symbolic {
+            row: "Msg Rx",
+            entries: ["2(n-1)", "2(n-1)", "2(n-1)", "2(n-1)", "2(n-1)"],
+        },
+        Table1Symbolic { row: "Cert Tx", entries: ["-", "-", "1", "1", "-"] },
+        Table1Symbolic { row: "Cert Rx", entries: ["-", "-", "n-1", "n-1", "-"] },
+        Table1Symbolic { row: "Cert Ver", entries: ["-", "-", "n-1", "n-1", "-"] },
+        Table1Symbolic { row: "MapToPt", entries: ["-", "n-1", "-", "-", "-"] },
+        Table1Symbolic { row: "Sign Gen", entries: ["1", "1", "1", "1", "-"] },
+        Table1Symbolic { row: "Sign Ver", entries: ["1", "n-1", "n-1", "n-1", "-"] },
+    ]
+}
+
+/// The four dynamic membership events.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum DynamicEvent {
+    /// One user joins.
+    Join,
+    /// One user leaves.
+    Leave,
+    /// Two groups merge.
+    Merge,
+    /// `ld` users are partitioned away.
+    Partition,
+}
+
+impl DynamicEvent {
+    /// All events, Table 4 order.
+    pub const ALL: [DynamicEvent; 4] = [
+        DynamicEvent::Join,
+        DynamicEvent::Leave,
+        DynamicEvent::Merge,
+        DynamicEvent::Partition,
+    ];
+
+    /// Single-letter tag as in Table 4.
+    pub fn tag(self) -> char {
+        match self {
+            DynamicEvent::Join => 'J',
+            DynamicEvent::Leave => 'L',
+            DynamicEvent::Merge => 'M',
+            DynamicEvent::Partition => 'P',
+        }
+    }
+
+    /// Full name.
+    pub fn name(self) -> &'static str {
+        match self {
+            DynamicEvent::Join => "Join",
+            DynamicEvent::Leave => "Leave",
+            DynamicEvent::Merge => "Merge",
+            DynamicEvent::Partition => "Partition",
+        }
+    }
+}
+
+/// One row of the symbolic Table 4, exactly as printed.
+#[derive(Clone, Copy, Debug)]
+pub struct Table4Row {
+    /// "BD" or "Prop. Sch.".
+    pub protocol: &'static str,
+    /// Event tag.
+    pub event: char,
+    /// Rounds.
+    pub rounds: &'static str,
+    /// Total messages.
+    pub msgs: &'static str,
+    /// Exponentiations (with the paper's footnote letter).
+    pub exps: &'static str,
+    /// Signature generations.
+    pub sign_gen: &'static str,
+    /// Signature verifications.
+    pub sign_ver: &'static str,
+}
+
+/// The paper's Table 4, verbatim (including its internal inconsistency with
+/// Table 1/5 over BD's signature counts — see module docs).
+pub fn table4_symbolic() -> [Table4Row; 8] {
+    [
+        Table4Row { protocol: "BD", event: 'J', rounds: "2", msgs: "2n+2", exps: "3 (a)", sign_gen: "2", sign_ver: "n+3" },
+        Table4Row { protocol: "BD", event: 'L', rounds: "2", msgs: "2n-2", exps: "3 (a)", sign_gen: "2", sign_ver: "n+1" },
+        Table4Row { protocol: "BD", event: 'M', rounds: "2", msgs: "2n+2m+2", exps: "3 (a)", sign_gen: "2", sign_ver: "n+m+2" },
+        Table4Row { protocol: "BD", event: 'P', rounds: "2", msgs: "2n-2ld+2", exps: "3 (a)", sign_gen: "2", sign_ver: "n-ld+2" },
+        Table4Row { protocol: "Prop. Sch.", event: 'J', rounds: "3", msgs: "5", exps: "2 (b)", sign_gen: "1", sign_ver: "1" },
+        Table4Row { protocol: "Prop. Sch.", event: 'L', rounds: "2", msgs: "v+n-2", exps: "3 (c)", sign_gen: "1", sign_ver: "1" },
+        Table4Row { protocol: "Prop. Sch.", event: 'M', rounds: "3", msgs: "6(k-1)", exps: "4 (d)", sign_gen: "1", sign_ver: "1" },
+        Table4Row { protocol: "Prop. Sch.", event: 'P', rounds: "2", msgs: "v+n-2ld", exps: "3 (c)", sign_gen: "1", sign_ver: "1" },
+    ]
+}
+
+/// Per-role closed-form counts for one dynamic event.
+#[derive(Clone, Debug)]
+pub struct RoleCounts {
+    /// Role name as used in Table 5 ("U1", "Un", "Un+1", "Others", ...).
+    pub role: &'static str,
+    /// How many nodes play this role.
+    pub population: u64,
+    /// Per-node counts.
+    pub counts: OpCounts,
+}
+
+// ----- nominal message sizes of the proposed dynamic protocols -----
+
+/// `E_K(K* || U)`: a 1024-bit key plus a 32-bit identity, envelope priced at
+/// plaintext size (accounting convention 3).
+pub const ENV_KEY_BITS: u64 = wire::Z_BITS + wire::ID_BITS;
+
+/// Join round 1: `U_{n+1} || z_{n+1} || σ_{n+1}` (full GQ signature).
+pub const JOIN_M_NEW_BITS: u64 = wire::ID_BITS + wire::Z_BITS + wire::GQ_SIG_BITS;
+/// Join round 2 (controller): `U_1 || E_K(K*||U_1)`.
+pub const JOIN_M1_BITS: u64 = wire::ID_BITS + ENV_KEY_BITS;
+/// Join round 2 (sponsor): `U_n || E_K(K_DH||U_n) || z_n || σ''_n`.
+pub const JOIN_MN_BITS: u64 =
+    wire::ID_BITS + ENV_KEY_BITS + wire::Z_BITS + wire::GQ_SIG_BITS;
+/// Join round 3 (sponsor→newcomer unicast): `U_n || E_{K_DH}(K*||U_n)`.
+pub const JOIN_MNN_BITS: u64 = wire::ID_BITS + ENV_KEY_BITS;
+
+/// Merge round 1: `U || z̃ || z_edge || σ` per controller.
+pub const MERGE_R1_BITS: u64 = wire::ID_BITS + 2 * wire::Z_BITS + wire::GQ_SIG_BITS;
+/// Merge round 2: `U || E_{K_group}(K*||U) || E_{K_DH}(K*||U)`.
+pub const MERGE_R2_BITS: u64 = wire::ID_BITS + 2 * ENV_KEY_BITS;
+/// Merge round 3: `U || E_{K_group}(K*_other||U)`.
+pub const MERGE_R3_BITS: u64 = wire::ID_BITS + ENV_KEY_BITS;
+
+/// Leave/Partition round 1: `U_j || z'_j || t'_j`.
+pub const LP_R1_BITS: u64 = wire::ID_BITS + wire::Z_BITS + wire::T_BITS;
+/// Leave/Partition round 2: `U_i || X'_i || s̄_i`.
+pub const LP_R2_BITS: u64 = wire::ID_BITS + wire::X_BITS + wire::GQ_S_ONLY_BITS;
+
+/// Closed-form per-role counts for the **proposed Join** at current group
+/// size `n` (new group size `n + 1`).
+///
+/// # Panics
+/// Panics if `n < 3` (the protocol distinguishes `U_1`, `U_n` and at least
+/// one bystander).
+pub fn proposed_join(n: u64) -> Vec<RoleCounts> {
+    assert!(n >= 3, "Join roles need n >= 3");
+    // U1 (controller): verifies σ_{n+1}, 2 exps for K*, sends m'_1 to the
+    // old group; hears m_{n+1} and m''_n.
+    let mut u1 = OpCounts::new();
+    u1.add(CompOp::SignVerify(Scheme::Gq), 1);
+    u1.add(CompOp::ModExp, 2);
+    u1.add(CompOp::SymEnc, 1);
+    u1.msgs_tx = 1;
+    u1.tx_bits = JOIN_M1_BITS;
+    u1.msgs_rx = 2;
+    u1.rx_bits = JOIN_M_NEW_BITS + JOIN_MN_BITS;
+
+    // Un (sponsor): verifies σ_{n+1}, 1 exp for the DH key, signs m''_n,
+    // decrypts K*, re-encrypts it for the newcomer.
+    let mut un = OpCounts::new();
+    un.add(CompOp::SignVerify(Scheme::Gq), 1);
+    un.add(CompOp::ModExp, 1);
+    un.add(CompOp::SignGen(Scheme::Gq), 1);
+    un.add(CompOp::SymEnc, 2);
+    un.add(CompOp::SymDec, 1);
+    un.msgs_tx = 2;
+    un.tx_bits = JOIN_MN_BITS + JOIN_MNN_BITS;
+    un.msgs_rx = 2;
+    un.rx_bits = JOIN_M_NEW_BITS + JOIN_M1_BITS;
+
+    // U_{n+1} (newcomer): signs its announcement, 2 exps (z and DH),
+    // verifies σ''_n, decrypts K*.
+    let mut new = OpCounts::new();
+    new.add(CompOp::SignGen(Scheme::Gq), 1);
+    new.add(CompOp::ModExp, 2);
+    new.add(CompOp::SignVerify(Scheme::Gq), 1);
+    new.add(CompOp::SymDec, 1);
+    new.msgs_tx = 1;
+    new.tx_bits = JOIN_M_NEW_BITS;
+    new.msgs_rx = 2;
+    new.rx_bits = JOIN_MN_BITS + JOIN_MNN_BITS;
+
+    // Bystanders U_2..U_{n-1}: decrypt two envelopes, hear m'_1 and m''_n.
+    let mut others = OpCounts::new();
+    others.add(CompOp::SymDec, 2);
+    others.msgs_rx = 2;
+    others.rx_bits = JOIN_M1_BITS + JOIN_MN_BITS;
+
+    vec![
+        RoleCounts { role: "U1", population: 1, counts: u1 },
+        RoleCounts { role: "Un", population: 1, counts: un },
+        RoleCounts { role: "Un+1", population: 1, counts: new },
+        RoleCounts { role: "Others", population: n - 2, counts: others },
+    ]
+}
+
+/// Closed-form per-role counts for the **proposed Merge** of groups of size
+/// `n` and `m` (k = 2 groups).
+///
+/// # Panics
+/// Panics if either group has fewer than 2 members.
+pub fn proposed_merge(n: u64, m: u64) -> Vec<RoleCounts> {
+    assert!(n >= 2 && m >= 2, "Merge needs two non-trivial groups");
+    // Each controller: 1 sign gen, 1 verify, 4 exps (z̃, DH, 2 for K*),
+    // 3 transmissions, hears the peer's round-1 and round-2 messages.
+    let mut controller = OpCounts::new();
+    controller.add(CompOp::SignGen(Scheme::Gq), 1);
+    controller.add(CompOp::SignVerify(Scheme::Gq), 1);
+    controller.add(CompOp::ModExp, 4);
+    controller.add(CompOp::SymEnc, 3); // two round-2 envelopes + one round-3
+    controller.add(CompOp::SymDec, 1);
+    controller.msgs_tx = 3;
+    controller.tx_bits = MERGE_R1_BITS + MERGE_R2_BITS + MERGE_R3_BITS;
+    controller.msgs_rx = 2;
+    controller.rx_bits = MERGE_R1_BITS + MERGE_R2_BITS;
+
+    // Bystanders in each group: hear their controller's round-2 and round-3
+    // broadcasts, decrypt both.
+    let mut bystander = OpCounts::new();
+    bystander.add(CompOp::SymDec, 2);
+    bystander.msgs_rx = 2;
+    bystander.rx_bits = MERGE_R2_BITS + MERGE_R3_BITS;
+
+    vec![
+        RoleCounts { role: "U1", population: 1, counts: controller.clone() },
+        RoleCounts { role: "Un+1", population: 1, counts: controller },
+        RoleCounts { role: "Others", population: n + m - 2, counts: bystander },
+    ]
+}
+
+/// Closed-form per-role counts for the **proposed Leave** from group size
+/// `n`, where `v` of the remaining users are odd-indexed (they refresh their
+/// exponents; the paper's Table 5 uses `n = 100`, `v = 50`).
+///
+/// # Panics
+/// Panics unless `2 <= v < n`.
+pub fn proposed_leave(n: u64, v: u64) -> Vec<RoleCounts> {
+    assert!(v >= 2 && v < n, "need some odd- and even-indexed remainers");
+    let remaining = n - 1;
+    // Odd-indexed: fresh (z', t') [1 exp + GQ commit inside sign gen],
+    // X' [1 exp], key [1 exp] → 3 exps, 1 gen, 1 batch verify.
+    let mut odd = OpCounts::new();
+    odd.add(CompOp::ModExp, 3);
+    odd.add(CompOp::SignGen(Scheme::Gq), 1);
+    odd.add(CompOp::SignVerify(Scheme::Gq), 1);
+    odd.msgs_tx = 2;
+    odd.tx_bits = LP_R1_BITS + LP_R2_BITS;
+    // Receives round-1 from the other v−1 odd users, round-2 from the other
+    // remaining−1 users.
+    odd.msgs_rx = (v - 1) + (remaining - 1);
+    odd.rx_bits = (v - 1) * LP_R1_BITS + (remaining - 1) * LP_R2_BITS;
+
+    // Even-indexed: X' and key → 2 exps, 1 gen, 1 batch verify.
+    let mut even = OpCounts::new();
+    even.add(CompOp::ModExp, 2);
+    even.add(CompOp::SignGen(Scheme::Gq), 1);
+    even.add(CompOp::SignVerify(Scheme::Gq), 1);
+    even.msgs_tx = 1;
+    even.tx_bits = LP_R2_BITS;
+    even.msgs_rx = v + (remaining - 1);
+    even.rx_bits = v * LP_R1_BITS + (remaining - 1) * LP_R2_BITS;
+
+    vec![
+        RoleCounts { role: "Uj, j odd", population: v, counts: odd },
+        RoleCounts { role: "Uk, k even", population: remaining - v, counts: even },
+    ]
+}
+
+/// Closed-form per-role counts for the **proposed Partition**: `ld` users
+/// leave a group of `n`; `v` of the remaining users are odd-indexed
+/// (Table 5 uses `n = 100`, `ld = 20`, `v = 40`).
+///
+/// # Panics
+/// Panics unless `ld >= 1` and `2 <= v < n - ld`.
+pub fn proposed_partition(n: u64, ld: u64, v: u64) -> Vec<RoleCounts> {
+    assert!(ld >= 1 && ld < n, "partition must remove 1..n users");
+    let remaining = n - ld;
+    assert!(v >= 2 && v < remaining, "need odd- and even-indexed remainers");
+    let mut odd = OpCounts::new();
+    odd.add(CompOp::ModExp, 3);
+    odd.add(CompOp::SignGen(Scheme::Gq), 1);
+    odd.add(CompOp::SignVerify(Scheme::Gq), 1);
+    odd.msgs_tx = 2;
+    odd.tx_bits = LP_R1_BITS + LP_R2_BITS;
+    odd.msgs_rx = (v - 1) + (remaining - 1);
+    odd.rx_bits = (v - 1) * LP_R1_BITS + (remaining - 1) * LP_R2_BITS;
+
+    let mut even = OpCounts::new();
+    even.add(CompOp::ModExp, 2);
+    even.add(CompOp::SignGen(Scheme::Gq), 1);
+    even.add(CompOp::SignVerify(Scheme::Gq), 1);
+    even.msgs_tx = 1;
+    even.tx_bits = LP_R2_BITS;
+    even.msgs_rx = v + (remaining - 1);
+    even.rx_bits = v * LP_R1_BITS + (remaining - 1) * LP_R2_BITS;
+
+    vec![
+        RoleCounts { role: "Uj, j odd", population: v, counts: odd },
+        RoleCounts { role: "Uk, k even", population: remaining - v, counts: even },
+    ]
+}
+
+/// Closed-form per-role counts for **re-executing authenticated BD** (the
+/// paper's baseline for every dynamic event), with the ECDSA instantiation
+/// Table 5 uses.
+///
+/// `new_certs` is how many certificates each role sees *for the first time*
+/// (accounting convention 2): 1 for returning members of a Join, `n'−1` for
+/// the newcomer, the other group's size for each side of a Merge, 0 for
+/// Leave/Partition.
+fn bd_reexec_role(group_size: u64, new_certs: u64) -> OpCounts {
+    let proto = InitialProtocol::BdEcdsa;
+    let mut c = OpCounts::new();
+    c.add(CompOp::ModExp, 3);
+    c.add(CompOp::SignGen(Scheme::Ecdsa), 1);
+    c.add(CompOp::SignVerify(Scheme::Ecdsa), group_size - 1);
+    c.add(CompOp::CertVerify(Scheme::Ecdsa), new_certs);
+    c.msgs_tx = 2;
+    c.msgs_rx = 2 * (group_size - 1);
+    c.tx_bits = proto.round1_bits() + proto.round2_bits();
+    c.rx_bits = (group_size - 1) * (proto.round1_bits() + proto.round2_bits());
+    c
+}
+
+/// BD-re-execution roles for one dynamic event (Table 5's baseline rows).
+///
+/// Parameters follow Table 5: current group size `n`, merging users `m`,
+/// partitioned users `ld`.
+pub fn bd_reexec(event: DynamicEvent, n: u64, m: u64, ld: u64) -> Vec<RoleCounts> {
+    match event {
+        DynamicEvent::Join => vec![
+            RoleCounts {
+                role: "U1 - Un",
+                population: n,
+                counts: bd_reexec_role(n + 1, 1),
+            },
+            RoleCounts {
+                role: "Un+1",
+                population: 1,
+                counts: bd_reexec_role(n + 1, n),
+            },
+        ],
+        DynamicEvent::Leave => vec![RoleCounts {
+            role: "Remain. Users",
+            population: n - 1,
+            counts: bd_reexec_role(n - 1, 0),
+        }],
+        DynamicEvent::Merge => vec![
+            RoleCounts {
+                role: "Group A Users",
+                population: n,
+                counts: bd_reexec_role(n + m, m),
+            },
+            RoleCounts {
+                role: "Group B Users",
+                population: m,
+                counts: bd_reexec_role(n + m, n),
+            },
+        ],
+        DynamicEvent::Partition => vec![RoleCounts {
+            role: "Remain. Users",
+            population: n - ld,
+            counts: bd_reexec_role(n - ld, 0),
+        }],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cpu::{comp_energy_mj, CpuModel};
+    use crate::radio::{comm_energy_mj, Transceiver};
+
+    fn total_mj(c: &OpCounts) -> f64 {
+        comp_energy_mj(&CpuModel::strongarm_133(), c)
+            + comm_energy_mj(&Transceiver::wlan_spectrum24(), c)
+    }
+
+    #[test]
+    fn table1_exponent_row() {
+        for p in InitialProtocol::ALL {
+            let c = p.per_user_counts(100);
+            let expect = if p == InitialProtocol::Ssn { 204 } else { 3 };
+            assert_eq!(c.exps(), expect, "{}", p.name());
+        }
+    }
+
+    #[test]
+    fn table1_message_rows() {
+        for p in InitialProtocol::ALL {
+            let c = p.per_user_counts(50);
+            assert_eq!(c.msgs_tx, 2);
+            assert_eq!(c.msgs_rx, 98);
+        }
+    }
+
+    #[test]
+    fn table1_signature_rows() {
+        let c = InitialProtocol::ProposedGqBatch.per_user_counts(100);
+        assert_eq!(c.get(CompOp::SignGen(Scheme::Gq)), 1);
+        assert_eq!(c.get(CompOp::SignVerify(Scheme::Gq)), 1);
+        let c = InitialProtocol::BdSok.per_user_counts(100);
+        assert_eq!(c.get(CompOp::SignVerify(Scheme::Sok)), 99);
+        assert_eq!(c.get(CompOp::MapToPoint), 99);
+        let c = InitialProtocol::BdEcdsa.per_user_counts(100);
+        assert_eq!(c.get(CompOp::CertVerify(Scheme::Ecdsa)), 99);
+        let c = InitialProtocol::Ssn.per_user_counts(100);
+        assert_eq!(c.get(CompOp::SignGen(Scheme::Gq)), 0);
+        assert_eq!(c.get(CompOp::SignVerify(Scheme::Gq)), 0);
+    }
+
+    /// Reconstruct Table 5's printed joules from the closed forms (the
+    /// strongest validation that the accounting conventions are right).
+    #[test]
+    fn table5_bd_join_reconstruction() {
+        let roles = bd_reexec(DynamicEvent::Join, 100, 20, 20);
+        let returning = total_mj(&roles[0].counts);
+        let newcomer = total_mj(&roles[1].counts);
+        // Paper: 1.234 J and 2.31 J.
+        assert!((returning / 1000.0 - 1.234).abs() < 0.01, "returning = {returning} mJ");
+        assert!((newcomer / 1000.0 - 2.31).abs() < 0.02, "newcomer = {newcomer} mJ");
+    }
+
+    #[test]
+    fn table5_bd_merge_reconstruction() {
+        let roles = bd_reexec(DynamicEvent::Merge, 100, 20, 20);
+        let a = total_mj(&roles[0].counts);
+        let b = total_mj(&roles[1].counts);
+        // Paper: 1.660 J and 2.532 J.
+        assert!((a / 1000.0 - 1.660).abs() < 0.02, "A = {a} mJ");
+        assert!((b / 1000.0 - 2.532).abs() < 0.02, "B = {b} mJ");
+    }
+
+    #[test]
+    fn table5_bd_leave_partition_reconstruction() {
+        let leave = total_mj(&bd_reexec(DynamicEvent::Leave, 100, 20, 20)[0].counts);
+        let part = total_mj(&bd_reexec(DynamicEvent::Partition, 100, 20, 20)[0].counts);
+        // Paper: 1.179 J and 0.942 J. The paper's own arithmetic for these
+        // two rows is loose (see EXPERIMENTS.md); accept 4 %.
+        assert!((leave / 1000.0 - 1.179).abs() < 0.05, "leave = {leave} mJ");
+        assert!((part / 1000.0 - 0.942).abs() < 0.04, "partition = {part} mJ");
+    }
+
+    #[test]
+    fn table5_proposed_join_reconstruction() {
+        let roles = proposed_join(100);
+        let by_role: Vec<f64> = roles.iter().map(|r| total_mj(&r.counts)).collect();
+        // Paper: U1 = 0.039 J, Un = 0.049 J, Un+1 = 0.057 J, Others = 1.34 mJ.
+        assert!((by_role[0] - 39.0).abs() < 1.0, "U1 = {} mJ", by_role[0]);
+        assert!((by_role[1] - 49.0).abs() < 1.0, "Un = {} mJ", by_role[1]);
+        assert!((by_role[2] - 57.0).abs() < 1.0, "Un+1 = {} mJ", by_role[2]);
+        assert!((by_role[3] - 1.34).abs() < 0.1, "Others = {} mJ", by_role[3]);
+    }
+
+    #[test]
+    fn table5_proposed_merge_reconstruction() {
+        let roles = proposed_merge(100, 20);
+        let c = total_mj(&roles[0].counts);
+        let o = total_mj(&roles[2].counts);
+        // Paper: controllers 0.079 J, others 0.986 mJ.
+        assert!((c - 79.0).abs() < 1.5, "controller = {c} mJ");
+        assert!((o - 1.0).abs() < 0.1, "others = {o} mJ");
+    }
+
+    #[test]
+    fn table5_proposed_leave_reconstruction() {
+        let roles = proposed_leave(100, 50);
+        let odd = total_mj(&roles[0].counts);
+        let even = total_mj(&roles[1].counts);
+        // Paper: 0.160 J and 0.150 J.
+        assert!((odd - 160.0).abs() < 2.5, "odd = {odd} mJ");
+        assert!((even - 150.0).abs() < 2.5, "even = {even} mJ");
+    }
+
+    #[test]
+    fn table5_proposed_partition_reconstruction() {
+        let roles = proposed_partition(100, 20, 40);
+        let odd = total_mj(&roles[0].counts);
+        let even = total_mj(&roles[1].counts);
+        // Paper: 0.142 J and 0.132 J.
+        assert!((odd - 142.0).abs() < 2.5, "odd = {odd} mJ");
+        assert!((even - 132.0).abs() < 2.5, "even = {even} mJ");
+    }
+
+    #[test]
+    fn dynamic_protocols_beat_bd_reexecution() {
+        // The paper's headline: 10–100× cheaper than re-running BD.
+        for event in DynamicEvent::ALL {
+            let bd_max = bd_reexec(event, 100, 20, 20)
+                .iter()
+                .map(|r| total_mj(&r.counts))
+                .fold(0.0f64, f64::max);
+            let ours_max = match event {
+                DynamicEvent::Join => proposed_join(100),
+                DynamicEvent::Leave => proposed_leave(100, 50),
+                DynamicEvent::Merge => proposed_merge(100, 20),
+                DynamicEvent::Partition => proposed_partition(100, 20, 40),
+            }
+            .iter()
+            .map(|r| total_mj(&r.counts))
+            .fold(0.0f64, f64::max);
+            assert!(
+                bd_max / ours_max > 5.0,
+                "{}: BD {bd_max} mJ vs ours {ours_max} mJ",
+                event.name()
+            );
+        }
+    }
+
+    #[test]
+    fn figure1_proposed_is_cheapest_everywhere() {
+        for radio in Transceiver::paper_pair() {
+            for n in [10u64, 50, 100, 500] {
+                let cpu = CpuModel::strongarm_133();
+                let energies: Vec<f64> = InitialProtocol::ALL
+                    .iter()
+                    .map(|p| {
+                        let c = p.per_user_counts(n);
+                        comp_energy_mj(&cpu, &c) + comm_energy_mj(&radio, &c)
+                    })
+                    .collect();
+                let proposed = energies[0];
+                for (i, &e) in energies.iter().enumerate().skip(1) {
+                    assert!(
+                        proposed < e,
+                        "n={n}, {}: proposed {proposed} !< {} {e}",
+                        radio.name,
+                        InitialProtocol::ALL[i].name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn figure1_sok_is_most_expensive_at_scale() {
+        let cpu = CpuModel::strongarm_133();
+        for radio in Transceiver::paper_pair() {
+            let energies: Vec<f64> = InitialProtocol::ALL
+                .iter()
+                .map(|p| {
+                    let c = p.per_user_counts(500);
+                    comp_energy_mj(&cpu, &c) + comm_energy_mj(&radio, &c)
+                })
+                .collect();
+            let sok = energies[1];
+            for (i, &e) in energies.iter().enumerate() {
+                if i != 1 {
+                    assert!(sok > e, "SOK must dominate at n=500 on {}", radio.name);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn symbolic_tables_have_expected_shape() {
+        assert_eq!(table1_symbolic().len(), 9);
+        assert_eq!(table4_symbolic().len(), 8);
+        assert!(table4_symbolic()[4].msgs == "5");
+    }
+}

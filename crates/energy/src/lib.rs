@@ -1,0 +1,58 @@
+//! # egka-energy
+//!
+//! The paper's energy cost model, implemented exactly:
+//!
+//! * [`ops`] — the operation vocabulary (everything Table 2 prices, plus the
+//!   operations the paper treats as negligible) and [`ops::OpCounts`]
+//!   per-node count vectors;
+//! * [`meter`] — thread-safe per-node counters the protocol implementations
+//!   record into;
+//! * [`cpu`] — Table 2: StrongARM SA-1110 computational energies, including
+//!   the paper's P3-450 → StrongARM extrapolation rule (eq. (4));
+//! * [`radio`] — Table 3: per-bit transceiver costs (100 kbps sensor radio,
+//!   Spectrum24 WLAN) and the paper's canonical wire sizes;
+//! * [`complexity`] — closed-form per-user/per-role counts for Tables 1, 4
+//!   and 5, cross-checked against instrumented protocol runs by `egka-sim`.
+//!
+//! Total per-node energy is always `comp_energy(counts) +
+//! comm_energy(counts)` — the paper's Figure 1 and Table 5 are exactly these
+//! two functions applied to either closed-form or instrumented counts.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod complexity;
+pub mod cpu;
+pub mod meter;
+pub mod ops;
+pub mod radio;
+
+pub use complexity::{DynamicEvent, InitialProtocol, RoleCounts};
+pub use cpu::{comp_energy_mj, table2_row, CostRow, CpuModel};
+pub use meter::Meter;
+pub use ops::{CompOp, OpCounts, Scheme, NUM_OPS};
+pub use radio::{comm_energy_mj, wire, Transceiver};
+
+/// Total (computational + communication) energy in millijoules of a count
+/// vector under a CPU and transceiver model.
+pub fn total_energy_mj(cpu: &CpuModel, radio: &Transceiver, counts: &OpCounts) -> f64 {
+    comp_energy_mj(cpu, counts) + comm_energy_mj(radio, counts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_is_sum_of_parts() {
+        let cpu = CpuModel::strongarm_133();
+        let radio = Transceiver::wlan_spectrum24();
+        let mut c = OpCounts::new();
+        c.add(CompOp::ModExp, 3);
+        c.tx_bits = 4160;
+        c.rx_bits = 4160 * 9;
+        let total = total_energy_mj(&cpu, &radio, &c);
+        assert!((total - (comp_energy_mj(&cpu, &c) + comm_energy_mj(&radio, &c))).abs() < 1e-12);
+        assert!(total > 0.0);
+    }
+}

@@ -1,0 +1,224 @@
+//! ChaCha20 (RFC 8439) block function and a CSPRNG built on it.
+//!
+//! [`ChaChaRng`] implements `rand`'s core traits so all sampling helpers in
+//! `egka-bigint::rng` work with it. It is the deterministic randomness source
+//! used throughout the workspace's tests and simulations.
+
+use rand::{SeedableRng, TryCryptoRng, TryRng};
+
+/// The ChaCha20 block function: expands (key, counter, nonce) into 64 bytes
+/// of keystream.
+pub fn chacha20_block(key: &[u8; 32], counter: u32, nonce: &[u8; 12]) -> [u8; 64] {
+    let mut state = [0u32; 16];
+    state[0] = 0x61707865;
+    state[1] = 0x3320646e;
+    state[2] = 0x79622d32;
+    state[3] = 0x6b206574;
+    for i in 0..8 {
+        state[4 + i] = u32::from_le_bytes(key[4 * i..4 * i + 4].try_into().unwrap());
+    }
+    state[12] = counter;
+    for i in 0..3 {
+        state[13 + i] = u32::from_le_bytes(nonce[4 * i..4 * i + 4].try_into().unwrap());
+    }
+
+    let mut work = state;
+    for _ in 0..10 {
+        // column rounds
+        quarter_round(&mut work, 0, 4, 8, 12);
+        quarter_round(&mut work, 1, 5, 9, 13);
+        quarter_round(&mut work, 2, 6, 10, 14);
+        quarter_round(&mut work, 3, 7, 11, 15);
+        // diagonal rounds
+        quarter_round(&mut work, 0, 5, 10, 15);
+        quarter_round(&mut work, 1, 6, 11, 12);
+        quarter_round(&mut work, 2, 7, 8, 13);
+        quarter_round(&mut work, 3, 4, 9, 14);
+    }
+    let mut out = [0u8; 64];
+    for i in 0..16 {
+        let word = work[i].wrapping_add(state[i]);
+        out[4 * i..4 * i + 4].copy_from_slice(&word.to_le_bytes());
+    }
+    out
+}
+
+#[inline]
+fn quarter_round(s: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    s[a] = s[a].wrapping_add(s[b]);
+    s[d] = (s[d] ^ s[a]).rotate_left(16);
+    s[c] = s[c].wrapping_add(s[d]);
+    s[b] = (s[b] ^ s[c]).rotate_left(12);
+    s[a] = s[a].wrapping_add(s[b]);
+    s[d] = (s[d] ^ s[a]).rotate_left(8);
+    s[c] = s[c].wrapping_add(s[d]);
+    s[b] = (s[b] ^ s[c]).rotate_left(7);
+}
+
+/// XORs a ChaCha20 keystream into `data` (encrypt == decrypt).
+///
+/// Starts at block `initial_counter` per RFC 8439 §2.4.
+pub fn chacha20_xor(key: &[u8; 32], nonce: &[u8; 12], initial_counter: u32, data: &mut [u8]) {
+    for (i, chunk) in data.chunks_mut(64).enumerate() {
+        let ks = chacha20_block(key, initial_counter.wrapping_add(i as u32), nonce);
+        for (b, k) in chunk.iter_mut().zip(ks.iter()) {
+            *b ^= k;
+        }
+    }
+}
+
+/// A deterministic CSPRNG: the ChaCha20 keystream under a fixed key/nonce.
+#[derive(Clone, Debug)]
+pub struct ChaChaRng {
+    key: [u8; 32],
+    nonce: [u8; 12],
+    counter: u32,
+    buffer: [u8; 64],
+    /// Next unread offset into `buffer`; 64 means "refill needed".
+    offset: usize,
+}
+
+impl ChaChaRng {
+    /// Creates a generator from a 32-byte key (nonce zero, counter zero).
+    pub fn from_key(key: [u8; 32]) -> Self {
+        ChaChaRng {
+            key,
+            nonce: [0u8; 12],
+            counter: 0,
+            buffer: [0u8; 64],
+            offset: 64,
+        }
+    }
+
+    fn refill(&mut self) {
+        self.buffer = chacha20_block(&self.key, self.counter, &self.nonce);
+        self.counter = self
+            .counter
+            .checked_add(1)
+            .expect("ChaChaRng exhausted 2^38 bytes");
+        self.offset = 0;
+    }
+
+    fn take(&mut self, out: &mut [u8]) {
+        let mut written = 0;
+        while written < out.len() {
+            if self.offset == 64 {
+                self.refill();
+            }
+            let n = (out.len() - written).min(64 - self.offset);
+            out[written..written + n].copy_from_slice(&self.buffer[self.offset..self.offset + n]);
+            self.offset += n;
+            written += n;
+        }
+    }
+}
+
+impl SeedableRng for ChaChaRng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        ChaChaRng::from_key(seed)
+    }
+}
+
+impl TryRng for ChaChaRng {
+    type Error = core::convert::Infallible;
+
+    fn try_next_u32(&mut self) -> Result<u32, Self::Error> {
+        let mut b = [0u8; 4];
+        self.take(&mut b);
+        Ok(u32::from_le_bytes(b))
+    }
+
+    fn try_next_u64(&mut self) -> Result<u64, Self::Error> {
+        let mut b = [0u8; 8];
+        self.take(&mut b);
+        Ok(u64::from_le_bytes(b))
+    }
+
+    fn try_fill_bytes(&mut self, dst: &mut [u8]) -> Result<(), Self::Error> {
+        self.take(dst);
+        Ok(())
+    }
+}
+
+impl TryCryptoRng for ChaChaRng {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    fn hex(bytes: &[u8]) -> String {
+        bytes.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    #[test]
+    fn rfc8439_block_vector() {
+        // RFC 8439 §2.3.2
+        let key: [u8; 32] = core::array::from_fn(|i| i as u8);
+        let nonce: [u8; 12] = [0, 0, 0, 9, 0, 0, 0, 0x4a, 0, 0, 0, 0];
+        let block = chacha20_block(&key, 1, &nonce);
+        assert_eq!(
+            hex(&block),
+            "10f1e7e4d13b5915500fdd1fa32071c4c7d1f4c733c068030422aa9ac3d46c4e\
+             d2826446079faa0914c2d705d98b02a2b5129cd1de164eb9cbd083e8a2503c4e"
+        );
+    }
+
+    #[test]
+    fn rfc8439_encryption_vector() {
+        // RFC 8439 §2.4.2 "Ladies and Gentlemen..." plaintext.
+        let key: [u8; 32] = core::array::from_fn(|i| i as u8);
+        let nonce: [u8; 12] = [0, 0, 0, 0, 0, 0, 0, 0x4a, 0, 0, 0, 0];
+        let mut data = *b"Ladies and Gentlemen of the class of '99: If I could offer you only one tip for the future, sunscreen would be it.";
+        chacha20_xor(&key, &nonce, 1, &mut data);
+        assert_eq!(
+            hex(&data[..32]),
+            "6e2e359a2568f98041ba0728dd0d6981e97e7aec1d4360c20a27afccfd9fae0b"
+        );
+        // decrypt = encrypt
+        chacha20_xor(&key, &nonce, 1, &mut data);
+        assert!(data.starts_with(b"Ladies and Gentlemen"));
+    }
+
+    #[test]
+    fn rng_is_deterministic() {
+        let mut a = ChaChaRng::from_seed([7u8; 32]);
+        let mut b = ChaChaRng::from_seed([7u8; 32]);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = ChaChaRng::from_seed([1u8; 32]);
+        let mut b = ChaChaRng::from_seed([2u8; 32]);
+        assert_ne!(
+            (0..8).map(|_| a.next_u64()).collect::<Vec<_>>(),
+            (0..8).map(|_| b.next_u64()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn fill_bytes_spans_block_boundaries() {
+        let mut rng = ChaChaRng::from_seed([3u8; 32]);
+        let mut big = vec![0u8; 200];
+        rng.fill_bytes(&mut big);
+        // Reconstruct from raw blocks.
+        let mut expect = Vec::new();
+        for c in 0..4u32 {
+            expect.extend_from_slice(&chacha20_block(&[3u8; 32], c, &[0u8; 12]));
+        }
+        assert_eq!(&big[..], &expect[..200]);
+    }
+
+    #[test]
+    fn seed_from_u64_works() {
+        let mut rng = ChaChaRng::seed_from_u64(42);
+        let x = rng.next_u64();
+        let mut rng2 = ChaChaRng::seed_from_u64(42);
+        assert_eq!(x, rng2.next_u64());
+    }
+}

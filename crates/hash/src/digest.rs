@@ -1,0 +1,36 @@
+//! The [`Digest`] trait shared by all hash implementations in this crate.
+
+/// An incremental cryptographic hash function.
+///
+/// The associated constants expose the parameters HMAC and the KDFs need.
+pub trait Digest: Clone {
+    /// Digest output length in bytes.
+    const OUTPUT_SIZE: usize;
+    /// Internal compression-block length in bytes (HMAC ipad/opad width).
+    const BLOCK_SIZE: usize;
+
+    /// Creates a fresh hasher.
+    fn new() -> Self;
+
+    /// Absorbs `data`.
+    fn update(&mut self, data: &[u8]);
+
+    /// Consumes the hasher and returns the digest.
+    fn finalize(self) -> Vec<u8>;
+
+    /// One-shot convenience: `H(data)`.
+    fn digest(data: &[u8]) -> Vec<u8> {
+        let mut h = Self::new();
+        h.update(data);
+        h.finalize()
+    }
+
+    /// One-shot over multiple segments (avoids concatenation allocations).
+    fn digest_parts(parts: &[&[u8]]) -> Vec<u8> {
+        let mut h = Self::new();
+        for p in parts {
+            h.update(p);
+        }
+        h.finalize()
+    }
+}

@@ -1,0 +1,123 @@
+//! Full-domain hashing into big-integer ranges.
+//!
+//! The GQ scheme needs `H : {0,1}* → Z_n` (identity hashing, paper §3) and
+//! an `l`-bit challenge hash (paper: `l = 160`). Both are built from
+//! SHA-256 in counter mode (MGF1 style).
+
+use egka_bigint::{gcd, Ubig};
+
+use crate::digest::Digest;
+use crate::sha256::Sha256;
+
+/// Expands `(tag, msg)` into `len` bytes with SHA-256 in counter mode.
+pub fn mgf1(tag: &[u8], msg: &[u8], len: usize) -> Vec<u8> {
+    let mut out = Vec::with_capacity(len);
+    let mut counter = 0u32;
+    while out.len() < len {
+        let block = Sha256::digest_parts(&[tag, &counter.to_be_bytes(), msg]);
+        let take = (len - out.len()).min(block.len());
+        out.extend_from_slice(&block[..take]);
+        counter += 1;
+    }
+    out
+}
+
+/// Hashes `msg` into `[0, bound)` (uniform up to the negligible mod bias).
+///
+/// Generates `bound.bit_length() + 64` bits before reducing, so the bias is
+/// at most 2^-64.
+pub fn hash_to_below(tag: &[u8], msg: &[u8], bound: &Ubig) -> Ubig {
+    assert!(!bound.is_zero());
+    let bytes = ((bound.bit_length() + 64).div_ceil(8)) as usize;
+    let raw = mgf1(tag, msg, bytes);
+    Ubig::from_bytes_be(&raw).rem_ref(bound)
+}
+
+/// Hashes `msg` into `Z_n^*` (non-zero and coprime to `n`).
+///
+/// Retries with an appended counter byte until the element is a unit; for
+/// RSA moduli the first try succeeds except with negligible probability.
+pub fn hash_to_unit(tag: &[u8], msg: &[u8], n: &Ubig) -> Ubig {
+    let mut attempt = 0u8;
+    loop {
+        let mut m = msg.to_vec();
+        m.push(attempt);
+        let v = hash_to_below(tag, &m, n);
+        if !v.is_zero() && gcd(&v, n).is_one() {
+            return v;
+        }
+        attempt = attempt.checked_add(1).expect("hash_to_unit exhausted");
+    }
+}
+
+/// The paper's `l`-bit challenge hash (`l = 160`): `H(...) ∈ {0,1}^160`
+/// interpreted as an integer.
+pub fn challenge_hash(parts: &[&[u8]]) -> Ubig {
+    const L_BYTES: usize = 20; // l = 160 bits
+    let mut h = Sha256::new();
+    h.update(b"egka.challenge.v1");
+    for p in parts {
+        // length-prefix each part so concatenation is injective
+        h.update(&(p.len() as u64).to_be_bytes());
+        h.update(p);
+    }
+    let digest = h.finalize();
+    Ubig::from_bytes_be(&digest[..L_BYTES])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mgf1_len_exact() {
+        for len in [0usize, 1, 31, 32, 33, 100] {
+            assert_eq!(mgf1(b"t", b"m", len).len(), len);
+        }
+    }
+
+    #[test]
+    fn mgf1_prefix_property() {
+        // Counter-mode expansion: shorter output is a prefix of longer.
+        let a = mgf1(b"t", b"m", 40);
+        let b = mgf1(b"t", b"m", 80);
+        assert_eq!(&a[..], &b[..40]);
+    }
+
+    #[test]
+    fn hash_to_below_in_range_and_deterministic() {
+        let bound = Ubig::from_hex("ffffffffffffffffffffffffffff17").unwrap();
+        let a = hash_to_below(b"tag", b"hello", &bound);
+        let b = hash_to_below(b"tag", b"hello", &bound);
+        assert_eq!(a, b);
+        assert!(a < bound);
+        let c = hash_to_below(b"tag", b"hellp", &bound);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn hash_to_unit_is_coprime() {
+        // n = 3 * 5 * 7 * ... small smooth modulus stresses the retry path.
+        let n = Ubig::from_u64(3 * 5 * 7 * 11 * 13 * 17 * 19 * 23);
+        for id in 0u32..50 {
+            let v = hash_to_unit(b"gq", &id.to_be_bytes(), &n);
+            assert!(gcd(&v, &n).is_one());
+            assert!(!v.is_zero());
+        }
+    }
+
+    #[test]
+    fn challenge_hash_is_160_bits_max() {
+        let c = challenge_hash(&[b"a", b"b"]);
+        assert!(c.bit_length() <= 160);
+    }
+
+    #[test]
+    fn challenge_hash_injective_framing() {
+        // ("ab", "c") must differ from ("a", "bc") thanks to length prefixes.
+        assert_ne!(
+            challenge_hash(&[b"ab", b"c"]),
+            challenge_hash(&[b"a", b"bc"])
+        );
+    }
+}

@@ -1,0 +1,33 @@
+//! # egka-hash
+//!
+//! From-scratch hash primitives for the `egka` reproduction:
+//!
+//! * [`sha1::Sha1`], [`sha256::Sha256`], [`sha512::Sha512`] — FIPS 180-4
+//!   digests (verified against the official test vectors);
+//! * [`hmac::Hmac`] — RFC 2104, generic over any [`digest::Digest`];
+//! * [`kdf`] — HKDF (RFC 5869) used to derive symmetric keys from group keys;
+//! * [`chacha::ChaChaRng`] — RFC 8439 ChaCha20 as a deterministic CSPRNG
+//!   (the workspace-wide randomness source);
+//! * [`fdh`] — full-domain hashing into `Z_n` / `Z_n^*` plus the paper's
+//!   160-bit challenge hash.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chacha;
+pub mod digest;
+pub mod fdh;
+pub mod hmac;
+pub mod kdf;
+pub mod sha1;
+pub mod sha256;
+pub mod sha512;
+
+pub use chacha::{chacha20_block, chacha20_xor, ChaChaRng};
+pub use digest::Digest;
+pub use fdh::{challenge_hash, hash_to_below, hash_to_unit, mgf1};
+pub use hmac::Hmac;
+pub use kdf::{hkdf, hkdf_expand, hkdf_extract};
+pub use sha1::Sha1;
+pub use sha256::Sha256;
+pub use sha512::Sha512;

@@ -1,0 +1,504 @@
+//! # egka-net
+//!
+//! A simulated wireless broadcast medium for the `egka` reproduction.
+//!
+//! The paper's evaluation assumes a shared broadcast channel: every message
+//! a user sends is received by all other group members (each user transmits
+//! 2 messages and receives `2(n − 1)` during the initial GKA, Table 1).
+//! This crate provides that channel as an in-process [`Medium`] with:
+//!
+//! * **reliable broadcast and unicast** between registered [`Endpoint`]s;
+//! * **per-node traffic accounting** ([`TrafficStats`]) in both *nominal*
+//!   bits (the paper's printed wire sizes, used by the energy model) and
+//!   *actual* serialized bits (used for the "measured encoding" ablation);
+//! * **loss injection** (seeded, deterministic) to exercise the paper's
+//!   "all members retransmit" failure path;
+//! * **partitions**, used by the Partition protocol scenarios: endpoints in
+//!   different partition groups cannot hear each other.
+//!
+//! Delivery is synchronous (messages are enqueued on the receivers'
+//! unbounded channels during `send`), which is exactly what the round-based
+//! GKA drivers need; endpoints block on [`Endpoint::recv`] until their next
+//! message arrives, so per-node threads synchronize naturally.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::sync::Arc;
+
+use bytes::Bytes;
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use parking_lot::{Mutex, RwLock};
+use serde::{Deserialize, Serialize};
+
+/// Identifies a node on the medium (dense, assigned at [`Medium::join`]).
+pub type NodeId = u32;
+
+/// A message in flight.
+#[derive(Clone, Debug)]
+pub struct Packet {
+    /// Sender.
+    pub from: NodeId,
+    /// Protocol-defined message kind (round tags etc.).
+    pub kind: u16,
+    /// Serialized payload (cheaply shared between receivers).
+    pub payload: Bytes,
+    /// The paper-accounting size of this message in bits. Energy models
+    /// charge this, not `payload.len() * 8`.
+    pub nominal_bits: u64,
+}
+
+/// Per-node cumulative traffic counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TrafficStats {
+    /// Nominal bits transmitted.
+    pub tx_bits: u64,
+    /// Nominal bits received.
+    pub rx_bits: u64,
+    /// Actual serialized bits transmitted.
+    pub tx_bits_actual: u64,
+    /// Actual serialized bits received.
+    pub rx_bits_actual: u64,
+    /// Messages transmitted.
+    pub msgs_tx: u64,
+    /// Messages received.
+    pub msgs_rx: u64,
+}
+
+struct NodeSlot {
+    sender: Sender<Packet>,
+    stats: Mutex<TrafficStats>,
+    /// Partition group; deliveries only happen within a group.
+    partition: u8,
+    /// Detached nodes neither send nor receive (a leaver that powered off).
+    detached: bool,
+}
+
+/// Deterministic xorshift for loss decisions (no `rand` state sharing
+/// headaches across threads; one u64 under a lock is enough at this rate).
+struct LossState {
+    /// Drop probability in [0, 1].
+    prob: f64,
+    rng: u64,
+}
+
+impl LossState {
+    fn drop_now(&mut self) -> bool {
+        if self.prob <= 0.0 {
+            return false;
+        }
+        // xorshift64*
+        self.rng ^= self.rng >> 12;
+        self.rng ^= self.rng << 25;
+        self.rng ^= self.rng >> 27;
+        let x = self.rng.wrapping_mul(0x2545_F491_4F6C_DD1D);
+        let u = (x >> 11) as f64 / (1u64 << 53) as f64;
+        u < self.prob
+    }
+}
+
+struct Inner {
+    nodes: RwLock<Vec<NodeSlot>>,
+    loss: Mutex<LossState>,
+}
+
+/// The shared broadcast medium. Cloning is cheap and all clones observe the
+/// same channel state.
+#[derive(Clone)]
+pub struct Medium {
+    inner: Arc<Inner>,
+}
+
+impl Default for Medium {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Medium {
+    /// A lossless medium.
+    pub fn new() -> Self {
+        Medium {
+            inner: Arc::new(Inner {
+                nodes: RwLock::new(Vec::new()),
+                loss: Mutex::new(LossState { prob: 0.0, rng: 0x9E37_79B9_7F4A_7C15 }),
+            }),
+        }
+    }
+
+    /// Registers a new endpoint and returns its handle.
+    pub fn join(&self) -> Endpoint {
+        let (tx, rx) = unbounded();
+        let mut nodes = self.inner.nodes.write();
+        let id = nodes.len() as NodeId;
+        nodes.push(NodeSlot {
+            sender: tx,
+            stats: Mutex::new(TrafficStats::default()),
+            partition: 0,
+            detached: false,
+        });
+        Endpoint { id, medium: self.clone(), rx }
+    }
+
+    /// Number of registered endpoints (including detached ones).
+    pub fn node_count(&self) -> usize {
+        self.inner.nodes.read().len()
+    }
+
+    /// Sets the per-delivery drop probability (deterministic given the
+    /// built-in seed). `0.0` restores reliable delivery.
+    ///
+    /// # Panics
+    /// Panics unless `0.0 <= prob < 1.0`.
+    pub fn set_loss(&self, prob: f64) {
+        assert!((0.0..1.0).contains(&prob), "loss probability out of range");
+        self.inner.loss.lock().prob = prob;
+    }
+
+    /// Moves `id` into partition `group`. Nodes only hear nodes in the same
+    /// group. All nodes start in group 0.
+    pub fn set_partition(&self, id: NodeId, group: u8) {
+        self.inner.nodes.write()[id as usize].partition = group;
+    }
+
+    /// Detaches `id`: it stops receiving (and its sends are ignored).
+    pub fn detach(&self, id: NodeId) {
+        self.inner.nodes.write()[id as usize].detached = true;
+    }
+
+    /// Traffic counters for `id`.
+    pub fn stats(&self, id: NodeId) -> TrafficStats {
+        *self.inner.nodes.read()[id as usize].stats.lock()
+    }
+
+    /// Resets the traffic counters of every node (used between protocol
+    /// phases so each table row starts from zero).
+    pub fn reset_stats(&self) {
+        for slot in self.inner.nodes.read().iter() {
+            *slot.stats.lock() = TrafficStats::default();
+        }
+    }
+
+    fn send_impl(&self, from: NodeId, to: Targets<'_>, packet: Packet) {
+        let nodes = self.inner.nodes.read();
+        let src = &nodes[from as usize];
+        if src.detached {
+            return;
+        }
+        let actual_bits = packet.payload.len() as u64 * 8;
+        {
+            let mut s = src.stats.lock();
+            s.tx_bits += packet.nominal_bits;
+            s.tx_bits_actual += actual_bits;
+            s.msgs_tx += 1;
+        }
+        let targets: Box<dyn Iterator<Item = usize> + '_> = match to {
+            Targets::One(t) => Box::new(std::iter::once(t as usize)),
+            Targets::All => Box::new((0..nodes.len()).filter(|&i| i != from as usize)),
+            Targets::Set(set) => Box::new(
+                set.iter()
+                    .map(|&t| t as usize)
+                    .filter(move |&i| i != from as usize),
+            ),
+        };
+        for idx in targets {
+            let dst = &nodes[idx];
+            if dst.detached || dst.partition != src.partition {
+                continue;
+            }
+            if self.inner.loss.lock().drop_now() {
+                continue;
+            }
+            {
+                let mut s = dst.stats.lock();
+                s.rx_bits += packet.nominal_bits;
+                s.rx_bits_actual += actual_bits;
+                s.msgs_rx += 1;
+            }
+            // A full inbox only happens if a receiver thread died; ignore.
+            let _ = dst.sender.send(packet.clone());
+        }
+    }
+}
+
+/// Recipient selector for [`Medium::send_impl`].
+enum Targets<'a> {
+    One(NodeId),
+    All,
+    Set(&'a [NodeId]),
+}
+
+/// A node's handle onto the medium.
+pub struct Endpoint {
+    id: NodeId,
+    medium: Medium,
+    rx: Receiver<Packet>,
+}
+
+impl Endpoint {
+    /// This endpoint's id.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// The medium this endpoint is attached to.
+    pub fn medium(&self) -> &Medium {
+        &self.medium
+    }
+
+    /// Broadcasts to every other (same-partition, attached) endpoint.
+    pub fn broadcast(&self, kind: u16, payload: Bytes, nominal_bits: u64) {
+        self.medium.send_impl(
+            self.id,
+            Targets::All,
+            Packet { from: self.id, kind, payload, nominal_bits },
+        );
+    }
+
+    /// Sends to a single endpoint.
+    pub fn unicast(&self, to: NodeId, kind: u16, payload: Bytes, nominal_bits: u64) {
+        self.medium.send_impl(
+            self.id,
+            Targets::One(to),
+            Packet { from: self.id, kind, payload, nominal_bits },
+        );
+    }
+
+    /// Sends to an explicit recipient set (the paper's energy accounting
+    /// charges reception only to *intended* recipients; duty-cycled radios
+    /// sleep through traffic not addressed to them). Self is skipped if
+    /// present in `targets`.
+    pub fn multicast(&self, targets: &[NodeId], kind: u16, payload: Bytes, nominal_bits: u64) {
+        self.medium.send_impl(
+            self.id,
+            Targets::Set(targets),
+            Packet { from: self.id, kind, payload, nominal_bits },
+        );
+    }
+
+    /// Blocks until the next packet arrives.
+    ///
+    /// # Panics
+    /// Panics if the medium was dropped while waiting (cannot happen while
+    /// any endpoint holds a `Medium` clone, which every endpoint does).
+    pub fn recv(&self) -> Packet {
+        self.rx.recv().expect("medium alive while endpoints exist")
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Option<Packet> {
+        self.rx.try_recv().ok()
+    }
+
+    /// Receive with a timeout; `None` on expiry.
+    pub fn recv_timeout(&self, timeout: std::time::Duration) -> Option<Packet> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(p) => Some(p),
+            Err(RecvTimeoutError::Timeout) => None,
+            Err(RecvTimeoutError::Disconnected) => {
+                panic!("medium alive while endpoints exist")
+            }
+        }
+    }
+
+    /// Blocks for the next packet with `kind`, buffering nothing: packets of
+    /// other kinds are dropped with a panic — GKA rounds are strictly
+    /// ordered, so an unexpected kind is a driver bug, not a network event.
+    pub fn recv_kind(&self, kind: u16) -> Packet {
+        let p = self.recv();
+        assert_eq!(
+            p.kind, kind,
+            "protocol round mismatch: expected kind {kind}, got {} from node {}",
+            p.kind, p.from
+        );
+        p
+    }
+
+    /// This endpoint's traffic counters.
+    pub fn stats(&self) -> TrafficStats {
+        self.medium.stats(self.id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn broadcast_reaches_all_others() {
+        let m = Medium::new();
+        let a = m.join();
+        let b = m.join();
+        let c = m.join();
+        a.broadcast(7, Bytes::from_static(b"hello"), 2080);
+        assert_eq!(b.recv().kind, 7);
+        assert_eq!(c.recv().payload.as_ref(), b"hello");
+        assert!(a.try_recv().is_none(), "no self-delivery");
+    }
+
+    #[test]
+    fn unicast_reaches_only_target() {
+        let m = Medium::new();
+        let a = m.join();
+        let b = m.join();
+        let c = m.join();
+        a.unicast(b.id(), 1, Bytes::from_static(b"x"), 8);
+        assert_eq!(b.recv().from, a.id());
+        assert!(c.try_recv().is_none());
+    }
+
+    #[test]
+    fn nominal_and_actual_bits_accounted() {
+        let m = Medium::new();
+        let a = m.join();
+        let b = m.join();
+        a.broadcast(0, Bytes::from_static(b"abcd"), 2080); // 4 bytes actual
+        let sa = a.stats();
+        assert_eq!(sa.tx_bits, 2080);
+        assert_eq!(sa.tx_bits_actual, 32);
+        assert_eq!(sa.msgs_tx, 1);
+        let sb = b.stats();
+        assert_eq!(sb.rx_bits, 2080);
+        assert_eq!(sb.rx_bits_actual, 32);
+        assert_eq!(sb.msgs_rx, 1);
+    }
+
+    #[test]
+    fn rx_counts_match_paper_shape() {
+        // n nodes, each broadcasts 2 messages: every node receives 2(n−1).
+        let m = Medium::new();
+        let n = 5;
+        let eps: Vec<Endpoint> = (0..n).map(|_| m.join()).collect();
+        for ep in &eps {
+            ep.broadcast(1, Bytes::new(), 100);
+            ep.broadcast(2, Bytes::new(), 100);
+        }
+        for ep in &eps {
+            assert_eq!(ep.stats().msgs_rx, 2 * (n as u64 - 1));
+            assert_eq!(ep.stats().msgs_tx, 2);
+        }
+    }
+
+    #[test]
+    fn partitions_block_delivery() {
+        let m = Medium::new();
+        let a = m.join();
+        let b = m.join();
+        m.set_partition(b.id(), 1);
+        a.broadcast(0, Bytes::new(), 8);
+        assert!(b.try_recv().is_none());
+        assert_eq!(b.stats().msgs_rx, 0);
+        // Moving back re-enables delivery.
+        m.set_partition(b.id(), 0);
+        a.broadcast(0, Bytes::new(), 8);
+        assert!(b.try_recv().is_some());
+    }
+
+    #[test]
+    fn detached_nodes_are_silent() {
+        let m = Medium::new();
+        let a = m.join();
+        let b = m.join();
+        m.detach(b.id());
+        b.broadcast(0, Bytes::new(), 8);
+        assert!(a.try_recv().is_none());
+        a.broadcast(0, Bytes::new(), 8);
+        assert!(b.try_recv().is_none());
+        assert_eq!(b.stats().msgs_tx, 0, "detached sends are not charged");
+    }
+
+    #[test]
+    fn loss_drops_a_fraction() {
+        let m = Medium::new();
+        let a = m.join();
+        let b = m.join();
+        m.set_loss(0.5);
+        for _ in 0..1000 {
+            a.broadcast(0, Bytes::new(), 8);
+        }
+        let got = b.stats().msgs_rx;
+        assert!(
+            (300..700).contains(&got),
+            "50% loss delivered {got}/1000 — generator badly biased"
+        );
+        // Sender is still charged for every transmission.
+        assert_eq!(a.stats().msgs_tx, 1000);
+    }
+
+    #[test]
+    fn loss_is_deterministic_per_medium_seed() {
+        let run = || {
+            let m = Medium::new();
+            let a = m.join();
+            let b = m.join();
+            m.set_loss(0.3);
+            for _ in 0..200 {
+                a.broadcast(0, Bytes::new(), 8);
+            }
+            b.stats().msgs_rx
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn reset_stats_zeroes_everything() {
+        let m = Medium::new();
+        let a = m.join();
+        let b = m.join();
+        a.broadcast(0, Bytes::new(), 8);
+        let _ = b.try_recv();
+        m.reset_stats();
+        assert_eq!(a.stats(), TrafficStats::default());
+        assert_eq!(b.stats(), TrafficStats::default());
+    }
+
+    #[test]
+    fn recv_timeout_expires() {
+        let m = Medium::new();
+        let a = m.join();
+        assert!(a.recv_timeout(Duration::from_millis(10)).is_none());
+    }
+
+    #[test]
+    fn multicast_reaches_only_listed_targets() {
+        let m = Medium::new();
+        let a = m.join();
+        let b = m.join();
+        let c = m.join();
+        let d = m.join();
+        a.multicast(&[b.id(), d.id(), a.id()], 5, Bytes::from_static(b"m"), 64);
+        assert_eq!(b.recv().kind, 5);
+        assert_eq!(d.recv().kind, 5);
+        assert!(c.try_recv().is_none());
+        assert!(a.try_recv().is_none(), "self in target set is skipped");
+        assert_eq!(a.stats().msgs_tx, 1);
+        assert_eq!(c.stats().msgs_rx, 0);
+    }
+
+    #[test]
+    fn cross_thread_round_trip() {
+        let m = Medium::new();
+        let a = m.join();
+        let b = m.join();
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                let p = b.recv_kind(9);
+                b.unicast(p.from, 10, Bytes::from_static(b"pong"), 32);
+            });
+            a.broadcast(9, Bytes::from_static(b"ping"), 32);
+            let reply = a.recv_kind(10);
+            assert_eq!(reply.payload.as_ref(), b"pong");
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "round mismatch")]
+    fn recv_kind_panics_on_unexpected() {
+        let m = Medium::new();
+        let a = m.join();
+        let b = m.join();
+        a.broadcast(1, Bytes::new(), 8);
+        let _ = b.recv_kind(2);
+    }
+}

@@ -1,0 +1,37 @@
+//! # egka-sig
+//!
+//! The four signature schemes priced by the paper's Table 2 plus the
+//! certificate machinery of its certificate-based baselines:
+//!
+//! * [`gq`] — the Guillou–Quisquater ID-based variant of paper §3, including
+//!   the **aggregate/batch verification** of eq. (2) that powers the
+//!   proposed GKA protocol;
+//! * [`dsa`] — 1024-bit DSA over a Schnorr group;
+//! * [`ecdsa`] — ECDSA over secp160r1 (and any other `egka-ec` curve);
+//! * [`sok`] — the Sakai–Ohgishi–Kasahara pairing-based ID-based signature
+//!   (2 scalar-mul sign, 3-pairing verify, MapToPoint per identity/message);
+//! * [`certs`] — an X.509-like certificate format, DSA/ECDSA certifying
+//!   authorities, and the [`certs::CertStore`] verified-certificate cache
+//!   that reproduces the paper's "returning members don't re-verify
+//!   certificates" accounting.
+//!
+//! All schemes are built exclusively on the workspace's own substrates
+//! (`egka-bigint`, `egka-hash`, `egka-ec`); no external cryptography.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod certs;
+pub mod dsa;
+pub mod ecdsa;
+pub mod gq;
+pub mod sok;
+
+pub use certs::{
+    CaPublic, CaSignature, CertCheck, CertScheme, CertStore, Certificate, CertificateAuthority,
+    SubjectKey,
+};
+pub use dsa::{Dsa, DsaKeyPair, DsaSignature};
+pub use ecdsa::{Ecdsa, EcdsaKeyPair, EcdsaSignature};
+pub use gq::{GqMasterKey, GqParams, GqPkg, GqSecretKey, GqSignature};
+pub use sok::{SokParams, SokPkg, SokSecretKey, SokSignature};

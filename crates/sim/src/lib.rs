@@ -1,0 +1,31 @@
+//! # egka-sim
+//!
+//! The experiment harness: turns real, instrumented protocol runs (from
+//! `egka-core` over `egka-net`) plus the paper's energy model (from
+//! `egka-energy`) into the paper's evaluation artifacts:
+//!
+//! * [`figure1`] — total per-node energy of the five authenticated GKA
+//!   protocols, `n ∈ {10, 50, 100, 500}`, both transceivers (Figure 1);
+//! * [`tables`] — the dynamic-protocol energy table (Table 5, per role,
+//!   paper-vs-measured) and measured message counts for Table 4;
+//! * [`scenario`] — single-protocol runners that assert instrumented counts
+//!   equal the closed forms before anything is priced;
+//! * [`report`] — serde-able datasets with CSV/markdown/ASCII-chart
+//!   renderers.
+//!
+//! The `egka-bench` crate's `repro_*` binaries are thin wrappers over this
+//! crate.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod figure1;
+pub mod latency;
+pub mod report;
+pub mod scenario;
+pub mod tables;
+
+pub use figure1::{check_shape, curve_letter, generate as generate_figure1, Figure1Config};
+pub use latency::{initial_gka_latency, node_latency, LatencyEstimate};
+pub use report::{Figure1, Figure1Point, Source, Table5, Table5Row};
+pub use tables::{generate_table5, measured_dynamic_msgs, Table5Config, PAPER_TABLE5};

@@ -1,0 +1,106 @@
+//! Scenario runners: set up credentials and execute one protocol at one
+//! group size, returning the (symmetric) per-user operation counts.
+//!
+//! All scenarios run on the **toy security profile** — the paper's energy
+//! model prices *operation counts* and *nominal wire bits*, both of which
+//! are independent of the actual parameter sizes, so sweeps use fast
+//! algebra while remaining real executions (keys agree, signatures verify).
+//! `run_initial` asserts the instrumented counts equal the Table 1 closed
+//! form before returning them.
+
+use egka_core::{authbd, proposed, ssn, AuthKit, Pkg, RunConfig, SecurityProfile};
+use egka_energy::complexity::InitialProtocol;
+use egka_energy::OpCounts;
+use egka_hash::ChaChaRng;
+use egka_sig::{Dsa, Ecdsa};
+use rand::SeedableRng;
+
+/// Runs `protocol` at group size `n` (instrumented, toy algebra) and
+/// returns one representative per-user count vector.
+///
+/// # Panics
+/// Panics if the run fails, keys disagree, per-user counts are asymmetric,
+/// or the instrumented counts deviate from the Table 1 closed form.
+pub fn run_initial(protocol: InitialProtocol, n: usize, seed: u64) -> OpCounts {
+    let mut rng = ChaChaRng::seed_from_u64(seed ^ 0x5ce9_a710);
+    let report = match protocol {
+        InitialProtocol::ProposedGqBatch => {
+            let pkg = Pkg::setup(&mut rng, SecurityProfile::Toy);
+            let keys = pkg.extract_group(n as u32);
+            proposed::run(pkg.params(), &keys, seed, RunConfig::default()).0
+        }
+        InitialProtocol::Ssn => {
+            let pkg = Pkg::setup(&mut rng, SecurityProfile::Toy);
+            let keys = pkg.extract_group(n as u32);
+            ssn::run(pkg.params(), &keys, seed)
+        }
+        InitialProtocol::BdSok => {
+            let bd = egka_bigint::gen_schnorr_group(&mut rng, 256, 96);
+            let pairing = egka_ec::gen_pairing_group(&mut rng, 96, 64);
+            let kit = AuthKit::setup_sok(&mut rng, pairing, n);
+            authbd::run(&bd, &kit, seed)
+        }
+        InitialProtocol::BdEcdsa => {
+            let bd = egka_bigint::gen_schnorr_group(&mut rng, 256, 96);
+            let kit = AuthKit::setup_ecdsa(&mut rng, Ecdsa::new(egka_ec::secp160r1()), n);
+            authbd::run(&bd, &kit, seed)
+        }
+        InitialProtocol::BdDsa => {
+            let bd = egka_bigint::gen_schnorr_group(&mut rng, 256, 96);
+            let dsa = Dsa::new(egka_bigint::gen_schnorr_group(&mut rng, 256, 96));
+            let kit = AuthKit::setup_dsa(&mut rng, dsa, n);
+            authbd::run(&bd, &kit, seed)
+        }
+    };
+    assert!(report.keys_agree(), "{}: keys diverged", protocol.key());
+    let expect = protocol.per_user_counts(n as u64);
+    for node in &report.nodes {
+        assert_priced_counts_eq(&node.counts, &expect, protocol.key());
+    }
+    report.nodes[0].counts.clone()
+}
+
+/// Asserts the *priced* operations and traffic of `got` equal `want`
+/// (bookkeeping ops the paper prices at zero are excluded).
+pub fn assert_priced_counts_eq(got: &OpCounts, want: &OpCounts, what: &str) {
+    use egka_energy::CompOp;
+    for i in 0..egka_energy::NUM_OPS {
+        let op = CompOp::from_index(i).expect("valid op index");
+        if matches!(
+            op,
+            CompOp::Hash | CompOp::ModInv | CompOp::ModMul | CompOp::SymEnc | CompOp::SymDec
+        ) {
+            continue;
+        }
+        assert_eq!(
+            got.comp.get(i).copied().unwrap_or(0),
+            want.comp.get(i).copied().unwrap_or(0),
+            "{what}: count mismatch for {op:?}"
+        );
+    }
+    assert_eq!(got.msgs_tx, want.msgs_tx, "{what}: msgs_tx");
+    assert_eq!(got.msgs_rx, want.msgs_rx, "{what}: msgs_rx");
+    assert_eq!(got.tx_bits, want.tx_bits, "{what}: tx_bits");
+    assert_eq!(got.rx_bits, want.rx_bits, "{what}: rx_bits");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The instrumented == closed-form assertion inside `run_initial` is
+    /// the real test; these calls exercise it for every protocol.
+    #[test]
+    fn all_protocols_match_closed_forms_at_n6() {
+        for p in InitialProtocol::ALL {
+            let counts = run_initial(p, 6, 0xc0ffee);
+            assert_eq!(counts.msgs_tx, 2, "{}", p.key());
+        }
+    }
+
+    #[test]
+    fn proposed_matches_at_larger_n() {
+        let counts = run_initial(InitialProtocol::ProposedGqBatch, 17, 7);
+        assert_eq!(counts.msgs_rx, 32);
+    }
+}

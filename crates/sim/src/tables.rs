@@ -1,0 +1,381 @@
+//! Table 4/5 reproduction: the dynamic protocols' complexity and energy.
+//!
+//! [`generate_table5`] runs every dynamic event **for real** (instrumented,
+//! toy algebra) at the paper's parameters (`n = 100`, `m = 20`, `ℓd = 20`,
+//! StrongARM + WLAN), cross-checks the per-role instrumented counts against
+//! the closed forms, prices them, and lays the result next to the paper's
+//! printed joules.
+
+use egka_core::dynamics;
+use egka_core::{authbd, proposed, AuthKit, Pkg, RunConfig, SecurityProfile, UserId};
+use egka_energy::complexity::{
+    bd_reexec, proposed_join, proposed_leave, proposed_merge, proposed_partition, DynamicEvent,
+};
+use egka_energy::{total_energy_mj, CpuModel, OpCounts, Transceiver};
+use egka_hash::ChaChaRng;
+use egka_sig::Ecdsa;
+use rand::SeedableRng;
+
+use crate::report::{Source, Table5, Table5Row};
+use crate::scenario::assert_priced_counts_eq;
+
+/// Table 5 run configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct Table5Config {
+    /// Current group size (paper: 100).
+    pub n: usize,
+    /// Merging users (paper: 20).
+    pub m: usize,
+    /// Leaving users (paper: 20).
+    pub ld: usize,
+    /// Execute instrumented runs (`false` = closed forms only; the closed
+    /// forms are themselves validated by instrumented runs in the tests).
+    pub instrument: bool,
+    /// Seed for instrumented runs.
+    pub seed: u64,
+}
+
+impl Default for Table5Config {
+    fn default() -> Self {
+        Table5Config { n: 100, m: 20, ld: 20, instrument: true, seed: 0x7ab1e5 }
+    }
+}
+
+/// Paper-printed Table 5 values in joules, with role labels.
+pub const PAPER_TABLE5: [(&str, &str, f64); 15] = [
+    ("BD Join", "U1 - Un", 1.234),
+    ("BD Join", "Un+1", 2.31),
+    ("Our Join Protocol", "U1", 0.039),
+    ("Our Join Protocol", "Un", 0.049),
+    ("Our Join Protocol", "Un+1", 0.057),
+    ("Our Join Protocol", "Others", 0.00134),
+    ("BD Leave", "Remain. Users", 1.179),
+    ("Our Leave Protocol", "Uj, j = odd", 0.160),
+    ("Our Leave Protocol", "Uk, k = even", 0.150),
+    ("BD Merge", "Group A Users", 1.660),
+    ("BD Merge", "Group B Users", 2.532),
+    ("Our Merge Protocol", "U1", 0.079),
+    ("Our Merge Protocol", "Un+1", 0.079),
+    ("Our Merge Protocol", "Others", 0.000986),
+    ("BD Partition", "Remain. Users", 0.942),
+];
+
+fn energy_j(counts: &OpCounts) -> f64 {
+    total_energy_mj(
+        &CpuModel::strongarm_133(),
+        &Transceiver::wlan_spectrum24(),
+        counts,
+    ) / 1000.0
+}
+
+/// Per-role counts for every Table 5 row, in [`PAPER_TABLE5`] order plus
+/// the two final Partition rows.
+struct RoleTable {
+    rows: Vec<(String, String, OpCounts)>,
+    source: Source,
+}
+
+/// Generates the reproduced Table 5.
+///
+/// # Panics
+/// When `config.instrument` is set, panics if any instrumented role count
+/// deviates from its closed form (the cross-check that justifies the
+/// model).
+pub fn generate_table5(config: &Table5Config) -> Table5 {
+    let roles = if config.instrument {
+        instrumented_roles(config)
+    } else {
+        closed_form_roles(config)
+    };
+    let mut rows = Vec::new();
+    let paper: Vec<(&str, &str, f64)> = PAPER_TABLE5
+        .into_iter()
+        .chain([
+            ("Our Partition Protocol", "Uj, j = odd", 0.142),
+            ("Our Partition Protocol", "Uk, k = even", 0.132),
+        ])
+        .collect();
+    for (protocol, role, paper_j) in paper {
+        let counts = roles
+            .rows
+            .iter()
+            .find(|(p, r, _)| p == protocol && r == role)
+            .map(|(_, _, c)| c)
+            .unwrap_or_else(|| panic!("missing role {protocol}/{role}"));
+        rows.push(Table5Row {
+            protocol: protocol.to_string(),
+            role: role.to_string(),
+            paper_j,
+            measured_j: energy_j(counts),
+            source: roles.source,
+        });
+    }
+    Table5 { rows }
+}
+
+fn push_roles(
+    rows: &mut Vec<(String, String, OpCounts)>,
+    proto: &str,
+    roles: Vec<egka_energy::RoleCounts>,
+    names: &[&str],
+) {
+    for (rc, name) in roles.into_iter().zip(names) {
+        rows.push((proto.to_string(), name.to_string(), rc.counts));
+    }
+}
+
+fn closed_form_roles(config: &Table5Config) -> RoleTable {
+    let (n, m, ld) = (config.n as u64, config.m as u64, config.ld as u64);
+    let v_leave = n / 2; // even-indexed leaver keeps all 1-based odds
+    let v_part = (n - ld) / 2; // leavers split evenly between parities
+    let mut rows = Vec::new();
+    push_roles(&mut rows, "BD Join", bd_reexec(DynamicEvent::Join, n, m, ld), &["U1 - Un", "Un+1"]);
+    push_roles(
+        &mut rows,
+        "Our Join Protocol",
+        proposed_join(n),
+        &["U1", "Un", "Un+1", "Others"],
+    );
+    push_roles(&mut rows, "BD Leave", bd_reexec(DynamicEvent::Leave, n, m, ld), &["Remain. Users"]);
+    push_roles(
+        &mut rows,
+        "Our Leave Protocol",
+        proposed_leave(n, v_leave),
+        &["Uj, j = odd", "Uk, k = even"],
+    );
+    push_roles(
+        &mut rows,
+        "BD Merge",
+        bd_reexec(DynamicEvent::Merge, n, m, ld),
+        &["Group A Users", "Group B Users"],
+    );
+    // The paper's Merge table lists both controllers (same cost) and one
+    // bystander row.
+    let merge_roles = proposed_merge(n, m);
+    rows.push(("Our Merge Protocol".into(), "U1".into(), merge_roles[0].counts.clone()));
+    rows.push(("Our Merge Protocol".into(), "Un+1".into(), merge_roles[1].counts.clone()));
+    rows.push(("Our Merge Protocol".into(), "Others".into(), merge_roles[2].counts.clone()));
+    push_roles(
+        &mut rows,
+        "BD Partition",
+        bd_reexec(DynamicEvent::Partition, n, m, ld),
+        &["Remain. Users"],
+    );
+    push_roles(
+        &mut rows,
+        "Our Partition Protocol",
+        proposed_partition(n, ld, v_part),
+        &["Uj, j = odd", "Uk, k = even"],
+    );
+    RoleTable { rows, source: Source::ClosedForm }
+}
+
+fn instrumented_roles(config: &Table5Config) -> RoleTable {
+    let (n, m, ld) = (config.n, config.m, config.ld);
+    assert!(n >= 6 && m >= 2 && ld >= 2 && ld < n, "degenerate Table 5 config");
+    let mut rng = ChaChaRng::seed_from_u64(config.seed);
+    let mut rows: Vec<(String, String, OpCounts)> = Vec::new();
+
+    // ---- Proposed dynamics over a real session ----
+    let pkg = Pkg::setup(&mut rng, SecurityProfile::Toy);
+    let keys_a = pkg.extract_group(n as u32);
+    let (_, session_a) = proposed::run(pkg.params(), &keys_a, config.seed, RunConfig::default());
+
+    // Join: a brand-new member joins.
+    {
+        let nk = pkg.extract(UserId((n + m) as u32));
+        let out = dynamics::join(&session_a, UserId((n + m) as u32), &nk, config.seed ^ 1, false);
+        let want = proposed_join(n as u64);
+        let picks = [(0usize, "U1"), (n - 1, "Un"), (n, "Un+1"), (1, "Others")];
+        for ((idx, name), role) in picks.iter().zip(&want) {
+            assert_priced_counts_eq(&out.reports[*idx].counts, &role.counts, "join role");
+            rows.push(("Our Join Protocol".into(), name.to_string(), out.reports[*idx].counts.clone()));
+        }
+    }
+
+    // Leave: an even 1-based member departs (keeps v = n/2 refreshers).
+    {
+        let out = dynamics::leave(&session_a, 3, config.seed ^ 2);
+        let v = out.refreshers.len() as u64;
+        assert_eq!(v, n as u64 / 2);
+        let want = proposed_leave(n as u64, v);
+        let odd_idx = out.refreshers[0];
+        let even_idx = (0..out.reports.len())
+            .find(|k| !out.refreshers.contains(k))
+            .expect("even member exists");
+        assert_priced_counts_eq(&out.reports[odd_idx].counts, &want[0].counts, "leave odd");
+        assert_priced_counts_eq(&out.reports[even_idx].counts, &want[1].counts, "leave even");
+        rows.push(("Our Leave Protocol".into(), "Uj, j = odd".into(), out.reports[odd_idx].counts.clone()));
+        rows.push(("Our Leave Protocol".into(), "Uk, k = even".into(), out.reports[even_idx].counts.clone()));
+    }
+
+    // Merge with a second real group.
+    {
+        let keys_b: Vec<_> = (n..n + m).map(|i| pkg.extract(UserId(i as u32))).collect();
+        let (_, session_b) =
+            proposed::run(pkg.params(), &keys_b, config.seed ^ 3, RunConfig::default());
+        let out = dynamics::merge(&session_a, &session_b, config.seed ^ 4);
+        let want = proposed_merge(n as u64, m as u64);
+        assert_priced_counts_eq(&out.reports[0].counts, &want[0].counts, "merge U1");
+        assert_priced_counts_eq(&out.reports[n].counts, &want[1].counts, "merge Un+1");
+        assert_priced_counts_eq(&out.reports[1].counts, &want[2].counts, "merge others");
+        rows.push(("Our Merge Protocol".into(), "U1".into(), out.reports[0].counts.clone()));
+        rows.push(("Our Merge Protocol".into(), "Un+1".into(), out.reports[n].counts.clone()));
+        rows.push(("Our Merge Protocol".into(), "Others".into(), out.reports[1].counts.clone()));
+    }
+
+    // Partition: the tail `ld` positions depart (even parity split ⇒ the
+    // paper's v = (n − ld)/2).
+    {
+        let leavers: Vec<usize> = (n - ld..n).collect();
+        let out = dynamics::partition(&session_a, &leavers, config.seed ^ 5);
+        let v = out.refreshers.len() as u64;
+        assert_eq!(v, (n as u64 - ld as u64) / 2);
+        let want = proposed_partition(n as u64, ld as u64, v);
+        let odd_idx = out.refreshers[0];
+        let even_idx = (0..out.reports.len())
+            .find(|k| !out.refreshers.contains(k))
+            .expect("even member exists");
+        assert_priced_counts_eq(&out.reports[odd_idx].counts, &want[0].counts, "partition odd");
+        assert_priced_counts_eq(&out.reports[even_idx].counts, &want[1].counts, "partition even");
+        rows.push(("Our Partition Protocol".into(), "Uj, j = odd".into(), out.reports[odd_idx].counts.clone()));
+        rows.push(("Our Partition Protocol".into(), "Uk, k = even".into(), out.reports[even_idx].counts.clone()));
+    }
+
+    // ---- BD re-execution baselines (ECDSA, cached certificates) ----
+    let bd = egka_bigint::gen_schnorr_group(&mut rng, 256, 96);
+    let ecdsa = Ecdsa::new(egka_ec::secp160r1());
+    // Join: n+1 nodes; the last one is the newcomer.
+    {
+        let kit = AuthKit::setup_ecdsa(&mut rng, ecdsa.clone(), n + 1);
+        let report =
+            authbd::run_with_trust(&bd, &kit, config.seed ^ 6, |i, j| i < n && j < n);
+        let want = bd_reexec(DynamicEvent::Join, n as u64, m as u64, ld as u64);
+        assert_priced_counts_eq(&report.nodes[0].counts, &want[0].counts, "bd join returning");
+        assert_priced_counts_eq(&report.nodes[n].counts, &want[1].counts, "bd join newcomer");
+        rows.push(("BD Join".into(), "U1 - Un".into(), report.nodes[0].counts.clone()));
+        rows.push(("BD Join".into(), "Un+1".into(), report.nodes[n].counts.clone()));
+    }
+    // Leave: n−1 nodes, all certificates already trusted.
+    {
+        let kit = AuthKit::setup_ecdsa(&mut rng, ecdsa.clone(), n - 1);
+        let report = authbd::run_with_trust(&bd, &kit, config.seed ^ 7, |_, _| true);
+        let want = bd_reexec(DynamicEvent::Leave, n as u64, m as u64, ld as u64);
+        assert_priced_counts_eq(&report.nodes[0].counts, &want[0].counts, "bd leave");
+        rows.push(("BD Leave".into(), "Remain. Users".into(), report.nodes[0].counts.clone()));
+    }
+    // Merge: n+m nodes; same-side certificates trusted.
+    {
+        let kit = AuthKit::setup_ecdsa(&mut rng, ecdsa.clone(), n + m);
+        let report =
+            authbd::run_with_trust(&bd, &kit, config.seed ^ 8, |i, j| (i < n) == (j < n));
+        let want = bd_reexec(DynamicEvent::Merge, n as u64, m as u64, ld as u64);
+        assert_priced_counts_eq(&report.nodes[0].counts, &want[0].counts, "bd merge A");
+        assert_priced_counts_eq(&report.nodes[n].counts, &want[1].counts, "bd merge B");
+        rows.push(("BD Merge".into(), "Group A Users".into(), report.nodes[0].counts.clone()));
+        rows.push(("BD Merge".into(), "Group B Users".into(), report.nodes[n].counts.clone()));
+    }
+    // Partition: n−ld nodes, everything trusted.
+    {
+        let kit = AuthKit::setup_ecdsa(&mut rng, ecdsa, n - ld);
+        let report = authbd::run_with_trust(&bd, &kit, config.seed ^ 9, |_, _| true);
+        let want = bd_reexec(DynamicEvent::Partition, n as u64, m as u64, ld as u64);
+        assert_priced_counts_eq(&report.nodes[0].counts, &want[0].counts, "bd partition");
+        rows.push(("BD Partition".into(), "Remain. Users".into(), report.nodes[0].counts.clone()));
+    }
+
+    RoleTable { rows, source: Source::Instrumented }
+}
+
+/// Measured total message counts for Table 4's "Msgs" column, from one
+/// instrumented run of each proposed dynamic protocol.
+pub fn measured_dynamic_msgs(n: usize, m: usize, ld: usize, seed: u64) -> [(char, u64); 4] {
+    let mut rng = ChaChaRng::seed_from_u64(seed);
+    let pkg = Pkg::setup(&mut rng, SecurityProfile::Toy);
+    let keys = pkg.extract_group(n as u32);
+    let (_, session) = proposed::run(pkg.params(), &keys, seed, RunConfig::default());
+    let join_msgs = {
+        let nk = pkg.extract(UserId((n + m) as u32));
+        let out = dynamics::join(&session, UserId((n + m) as u32), &nk, seed ^ 1, false);
+        out.reports.iter().map(|r| r.counts.msgs_tx).sum()
+    };
+    let leave_msgs = {
+        let out = dynamics::leave(&session, 3, seed ^ 2);
+        out.reports.iter().map(|r| r.counts.msgs_tx).sum()
+    };
+    let merge_msgs = {
+        let keys_b: Vec<_> = (n..n + m).map(|i| pkg.extract(UserId(i as u32))).collect();
+        let (_, sb) = proposed::run(pkg.params(), &keys_b, seed ^ 3, RunConfig::default());
+        let out = dynamics::merge(&session, &sb, seed ^ 4);
+        out.reports.iter().map(|r| r.counts.msgs_tx).sum()
+    };
+    let part_msgs = {
+        let leavers: Vec<usize> = (n - ld..n).collect();
+        let out = dynamics::partition(&session, &leavers, seed ^ 5);
+        out.reports.iter().map(|r| r.counts.msgs_tx).sum()
+    };
+    [('J', join_msgs), ('L', leave_msgs), ('M', merge_msgs), ('P', part_msgs)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Small instrumented Table 5 (n = 10, m = 4, ld = 4): every role's
+    /// instrumented counts must match the closed forms (asserted inside).
+    #[test]
+    fn small_instrumented_table5_is_consistent() {
+        let config = Table5Config { n: 10, m: 4, ld: 4, instrument: true, seed: 42 };
+        let t = generate_table5(&config);
+        assert_eq!(t.rows.len(), 17);
+        // At n=10 the measured values won't match the paper's n=100 numbers
+        // (they're parameter-dependent); shape only: ours beats BD.
+        let bd_join = t.rows.iter().find(|r| r.protocol == "BD Join").unwrap();
+        let our_join = t
+            .rows
+            .iter()
+            .find(|r| r.protocol == "Our Join Protocol" && r.role == "U1")
+            .unwrap();
+        assert!(bd_join.measured_j > our_join.measured_j * 3.0);
+    }
+
+    /// Closed-form Table 5 at the paper's parameters must land on the
+    /// printed joules (tolerances documented in EXPERIMENTS.md).
+    #[test]
+    fn closed_form_table5_matches_paper_within_tolerance() {
+        let config = Table5Config { instrument: false, ..Table5Config::default() };
+        let t = generate_table5(&config);
+        for row in &t.rows {
+            let tol = match (row.protocol.as_str(), row.role.as_str()) {
+                // The paper's own arithmetic for these rows is loose.
+                ("BD Leave", _) => 0.05,
+                ("BD Partition", _) => 0.05,
+                ("Our Merge Protocol", "Others") => 0.05,
+                ("Our Join Protocol", "Others") => 0.05,
+                _ => 0.03,
+            };
+            assert!(
+                row.rel_err() < tol,
+                "{} / {}: paper {} J, measured {:.4} J (err {:.1}%)",
+                row.protocol,
+                row.role,
+                row.paper_j,
+                row.measured_j,
+                row.rel_err() * 100.0
+            );
+        }
+    }
+
+    #[test]
+    fn measured_message_counts_for_table4() {
+        // n=8, m=4, ld=2: J=4 (paper prints 5), L = v + n − 2 with v=4 ⇒
+        // measured 4 + 7 = 11 (paper's symbolic v+n−2 = 10), M=6, P = v+rem.
+        let msgs = measured_dynamic_msgs(8, 4, 2, 7);
+        assert_eq!(msgs[0], ('J', 4));
+        assert_eq!(msgs[2], ('M', 6));
+        // Leave: v=4 refreshers send 2 each, the other 3 remaining send 1.
+        assert_eq!(msgs[1], ('L', 11));
+        // Partition (ld=2 at tail, remaining 6, v=3): 3×2 + 3×1 = 9.
+        assert_eq!(msgs[3], ('P', 9));
+    }
+}

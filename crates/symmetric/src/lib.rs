@@ -1,0 +1,26 @@
+//! # egka-symmetric
+//!
+//! From-scratch symmetric cryptography for the `egka` reproduction:
+//!
+//! * [`aes::Aes`] — FIPS 197 AES-128/192/256 (verified against the official
+//!   known-answer tests);
+//! * [`modes`] — CBC (with PKCS#7) and CTR;
+//! * [`envelope::Envelope`] — the paper's `E_K(·)` authenticated envelope
+//!   used by the Join/Leave/Merge/Partition re-keying messages.
+//!
+//! The paper's dynamic protocols lean on symmetric crypto precisely because
+//! its energy cost is "orders of magnitude lower than modular
+//! exponentiations" (paper §7, citing Carman et al.); the energy model in
+//! `egka-energy` accordingly treats these operations as negligible-cost while
+//! the *bits on air* they produce are still charged per Table 3.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod aes;
+pub mod envelope;
+pub mod modes;
+
+pub use aes::{Aes, KeySize};
+pub use envelope::{Envelope, EnvelopeError, TAG_LEN};
+pub use modes::{cbc_decrypt, cbc_encrypt, ctr_xor, pkcs7_pad, pkcs7_unpad};

@@ -1,0 +1,60 @@
+//! Quickstart: run the paper's proposed authenticated GKA for a small
+//! group, join a newcomer, remove a member, and price everything with the
+//! paper's energy model.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use egka::prelude::*;
+
+fn main() {
+    // --- Setup: the PKG generates parameters and extracts ID keys -------
+    // Toy sizes keep this instant; SecurityProfile::Paper (or
+    // egka::core::paper_fixture()) gives the paper's 1024-bit setting.
+    let mut rng = ChaChaRng::seed_from_u64(2006);
+    let pkg = Pkg::setup(&mut rng, SecurityProfile::Toy);
+    let n = 8;
+    let keys = pkg.extract_group(n);
+    println!("PKG ready: BD group |p| = {} bits, GQ modulus |n| = {} bits",
+        pkg.params().bd.p.bit_length(), pkg.params().gq.n.bit_length());
+
+    // --- Initial group key agreement (paper §4) -------------------------
+    let (report, session) = proposed::run(pkg.params(), &keys, 1, RunConfig::default());
+    assert!(report.keys_agree());
+    println!("\n{} users agreed on a group key in {} attempt(s)", n, report.attempts);
+    println!("key fingerprint: {:.16}…", session.key.to_hex());
+
+    let cpu = CpuModel::strongarm_133();
+    for radio in Transceiver::paper_pair() {
+        let mj = total_energy_mj(&cpu, &radio, &report.nodes[0].counts);
+        println!("per-node energy on {:<35} {:>8.2} mJ", radio.name, mj);
+    }
+    let c = &report.nodes[0].counts;
+    println!(
+        "per-node ops: {} mod-exps, {} GQ sign, {} batch verification, {} msgs rx",
+        c.exps(),
+        c.get(CompOp::SignGen(Scheme::Gq)),
+        c.get(CompOp::SignVerify(Scheme::Gq)),
+        c.msgs_rx
+    );
+
+    // --- A user joins (paper §7, three messages instead of a re-run) ----
+    let newcomer = UserId(100);
+    let nk = pkg.extract(newcomer);
+    let joined = dynamics::join(&session, newcomer, &nk, 2, true);
+    println!("\n{newcomer} joined: group is now {} members", joined.session.n());
+    let u1_mj = total_energy_mj(&cpu, &Transceiver::wlan_spectrum24(), &joined.reports[0].counts);
+    let by_mj = total_energy_mj(&cpu, &Transceiver::wlan_spectrum24(), &joined.reports[2].counts);
+    println!("controller spent {u1_mj:.2} mJ; a bystander spent {by_mj:.3} mJ");
+
+    // --- A user leaves (reduced re-key, odd-indexed users refresh) ------
+    let after_leave = dynamics::leave(&joined.session, 3, 3);
+    println!(
+        "\nmember at ring position 3 left: {} remain, {} refreshed exponents",
+        after_leave.session.n(),
+        after_leave.refreshers.len()
+    );
+    assert_ne!(after_leave.session.key, joined.session.key);
+    println!("forward secrecy: key changed on departure ✓");
+}

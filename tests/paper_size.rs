@@ -1,0 +1,48 @@
+//! Full paper-size (1024-bit) executions on the pinned fixture.
+//!
+//! These run the real protocols at the paper's exact parameter sizes —
+//! 1024-bit BD modulus, 160-bit subgroup, 1024-bit GQ modulus with a
+//! 161-bit prime exponent. They take seconds-to-minutes, so all but a
+//! smoke test are `#[ignore]`d; run with
+//! `cargo test --test paper_size -- --ignored`.
+
+use egka::prelude::*;
+
+#[test]
+fn paper_fixture_gq_roundtrip() {
+    // Cheap smoke test at full size: one signature.
+    let pkg = egka::core::paper_fixture();
+    let mut rng = ChaChaRng::seed_from_u64(1);
+    let key = pkg.extract(UserId(0));
+    let sig = pkg.params().gq.sign(&mut rng, &key, b"paper-size");
+    assert!(pkg.params().gq.verify(&UserId(0).to_bytes(), b"paper-size", &sig));
+}
+
+#[test]
+#[ignore = "1024-bit full GKA; run with --ignored"]
+fn paper_size_proposed_gka() {
+    let pkg = egka::core::paper_fixture();
+    let keys = pkg.extract_group(5);
+    let (report, session) = proposed::run(pkg.params(), &keys, 1, RunConfig::default());
+    assert!(report.keys_agree());
+    assert!(session.invariant_holds());
+    assert_eq!(session.key.bit_length().max(1) <= 1024, true);
+    // Counts are identical to the toy-profile runs — the accounting is
+    // parameter-size independent, which is what justifies toy sweeps.
+    let expect = InitialProtocol::ProposedGqBatch.per_user_counts(5);
+    assert_eq!(report.nodes[0].counts.exps(), expect.exps());
+    assert_eq!(report.nodes[0].counts.tx_bits, expect.tx_bits);
+}
+
+#[test]
+#[ignore = "1024-bit dynamics; run with --ignored"]
+fn paper_size_join_and_leave() {
+    let pkg = egka::core::paper_fixture();
+    let keys = pkg.extract_group(4);
+    let (_, s0) = proposed::run(pkg.params(), &keys, 2, RunConfig::default());
+    let j = dynamics::join(&s0, UserId(9), &pkg.extract(UserId(9)), 3, true);
+    assert!(j.session.invariant_holds());
+    let l = dynamics::leave(&j.session, 1, 4);
+    assert!(l.session.invariant_holds());
+    assert_eq!(l.session.n(), 4);
+}

@@ -1,0 +1,122 @@
+//! Workspace-level property tests on the protocol invariants.
+//!
+//! (Per-crate properties — bigint algebra, AES/SHA vectors, curve group
+//! laws — live in their own crates; these cover the cross-crate laws the
+//! paper's correctness rests on.)
+
+use egka::prelude::*;
+use proptest::prelude::*;
+
+/// Shared toy PKG: parameter generation is too slow to re-run per case.
+fn pkg() -> &'static Pkg {
+    use std::sync::OnceLock;
+    static PKG: OnceLock<Pkg> = OnceLock::new();
+    PKG.get_or_init(|| {
+        let mut rng = ChaChaRng::seed_from_u64(0x9c9c);
+        Pkg::setup(&mut rng, SecurityProfile::Toy)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// BD: any ring size, any seed ⇒ all members derive the same key and
+    /// Lemma 1 holds.
+    #[test]
+    fn bd_agreement(n in 2usize..9, seed in any::<u64>()) {
+        let group = &pkg().params().bd;
+        let mut rng = ChaChaRng::seed_from_u64(seed);
+        let keys = egka::core::bd::run_plain(&mut rng, group, n);
+        prop_assert!(keys.windows(2).all(|w| w[0] == w[1]));
+    }
+
+    /// The proposed protocol agrees for any (n, seed) and its session
+    /// satisfies the ring invariant.
+    #[test]
+    fn proposed_agreement(n in 2u32..8, seed in any::<u64>()) {
+        let keys = pkg().extract_group(n);
+        let (report, session) = proposed::run(pkg().params(), &keys, seed, RunConfig::default());
+        prop_assert!(report.keys_agree());
+        prop_assert!(session.invariant_holds());
+    }
+
+    /// Join then leave of the newcomer returns to a consistent ring of the
+    /// original size, with a key different from every intermediate.
+    #[test]
+    fn join_leave_roundtrip(n in 3u32..7, seed in any::<u64>()) {
+        let keys = pkg().extract_group(n);
+        let (_, s0) = proposed::run(pkg().params(), &keys, seed, RunConfig::default());
+        let id = UserId(1000);
+        let j = dynamics::join(&s0, id, &pkg().extract(id), seed ^ 1, true);
+        prop_assert!(j.session.invariant_holds());
+        let l = dynamics::leave(&j.session, n as usize, seed ^ 2);
+        prop_assert_eq!(l.session.n(), n as usize);
+        prop_assert!(l.session.invariant_holds());
+        prop_assert_ne!(&l.session.key, &j.session.key);
+        prop_assert_ne!(&l.session.key, &s0.key);
+    }
+
+    /// GQ signatures verify for arbitrary messages and fail for any other
+    /// message or identity.
+    #[test]
+    fn gq_sign_verify(msg in proptest::collection::vec(any::<u8>(), 0..128),
+                      other in proptest::collection::vec(any::<u8>(), 0..128),
+                      seed in any::<u64>()) {
+        let params = &pkg().params().gq;
+        let key = pkg().extract(UserId(1));
+        let mut rng = ChaChaRng::seed_from_u64(seed);
+        let sig = params.sign(&mut rng, &key, &msg);
+        prop_assert!(params.verify(&UserId(1).to_bytes(), &msg, &sig));
+        if other != msg {
+            prop_assert!(!params.verify(&UserId(1).to_bytes(), &other, &sig));
+        }
+        prop_assert!(!params.verify(&UserId(2).to_bytes(), &msg, &sig));
+    }
+
+    /// Envelopes round-trip arbitrary payloads and reject any bit flip.
+    #[test]
+    fn envelope_roundtrip(payload in proptest::collection::vec(any::<u8>(), 0..256),
+                          flip in any::<(u16, u8)>(),
+                          seed in any::<u64>()) {
+        let env = egka::symmetric::Envelope::from_key_material(b"k");
+        let mut rng = ChaChaRng::seed_from_u64(seed);
+        let mut sealed = env.seal(&mut rng, &payload);
+        prop_assert_eq!(env.open(&sealed).unwrap(), payload);
+        let idx = flip.0 as usize % sealed.len();
+        let bit = 1u8 << (flip.1 % 8);
+        sealed[idx] ^= bit;
+        prop_assert!(env.open(&sealed).is_err());
+    }
+
+    /// Wire codec: Writer/Reader round-trips arbitrary field sequences.
+    #[test]
+    fn wire_roundtrip(id in any::<u32>(),
+                      a in proptest::collection::vec(any::<u8>(), 0..64),
+                      b in proptest::collection::vec(any::<u8>(), 0..64)) {
+        use egka::core::wire::{Reader, Writer};
+        let ua = egka::bigint::Ubig::from_bytes_be(&a);
+        let mut w = Writer::new();
+        w.put_id(UserId(id)).put_ubig(&ua).put_bytes(&b);
+        let buf = w.finish();
+        let mut r = Reader::new(&buf);
+        prop_assert_eq!(r.get_id().unwrap(), UserId(id));
+        prop_assert_eq!(r.get_ubig().unwrap(), ua);
+        prop_assert_eq!(r.get_bytes().unwrap(), &b[..]);
+        r.expect_end().unwrap();
+    }
+
+    /// Energy model: total energy is linear in counts (pricing is a dot
+    /// product — merging two runs' counts prices to the sum).
+    #[test]
+    fn energy_is_linear(n1 in 2u64..50, n2 in 2u64..50) {
+        let cpu = CpuModel::strongarm_133();
+        let radio = Transceiver::radio_100kbps();
+        let a = InitialProtocol::ProposedGqBatch.per_user_counts(n1);
+        let b = InitialProtocol::Ssn.per_user_counts(n2);
+        let mut merged = a.clone();
+        merged.merge(&b);
+        let lhs = total_energy_mj(&cpu, &radio, &merged);
+        let rhs = total_energy_mj(&cpu, &radio, &a) + total_energy_mj(&cpu, &radio, &b);
+        prop_assert!((lhs - rhs).abs() < 1e-9);
+    }
+}

@@ -4,7 +4,9 @@
 //! crypto plus the medium), i.e. `n ×` the per-node work Figure 1 prices.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use egka_core::{authbd, dynamics, proposed, ssn, AuthKit, Pkg, RunConfig, SecurityProfile, UserId};
+use egka_core::{
+    authbd, dynamics, proposed, ssn, AuthKit, Pkg, RunConfig, SecurityProfile, UserId,
+};
 use egka_hash::ChaChaRng;
 use egka_sig::Ecdsa;
 use rand::SeedableRng;
@@ -40,7 +42,9 @@ fn bench_dynamics(c: &mut Criterion) {
     let keys = pkg.extract_group(n);
     let (_, session) = proposed::run(pkg.params(), &keys, 5, RunConfig::default());
     let newcomer_key = pkg.extract(UserId(100));
-    let keys_b = (n..n + 4).map(|i| pkg.extract(UserId(i))).collect::<Vec<_>>();
+    let keys_b = (n..n + 4)
+        .map(|i| pkg.extract(UserId(i)))
+        .collect::<Vec<_>>();
     let (_, session_b) = proposed::run(pkg.params(), &keys_b, 6, RunConfig::default());
 
     let mut group = c.benchmark_group("dynamics_n12");
@@ -85,7 +89,10 @@ fn bench_retransmission(c: &mut Criterion) {
                 1,
                 RunConfig {
                     max_attempts: 3,
-                    fault: Some(egka_core::Fault::CorruptX { node: 2, on_attempt: 0 }),
+                    fault: Some(egka_core::Fault::CorruptX {
+                        node: 2,
+                        on_attempt: 0,
+                    }),
                 },
             )
         });

@@ -1,0 +1,77 @@
+//! Criterion benchmarks for the `egka-service` layer: epoch ticks under
+//! batched churn, and the coalescing planner's two join realizations at
+//! the same workload (k sequential Joins vs newcomer GKA + Merge).
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use egka_core::{dynamics, proposed, Pkg, RunConfig, SecurityProfile, UserId};
+use egka_hash::ChaChaRng;
+use egka_service::{KeyService, MembershipEvent, ServiceConfig};
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn pkg() -> Arc<Pkg> {
+    let mut rng = ChaChaRng::seed_from_u64(0x5e6b);
+    Arc::new(Pkg::setup(&mut rng, SecurityProfile::Toy))
+}
+
+/// One epoch tick over `groups` groups, each with one queued join and one
+/// queued leave — the service's steady-state unit of work.
+fn bench_epoch_tick(c: &mut Criterion) {
+    let pkg = pkg();
+    let mut group = c.benchmark_group("service_epoch_tick");
+    group.sample_size(10);
+    for groups in [8u64, 32] {
+        group.bench_with_input(BenchmarkId::new("churn", groups), &groups, |b, &groups| {
+            b.iter(|| {
+                let mut svc = KeyService::new(Arc::clone(&pkg), ServiceConfig::default());
+                for g in 0..groups {
+                    let base = g as u32 * 16;
+                    let members: Vec<UserId> = (base..base + 5).map(UserId).collect();
+                    svc.create_group(g, &members).unwrap();
+                    svc.submit(g, MembershipEvent::Join(UserId(base + 9)))
+                        .unwrap();
+                    svc.submit(g, MembershipEvent::Leave(UserId(base + 1)))
+                        .unwrap();
+                }
+                black_box(svc.tick())
+            });
+        });
+    }
+    group.finish();
+}
+
+/// The coalescing ablation: k joins served sequentially vs batched
+/// (newcomer GKA + one Merge), on the same starting ring.
+fn bench_join_realizations(c: &mut Criterion) {
+    let pkg = pkg();
+    let keys = pkg.extract_group(8);
+    let (_, session) = proposed::run(pkg.params(), &keys, 1, RunConfig::default());
+    let mut group = c.benchmark_group("join_realizations_n8");
+    group.sample_size(10);
+    for k in [2u32, 4] {
+        group.bench_with_input(BenchmarkId::new("sequential", k), &k, |b, &k| {
+            b.iter(|| {
+                let mut s = session.clone();
+                for j in 0..k {
+                    let id = UserId(100 + j);
+                    let key = pkg.extract(id);
+                    s = dynamics::join(&s, id, &key, u64::from(j), false).session;
+                }
+                black_box(s)
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("batched_merge", k), &k, |b, &k| {
+            b.iter(|| {
+                let newcomer_keys: Vec<_> = (0..k).map(|j| pkg.extract(UserId(100 + j))).collect();
+                let (_, ng) = proposed::run(pkg.params(), &newcomer_keys, 2, RunConfig::default());
+                black_box(dynamics::merge(&session, &ng, 3).session)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_epoch_tick, bench_join_realizations);
+criterion_main!(benches);

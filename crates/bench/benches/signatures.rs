@@ -88,13 +88,19 @@ fn bench_dsa_ecdsa(c: &mut Criterion) {
     let dsa = Dsa::new(egka_bigint::gen_schnorr_group(&mut rng, 512, 160));
     let kp = dsa.keygen(&mut rng);
     let sig = dsa.sign(&mut rng, &kp, b"m");
-    c.bench_function("dsa512_sign", |b| b.iter(|| dsa.sign(&mut rng, &kp, black_box(b"m"))));
-    c.bench_function("dsa512_verify", |b| b.iter(|| dsa.verify(&kp.y, b"m", black_box(&sig))));
+    c.bench_function("dsa512_sign", |b| {
+        b.iter(|| dsa.sign(&mut rng, &kp, black_box(b"m")))
+    });
+    c.bench_function("dsa512_verify", |b| {
+        b.iter(|| dsa.verify(&kp.y, b"m", black_box(&sig)))
+    });
 
     let ecdsa = Ecdsa::new(egka_ec::secp160r1());
     let ekp = ecdsa.keygen(&mut rng);
     let esig = ecdsa.sign(&mut rng, &ekp, b"m");
-    c.bench_function("ecdsa160_sign", |b| b.iter(|| ecdsa.sign(&mut rng, &ekp, black_box(b"m"))));
+    c.bench_function("ecdsa160_sign", |b| {
+        b.iter(|| ecdsa.sign(&mut rng, &ekp, black_box(b"m")))
+    });
     c.bench_function("ecdsa160_verify", |b| {
         b.iter(|| ecdsa.verify(&ekp.q, b"m", black_box(&esig)))
     });
@@ -108,12 +114,20 @@ fn bench_sok(c: &mut Criterion) {
     let sig = pkg.params.sign(&mut rng, &key, b"m");
     let mut g = c.benchmark_group("sok_194bit");
     g.sample_size(10);
-    g.bench_function("sign", |b| b.iter(|| pkg.params.sign(&mut rng, &key, black_box(b"m"))));
+    g.bench_function("sign", |b| {
+        b.iter(|| pkg.params.sign(&mut rng, &key, black_box(b"m")))
+    });
     g.bench_function("verify_3_pairings", |b| {
         b.iter(|| assert!(pkg.params.verify(b"alice", b"m", black_box(&sig))))
     });
     g.finish();
 }
 
-criterion_group!(benches, bench_gq, bench_gq_batch, bench_dsa_ecdsa, bench_sok);
+criterion_group!(
+    benches,
+    bench_gq,
+    bench_gq_batch,
+    bench_dsa_ecdsa,
+    bench_sok
+);
 criterion_main!(benches);

@@ -22,7 +22,10 @@ fn bench_generators(c: &mut Criterion) {
         b.iter(|| generate_figure1(black_box(&config)));
     });
     group.bench_function("table5_closed_form", |b| {
-        let config = Table5Config { instrument: false, ..Table5Config::default() };
+        let config = Table5Config {
+            instrument: false,
+            ..Table5Config::default()
+        };
         b.iter(|| generate_table5(black_box(&config)));
     });
     group.finish();

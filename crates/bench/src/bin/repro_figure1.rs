@@ -77,7 +77,8 @@ fn main() {
     );
     for proto in InitialProtocol::ALL {
         for n in &config.sizes {
-            let slow = egka_sim::initial_gka_latency(proto, *n, &cpu, &Transceiver::radio_100kbps());
+            let slow =
+                egka_sim::initial_gka_latency(proto, *n, &cpu, &Transceiver::radio_100kbps());
             let fast =
                 egka_sim::initial_gka_latency(proto, *n, &cpu, &Transceiver::wlan_spectrum24());
             println!(

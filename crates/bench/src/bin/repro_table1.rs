@@ -14,7 +14,9 @@ use egka_energy::complexity::{table1_symbolic, InitialProtocol};
 use egka_energy::{CompOp, Scheme};
 
 fn main() {
-    let n: u64 = arg_value("--n").map(|v| v.parse().expect("--n N")).unwrap_or(10);
+    let n: u64 = arg_value("--n")
+        .map(|v| v.parse().expect("--n N"))
+        .unwrap_or(10);
     println!("Table 1. Complexity Analysis for Authenticated BD GKA (per user)");
     println!("================================================================\n");
 
@@ -34,19 +36,26 @@ fn main() {
 
     // Closed forms evaluated at n.
     println!("\nEvaluated at n = {n} (closed form):");
+    #[allow(clippy::type_complexity)] // a static table of labelled accessors
     let rows: [(&str, fn(&egka_energy::OpCounts) -> u64); 9] = [
         ("Exp.", |c| c.exps()),
         ("Msg Tx", |c| c.msgs_tx),
         ("Msg Rx", |c| c.msgs_rx),
         ("Cert Ver", |c| {
-            Scheme::ALL.iter().map(|&s| c.get(CompOp::CertVerify(s))).sum()
+            Scheme::ALL
+                .iter()
+                .map(|&s| c.get(CompOp::CertVerify(s)))
+                .sum()
         }),
         ("MapToPt", |c| c.get(CompOp::MapToPoint)),
         ("Sign Gen", |c| {
             Scheme::ALL.iter().map(|&s| c.get(CompOp::SignGen(s))).sum()
         }),
         ("Sign Ver", |c| {
-            Scheme::ALL.iter().map(|&s| c.get(CompOp::SignVerify(s))).sum()
+            Scheme::ALL
+                .iter()
+                .map(|&s| c.get(CompOp::SignVerify(s)))
+                .sum()
         }),
         ("Tx bits", |c| c.tx_bits),
         ("Rx bits", |c| c.rx_bits),

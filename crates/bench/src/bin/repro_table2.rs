@@ -45,11 +45,18 @@ fn main() {
             row.p3_450_ms,
             alpha_ms,
             beta_mj,
-            if consistent { "" } else { "   <- paper's printed mJ deviates (documented)" }
+            if consistent {
+                ""
+            } else {
+                "   <- paper's printed mJ deviates (documented)"
+            }
         );
     }
     println!("\nDerivation chain (paper §6):");
-    println!("  modexp 9.1 mJ / 240 mW = {:.2} ms on the StrongARM", 9.1 / 240.0 * 1000.0);
+    println!(
+        "  modexp 9.1 mJ / 240 mW = {:.2} ms on the StrongARM",
+        9.1 / 240.0 * 1000.0
+    );
     println!(
         "  Tate on P3-1GHz: 20 ms × {:.2} = {:.1} ms on P3-450",
         CpuModel::p3_1ghz_to_450(1.0),

@@ -15,10 +15,7 @@ fn main() {
     println!("Table 3. Communication Energy Cost");
     println!("==================================\n");
     let radios = Transceiver::paper_pair();
-    println!(
-        "{:<34}{:>18}{:>14}",
-        "Item", radios[0].name, "WLAN Card"
-    );
+    println!("{:<34}{:>18}{:>14}", "Item", radios[0].name, "WLAN Card");
     println!(
         "{:<34}{:>14.2} µJ{:>12.2} µJ",
         "Tx per bit", radios[0].tx_uj_per_bit, radios[1].tx_uj_per_bit

@@ -14,7 +14,9 @@ use egka_bench::arg_value;
 use egka_energy::complexity::table4_symbolic;
 
 fn main() {
-    let n: usize = arg_value("--n").map(|v| v.parse().expect("--n N")).unwrap_or(8);
+    let n: usize = arg_value("--n")
+        .map(|v| v.parse().expect("--n N"))
+        .unwrap_or(8);
     let m = (n / 2).max(2);
     let ld = (n / 4).max(2);
 

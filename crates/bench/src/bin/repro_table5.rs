@@ -22,7 +22,14 @@ fn main() {
         "Table 5. Energy Cost for Dynamic Protocols (n = {}, m = {}, ld = {})",
         config.n, config.m, config.ld
     );
-    println!("source: {}\n", if config.instrument { "instrumented runs" } else { "closed forms" });
+    println!(
+        "source: {}\n",
+        if config.instrument {
+            "instrumented runs"
+        } else {
+            "closed forms"
+        }
+    );
     let t = generate_table5(&config);
     println!("{}", t.to_markdown());
     println!(

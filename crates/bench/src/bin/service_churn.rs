@@ -1,0 +1,87 @@
+//! Service-layer throughput bench: Poisson churn over thousands of
+//! concurrent groups through the `egka-service` epoch-batched rekey
+//! coordinator.
+//!
+//! ```text
+//! cargo run --release -p egka-bench --bin service_churn
+//! cargo run --release -p egka-bench --bin service_churn -- \
+//!     --groups 1000 --epochs 10 --join-rate 0.7 --leave-rate 0.6 \
+//!     --shards 8 --seed 7 [--check-determinism]
+//! ```
+//!
+//! Reports per-epoch events/rekeys/coalesce-ratio/energy and rekey-latency
+//! quantiles, plus scenario totals (throughput, events-coalesced ratio,
+//! total energy) and a key fingerprint that is identical for identical
+//! seeds. With `--check-determinism` the scenario runs twice and the two
+//! fingerprints are compared.
+
+use egka_bench::{arg_value, has_flag};
+use egka_sim::{run_churn, ChurnConfig};
+
+fn main() {
+    let mut config = ChurnConfig::default();
+    if let Some(v) = arg_value("--groups") {
+        config.groups = v.parse().expect("--groups N");
+    }
+    if let Some(v) = arg_value("--group-size") {
+        config.group_size = v.parse().expect("--group-size N");
+    }
+    if let Some(v) = arg_value("--epochs") {
+        config.epochs = v.parse().expect("--epochs N");
+    }
+    if let Some(v) = arg_value("--join-rate") {
+        config.join_rate = v.parse().expect("--join-rate F");
+    }
+    if let Some(v) = arg_value("--leave-rate") {
+        config.leave_rate = v.parse().expect("--leave-rate F");
+    }
+    if let Some(v) = arg_value("--shards") {
+        config.shards = v.parse().expect("--shards N");
+    }
+    if let Some(v) = arg_value("--seed") {
+        config.seed = v.parse().expect("--seed N");
+    }
+
+    println!(
+        "service_churn: {} groups (size {}..{}), {} epochs, λ_join {}, λ_leave {}, \
+         {} shards, seed {:#x}\n",
+        config.groups,
+        config.group_size,
+        config.group_size + 2,
+        config.epochs,
+        config.join_rate,
+        config.leave_rate,
+        config.shards,
+        config.seed
+    );
+
+    let report = run_churn(&config);
+    print!("{}", report.render());
+
+    // Acceptance assert: batching must actually save protocol executions.
+    // Only binding at meaningful workload sizes — a tiny or idle run can
+    // legitimately see one rekey per event (ratio exactly 1).
+    if report.events_applied >= 50 {
+        assert!(
+            report.coalesce_ratio > 1.0,
+            "epoch batching must coalesce events (ratio {:.2} <= 1)",
+            report.coalesce_ratio
+        );
+    } else {
+        println!("\n(workload too small for the coalesce-ratio acceptance assert)");
+    }
+
+    if has_flag("--check-determinism") {
+        println!("\nre-running for determinism check…");
+        let again = run_churn(&config);
+        assert_eq!(
+            report.key_fingerprint, again.key_fingerprint,
+            "same seed must reproduce identical keys"
+        );
+        assert_eq!(report.rekeys_executed, again.rekeys_executed);
+        println!(
+            "deterministic ✓ (fingerprint {:016x} reproduced)",
+            again.key_fingerprint
+        );
+    }
+}

@@ -92,7 +92,10 @@ struct Signed {
 
 impl Signed {
     fn from_ubig(mag: Ubig) -> Self {
-        Signed { negative: false, mag }
+        Signed {
+            negative: false,
+            mag,
+        }
     }
 
     /// `self - q * other`.
@@ -101,13 +104,22 @@ impl Signed {
         if self.negative == other.negative {
             // same sign: magnitudes subtract
             if self.mag >= prod {
-                Signed { negative: self.negative && !(self.mag == prod), mag: self.mag.checked_sub(&prod).unwrap() }
+                Signed {
+                    negative: self.negative && (self.mag != prod),
+                    mag: self.mag.checked_sub(&prod).unwrap(),
+                }
             } else {
-                Signed { negative: !self.negative, mag: prod.checked_sub(&self.mag).unwrap() }
+                Signed {
+                    negative: !self.negative,
+                    mag: prod.checked_sub(&self.mag).unwrap(),
+                }
             }
         } else {
             // opposite sign: magnitudes add, sign follows self
-            Signed { negative: self.negative, mag: self.mag.add_ref(&prod) }
+            Signed {
+                negative: self.negative,
+                mag: self.mag.add_ref(&prod),
+            }
         }
     }
 }

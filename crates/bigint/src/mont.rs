@@ -41,7 +41,13 @@ impl Montgomery {
         // R mod n and R^2 mod n via shifting.
         let r1 = Ubig::one().shl_bits(64 * k as u32).rem_ref(&n);
         let r2 = Ubig::one().shl_bits(128 * k as u32).rem_ref(&n);
-        Montgomery { n, k, n0inv, r2, r1 }
+        Montgomery {
+            n,
+            k,
+            n0inv,
+            r2,
+            r1,
+        }
     }
 
     /// The modulus.
@@ -150,8 +156,8 @@ impl Montgomery {
 /// Inverse of an odd `x` modulo 2^64 by Newton–Hensel lifting.
 fn inv64(x: u64) -> u64 {
     debug_assert!(x & 1 == 1);
-    let mut inv = x; // correct mod 2^3 already after first iterations below
     // Each iteration doubles the number of correct low bits.
+    let mut inv = x; // correct mod 2^3 already after first iterations below
     for _ in 0..6 {
         inv = inv.wrapping_mul(2u64.wrapping_sub(x.wrapping_mul(inv)));
     }
@@ -220,10 +226,8 @@ mod tests {
         // mod_pow dispatches to Montgomery; cross-check against the even-path
         // implementation by lifting to an even modulus identity:
         // a^e mod n computed two ways.
-        let n = Ubig::from_hex(
-            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855",
-        )
-        .unwrap();
+        let n = Ubig::from_hex("e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855")
+            .unwrap();
         let n = if n.is_even() {
             n.add_ref(&Ubig::one())
         } else {

@@ -54,9 +54,7 @@ pub fn random_below<R: Rng + ?Sized>(rng: &mut R, bound: &Ubig) -> Ubig {
 /// # Panics
 /// Panics if `lo >= hi`.
 pub fn random_range<R: Rng + ?Sized>(rng: &mut R, lo: &Ubig, hi: &Ubig) -> Ubig {
-    let width = hi
-        .checked_sub(lo)
-        .expect("random_range requires lo < hi");
+    let width = hi.checked_sub(lo).expect("random_range requires lo < hi");
     assert!(!width.is_zero(), "random_range requires lo < hi");
     random_below(rng, &width).add_ref(lo)
 }

@@ -42,7 +42,9 @@ impl Ubig {
     pub fn from_u128(v: u128) -> Self {
         let lo = v as u64;
         let hi = (v >> 64) as u64;
-        let mut u = Ubig { limbs: vec![lo, hi] };
+        let mut u = Ubig {
+            limbs: vec![lo, hi],
+        };
         u.normalize();
         u
     }
@@ -555,8 +557,16 @@ mod tests {
     #[test]
     fn karatsuba_matches_schoolbook() {
         // 40-limb operands exceed the Karatsuba threshold.
-        let a = Ubig::from_limbs((1..=40u64).map(|i| i.wrapping_mul(0x9e3779b97f4a7c15)).collect());
-        let b = Ubig::from_limbs((1..=40u64).map(|i| i.wrapping_mul(0xc2b2ae3d27d4eb4f)).collect());
+        let a = Ubig::from_limbs(
+            (1..=40u64)
+                .map(|i| i.wrapping_mul(0x9e3779b97f4a7c15))
+                .collect(),
+        );
+        let b = Ubig::from_limbs(
+            (1..=40u64)
+                .map(|i| i.wrapping_mul(0xc2b2ae3d27d4eb4f))
+                .collect(),
+        );
         let kara = a.mul_karatsuba(&b);
         let mut out = vec![0u64; a.limbs.len() + b.limbs.len()];
         limbs::mul_schoolbook(&mut out, &a.limbs, &b.limbs);

@@ -85,16 +85,15 @@ impl AuthKit {
     }
 
     /// Provisions a SOK deployment: PKG setup + per-user extraction.
-    pub fn setup_sok<R: Rng + ?Sized>(
-        rng: &mut R,
-        group: egka_ec::PairingGroup,
-        n: usize,
-    ) -> Self {
+    pub fn setup_sok<R: Rng + ?Sized>(rng: &mut R, group: egka_ec::PairingGroup, n: usize) -> Self {
         let pkg = SokPkg::setup(rng, group);
         let keys = (0..n)
             .map(|i| pkg.extract(&UserId(i as u32).to_bytes()))
             .collect();
-        AuthKit::Sok { params: pkg.params, keys }
+        AuthKit::Sok {
+            params: pkg.params,
+            keys,
+        }
     }
 
     /// Provisions an ECDSA deployment: CA + per-user keys + certificates.
@@ -105,10 +104,19 @@ impl AuthKit {
             .iter()
             .enumerate()
             .map(|(i, k)| {
-                ca.issue(rng, &UserId(i as u32).to_bytes(), SubjectKey::Ecdsa(k.q.clone()))
+                ca.issue(
+                    rng,
+                    &UserId(i as u32).to_bytes(),
+                    SubjectKey::Ecdsa(k.q.clone()),
+                )
             })
             .collect();
-        AuthKit::Ecdsa { ca: ca.public(), scheme, keys, certs }
+        AuthKit::Ecdsa {
+            ca: ca.public(),
+            scheme,
+            keys,
+            certs,
+        }
     }
 
     /// Provisions a DSA deployment: CA + per-user keys + certificates.
@@ -118,17 +126,43 @@ impl AuthKit {
         let certs = keys
             .iter()
             .enumerate()
-            .map(|(i, k)| ca.issue(rng, &UserId(i as u32).to_bytes(), SubjectKey::Dsa(k.y.clone())))
+            .map(|(i, k)| {
+                ca.issue(
+                    rng,
+                    &UserId(i as u32).to_bytes(),
+                    SubjectKey::Dsa(k.y.clone()),
+                )
+            })
             .collect();
-        AuthKit::Dsa { ca: ca.public(), scheme, keys, certs }
+        AuthKit::Dsa {
+            ca: ca.public(),
+            scheme,
+            keys,
+            certs,
+        }
     }
 }
 
 /// One node's signing/verifying half, extracted from the kit.
+// Variant sizes differ by scheme; nodes hold exactly one for a whole run.
+#[allow(clippy::large_enum_variant)]
 enum NodeAuth {
-    Sok { params: SokParams, key: SokSecretKey },
-    Ecdsa { scheme: Ecdsa, key: EcdsaKeyPair, cert: Certificate, ca: CaPublic },
-    Dsa { scheme: Dsa, key: DsaKeyPair, cert: Certificate, ca: CaPublic },
+    Sok {
+        params: SokParams,
+        key: SokSecretKey,
+    },
+    Ecdsa {
+        scheme: Ecdsa,
+        key: EcdsaKeyPair,
+        cert: Certificate,
+        ca: CaPublic,
+    },
+    Dsa {
+        scheme: Dsa,
+        key: DsaKeyPair,
+        cert: Certificate,
+        ca: CaPublic,
+    },
 }
 
 struct Node {
@@ -190,13 +224,23 @@ pub fn run_with_trust(
                     params: params.clone(),
                     key: keys[i].clone(),
                 },
-                AuthKit::Ecdsa { scheme, keys, certs, ca } => NodeAuth::Ecdsa {
+                AuthKit::Ecdsa {
+                    scheme,
+                    keys,
+                    certs,
+                    ca,
+                } => NodeAuth::Ecdsa {
                     scheme: scheme.clone(),
                     key: keys[i].clone(),
                     cert: certs[i].clone(),
                     ca: ca.clone(),
                 },
-                AuthKit::Dsa { scheme, keys, certs, ca } => NodeAuth::Dsa {
+                AuthKit::Dsa {
+                    scheme,
+                    keys,
+                    certs,
+                    ca,
+                } => NodeAuth::Dsa {
                     scheme: scheme.clone(),
                     key: keys[i].clone(),
                     cert: certs[i].clone(),
@@ -243,7 +287,8 @@ pub fn run_with_trust(
                 w.put_bytes(&cert.encode());
             }
         }
-        node.ep.broadcast(kind::ROUND1, w.finish(), proto.round1_bits());
+        node.ep
+            .broadcast(kind::ROUND1, w.finish(), proto.round1_bits());
         node.zs[node.idx] = share.z.clone();
         node.share = Some(share);
     });
@@ -331,7 +376,8 @@ pub fn run_with_trust(
         w.put_id(node.id)
             .put_ubig(&node.xs[node.idx])
             .put_bytes(&node.sigs[node.idx]);
-        node.ep.broadcast(kind::ROUND2, w.finish(), proto.round2_bits());
+        node.ep
+            .broadcast(kind::ROUND2, w.finish(), proto.round2_bits());
     };
     for node in nodes.iter().skip(1) {
         send(node);
@@ -366,13 +412,10 @@ pub fn run_with_trust(
             assert!(ok, "honest-run signature from U{j} rejected");
         }
         let share = node.share.as_ref().expect("round 1 done");
-        let ring: Vec<Ubig> = (0..n).map(|k| node.xs[(node.idx + k) % n].clone()).collect();
-        let key = bd::compute_key(
-            bd_group,
-            &share.r,
-            &node.zs[(node.idx + n - 1) % n],
-            &ring,
-        );
+        let ring: Vec<Ubig> = (0..n)
+            .map(|k| node.xs[(node.idx + k) % n].clone())
+            .collect();
+        let key = bd::compute_key(bd_group, &share.r, &node.zs[(node.idx + n - 1) % n], &ring);
         node.meter.record(CompOp::ModExp);
         node.derived = Some(key);
     });
@@ -395,7 +438,10 @@ pub fn run_with_trust(
             }
         })
         .collect();
-    let report = RunReport { nodes: nodes_out, attempts: 1 };
+    let report = RunReport {
+        nodes: nodes_out,
+        attempts: 1,
+    };
     assert!(report.keys_agree(), "authenticated BD keys must agree");
     report
 }
@@ -496,7 +542,7 @@ mod tests {
         let g = bd_group();
         let mut rng = ChaChaRng::seed_from_u64(1);
         let kit = AuthKit::setup_ecdsa(&mut rng, Ecdsa::new(egka_ec::secp160r1()), 5);
-        let report = run(&g, &kit, 2, );
+        let report = run(&g, &kit, 2);
         assert!(report.keys_agree());
         assert_counts(&report, &InitialProtocol::BdEcdsa.per_user_counts(5));
     }

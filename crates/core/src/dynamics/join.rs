@@ -135,7 +135,11 @@ pub fn join(
         let b = mod_mul(z2, &z_new_seen_by_u1, &params.bd.p);
         let term2 = mod_pow(&b, &r1p, &params.bd.p);
         meters[0].record(CompOp::ModExp);
-        let ks = mod_mul(&mod_mul(&session.key, &term1, &params.bd.p), &term2, &params.bd.p);
+        let ks = mod_mul(
+            &mod_mul(&session.key, &term1, &params.bd.p),
+            &term2,
+            &params.bd.p,
+        );
         // Composable mode: also derive and ship z'_1 (one extra exp).
         let z1p = if composable {
             let z = mod_pow(&params.bd.g, &r1p, &params.bd.p);
@@ -149,7 +153,12 @@ pub fn join(
         let mut w = Writer::new();
         w.put_id(u1.id).put_bytes(&sealed);
         let old_group_minus_u1: Vec<_> = (1..n).map(|i| eps[i].id()).collect();
-        let bits = JOIN_M1_BITS + if composable { egka_energy::wire::Z_BITS } else { 0 };
+        let bits = JOIN_M1_BITS
+            + if composable {
+                egka_energy::wire::Z_BITS
+            } else {
+                0
+            };
         eps[0].multicast(&old_group_minus_u1, kind::JOIN_CONTROLLER, w.finish(), bits);
         new_r1 = r1p;
         k_star = ks;
@@ -313,7 +322,11 @@ pub fn join(
             counts.msgs_tx = stats.msgs_tx;
             counts.msgs_rx = stats.msgs_rx;
             NodeReport {
-                id: if i == n { newcomer } else { session.members[i].id },
+                id: if i == n {
+                    newcomer
+                } else {
+                    session.members[i].id
+                },
                 key: new_key.clone(),
                 counts,
             }
@@ -325,7 +338,10 @@ pub fn join(
         members,
         key: new_key,
     };
-    JoinOutcome { session: session_out, reports }
+    JoinOutcome {
+        session: session_out,
+        reports,
+    }
 }
 
 #[cfg(test)]
@@ -414,6 +430,9 @@ mod tests {
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             join(&s0, UserId(9), &wrong_key, 9, true)
         }));
-        assert!(result.is_err(), "announcement under mismatched key must fail");
+        assert!(
+            result.is_err(),
+            "announcement under mismatched key must fail"
+        );
     }
 }

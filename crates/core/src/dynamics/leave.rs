@@ -92,10 +92,22 @@ fn reduced_rekey(session: &GroupSession, leavers: &BTreeSet<usize>, seed: u64) -
 
     // Working copies of each member's view: shares and commitments of the
     // remaining ring (indexed by new-ring position).
-    let mut rs: Vec<Ubig> = remaining.iter().map(|&p| session.members[p].r.clone()).collect();
-    let mut zs: Vec<Ubig> = remaining.iter().map(|&p| session.members[p].z.clone()).collect();
-    let mut taus: Vec<Ubig> = remaining.iter().map(|&p| session.members[p].tau.clone()).collect();
-    let mut ts: Vec<Ubig> = remaining.iter().map(|&p| session.members[p].t.clone()).collect();
+    let mut rs: Vec<Ubig> = remaining
+        .iter()
+        .map(|&p| session.members[p].r.clone())
+        .collect();
+    let mut zs: Vec<Ubig> = remaining
+        .iter()
+        .map(|&p| session.members[p].z.clone())
+        .collect();
+    let mut taus: Vec<Ubig> = remaining
+        .iter()
+        .map(|&p| session.members[p].tau.clone())
+        .collect();
+    let mut ts: Vec<Ubig> = remaining
+        .iter()
+        .map(|&p| session.members[p].t.clone())
+        .collect();
 
     // ---- Round 1: refreshers broadcast fresh (z', t') ----
     for k in 0..n_rem {
@@ -136,7 +148,7 @@ fn reduced_rekey(session: &GroupSession, leavers: &BTreeSet<usize>, seed: u64) -
             // Views already updated in the shared vectors above; a receiving
             // node would store (_id → _z, _t) here. The decode validates the
             // frame; the assert below validates content equality.
-            debug_assert!(zs.iter().any(|z| *z == _z));
+            debug_assert!(zs.contains(&_z));
         }
     }
 
@@ -291,7 +303,11 @@ mod tests {
         let even_want = &roles[1].counts;
         assert_eq!(out.refreshers.len(), 4);
         for (k, rep) in out.reports.iter().enumerate() {
-            let want = if out.refreshers.contains(&k) { odd_want } else { even_want };
+            let want = if out.refreshers.contains(&k) {
+                odd_want
+            } else {
+                even_want
+            };
             let tag = format!("pos {k} ({})", rep.id);
             assert_eq!(rep.counts.exps(), want.exps(), "{tag} exps");
             assert_eq!(rep.counts.tx_bits, want.tx_bits, "{tag} tx");

@@ -44,7 +44,10 @@ pub struct MergeOutcome {
 /// Panics if the parameter sets differ, either group has fewer than 2
 /// members, or any signature/envelope check fails.
 pub fn merge(a: &GroupSession, b: &GroupSession, seed: u64) -> MergeOutcome {
-    assert_eq!(a.params.bd.p, b.params.bd.p, "groups must share the BD group");
+    assert_eq!(
+        a.params.bd.p, b.params.bd.p,
+        "groups must share the BD group"
+    );
     assert_eq!(a.params.gq.n, b.params.gq.n, "groups must share the PKG");
     let n = a.n();
     let m = b.n();
@@ -143,8 +146,7 @@ pub fn merge(a: &GroupSession, b: &GroupSession, seed: u64) -> MergeOutcome {
         let znm = b.z_of(m - 1); // z_{n+m}
         let t1 = mod_pow(&mod_mul(&edge_a, zn2, &params.bd.p), &rn1_new, &params.bd.p);
         meters[n].record(CompOp::ModExp);
-        let t2_base =
-            mod_inverse(&mod_mul(zn2, znm, &params.bd.p), &params.bd.p).expect("unit");
+        let t2_base = mod_inverse(&mod_mul(zn2, znm, &params.bd.p), &params.bd.p).expect("unit");
         meters[n].record(CompOp::ModInv);
         let t2 = mod_pow(&t2_base, &un1.r, &params.bd.p);
         meters[n].record(CompOp::ModExp);
@@ -171,12 +173,28 @@ pub fn merge(a: &GroupSession, b: &GroupSession, seed: u64) -> MergeOutcome {
     };
     // A's bystanders + the peer controller.
     let a_targets: Vec<_> = (1..n).map(|i| eps[i].id()).chain([eps[n].id()]).collect();
-    send_r2(0, u1.id, &k_star_a, &ka_material, &a_targets, &mut rng_a, &meters[0]);
+    send_r2(
+        0,
+        u1.id,
+        &k_star_a,
+        &ka_material,
+        &a_targets,
+        &mut rng_a,
+        &meters[0],
+    );
     let b_targets: Vec<_> = (n + 1..n + m)
         .map(|i| eps[i].id())
         .chain([eps[0].id()])
         .collect();
-    send_r2(n, un1.id, &k_star_b, &kb_material, &b_targets, &mut rng_b, &meters[n]);
+    send_r2(
+        n,
+        un1.id,
+        &k_star_b,
+        &kb_material,
+        &b_targets,
+        &mut rng_b,
+        &meters[n],
+    );
 
     // ---- Round 3: controllers re-export the peer half-key to their group ----
     let relay = |who: usize,
@@ -205,41 +223,57 @@ pub fn merge(a: &GroupSession, b: &GroupSession, seed: u64) -> MergeOutcome {
     };
     let a_bystanders: Vec<_> = (1..n).map(|i| eps[i].id()).collect();
     let b_bystanders: Vec<_> = (n + 1..n + m).map(|i| eps[i].id()).collect();
-    let k_star_b_at_u1 = relay(0, u1.id, un1.id, &ka_material, &a_bystanders, &mut rng_a, &meters[0]);
-    let k_star_a_at_un1 = relay(n, un1.id, u1.id, &kb_material, &b_bystanders, &mut rng_b, &meters[n]);
+    let k_star_b_at_u1 = relay(
+        0,
+        u1.id,
+        un1.id,
+        &ka_material,
+        &a_bystanders,
+        &mut rng_a,
+        &meters[0],
+    );
+    let k_star_a_at_un1 = relay(
+        n,
+        un1.id,
+        u1.id,
+        &kb_material,
+        &b_bystanders,
+        &mut rng_b,
+        &meters[n],
+    );
     assert_eq!(k_star_b_at_u1, k_star_b);
     assert_eq!(k_star_a_at_un1, k_star_a);
 
     // ---- Key computation ----
     let new_key = mod_mul(&k_star_a, &k_star_b, &params.bd.p);
     // Bystanders: open their controller's R2 (own half) and R3 (peer half).
-    let open_bystander = |who: usize,
-                          ctrl_id: crate::ident::UserId,
-                          group_material: &[u8],
-                          meter: &Meter|
-     -> Ubig {
-        let pkt = eps[who].recv_kind(kind::MERGE_R2);
-        let mut r = Reader::new(&pkt.payload);
-        let id = r.get_id().expect("r2 id");
-        assert_eq!(id, ctrl_id);
-        let env_group = r.get_bytes().expect("r2 group envelope");
-        let (own_half, _) = open_key(group_material, env_group, ctrl_id).expect("valid envelope");
-        meter.record(CompOp::SymDec);
-        let _env_dh = r.get_bytes().expect("r2 dh envelope");
-        r.expect_end().expect("no trailing bytes");
-        let pkt3 = eps[who].recv_kind(kind::MERGE_R3);
-        let mut r3 = Reader::new(&pkt3.payload);
-        let id3 = r3.get_id().expect("r3 id");
-        assert_eq!(id3, ctrl_id);
-        let env3 = r3.get_bytes().expect("r3 envelope");
-        let (peer_half, _) = open_key(group_material, env3, ctrl_id).expect("valid envelope");
-        meter.record(CompOp::SymDec);
-        mod_mul(&own_half, &peer_half, &params.bd.p)
-    };
+    let open_bystander =
+        |who: usize, ctrl_id: crate::ident::UserId, group_material: &[u8], meter: &Meter| -> Ubig {
+            let pkt = eps[who].recv_kind(kind::MERGE_R2);
+            let mut r = Reader::new(&pkt.payload);
+            let id = r.get_id().expect("r2 id");
+            assert_eq!(id, ctrl_id);
+            let env_group = r.get_bytes().expect("r2 group envelope");
+            let (own_half, _) =
+                open_key(group_material, env_group, ctrl_id).expect("valid envelope");
+            meter.record(CompOp::SymDec);
+            let _env_dh = r.get_bytes().expect("r2 dh envelope");
+            r.expect_end().expect("no trailing bytes");
+            let pkt3 = eps[who].recv_kind(kind::MERGE_R3);
+            let mut r3 = Reader::new(&pkt3.payload);
+            let id3 = r3.get_id().expect("r3 id");
+            assert_eq!(id3, ctrl_id);
+            let env3 = r3.get_bytes().expect("r3 envelope");
+            let (peer_half, _) = open_key(group_material, env3, ctrl_id).expect("valid envelope");
+            meter.record(CompOp::SymDec);
+            mod_mul(&own_half, &peer_half, &params.bd.p)
+        };
+    #[allow(clippy::needless_range_loop)] // i indexes eps and meters in lockstep
     for i in 1..n {
         let k = open_bystander(i, u1.id, &ka_material, &meters[i]);
         assert_eq!(k, new_key, "group-A bystander key diverged");
     }
+    #[allow(clippy::needless_range_loop)]
     for i in n + 1..n + m {
         let k = open_bystander(i, un1.id, &kb_material, &meters[i]);
         assert_eq!(k, new_key, "group-B bystander key diverged");
@@ -273,11 +307,19 @@ pub fn merge(a: &GroupSession, b: &GroupSession, seed: u64) -> MergeOutcome {
             counts.rx_bits_actual = stats.rx_bits_actual;
             counts.msgs_tx = stats.msgs_tx;
             counts.msgs_rx = stats.msgs_rx;
-            NodeReport { id: members[i].id, key: new_key.clone(), counts }
+            NodeReport {
+                id: members[i].id,
+                key: new_key.clone(),
+                counts,
+            }
         })
         .collect();
     MergeOutcome {
-        session: GroupSession { params: params.clone(), members, key: new_key },
+        session: GroupSession {
+            params: params.clone(),
+            members,
+            key: new_key,
+        },
         reports,
     }
 }
@@ -301,7 +343,10 @@ pub fn merge_many(sessions: &[&GroupSession], seed: u64) -> MergeOutcome {
                 r.counts.merge(&prev.counts);
             }
         }
-        acc = MergeOutcome { session: step.session, reports };
+        acc = MergeOutcome {
+            session: step.session,
+            reports,
+        };
     }
     acc
 }
@@ -319,7 +364,9 @@ mod tests {
         let mut rng = ChaChaRng::seed_from_u64(0x6d65_7267 ^ seed);
         let pkg = Pkg::setup(&mut rng, SecurityProfile::Toy);
         let keys_a = pkg.extract_group(n);
-        let keys_b: Vec<_> = (n..n + m).map(|i| pkg.extract(crate::ident::UserId(i))).collect();
+        let keys_b: Vec<_> = (n..n + m)
+            .map(|i| pkg.extract(crate::ident::UserId(i)))
+            .collect();
         let (_, sa) = proposed::run(pkg.params(), &keys_a, seed, RunConfig::default());
         let (_, sb) = proposed::run(pkg.params(), &keys_b, seed ^ 1, RunConfig::default());
         (sa, sb)

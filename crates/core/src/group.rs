@@ -74,6 +74,25 @@ impl GroupSession {
         self.key.to_bytes_be()
     }
 
+    /// Ring position of the member with identity `id`, if present.
+    ///
+    /// Batched rekeying (the `egka-service` epoch coordinator) addresses
+    /// members by identity while the §7 protocols address them by ring
+    /// position; this is the bridge.
+    pub fn position_of(&self, id: UserId) -> Option<usize> {
+        self.members.iter().position(|m| m.id == id)
+    }
+
+    /// True iff `id` is currently a member.
+    pub fn contains(&self, id: UserId) -> bool {
+        self.position_of(id).is_some()
+    }
+
+    /// Member identities in ring order.
+    pub fn member_ids(&self) -> Vec<UserId> {
+        self.members.iter().map(|m| m.id).collect()
+    }
+
     /// Checks the defining invariant: `K = g^{Σ r_i r_{i+1}}` and
     /// `z_i = g^{r_i}` for every member (test/debug helper; a real node
     /// cannot evaluate this, it requires all secrets).
@@ -120,11 +139,8 @@ mod tests {
         let pkg = Pkg::setup(&mut rng, SecurityProfile::Toy);
         let keys = pkg.extract_group(3);
         let (_, mut session) = proposed::run(pkg.params(), &keys, 6, RunConfig::default());
-        session.key = egka_bigint::mod_mul(
-            &session.key,
-            &session.params.bd.g,
-            &session.params.bd.p,
-        );
+        session.key =
+            egka_bigint::mod_mul(&session.key, &session.params.bd.g, &session.params.bd.p);
         assert!(!session.invariant_holds());
     }
 }

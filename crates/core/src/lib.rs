@@ -35,8 +35,8 @@ pub mod bd;
 pub mod dynamics;
 pub mod group;
 pub mod ident;
-pub mod params;
 pub mod par;
+pub mod params;
 pub mod proposed;
 pub mod ssn;
 pub mod wire;

@@ -70,7 +70,11 @@ impl Pkg {
         let bd = gen_schnorr_group(rng, p_bits, q_bits);
         let gq_pkg = GqPkg::setup_with_e_bits(rng, factor_bits, e_bits);
         Pkg {
-            params: Params { bd, gq: gq_pkg.params.clone(), profile },
+            params: Params {
+                bd,
+                gq: gq_pkg.params.clone(),
+                profile,
+            },
             gq_pkg,
         }
     }
@@ -78,7 +82,11 @@ impl Pkg {
     /// Builds the PKG around pre-generated parameters (fixtures).
     pub fn from_parts(bd: SchnorrGroup, gq_pkg: GqPkg, profile: SecurityProfile) -> Self {
         Pkg {
-            params: Params { bd, gq: gq_pkg.params.clone(), profile },
+            params: Params {
+                bd,
+                gq: gq_pkg.params.clone(),
+                profile,
+            },
             gq_pkg,
         }
     }
@@ -166,8 +174,10 @@ mod tests {
         // q | p − 1 and g^q = 1
         let p_minus_1 = pkg.params().bd.p.checked_sub(&Ubig::one()).unwrap();
         assert!(p_minus_1.rem_ref(&pkg.params().bd.q).is_zero());
-        assert!(egka_bigint::mod_pow(&pkg.params().bd.g, &pkg.params().bd.q, &pkg.params().bd.p)
-            .is_one());
+        assert!(
+            egka_bigint::mod_pow(&pkg.params().bd.g, &pkg.params().bd.q, &pkg.params().bd.p)
+                .is_one()
+        );
     }
 
     /// Full (slow) probabilistic validation of the fixture primes.
@@ -180,6 +190,9 @@ mod tests {
         // Sign/verify at full size.
         let key = pkg.extract(UserId(1));
         let sig = pkg.params().gq.sign(&mut rng, &key, b"paper-size smoke");
-        assert!(pkg.params().gq.verify(&UserId(1).to_bytes(), b"paper-size smoke", &sig));
+        assert!(pkg
+            .params()
+            .gq
+            .verify(&UserId(1).to_bytes(), b"paper-size smoke", &sig));
     }
 }

@@ -34,8 +34,8 @@ use rand::SeedableRng;
 use crate::bd;
 use crate::group::{GroupSession, MemberState};
 use crate::ident::UserId;
-use crate::params::Params;
 use crate::par::par_for_each_mut;
+use crate::params::Params;
 use crate::wire::{kind, Reader, Writer};
 
 /// Fault injection for the retransmission path.
@@ -70,7 +70,10 @@ pub struct RunConfig {
 
 impl Default for RunConfig {
     fn default() -> Self {
-        RunConfig { max_attempts: 3, fault: None }
+        RunConfig {
+            max_attempts: 3,
+            fault: None,
+        }
     }
 }
 
@@ -139,7 +142,12 @@ struct Node {
 /// # Panics
 /// Panics if fewer than two keys are supplied, if a fault survives
 /// `max_attempts`, or if an internal invariant breaks.
-pub fn run(params: &Params, keys: &[GqSecretKey], seed: u64, config: RunConfig) -> (RunReport, GroupSession) {
+pub fn run(
+    params: &Params,
+    keys: &[GqSecretKey],
+    seed: u64,
+    config: RunConfig,
+) -> (RunReport, GroupSession) {
     let n = keys.len();
     assert!(n >= 2, "a group needs at least two members");
     // Identities come from the extracted keys (a merged ring's members are
@@ -230,7 +238,10 @@ pub fn run(params: &Params, keys: &[GqSecretKey], seed: u64, config: RunConfig) 
             .collect(),
         key: reports[0].key.clone(),
     };
-    let report = RunReport { nodes: reports, attempts };
+    let report = RunReport {
+        nodes: reports,
+        attempts,
+    };
     assert!(report.keys_agree(), "post-verification keys must agree");
     (report, session)
 }
@@ -326,8 +337,11 @@ fn round2(params: &Params, nodes: &mut [Node], attempt: u32) {
         w.put_id(node.id)
             .put_ubig(&node.xs[node.idx])
             .put_ubig(&node.ss[node.idx]);
-        node.ep
-            .broadcast(kind::ROUND2, w.finish(), InitialProtocol::ProposedGqBatch.round2_bits());
+        node.ep.broadcast(
+            kind::ROUND2,
+            w.finish(),
+            InitialProtocol::ProposedGqBatch.round2_bits(),
+        );
     };
     for node in nodes.iter().skip(1) {
         send(node);
@@ -375,10 +389,9 @@ fn verify_and_derive(params: &Params, nodes: &mut [Node]) -> bool {
     par_for_each_mut(nodes, |_, node| {
         let ids: Vec<Vec<u8>> = node.ring.iter().map(|u| u.to_bytes().to_vec()).collect();
         let id_refs: Vec<&[u8]> = ids.iter().map(|v| v.as_slice()).collect();
-        let batch_ok =
-            params
-                .gq
-                .aggregate_verify(&id_refs, &node.ss, &node.challenge, &node.bind);
+        let batch_ok = params
+            .gq
+            .aggregate_verify(&id_refs, &node.ss, &node.challenge, &node.bind);
         // One priced batch verification, however it came out.
         node.meter.record(CompOp::SignVerify(Scheme::Gq));
         if !batch_ok {
@@ -390,7 +403,9 @@ fn verify_and_derive(params: &Params, nodes: &mut [Node]) -> bool {
             return;
         }
         let share = node.share.as_ref().expect("round 1 done");
-        let ring: Vec<Ubig> = (0..n).map(|j| node.xs[(node.idx + j) % n].clone()).collect();
+        let ring: Vec<Ubig> = (0..n)
+            .map(|j| node.xs[(node.idx + j) % n].clone())
+            .collect();
         let key = bd::compute_key(
             &params.bd,
             &share.r,
@@ -467,7 +482,10 @@ mod tests {
         let (params, keys) = setup(4);
         let config = RunConfig {
             max_attempts: 3,
-            fault: Some(Fault::CorruptX { node: 2, on_attempt: 0 }),
+            fault: Some(Fault::CorruptX {
+                node: 2,
+                on_attempt: 0,
+            }),
         };
         let (report, _) = run(&params, &keys, 9, config);
         assert!(report.keys_agree());
@@ -481,7 +499,10 @@ mod tests {
         let (params, keys) = setup(4);
         let config = RunConfig {
             max_attempts: 3,
-            fault: Some(Fault::CorruptS { node: 1, on_attempt: 0 }),
+            fault: Some(Fault::CorruptS {
+                node: 1,
+                on_attempt: 0,
+            }),
         };
         let (report, _) = run(&params, &keys, 10, config);
         assert!(report.keys_agree());
@@ -494,7 +515,10 @@ mod tests {
         let (params, keys) = setup(3);
         let config = RunConfig {
             max_attempts: 1,
-            fault: Some(Fault::CorruptS { node: 1, on_attempt: 0 }),
+            fault: Some(Fault::CorruptS {
+                node: 1,
+                on_attempt: 0,
+            }),
         };
         let _ = run(&params, &keys, 11, config);
     }

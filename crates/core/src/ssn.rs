@@ -34,8 +34,8 @@ use rand::SeedableRng;
 
 use crate::bd;
 use crate::ident::UserId;
-use crate::params::Params;
 use crate::par::par_for_each_mut;
+use crate::params::Params;
 use crate::proposed::{NodeReport, RunReport};
 use crate::wire::{kind, Reader, Writer};
 
@@ -60,9 +60,12 @@ struct Node {
 /// space (160 bits).
 fn challenge(params: &Params, id: UserId, z: &Ubig, x: &Ubig, t: &Ubig, z_prod: &Ubig) -> Ubig {
     let mut w = Writer::new();
-    w.put_id(id).put_ubig(z).put_ubig(x).put_ubig(t).put_ubig(z_prod);
-    egka_hash::challenge_hash(&[&w.finish()])
-        .rem_ref(&params.gq.e)
+    w.put_id(id)
+        .put_ubig(z)
+        .put_ubig(x)
+        .put_ubig(t)
+        .put_ubig(z_prod);
+    egka_hash::challenge_hash(&[&w.finish()]).rem_ref(&params.gq.e)
 }
 
 /// Runs the SSN protocol for `keys.len()` users.
@@ -109,7 +112,8 @@ pub fn run(params: &Params, keys: &[GqSecretKey], seed: u64) -> RunReport {
         node.meter.record(CompOp::ModExp); // t_i = τ^e (priced individually here)
         let mut w = Writer::new();
         w.put_id(node.id).put_ubig(&share.z).put_ubig(&t);
-        node.ep.broadcast(kind::ROUND1, w.finish(), proto.round1_bits());
+        node.ep
+            .broadcast(kind::ROUND1, w.finish(), proto.round1_bits());
         node.zs[node.idx] = share.z.clone();
         node.ts[node.idx] = t;
         node.tau = tau;
@@ -155,7 +159,8 @@ pub fn run(params: &Params, keys: &[GqSecretKey], seed: u64) -> RunReport {
         w.put_id(node.id)
             .put_ubig(&node.xs[node.idx])
             .put_ubig(&node.ss[node.idx]);
-        node.ep.broadcast(kind::ROUND2, w.finish(), proto.round2_bits());
+        node.ep
+            .broadcast(kind::ROUND2, w.finish(), proto.round2_bits());
     };
     for node in nodes.iter().skip(1) {
         send(node);
@@ -205,7 +210,9 @@ pub fn run(params: &Params, keys: &[GqSecretKey], seed: u64) -> RunReport {
             assert_eq!(t_rec, node.ts[j], "implicit authentication of U{j} failed");
         }
         let share = node.share.as_ref().expect("round 1 done");
-        let ring: Vec<Ubig> = (0..n).map(|k| node.xs[(node.idx + k) % n].clone()).collect();
+        let ring: Vec<Ubig> = (0..n)
+            .map(|k| node.xs[(node.idx + k) % n].clone())
+            .collect();
         let k_bd = bd::compute_key(
             &params.bd,
             &share.r,
@@ -213,7 +220,7 @@ pub fn run(params: &Params, keys: &[GqSecretKey], seed: u64) -> RunReport {
             &ring,
         );
         node.meter.record(CompOp::ModExp); // BD key
-        // Key confirmation exponent: K' = K_BD^{H_q(Z)}.
+                                           // Key confirmation exponent: K' = K_BD^{H_q(Z)}.
         let kc = hash_to_below(b"egka.ssn.confirm.v1", &z_prod.to_bytes_be(), &params.bd.q);
         let key = mod_pow(&k_bd, &kc, &params.bd.p);
         node.meter.record(CompOp::ModExp);
@@ -238,7 +245,10 @@ pub fn run(params: &Params, keys: &[GqSecretKey], seed: u64) -> RunReport {
             }
         })
         .collect();
-    let report = RunReport { nodes: nodes_out, attempts: 1 };
+    let report = RunReport {
+        nodes: nodes_out,
+        attempts: 1,
+    };
     assert!(report.keys_agree(), "SSN keys must agree");
     report
 }
@@ -279,12 +289,7 @@ mod tests {
             let report = run(&params, &keys, 2);
             let expect = InitialProtocol::Ssn.per_user_counts(n as u64);
             for node in &report.nodes {
-                assert_eq!(
-                    node.counts.exps(),
-                    expect.exps(),
-                    "n = {n}, {}",
-                    node.id
-                );
+                assert_eq!(node.counts.exps(), expect.exps(), "n = {n}, {}", node.id);
                 assert_eq!(node.counts.msgs_tx, 2);
                 assert_eq!(node.counts.msgs_rx, 2 * (n as u64 - 1));
                 assert_eq!(node.counts.tx_bits, expect.tx_bits);

@@ -83,7 +83,8 @@ impl Writer {
     pub fn put_ubig(&mut self, v: &Ubig) -> &mut Self {
         let bytes = v.to_bytes_be();
         debug_assert!(bytes.len() <= u16::MAX as usize);
-        self.buf.extend_from_slice(&(bytes.len() as u16).to_be_bytes());
+        self.buf
+            .extend_from_slice(&(bytes.len() as u16).to_be_bytes());
         self.buf.extend_from_slice(&bytes);
         self
     }
@@ -148,7 +149,9 @@ impl<'a> Reader<'a> {
         if self.pos == self.buf.len() {
             Ok(())
         } else {
-            Err(DecodeError { what: "trailing bytes" })
+            Err(DecodeError {
+                what: "trailing bytes",
+            })
         }
     }
 }

@@ -24,7 +24,10 @@ impl Fp {
     /// Panics if `p` is even or `p <= 1`. Primality is the caller's
     /// responsibility (checked in curve constructors and tests).
     pub fn new(p: Ubig) -> Self {
-        assert!(p.is_odd() && !p.is_one(), "field modulus must be an odd prime");
+        assert!(
+            p.is_odd() && !p.is_one(),
+            "field modulus must be an odd prime"
+        );
         let mont = Montgomery::new(p.clone());
         let sqrt_exp = if p.low_u64() & 3 == 3 {
             Some(p.add_ref(&Ubig::one()).shr_bits(2))
@@ -126,10 +129,7 @@ impl Fp {
     /// # Panics
     /// Panics if the field modulus is not `≡ 3 (mod 4)`.
     pub fn sqrt(&self, a: &Ubig) -> Option<Ubig> {
-        let e = self
-            .sqrt_exp
-            .as_ref()
-            .expect("sqrt requires p ≡ 3 (mod 4)");
+        let e = self.sqrt_exp.as_ref().expect("sqrt requires p ≡ 3 (mod 4)");
         if a.is_zero() {
             return Some(Ubig::zero());
         }
@@ -171,17 +171,26 @@ pub struct Fp2El {
 impl Fp2El {
     /// The additive identity.
     pub fn zero() -> Self {
-        Fp2El { c0: Ubig::zero(), c1: Ubig::zero() }
+        Fp2El {
+            c0: Ubig::zero(),
+            c1: Ubig::zero(),
+        }
     }
 
     /// The multiplicative identity.
     pub fn one() -> Self {
-        Fp2El { c0: Ubig::one(), c1: Ubig::zero() }
+        Fp2El {
+            c0: Ubig::one(),
+            c1: Ubig::zero(),
+        }
     }
 
     /// Embeds a base-field element.
     pub fn from_base(c0: Ubig) -> Self {
-        Fp2El { c0, c1: Ubig::zero() }
+        Fp2El {
+            c0,
+            c1: Ubig::zero(),
+        }
     }
 
     /// True iff this is the zero element.
@@ -372,8 +381,14 @@ mod tests {
     fn fp2_mul_known() {
         // In F_23[i]: (2 + 3i)(4 + 5i) = 8 + 10i + 12i + 15i² = -7 + 22i = 16 + 22i
         let f2 = Fp2::new(f23());
-        let a = Fp2El { c0: Ubig::from_u64(2), c1: Ubig::from_u64(3) };
-        let b = Fp2El { c0: Ubig::from_u64(4), c1: Ubig::from_u64(5) };
+        let a = Fp2El {
+            c0: Ubig::from_u64(2),
+            c1: Ubig::from_u64(3),
+        };
+        let b = Fp2El {
+            c0: Ubig::from_u64(4),
+            c1: Ubig::from_u64(5),
+        };
         let c = f2.mul(&a, &b);
         assert_eq!(c.c0, Ubig::from_u64(16));
         assert_eq!(c.c1, Ubig::from_u64(22));
@@ -383,7 +398,10 @@ mod tests {
     fn fp2_sqr_matches_mul() {
         let f2 = Fp2::new(f23());
         for c0 in 0..23u64 {
-            let a = Fp2El { c0: Ubig::from_u64(c0), c1: Ubig::from_u64((c0 * 7 + 3) % 23) };
+            let a = Fp2El {
+                c0: Ubig::from_u64(c0),
+                c1: Ubig::from_u64((c0 * 7 + 3) % 23),
+            };
             assert_eq!(f2.sqr(&a), f2.mul(&a, &a));
         }
     }
@@ -409,7 +427,10 @@ mod tests {
     fn fp2_conj_is_frobenius() {
         // a^p == conj(a) for p ≡ 3 (mod 4).
         let f2 = Fp2::new(f23());
-        let a = Fp2El { c0: Ubig::from_u64(11), c1: Ubig::from_u64(17) };
+        let a = Fp2El {
+            c0: Ubig::from_u64(11),
+            c1: Ubig::from_u64(17),
+        };
         let frob = f2.pow(&a, &Ubig::from_u64(23));
         assert_eq!(frob, f2.conj(&a));
     }
@@ -418,7 +439,10 @@ mod tests {
     fn fp2_pow_group_order() {
         // The multiplicative group of F_p² has order p² - 1.
         let f2 = Fp2::new(f23());
-        let a = Fp2El { c0: Ubig::from_u64(3), c1: Ubig::from_u64(1) };
+        let a = Fp2El {
+            c0: Ubig::from_u64(3),
+            c1: Ubig::from_u64(1),
+        };
         let order = Ubig::from_u64(23 * 23 - 1);
         assert!(f2.pow(&a, &order).is_one());
     }

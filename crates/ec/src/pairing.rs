@@ -66,7 +66,11 @@ impl PairingGroup {
             cofactor.clone(),
             gen,
         );
-        PairingGroup { curve, fp2, cofactor }
+        PairingGroup {
+            curve,
+            fp2,
+            cofactor,
+        }
     }
 
     /// The paper-profile fixture: 194-bit `p`, 160-bit `q` (matching the
@@ -106,7 +110,11 @@ impl PairingGroup {
         let f = self.curve.field();
         let xbytes = f.byte_len() + 8; // oversample to make mod-p bias negligible
         for ctr in 0u32.. {
-            let raw = mgf1(b"egka.map2point.v1", &[msg, &ctr.to_be_bytes()].concat(), xbytes);
+            let raw = mgf1(
+                b"egka.map2point.v1",
+                &[msg, &ctr.to_be_bytes()].concat(),
+                xbytes,
+            );
             let x = f.reduce(&Ubig::from_bytes_be(&raw));
             let rhs = f.add(&f.mul(&f.sqr(&x), &x), &x); // x³ + x
             if let Some(mut y) = f.sqrt(&rhs) {
@@ -342,7 +350,10 @@ mod tests {
             let pt = g.map_to_point(id.as_bytes());
             assert!(g.curve().is_on_curve(&pt));
             assert!(!pt.is_infinity());
-            assert!(g.curve().mul_raw(g.order(), &pt).is_infinity(), "order-q check");
+            assert!(
+                g.curve().mul_raw(g.order(), &pt).is_infinity(),
+                "order-q check"
+            );
         }
     }
 

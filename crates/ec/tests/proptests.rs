@@ -12,7 +12,9 @@ fn fp160() -> Fp {
 
 /// Deterministic pseudo-element of a field from a u64 seed.
 fn elem(f: &Fp, seed: u64) -> Ubig {
-    f.reduce(&Ubig::from_u64(seed).mul_ref(&Ubig::from_hex("9e3779b97f4a7c15f39cc0605cedc835").unwrap()))
+    f.reduce(
+        &Ubig::from_u64(seed).mul_ref(&Ubig::from_hex("9e3779b97f4a7c15f39cc0605cedc835").unwrap()),
+    )
 }
 
 proptest! {

@@ -101,9 +101,7 @@ impl InitialProtocol {
         match self {
             // U_i || X_i || s_i  (the shared challenge c is recomputed, only
             // the 1024-bit response travels)
-            InitialProtocol::ProposedGqBatch => {
-                wire::ID_BITS + wire::X_BITS + wire::GQ_S_ONLY_BITS
-            }
+            InitialProtocol::ProposedGqBatch => wire::ID_BITS + wire::X_BITS + wire::GQ_S_ONLY_BITS,
             // U_i || X_i || σ_i
             InitialProtocol::BdSok => wire::ID_BITS + wire::X_BITS + wire::sig_bits(Scheme::Sok),
             InitialProtocol::BdEcdsa => {
@@ -173,18 +171,42 @@ pub struct Table1Symbolic {
 /// The paper's Table 1, verbatim.
 pub fn table1_symbolic() -> [Table1Symbolic; 9] {
     [
-        Table1Symbolic { row: "Exp.", entries: ["3", "3", "3", "3", "2n+4"] },
-        Table1Symbolic { row: "Msg Tx", entries: ["2", "2", "2", "2", "2"] },
+        Table1Symbolic {
+            row: "Exp.",
+            entries: ["3", "3", "3", "3", "2n+4"],
+        },
+        Table1Symbolic {
+            row: "Msg Tx",
+            entries: ["2", "2", "2", "2", "2"],
+        },
         Table1Symbolic {
             row: "Msg Rx",
             entries: ["2(n-1)", "2(n-1)", "2(n-1)", "2(n-1)", "2(n-1)"],
         },
-        Table1Symbolic { row: "Cert Tx", entries: ["-", "-", "1", "1", "-"] },
-        Table1Symbolic { row: "Cert Rx", entries: ["-", "-", "n-1", "n-1", "-"] },
-        Table1Symbolic { row: "Cert Ver", entries: ["-", "-", "n-1", "n-1", "-"] },
-        Table1Symbolic { row: "MapToPt", entries: ["-", "n-1", "-", "-", "-"] },
-        Table1Symbolic { row: "Sign Gen", entries: ["1", "1", "1", "1", "-"] },
-        Table1Symbolic { row: "Sign Ver", entries: ["1", "n-1", "n-1", "n-1", "-"] },
+        Table1Symbolic {
+            row: "Cert Tx",
+            entries: ["-", "-", "1", "1", "-"],
+        },
+        Table1Symbolic {
+            row: "Cert Rx",
+            entries: ["-", "-", "n-1", "n-1", "-"],
+        },
+        Table1Symbolic {
+            row: "Cert Ver",
+            entries: ["-", "-", "n-1", "n-1", "-"],
+        },
+        Table1Symbolic {
+            row: "MapToPt",
+            entries: ["-", "n-1", "-", "-", "-"],
+        },
+        Table1Symbolic {
+            row: "Sign Gen",
+            entries: ["1", "1", "1", "1", "-"],
+        },
+        Table1Symbolic {
+            row: "Sign Ver",
+            entries: ["1", "n-1", "n-1", "n-1", "-"],
+        },
     ]
 }
 
@@ -254,14 +276,78 @@ pub struct Table4Row {
 /// Table 1/5 over BD's signature counts — see module docs).
 pub fn table4_symbolic() -> [Table4Row; 8] {
     [
-        Table4Row { protocol: "BD", event: 'J', rounds: "2", msgs: "2n+2", exps: "3 (a)", sign_gen: "2", sign_ver: "n+3" },
-        Table4Row { protocol: "BD", event: 'L', rounds: "2", msgs: "2n-2", exps: "3 (a)", sign_gen: "2", sign_ver: "n+1" },
-        Table4Row { protocol: "BD", event: 'M', rounds: "2", msgs: "2n+2m+2", exps: "3 (a)", sign_gen: "2", sign_ver: "n+m+2" },
-        Table4Row { protocol: "BD", event: 'P', rounds: "2", msgs: "2n-2ld+2", exps: "3 (a)", sign_gen: "2", sign_ver: "n-ld+2" },
-        Table4Row { protocol: "Prop. Sch.", event: 'J', rounds: "3", msgs: "5", exps: "2 (b)", sign_gen: "1", sign_ver: "1" },
-        Table4Row { protocol: "Prop. Sch.", event: 'L', rounds: "2", msgs: "v+n-2", exps: "3 (c)", sign_gen: "1", sign_ver: "1" },
-        Table4Row { protocol: "Prop. Sch.", event: 'M', rounds: "3", msgs: "6(k-1)", exps: "4 (d)", sign_gen: "1", sign_ver: "1" },
-        Table4Row { protocol: "Prop. Sch.", event: 'P', rounds: "2", msgs: "v+n-2ld", exps: "3 (c)", sign_gen: "1", sign_ver: "1" },
+        Table4Row {
+            protocol: "BD",
+            event: 'J',
+            rounds: "2",
+            msgs: "2n+2",
+            exps: "3 (a)",
+            sign_gen: "2",
+            sign_ver: "n+3",
+        },
+        Table4Row {
+            protocol: "BD",
+            event: 'L',
+            rounds: "2",
+            msgs: "2n-2",
+            exps: "3 (a)",
+            sign_gen: "2",
+            sign_ver: "n+1",
+        },
+        Table4Row {
+            protocol: "BD",
+            event: 'M',
+            rounds: "2",
+            msgs: "2n+2m+2",
+            exps: "3 (a)",
+            sign_gen: "2",
+            sign_ver: "n+m+2",
+        },
+        Table4Row {
+            protocol: "BD",
+            event: 'P',
+            rounds: "2",
+            msgs: "2n-2ld+2",
+            exps: "3 (a)",
+            sign_gen: "2",
+            sign_ver: "n-ld+2",
+        },
+        Table4Row {
+            protocol: "Prop. Sch.",
+            event: 'J',
+            rounds: "3",
+            msgs: "5",
+            exps: "2 (b)",
+            sign_gen: "1",
+            sign_ver: "1",
+        },
+        Table4Row {
+            protocol: "Prop. Sch.",
+            event: 'L',
+            rounds: "2",
+            msgs: "v+n-2",
+            exps: "3 (c)",
+            sign_gen: "1",
+            sign_ver: "1",
+        },
+        Table4Row {
+            protocol: "Prop. Sch.",
+            event: 'M',
+            rounds: "3",
+            msgs: "6(k-1)",
+            exps: "4 (d)",
+            sign_gen: "1",
+            sign_ver: "1",
+        },
+        Table4Row {
+            protocol: "Prop. Sch.",
+            event: 'P',
+            rounds: "2",
+            msgs: "v+n-2ld",
+            exps: "3 (c)",
+            sign_gen: "1",
+            sign_ver: "1",
+        },
     ]
 }
 
@@ -287,8 +373,7 @@ pub const JOIN_M_NEW_BITS: u64 = wire::ID_BITS + wire::Z_BITS + wire::GQ_SIG_BIT
 /// Join round 2 (controller): `U_1 || E_K(K*||U_1)`.
 pub const JOIN_M1_BITS: u64 = wire::ID_BITS + ENV_KEY_BITS;
 /// Join round 2 (sponsor): `U_n || E_K(K_DH||U_n) || z_n || σ''_n`.
-pub const JOIN_MN_BITS: u64 =
-    wire::ID_BITS + ENV_KEY_BITS + wire::Z_BITS + wire::GQ_SIG_BITS;
+pub const JOIN_MN_BITS: u64 = wire::ID_BITS + ENV_KEY_BITS + wire::Z_BITS + wire::GQ_SIG_BITS;
 /// Join round 3 (sponsor→newcomer unicast): `U_n || E_{K_DH}(K*||U_n)`.
 pub const JOIN_MNN_BITS: u64 = wire::ID_BITS + ENV_KEY_BITS;
 
@@ -355,10 +440,26 @@ pub fn proposed_join(n: u64) -> Vec<RoleCounts> {
     others.rx_bits = JOIN_M1_BITS + JOIN_MN_BITS;
 
     vec![
-        RoleCounts { role: "U1", population: 1, counts: u1 },
-        RoleCounts { role: "Un", population: 1, counts: un },
-        RoleCounts { role: "Un+1", population: 1, counts: new },
-        RoleCounts { role: "Others", population: n - 2, counts: others },
+        RoleCounts {
+            role: "U1",
+            population: 1,
+            counts: u1,
+        },
+        RoleCounts {
+            role: "Un",
+            population: 1,
+            counts: un,
+        },
+        RoleCounts {
+            role: "Un+1",
+            population: 1,
+            counts: new,
+        },
+        RoleCounts {
+            role: "Others",
+            population: n - 2,
+            counts: others,
+        },
     ]
 }
 
@@ -390,9 +491,21 @@ pub fn proposed_merge(n: u64, m: u64) -> Vec<RoleCounts> {
     bystander.rx_bits = MERGE_R2_BITS + MERGE_R3_BITS;
 
     vec![
-        RoleCounts { role: "U1", population: 1, counts: controller.clone() },
-        RoleCounts { role: "Un+1", population: 1, counts: controller },
-        RoleCounts { role: "Others", population: n + m - 2, counts: bystander },
+        RoleCounts {
+            role: "U1",
+            population: 1,
+            counts: controller.clone(),
+        },
+        RoleCounts {
+            role: "Un+1",
+            population: 1,
+            counts: controller,
+        },
+        RoleCounts {
+            role: "Others",
+            population: n + m - 2,
+            counts: bystander,
+        },
     ]
 }
 
@@ -429,8 +542,16 @@ pub fn proposed_leave(n: u64, v: u64) -> Vec<RoleCounts> {
     even.rx_bits = v * LP_R1_BITS + (remaining - 1) * LP_R2_BITS;
 
     vec![
-        RoleCounts { role: "Uj, j odd", population: v, counts: odd },
-        RoleCounts { role: "Uk, k even", population: remaining - v, counts: even },
+        RoleCounts {
+            role: "Uj, j odd",
+            population: v,
+            counts: odd,
+        },
+        RoleCounts {
+            role: "Uk, k even",
+            population: remaining - v,
+            counts: even,
+        },
     ]
 }
 
@@ -443,7 +564,10 @@ pub fn proposed_leave(n: u64, v: u64) -> Vec<RoleCounts> {
 pub fn proposed_partition(n: u64, ld: u64, v: u64) -> Vec<RoleCounts> {
     assert!(ld >= 1 && ld < n, "partition must remove 1..n users");
     let remaining = n - ld;
-    assert!(v >= 2 && v < remaining, "need odd- and even-indexed remainers");
+    assert!(
+        v >= 2 && v < remaining,
+        "need odd- and even-indexed remainers"
+    );
     let mut odd = OpCounts::new();
     odd.add(CompOp::ModExp, 3);
     odd.add(CompOp::SignGen(Scheme::Gq), 1);
@@ -463,8 +587,16 @@ pub fn proposed_partition(n: u64, ld: u64, v: u64) -> Vec<RoleCounts> {
     even.rx_bits = v * LP_R1_BITS + (remaining - 1) * LP_R2_BITS;
 
     vec![
-        RoleCounts { role: "Uj, j odd", population: v, counts: odd },
-        RoleCounts { role: "Uk, k even", population: remaining - v, counts: even },
+        RoleCounts {
+            role: "Uj, j odd",
+            population: v,
+            counts: odd,
+        },
+        RoleCounts {
+            role: "Uk, k even",
+            population: remaining - v,
+            counts: even,
+        },
     ]
 }
 
@@ -585,8 +717,14 @@ mod tests {
         let returning = total_mj(&roles[0].counts);
         let newcomer = total_mj(&roles[1].counts);
         // Paper: 1.234 J and 2.31 J.
-        assert!((returning / 1000.0 - 1.234).abs() < 0.01, "returning = {returning} mJ");
-        assert!((newcomer / 1000.0 - 2.31).abs() < 0.02, "newcomer = {newcomer} mJ");
+        assert!(
+            (returning / 1000.0 - 1.234).abs() < 0.01,
+            "returning = {returning} mJ"
+        );
+        assert!(
+            (newcomer / 1000.0 - 2.31).abs() < 0.02,
+            "newcomer = {newcomer} mJ"
+        );
     }
 
     #[test]
@@ -606,7 +744,10 @@ mod tests {
         // Paper: 1.179 J and 0.942 J. The paper's own arithmetic for these
         // two rows is loose (see EXPERIMENTS.md); accept 4 %.
         assert!((leave / 1000.0 - 1.179).abs() < 0.05, "leave = {leave} mJ");
-        assert!((part / 1000.0 - 0.942).abs() < 0.04, "partition = {part} mJ");
+        assert!(
+            (part / 1000.0 - 0.942).abs() < 0.04,
+            "partition = {part} mJ"
+        );
     }
 
     #[test]
@@ -617,7 +758,11 @@ mod tests {
         assert!((by_role[0] - 39.0).abs() < 1.0, "U1 = {} mJ", by_role[0]);
         assert!((by_role[1] - 49.0).abs() < 1.0, "Un = {} mJ", by_role[1]);
         assert!((by_role[2] - 57.0).abs() < 1.0, "Un+1 = {} mJ", by_role[2]);
-        assert!((by_role[3] - 1.34).abs() < 0.1, "Others = {} mJ", by_role[3]);
+        assert!(
+            (by_role[3] - 1.34).abs() < 0.1,
+            "Others = {} mJ",
+            by_role[3]
+        );
     }
 
     #[test]

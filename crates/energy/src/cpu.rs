@@ -139,7 +139,12 @@ mod tests {
     fn modexp_base_case_is_self_consistent() {
         // 9.1 mJ / 240 mW = 37.92 ms (paper §6).
         let row = table2_row(CompOp::ModExp).unwrap();
-        assert!(rel_err(row.strongarm_mj / STRONGARM_POWER_MW * 1000.0, row.strongarm_ms) < 1e-3);
+        assert!(
+            rel_err(
+                row.strongarm_mj / STRONGARM_POWER_MW * 1000.0,
+                row.strongarm_ms
+            ) < 1e-3
+        );
     }
 
     #[test]
@@ -212,7 +217,13 @@ mod tests {
     #[test]
     fn negligible_ops_cost_zero() {
         let cpu = CpuModel::strongarm_133();
-        for op in [CompOp::SymEnc, CompOp::SymDec, CompOp::Hash, CompOp::ModMul, CompOp::ModInv] {
+        for op in [
+            CompOp::SymEnc,
+            CompOp::SymDec,
+            CompOp::Hash,
+            CompOp::ModMul,
+            CompOp::ModInv,
+        ] {
             assert_eq!(cpu.op_energy_mj(op), 0.0);
         }
     }

@@ -181,6 +181,24 @@ impl OpCounts {
         self.msgs_rx += other.msgs_rx;
     }
 
+    /// Adds `k` copies of `other` in one pass (closed-form role pricing
+    /// multiplies per-role counts by role population; looping `merge` is
+    /// O(population)).
+    pub fn merge_scaled(&mut self, other: &OpCounts, k: u64) {
+        if self.comp.len() < NUM_OPS {
+            self.comp.resize(NUM_OPS, 0);
+        }
+        for (i, &v) in other.comp.iter().enumerate() {
+            self.comp[i] += v * k;
+        }
+        self.tx_bits += other.tx_bits * k;
+        self.rx_bits += other.rx_bits * k;
+        self.tx_bits_actual += other.tx_bits_actual * k;
+        self.rx_bits_actual += other.rx_bits_actual * k;
+        self.msgs_tx += other.msgs_tx * k;
+        self.msgs_rx += other.msgs_rx * k;
+    }
+
     /// `self - base`, for diffing meter snapshots around a step.
     ///
     /// # Panics
@@ -234,6 +252,21 @@ mod tests {
         assert_eq!(a.get(CompOp::SignGen(Scheme::Gq)), 1);
         assert_eq!(a.tx_bits, 100);
         assert_eq!(a.rx_bits, 50);
+    }
+
+    #[test]
+    fn merge_scaled_matches_repeated_merge() {
+        let mut unit = OpCounts::new();
+        unit.add(CompOp::ModExp, 2);
+        unit.tx_bits = 7;
+        unit.msgs_rx = 3;
+        let mut looped = OpCounts::new();
+        for _ in 0..5 {
+            looped.merge(&unit);
+        }
+        let mut scaled = OpCounts::new();
+        scaled.merge_scaled(&unit, 5);
+        assert_eq!(looped, scaled);
     }
 
     #[test]

@@ -52,7 +52,11 @@ impl<D: Digest> Hmac<D> {
         if expect.len() != tag.len() {
             return false;
         }
-        expect.iter().zip(tag).fold(0u8, |acc, (a, b)| acc | (a ^ b)) == 0
+        expect
+            .iter()
+            .zip(tag)
+            .fold(0u8, |acc, (a, b)| acc | (a ^ b))
+            == 0
     }
 }
 

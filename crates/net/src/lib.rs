@@ -34,8 +34,56 @@ use serde::{Deserialize, Serialize};
 /// Identifies a node on the medium (dense, assigned at [`Medium::join`]).
 pub type NodeId = u32;
 
+/// Typed delivery/receive errors for service-grade callers.
+///
+/// The paper-exact protocol drivers keep the original infallible API
+/// ([`Endpoint::unicast`] silently drops toward detached nodes, matching a
+/// radio transmitting into the void); a key-management *service* instead
+/// needs to distinguish "the member is powered off" from "the member is
+/// slow", so [`Endpoint::try_unicast`] and [`Endpoint::recv_within`]
+/// surface these as values.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NetError {
+    /// No packet arrived within the caller-supplied timeout.
+    Timeout {
+        /// How long the caller was willing to wait.
+        waited: std::time::Duration,
+    },
+    /// The unicast target has been [`Medium::detach`]ed (powered off).
+    PeerDetached {
+        /// The detached target.
+        peer: NodeId,
+    },
+    /// The unicast target id was never registered on this medium.
+    UnknownPeer {
+        /// The unregistered id.
+        peer: NodeId,
+    },
+    /// The *sender* itself is detached; nothing was transmitted.
+    SelfDetached,
+}
+
+impl core::fmt::Display for NetError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            NetError::Timeout { waited } => {
+                write!(f, "no packet arrived within {waited:?}")
+            }
+            NetError::PeerDetached { peer } => {
+                write!(f, "peer node {peer} is detached (powered off)")
+            }
+            NetError::UnknownPeer { peer } => {
+                write!(f, "peer node {peer} is not registered on this medium")
+            }
+            NetError::SelfDetached => write!(f, "sending endpoint is detached"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
 /// A message in flight.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Packet {
     /// Sender.
     pub from: NodeId,
@@ -121,7 +169,10 @@ impl Medium {
         Medium {
             inner: Arc::new(Inner {
                 nodes: RwLock::new(Vec::new()),
-                loss: Mutex::new(LossState { prob: 0.0, rng: 0x9E37_79B9_7F4A_7C15 }),
+                loss: Mutex::new(LossState {
+                    prob: 0.0,
+                    rng: 0x9E37_79B9_7F4A_7C15,
+                }),
             }),
         }
     }
@@ -137,7 +188,11 @@ impl Medium {
             partition: 0,
             detached: false,
         });
-        Endpoint { id, medium: self.clone(), rx }
+        Endpoint {
+            id,
+            medium: self.clone(),
+            rx,
+        }
     }
 
     /// Number of registered endpoints (including detached ones).
@@ -181,6 +236,13 @@ impl Medium {
 
     fn send_impl(&self, from: NodeId, to: Targets<'_>, packet: Packet) {
         let nodes = self.inner.nodes.read();
+        self.send_locked(&nodes, from, to, packet);
+    }
+
+    /// Delivery under an already-held registry read guard, so callers can
+    /// validate the target and transmit atomically with respect to
+    /// [`Medium::detach`].
+    fn send_locked(&self, nodes: &[NodeSlot], from: NodeId, to: Targets<'_>, packet: Packet) {
         let src = &nodes[from as usize];
         if src.detached {
             return;
@@ -251,7 +313,12 @@ impl Endpoint {
         self.medium.send_impl(
             self.id,
             Targets::All,
-            Packet { from: self.id, kind, payload, nominal_bits },
+            Packet {
+                from: self.id,
+                kind,
+                payload,
+                nominal_bits,
+            },
         );
     }
 
@@ -260,7 +327,12 @@ impl Endpoint {
         self.medium.send_impl(
             self.id,
             Targets::One(to),
-            Packet { from: self.id, kind, payload, nominal_bits },
+            Packet {
+                from: self.id,
+                kind,
+                payload,
+                nominal_bits,
+            },
         );
     }
 
@@ -272,7 +344,12 @@ impl Endpoint {
         self.medium.send_impl(
             self.id,
             Targets::Set(targets),
-            Packet { from: self.id, kind, payload, nominal_bits },
+            Packet {
+                from: self.id,
+                kind,
+                payload,
+                nominal_bits,
+            },
         );
     }
 
@@ -299,6 +376,55 @@ impl Endpoint {
                 panic!("medium alive while endpoints exist")
             }
         }
+    }
+
+    /// Receive with a per-call deadline and a typed error: `None` blocks
+    /// like [`Endpoint::recv`], `Some(timeout)` returns
+    /// [`NetError::Timeout`] on expiry instead of hanging the caller — the
+    /// form service shards use so one powered-off member cannot stall an
+    /// epoch.
+    pub fn recv_within(&self, timeout: Option<std::time::Duration>) -> Result<Packet, NetError> {
+        match timeout {
+            None => Ok(self.recv()),
+            Some(t) => self.recv_timeout(t).ok_or(NetError::Timeout { waited: t }),
+        }
+    }
+
+    /// Unicast with delivery-failure reporting: returns a typed error when
+    /// the target is detached (powered off) or unknown, instead of
+    /// silently transmitting into the void like [`Endpoint::unicast`].
+    ///
+    /// On success the transmission is charged exactly as a plain unicast.
+    pub fn try_unicast(
+        &self,
+        to: NodeId,
+        kind: u16,
+        payload: Bytes,
+        nominal_bits: u64,
+    ) -> Result<(), NetError> {
+        let nodes = self.medium.inner.nodes.read();
+        if nodes[self.id as usize].detached {
+            return Err(NetError::SelfDetached);
+        }
+        match nodes.get(to as usize) {
+            None => return Err(NetError::UnknownPeer { peer: to }),
+            Some(slot) if slot.detached => return Err(NetError::PeerDetached { peer: to }),
+            Some(_) => {}
+        }
+        // Same guard: a concurrent detach cannot slip between the check
+        // and the transmission and turn an accepted send into a silent drop.
+        self.medium.send_locked(
+            &nodes,
+            self.id,
+            Targets::One(to),
+            Packet {
+                from: self.id,
+                kind,
+                payload,
+                nominal_bits,
+            },
+        );
+        Ok(())
     }
 
     /// Blocks for the next packet with `kind`, buffering nothing: packets of
@@ -458,6 +584,53 @@ mod tests {
         let m = Medium::new();
         let a = m.join();
         assert!(a.recv_timeout(Duration::from_millis(10)).is_none());
+    }
+
+    #[test]
+    fn recv_within_times_out_with_typed_error() {
+        let m = Medium::new();
+        let a = m.join();
+        let waited = Duration::from_millis(10);
+        assert_eq!(
+            a.recv_within(Some(waited)),
+            Err(NetError::Timeout { waited })
+        );
+        // A delivered packet comes straight back, under either mode.
+        let b = m.join();
+        b.unicast(a.id(), 3, Bytes::from_static(b"x"), 8);
+        assert_eq!(a.recv_within(Some(waited)).unwrap().kind, 3);
+        b.unicast(a.id(), 4, Bytes::from_static(b"y"), 8);
+        assert_eq!(a.recv_within(None).unwrap().kind, 4);
+    }
+
+    #[test]
+    fn try_unicast_reports_detached_and_unknown_peers() {
+        let m = Medium::new();
+        let a = m.join();
+        let b = m.join();
+        // Healthy target: delivered and charged.
+        a.try_unicast(b.id(), 1, Bytes::from_static(b"ok"), 16)
+            .unwrap();
+        assert_eq!(b.recv().kind, 1);
+        assert_eq!(a.stats().msgs_tx, 1);
+        // Detached target: typed error, nothing charged.
+        m.detach(b.id());
+        assert_eq!(
+            a.try_unicast(b.id(), 2, Bytes::new(), 8),
+            Err(NetError::PeerDetached { peer: b.id() })
+        );
+        assert_eq!(a.stats().msgs_tx, 1, "failed unicast is not charged");
+        // Unknown target id.
+        assert_eq!(
+            a.try_unicast(999, 2, Bytes::new(), 8),
+            Err(NetError::UnknownPeer { peer: 999 })
+        );
+        // Detached sender.
+        m.detach(a.id());
+        assert_eq!(
+            a.try_unicast(0, 2, Bytes::new(), 8),
+            Err(NetError::SelfDetached)
+        );
     }
 
     #[test]

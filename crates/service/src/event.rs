@@ -1,0 +1,74 @@
+//! Membership events and their admission errors.
+
+use egka_core::UserId;
+
+/// Service-wide group identifier (stable across rekeys; assigned by the
+/// caller at [`crate::KeyService::create_group`]).
+pub type GroupId = u64;
+
+/// A queued membership-change request against one group.
+///
+/// Events are not applied when submitted: they accumulate per group and
+/// are collapsed by the epoch coordinator into the minimal sequence of the
+/// paper's §7 dynamics at the next [`crate::KeyService::tick`]:
+///
+/// * a batch of `Leave`s → one Partition (a single reduced rekey);
+/// * `k ≥ 2` `Join`s → either `k` paper Joins or one newcomer GKA + Merge,
+///   whichever the closed-form energy model prices cheaper;
+/// * `MergeWith` requests → one `merge_many` fold;
+/// * a `Join` cancelled by a `Leave` of the same still-pending user → no
+///   rekey at all.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MembershipEvent {
+    /// `user` wants to join the group.
+    Join(UserId),
+    /// `user` wants to (or was observed to) leave the group.
+    Leave(UserId),
+    /// The entire group `other` should be absorbed into this group.
+    MergeWith(GroupId),
+}
+
+/// Why an event could not be applied at its epoch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RejectReason {
+    /// Join of a user who is already a member.
+    AlreadyMember,
+    /// Leave of a user who is not a member (and not a pending join).
+    NotAMember,
+    /// MergeWith an unknown or already-dissolved group.
+    UnknownPeerGroup,
+    /// MergeWith the group itself (possibly via a same-epoch absorption
+    /// chain that collapsed host and target into one group).
+    SelfMerge,
+    /// A second MergeWith naming a target already being merged this epoch.
+    DuplicateMerge,
+    /// The event's group dissolved or was merged away before the epoch
+    /// could apply it.
+    GroupGone,
+}
+
+/// Errors from the service's synchronous API.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ServiceError {
+    /// The referenced group id is not registered.
+    UnknownGroup(GroupId),
+    /// A group with this id already exists.
+    GroupExists(GroupId),
+    /// A group needs at least two founding members.
+    GroupTooSmall,
+    /// Duplicate founding member ids.
+    DuplicateMember(UserId),
+}
+
+impl core::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ServiceError::UnknownGroup(g) => write!(f, "unknown group {g}"),
+            ServiceError::GroupExists(g) => write!(f, "group {g} already exists"),
+            ServiceError::GroupTooSmall => write!(f, "a group needs at least two members"),
+            ServiceError::DuplicateMember(u) => write!(f, "duplicate founding member {u}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}

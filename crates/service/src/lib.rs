@@ -1,0 +1,321 @@
+//! # egka-service — sharded multi-group key management with epoch-batched
+//! rekeying
+//!
+//! The paper's protocols run one group at a time; production serves *many
+//! thousands of concurrent groups* under *continuous membership churn*.
+//! This crate is the service layer that closes that gap:
+//!
+//! ## Architecture
+//!
+//! ```text
+//!                 ┌──────────────────────────────────────────────┐
+//!   create_group  │ KeyService                                   │
+//!   submit(event) │   epoch tick                                 │
+//!   tick()  ─────▶│   1. coordinator: cross-group MergeWith      │
+//!                 │      requests → one merge_many fold          │
+//!                 │   2. shard fan-out (threads)                 │
+//!                 │   ┌─────────┐ ┌─────────┐     ┌─────────┐    │
+//!                 │   │ shard 0 │ │ shard 1 │  …  │ shard N │    │
+//!                 │   │ groups  │ │ groups  │     │ groups  │    │
+//!                 │   │ queues  │ │ queues  │     │ queues  │    │
+//!                 │   └─────────┘ └─────────┘     └─────────┘    │
+//!                 └──────────────────────────────────────────────┘
+//! ```
+//!
+//! * **Sharded registry** ([`shard`]): groups are hashed across `N` worker
+//!   shards; during a tick each shard runs single-threaded over its own
+//!   groups, so group state needs **no locking** and results are
+//!   deterministic regardless of thread scheduling. Only shards — never
+//!   individual groups — are fanned across threads.
+//! * **Epoch-batched rekey coordinator** ([`plan`]): membership events
+//!   queue per group between ticks; each tick collapses a queue into the
+//!   **minimal sequence of the paper's §7 dynamics** — k leaves become one
+//!   Partition, k joins become either k paper Joins or one newcomer GKA +
+//!   Merge (whichever the paper's own closed-form energy model prices
+//!   cheaper), a join cancelled by a leave of the same pending user costs
+//!   nothing, and cross-group merge requests fold with one `merge_many`.
+//! * **Metrics** ([`metrics`]): per-epoch and cumulative — groups active,
+//!   events coalesced, rekeys executed, priced energy (mJ), operation
+//!   counts, and cumulative `egka_net::TrafficStats`.
+//!
+//! Every rekey executes the real protocols over the simulated medium —
+//! keys are derived by actual modular arithmetic on every simulated node
+//! and the per-node meters feed straight into the paper's pricing, so
+//! service-level energy totals are *measurements*, not estimates.
+//!
+//! ## Mapping onto the paper's §7
+//!
+//! | queued events                 | executed dynamic                        |
+//! |-------------------------------|-----------------------------------------|
+//! | 1 leave                       | Leave (reduced rekey)                    |
+//! | k ≥ 2 leaves                  | one Partition                            |
+//! | 1 join                        | Join                                     |
+//! | k ≥ 2 joins                   | min-cost{k × Join, newcomer GKA + Merge} |
+//! | k merge requests              | one `merge_many` (k ≥ 2 groups)          |
+//! | join+leave of pending user    | nothing                                  |
+//! | < 3 survivors                 | full GKA re-run over final membership    |
+//!
+//! ```
+//! use std::sync::Arc;
+//! use egka_core::{Pkg, SecurityProfile, UserId};
+//! use egka_hash::ChaChaRng;
+//! use egka_service::{KeyService, MembershipEvent, ServiceConfig};
+//! use rand::SeedableRng;
+//!
+//! let mut rng = ChaChaRng::seed_from_u64(7);
+//! let pkg = Arc::new(Pkg::setup(&mut rng, SecurityProfile::Toy));
+//! let mut svc = KeyService::new(pkg, ServiceConfig::default());
+//! svc.create_group(1, &[UserId(0), UserId(1), UserId(2), UserId(3)]).unwrap();
+//! svc.submit(1, MembershipEvent::Join(UserId(10))).unwrap();
+//! svc.submit(1, MembershipEvent::Leave(UserId(2))).unwrap();
+//! let report = svc.tick();
+//! assert_eq!(report.events_applied, 2);
+//! assert!(svc.session(1).unwrap().invariant_holds());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod event;
+pub mod metrics;
+pub mod plan;
+mod service;
+mod shard;
+
+pub use event::{GroupId, MembershipEvent, RejectReason, ServiceError};
+pub use metrics::{EpochReport, ServiceMetrics};
+pub use plan::{plan_group, CostModel, RekeyPlan, RekeyStep};
+pub use service::{KeyService, ServiceConfig};
+pub use shard::{final_membership, GroupState};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use egka_core::{Pkg, SecurityProfile, UserId};
+    use egka_hash::ChaChaRng;
+    use rand::SeedableRng;
+    use std::sync::Arc;
+
+    fn service(seed: u64) -> KeyService {
+        let mut rng = ChaChaRng::seed_from_u64(0x5e81 ^ seed);
+        let pkg = Arc::new(Pkg::setup(&mut rng, SecurityProfile::Toy));
+        KeyService::new(
+            pkg,
+            ServiceConfig {
+                seed,
+                ..ServiceConfig::default()
+            },
+        )
+    }
+
+    fn users(range: std::ops::Range<u32>) -> Vec<UserId> {
+        range.map(UserId).collect()
+    }
+
+    #[test]
+    fn create_submit_tick_lifecycle() {
+        let mut svc = service(1);
+        svc.create_group(7, &users(0..5)).unwrap();
+        assert_eq!(svc.groups_active(), 1);
+        let key0 = svc.group_key(7).unwrap().clone();
+
+        svc.submit(7, MembershipEvent::Join(UserId(100))).unwrap();
+        svc.submit(7, MembershipEvent::Leave(UserId(1))).unwrap();
+        let report = svc.tick();
+        assert_eq!(report.events_applied, 2);
+        assert!(report.rekeys_executed >= 1);
+        assert!(report.energy_mj > 0.0);
+
+        let s = svc.session(7).unwrap();
+        assert_eq!(s.n(), 5);
+        assert!(s.contains(UserId(100)));
+        assert!(!s.contains(UserId(1)));
+        assert!(s.invariant_holds());
+        assert_ne!(&key0, svc.group_key(7).unwrap(), "key must change on churn");
+    }
+
+    #[test]
+    fn create_group_validates_inputs() {
+        let mut svc = service(2);
+        assert_eq!(
+            svc.create_group(1, &users(0..1)),
+            Err(ServiceError::GroupTooSmall)
+        );
+        assert_eq!(
+            svc.create_group(1, &[UserId(3), UserId(3)]),
+            Err(ServiceError::DuplicateMember(UserId(3)))
+        );
+        svc.create_group(1, &users(0..3)).unwrap();
+        assert_eq!(
+            svc.create_group(1, &users(3..6)),
+            Err(ServiceError::GroupExists(1))
+        );
+        assert_eq!(
+            svc.submit(99, MembershipEvent::Join(UserId(9))),
+            Err(ServiceError::UnknownGroup(99))
+        );
+    }
+
+    #[test]
+    fn pending_join_cancelled_by_leave_costs_nothing() {
+        let mut svc = service(3);
+        svc.create_group(4, &users(0..4)).unwrap();
+        let key0 = svc.group_key(4).unwrap().clone();
+        svc.submit(4, MembershipEvent::Join(UserId(50))).unwrap();
+        svc.submit(4, MembershipEvent::Leave(UserId(50))).unwrap();
+        let report = svc.tick();
+        assert_eq!(report.rekeys_executed, 0, "cancelled pair must not rekey");
+        assert_eq!(report.events_cancelled, 2);
+        assert_eq!(&key0, svc.group_key(4).unwrap());
+    }
+
+    #[test]
+    fn flappy_member_nets_to_one_departure() {
+        // Leave / Join / Leave of the same live member in one epoch must
+        // net to a single departure — not a duplicated leaver that could
+        // dissolve the group (regression: the second leave used to push
+        // the member into the leaver set twice).
+        let mut svc = service(11);
+        svc.create_group(6, &users(0..3)).unwrap();
+        svc.submit(6, MembershipEvent::Leave(UserId(2))).unwrap();
+        svc.submit(6, MembershipEvent::Join(UserId(2))).unwrap();
+        svc.submit(6, MembershipEvent::Leave(UserId(2))).unwrap();
+        let report = svc.tick();
+        assert_eq!(
+            report.groups_dissolved, 0,
+            "group must survive a flappy member"
+        );
+        assert_eq!(report.events_cancelled, 2, "re-join + its leave cancel");
+        assert_eq!(report.events_applied, 1, "net effect is one departure");
+        let s = svc.session(6).expect("group alive");
+        assert_eq!(s.n(), 2);
+        assert!(!s.contains(UserId(2)));
+        assert!(s.invariant_holds());
+    }
+
+    #[test]
+    fn many_leaves_coalesce_into_one_partition() {
+        let mut svc = service(4);
+        svc.create_group(2, &users(0..9)).unwrap();
+        for u in [1u32, 3, 5] {
+            svc.submit(2, MembershipEvent::Leave(UserId(u))).unwrap();
+        }
+        let report = svc.tick();
+        assert_eq!(report.events_applied, 3);
+        assert_eq!(report.rekeys_executed, 1, "3 leaves → one Partition");
+        assert!(report.coalesce_ratio() > 1.0);
+        let s = svc.session(2).unwrap();
+        assert_eq!(s.n(), 6);
+        assert!(s.invariant_holds());
+    }
+
+    #[test]
+    fn merge_requests_fold_groups() {
+        let mut svc = service(5);
+        svc.create_group(10, &users(0..4)).unwrap();
+        svc.create_group(20, &users(4..7)).unwrap();
+        svc.create_group(30, &users(7..10)).unwrap();
+        svc.submit(10, MembershipEvent::MergeWith(20)).unwrap();
+        svc.submit(10, MembershipEvent::MergeWith(30)).unwrap();
+        let report = svc.tick();
+        assert_eq!(report.events_applied, 2);
+        assert_eq!(
+            report.rekeys_executed, 2,
+            "merge_many over 3 groups = 2 folds"
+        );
+        assert_eq!(svc.groups_active(), 1);
+        let s = svc.session(10).unwrap();
+        assert_eq!(s.n(), 10);
+        assert!(s.invariant_holds());
+        assert!(svc.session(20).is_none());
+        assert_eq!(svc.metrics().groups_merged_away, 2);
+    }
+
+    #[test]
+    fn dissolving_group_is_removed() {
+        let mut svc = service(6);
+        svc.create_group(3, &users(0..3)).unwrap();
+        for u in 0..2u32 {
+            svc.submit(3, MembershipEvent::Leave(UserId(u))).unwrap();
+        }
+        let report = svc.tick();
+        assert_eq!(report.groups_dissolved, 1);
+        assert_eq!(svc.groups_active(), 0);
+        assert!(svc.group_key(3).is_none());
+        // Events against a dissolved group are rejected at admission.
+        assert_eq!(
+            svc.submit(3, MembershipEvent::Join(UserId(9))),
+            Err(ServiceError::UnknownGroup(3))
+        );
+    }
+
+    #[test]
+    fn shrink_below_reduced_rekey_falls_back_to_full_run() {
+        let mut svc = service(7);
+        svc.create_group(5, &users(0..4)).unwrap();
+        // 4 members, 2 leave → 2 survivors: reduced rekey impossible.
+        svc.submit(5, MembershipEvent::Leave(UserId(0))).unwrap();
+        svc.submit(5, MembershipEvent::Leave(UserId(2))).unwrap();
+        let report = svc.tick();
+        assert_eq!(report.rekeys_executed, 1);
+        assert_eq!(
+            report.full_gka_runs, 1,
+            "fallback is one initial-GKA re-run"
+        );
+        let s = svc.session(5).unwrap();
+        assert_eq!(s.n(), 2);
+        assert!(s.invariant_holds());
+    }
+
+    #[test]
+    fn service_is_deterministic_per_seed() {
+        let run = |seed: u64| {
+            let mut svc = service(seed);
+            for g in 0..6u64 {
+                svc.create_group(g, &users(g as u32 * 10..g as u32 * 10 + 4))
+                    .unwrap();
+            }
+            for g in 0..6u64 {
+                svc.submit(g, MembershipEvent::Join(UserId(1000 + g as u32)))
+                    .unwrap();
+                svc.submit(g, MembershipEvent::Leave(UserId(g as u32 * 10 + 1)))
+                    .unwrap();
+            }
+            let r = svc.tick();
+            let keys: Vec<_> = svc
+                .group_ids()
+                .iter()
+                .map(|&g| svc.group_key(g).unwrap().clone())
+                .collect();
+            (r.events_applied, r.rekeys_executed, keys)
+        };
+        assert_eq!(run(42), run(42), "same seed, same keys and counters");
+        assert_ne!(run(42).2, run(43).2, "different seed, different keys");
+    }
+
+    #[test]
+    fn shards_partition_the_group_space() {
+        let mut svc = service(8);
+        for g in 0..40u64 {
+            svc.create_group(g, &users(g as u32 * 8..g as u32 * 8 + 3))
+                .unwrap();
+        }
+        assert_eq!(svc.groups_active(), 40);
+        assert_eq!(svc.group_ids().len(), 40);
+        // Every group lives on exactly the shard its id hashes to, and
+        // ticking an empty queue set is a no-op.
+        let report = svc.tick();
+        assert_eq!(report.rekeys_executed, 0);
+        assert_eq!(svc.groups_active(), 40);
+    }
+
+    #[test]
+    fn epoch_report_latency_quantiles() {
+        let mut svc = service(9);
+        svc.create_group(1, &users(0..6)).unwrap();
+        svc.submit(1, MembershipEvent::Leave(UserId(3))).unwrap();
+        let report = svc.tick();
+        let (p50, p95, max) = report.latency_quantiles().expect("one rekey ran");
+        assert!(p50 <= p95 && p95 <= max);
+    }
+}

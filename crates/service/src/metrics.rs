@@ -1,0 +1,151 @@
+//! Service-level and per-epoch metrics.
+
+use std::time::Duration;
+
+use egka_energy::OpCounts;
+use egka_net::TrafficStats;
+
+use crate::event::{GroupId, MembershipEvent, RejectReason};
+
+/// Cumulative service counters (monotone across epochs).
+#[derive(Clone, Debug, Default)]
+pub struct ServiceMetrics {
+    /// Groups currently holding an agreed key.
+    pub groups_active: u64,
+    /// Groups ever created.
+    pub groups_created: u64,
+    /// Groups dissolved (membership fell below two).
+    pub groups_dissolved: u64,
+    /// Groups absorbed into another group by a merge.
+    pub groups_merged_away: u64,
+    /// Events accepted into queues by `submit`.
+    pub events_submitted: u64,
+    /// Events applied by epoch ticks as membership changes. Join/leave
+    /// pairs that cancelled each other are *excluded* here and counted in
+    /// `events_cancelled` instead.
+    pub events_applied: u64,
+    /// Events rejected at their epoch (invalid against the live state).
+    pub events_rejected: u64,
+    /// Join/leave pairs that cancelled without any rekey.
+    pub events_cancelled: u64,
+    /// §7 dynamic protocol executions (one Partition covering k leaves
+    /// counts once — that is the point).
+    pub rekeys_executed: u64,
+    /// Full initial-GKA re-runs (fallbacks and batched-join GKAs).
+    pub full_gka_runs: u64,
+    /// Epochs ticked.
+    pub epochs: u64,
+    /// Total priced energy across all nodes of all groups, in mJ.
+    pub energy_mj: f64,
+    /// Cumulative operation counts across all rekeys.
+    pub ops: OpCounts,
+    /// Cumulative nominal/actual traffic across all rekeys, pulled from
+    /// the per-run `egka-net` medium accounting.
+    pub traffic: TrafficStats,
+}
+
+impl ServiceMetrics {
+    /// Events applied per rekey executed — the coalescing win. Greater
+    /// than 1.0 means batching saved protocol executions.
+    pub fn coalesce_ratio(&self) -> f64 {
+        if self.rekeys_executed == 0 {
+            if self.events_applied == 0 {
+                return 1.0;
+            }
+            return f64::INFINITY;
+        }
+        self.events_applied as f64 / self.rekeys_executed as f64
+    }
+}
+
+/// What one [`crate::KeyService::tick`] did.
+#[derive(Clone, Debug, Default)]
+pub struct EpochReport {
+    /// Epoch number (1-based; incremented per tick).
+    pub epoch: u64,
+    /// Groups whose queues were non-empty this epoch.
+    pub groups_touched: u64,
+    /// Events applied this epoch.
+    pub events_applied: u64,
+    /// Events rejected this epoch (`rejections.len()`).
+    pub events_rejected: u64,
+    /// The rejected events themselves, with the group and reason.
+    pub rejections: Vec<(GroupId, MembershipEvent, RejectReason)>,
+    /// Join/leave pairs cancelled this epoch.
+    pub events_cancelled: u64,
+    /// §7 rekeys executed this epoch.
+    pub rekeys_executed: u64,
+    /// Full initial-GKA executions among them.
+    pub full_gka_runs: u64,
+    /// Groups dissolved this epoch.
+    pub groups_dissolved: u64,
+    /// Priced energy of this epoch's rekeys, in mJ.
+    pub energy_mj: f64,
+    /// Operation counts of this epoch's rekeys.
+    pub ops: OpCounts,
+    /// Traffic of this epoch's rekeys.
+    pub traffic: TrafficStats,
+    /// Wall-clock latency of each group rekey executed this epoch.
+    pub rekey_latencies: Vec<Duration>,
+}
+
+impl EpochReport {
+    /// Events applied per rekey this epoch.
+    pub fn coalesce_ratio(&self) -> f64 {
+        if self.rekeys_executed == 0 {
+            if self.events_applied == 0 {
+                return 1.0;
+            }
+            return f64::INFINITY;
+        }
+        self.events_applied as f64 / self.rekeys_executed as f64
+    }
+
+    /// `(p50, p95, max)` rekey latency of this epoch, if any rekeys ran.
+    pub fn latency_quantiles(&self) -> Option<(Duration, Duration, Duration)> {
+        if self.rekey_latencies.is_empty() {
+            return None;
+        }
+        let mut sorted = self.rekey_latencies.clone();
+        sorted.sort();
+        let at = |q: f64| sorted[((sorted.len() - 1) as f64 * q).round() as usize];
+        Some((at(0.50), at(0.95), sorted[sorted.len() - 1]))
+    }
+
+    /// Folds this epoch into the cumulative service counters.
+    pub(crate) fn fold_into(&self, m: &mut ServiceMetrics) {
+        m.events_applied += self.events_applied;
+        m.events_rejected += self.events_rejected;
+        m.events_cancelled += self.events_cancelled;
+        m.rekeys_executed += self.rekeys_executed;
+        m.full_gka_runs += self.full_gka_runs;
+        m.groups_dissolved += self.groups_dissolved;
+        m.energy_mj += self.energy_mj;
+        m.ops.merge(&self.ops);
+        add_traffic(&mut m.traffic, &self.traffic);
+        m.epochs += 1;
+    }
+}
+
+/// Component-wise sum of [`TrafficStats`].
+pub(crate) fn add_traffic(into: &mut TrafficStats, from: &TrafficStats) {
+    into.tx_bits += from.tx_bits;
+    into.rx_bits += from.rx_bits;
+    into.tx_bits_actual += from.tx_bits_actual;
+    into.rx_bits_actual += from.rx_bits_actual;
+    into.msgs_tx += from.msgs_tx;
+    into.msgs_rx += from.msgs_rx;
+}
+
+/// Extracts the traffic components of an [`OpCounts`] (protocol reports
+/// embed the medium's per-node counters there).
+pub(crate) fn traffic_of(counts: &OpCounts) -> TrafficStats {
+    TrafficStats {
+        tx_bits: counts.tx_bits,
+        rx_bits: counts.rx_bits,
+        tx_bits_actual: counts.tx_bits_actual,
+        rx_bits_actual: counts.rx_bits_actual,
+        msgs_tx: counts.msgs_tx,
+        msgs_rx: counts.msgs_rx,
+    }
+}

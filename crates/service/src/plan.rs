@@ -1,0 +1,291 @@
+//! The epoch coordinator's coalescing planner.
+//!
+//! Given one group's queued membership events, produce the **minimal
+//! sequence of §7 dynamics** that realizes their net effect, choosing
+//! between equivalent realizations by the paper's own closed-form energy
+//! model (`egka_energy::complexity` — which instrumented runs are asserted
+//! to match exactly, so a plan priced cheaper really *is* cheaper on the
+//! meters):
+//!
+//! 1. a `Join(u)` cancelled by a `Leave(u)` of the same still-pending user
+//!    consumes both events with no rekey;
+//! 2. all surviving leaves collapse into **one** Partition (a single
+//!    reduced rekey), never k sequential Leaves;
+//! 3. `k ≥ 2` surviving joins are priced both ways — k sequential paper
+//!    Joins vs "newcomers run the initial GKA among themselves, then one
+//!    Merge" — and the cheaper plan is taken. This makes the guarantee
+//!    *"coalescing is never more expensive than sequential paper-exact
+//!    joins"* hold by construction (see the equivalence property test);
+//! 4. when the paper's side conditions fail (Join needs `n ≥ 3`, a reduced
+//!    rekey needs ≥ 3 survivors), the planner falls back to one full re-run
+//!    of the initial GKA over the final membership — still a single rekey.
+
+use egka_core::{GroupSession, UserId};
+use egka_energy::complexity::{
+    proposed_join, proposed_merge, proposed_partition, InitialProtocol, RoleCounts,
+};
+use egka_energy::{total_energy_mj, CompOp, CpuModel, OpCounts, Transceiver};
+
+use crate::event::{MembershipEvent, RejectReason};
+
+/// One §7 dynamic (or fallback) the executor will run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RekeyStep {
+    /// One reduced rekey removing all `leavers` (positions resolved at
+    /// execution time; a single leaver degenerates to the Leave protocol).
+    Partition {
+        /// Identities departing this epoch.
+        leavers: Vec<UserId>,
+    },
+    /// One paper-exact Join of a single newcomer.
+    JoinOne {
+        /// The joining identity.
+        newcomer: UserId,
+    },
+    /// The newcomers run the initial GKA among themselves, then the result
+    /// merges with the existing group — one Merge instead of k Joins.
+    MergeNewcomers {
+        /// The joining identities (≥ 2).
+        newcomers: Vec<UserId>,
+    },
+    /// Fallback: re-run the initial GKA over `members` (final membership).
+    FullRekey {
+        /// The final membership after all queued arrivals/departures.
+        members: Vec<UserId>,
+    },
+    /// Too few members remain; the group is dissolved.
+    Dissolve,
+}
+
+/// The planner's output for one group at one epoch.
+#[derive(Clone, Debug, Default)]
+pub struct RekeyPlan {
+    /// Steps to execute, in order (leaves before joins: a departed member
+    /// must never see a key that covers the newcomers).
+    pub steps: Vec<RekeyStep>,
+    /// Events that were absorbed (applied or mutually cancelled).
+    pub events_applied: u64,
+    /// Join/leave pairs of the same pending user that cancelled outright.
+    pub events_cancelled: u64,
+    /// Events that could not be applied, with reasons.
+    pub rejected: Vec<(MembershipEvent, RejectReason)>,
+}
+
+impl RekeyPlan {
+    /// Number of §7/fallback rekeys this plan executes.
+    pub fn rekeys(&self) -> u64 {
+        self.steps
+            .iter()
+            .filter(|s| !matches!(s, RekeyStep::Dissolve))
+            .count() as u64
+    }
+}
+
+/// Pricing context: which hardware the coalescing decisions optimize for.
+#[derive(Clone, Debug)]
+pub struct CostModel {
+    /// CPU energy model (Table 2).
+    pub cpu: CpuModel,
+    /// Transceiver energy model (Table 3).
+    pub radio: Transceiver,
+    /// Whether Joins run in composable mode (`z'_1` disseminated; +1 exp
+    /// and +1024 nominal bits at `U_1` — see `egka_core::dynamics`).
+    pub composable_joins: bool,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            cpu: CpuModel::strongarm_133(),
+            radio: Transceiver::radio_100kbps(),
+            composable_joins: true,
+        }
+    }
+}
+
+impl CostModel {
+    /// Prices a count vector in millijoules.
+    pub fn price_mj(&self, counts: &OpCounts) -> f64 {
+        total_energy_mj(&self.cpu, &self.radio, counts)
+    }
+
+    /// Group-total closed-form cost of one Join at current size `n`.
+    pub fn join_total(&self, n: u64) -> OpCounts {
+        let mut total = roles_total(&proposed_join(n));
+        if self.composable_joins {
+            // U_1 computes and ships z'_1 inside m'_1: one extra
+            // exponentiation, +Z_BITS on the wire, received by the n−1
+            // other old-group members.
+            total.add(CompOp::ModExp, 1);
+            total.tx_bits += egka_energy::wire::Z_BITS;
+            total.rx_bits += egka_energy::wire::Z_BITS * (n - 1);
+        }
+        total
+    }
+
+    /// Group-total closed-form cost of `k` sequential Joins starting at
+    /// size `n`.
+    pub fn sequential_joins_total(&self, n: u64, k: u64) -> OpCounts {
+        let mut total = OpCounts::new();
+        for i in 0..k {
+            total.merge(&self.join_total(n + i));
+        }
+        total
+    }
+
+    /// Group-total closed-form cost of the batch plan: `k ≥ 2` newcomers
+    /// run the initial GKA, then one Merge with the group of size `n`.
+    pub fn batch_join_total(&self, n: u64, k: u64) -> OpCounts {
+        assert!(k >= 2, "batch path needs at least two newcomers");
+        let per_user = InitialProtocol::ProposedGqBatch.per_user_counts(k);
+        let mut total = OpCounts::new();
+        total.merge_scaled(&per_user, k);
+        total.merge(&roles_total(&proposed_merge(n, k)));
+        total
+    }
+
+    /// Group-total closed-form cost of a Partition removing `ld` of `n`
+    /// members with `v` refreshers.
+    pub fn partition_total(&self, n: u64, ld: u64, v: u64) -> OpCounts {
+        roles_total(&proposed_partition(n, ld, v))
+    }
+
+    /// Group-total closed-form cost of re-running the initial GKA at size
+    /// `n`.
+    pub fn full_rekey_total(&self, n: u64) -> OpCounts {
+        let per_user = InitialProtocol::ProposedGqBatch.per_user_counts(n);
+        let mut total = OpCounts::new();
+        total.merge_scaled(&per_user, n);
+        total
+    }
+}
+
+/// Sums per-role counts over their populations.
+pub fn roles_total(roles: &[RoleCounts]) -> OpCounts {
+    let mut total = OpCounts::new();
+    for role in roles {
+        total.merge_scaled(&role.counts, role.population);
+    }
+    total
+}
+
+/// Collapses one group's queued `Join`/`Leave` events into a [`RekeyPlan`]
+/// (`MergeWith` requests are cross-group and handled by the coordinator
+/// before shard fan-out).
+///
+/// The plan applies leaves strictly before joins, so a departing member
+/// never sees key material covering same-epoch arrivals.
+pub fn plan_group(
+    session: &GroupSession,
+    events: &[MembershipEvent],
+    cost: &CostModel,
+) -> RekeyPlan {
+    let mut plan = RekeyPlan::default();
+    let mut joins: Vec<UserId> = Vec::new();
+    let mut leaves: Vec<UserId> = Vec::new();
+
+    for ev in events {
+        match *ev {
+            MembershipEvent::Join(u) => {
+                if joins.contains(&u) || (session.contains(u) && !leaves.contains(&u)) {
+                    plan.rejected
+                        .push((ev.clone(), RejectReason::AlreadyMember));
+                } else {
+                    // Either a fresh newcomer, or a same-epoch re-join
+                    // after a leave (both stand: the rekey in between is
+                    // what forward secrecy requires).
+                    joins.push(u);
+                    plan.events_applied += 1;
+                }
+            }
+            MembershipEvent::Leave(u) => {
+                if let Some(at) = joins.iter().position(|&j| j == u) {
+                    // This leave cancels the pending join outright. For a
+                    // fresh user that is the plain join+leave cancellation;
+                    // for a live member the pending entry was a *re-join*
+                    // whose original leave is already in `leaves` (a
+                    // re-join is only accepted with the leave recorded), so
+                    // cancelling the pair leaves exactly one net departure.
+                    joins.remove(at);
+                    plan.events_applied -= 1;
+                    plan.events_cancelled += 2;
+                } else if session.contains(u) && !leaves.contains(&u) {
+                    leaves.push(u);
+                    plan.events_applied += 1;
+                } else {
+                    plan.rejected.push((ev.clone(), RejectReason::NotAMember));
+                }
+            }
+            MembershipEvent::MergeWith(_) => {
+                unreachable!("cross-group merges are resolved before plan_group")
+            }
+        }
+    }
+
+    let n = session.n() as u64;
+    let survivors = n - leaves.len() as u64;
+    let final_size = survivors + joins.len() as u64;
+
+    // Everyone leaves (or a lone survivor): no group remains to rekey.
+    if final_size < 2 {
+        plan.steps.push(RekeyStep::Dissolve);
+        return plan;
+    }
+
+    // Too few survivors for a reduced rekey: one full re-run over the
+    // final membership covers every queued event in a single rekey.
+    if !leaves.is_empty() && survivors < 3 {
+        let mut members: Vec<UserId> = session
+            .member_ids()
+            .into_iter()
+            .filter(|u| !leaves.contains(u))
+            .collect();
+        members.extend(joins.iter().copied());
+        plan.steps.push(RekeyStep::FullRekey { members });
+        return plan;
+    }
+
+    if !leaves.is_empty() {
+        plan.steps.push(RekeyStep::Partition {
+            leavers: leaves.clone(),
+        });
+    }
+
+    let n_after_leaves = survivors;
+    match joins.len() as u64 {
+        0 => {}
+        1 if n_after_leaves >= 3 => plan.steps.push(RekeyStep::JoinOne { newcomer: joins[0] }),
+        1 => {
+            // n = 2: the Join protocol needs a bystander; re-run at 3.
+            let mut members: Vec<UserId> = session
+                .member_ids()
+                .into_iter()
+                .filter(|u| !leaves.contains(u))
+                .collect();
+            members.extend(joins.iter().copied());
+            plan.steps.push(RekeyStep::FullRekey { members });
+        }
+        k => {
+            let batch = cost.price_mj(&cost.batch_join_total(n_after_leaves, k));
+            if n_after_leaves >= 3 {
+                let sequential = cost.price_mj(&cost.sequential_joins_total(n_after_leaves, k));
+                if sequential <= batch {
+                    for &u in &joins {
+                        plan.steps.push(RekeyStep::JoinOne { newcomer: u });
+                    }
+                } else {
+                    plan.steps.push(RekeyStep::MergeNewcomers {
+                        newcomers: joins.clone(),
+                    });
+                }
+            } else {
+                // n = 2 cannot host paper Joins; the Merge path applies.
+                plan.steps.push(RekeyStep::MergeNewcomers {
+                    newcomers: joins.clone(),
+                });
+            }
+        }
+    }
+
+    plan
+}

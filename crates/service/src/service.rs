@@ -1,0 +1,359 @@
+//! The sharded, epoch-batched key-management service.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use egka_bigint::Ubig;
+use egka_core::proposed;
+use egka_core::{dynamics, par, GroupSession, Pkg, RunConfig, UserId};
+
+use crate::event::{GroupId, MembershipEvent, RejectReason, ServiceError};
+use crate::metrics::{add_traffic, traffic_of, EpochReport, ServiceMetrics};
+use crate::plan::CostModel;
+use crate::shard::{mix, GroupState, Shard};
+
+/// Service configuration.
+#[derive(Clone, Debug)]
+pub struct ServiceConfig {
+    /// Number of worker shards groups are hashed across.
+    pub shards: usize,
+    /// Master seed: with the same seed and the same call sequence, every
+    /// key and every counter the service produces is identical.
+    pub seed: u64,
+    /// Hardware model the coalescing planner optimizes for, and whether
+    /// Joins run in composable mode.
+    pub cost: CostModel,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            shards: 8,
+            seed: 0xe96a,
+            cost: CostModel::default(),
+        }
+    }
+}
+
+/// A multi-group key-management service over the paper's protocols.
+///
+/// Owns many concurrent [`GroupSession`]s, hashed across single-threaded
+/// worker shards, and drives them through their lifecycle with
+/// **epoch-batched rekeying**: membership events queue per group and each
+/// [`KeyService::tick`] collapses every queue into the minimal sequence of
+/// §7 dynamics (see [`crate::plan`]).
+pub struct KeyService {
+    pkg: Arc<Pkg>,
+    config: ServiceConfig,
+    shards: Vec<Shard>,
+    epoch: u64,
+    metrics: ServiceMetrics,
+}
+
+impl KeyService {
+    /// Creates an empty service on `pkg`'s parameters.
+    ///
+    /// # Panics
+    /// Panics if `config.shards` is zero.
+    pub fn new(pkg: Arc<Pkg>, config: ServiceConfig) -> Self {
+        assert!(config.shards > 0, "need at least one shard");
+        let shards = (0..config.shards).map(|_| Shard::default()).collect();
+        KeyService {
+            pkg,
+            config,
+            shards,
+            epoch: 0,
+            metrics: ServiceMetrics::default(),
+        }
+    }
+
+    /// The shard index `gid` hashes to.
+    pub fn shard_of(&self, gid: GroupId) -> usize {
+        (mix(0x051a_6d0f_5ead, gid) % self.shards.len() as u64) as usize
+    }
+
+    /// Creates a group by running the initial authenticated GKA over
+    /// `members` (extracting their ID keys from the PKG). Counts and
+    /// energy are charged to the service metrics.
+    pub fn create_group(&mut self, gid: GroupId, members: &[UserId]) -> Result<(), ServiceError> {
+        if members.len() < 2 {
+            return Err(ServiceError::GroupTooSmall);
+        }
+        for (i, u) in members.iter().enumerate() {
+            if members[..i].contains(u) {
+                return Err(ServiceError::DuplicateMember(*u));
+            }
+        }
+        let shard = self.shard_of(gid);
+        if self.shards[shard].groups.contains_key(&gid) {
+            return Err(ServiceError::GroupExists(gid));
+        }
+        let keys: Vec<_> = members.iter().map(|&u| self.pkg.extract(u)).collect();
+        let seed = mix(mix(self.config.seed, gid), 0xc4ea7e);
+        let (report, session) = proposed::run(self.pkg.params(), &keys, seed, RunConfig::default());
+        for node in &report.nodes {
+            self.metrics.ops.merge(&node.counts);
+            self.metrics.energy_mj += self.config.cost.price_mj(&node.counts);
+            add_traffic(&mut self.metrics.traffic, &traffic_of(&node.counts));
+        }
+        self.shards[shard].groups.insert(
+            gid,
+            GroupState {
+                session,
+                created_epoch: self.epoch,
+                rekeys: 0,
+            },
+        );
+        self.metrics.groups_created += 1;
+        self.metrics.groups_active += 1;
+        Ok(())
+    }
+
+    /// Queues a membership event against `gid`; it will be applied (and
+    /// coalesced with its neighbours) at the next [`KeyService::tick`].
+    pub fn submit(&mut self, gid: GroupId, event: MembershipEvent) -> Result<(), ServiceError> {
+        let shard = self.shard_of(gid);
+        if !self.shards[shard].groups.contains_key(&gid) {
+            return Err(ServiceError::UnknownGroup(gid));
+        }
+        self.shards[shard]
+            .pending
+            .entry(gid)
+            .or_default()
+            .push(event);
+        self.metrics.events_submitted += 1;
+        Ok(())
+    }
+
+    /// Runs one rekey epoch: resolves cross-group merges on the
+    /// coordinator, then fans the shards across threads — each shard
+    /// single-threaded over its own groups — and folds their reports.
+    pub fn tick(&mut self) -> EpochReport {
+        self.epoch += 1;
+        let epoch = self.epoch;
+
+        let mut merge_report = self.resolve_merges(epoch);
+
+        // Fan out: shards are independent (no group spans two shards), so
+        // this is lock-free parallelism; determinism is per-shard.
+        let pkg = Arc::clone(&self.pkg);
+        let cost = self.config.cost.clone();
+        let seed = self.config.seed;
+        par::par_for_each_mut(&mut self.shards, |_, shard| {
+            shard.run_epoch(&pkg, &cost, epoch, seed);
+        });
+
+        for shard in &mut self.shards {
+            let scratch = std::mem::take(&mut shard.scratch);
+            merge_report.groups_touched += scratch.groups_touched;
+            merge_report.events_applied += scratch.events_applied;
+            merge_report.events_rejected += scratch.events_rejected;
+            merge_report.rejections.extend(scratch.rejections);
+            merge_report.events_cancelled += scratch.events_cancelled;
+            merge_report.rekeys_executed += scratch.rekeys_executed;
+            merge_report.full_gka_runs += scratch.full_gka_runs;
+            merge_report.groups_dissolved += scratch.groups_dissolved;
+            merge_report.energy_mj += scratch.energy_mj;
+            merge_report.ops.merge(&scratch.ops);
+            add_traffic(&mut merge_report.traffic, &scratch.traffic);
+            merge_report.rekey_latencies.extend(scratch.rekey_latencies);
+        }
+        merge_report.epoch = epoch;
+        merge_report.fold_into(&mut self.metrics);
+        self.metrics.groups_active = self.shards.iter().map(|s| s.groups.len() as u64).sum();
+        merge_report
+    }
+
+    /// Drains `MergeWith` events from every queue and executes them on the
+    /// coordinator thread (merges are the one operation crossing shard
+    /// boundaries). Host groups are processed in ascending id order;
+    /// absorbed groups forward both their queued events and their pending
+    /// merge requests to their absorber.
+    fn resolve_merges(&mut self, epoch: u64) -> EpochReport {
+        let mut report = EpochReport {
+            epoch,
+            ..EpochReport::default()
+        };
+
+        // (host, target) pairs in deterministic order.
+        let mut requests: Vec<(GroupId, GroupId)> = Vec::new();
+        for shard in &mut self.shards {
+            for (&gid, queue) in shard.pending.iter_mut() {
+                queue.retain(|ev| match *ev {
+                    MembershipEvent::MergeWith(other) => {
+                        requests.push((gid, other));
+                        false
+                    }
+                    _ => true,
+                });
+            }
+        }
+        if requests.is_empty() {
+            return report;
+        }
+        requests.sort();
+
+        // absorbed[g] = the group that now holds g's members.
+        let mut absorbed: std::collections::BTreeMap<GroupId, GroupId> =
+            std::collections::BTreeMap::new();
+        let resolve = |absorbed: &std::collections::BTreeMap<GroupId, GroupId>, mut g: GroupId| {
+            while let Some(&into) = absorbed.get(&g) {
+                g = into;
+            }
+            g
+        };
+
+        // host → targets, following absorptions as they happen.
+        let mut i = 0;
+        while i < requests.len() {
+            let host = resolve(&absorbed, requests[i].0);
+            // Gather every request whose resolved host is `host` in this
+            // contiguous run (requests are sorted by original host id).
+            let mut targets: Vec<GroupId> = Vec::new();
+            let first_host = requests[i].0;
+            while i < requests.len() && requests[i].0 == first_host {
+                let raw_target = requests[i].1;
+                let target = resolve(&absorbed, raw_target);
+                let ev = MembershipEvent::MergeWith(raw_target);
+                if target == host {
+                    report.events_rejected += 1;
+                    report.rejections.push((host, ev, RejectReason::SelfMerge));
+                } else if !self.group_exists(target) {
+                    report.events_rejected += 1;
+                    report
+                        .rejections
+                        .push((host, ev, RejectReason::UnknownPeerGroup));
+                } else if !targets.contains(&target) {
+                    targets.push(target);
+                } else {
+                    report.events_rejected += 1;
+                    report
+                        .rejections
+                        .push((host, ev, RejectReason::DuplicateMerge));
+                }
+                i += 1;
+            }
+            if !self.group_exists(host) {
+                report.events_rejected += targets.len() as u64;
+                report.rejections.extend(
+                    targets
+                        .iter()
+                        .map(|&t| (host, MembershipEvent::MergeWith(t), RejectReason::GroupGone)),
+                );
+                continue;
+            }
+            if targets.is_empty() {
+                continue;
+            }
+
+            // Fold host + targets with merge_many (k−1 pairwise merges).
+            let host_shard = self.shard_of(host);
+            let host_state = self.shards[host_shard]
+                .groups
+                .remove(&host)
+                .expect("exists");
+            let (host_created_epoch, host_rekeys) = (host_state.created_epoch, host_state.rekeys);
+            let mut sessions: Vec<GroupSession> = vec![host_state.session];
+            for &t in &targets {
+                let ts = self.shard_of(t);
+                let state = self.shards[ts].groups.remove(&t).expect("exists");
+                sessions.push(state.session);
+            }
+            let started = Instant::now();
+            let refs: Vec<&GroupSession> = sessions.iter().collect();
+            let seed = mix(mix(self.config.seed, host), epoch ^ 0x6d65);
+            let out = dynamics::merge_many(&refs, seed);
+            for r in &out.reports {
+                report.ops.merge(&r.counts);
+            }
+            report.rekey_latencies.push(started.elapsed());
+            report.rekeys_executed += targets.len() as u64; // k−1 folds
+            report.events_applied += targets.len() as u64;
+            report.groups_touched += 1;
+
+            // The merged ring lives on under the host id; absorbed groups'
+            // pending events forward to the host.
+            for &t in &targets {
+                absorbed.insert(t, host);
+                self.metrics.groups_merged_away += 1;
+                let ts = self.shard_of(t);
+                let forwarded = self.shards[ts].pending.remove(&t).unwrap_or_default();
+                if !forwarded.is_empty() {
+                    let hs = self.shard_of(host);
+                    self.shards[hs]
+                        .pending
+                        .entry(host)
+                        .or_default()
+                        .extend(forwarded);
+                }
+            }
+            self.shards[host_shard].groups.insert(
+                host,
+                GroupState {
+                    session: out.session,
+                    created_epoch: host_created_epoch,
+                    rekeys: host_rekeys + targets.len() as u64,
+                },
+            );
+        }
+        report.energy_mj = self.config.cost.price_mj(&report.ops);
+        add_traffic(&mut report.traffic, &traffic_of(&report.ops));
+        report
+    }
+
+    fn group_exists(&self, gid: GroupId) -> bool {
+        self.shards[self.shard_of(gid)].groups.contains_key(&gid)
+    }
+
+    /// The group's current key, if the group is live.
+    pub fn group_key(&self, gid: GroupId) -> Option<&Ubig> {
+        self.shards[self.shard_of(gid)]
+            .groups
+            .get(&gid)
+            .map(|s| &s.session.key)
+    }
+
+    /// The group's live session, if any (omniscient test/inspection view).
+    pub fn session(&self, gid: GroupId) -> Option<&GroupSession> {
+        self.shards[self.shard_of(gid)]
+            .groups
+            .get(&gid)
+            .map(|s| &s.session)
+    }
+
+    /// Number of live groups.
+    pub fn groups_active(&self) -> usize {
+        self.shards.iter().map(|s| s.groups.len()).sum()
+    }
+
+    /// Live group ids, ascending.
+    pub fn group_ids(&self) -> Vec<GroupId> {
+        let mut ids: Vec<GroupId> = self
+            .shards
+            .iter()
+            .flat_map(|s| s.groups.keys().copied())
+            .collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// Cumulative service metrics.
+    pub fn metrics(&self) -> &ServiceMetrics {
+        &self.metrics
+    }
+
+    /// Current epoch number (ticks completed).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The PKG parameters this service runs on.
+    pub fn pkg(&self) -> &Pkg {
+        &self.pkg
+    }
+
+    /// The service configuration.
+    pub fn config(&self) -> &ServiceConfig {
+        &self.config
+    }
+}

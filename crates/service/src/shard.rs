@@ -1,0 +1,229 @@
+//! A worker shard: exclusive owner of a subset of the service's groups.
+//!
+//! Groups are hashed across shards at creation; each shard is driven
+//! **single-threaded** over its own groups during an epoch tick (the
+//! service fans shards — not groups — across threads), so group state
+//! needs no locking at all and epoch results are deterministic regardless
+//! of how the OS schedules the shard threads.
+
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+use egka_core::{dynamics, proposed, GroupSession, Pkg, RunConfig, UserId};
+use egka_energy::OpCounts;
+
+use crate::event::{GroupId, MembershipEvent, RejectReason};
+use crate::metrics::{add_traffic, traffic_of, EpochReport};
+use crate::plan::{plan_group, CostModel, RekeyPlan, RekeyStep};
+
+/// One managed group.
+#[derive(Clone, Debug)]
+pub struct GroupState {
+    /// The live session (members, shares, current key).
+    pub session: GroupSession,
+    /// Epoch at which the group was created.
+    pub created_epoch: u64,
+    /// Rekeys this group has been through.
+    pub rekeys: u64,
+}
+
+/// Deterministic 64-bit mixing for per-group / per-step seeds.
+pub(crate) fn mix(a: u64, b: u64) -> u64 {
+    let mut z = a ^ b.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A shard: groups + their pending event queues.
+#[derive(Default)]
+pub(crate) struct Shard {
+    pub groups: BTreeMap<GroupId, GroupState>,
+    pub pending: BTreeMap<GroupId, Vec<MembershipEvent>>,
+    /// Scratch output of the last `run_epoch` (read by the coordinator
+    /// after the parallel fan-out joins).
+    pub scratch: EpochReport,
+}
+
+impl Shard {
+    /// Executes one epoch over this shard's groups: drain each non-empty
+    /// queue, collapse it into a [`RekeyPlan`], run the plan, record
+    /// metrics into `self.scratch`. Deterministic given (state, seed).
+    pub fn run_epoch(&mut self, pkg: &Pkg, cost: &CostModel, epoch: u64, service_seed: u64) {
+        let mut report = EpochReport {
+            epoch,
+            ..EpochReport::default()
+        };
+        let queues: Vec<(GroupId, Vec<MembershipEvent>)> = std::mem::take(&mut self.pending)
+            .into_iter()
+            .filter(|(_, q)| !q.is_empty())
+            .collect();
+
+        for (gid, events) in queues {
+            let Some(state) = self.groups.get_mut(&gid) else {
+                // Group dissolved/merged away after the events were queued.
+                report.events_rejected += events.len() as u64;
+                report.rejections.extend(
+                    events
+                        .into_iter()
+                        .map(|ev| (gid, ev, RejectReason::GroupGone)),
+                );
+                continue;
+            };
+            report.groups_touched += 1;
+            let plan = plan_group(&state.session, &events, cost);
+            report.events_applied += plan.events_applied;
+            report.events_cancelled += plan.events_cancelled;
+            report.events_rejected += plan.rejected.len() as u64;
+            report.rejections.extend(
+                plan.rejected
+                    .iter()
+                    .cloned()
+                    .map(|(ev, why)| (gid, ev, why)),
+            );
+
+            if plan.steps.is_empty() {
+                continue;
+            }
+            let started = Instant::now();
+            let seed = mix(mix(service_seed, gid), epoch);
+            let outcome = execute_plan(pkg, &state.session, &plan, seed, cost);
+            report.rekeys_executed += outcome.rekeys;
+            report.full_gka_runs += outcome.gka_runs;
+            report.ops.merge(&outcome.ops);
+            add_traffic(&mut report.traffic, &traffic_of(&outcome.ops));
+            report.energy_mj += cost.price_mj(&outcome.ops);
+            match outcome.session {
+                Some(session) => {
+                    state.session = session;
+                    state.rekeys += outcome.rekeys;
+                    report.rekey_latencies.push(started.elapsed());
+                }
+                None => {
+                    self.groups.remove(&gid);
+                    report.groups_dissolved += 1;
+                }
+            }
+        }
+        self.scratch = report;
+    }
+}
+
+/// Result of executing one group's plan.
+pub(crate) struct PlanOutcome {
+    /// `None` iff the group dissolved.
+    pub session: Option<GroupSession>,
+    /// Summed per-node counts of every protocol run in the plan.
+    pub ops: OpCounts,
+    /// §7/fallback protocol executions performed.
+    pub rekeys: u64,
+    /// Full initial-GKA executions among them (fallbacks + batched-join
+    /// newcomer GKAs).
+    pub gka_runs: u64,
+}
+
+/// Runs a [`RekeyPlan`] against a session, returning the new session and
+/// the *measured* (instrumented) cost of every protocol execution.
+pub(crate) fn execute_plan(
+    pkg: &Pkg,
+    session: &GroupSession,
+    plan: &RekeyPlan,
+    seed: u64,
+    cost: &CostModel,
+) -> PlanOutcome {
+    let mut current = session.clone();
+    let mut ops = OpCounts::new();
+    let mut rekeys = 0u64;
+    let mut gka_runs = 0u64;
+
+    for (idx, step) in plan.steps.iter().enumerate() {
+        let step_seed = mix(seed, idx as u64 + 1);
+        match step {
+            RekeyStep::Dissolve => {
+                return PlanOutcome {
+                    session: None,
+                    ops,
+                    rekeys,
+                    gka_runs,
+                };
+            }
+            RekeyStep::Partition { leavers } => {
+                let positions: Vec<usize> = leavers
+                    .iter()
+                    .map(|&u| {
+                        current
+                            .position_of(u)
+                            .expect("planner only removes live members")
+                    })
+                    .collect();
+                let out = dynamics::partition(&current, &positions, step_seed);
+                for r in &out.reports {
+                    ops.merge(&r.counts);
+                }
+                current = out.session;
+                rekeys += 1;
+            }
+            RekeyStep::JoinOne { newcomer } => {
+                let key = pkg.extract(*newcomer);
+                let out =
+                    dynamics::join(&current, *newcomer, &key, step_seed, cost.composable_joins);
+                for r in &out.reports {
+                    ops.merge(&r.counts);
+                }
+                current = out.session;
+                rekeys += 1;
+            }
+            RekeyStep::MergeNewcomers { newcomers } => {
+                let keys: Vec<_> = newcomers.iter().map(|&u| pkg.extract(u)).collect();
+                let (gka_report, newcomer_session) =
+                    proposed::run(&current.params, &keys, step_seed, RunConfig::default());
+                for node in &gka_report.nodes {
+                    ops.merge(&node.counts);
+                }
+                gka_runs += 1;
+                let out = dynamics::merge(&current, &newcomer_session, mix(step_seed, 0x6d));
+                for r in &out.reports {
+                    ops.merge(&r.counts);
+                }
+                current = out.session;
+                rekeys += 1;
+            }
+            RekeyStep::FullRekey { members } => {
+                let keys: Vec<_> = members.iter().map(|&u| pkg.extract(u)).collect();
+                let (report, session) =
+                    proposed::run(&current.params, &keys, step_seed, RunConfig::default());
+                for node in &report.nodes {
+                    ops.merge(&node.counts);
+                }
+                current = session;
+                rekeys += 1;
+                gka_runs += 1;
+            }
+        }
+    }
+
+    PlanOutcome {
+        session: Some(current),
+        ops,
+        rekeys,
+        gka_runs,
+    }
+}
+
+/// Applies `UserId`-keyed events in arrival order to a plain vector —
+/// used by tests to model the expected final membership.
+pub fn final_membership(start: &[UserId], events: &[MembershipEvent]) -> Vec<UserId> {
+    let mut members: Vec<UserId> = start.to_vec();
+    for ev in events {
+        match *ev {
+            MembershipEvent::Join(u) => {
+                if !members.contains(&u) {
+                    members.push(u);
+                }
+            }
+            MembershipEvent::Leave(u) => members.retain(|&m| m != u),
+            MembershipEvent::MergeWith(_) => {}
+        }
+    }
+    members
+}

@@ -1,0 +1,161 @@
+//! Equivalence properties of epoch-coalesced rekeying.
+//!
+//! 1. **Correctness**: an epoch-coalesced batch of churn events leaves
+//!    every surviving group with an agreed key satisfying the ring
+//!    invariant and exactly the expected membership.
+//! 2. **Economy**: coalescing `k` joins is never more expensive — metered
+//!    operations and nominal bits, priced by the paper's energy model —
+//!    than `k` sequential paper-exact Joins. (The planner prices both
+//!    realizations with the closed forms the instrumented runs are
+//!    asserted to match, and picks the cheaper, so this holds by
+//!    construction; the test verifies it against *measured* counts.)
+
+use std::sync::Arc;
+
+use egka_core::{dynamics, Pkg, SecurityProfile, UserId};
+use egka_energy::OpCounts;
+use egka_hash::ChaChaRng;
+use egka_service::{final_membership, CostModel, KeyService, MembershipEvent, ServiceConfig};
+use proptest::prelude::*;
+use rand::SeedableRng;
+
+/// Shared toy PKG (parameter generation is too slow to re-run per case).
+fn pkg() -> &'static Arc<Pkg> {
+    use std::sync::OnceLock;
+    static PKG: OnceLock<Arc<Pkg>> = OnceLock::new();
+    PKG.get_or_init(|| {
+        let mut rng = ChaChaRng::seed_from_u64(0x0e9a_51c3);
+        Arc::new(Pkg::setup(&mut rng, SecurityProfile::Toy))
+    })
+}
+
+fn paper_exact_cost() -> CostModel {
+    CostModel {
+        composable_joins: false,
+        ..CostModel::default()
+    }
+}
+
+fn service_with_group(seed: u64, n: u32) -> (KeyService, Vec<UserId>) {
+    let mut svc = KeyService::new(
+        Arc::clone(pkg()),
+        ServiceConfig {
+            seed,
+            cost: paper_exact_cost(),
+            ..ServiceConfig::default()
+        },
+    );
+    let members: Vec<UserId> = (0..n).map(UserId).collect();
+    svc.create_group(1, &members).expect("create");
+    (svc, members)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Coalesced churn (joins + leaves in one epoch) preserves the ring
+    /// invariant, changes the key, and lands on the expected membership.
+    #[test]
+    fn coalesced_epoch_is_correct(
+        n in 4u32..8,
+        joins in 1usize..4,
+        leave_stride in 1usize..3,
+        seed in any::<u64>(),
+    ) {
+        let (mut svc, members) = service_with_group(seed, n);
+        let key0 = svc.group_key(1).unwrap().clone();
+        let mut events = Vec::new();
+        for j in 0..joins {
+            events.push(MembershipEvent::Join(UserId(1000 + j as u32)));
+        }
+        for leaver in members.iter().step_by(leave_stride + 1).take(2) {
+            events.push(MembershipEvent::Leave(*leaver));
+        }
+        for ev in &events {
+            svc.submit(1, ev.clone()).unwrap();
+        }
+        let report = svc.tick();
+        prop_assert_eq!(report.events_applied as usize, events.len());
+
+        let expected = final_membership(&members, &events);
+        let session = svc.session(1).expect("group survives");
+        prop_assert!(session.invariant_holds(), "ring invariant after coalesced epoch");
+        let mut got = session.member_ids();
+        let mut want = expected;
+        got.sort();
+        want.sort();
+        prop_assert_eq!(got, want, "membership after coalesced epoch");
+        prop_assert_ne!(&key0, &session.key, "churn must change the key");
+        // Coalescing: every event this epoch was served by at most
+        // |events| rekeys, and with any batching strictly fewer.
+        prop_assert!(report.rekeys_executed <= report.events_applied);
+    }
+
+    /// Economy: the coalesced plan for k joins costs no more than k
+    /// sequential paper-exact Joins, measured on the meters and priced by
+    /// the paper's model.
+    #[test]
+    fn coalesced_joins_never_beat_by_sequential(
+        n in 3u32..7,
+        k in 1u32..6,
+        seed in any::<u64>(),
+    ) {
+        let (mut svc, _members) = service_with_group(seed, n);
+        let start = svc.session(1).unwrap().clone();
+        let cost = paper_exact_cost();
+
+        // Baseline: k sequential paper-exact Joins, measured.
+        let mut baseline_ops = OpCounts::new();
+        let mut session = start.clone();
+        for j in 0..k {
+            let id = UserId(2000 + j);
+            let key = pkg().extract(id);
+            let out = dynamics::join(&session, id, &key, seed ^ u64::from(j), false);
+            for r in &out.reports {
+                baseline_ops.merge(&r.counts);
+            }
+            session = out.session;
+        }
+        let baseline_mj = cost.price_mj(&baseline_ops);
+
+        // Coalesced: submit the same k joins as one epoch batch.
+        for j in 0..k {
+            svc.submit(1, MembershipEvent::Join(UserId(2000 + j))).unwrap();
+        }
+        let report = svc.tick();
+        prop_assert_eq!(report.events_applied, u64::from(k));
+        let coalesced_mj = report.energy_mj;
+
+        prop_assert!(
+            coalesced_mj <= baseline_mj + 1e-9,
+            "coalesced {} joins cost {:.3} mJ > sequential {:.3} mJ",
+            k, coalesced_mj, baseline_mj
+        );
+
+        // The planner's closed-form estimates are honest: the sequential
+        // estimate prices the measured baseline exactly.
+        let est_seq = cost.sequential_joins_total(u64::from(n), u64::from(k));
+        prop_assert_eq!(est_seq.exps(), baseline_ops.exps(), "closed-form exps");
+        prop_assert_eq!(est_seq.tx_bits, baseline_ops.tx_bits, "closed-form tx bits");
+        prop_assert_eq!(est_seq.rx_bits, baseline_ops.rx_bits, "closed-form rx bits");
+        prop_assert!((cost.price_mj(&est_seq) - baseline_mj).abs() < 1e-9);
+
+        // And the resulting group is intact either way.
+        let s = svc.session(1).unwrap();
+        prop_assert!(s.invariant_holds());
+        prop_assert_eq!(s.n() as u32, n + k);
+    }
+
+    /// A join+leave pair of the same pending user coalesces to zero cost,
+    /// while the equivalent sequential execution pays a join and a leave.
+    #[test]
+    fn cancelled_pair_is_strictly_cheaper(n in 4u32..7, seed in any::<u64>()) {
+        let (mut svc, _) = service_with_group(seed, n);
+        svc.submit(1, MembershipEvent::Join(UserId(3000))).unwrap();
+        svc.submit(1, MembershipEvent::Leave(UserId(3000))).unwrap();
+        let report = svc.tick();
+        prop_assert_eq!(report.rekeys_executed, 0);
+        prop_assert_eq!(report.energy_mj, 0.0);
+        prop_assert!(svc.session(1).unwrap().invariant_holds());
+    }
+}

@@ -225,7 +225,13 @@ impl Certificate {
         if c.1 != buf.len() {
             return None;
         }
-        Some(Certificate { serial, issuer, subject, key, signature })
+        Some(Certificate {
+            serial,
+            issuer,
+            subject,
+            key,
+            signature,
+        })
     }
 }
 
@@ -236,6 +242,8 @@ pub struct CertificateAuthority {
     signer: CaSigner,
 }
 
+// Variant sizes differ by scheme; boxing would only obscure the hot path.
+#[allow(clippy::large_enum_variant)]
 enum CaSigner {
     Dsa { dsa: Dsa, key: DsaKeyPair },
     Ecdsa { ecdsa: Ecdsa, key: EcdsaKeyPair },
@@ -243,6 +251,7 @@ enum CaSigner {
 
 /// The public half of a CA: what relying parties need to verify certs.
 #[derive(Clone, Debug)]
+#[allow(clippy::large_enum_variant)] // scheme state is intentionally inline
 pub enum CaPublic {
     /// DSA verifier: scheme instance + CA public key.
     Dsa(Dsa, Ubig),
@@ -297,7 +306,10 @@ impl CertificateAuthority {
             subject: subject.to_vec(),
             key,
             // placeholder replaced below
-            signature: CaSignature::Dsa(DsaSignature { r: Ubig::one(), s: Ubig::one() }),
+            signature: CaSignature::Dsa(DsaSignature {
+                r: Ubig::one(),
+                s: Ubig::one(),
+            }),
         };
         let tbs = cert.tbs_bytes();
         cert.signature = match &self.signer {
@@ -443,8 +455,14 @@ mod tests {
         let cert = ca.issue(&mut rng, b"user-1", SubjectKey::Ecdsa(user.q));
         let capub = ca.public();
         let mut store = CertStore::new();
-        assert_eq!(store.check(&cert, b"user-1", &capub), CertCheck::NewlyVerified);
-        assert_eq!(store.check(&cert, b"user-1", &capub), CertCheck::AlreadyTrusted);
+        assert_eq!(
+            store.check(&cert, b"user-1", &capub),
+            CertCheck::NewlyVerified
+        );
+        assert_eq!(
+            store.check(&cert, b"user-1", &capub),
+            CertCheck::AlreadyTrusted
+        );
         assert_eq!(store.len(), 1);
         assert!(store.by_subject(b"user-1").is_some());
     }

@@ -150,9 +150,15 @@ mod tests {
         let mut rng = ChaChaRng::seed_from_u64(4);
         let kp = d.keygen(&mut rng);
         let sig = d.sign(&mut rng, &kp, b"m");
-        let bad_r = DsaSignature { r: d.group().q.clone(), s: sig.s.clone() };
+        let bad_r = DsaSignature {
+            r: d.group().q.clone(),
+            s: sig.s.clone(),
+        };
         assert!(!d.verify(&kp.y, b"m", &bad_r));
-        let bad_s = DsaSignature { r: sig.r.clone(), s: Ubig::zero() };
+        let bad_s = DsaSignature {
+            r: sig.r.clone(),
+            s: Ubig::zero(),
+        };
         assert!(!d.verify(&kp.y, b"m", &bad_s));
     }
 

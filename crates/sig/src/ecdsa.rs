@@ -147,9 +147,15 @@ mod tests {
         let kp = e.keygen(&mut rng);
         let sig = e.sign(&mut rng, &kp, b"m");
         assert!(!e.verify(&Point::Infinity, b"m", &sig));
-        let bad = EcdsaSignature { r: Ubig::zero(), s: sig.s.clone() };
+        let bad = EcdsaSignature {
+            r: Ubig::zero(),
+            s: sig.s.clone(),
+        };
         assert!(!e.verify(&kp.q, b"m", &bad));
-        let bad2 = EcdsaSignature { r: sig.r.clone(), s: e.curve().order().clone() };
+        let bad2 = EcdsaSignature {
+            r: sig.r.clone(),
+            s: e.curve().order().clone(),
+        };
         assert!(!e.verify(&kp.q, b"m", &bad2));
     }
 

@@ -24,9 +24,7 @@
 //! `n`), 160-bit challenges, and a prime `e` one bit longer than the
 //! challenge (classic GQ requires `e > 2^l` for soundness).
 
-use egka_bigint::{
-    gcd, gen_prime, mod_inverse, mod_mul, mod_pow, random_unit, Ubig,
-};
+use egka_bigint::{gcd, gen_prime, mod_inverse, mod_mul, mod_pow, random_unit, Ubig};
 use egka_hash::{challenge_hash, hash_to_unit};
 use rand::Rng;
 
@@ -175,7 +173,7 @@ impl GqParams {
     /// Verifies `σ = (s, c)` on `msg` for identity `id` (paper's Verify):
     /// recomputes `t' = s^e · H(ID)^{−c}` and checks `c == H(t', msg)`.
     pub fn verify(&self, id: &[u8], msg: &[u8], sig: &GqSignature) -> bool {
-        if sig.s.is_zero() || &sig.s >= &self.n {
+        if sig.s.is_zero() || sig.s >= self.n {
             return false;
         }
         let h = self.hash_id(id);
@@ -222,7 +220,8 @@ impl GqParams {
 
     /// Aggregates commitments: `T = ∏ t_i mod n`.
     pub fn aggregate_commitments(&self, ts: &[Ubig]) -> Ubig {
-        ts.iter().fold(Ubig::one(), |acc, t| mod_mul(&acc, t, &self.n))
+        ts.iter()
+            .fold(Ubig::one(), |acc, t| mod_mul(&acc, t, &self.n))
     }
 
     /// The paper's batch verification (eq. (2)): checks
@@ -279,10 +278,7 @@ mod tests {
             .checked_sub(&Ubig::one())
             .unwrap()
             .mul_ref(&pkg.master().q.checked_sub(&Ubig::one()).unwrap());
-        assert_eq!(
-            mod_mul(&pkg.params.e, &pkg.master().d, &phi),
-            Ubig::one()
-        );
+        assert_eq!(mod_mul(&pkg.params.e, &pkg.master().d, &phi), Ubig::one());
     }
 
     #[test]
@@ -334,9 +330,15 @@ mod tests {
     #[test]
     fn verify_rejects_out_of_range_s() {
         let pkg = pkg();
-        let sig = GqSignature { s: pkg.params.n.clone(), c: Ubig::from_u64(1) };
+        let sig = GqSignature {
+            s: pkg.params.n.clone(),
+            c: Ubig::from_u64(1),
+        };
         assert!(!pkg.params.verify(b"alice", b"msg", &sig));
-        let sig0 = GqSignature { s: Ubig::zero(), c: Ubig::from_u64(1) };
+        let sig0 = GqSignature {
+            s: Ubig::zero(),
+            c: Ubig::from_u64(1),
+        };
         assert!(!pkg.params.verify(b"alice", b"msg", &sig0));
     }
 
@@ -344,7 +346,9 @@ mod tests {
     fn aggregate_verify_accepts_honest_group() {
         let pkg = pkg();
         let mut rng = ChaChaRng::seed_from_u64(5);
-        let ids: Vec<Vec<u8>> = (0..8u32).map(|i| format!("user-{i}").into_bytes()).collect();
+        let ids: Vec<Vec<u8>> = (0..8u32)
+            .map(|i| format!("user-{i}").into_bytes())
+            .collect();
         let keys: Vec<GqSecretKey> = ids.iter().map(|id| pkg.extract(id)).collect();
         let bind = b"protocol binding Z";
 
@@ -372,7 +376,9 @@ mod tests {
     fn aggregate_verify_rejects_one_bad_response() {
         let pkg = pkg();
         let mut rng = ChaChaRng::seed_from_u64(6);
-        let ids: Vec<Vec<u8>> = (0..4u32).map(|i| format!("user-{i}").into_bytes()).collect();
+        let ids: Vec<Vec<u8>> = (0..4u32)
+            .map(|i| format!("user-{i}").into_bytes())
+            .collect();
         let keys: Vec<GqSecretKey> = ids.iter().map(|id| pkg.extract(id)).collect();
         let bind = b"Z";
         let mut taus = Vec::new();
@@ -463,7 +469,12 @@ mod tests {
         );
         // a·dc ≡ 1 (mod e)  ⇒  a·dc = 1 + t·e
         let a = egka_bigint::mod_inverse(&dc, &params.e).expect("e prime, 0 < dc < e");
-        let t = a.mul_ref(&dc).checked_sub(&Ubig::one()).unwrap().div_rem(&params.e).0;
+        let t = a
+            .mul_ref(&dc)
+            .checked_sub(&Ubig::one())
+            .unwrap()
+            .div_rem(&params.e)
+            .0;
         // S = (S^dc)^a · H^{−t}
         let h = params.hash_id(b"victim");
         let h_inv = egka_bigint::mod_inverse(&h, &params.n).unwrap();

@@ -85,7 +85,12 @@ impl SokParams {
     }
 
     /// Signs `msg` under `key`: 2 scalar multiplications + 1 MapToPoint.
-    pub fn sign<R: Rng + ?Sized>(&self, rng: &mut R, key: &SokSecretKey, msg: &[u8]) -> SokSignature {
+    pub fn sign<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        key: &SokSecretKey,
+        msg: &[u8],
+    ) -> SokSignature {
         let curve = self.group.curve();
         let r = curve.random_scalar(rng);
         let q_m = self.group.map_to_point(msg);
@@ -178,7 +183,10 @@ mod tests {
         let mut rng = ChaChaRng::seed_from_u64(4);
         let key = pkg.extract(b"alice");
         let sig = pkg.params.sign(&mut rng, &key, b"m");
-        let swapped = SokSignature { s1: sig.s2.clone(), s2: sig.s1.clone() };
+        let swapped = SokSignature {
+            s1: sig.s2.clone(),
+            s2: sig.s1.clone(),
+        };
         assert!(!pkg.params.verify(b"alice", b"m", &swapped));
     }
 

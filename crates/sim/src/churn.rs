@@ -1,0 +1,303 @@
+//! Churn workload driver for the `egka-service` layer.
+//!
+//! Generates seeded Poisson join/leave traffic over thousands of
+//! concurrent groups, drives the sharded service through rekey epochs and
+//! reports throughput, rekey-latency distribution, events-coalesced ratio
+//! and per-epoch energy. Everything that matters is deterministic per
+//! seed: the keys, the event stream, every counter — only the wall-clock
+//! latencies vary run to run.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use egka_core::{Pkg, SecurityProfile, UserId};
+use egka_hash::ChaChaRng;
+use egka_service::{GroupId, KeyService, MembershipEvent, ServiceConfig};
+use rand::{Rng, SeedableRng};
+
+/// Workload shape.
+#[derive(Clone, Debug)]
+pub struct ChurnConfig {
+    /// Concurrent groups.
+    pub groups: u64,
+    /// Founding group size (varied deterministically in `size..size+3`).
+    pub group_size: u32,
+    /// Rekey epochs to drive.
+    pub epochs: u64,
+    /// Poisson rate of joins per group per epoch.
+    pub join_rate: f64,
+    /// Poisson rate of leaves per group per epoch.
+    pub leave_rate: f64,
+    /// Service shards.
+    pub shards: usize,
+    /// Master seed (event stream + all protocol randomness).
+    pub seed: u64,
+}
+
+impl Default for ChurnConfig {
+    fn default() -> Self {
+        ChurnConfig {
+            groups: 1000,
+            group_size: 4,
+            epochs: 10,
+            join_rate: 0.7,
+            leave_rate: 0.6,
+            shards: 8,
+            seed: 0xc452_4e01,
+        }
+    }
+}
+
+/// One epoch's aggregates.
+#[derive(Clone, Debug)]
+pub struct ChurnEpoch {
+    /// Epoch number (1-based).
+    pub epoch: u64,
+    /// Events submitted for this epoch.
+    pub events: u64,
+    /// Rekeys executed.
+    pub rekeys: u64,
+    /// Events applied / rekeys executed.
+    pub coalesce_ratio: f64,
+    /// Priced energy of the epoch's rekeys, mJ.
+    pub energy_mj: f64,
+    /// `(p50, p95, max)` per-group rekey latency, if any rekeys ran.
+    pub latency: Option<(Duration, Duration, Duration)>,
+}
+
+/// Scenario outcome.
+#[derive(Clone, Debug)]
+pub struct ChurnReport {
+    /// Config echoed back.
+    pub groups: u64,
+    /// Total events submitted across all epochs.
+    pub events_submitted: u64,
+    /// Total events applied.
+    pub events_applied: u64,
+    /// Total §7/fallback rekeys executed.
+    pub rekeys_executed: u64,
+    /// Applied / rekeys — the batching win; > 1 whenever coalescing saved
+    /// protocol executions.
+    pub coalesce_ratio: f64,
+    /// Total priced energy across all epochs, mJ.
+    pub energy_mj: f64,
+    /// Groups still alive at the end.
+    pub groups_active: u64,
+    /// Per-epoch breakdown.
+    pub epochs: Vec<ChurnEpoch>,
+    /// Wall-clock of the whole scenario (setup + all ticks).
+    pub wall: Duration,
+    /// Events applied per wall-clock second.
+    pub throughput_eps: f64,
+    /// XOR-fold of every surviving group key — a determinism fingerprint:
+    /// equal seeds must produce equal fingerprints.
+    pub key_fingerprint: u64,
+}
+
+/// Knuth's Poisson sampler over the shim RNG (exact for the small rates
+/// used here).
+fn poisson<R: Rng + ?Sized>(rng: &mut R, lambda: f64) -> u64 {
+    let l = (-lambda).exp();
+    let mut k = 0u64;
+    let mut p = 1.0f64;
+    loop {
+        p *= (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        if p <= l {
+            return k;
+        }
+        k += 1;
+    }
+}
+
+/// Runs the churn scenario.
+///
+/// Group membership is mirrored driver-side so every generated event is
+/// valid by construction (joins use fresh identities; leaves pick live
+/// members and never shrink a group below three) — the service's rejection
+/// counters must therefore stay at zero, which the driver asserts.
+pub fn run_churn(config: &ChurnConfig) -> ChurnReport {
+    let started = Instant::now();
+    let mut rng = ChaChaRng::seed_from_u64(config.seed ^ 0xc4_52_4e);
+    let mut setup_rng = ChaChaRng::seed_from_u64(config.seed ^ 0x5e_70);
+    let pkg = Arc::new(Pkg::setup(&mut setup_rng, SecurityProfile::Toy));
+    let mut svc = KeyService::new(
+        Arc::clone(&pkg),
+        ServiceConfig {
+            shards: config.shards,
+            seed: config.seed,
+            ..ServiceConfig::default()
+        },
+    );
+
+    // Founding membership: disjoint id ranges per group, sizes varied in
+    // `group_size..group_size+3`.
+    let mut next_user: u32 = 0;
+    let mut mirror: Vec<(GroupId, Vec<UserId>)> = Vec::with_capacity(config.groups as usize);
+    for g in 0..config.groups {
+        let size = config.group_size + (g % 3) as u32;
+        let members: Vec<UserId> = (next_user..next_user + size).map(UserId).collect();
+        next_user += size;
+        svc.create_group(g, &members).expect("create churn group");
+        mirror.push((g, members));
+    }
+
+    let mut epochs = Vec::with_capacity(config.epochs as usize);
+    let mut events_submitted = 0u64;
+    for _ in 0..config.epochs {
+        let mut epoch_events = 0u64;
+        for (g, members) in mirror.iter_mut() {
+            let joins = poisson(&mut rng, config.join_rate);
+            let leaves = poisson(&mut rng, config.leave_rate);
+            for _ in 0..joins {
+                let u = UserId(next_user);
+                next_user += 1;
+                svc.submit(*g, MembershipEvent::Join(u))
+                    .expect("join submit");
+                members.push(u);
+                epoch_events += 1;
+            }
+            for _ in 0..leaves {
+                if members.len() <= 3 {
+                    break; // keep every group rekeyable forever
+                }
+                let at = (rng.next_u64() % members.len() as u64) as usize;
+                let u = members.remove(at);
+                svc.submit(*g, MembershipEvent::Leave(u))
+                    .expect("leave submit");
+                epoch_events += 1;
+            }
+        }
+        events_submitted += epoch_events;
+        let report = svc.tick();
+        assert_eq!(
+            report.events_rejected, 0,
+            "driver generates only valid events"
+        );
+        epochs.push(ChurnEpoch {
+            epoch: report.epoch,
+            events: epoch_events,
+            rekeys: report.rekeys_executed,
+            coalesce_ratio: report.coalesce_ratio(),
+            energy_mj: report.energy_mj,
+            latency: report.latency_quantiles(),
+        });
+    }
+
+    let metrics = svc.metrics().clone();
+    let wall = started.elapsed();
+    let key_fingerprint = svc
+        .group_ids()
+        .iter()
+        .map(|&g| {
+            let bytes = svc.group_key(g).expect("live group").to_bytes_be();
+            bytes
+                .iter()
+                .fold(0u64, |acc, &b| acc.rotate_left(8) ^ u64::from(b))
+        })
+        .fold(0u64, |acc, h| acc.rotate_left(1) ^ h);
+
+    ChurnReport {
+        groups: config.groups,
+        events_submitted,
+        events_applied: metrics.events_applied,
+        rekeys_executed: metrics.rekeys_executed,
+        coalesce_ratio: metrics.coalesce_ratio(),
+        energy_mj: metrics.energy_mj,
+        groups_active: metrics.groups_active,
+        epochs,
+        wall,
+        throughput_eps: metrics.events_applied as f64 / wall.as_secs_f64().max(1e-9),
+        key_fingerprint,
+    }
+}
+
+impl ChurnReport {
+    /// Renders the per-epoch table plus summary as plain text.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:>5} {:>8} {:>8} {:>9} {:>14} {:>12} {:>12} {:>12}",
+            "epoch", "events", "rekeys", "coalesce", "energy (mJ)", "p50", "p95", "max"
+        );
+        for e in &self.epochs {
+            let (p50, p95, max) = match e.latency {
+                Some((a, b, c)) => (format!("{a:.1?}"), format!("{b:.1?}"), format!("{c:.1?}")),
+                None => ("-".into(), "-".into(), "-".into()),
+            };
+            let _ = writeln!(
+                out,
+                "{:>5} {:>8} {:>8} {:>9.2} {:>14.1} {:>12} {:>12} {:>12}",
+                e.epoch, e.events, e.rekeys, e.coalesce_ratio, e.energy_mj, p50, p95, max
+            );
+        }
+        let _ = writeln!(out);
+        let _ = writeln!(
+            out,
+            "groups: {} live / {} created   events: {} applied / {} submitted",
+            self.groups_active, self.groups, self.events_applied, self.events_submitted
+        );
+        let _ = writeln!(
+            out,
+            "rekeys: {}   events-coalesced ratio: {:.2}   total energy: {:.1} mJ",
+            self.rekeys_executed, self.coalesce_ratio, self.energy_mj
+        );
+        let _ = writeln!(
+            out,
+            "wall: {:.2?}   throughput: {:.0} events/s   key fingerprint: {:016x}",
+            self.wall, self.throughput_eps, self.key_fingerprint
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> ChurnConfig {
+        ChurnConfig {
+            groups: 12,
+            group_size: 4,
+            epochs: 3,
+            join_rate: 0.8,
+            leave_rate: 0.5,
+            shards: 4,
+            seed: 0x5eed,
+        }
+    }
+
+    #[test]
+    fn churn_scenario_runs_and_coalesces() {
+        let report = run_churn(&small());
+        assert_eq!(report.groups_active, 12, "leaves never shrink below three");
+        assert!(report.events_applied > 0);
+        assert!(report.coalesce_ratio >= 1.0);
+        assert!(report.energy_mj > 0.0);
+        assert_eq!(report.epochs.len(), 3);
+        assert!(!report.render().is_empty());
+    }
+
+    #[test]
+    fn churn_is_deterministic_per_seed() {
+        let a = run_churn(&small());
+        let b = run_churn(&small());
+        assert_eq!(a.key_fingerprint, b.key_fingerprint);
+        assert_eq!(a.events_applied, b.events_applied);
+        assert_eq!(a.rekeys_executed, b.rekeys_executed);
+        let mut other = small();
+        other.seed ^= 1;
+        let c = run_churn(&other);
+        assert_ne!(a.key_fingerprint, c.key_fingerprint);
+    }
+
+    #[test]
+    fn poisson_mean_is_plausible() {
+        let mut rng = ChaChaRng::seed_from_u64(9);
+        let n = 4000;
+        let total: u64 = (0..n).map(|_| poisson(&mut rng, 0.7)).sum();
+        let mean = total as f64 / n as f64;
+        assert!((0.55..0.85).contains(&mean), "mean {mean} far from λ=0.7");
+    }
+}

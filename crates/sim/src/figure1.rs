@@ -71,7 +71,8 @@ pub fn generate(config: &Figure1Config) -> Figure1 {
             let config = config.clone();
             scope.spawn(move |_| {
                 let (counts, source) = cell_counts(protocol, n, &config);
-                tx.send((protocol, n, counts, source)).expect("collector alive");
+                tx.send((protocol, n, counts, source))
+                    .expect("collector alive");
             });
         }
         drop(tx);
@@ -95,7 +96,7 @@ pub fn generate(config: &Figure1Config) -> Figure1 {
             });
         }
     }
-    points.sort_by(|a, b| (a.curve, a.n).cmp(&(b.curve, b.n)));
+    points.sort_by_key(|a| (a.curve, a.n));
     Figure1 { points }
 }
 

@@ -81,7 +81,10 @@ mod tests {
         let radio = Transceiver::wlan_spectrum24();
         let t10 = initial_gka_latency(InitialProtocol::ProposedGqBatch, 10, &cpu, &radio);
         let t500 = initial_gka_latency(InitialProtocol::ProposedGqBatch, 500, &cpu, &radio);
-        assert!((t10.comp_ms - t500.comp_ms).abs() < 1e-9, "3 exps + 1 gen + 1 batch, any n");
+        assert!(
+            (t10.comp_ms - t500.comp_ms).abs() < 1e-9,
+            "3 exps + 1 gen + 1 batch, any n"
+        );
         // ≈ 3×37.92 + 75.83 + 75.83 ≈ 265 ms
         assert!((t10.comp_ms - 265.42).abs() < 0.5, "got {}", t10.comp_ms);
     }

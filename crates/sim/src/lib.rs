@@ -10,6 +10,8 @@
 //!   paper-vs-measured) and measured message counts for Table 4;
 //! * [`scenario`] — single-protocol runners that assert instrumented counts
 //!   equal the closed forms before anything is priced;
+//! * [`churn`] — Poisson join/leave traffic over thousands of concurrent
+//!   groups, driving the `egka-service` epoch-batched rekey coordinator;
 //! * [`report`] — serde-able datasets with CSV/markdown/ASCII-chart
 //!   renderers.
 //!
@@ -19,12 +21,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod churn;
 pub mod figure1;
 pub mod latency;
 pub mod report;
 pub mod scenario;
 pub mod tables;
 
+pub use churn::{run_churn, ChurnConfig, ChurnReport};
 pub use figure1::{check_shape, curve_letter, generate as generate_figure1, Figure1Config};
 pub use latency::{initial_gka_latency, node_latency, LatencyEstimate};
 pub use report::{Figure1, Figure1Point, Source, Table5, Table5Row};

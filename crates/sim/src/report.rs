@@ -58,7 +58,13 @@ impl Figure1 {
         for p in &self.points {
             out.push_str(&format!(
                 "{},{},{},{},{:.6},{:.6},{:.6},{}\n",
-                p.protocol, p.curve, p.n, p.transceiver, p.comp_j, p.comm_j, p.total_j,
+                p.protocol,
+                p.curve,
+                p.n,
+                p.transceiver,
+                p.comp_j,
+                p.comm_j,
+                p.total_j,
                 p.source.tag()
             ));
         }
@@ -226,7 +232,9 @@ mod tests {
 
     #[test]
     fn csv_has_header_and_rows() {
-        let f = Figure1 { points: vec![pt("proposed", 'j', 10, 0.07)] };
+        let f = Figure1 {
+            points: vec![pt("proposed", 'j', 10, 0.07)],
+        };
         let csv = f.to_csv();
         assert!(csv.starts_with("protocol,"));
         assert_eq!(csv.lines().count(), 2);
@@ -242,7 +250,10 @@ mod tests {
         assert!(chart.contains("(e)"));
         assert!(chart.contains("(j)"));
         // 15 J lands in the 10–100 band; 0.07 J in the 0.01–0.1 band.
-        let band10 = chart.lines().find(|l| l.trim_start().starts_with("10 ")).unwrap();
+        let band10 = chart
+            .lines()
+            .find(|l| l.trim_start().starts_with("10 "))
+            .unwrap();
         assert!(band10.contains('e'), "{band10}");
     }
 

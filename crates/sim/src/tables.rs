@@ -37,7 +37,13 @@ pub struct Table5Config {
 
 impl Default for Table5Config {
     fn default() -> Self {
-        Table5Config { n: 100, m: 20, ld: 20, instrument: true, seed: 0x7ab1e5 }
+        Table5Config {
+            n: 100,
+            m: 20,
+            ld: 20,
+            instrument: true,
+            seed: 0x7ab1e5,
+        }
     }
 }
 
@@ -129,14 +135,24 @@ fn closed_form_roles(config: &Table5Config) -> RoleTable {
     let v_leave = n / 2; // even-indexed leaver keeps all 1-based odds
     let v_part = (n - ld) / 2; // leavers split evenly between parities
     let mut rows = Vec::new();
-    push_roles(&mut rows, "BD Join", bd_reexec(DynamicEvent::Join, n, m, ld), &["U1 - Un", "Un+1"]);
+    push_roles(
+        &mut rows,
+        "BD Join",
+        bd_reexec(DynamicEvent::Join, n, m, ld),
+        &["U1 - Un", "Un+1"],
+    );
     push_roles(
         &mut rows,
         "Our Join Protocol",
         proposed_join(n),
         &["U1", "Un", "Un+1", "Others"],
     );
-    push_roles(&mut rows, "BD Leave", bd_reexec(DynamicEvent::Leave, n, m, ld), &["Remain. Users"]);
+    push_roles(
+        &mut rows,
+        "BD Leave",
+        bd_reexec(DynamicEvent::Leave, n, m, ld),
+        &["Remain. Users"],
+    );
     push_roles(
         &mut rows,
         "Our Leave Protocol",
@@ -152,9 +168,21 @@ fn closed_form_roles(config: &Table5Config) -> RoleTable {
     // The paper's Merge table lists both controllers (same cost) and one
     // bystander row.
     let merge_roles = proposed_merge(n, m);
-    rows.push(("Our Merge Protocol".into(), "U1".into(), merge_roles[0].counts.clone()));
-    rows.push(("Our Merge Protocol".into(), "Un+1".into(), merge_roles[1].counts.clone()));
-    rows.push(("Our Merge Protocol".into(), "Others".into(), merge_roles[2].counts.clone()));
+    rows.push((
+        "Our Merge Protocol".into(),
+        "U1".into(),
+        merge_roles[0].counts.clone(),
+    ));
+    rows.push((
+        "Our Merge Protocol".into(),
+        "Un+1".into(),
+        merge_roles[1].counts.clone(),
+    ));
+    rows.push((
+        "Our Merge Protocol".into(),
+        "Others".into(),
+        merge_roles[2].counts.clone(),
+    ));
     push_roles(
         &mut rows,
         "BD Partition",
@@ -167,12 +195,18 @@ fn closed_form_roles(config: &Table5Config) -> RoleTable {
         proposed_partition(n, ld, v_part),
         &["Uj, j = odd", "Uk, k = even"],
     );
-    RoleTable { rows, source: Source::ClosedForm }
+    RoleTable {
+        rows,
+        source: Source::ClosedForm,
+    }
 }
 
 fn instrumented_roles(config: &Table5Config) -> RoleTable {
     let (n, m, ld) = (config.n, config.m, config.ld);
-    assert!(n >= 6 && m >= 2 && ld >= 2 && ld < n, "degenerate Table 5 config");
+    assert!(
+        n >= 6 && m >= 2 && ld >= 2 && ld < n,
+        "degenerate Table 5 config"
+    );
     let mut rng = ChaChaRng::seed_from_u64(config.seed);
     let mut rows: Vec<(String, String, OpCounts)> = Vec::new();
 
@@ -184,12 +218,22 @@ fn instrumented_roles(config: &Table5Config) -> RoleTable {
     // Join: a brand-new member joins.
     {
         let nk = pkg.extract(UserId((n + m) as u32));
-        let out = dynamics::join(&session_a, UserId((n + m) as u32), &nk, config.seed ^ 1, false);
+        let out = dynamics::join(
+            &session_a,
+            UserId((n + m) as u32),
+            &nk,
+            config.seed ^ 1,
+            false,
+        );
         let want = proposed_join(n as u64);
         let picks = [(0usize, "U1"), (n - 1, "Un"), (n, "Un+1"), (1, "Others")];
         for ((idx, name), role) in picks.iter().zip(&want) {
             assert_priced_counts_eq(&out.reports[*idx].counts, &role.counts, "join role");
-            rows.push(("Our Join Protocol".into(), name.to_string(), out.reports[*idx].counts.clone()));
+            rows.push((
+                "Our Join Protocol".into(),
+                name.to_string(),
+                out.reports[*idx].counts.clone(),
+            ));
         }
     }
 
@@ -205,8 +249,16 @@ fn instrumented_roles(config: &Table5Config) -> RoleTable {
             .expect("even member exists");
         assert_priced_counts_eq(&out.reports[odd_idx].counts, &want[0].counts, "leave odd");
         assert_priced_counts_eq(&out.reports[even_idx].counts, &want[1].counts, "leave even");
-        rows.push(("Our Leave Protocol".into(), "Uj, j = odd".into(), out.reports[odd_idx].counts.clone()));
-        rows.push(("Our Leave Protocol".into(), "Uk, k = even".into(), out.reports[even_idx].counts.clone()));
+        rows.push((
+            "Our Leave Protocol".into(),
+            "Uj, j = odd".into(),
+            out.reports[odd_idx].counts.clone(),
+        ));
+        rows.push((
+            "Our Leave Protocol".into(),
+            "Uk, k = even".into(),
+            out.reports[even_idx].counts.clone(),
+        ));
     }
 
     // Merge with a second real group.
@@ -219,9 +271,21 @@ fn instrumented_roles(config: &Table5Config) -> RoleTable {
         assert_priced_counts_eq(&out.reports[0].counts, &want[0].counts, "merge U1");
         assert_priced_counts_eq(&out.reports[n].counts, &want[1].counts, "merge Un+1");
         assert_priced_counts_eq(&out.reports[1].counts, &want[2].counts, "merge others");
-        rows.push(("Our Merge Protocol".into(), "U1".into(), out.reports[0].counts.clone()));
-        rows.push(("Our Merge Protocol".into(), "Un+1".into(), out.reports[n].counts.clone()));
-        rows.push(("Our Merge Protocol".into(), "Others".into(), out.reports[1].counts.clone()));
+        rows.push((
+            "Our Merge Protocol".into(),
+            "U1".into(),
+            out.reports[0].counts.clone(),
+        ));
+        rows.push((
+            "Our Merge Protocol".into(),
+            "Un+1".into(),
+            out.reports[n].counts.clone(),
+        ));
+        rows.push((
+            "Our Merge Protocol".into(),
+            "Others".into(),
+            out.reports[1].counts.clone(),
+        ));
     }
 
     // Partition: the tail `ld` positions depart (even parity split ⇒ the
@@ -236,10 +300,26 @@ fn instrumented_roles(config: &Table5Config) -> RoleTable {
         let even_idx = (0..out.reports.len())
             .find(|k| !out.refreshers.contains(k))
             .expect("even member exists");
-        assert_priced_counts_eq(&out.reports[odd_idx].counts, &want[0].counts, "partition odd");
-        assert_priced_counts_eq(&out.reports[even_idx].counts, &want[1].counts, "partition even");
-        rows.push(("Our Partition Protocol".into(), "Uj, j = odd".into(), out.reports[odd_idx].counts.clone()));
-        rows.push(("Our Partition Protocol".into(), "Uk, k = even".into(), out.reports[even_idx].counts.clone()));
+        assert_priced_counts_eq(
+            &out.reports[odd_idx].counts,
+            &want[0].counts,
+            "partition odd",
+        );
+        assert_priced_counts_eq(
+            &out.reports[even_idx].counts,
+            &want[1].counts,
+            "partition even",
+        );
+        rows.push((
+            "Our Partition Protocol".into(),
+            "Uj, j = odd".into(),
+            out.reports[odd_idx].counts.clone(),
+        ));
+        rows.push((
+            "Our Partition Protocol".into(),
+            "Uk, k = even".into(),
+            out.reports[even_idx].counts.clone(),
+        ));
     }
 
     // ---- BD re-execution baselines (ECDSA, cached certificates) ----
@@ -248,13 +328,24 @@ fn instrumented_roles(config: &Table5Config) -> RoleTable {
     // Join: n+1 nodes; the last one is the newcomer.
     {
         let kit = AuthKit::setup_ecdsa(&mut rng, ecdsa.clone(), n + 1);
-        let report =
-            authbd::run_with_trust(&bd, &kit, config.seed ^ 6, |i, j| i < n && j < n);
+        let report = authbd::run_with_trust(&bd, &kit, config.seed ^ 6, |i, j| i < n && j < n);
         let want = bd_reexec(DynamicEvent::Join, n as u64, m as u64, ld as u64);
-        assert_priced_counts_eq(&report.nodes[0].counts, &want[0].counts, "bd join returning");
+        assert_priced_counts_eq(
+            &report.nodes[0].counts,
+            &want[0].counts,
+            "bd join returning",
+        );
         assert_priced_counts_eq(&report.nodes[n].counts, &want[1].counts, "bd join newcomer");
-        rows.push(("BD Join".into(), "U1 - Un".into(), report.nodes[0].counts.clone()));
-        rows.push(("BD Join".into(), "Un+1".into(), report.nodes[n].counts.clone()));
+        rows.push((
+            "BD Join".into(),
+            "U1 - Un".into(),
+            report.nodes[0].counts.clone(),
+        ));
+        rows.push((
+            "BD Join".into(),
+            "Un+1".into(),
+            report.nodes[n].counts.clone(),
+        ));
     }
     // Leave: n−1 nodes, all certificates already trusted.
     {
@@ -262,18 +353,29 @@ fn instrumented_roles(config: &Table5Config) -> RoleTable {
         let report = authbd::run_with_trust(&bd, &kit, config.seed ^ 7, |_, _| true);
         let want = bd_reexec(DynamicEvent::Leave, n as u64, m as u64, ld as u64);
         assert_priced_counts_eq(&report.nodes[0].counts, &want[0].counts, "bd leave");
-        rows.push(("BD Leave".into(), "Remain. Users".into(), report.nodes[0].counts.clone()));
+        rows.push((
+            "BD Leave".into(),
+            "Remain. Users".into(),
+            report.nodes[0].counts.clone(),
+        ));
     }
     // Merge: n+m nodes; same-side certificates trusted.
     {
         let kit = AuthKit::setup_ecdsa(&mut rng, ecdsa.clone(), n + m);
-        let report =
-            authbd::run_with_trust(&bd, &kit, config.seed ^ 8, |i, j| (i < n) == (j < n));
+        let report = authbd::run_with_trust(&bd, &kit, config.seed ^ 8, |i, j| (i < n) == (j < n));
         let want = bd_reexec(DynamicEvent::Merge, n as u64, m as u64, ld as u64);
         assert_priced_counts_eq(&report.nodes[0].counts, &want[0].counts, "bd merge A");
         assert_priced_counts_eq(&report.nodes[n].counts, &want[1].counts, "bd merge B");
-        rows.push(("BD Merge".into(), "Group A Users".into(), report.nodes[0].counts.clone()));
-        rows.push(("BD Merge".into(), "Group B Users".into(), report.nodes[n].counts.clone()));
+        rows.push((
+            "BD Merge".into(),
+            "Group A Users".into(),
+            report.nodes[0].counts.clone(),
+        ));
+        rows.push((
+            "BD Merge".into(),
+            "Group B Users".into(),
+            report.nodes[n].counts.clone(),
+        ));
     }
     // Partition: n−ld nodes, everything trusted.
     {
@@ -281,10 +383,17 @@ fn instrumented_roles(config: &Table5Config) -> RoleTable {
         let report = authbd::run_with_trust(&bd, &kit, config.seed ^ 9, |_, _| true);
         let want = bd_reexec(DynamicEvent::Partition, n as u64, m as u64, ld as u64);
         assert_priced_counts_eq(&report.nodes[0].counts, &want[0].counts, "bd partition");
-        rows.push(("BD Partition".into(), "Remain. Users".into(), report.nodes[0].counts.clone()));
+        rows.push((
+            "BD Partition".into(),
+            "Remain. Users".into(),
+            report.nodes[0].counts.clone(),
+        ));
     }
 
-    RoleTable { rows, source: Source::Instrumented }
+    RoleTable {
+        rows,
+        source: Source::Instrumented,
+    }
 }
 
 /// Measured total message counts for Table 4's "Msgs" column, from one
@@ -314,7 +423,12 @@ pub fn measured_dynamic_msgs(n: usize, m: usize, ld: usize, seed: u64) -> [(char
         let out = dynamics::partition(&session, &leavers, seed ^ 5);
         out.reports.iter().map(|r| r.counts.msgs_tx).sum()
     };
-    [('J', join_msgs), ('L', leave_msgs), ('M', merge_msgs), ('P', part_msgs)]
+    [
+        ('J', join_msgs),
+        ('L', leave_msgs),
+        ('M', merge_msgs),
+        ('P', part_msgs),
+    ]
 }
 
 #[cfg(test)]
@@ -325,7 +439,13 @@ mod tests {
     /// instrumented counts must match the closed forms (asserted inside).
     #[test]
     fn small_instrumented_table5_is_consistent() {
-        let config = Table5Config { n: 10, m: 4, ld: 4, instrument: true, seed: 42 };
+        let config = Table5Config {
+            n: 10,
+            m: 4,
+            ld: 4,
+            instrument: true,
+            seed: 42,
+        };
         let t = generate_table5(&config);
         assert_eq!(t.rows.len(), 17);
         // At n=10 the measured values won't match the paper's n=100 numbers
@@ -343,7 +463,10 @@ mod tests {
     /// printed joules (tolerances documented in EXPERIMENTS.md).
     #[test]
     fn closed_form_table5_matches_paper_within_tolerance() {
-        let config = Table5Config { instrument: false, ..Table5Config::default() };
+        let config = Table5Config {
+            instrument: false,
+            ..Table5Config::default()
+        };
         let t = generate_table5(&config);
         for row in &t.rows {
             let tol = match (row.protocol.as_str(), row.role.as_str()) {

@@ -123,7 +123,10 @@ mod tests {
         let mut sealed = env.seal(&mut rng, b"attack at dawn");
         for i in 0..sealed.len() {
             sealed[i] ^= 1;
-            assert!(matches!(env.open(&sealed), Err(EnvelopeError::BadTag)), "byte {i}");
+            assert!(
+                matches!(env.open(&sealed), Err(EnvelopeError::BadTag)),
+                "byte {i}"
+            );
             sealed[i] ^= 1;
         }
         assert!(env.open(&sealed).is_ok());

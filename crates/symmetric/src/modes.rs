@@ -12,7 +12,7 @@ pub fn pkcs7_pad(data: &[u8]) -> Vec<u8> {
 
 /// Removes PKCS#7 padding; `None` when the padding is malformed.
 pub fn pkcs7_unpad(data: &[u8]) -> Option<Vec<u8>> {
-    if data.is_empty() || data.len() % 16 != 0 {
+    if data.is_empty() || !data.len().is_multiple_of(16) {
         return None;
     }
     let pad = *data.last().unwrap() as usize;
@@ -44,7 +44,7 @@ pub fn cbc_encrypt(aes: &Aes, iv: &[u8; 16], plaintext: &[u8]) -> Vec<u8> {
 
 /// CBC-decrypts and strips PKCS#7; `None` on malformed input/padding.
 pub fn cbc_decrypt(aes: &Aes, iv: &[u8; 16], ciphertext: &[u8]) -> Option<Vec<u8>> {
-    if ciphertext.is_empty() || ciphertext.len() % 16 != 0 {
+    if ciphertext.is_empty() || !ciphertext.len().is_multiple_of(16) {
         return None;
     }
     let mut out = Vec::with_capacity(ciphertext.len());
@@ -116,7 +116,9 @@ mod tests {
     #[test]
     fn nist_cbc_aes128_first_block() {
         let aes = Aes::new(&unhex("2b7e151628aed2a6abf7158809cf4f3c"));
-        let iv: [u8; 16] = unhex("000102030405060708090a0b0c0d0e0f").try_into().unwrap();
+        let iv: [u8; 16] = unhex("000102030405060708090a0b0c0d0e0f")
+            .try_into()
+            .unwrap();
         let pt = unhex("6bc1bee22e409f96e93d7e117393172a");
         let ct = cbc_encrypt(&aes, &iv, &pt);
         // our output has a padding block appended; the first block matches NIST

@@ -1,0 +1,86 @@
+//! Demo: the sharded key-management service batching churn into rekey
+//! epochs.
+//!
+//! Three groups live under one service. A burst of joins and leaves —
+//! including a join+leave of the same pending user and two squads merging
+//! — queues up and is collapsed by one epoch tick into the minimal
+//! sequence of the paper's §7 dynamics.
+//!
+//! ```text
+//! cargo run --example churn_service
+//! ```
+
+use std::sync::Arc;
+
+use egka::prelude::*;
+use egka::service::{KeyService, MembershipEvent, ServiceConfig};
+
+fn main() {
+    let mut rng = ChaChaRng::seed_from_u64(0x2006);
+    let pkg = Arc::new(Pkg::setup(&mut rng, SecurityProfile::Toy));
+    let mut svc = KeyService::new(Arc::clone(&pkg), ServiceConfig::default());
+
+    // Three concurrent groups, hashed across the service's shards.
+    svc.create_group(1, &(0..6).map(UserId).collect::<Vec<_>>())
+        .unwrap();
+    svc.create_group(2, &(10..14).map(UserId).collect::<Vec<_>>())
+        .unwrap();
+    svc.create_group(3, &(20..23).map(UserId).collect::<Vec<_>>())
+        .unwrap();
+    println!("service holds {} groups across shards", svc.groups_active());
+    for gid in svc.group_ids() {
+        println!(
+            "  group {gid}: {} members, key {:.12}… (shard {})",
+            svc.session(gid).unwrap().n(),
+            svc.group_key(gid).unwrap().to_hex(),
+            svc.shard_of(gid)
+        );
+    }
+
+    // A burst of churn queues up between epochs.
+    svc.submit(1, MembershipEvent::Join(UserId(100))).unwrap(); // join …
+    svc.submit(1, MembershipEvent::Join(UserId(101))).unwrap(); // … another
+    svc.submit(1, MembershipEvent::Leave(UserId(2))).unwrap(); // a member leaves
+    svc.submit(1, MembershipEvent::Leave(UserId(4))).unwrap(); // and another
+    svc.submit(1, MembershipEvent::Join(UserId(102))).unwrap(); // joins…
+    svc.submit(1, MembershipEvent::Leave(UserId(102))).unwrap(); // …and cancels
+    svc.submit(2, MembershipEvent::MergeWith(3)).unwrap(); // squads merge
+
+    println!("\n7 events queued; one epoch tick coalesces them:");
+    let report = svc.tick();
+    println!(
+        "  applied {} events with {} rekeys (coalesce ratio {:.2})",
+        report.events_applied,
+        report.rekeys_executed,
+        report.coalesce_ratio()
+    );
+    println!(
+        "  epoch energy {:.1} mJ, {} messages on air",
+        report.energy_mj, report.traffic.msgs_tx
+    );
+    if let Some((p50, p95, max)) = report.latency_quantiles() {
+        println!("  rekey latency p50 {p50:.1?}, p95 {p95:.1?}, max {max:.1?}");
+    }
+
+    // The merged squad lives under the host id; group 3 is gone.
+    println!("\nafter the epoch: {} groups live", svc.groups_active());
+    for gid in svc.group_ids() {
+        let s = svc.session(gid).unwrap();
+        assert!(s.invariant_holds());
+        println!(
+            "  group {gid}: {} members, key {:.12}…",
+            s.n(),
+            s.key.to_hex()
+        );
+    }
+    assert!(svc.session(3).is_none(), "group 3 merged into group 2");
+
+    let m = svc.metrics();
+    println!(
+        "\ncumulative: {} events applied, {} rekeys, ratio {:.2}, {:.1} mJ total",
+        m.events_applied,
+        m.rekeys_executed,
+        m.coalesce_ratio(),
+        m.energy_mj
+    );
+}

@@ -29,22 +29,30 @@ fn main() {
     // --- Merge: squads meet --------------------------------------------
     let merged = egka::core::dynamics::merge(&sa, &sb, 3);
     println!("\nmerged into one group of {}", merged.session.n());
-    println!("new key {:.12}…  (≠ A's, ≠ B's)", merged.session.key.to_hex());
+    println!(
+        "new key {:.12}…  (≠ A's, ≠ B's)",
+        merged.session.key.to_hex()
+    );
     assert_ne!(merged.session.key, sa.key);
     assert_ne!(merged.session.key, sb.key);
     let ctrl = total_energy_mj(&cpu, &radio, &merged.reports[0].counts);
     let byst = total_energy_mj(&cpu, &radio, &merged.reports[1].counts);
     println!("controller energy {ctrl:.2} mJ, bystander {byst:.3} mJ");
     let total_msgs: u64 = merged.reports.iter().map(|r| r.counts.msgs_tx).sum();
-    println!("total messages on air: {total_msgs} (vs 2·(n+m) = {} for a BD re-run)",
-        2 * merged.session.n());
+    println!(
+        "total messages on air: {total_msgs} (vs 2·(n+m) = {} for a BD re-run)",
+        2 * merged.session.n()
+    );
 
     // --- Partition: squad B moves out of range --------------------------
     // B's members sit at ring positions 10..16 of the merged group.
     let leavers: Vec<usize> = (10..16).collect();
     let out = egka::core::dynamics::partition(&merged.session, &leavers, 4);
-    println!("\nsquad B lost: {} members remain, {} refreshed exponents",
-        out.session.n(), out.refreshers.len());
+    println!(
+        "\nsquad B lost: {} members remain, {} refreshed exponents",
+        out.session.n(),
+        out.refreshers.len()
+    );
     assert_ne!(out.session.key, merged.session.key);
     println!("departed nodes cannot compute the new key (key changed ✓)");
     let odd = total_energy_mj(&cpu, &radio, &out.reports[out.refreshers[0]].counts);
@@ -52,8 +60,12 @@ fn main() {
 
     // --- The survivors keep operating: a straggler rejoins --------------
     let straggler = UserId(10);
-    let joined = egka::core::dynamics::join(&out.session, straggler, &pkg.extract(straggler), 5, true);
-    println!("\nstraggler {straggler} re-joined: {} members, fresh key {:.12}…",
-        joined.session.n(), joined.session.key.to_hex());
+    let joined =
+        egka::core::dynamics::join(&out.session, straggler, &pkg.extract(straggler), 5, true);
+    println!(
+        "\nstraggler {straggler} re-joined: {} members, fresh key {:.12}…",
+        joined.session.n(),
+        joined.session.key.to_hex()
+    );
     println!("backward secrecy: rejoining node never saw the interim key ✓");
 }

@@ -16,13 +16,19 @@ fn main() {
     let pkg = Pkg::setup(&mut rng, SecurityProfile::Toy);
     let n = 8;
     let keys = pkg.extract_group(n);
-    println!("PKG ready: BD group |p| = {} bits, GQ modulus |n| = {} bits",
-        pkg.params().bd.p.bit_length(), pkg.params().gq.n.bit_length());
+    println!(
+        "PKG ready: BD group |p| = {} bits, GQ modulus |n| = {} bits",
+        pkg.params().bd.p.bit_length(),
+        pkg.params().gq.n.bit_length()
+    );
 
     // --- Initial group key agreement (paper §4) -------------------------
     let (report, session) = proposed::run(pkg.params(), &keys, 1, RunConfig::default());
     assert!(report.keys_agree());
-    println!("\n{} users agreed on a group key in {} attempt(s)", n, report.attempts);
+    println!(
+        "\n{} users agreed on a group key in {} attempt(s)",
+        n, report.attempts
+    );
     println!("key fingerprint: {:.16}…", session.key.to_hex());
 
     let cpu = CpuModel::strongarm_133();
@@ -43,9 +49,20 @@ fn main() {
     let newcomer = UserId(100);
     let nk = pkg.extract(newcomer);
     let joined = dynamics::join(&session, newcomer, &nk, 2, true);
-    println!("\n{newcomer} joined: group is now {} members", joined.session.n());
-    let u1_mj = total_energy_mj(&cpu, &Transceiver::wlan_spectrum24(), &joined.reports[0].counts);
-    let by_mj = total_energy_mj(&cpu, &Transceiver::wlan_spectrum24(), &joined.reports[2].counts);
+    println!(
+        "\n{newcomer} joined: group is now {} members",
+        joined.session.n()
+    );
+    let u1_mj = total_energy_mj(
+        &cpu,
+        &Transceiver::wlan_spectrum24(),
+        &joined.reports[0].counts,
+    );
+    let by_mj = total_energy_mj(
+        &cpu,
+        &Transceiver::wlan_spectrum24(),
+        &joined.reports[2].counts,
+    );
     println!("controller spent {u1_mj:.2} mJ; a bystander spent {by_mj:.3} mJ");
 
     // --- A user leaves (reduced re-key, odd-indexed users refresh) ------

@@ -36,7 +36,10 @@ fn main() {
     let mut bd_mj = initial_mj;
     let mut next_id = n0 as u32;
     let mut events = 0u32;
-    println!("{:<8}{:<10}{:<14}{:<16}{:<16}", "hour", "event", "group size", "ours (mJ)", "BD re-run (mJ)");
+    println!(
+        "{:<8}{:<10}{:<14}{:<16}{:<16}",
+        "hour", "event", "group size", "ours (mJ)", "BD re-run (mJ)"
+    );
     for hour in 0..24u32 {
         let event_seed = 0x1000 + hour as u64;
         if hour % 3 == 0 {
@@ -52,7 +55,14 @@ fn main() {
             bd_mj += total_energy_mj(&cpu, &radio, bd);
             session = out.session;
             events += 1;
-            println!("{:<8}{:<10}{:<14}{:<16.1}{:<16.1}", hour, "join", session.n(), ours_mj, bd_mj);
+            println!(
+                "{:<8}{:<10}{:<14}{:<16.1}{:<16.1}",
+                hour,
+                "join",
+                session.n(),
+                ours_mj,
+                bd_mj
+            );
         } else if hour % 7 == 5 && session.n() > 6 {
             // A mote's battery dies.
             let out = egka::core::dynamics::leave(&session, session.n() / 2, event_seed);
@@ -62,13 +72,26 @@ fn main() {
             bd_mj += total_energy_mj(&cpu, &radio, bd);
             session = out.session;
             events += 1;
-            println!("{:<8}{:<10}{:<14}{:<16.1}{:<16.1}", hour, "leave", session.n(), ours_mj, bd_mj);
+            println!(
+                "{:<8}{:<10}{:<14}{:<16.1}{:<16.1}",
+                hour,
+                "leave",
+                session.n(),
+                ours_mj,
+                bd_mj
+            );
         }
     }
 
     println!("\nafter {events} membership events:");
-    println!("  dynamic protocols: {ours_mj:>10.1} mJ  ({:.4}% of a AA pair)", ours_mj / 10.0 / BATTERY_J);
-    println!("  BD re-execution:   {bd_mj:>10.1} mJ  ({:.4}% of a AA pair)", bd_mj / 10.0 / BATTERY_J);
+    println!(
+        "  dynamic protocols: {ours_mj:>10.1} mJ  ({:.4}% of a AA pair)",
+        ours_mj / 10.0 / BATTERY_J
+    );
+    println!(
+        "  BD re-execution:   {bd_mj:>10.1} mJ  ({:.4}% of a AA pair)",
+        bd_mj / 10.0 / BATTERY_J
+    );
     println!("  advantage: {:.1}× less re-keying energy", bd_mj / ours_mj);
     let keying_budget = BATTERY_J * 0.01 * 1000.0; // 1% of the battery, in mJ
     println!(

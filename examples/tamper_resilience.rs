@@ -23,7 +23,10 @@ fn main() {
     // Clean run.
     let (clean, _) = proposed::run(pkg.params(), &keys, 10, RunConfig::default());
     let clean_mj = total_energy_mj(&cpu, &radio, &clean.nodes[0].counts);
-    println!("clean run: {} attempt(s), {clean_mj:.1} mJ per node", clean.attempts);
+    println!(
+        "clean run: {} attempt(s), {clean_mj:.1} mJ per node",
+        clean.attempts
+    );
 
     // A node corrupts its Round-2 share X_i: the signatures all verify
     // (they never covered X), but Lemma 1 fails and everyone retransmits.
@@ -33,7 +36,10 @@ fn main() {
         10,
         RunConfig {
             max_attempts: 3,
-            fault: Some(Fault::CorruptX { node: 2, on_attempt: 0 }),
+            fault: Some(Fault::CorruptX {
+                node: 2,
+                on_attempt: 0,
+            }),
         },
     );
     let lemma_mj = total_energy_mj(&cpu, &radio, &lemma_run.nodes[0].counts);
@@ -53,7 +59,10 @@ fn main() {
         10,
         RunConfig {
             max_attempts: 3,
-            fault: Some(Fault::CorruptS { node: 4, on_attempt: 0 }),
+            fault: Some(Fault::CorruptS {
+                node: 4,
+                on_attempt: 0,
+            }),
         },
     );
     let batch_mj = total_energy_mj(&cpu, &radio, &batch_run.nodes[0].counts);

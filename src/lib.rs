@@ -58,7 +58,8 @@
 //! | [`net`] | broadcast medium with per-node bit accounting |
 //! | [`energy`] | Tables 2/3 cost models, meters, Tables 1/4/5 closed forms |
 //! | [`core`] | the five GKA protocols + Join/Leave/Merge/Partition |
-//! | [`sim`] | Figure 1 and Table 4/5 harnesses, reports |
+//! | [`service`] | sharded multi-group key management, epoch-batched rekeying |
+//! | [`sim`] | Figure 1 and Table 4/5 harnesses, churn workloads, reports |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -69,6 +70,7 @@ pub use egka_ec as ec;
 pub use egka_energy as energy;
 pub use egka_hash as hash;
 pub use egka_net as net;
+pub use egka_service as service;
 pub use egka_sig as sig;
 pub use egka_sim as sim;
 pub use egka_symmetric as symmetric;

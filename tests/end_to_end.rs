@@ -96,15 +96,30 @@ fn retransmission_recovers_and_is_accounted() {
         pkg.params(),
         &keys,
         9,
-        RunConfig { max_attempts: 3, fault: Some(Fault::CorruptX { node: 1, on_attempt: 0 }) },
+        RunConfig {
+            max_attempts: 3,
+            fault: Some(Fault::CorruptX {
+                node: 1,
+                on_attempt: 0,
+            }),
+        },
     );
     assert_eq!(faulty.attempts, 2);
     // The retransmitted run costs exactly double traffic; computationally
     // the failed attempt pays z_i and X_i but aborts before the key
     // derivation, so exponentiations are 2·3 − 1 = 5.
-    assert_eq!(faulty.nodes[0].counts.tx_bits, 2 * clean.nodes[0].counts.tx_bits);
-    assert_eq!(faulty.nodes[0].counts.rx_bits, 2 * clean.nodes[0].counts.rx_bits);
-    assert_eq!(faulty.nodes[0].counts.exps(), 2 * clean.nodes[0].counts.exps() - 1);
+    assert_eq!(
+        faulty.nodes[0].counts.tx_bits,
+        2 * clean.nodes[0].counts.tx_bits
+    );
+    assert_eq!(
+        faulty.nodes[0].counts.rx_bits,
+        2 * clean.nodes[0].counts.rx_bits
+    );
+    assert_eq!(
+        faulty.nodes[0].counts.exps(),
+        2 * clean.nodes[0].counts.exps() - 1
+    );
 }
 
 #[test]

@@ -87,7 +87,10 @@ fn latency_extension_matches_energy_structure() {
 
 #[test]
 fn table5_reproduces_paper_within_4_percent() {
-    let t = generate_table5(&Table5Config { instrument: false, ..Table5Config::default() });
+    let t = generate_table5(&Table5Config {
+        instrument: false,
+        ..Table5Config::default()
+    });
     assert!(
         t.max_rel_err() < 0.04,
         "max deviation {:.2}%",
@@ -97,7 +100,10 @@ fn table5_reproduces_paper_within_4_percent() {
 
 #[test]
 fn dynamics_are_an_order_of_magnitude_cheaper() {
-    let t = generate_table5(&Table5Config { instrument: false, ..Table5Config::default() });
+    let t = generate_table5(&Table5Config {
+        instrument: false,
+        ..Table5Config::default()
+    });
     let max_of = |proto: &str| {
         t.rows
             .iter()
@@ -115,7 +121,13 @@ fn dynamics_are_an_order_of_magnitude_cheaper() {
 fn small_instrumented_table5_round_trips() {
     // Instrumented at reduced size: every role's counts are asserted equal
     // to the closed forms inside the generator.
-    let t = generate_table5(&Table5Config { n: 8, m: 4, ld: 2, instrument: true, seed: 5 });
+    let t = generate_table5(&Table5Config {
+        n: 8,
+        m: 4,
+        ld: 2,
+        instrument: true,
+        seed: 5,
+    });
     assert_eq!(t.rows.len(), 17);
 }
 

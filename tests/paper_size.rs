@@ -15,7 +15,10 @@ fn paper_fixture_gq_roundtrip() {
     let mut rng = ChaChaRng::seed_from_u64(1);
     let key = pkg.extract(UserId(0));
     let sig = pkg.params().gq.sign(&mut rng, &key, b"paper-size");
-    assert!(pkg.params().gq.verify(&UserId(0).to_bytes(), b"paper-size", &sig));
+    assert!(pkg
+        .params()
+        .gq
+        .verify(&UserId(0).to_bytes(), b"paper-size", &sig));
 }
 
 #[test]
@@ -26,7 +29,7 @@ fn paper_size_proposed_gka() {
     let (report, session) = proposed::run(pkg.params(), &keys, 1, RunConfig::default());
     assert!(report.keys_agree());
     assert!(session.invariant_holds());
-    assert_eq!(session.key.bit_length().max(1) <= 1024, true);
+    assert!(session.key.bit_length().max(1) <= 1024);
     // Counts are identical to the toy-profile runs — the accounting is
     // parameter-size independent, which is what justifies toy sweeps.
     let expect = InitialProtocol::ProposedGqBatch.per_user_counts(5);

@@ -1,0 +1,111 @@
+//! Offline shim for the `bytes` crate: a cheaply-clonable, immutable byte
+//! buffer. Only the subset the workspace uses is provided.
+
+#![forbid(unsafe_code)]
+
+use std::sync::Arc;
+
+/// A cheaply clonable, contiguous, immutable slice of memory.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+}
+
+impl Bytes {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Bytes {
+            data: Arc::from(&[][..]),
+        }
+    }
+
+    /// Wraps a static slice (copied once; clones share it).
+    pub fn from_static(b: &'static [u8]) -> Self {
+        Bytes { data: Arc::from(b) }
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True iff empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+}
+
+impl Default for Bytes {
+    fn default() -> Self {
+        Bytes::new()
+    }
+}
+
+impl std::ops::Deref for Bytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        Bytes { data: Arc::from(v) }
+    }
+}
+
+impl From<&'static [u8]> for Bytes {
+    fn from(b: &'static [u8]) -> Self {
+        Bytes::from_static(b)
+    }
+}
+
+impl std::fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "b\"")?;
+        for &b in self.data.iter() {
+            for esc in std::ascii::escape_default(b) {
+                write!(f, "{}", esc as char)?;
+            }
+        }
+        write!(f, "\"")
+    }
+}
+
+impl PartialEq<[u8]> for Bytes {
+    fn eq(&self, other: &[u8]) -> bool {
+        self.as_ref() == other
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_and_share() {
+        let b = Bytes::from(vec![1, 2, 3]);
+        let c = b.clone();
+        assert_eq!(b.as_ref(), &[1, 2, 3]);
+        assert_eq!(c.len(), 3);
+        assert_eq!(&b[..2], &[1, 2]);
+    }
+
+    #[test]
+    fn empty_and_static() {
+        assert!(Bytes::new().is_empty());
+        assert_eq!(Bytes::from_static(b"xy").as_ref(), b"xy");
+    }
+
+    #[test]
+    fn debug_is_printable() {
+        assert_eq!(format!("{:?}", Bytes::from_static(b"a\n")), "b\"a\\n\"");
+    }
+}

@@ -1,0 +1,191 @@
+//! Offline shim for the `crossbeam` crate, built on `std`:
+//!
+//! * [`channel`] — MPSC channels with the crossbeam names (`unbounded`,
+//!   `Sender`, `Receiver`, `RecvTimeoutError`), wrapping `std::sync::mpsc`
+//!   (whose `Sender` has been `Sync` since Rust 1.72, which is all the
+//!   workspace needs — no receiver is ever shared);
+//! * [`scope`] — scoped threads with crossbeam's `Result`-returning,
+//!   closure-takes-a-scope-handle signature, over `std::thread::scope`.
+
+#![forbid(unsafe_code)]
+
+/// Multi-producer channels (crossbeam-channel shim).
+pub mod channel {
+    use std::sync::mpsc;
+    use std::time::Duration;
+
+    pub use std::sync::mpsc::{RecvTimeoutError, SendError, TryRecvError};
+
+    /// The sending half of an unbounded channel.
+    pub struct Sender<T> {
+        inner: mpsc::Sender<T>,
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender {
+                inner: self.inner.clone(),
+            }
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Sends a value; errors iff the receiver is gone.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.inner.send(value)
+        }
+    }
+
+    /// The receiving half of an unbounded channel.
+    ///
+    /// Crossbeam receivers are `Sync` (shareable across threads); std's
+    /// mpsc receiver is not, so the shim serializes access through a
+    /// mutex. Concurrent blocking `recv`s therefore queue instead of
+    /// racing — fine for this workspace, where an endpoint is only ever
+    /// drained by one thread at a time.
+    pub struct Receiver<T> {
+        inner: std::sync::Mutex<mpsc::Receiver<T>>,
+    }
+
+    impl<T> Receiver<T> {
+        fn guard(&self) -> std::sync::MutexGuard<'_, mpsc::Receiver<T>> {
+            self.inner
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+        }
+
+        /// Blocks for the next value; errors when all senders are gone.
+        pub fn recv(&self) -> Result<T, mpsc::RecvError> {
+            self.guard().recv()
+        }
+
+        /// Non-blocking receive.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.guard().try_recv()
+        }
+
+        /// Blocks for up to `timeout`.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            self.guard().recv_timeout(timeout)
+        }
+
+        /// Iterates until every sender is dropped.
+        pub fn iter(&self) -> Iter<'_, T> {
+            Iter { rx: self }
+        }
+    }
+
+    /// Blocking iterator over received values (see [`Receiver::iter`]).
+    pub struct Iter<'a, T> {
+        rx: &'a Receiver<T>,
+    }
+
+    impl<T> Iterator for Iter<'_, T> {
+        type Item = T;
+
+        fn next(&mut self) -> Option<T> {
+            self.rx.recv().ok()
+        }
+    }
+
+    /// Creates an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (
+            Sender { inner: tx },
+            Receiver {
+                inner: std::sync::Mutex::new(rx),
+            },
+        )
+    }
+}
+
+/// Handle passed to closures spawned inside a [`scope`]; this shim does not
+/// support nested spawning through it (the workspace never nests).
+pub struct ScopeHandle {
+    _private: (),
+}
+
+/// A scope in which threads borrowing the environment can be spawned.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a scoped thread. The closure receives a [`ScopeHandle`]
+    /// (crossbeam's closures take the scope again; callers here ignore it).
+    pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&ScopeHandle) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        self.inner.spawn(move || f(&ScopeHandle { _private: () }))
+    }
+}
+
+/// Runs `f` with a [`Scope`]; joins all spawned threads before returning.
+/// Returns `Err` (like crossbeam) if `f` or any spawned thread panicked.
+pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        std::thread::scope(|s| f(&Scope { inner: s }))
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let data = vec![1u64, 2, 3];
+        let total = std::sync::atomic::AtomicU64::new(0);
+        scope(|s| {
+            for &x in &data {
+                let total = &total;
+                s.spawn(move |_| {
+                    total.fetch_add(x, std::sync::atomic::Ordering::Relaxed);
+                });
+            }
+        })
+        .expect("no panics");
+        assert_eq!(total.load(std::sync::atomic::Ordering::Relaxed), 6);
+    }
+
+    #[test]
+    fn scope_reports_child_panic_as_err() {
+        let r = scope(|s| {
+            s.spawn(|_| panic!("boom"));
+        });
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn channel_roundtrip_and_timeout() {
+        let (tx, rx) = channel::unbounded();
+        tx.send(42).unwrap();
+        assert_eq!(rx.recv().unwrap(), 42);
+        assert!(matches!(
+            rx.recv_timeout(std::time::Duration::from_millis(5)),
+            Err(channel::RecvTimeoutError::Timeout)
+        ));
+        drop(tx);
+        assert!(matches!(
+            rx.recv_timeout(std::time::Duration::from_millis(5)),
+            Err(channel::RecvTimeoutError::Disconnected)
+        ));
+    }
+
+    #[test]
+    fn channel_iter_drains_after_senders_drop() {
+        let (tx, rx) = channel::unbounded();
+        let tx2 = tx.clone();
+        tx.send(1).unwrap();
+        tx2.send(2).unwrap();
+        drop((tx, tx2));
+        let got: Vec<i32> = rx.iter().collect();
+        assert_eq!(got, vec![1, 2]);
+    }
+}

@@ -1,0 +1,131 @@
+//! Offline shim for `parking_lot`: `Mutex` and `RwLock` with parking_lot's
+//! non-poisoning, guard-returning API, over `std::sync`. A poisoned std
+//! lock (a panic while held) is transparently recovered, matching
+//! parking_lot's "no poisoning" semantics.
+
+#![forbid(unsafe_code)]
+
+use std::sync;
+
+pub use sync::{MutexGuard, RwLockReadGuard, RwLockWriteGuard};
+
+/// A mutual-exclusion lock whose `lock` cannot fail.
+#[derive(Debug, Default)]
+pub struct Mutex<T: ?Sized> {
+    inner: sync::Mutex<T>,
+}
+
+impl<T> Mutex<T> {
+    /// Creates a new mutex.
+    pub fn new(value: T) -> Self {
+        Mutex {
+            inner: sync::Mutex::new(value),
+        }
+    }
+
+    /// Consumes the mutex, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.inner
+            .into_inner()
+            .unwrap_or_else(sync::PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquires the lock, blocking until available.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        self.inner
+            .lock()
+            .unwrap_or_else(sync::PoisonError::into_inner)
+    }
+
+    /// Mutable access without locking (requires exclusive ownership).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner
+            .get_mut()
+            .unwrap_or_else(sync::PoisonError::into_inner)
+    }
+}
+
+/// A reader-writer lock whose `read`/`write` cannot fail.
+#[derive(Debug, Default)]
+pub struct RwLock<T: ?Sized> {
+    inner: sync::RwLock<T>,
+}
+
+impl<T> RwLock<T> {
+    /// Creates a new reader-writer lock.
+    pub fn new(value: T) -> Self {
+        RwLock {
+            inner: sync::RwLock::new(value),
+        }
+    }
+
+    /// Consumes the lock, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.inner
+            .into_inner()
+            .unwrap_or_else(sync::PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    /// Acquires shared read access.
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        self.inner
+            .read()
+            .unwrap_or_else(sync::PoisonError::into_inner)
+    }
+
+    /// Acquires exclusive write access.
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        self.inner
+            .write()
+            .unwrap_or_else(sync::PoisonError::into_inner)
+    }
+
+    /// Mutable access without locking (requires exclusive ownership).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner
+            .get_mut()
+            .unwrap_or_else(sync::PoisonError::into_inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mutex_guards_mutation() {
+        let m = Mutex::new(1);
+        *m.lock() += 1;
+        assert_eq!(*m.lock(), 2);
+        assert_eq!(m.into_inner(), 2);
+    }
+
+    #[test]
+    fn rwlock_many_readers_one_writer() {
+        let l = RwLock::new(vec![1]);
+        {
+            let a = l.read();
+            let b = l.read();
+            assert_eq!(*a, *b);
+        }
+        l.write().push(2);
+        assert_eq!(*l.read(), vec![1, 2]);
+    }
+
+    #[test]
+    fn poisoned_lock_recovers() {
+        let m = std::sync::Arc::new(Mutex::new(0));
+        let m2 = m.clone();
+        let _ = std::thread::spawn(move || {
+            let _g = m2.lock();
+            panic!("poison the std lock");
+        })
+        .join();
+        *m.lock() += 1; // parking_lot semantics: no poisoning
+        assert_eq!(*m.lock(), 1);
+    }
+}

@@ -1,0 +1,195 @@
+//! Offline shim for the `rand` crate.
+//!
+//! The build environment has no registry access, so this workspace vendors
+//! the *exact subset* of `rand`'s API its crates use: the [`Rng`] /
+//! [`SeedableRng`] traits, the fallible [`TryRng`] / [`TryCryptoRng`] pair
+//! (implemented by `egka_hash::ChaChaRng`), and [`rngs::SmallRng`].
+//!
+//! Semantics intentionally mirror upstream where observable:
+//! `seed_from_u64` expands the state with SplitMix64, and all generators
+//! are deterministic. Nothing here is cryptographic by itself — the
+//! workspace's CSPRNG is ChaCha20 in `egka-hash`; `SmallRng` is for
+//! test/search workloads only, exactly like upstream's.
+
+#![forbid(unsafe_code)]
+
+use core::convert::Infallible;
+
+/// A fallible random number generator (upstream `rand_core::TryRngCore`
+/// shape).
+pub trait TryRng {
+    /// Error produced on generation failure.
+    type Error: core::fmt::Debug;
+    /// Next 32 uniformly random bits.
+    fn try_next_u32(&mut self) -> Result<u32, Self::Error>;
+    /// Next 64 uniformly random bits.
+    fn try_next_u64(&mut self) -> Result<u64, Self::Error>;
+    /// Fills `dst` with random bytes.
+    fn try_fill_bytes(&mut self, dst: &mut [u8]) -> Result<(), Self::Error>;
+}
+
+/// Marker: a [`TryRng`] suitable for cryptographic use.
+pub trait TryCryptoRng: TryRng {}
+
+/// An infallible random number generator.
+///
+/// Blanket-implemented for every [`TryRng`] whose error is [`Infallible`],
+/// so `ChaChaRng` and `SmallRng` both satisfy `R: Rng` bounds.
+pub trait Rng {
+    /// Next 32 uniformly random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dst` with random bytes.
+    fn fill_bytes(&mut self, dst: &mut [u8]);
+}
+
+impl<R> Rng for R
+where
+    R: TryRng<Error = Infallible>,
+{
+    fn next_u32(&mut self) -> u32 {
+        match self.try_next_u32() {
+            Ok(v) => v,
+        }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        match self.try_next_u64() {
+            Ok(v) => v,
+        }
+    }
+
+    fn fill_bytes(&mut self, dst: &mut [u8]) {
+        match self.try_fill_bytes(dst) {
+            Ok(()) => (),
+        }
+    }
+}
+
+/// SplitMix64 step (upstream's `seed_from_u64` expander).
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A generator constructible from a fixed-size seed.
+pub trait SeedableRng: Sized {
+    /// Seed byte array type.
+    type Seed: Sized + Default + AsMut<[u8]>;
+
+    /// Builds the generator from a full-entropy seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Expands a `u64` into a full seed via SplitMix64 (deterministic,
+    /// matching upstream's documented behaviour of being a fixed simple
+    /// expansion).
+    fn seed_from_u64(mut state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(8) {
+            let z = splitmix64(&mut state).to_le_bytes();
+            chunk.copy_from_slice(&z[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// Non-cryptographic generators.
+pub mod rngs {
+    use super::{Infallible, SeedableRng, TryRng};
+
+    /// A small, fast, non-cryptographic generator (xoshiro256++ core).
+    #[derive(Clone, Debug)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    impl SmallRng {
+        fn next(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+
+    impl SeedableRng for SmallRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: Self::Seed) -> Self {
+            let mut s = [0u64; 4];
+            for (i, word) in s.iter_mut().enumerate() {
+                let b: [u8; 8] = seed[8 * i..8 * i + 8].try_into().expect("8-byte chunk");
+                *word = u64::from_le_bytes(b);
+            }
+            // An all-zero state is a fixed point; nudge it.
+            if s == [0u64; 4] {
+                s = [0x9E37_79B9_7F4A_7C15, 1, 2, 3];
+            }
+            SmallRng { s }
+        }
+    }
+
+    impl TryRng for SmallRng {
+        type Error = Infallible;
+
+        fn try_next_u32(&mut self) -> Result<u32, Self::Error> {
+            Ok((self.next() >> 32) as u32)
+        }
+
+        fn try_next_u64(&mut self) -> Result<u64, Self::Error> {
+            Ok(self.next())
+        }
+
+        fn try_fill_bytes(&mut self, dst: &mut [u8]) -> Result<(), Self::Error> {
+            for chunk in dst.chunks_mut(8) {
+                let b = self.next().to_le_bytes();
+                chunk.copy_from_slice(&b[..chunk.len()]);
+            }
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn seed_from_u64_is_deterministic() {
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        for _ in 0..16 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = SmallRng::seed_from_u64(8);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn fill_bytes_covers_partial_chunks() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut buf = [0u8; 13];
+        rng.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+
+    #[test]
+    fn next_u32_varies() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let xs: Vec<u32> = (0..8).map(|_| rng.next_u32()).collect();
+        assert!(xs.windows(2).any(|w| w[0] != w[1]));
+    }
+}

@@ -1,0 +1,46 @@
+//! Offline shim for `serde_derive`.
+//!
+//! The vendored `serde` shim defines `Serialize`/`Deserialize` as *marker*
+//! traits (nothing in this workspace actually serializes through serde —
+//! report types have hand-written CSV/markdown renderers). These derives
+//! therefore only need to emit empty trait impls. Implemented with raw
+//! `proc_macro` token scanning (no `syn`/`quote`, which are unavailable
+//! offline): find the `struct`/`enum` keyword, take the following ident as
+//! the type name. Generic types are not supported (none in this
+//! workspace derive serde traits).
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extracts the name of the item a derive was applied to.
+fn item_name(input: TokenStream) -> String {
+    let mut tokens = input.into_iter();
+    while let Some(tt) = tokens.next() {
+        if let TokenTree::Ident(id) = &tt {
+            let s = id.to_string();
+            if s == "struct" || s == "enum" || s == "union" {
+                if let Some(TokenTree::Ident(name)) = tokens.next() {
+                    return name.to_string();
+                }
+            }
+        }
+    }
+    panic!("serde_derive shim: could not find a struct/enum name in derive input");
+}
+
+/// Derives the shim's marker `Serialize` trait.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let name = item_name(input);
+    format!("impl ::serde::Serialize for {name} {{}}")
+        .parse()
+        .expect("valid impl tokens")
+}
+
+/// Derives the shim's marker `Deserialize` trait.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let name = item_name(input);
+    format!("impl ::serde::Deserialize for {name} {{}}")
+        .parse()
+        .expect("valid impl tokens")
+}

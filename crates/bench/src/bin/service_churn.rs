@@ -6,14 +6,16 @@
 //! cargo run --release -p egka-bench --bin service_churn
 //! cargo run --release -p egka-bench --bin service_churn -- \
 //!     --groups 1000 --epochs 10 --join-rate 0.7 --leave-rate 0.6 \
-//!     --shards 8 --seed 7 [--check-determinism]
+//!     --shards 8 --seed 7 [--loss 0.01] [--check-determinism]
 //! ```
 //!
 //! Reports per-epoch events/rekeys/coalesce-ratio/energy and rekey-latency
 //! quantiles, plus scenario totals (throughput, events-coalesced ratio,
 //! total energy) and a key fingerprint that is identical for identical
-//! seeds. With `--check-determinism` the scenario runs twice and the two
-//! fingerprints are compared.
+//! seeds. `--loss` injects per-delivery drop probability into every rekey
+//! medium, exercising the shard scheduler's stall-detection and
+//! retransmission path. With `--check-determinism` the scenario runs
+//! twice and the two fingerprints are compared.
 
 use egka_bench::{arg_value, has_flag};
 use egka_sim::{run_churn, ChurnConfig};
@@ -41,10 +43,13 @@ fn main() {
     if let Some(v) = arg_value("--seed") {
         config.seed = v.parse().expect("--seed N");
     }
+    if let Some(v) = arg_value("--loss") {
+        config.loss = v.parse().expect("--loss F");
+    }
 
     println!(
         "service_churn: {} groups (size {}..{}), {} epochs, λ_join {}, λ_leave {}, \
-         {} shards, seed {:#x}\n",
+         {} shards, seed {:#x}, loss {}\n",
         config.groups,
         config.group_size,
         config.group_size + 2,
@@ -52,7 +57,8 @@ fn main() {
         config.join_rate,
         config.leave_rate,
         config.shards,
-        config.seed
+        config.seed,
+        config.loss
     );
 
     let report = run_churn(&config);
@@ -79,6 +85,10 @@ fn main() {
             "same seed must reproduce identical keys"
         );
         assert_eq!(report.rekeys_executed, again.rekeys_executed);
+        assert_eq!(
+            report.steps_retried, again.steps_retried,
+            "retransmission schedule must be deterministic too"
+        );
         println!(
             "deterministic ✓ (fingerprint {:016x} reproduced)",
             again.key_fingerprint

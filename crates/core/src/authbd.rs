@@ -10,15 +10,17 @@
 //! ([`egka_sig::CertStore`] caches — the accounting convention Table 5's
 //! joules pin down).
 //!
-//! These baselines run the same BD core, the same medium, and the same
-//! metering as the proposed protocol, so Figure 1's curves come from
-//! directly comparable instrumented executions.
+//! These baselines run the same BD core, the same medium, the same sans-IO
+//! round machines ([`crate::machine`]) and the same metering as the
+//! proposed protocol, so Figure 1's curves come from directly comparable
+//! instrumented executions.
+
+use std::sync::Arc;
 
 use egka_bigint::{mod_mul, SchnorrGroup, Ubig};
 use egka_energy::complexity::InitialProtocol;
 use egka_energy::{CompOp, Meter, Scheme};
 use egka_hash::ChaChaRng;
-use egka_net::{Endpoint, Medium};
 use egka_sig::{
     CaPublic, CertCheck, CertStore, Certificate, CertificateAuthority, Dsa, DsaKeyPair,
     DsaSignature, Ecdsa, EcdsaKeyPair, EcdsaSignature, SokParams, SokPkg, SokSecretKey,
@@ -28,7 +30,9 @@ use rand::{Rng, SeedableRng};
 
 use crate::bd;
 use crate::ident::UserId;
-use crate::par::par_for_each_mut;
+use crate::machine::{
+    two_round_script, Dest, Engine, Execution, Faults, Metered, Outgoing, PhaseOut, Pump,
+};
 use crate::proposed::{NodeReport, RunReport};
 use crate::wire::{kind, Reader, Writer};
 
@@ -165,11 +169,11 @@ enum NodeAuth {
     },
 }
 
-struct Node {
+struct NodeState {
     idx: usize,
     id: UserId,
     auth: NodeAuth,
-    ep: Endpoint,
+    bd_group: Arc<SchnorrGroup>,
     meter: Meter,
     rng: ChaChaRng,
     store: CertStore,
@@ -183,11 +187,296 @@ struct Node {
     derived: Option<Ubig>,
 }
 
+impl Metered for NodeState {
+    fn meter(&self) -> &Meter {
+        &self.meter
+    }
+}
+
 /// The signed Round-2 message `U_i ‖ z_i ‖ X_i ‖ ∏ z_j`.
 fn signed_message(id: UserId, z: &Ubig, x: &Ubig, z_prod: &Ubig) -> Vec<u8> {
     let mut w = Writer::new();
     w.put_id(id).put_ubig(z).put_ubig(x).put_ubig(z_prod);
     w.finish().to_vec()
+}
+
+fn node_machine(state: NodeState, n: usize, proto: InitialProtocol) -> Engine<NodeState> {
+    let phases = two_round_script(
+        state.idx,
+        kind::ROUND1,
+        kind::ROUND2,
+        n,
+        // Round 1: broadcast U_i ‖ z_i (‖ cert_i).
+        move |s: &mut NodeState| {
+            let share = bd::round1_share(&mut s.rng, &s.bd_group);
+            s.meter.record(CompOp::ModExp);
+            let mut w = Writer::new();
+            w.put_id(s.id).put_ubig(&share.z);
+            match &s.auth {
+                NodeAuth::Sok { .. } => {
+                    w.put_bytes(&[]);
+                }
+                NodeAuth::Ecdsa { cert, .. } | NodeAuth::Dsa { cert, .. } => {
+                    w.put_bytes(&cert.encode());
+                }
+            }
+            s.zs[s.idx] = share.z.clone();
+            s.share = Some(share);
+            Outgoing {
+                to: Dest::Broadcast,
+                kind: kind::ROUND1,
+                payload: w.finish(),
+                nominal_bits: proto.round1_bits(),
+            }
+        },
+        // Absorb round 1: store shares, verify newly seen certificates
+        // (cached per CertStore), then compute X_i and sign m_i.
+        move |s: &mut NodeState, pkts| {
+            for pkt in pkts {
+                let mut r = Reader::new(&pkt.payload);
+                let id = r.get_id().expect("round-1 id");
+                let z = r.get_ubig().expect("round-1 z");
+                let cert_bytes = r.get_bytes().expect("round-1 cert field");
+                r.expect_end().expect("no trailing bytes");
+                let j = id.0 as usize;
+                s.zs[j] = z;
+                if !cert_bytes.is_empty() {
+                    s.certs[j] = Some(Certificate::decode(cert_bytes).expect("valid cert bytes"));
+                }
+            }
+            if let NodeAuth::Ecdsa { ca, .. } | NodeAuth::Dsa { ca, .. } = &s.auth {
+                let scheme = match &s.auth {
+                    NodeAuth::Ecdsa { .. } => Scheme::Ecdsa,
+                    _ => Scheme::Dsa,
+                };
+                for j in 0..n {
+                    if j == s.idx {
+                        continue;
+                    }
+                    let cert = s.certs[j].as_ref().expect("cert schemes ship certs");
+                    match s.store.check(cert, &UserId(j as u32).to_bytes(), ca) {
+                        CertCheck::NewlyVerified => s.meter.record(CompOp::CertVerify(scheme)),
+                        CertCheck::AlreadyTrusted => {}
+                        CertCheck::Rejected => panic!("honest-run certificate rejected"),
+                    }
+                }
+            }
+            let share = s.share.as_ref().expect("round 1 done");
+            let x = bd::round2_x(
+                &s.bd_group,
+                &share.r,
+                &s.zs[(s.idx + n - 1) % n],
+                &s.zs[(s.idx + 1) % n],
+            );
+            s.meter.record(CompOp::ModExp);
+            s.meter.record(CompOp::ModInv);
+            let z_prod =
+                s.zs.iter()
+                    .fold(Ubig::one(), |acc, z| mod_mul(&acc, z, &s.bd_group.p));
+            let msg = signed_message(s.id, &share.z, &x, &z_prod);
+            let sig_bytes = match &s.auth {
+                NodeAuth::Sok { params, key } => {
+                    let sig = params.sign(&mut s.rng, key, &msg);
+                    s.meter.record(CompOp::SignGen(Scheme::Sok));
+                    let curve = params.group().curve();
+                    let mut w = Writer::new();
+                    w.put_bytes(&curve.compress(&sig.s1))
+                        .put_bytes(&curve.compress(&sig.s2));
+                    w.finish().to_vec()
+                }
+                NodeAuth::Ecdsa { scheme, key, .. } => {
+                    let sig = scheme.sign(&mut s.rng, key, &msg);
+                    s.meter.record(CompOp::SignGen(Scheme::Ecdsa));
+                    let mut w = Writer::new();
+                    w.put_ubig(&sig.r).put_ubig(&sig.s);
+                    w.finish().to_vec()
+                }
+                NodeAuth::Dsa { scheme, key, .. } => {
+                    let sig = scheme.sign(&mut s.rng, key, &msg);
+                    s.meter.record(CompOp::SignGen(Scheme::Dsa));
+                    let mut w = Writer::new();
+                    w.put_ubig(&sig.r).put_ubig(&sig.s);
+                    w.finish().to_vec()
+                }
+            };
+            s.xs[s.idx] = x;
+            s.sigs[s.idx] = sig_bytes;
+        },
+        // Round-2 broadcast U_i ‖ X_i ‖ σ_i (controller last, as in the
+        // proposed protocol).
+        move |s: &mut NodeState| {
+            let mut w = Writer::new();
+            w.put_id(s.id)
+                .put_ubig(&s.xs[s.idx])
+                .put_bytes(&s.sigs[s.idx]);
+            Outgoing {
+                to: Dest::Broadcast,
+                kind: kind::ROUND2,
+                payload: w.finish(),
+                nominal_bits: proto.round2_bits(),
+            }
+        },
+        move |s: &mut NodeState, pkts| {
+            for pkt in pkts {
+                let mut r = Reader::new(&pkt.payload);
+                let id = r.get_id().expect("round-2 id");
+                let x = r.get_ubig().expect("round-2 X");
+                let sig = r.get_bytes().expect("round-2 signature");
+                r.expect_end().expect("no trailing bytes");
+                let j = id.0 as usize;
+                s.xs[j] = x;
+                s.sigs[j] = sig.to_vec();
+            }
+        },
+        // Verify all n−1 signatures, then derive the key.
+        move |s: &mut NodeState| {
+            let z_prod =
+                s.zs.iter()
+                    .fold(Ubig::one(), |acc, z| mod_mul(&acc, z, &s.bd_group.p));
+            for j in 0..n {
+                if j == s.idx {
+                    continue;
+                }
+                let msg = signed_message(UserId(j as u32), &s.zs[j], &s.xs[j], &z_prod);
+                let ok = verify_one(s, j, &msg);
+                assert!(ok, "honest-run signature from U{j} rejected");
+            }
+            let share = s.share.as_ref().expect("round 1 done");
+            let ring: Vec<Ubig> = (0..n).map(|k| s.xs[(s.idx + k) % n].clone()).collect();
+            let key = bd::compute_key(&s.bd_group, &share.r, &s.zs[(s.idx + n - 1) % n], &ring);
+            s.meter.record(CompOp::ModExp);
+            s.derived = Some(key.clone());
+            PhaseOut::Done(key)
+        },
+    );
+    Engine::new(state, phases)
+}
+
+/// One in-flight authenticated-BD run (pumpable).
+pub struct AuthBdRun {
+    exec: Execution<NodeState>,
+}
+
+impl AuthBdRun {
+    /// Prepares a run over `bd_group` with the credentials in `kit`;
+    /// `already_trusts(i, j)` pre-seeds certificate trust (see
+    /// [`run_with_trust`]).
+    ///
+    /// # Panics
+    /// Panics if the kit holds fewer than two members.
+    pub fn new(
+        bd_group: &SchnorrGroup,
+        kit: &AuthKit,
+        seed: u64,
+        faults: &Faults,
+        already_trusts: impl Fn(usize, usize) -> bool,
+    ) -> Self {
+        let n = kit.n();
+        assert!(n >= 2, "a group needs at least two members");
+        let proto = kit.protocol();
+        let group = Arc::new(bd_group.clone());
+        let ids: Vec<UserId> = (0..n as u32).map(UserId).collect();
+        let exec = Execution::new(&ids, faults, |i, _| {
+            let mut state = NodeState {
+                idx: i,
+                id: UserId(i as u32),
+                auth: match kit {
+                    AuthKit::Sok { params, keys } => NodeAuth::Sok {
+                        params: params.clone(),
+                        key: keys[i].clone(),
+                    },
+                    AuthKit::Ecdsa {
+                        scheme,
+                        keys,
+                        certs,
+                        ca,
+                    } => NodeAuth::Ecdsa {
+                        scheme: scheme.clone(),
+                        key: keys[i].clone(),
+                        cert: certs[i].clone(),
+                        ca: ca.clone(),
+                    },
+                    AuthKit::Dsa {
+                        scheme,
+                        keys,
+                        certs,
+                        ca,
+                    } => NodeAuth::Dsa {
+                        scheme: scheme.clone(),
+                        key: keys[i].clone(),
+                        cert: certs[i].clone(),
+                        ca: ca.clone(),
+                    },
+                },
+                bd_group: Arc::clone(&group),
+                meter: Meter::new(),
+                rng: ChaChaRng::seed_from_u64(
+                    seed ^ (i as u64).wrapping_mul(0x2545_f491_4f6c_dd1d),
+                ),
+                store: CertStore::new(),
+                share: None,
+                zs: vec![Ubig::zero(); n],
+                xs: vec![Ubig::zero(); n],
+                sigs: vec![Vec::new(); n],
+                certs: vec![None; n],
+                mapped_ids: vec![false; n],
+                derived: None,
+            };
+            // Pre-seed certificate trust (prior-session verifications).
+            if let AuthKit::Ecdsa { certs, ca, .. } | AuthKit::Dsa { certs, ca, .. } = kit {
+                for (j, cert) in certs.iter().enumerate() {
+                    if i != j && already_trusts(i, j) {
+                        let outcome = state.store.check(cert, &UserId(j as u32).to_bytes(), ca);
+                        assert_eq!(outcome, CertCheck::NewlyVerified);
+                    }
+                }
+            }
+            node_machine(state, n, proto)
+        });
+        AuthBdRun { exec }
+    }
+
+    /// One non-blocking scheduling sweep.
+    pub fn pump(&mut self) -> Pump {
+        self.exec.pump()
+    }
+
+    /// True iff every member derived the key.
+    pub fn is_done(&self) -> bool {
+        self.exec.is_done()
+    }
+
+    /// Assembles the per-node reports.
+    ///
+    /// # Panics
+    /// Panics if the run has not finished or keys diverged.
+    pub fn finish(self) -> RunReport {
+        assert!(self.exec.is_done(), "finish() before the run completed");
+        let nodes: Vec<NodeReport> = (0..self.exec.n())
+            .map(|i| {
+                let state = self.exec.machine(i).state();
+                NodeReport {
+                    id: state.id,
+                    key: state.derived.clone().expect("derived"),
+                    counts: self.exec.node_counts(i),
+                }
+            })
+            .collect();
+        let report = RunReport { nodes, attempts: 1 };
+        assert!(report.keys_agree(), "authenticated BD keys must agree");
+        report
+    }
+
+    /// Drives to completion with parallel per-node sweeps.
+    pub(crate) fn run_to_completion(&mut self) {
+        loop {
+            match self.exec.pump_par() {
+                Pump::Done => return,
+                Pump::Progressed => {}
+                other => panic!("authenticated BD cannot {other:?} on a reliable medium"),
+            }
+        }
+    }
 }
 
 /// Runs an authenticated-BD exchange over `bd_group` with the credentials
@@ -211,250 +500,9 @@ pub fn run_with_trust(
     seed: u64,
     already_trusts: impl Fn(usize, usize) -> bool,
 ) -> RunReport {
-    let n = kit.n();
-    assert!(n >= 2, "a group needs at least two members");
-    let proto = kit.protocol();
-    let medium = Medium::new();
-    let mut nodes: Vec<Node> = (0..n)
-        .map(|i| Node {
-            idx: i,
-            id: UserId(i as u32),
-            auth: match kit {
-                AuthKit::Sok { params, keys } => NodeAuth::Sok {
-                    params: params.clone(),
-                    key: keys[i].clone(),
-                },
-                AuthKit::Ecdsa {
-                    scheme,
-                    keys,
-                    certs,
-                    ca,
-                } => NodeAuth::Ecdsa {
-                    scheme: scheme.clone(),
-                    key: keys[i].clone(),
-                    cert: certs[i].clone(),
-                    ca: ca.clone(),
-                },
-                AuthKit::Dsa {
-                    scheme,
-                    keys,
-                    certs,
-                    ca,
-                } => NodeAuth::Dsa {
-                    scheme: scheme.clone(),
-                    key: keys[i].clone(),
-                    cert: certs[i].clone(),
-                    ca: ca.clone(),
-                },
-            },
-            ep: medium.join(),
-            meter: Meter::new(),
-            rng: ChaChaRng::seed_from_u64(seed ^ (i as u64).wrapping_mul(0x2545_f491_4f6c_dd1d)),
-            store: CertStore::new(),
-            share: None,
-            zs: vec![Ubig::zero(); n],
-            xs: vec![Ubig::zero(); n],
-            sigs: vec![Vec::new(); n],
-            certs: vec![None; n],
-            mapped_ids: vec![false; n],
-            derived: None,
-        })
-        .collect();
-
-    // Pre-seed certificate trust (prior-session verifications).
-    if let AuthKit::Ecdsa { certs, ca, .. } | AuthKit::Dsa { certs, ca, .. } = kit {
-        for (i, node) in nodes.iter_mut().enumerate() {
-            for (j, cert) in certs.iter().enumerate() {
-                if i != j && already_trusts(i, j) {
-                    let outcome = node.store.check(cert, &UserId(j as u32).to_bytes(), ca);
-                    assert_eq!(outcome, CertCheck::NewlyVerified);
-                }
-            }
-        }
-    }
-
-    // ---- Round 1: broadcast U_i ‖ z_i (‖ cert_i) ----
-    par_for_each_mut(&mut nodes, |_, node| {
-        let share = bd::round1_share(&mut node.rng, bd_group);
-        node.meter.record(CompOp::ModExp);
-        let mut w = Writer::new();
-        w.put_id(node.id).put_ubig(&share.z);
-        match &node.auth {
-            NodeAuth::Sok { .. } => {
-                w.put_bytes(&[]);
-            }
-            NodeAuth::Ecdsa { cert, .. } | NodeAuth::Dsa { cert, .. } => {
-                w.put_bytes(&cert.encode());
-            }
-        }
-        node.ep
-            .broadcast(kind::ROUND1, w.finish(), proto.round1_bits());
-        node.zs[node.idx] = share.z.clone();
-        node.share = Some(share);
-    });
-    par_for_each_mut(&mut nodes, |_, node| {
-        for _ in 0..n - 1 {
-            let pkt = node.ep.recv_kind(kind::ROUND1);
-            let mut r = Reader::new(&pkt.payload);
-            let id = r.get_id().expect("round-1 id");
-            let z = r.get_ubig().expect("round-1 z");
-            let cert_bytes = r.get_bytes().expect("round-1 cert field");
-            r.expect_end().expect("no trailing bytes");
-            let j = id.0 as usize;
-            node.zs[j] = z;
-            if !cert_bytes.is_empty() {
-                node.certs[j] = Some(Certificate::decode(cert_bytes).expect("valid cert bytes"));
-            }
-        }
-        // Verify newly seen certificates (cached per CertStore).
-        if let NodeAuth::Ecdsa { ca, .. } | NodeAuth::Dsa { ca, .. } = &node.auth {
-            let scheme = match &node.auth {
-                NodeAuth::Ecdsa { .. } => Scheme::Ecdsa,
-                _ => Scheme::Dsa,
-            };
-            for j in 0..n {
-                if j == node.idx {
-                    continue;
-                }
-                let cert = node.certs[j].as_ref().expect("cert schemes ship certs");
-                match node.store.check(cert, &UserId(j as u32).to_bytes(), ca) {
-                    CertCheck::NewlyVerified => node.meter.record(CompOp::CertVerify(scheme)),
-                    CertCheck::AlreadyTrusted => {}
-                    CertCheck::Rejected => panic!("honest-run certificate rejected"),
-                }
-            }
-        }
-    });
-
-    // ---- Round 2: compute X_i, sign m_i, broadcast U_i ‖ X_i ‖ σ_i ----
-    par_for_each_mut(&mut nodes, |_, node| {
-        let share = node.share.as_ref().expect("round 1 done");
-        let x = bd::round2_x(
-            bd_group,
-            &share.r,
-            &node.zs[(node.idx + n - 1) % n],
-            &node.zs[(node.idx + 1) % n],
-        );
-        node.meter.record(CompOp::ModExp);
-        node.meter.record(CompOp::ModInv);
-        let z_prod = node
-            .zs
-            .iter()
-            .fold(Ubig::one(), |acc, z| mod_mul(&acc, z, &bd_group.p));
-        let msg = signed_message(node.id, &share.z, &x, &z_prod);
-        let sig_bytes = match &node.auth {
-            NodeAuth::Sok { params, key } => {
-                let sig = params.sign(&mut node.rng, key, &msg);
-                node.meter.record(CompOp::SignGen(Scheme::Sok));
-                let curve = params.group().curve();
-                let mut w = Writer::new();
-                w.put_bytes(&curve.compress(&sig.s1))
-                    .put_bytes(&curve.compress(&sig.s2));
-                w.finish().to_vec()
-            }
-            NodeAuth::Ecdsa { scheme, key, .. } => {
-                let sig = scheme.sign(&mut node.rng, key, &msg);
-                node.meter.record(CompOp::SignGen(Scheme::Ecdsa));
-                let mut w = Writer::new();
-                w.put_ubig(&sig.r).put_ubig(&sig.s);
-                w.finish().to_vec()
-            }
-            NodeAuth::Dsa { scheme, key, .. } => {
-                let sig = scheme.sign(&mut node.rng, key, &msg);
-                node.meter.record(CompOp::SignGen(Scheme::Dsa));
-                let mut w = Writer::new();
-                w.put_ubig(&sig.r).put_ubig(&sig.s);
-                w.finish().to_vec()
-            }
-        };
-        node.xs[node.idx] = x;
-        node.sigs[node.idx] = sig_bytes;
-    });
-    // Controller-last ordering, as in the proposed protocol.
-    let send = |node: &Node| {
-        let mut w = Writer::new();
-        w.put_id(node.id)
-            .put_ubig(&node.xs[node.idx])
-            .put_bytes(&node.sigs[node.idx]);
-        node.ep
-            .broadcast(kind::ROUND2, w.finish(), proto.round2_bits());
-    };
-    for node in nodes.iter().skip(1) {
-        send(node);
-    }
-    {
-        let controller = &mut nodes[0];
-        for _ in 0..n - 1 {
-            let pkt = controller.ep.recv_kind(kind::ROUND2);
-            store_round2(controller, &pkt.payload);
-        }
-        send(&nodes[0]);
-    }
-    par_for_each_mut(&mut nodes[1..], |_, node| {
-        for _ in 0..n - 1 {
-            let pkt = node.ep.recv_kind(kind::ROUND2);
-            store_round2(node, &pkt.payload);
-        }
-    });
-
-    // ---- Verify all n−1 signatures, then derive the key ----
-    par_for_each_mut(&mut nodes, |_, node| {
-        let z_prod = node
-            .zs
-            .iter()
-            .fold(Ubig::one(), |acc, z| mod_mul(&acc, z, &bd_group.p));
-        for j in 0..n {
-            if j == node.idx {
-                continue;
-            }
-            let msg = signed_message(UserId(j as u32), &node.zs[j], &node.xs[j], &z_prod);
-            let ok = verify_one(node, j, &msg);
-            assert!(ok, "honest-run signature from U{j} rejected");
-        }
-        let share = node.share.as_ref().expect("round 1 done");
-        let ring: Vec<Ubig> = (0..n)
-            .map(|k| node.xs[(node.idx + k) % n].clone())
-            .collect();
-        let key = bd::compute_key(bd_group, &share.r, &node.zs[(node.idx + n - 1) % n], &ring);
-        node.meter.record(CompOp::ModExp);
-        node.derived = Some(key);
-    });
-
-    let nodes_out: Vec<NodeReport> = nodes
-        .iter()
-        .map(|node| {
-            let mut counts = node.meter.snapshot();
-            let stats = medium.stats(node.ep.id());
-            counts.tx_bits = stats.tx_bits;
-            counts.rx_bits = stats.rx_bits;
-            counts.tx_bits_actual = stats.tx_bits_actual;
-            counts.rx_bits_actual = stats.rx_bits_actual;
-            counts.msgs_tx = stats.msgs_tx;
-            counts.msgs_rx = stats.msgs_rx;
-            NodeReport {
-                id: node.id,
-                key: node.derived.clone().expect("derived"),
-                counts,
-            }
-        })
-        .collect();
-    let report = RunReport {
-        nodes: nodes_out,
-        attempts: 1,
-    };
-    assert!(report.keys_agree(), "authenticated BD keys must agree");
-    report
-}
-
-fn store_round2(node: &mut Node, payload: &[u8]) {
-    let mut r = Reader::new(payload);
-    let id = r.get_id().expect("round-2 id");
-    let x = r.get_ubig().expect("round-2 X");
-    let sig = r.get_bytes().expect("round-2 signature");
-    r.expect_end().expect("no trailing bytes");
-    let j = id.0 as usize;
-    node.xs[j] = x;
-    node.sigs[j] = sig.to_vec();
+    let mut auth = AuthBdRun::new(bd_group, kit, seed, &Faults::none(), already_trusts);
+    auth.run_to_completion();
+    auth.finish()
 }
 
 /// Verifies sender `j`'s signature, recording the ops the paper prices:
@@ -462,7 +510,7 @@ fn store_round2(node: &mut Node, payload: &[u8]) {
 /// identity. (The SOK verifier really performs a second MapToPoint for the
 /// message hash; the paper's Table 1 only counts the identity ones, so the
 /// message MapToPoint is recorded as a free `Hash` — see `EXPERIMENTS.md`.)
-fn verify_one(node: &mut Node, j: usize, msg: &[u8]) -> bool {
+fn verify_one(node: &mut NodeState, j: usize, msg: &[u8]) -> bool {
     let jid = UserId(j as u32);
     match &node.auth {
         NodeAuth::Sok { params, .. } => {

@@ -12,18 +12,25 @@
 //! `K_DH = g^{r_n r_{n+1}}`. Only `U_1` and `U_{n+1}` pay exponentiations
 //! (2 each; the sponsor `U_n` pays 1 — Table 5 prices it even though
 //! Table 4's footnote forgets it); bystanders only decrypt.
+//!
+//! Each of the four roles (controller, sponsor, newcomer, bystander) is a
+//! sans-IO [`crate::machine::RoundMachine`] script; [`JoinRun`] is the
+//! pumpable execution a scheduler interleaves, [`join`] the blocking
+//! wrapper.
+
+use std::sync::Arc;
 
 use egka_bigint::{mod_inverse, mod_mul, mod_pow, Ubig};
 use egka_energy::complexity::{JOIN_M1_BITS, JOIN_MNN_BITS, JOIN_MN_BITS, JOIN_M_NEW_BITS};
-use egka_energy::{CompOp, Meter, Scheme};
+use egka_energy::{CompOp, Meter, OpCounts, Scheme};
 use egka_hash::ChaChaRng;
-use egka_net::Medium;
 use egka_sig::{GqSecretKey, GqSignature};
 use rand::SeedableRng;
 
 use crate::dynamics::{open_key, seal_key};
 use crate::group::{GroupSession, MemberState};
 use crate::ident::UserId;
+use crate::machine::{Dest, Engine, Execution, Faults, Metered, Outgoing, Phase, PhaseOut, Pump};
 use crate::proposed::NodeReport;
 use crate::wire::{kind, Reader, Writer};
 
@@ -34,6 +41,454 @@ pub struct JoinOutcome {
     pub session: GroupSession,
     /// Per-node reports in new-ring order `[U_1, …, U_n, U_{n+1}]`.
     pub reports: Vec<NodeReport>,
+}
+
+struct NodeState {
+    params: Arc<Params>,
+    meter: Meter,
+    rng: ChaChaRng,
+    /// The old group key's symmetric material (old members; unused by the
+    /// newcomer, who has not seen `K`).
+    key_material: Vec<u8>,
+    u1_id: UserId,
+    un_id: UserId,
+    // Role outputs consumed by the wrapper's session assembly.
+    new_r1: Option<Ubig>,
+    z1_new: Option<Ubig>,
+    new_r: Option<Ubig>,
+    new_z: Option<Ubig>,
+    derived: Option<Ubig>,
+    // Cross-phase scratch.
+    k_star: Option<Ubig>,
+    k_dh: Option<Ubig>,
+}
+
+use crate::params::Params;
+
+impl Metered for NodeState {
+    fn meter(&self) -> &Meter {
+        &self.meter
+    }
+}
+
+/// Parses and signature-checks the newcomer's announcement (done
+/// independently by `U_1` and `U_n`). Returns the announced share.
+fn verify_announce(s: &mut NodeState, payload: &[u8]) -> Ubig {
+    let mut r = Reader::new(payload);
+    let id = r.get_id().expect("announce id");
+    let z = r.get_ubig().expect("announce z");
+    let sig_s = r.get_ubig().expect("announce sig s");
+    let sig_c = r.get_ubig().expect("announce sig c");
+    r.expect_end().expect("no trailing bytes");
+    let mut body = Writer::new();
+    body.put_id(id).put_ubig(&z);
+    let ok = s.params.gq.verify(
+        &id.to_bytes(),
+        &body.finish(),
+        &GqSignature { s: sig_s, c: sig_c },
+    );
+    s.meter.record(CompOp::SignVerify(Scheme::Gq));
+    assert!(ok, "newcomer announcement signature rejected");
+    z
+}
+
+/// Parses the sponsor's `m''_n = U_n ‖ E_K(K_DH‖U_n) ‖ z_n ‖ σ''_n`.
+fn read_sponsor(payload: &[u8], un_id: UserId) -> (Vec<u8>, Ubig, GqSignature) {
+    let mut r = Reader::new(payload);
+    let id = r.get_id().expect("sponsor id");
+    assert_eq!(id, un_id);
+    let sealed = r.get_bytes().expect("sponsor envelope").to_vec();
+    let zn = r.get_ubig().expect("sponsor z_n");
+    let s = r.get_ubig().expect("sponsor sig s");
+    let c = r.get_ubig().expect("sponsor sig c");
+    r.expect_end().expect("no trailing bytes");
+    (sealed, zn, GqSignature { s, c })
+}
+
+/// One in-flight Join: `newcomer` joins between `U_n` and `U_1`.
+pub struct JoinRun {
+    exec: Execution<NodeState>,
+    base: GroupSession,
+    newcomer: UserId,
+    newcomer_key: GqSecretKey,
+}
+
+impl JoinRun {
+    /// Prepares the run; see [`join`] for the protocol contract.
+    ///
+    /// # Panics
+    /// Panics if the session has fewer than 3 members.
+    pub fn new(
+        session: &GroupSession,
+        newcomer: UserId,
+        newcomer_key: &GqSecretKey,
+        seed: u64,
+        composable: bool,
+        faults: &Faults,
+    ) -> Self {
+        let n = session.n();
+        assert!(n >= 3, "Join distinguishes U_1, U_n and a bystander");
+        let params = Arc::new(session.params.clone());
+        let key_material = session.key_material();
+        let u1 = session.members[0].clone();
+        let un = session.members[n - 1].clone();
+        let newcomer_id = newcomer;
+        let nk = newcomer_key.clone();
+        let z2 = session.z_of(1).clone();
+        let zn = session.z_of(n - 1).clone();
+        let old_key = session.key.clone();
+
+        // Node order: existing ring 0..n-1, then the newcomer at n.
+        let mut ids = session.member_ids();
+        ids.push(newcomer);
+
+        let exec = Execution::new(&ids, faults, |i, net_ids| {
+            let state = NodeState {
+                params: Arc::clone(&params),
+                meter: Meter::new(),
+                rng: ChaChaRng::seed_from_u64(
+                    seed ^ (i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15),
+                ),
+                key_material: key_material.clone(),
+                u1_id: u1.id,
+                un_id: un.id,
+                new_r1: None,
+                z1_new: None,
+                new_r: None,
+                new_z: None,
+                derived: None,
+                k_star: None,
+                k_dh: None,
+            };
+            let phases = if i == n {
+                newcomer_phases(newcomer_id, nk.clone(), [net_ids[0], net_ids[n - 1]])
+            } else if i == 0 {
+                controller_phases(
+                    u1.clone(),
+                    z2.clone(),
+                    zn.clone(),
+                    old_key.clone(),
+                    composable,
+                    net_ids[1..n].to_vec(),
+                )
+            } else if i == n - 1 {
+                sponsor_phases(
+                    un.clone(),
+                    net_ids
+                        .iter()
+                        .enumerate()
+                        .filter(|&(j, _)| j != n - 1)
+                        .map(|(_, &e)| e)
+                        .collect(),
+                    net_ids[n],
+                )
+            } else {
+                bystander_phases()
+            };
+            Engine::new(state, phases)
+        });
+        JoinRun {
+            exec,
+            base: session.clone(),
+            newcomer,
+            newcomer_key: newcomer_key.clone(),
+        }
+    }
+
+    /// One non-blocking scheduling sweep.
+    pub fn pump(&mut self) -> Pump {
+        self.exec.pump()
+    }
+
+    /// True iff every participant derived the new key.
+    pub fn is_done(&self) -> bool {
+        self.exec.is_done()
+    }
+
+    /// Ops + traffic spent so far (aborted-attempt accounting).
+    pub fn partial_counts(&self) -> OpCounts {
+        self.exec.partial_counts()
+    }
+
+    /// Assembles the outcome.
+    ///
+    /// # Panics
+    /// Panics if the run is unfinished or keys diverged.
+    pub fn finish(self) -> JoinOutcome {
+        assert!(self.exec.is_done(), "finish() before the run completed");
+        let n = self.base.n();
+        let u1_state = self.exec.machine(0).state();
+        let new_key = u1_state.derived.clone().expect("controller derived");
+        for i in 0..=n {
+            assert_eq!(
+                self.exec.machine(i).state().derived.as_ref(),
+                Some(&new_key),
+                "post-join key diverged at node {i}"
+            );
+        }
+        let mut members = self.base.members.clone();
+        members[0].r = u1_state.new_r1.clone().expect("controller refreshed");
+        members[0].z = u1_state.z1_new.clone().expect("controller share");
+        let nc_state = self.exec.machine(n).state();
+        members.push(MemberState {
+            id: self.newcomer,
+            gq_key: self.newcomer_key.clone(),
+            r: nc_state.new_r.clone().expect("newcomer exponent"),
+            z: nc_state.new_z.clone().expect("newcomer share"),
+            // The newcomer has not yet committed a (τ, t); a fresh pair is
+            // produced on its first Leave/Partition round. Zero marks
+            // "none".
+            tau: Ubig::zero(),
+            t: Ubig::zero(),
+        });
+        let reports: Vec<NodeReport> = (0..=n)
+            .map(|i| NodeReport {
+                id: if i == n {
+                    self.newcomer
+                } else {
+                    self.base.members[i].id
+                },
+                key: new_key.clone(),
+                counts: self.exec.node_counts(i),
+            })
+            .collect();
+        JoinOutcome {
+            session: GroupSession {
+                params: self.base.params.clone(),
+                members,
+                key: new_key,
+            },
+            reports,
+        }
+    }
+}
+
+/// `U_{n+1}`: announce, authenticate the sponsor, open the handoff.
+fn newcomer_phases(
+    id: UserId,
+    gq_key: GqSecretKey,
+    announce_to: [egka_net::NodeId; 2],
+) -> Vec<Phase<NodeState>> {
+    vec![
+        Phase::immediate(move |s: &mut NodeState, _| {
+            let share = crate::bd::round1_share(&mut s.rng, &s.params.bd);
+            s.meter.record(CompOp::ModExp); // z_{n+1}
+            let mut body = Writer::new();
+            body.put_id(id).put_ubig(&share.z);
+            let sig = s.params.gq.sign(&mut s.rng, &gq_key, &body.finish());
+            s.meter.record(CompOp::SignGen(Scheme::Gq));
+            let mut w = Writer::new();
+            w.put_id(id)
+                .put_ubig(&share.z)
+                .put_ubig(&sig.s)
+                .put_ubig(&sig.c);
+            s.new_r = Some(share.r);
+            s.new_z = Some(share.z);
+            PhaseOut::Send(vec![Outgoing {
+                to: Dest::Multicast(announce_to.to_vec()),
+                kind: kind::JOIN_ANNOUNCE,
+                payload: w.finish(),
+                nominal_bits: JOIN_M_NEW_BITS,
+            }])
+        }),
+        Phase::gather(kind::JOIN_SPONSOR, 1, |s: &mut NodeState, pkts| {
+            let (sealed_kdh, zn_seen, sig) = read_sponsor(&pkts[0].payload, s.un_id);
+            // Verify σ''_n over exactly the bytes U_n signed: sealed ‖ z_n.
+            let mut signed = Writer::new();
+            signed.put_bytes(&sealed_kdh).put_ubig(&zn_seen);
+            let ok = s
+                .params
+                .gq
+                .verify(&s.un_id.to_bytes(), &signed.finish(), &sig);
+            s.meter.record(CompOp::SignVerify(Scheme::Gq));
+            assert!(ok, "sponsor signature rejected");
+            let r = s.new_r.as_ref().expect("announced");
+            let k_dh = mod_pow(&zn_seen, r, &s.params.bd.p);
+            s.meter.record(CompOp::ModExp);
+            s.k_dh = Some(k_dh);
+            PhaseOut::Send(Vec::new())
+        }),
+        Phase::gather(kind::JOIN_HANDOFF, 1, |s: &mut NodeState, pkts| {
+            let mut r = Reader::new(&pkts[0].payload);
+            let id = r.get_id().expect("handoff id");
+            assert_eq!(id, s.un_id);
+            let sealed = r.get_bytes().expect("handoff envelope");
+            let k_dh = s.k_dh.clone().expect("derived");
+            let (ks, _) = open_key(&k_dh.to_bytes_be(), sealed, s.un_id).expect("valid handoff");
+            s.meter.record(CompOp::SymDec);
+            let key = mod_mul(&ks, &k_dh, &s.params.bd.p);
+            s.derived = Some(key.clone());
+            PhaseOut::Done(key)
+        }),
+    ]
+}
+
+/// `U_1`: authenticate the announcement, refresh `r_1`, re-key the old
+/// group with `K*`, then read the sponsor's `K_DH`.
+fn controller_phases(
+    member: MemberState,
+    z2: Ubig,
+    zn: Ubig,
+    old_key: Ubig,
+    composable: bool,
+    old_group_minus_u1: Vec<egka_net::NodeId>,
+) -> Vec<Phase<NodeState>> {
+    vec![
+        Phase::gather(kind::JOIN_ANNOUNCE, 1, move |s: &mut NodeState, pkts| {
+            let z_new = verify_announce(s, &pkts[0].payload);
+            let r1p = loop {
+                let r = egka_bigint::random_below(&mut s.rng, &s.params.bd.q);
+                if !r.is_zero() {
+                    break r;
+                }
+            };
+            // K* = K · (z_2 · z_n)^{−r_1} · (z_2 · z_{n+1})^{r'_1}  (eq. 5)
+            let a = mod_mul(&z2, &zn, &s.params.bd.p);
+            let a_inv = mod_inverse(&a, &s.params.bd.p).expect("unit");
+            s.meter.record(CompOp::ModInv);
+            let term1 = mod_pow(&a_inv, &member.r, &s.params.bd.p);
+            s.meter.record(CompOp::ModExp);
+            let b = mod_mul(&z2, &z_new, &s.params.bd.p);
+            let term2 = mod_pow(&b, &r1p, &s.params.bd.p);
+            s.meter.record(CompOp::ModExp);
+            let ks = mod_mul(
+                &mod_mul(&old_key, &term1, &s.params.bd.p),
+                &term2,
+                &s.params.bd.p,
+            );
+            // Composable mode: also derive and ship z'_1 (one extra exp).
+            let z1p = if composable {
+                let z = mod_pow(&s.params.bd.g, &r1p, &s.params.bd.p);
+                s.meter.record(CompOp::ModExp);
+                Some(z)
+            } else {
+                None
+            };
+            let sealed = seal_key(&mut s.rng, &s.key_material, &ks, member.id, z1p.as_ref());
+            s.meter.record(CompOp::SymEnc);
+            let mut w = Writer::new();
+            w.put_id(member.id).put_bytes(&sealed);
+            let bits = JOIN_M1_BITS
+                + if composable {
+                    egka_energy::wire::Z_BITS
+                } else {
+                    0
+                };
+            s.z1_new = Some(z1p.unwrap_or_else(|| {
+                // Paper-exact mode: z'_1 exists mathematically but is never
+                // divulged; the omniscient session bookkeeping recomputes
+                // it un-metered (a real peer could not).
+                mod_pow(&s.params.bd.g, &r1p, &s.params.bd.p)
+            }));
+            s.new_r1 = Some(r1p);
+            s.k_star = Some(ks);
+            PhaseOut::Send(vec![Outgoing {
+                to: Dest::Multicast(old_group_minus_u1.clone()),
+                kind: kind::JOIN_CONTROLLER,
+                payload: w.finish(),
+                nominal_bits: bits,
+            }])
+        }),
+        Phase::gather(kind::JOIN_SPONSOR, 1, |s: &mut NodeState, pkts| {
+            let (sealed_kdh, _zn, _sig) = read_sponsor(&pkts[0].payload, s.un_id);
+            let (kdh, _) =
+                open_key(&s.key_material, &sealed_kdh, s.un_id).expect("valid K_DH envelope");
+            s.meter.record(CompOp::SymDec);
+            let key = mod_mul(s.k_star.as_ref().expect("computed"), &kdh, &s.params.bd.p);
+            s.derived = Some(key.clone());
+            PhaseOut::Done(key)
+        }),
+    ]
+}
+
+/// `U_n`: authenticate the announcement, bridge `K_DH`, relay `K*` to the
+/// newcomer under the DH key.
+fn sponsor_phases(
+    member: MemberState,
+    everyone_else: Vec<egka_net::NodeId>,
+    newcomer_ep: egka_net::NodeId,
+) -> Vec<Phase<NodeState>> {
+    vec![
+        Phase::gather(kind::JOIN_ANNOUNCE, 1, move |s: &mut NodeState, pkts| {
+            let z_new = verify_announce(s, &pkts[0].payload);
+            let k_dh = mod_pow(&z_new, &member.r, &s.params.bd.p);
+            s.meter.record(CompOp::ModExp);
+            let sealed = seal_key(&mut s.rng, &s.key_material, &k_dh, member.id, None);
+            s.meter.record(CompOp::SymEnc);
+            let mut body = Writer::new();
+            body.put_bytes(&sealed).put_ubig(&member.z);
+            let sig = s.params.gq.sign(&mut s.rng, &member.gq_key, &body.finish());
+            s.meter.record(CompOp::SignGen(Scheme::Gq));
+            let mut w = Writer::new();
+            w.put_id(member.id)
+                .put_bytes(&sealed)
+                .put_ubig(&member.z)
+                .put_ubig(&sig.s)
+                .put_ubig(&sig.c);
+            s.k_dh = Some(k_dh);
+            // Everyone but U_n itself needs this: the old group decrypts
+            // K_DH, the newcomer verifies σ''_n and reads z_n.
+            PhaseOut::Send(vec![Outgoing {
+                to: Dest::Multicast(everyone_else.clone()),
+                kind: kind::JOIN_SPONSOR,
+                payload: w.finish(),
+                nominal_bits: JOIN_MN_BITS,
+            }])
+        }),
+        Phase::gather(kind::JOIN_CONTROLLER, 1, move |s: &mut NodeState, pkts| {
+            let mut r = Reader::new(&pkts[0].payload);
+            let id = r.get_id().expect("controller id");
+            assert_eq!(id, s.u1_id);
+            let sealed = r.get_bytes().expect("controller envelope");
+            let (ks, _z1) = open_key(&s.key_material, sealed, s.u1_id).expect("valid K* envelope");
+            s.meter.record(CompOp::SymDec);
+            let dh_material = s.k_dh.as_ref().expect("bridged").to_bytes_be();
+            let sealed2 = seal_key(&mut s.rng, &dh_material, &ks, s.un_id, None);
+            s.meter.record(CompOp::SymEnc);
+            let mut w = Writer::new();
+            w.put_id(s.un_id).put_bytes(&sealed2);
+            s.k_star = Some(ks);
+            PhaseOut::Send(vec![Outgoing {
+                to: Dest::Unicast(newcomer_ep),
+                kind: kind::JOIN_HANDOFF,
+                payload: w.finish(),
+                nominal_bits: JOIN_MNN_BITS,
+            }])
+        }),
+        Phase::immediate(|s: &mut NodeState, _| {
+            let key = mod_mul(
+                s.k_star.as_ref().expect("opened"),
+                s.k_dh.as_ref().expect("bridged"),
+                &s.params.bd.p,
+            );
+            s.derived = Some(key.clone());
+            PhaseOut::Done(key)
+        }),
+    ]
+}
+
+/// `U_2 … U_{n-1}`: two decryptions, then the new key.
+fn bystander_phases() -> Vec<Phase<NodeState>> {
+    vec![
+        Phase::gather(kind::JOIN_CONTROLLER, 1, |s: &mut NodeState, pkts| {
+            let mut r = Reader::new(&pkts[0].payload);
+            let _ = r.get_id().expect("controller id");
+            let sealed = r.get_bytes().expect("controller envelope");
+            let (ks, _z1) = open_key(&s.key_material, sealed, s.u1_id).expect("valid K* envelope");
+            s.meter.record(CompOp::SymDec);
+            s.k_star = Some(ks);
+            PhaseOut::Send(Vec::new())
+        }),
+        Phase::gather(kind::JOIN_SPONSOR, 1, |s: &mut NodeState, pkts| {
+            let (sealed_kdh, _zn, _sig) = read_sponsor(&pkts[0].payload, s.un_id);
+            let (kdh, _) =
+                open_key(&s.key_material, &sealed_kdh, s.un_id).expect("valid K_DH envelope");
+            s.meter.record(CompOp::SymDec);
+            let key = mod_mul(s.k_star.as_ref().expect("opened"), &kdh, &s.params.bd.p);
+            s.derived = Some(key.clone());
+            PhaseOut::Done(key)
+        }),
+    ]
 }
 
 /// Runs the Join protocol: `newcomer` (with `newcomer_key`) joins
@@ -55,292 +510,20 @@ pub fn join(
     seed: u64,
     composable: bool,
 ) -> JoinOutcome {
-    let n = session.n();
-    assert!(n >= 3, "Join distinguishes U_1, U_n and a bystander");
-    let params = &session.params;
-    let key_material = session.key_material();
-
-    let medium = Medium::new();
-    // Endpoints 0..n-1: existing ring; endpoint n: the newcomer.
-    let eps: Vec<_> = (0..=n).map(|_| medium.join()).collect();
-    let meters: Vec<Meter> = (0..=n).map(|_| Meter::new()).collect();
-    let mut rngs: Vec<ChaChaRng> = (0..=n as u64)
-        .map(|i| ChaChaRng::seed_from_u64(seed ^ i.wrapping_mul(0x9e37_79b9_7f4a_7c15)))
-        .collect();
-
-    // ---- Round 1: the newcomer announces itself to U_1 and U_n ----
-    let (new_r, new_z);
-    {
-        let rng = &mut rngs[n];
-        let share = crate::bd::round1_share(rng, &params.bd);
-        meters[n].record(CompOp::ModExp); // z_{n+1}
-        let mut body = Writer::new();
-        body.put_id(newcomer).put_ubig(&share.z);
-        let sig = params.gq.sign(rng, newcomer_key, &body.finish());
-        meters[n].record(CompOp::SignGen(Scheme::Gq));
-        let mut w = Writer::new();
-        w.put_id(newcomer)
-            .put_ubig(&share.z)
-            .put_ubig(&sig.s)
-            .put_ubig(&sig.c);
-        eps[n].multicast(
-            &[eps[0].id(), eps[n - 1].id()],
-            kind::JOIN_ANNOUNCE,
-            w.finish(),
-            JOIN_M_NEW_BITS,
-        );
-        new_r = share.r;
-        new_z = share.z;
-    }
-
-    // Shared verification of σ_{n+1} (performed independently by U_1, U_n).
-    let verify_announce = |who: usize| -> (UserId, Ubig) {
-        let pkt = eps[who].recv_kind(kind::JOIN_ANNOUNCE);
-        let mut r = Reader::new(&pkt.payload);
-        let id = r.get_id().expect("announce id");
-        let z = r.get_ubig().expect("announce z");
-        let s = r.get_ubig().expect("announce sig s");
-        let c = r.get_ubig().expect("announce sig c");
-        r.expect_end().expect("no trailing bytes");
-        let mut body = Writer::new();
-        body.put_id(id).put_ubig(&z);
-        let ok = params
-            .gq
-            .verify(&id.to_bytes(), &body.finish(), &GqSignature { s, c });
-        meters[who].record(CompOp::SignVerify(Scheme::Gq));
-        assert!(ok, "newcomer announcement signature rejected");
-        (id, z)
-    };
-
-    // ---- Round 2 (1): U_1 refreshes r_1 and re-keys the old group ----
-    let u1 = &session.members[0];
-    let (_, z_new_seen_by_u1) = verify_announce(0);
-    let (new_r1, k_star, z1_new);
-    {
-        let rng = &mut rngs[0];
-        let r1p = loop {
-            let r = egka_bigint::random_below(rng, &params.bd.q);
-            if !r.is_zero() {
-                break r;
-            }
-        };
-        // K* = K · (z_2 · z_n)^{−r_1} · (z_2 · z_{n+1})^{r'_1}   (eq. (5))
-        let z2 = session.z_of(1);
-        let zn = session.z_of(n - 1);
-        let a = mod_mul(z2, zn, &params.bd.p);
-        let a_inv = mod_inverse(&a, &params.bd.p).expect("unit");
-        meters[0].record(CompOp::ModInv);
-        let term1 = mod_pow(&a_inv, &u1.r, &params.bd.p);
-        meters[0].record(CompOp::ModExp);
-        let b = mod_mul(z2, &z_new_seen_by_u1, &params.bd.p);
-        let term2 = mod_pow(&b, &r1p, &params.bd.p);
-        meters[0].record(CompOp::ModExp);
-        let ks = mod_mul(
-            &mod_mul(&session.key, &term1, &params.bd.p),
-            &term2,
-            &params.bd.p,
-        );
-        // Composable mode: also derive and ship z'_1 (one extra exp).
-        let z1p = if composable {
-            let z = mod_pow(&params.bd.g, &r1p, &params.bd.p);
-            meters[0].record(CompOp::ModExp);
-            Some(z)
-        } else {
-            None
-        };
-        let sealed = seal_key(rng, &key_material, &ks, u1.id, z1p.as_ref());
-        meters[0].record(CompOp::SymEnc);
-        let mut w = Writer::new();
-        w.put_id(u1.id).put_bytes(&sealed);
-        let old_group_minus_u1: Vec<_> = (1..n).map(|i| eps[i].id()).collect();
-        let bits = JOIN_M1_BITS
-            + if composable {
-                egka_energy::wire::Z_BITS
-            } else {
-                0
-            };
-        eps[0].multicast(&old_group_minus_u1, kind::JOIN_CONTROLLER, w.finish(), bits);
-        new_r1 = r1p;
-        k_star = ks;
-        z1_new = z1p.unwrap_or_else(|| {
-            // Paper-exact mode: z'_1 exists mathematically but is never
-            // divulged; the omniscient session bookkeeping below recomputes
-            // it un-metered (a real peer could not).
-            mod_pow(&params.bd.g, &new_r1, &params.bd.p)
-        });
-    }
-
-    // ---- Round 2 (2): U_n builds the DH bridge to the newcomer ----
-    let un = &session.members[n - 1];
-    let (_, z_new_seen_by_un) = verify_announce(n - 1);
-    let k_dh_at_un;
-    {
-        let rng = &mut rngs[n - 1];
-        let k_dh = mod_pow(&z_new_seen_by_un, &un.r, &params.bd.p);
-        meters[n - 1].record(CompOp::ModExp);
-        let sealed = seal_key(rng, &key_material, &k_dh, un.id, None);
-        meters[n - 1].record(CompOp::SymEnc);
-        let mut body = Writer::new();
-        body.put_bytes(&sealed).put_ubig(&un.z);
-        let sig = params.gq.sign(rng, &un.gq_key, &body.finish());
-        meters[n - 1].record(CompOp::SignGen(Scheme::Gq));
-        let mut w = Writer::new();
-        w.put_id(un.id)
-            .put_bytes(&sealed)
-            .put_ubig(&un.z)
-            .put_ubig(&sig.s)
-            .put_ubig(&sig.c);
-        // Everyone but U_n itself needs this: the old group decrypts K_DH,
-        // the newcomer verifies σ''_n and reads z_n.
-        let everyone_else: Vec<_> = (0..=n)
-            .filter(|&i| i != n - 1)
-            .map(|i| eps[i].id())
-            .collect();
-        eps[n - 1].multicast(&everyone_else, kind::JOIN_SPONSOR, w.finish(), JOIN_MN_BITS);
-        k_dh_at_un = k_dh;
-    }
-
-    // ---- Round 3 ----
-    // Each old-group member processes m'_1 and m''_n; U_n additionally
-    // hands K* to the newcomer under K_DH.
-    let read_sponsor = |who: usize| -> (Vec<u8>, Ubig, GqSignature) {
-        let pkt = eps[who].recv_kind(kind::JOIN_SPONSOR);
-        let mut r = Reader::new(&pkt.payload);
-        let id = r.get_id().expect("sponsor id");
-        assert_eq!(id, un.id);
-        let sealed = r.get_bytes().expect("sponsor envelope").to_vec();
-        let zn = r.get_ubig().expect("sponsor z_n");
-        let s = r.get_ubig().expect("sponsor sig s");
-        let c = r.get_ubig().expect("sponsor sig c");
-        r.expect_end().expect("no trailing bytes");
-        (sealed, zn, GqSignature { s, c })
-    };
-
-    // U_n: decrypt K* from m'_1, re-encrypt under K_DH, unicast.
-    {
-        let pkt = eps[n - 1].recv_kind(kind::JOIN_CONTROLLER);
-        let mut r = Reader::new(&pkt.payload);
-        let id = r.get_id().expect("controller id");
-        assert_eq!(id, u1.id);
-        let sealed = r.get_bytes().expect("controller envelope");
-        let (ks, _z1) = open_key(&key_material, sealed, u1.id).expect("valid K* envelope");
-        meters[n - 1].record(CompOp::SymDec);
-        assert_eq!(ks, k_star);
-        let rng = &mut rngs[n - 1];
-        let dh_material = k_dh_at_un.to_bytes_be();
-        let sealed2 = seal_key(rng, &dh_material, &ks, un.id, None);
-        meters[n - 1].record(CompOp::SymEnc);
-        let mut w = Writer::new();
-        w.put_id(un.id).put_bytes(&sealed2);
-        eps[n - 1].unicast(eps[n].id(), kind::JOIN_HANDOFF, w.finish(), JOIN_MNN_BITS);
-    }
-
-    // The newcomer: verify σ''_n, derive K_DH, open the handoff.
-    let new_key_at_newcomer;
-    {
-        let (sealed_kdh, zn_seen, sig) = read_sponsor(n);
-        let _ = sealed_kdh; // the newcomer cannot open E_K(·); it uses the handoff
-        let mut body = Writer::new();
-        body.put_bytes(&{
-            // reconstruct exactly what U_n signed: sealed ‖ z_n
-            let mut b = Writer::new();
-            b.put_bytes(&sealed_kdh).put_ubig(&zn_seen);
-            b.finish().to_vec()
-        });
-        // Verify over the same bytes U_n signed.
-        let mut signed = Writer::new();
-        signed.put_bytes(&sealed_kdh).put_ubig(&zn_seen);
-        let ok = params.gq.verify(&un.id.to_bytes(), &signed.finish(), &sig);
-        meters[n].record(CompOp::SignVerify(Scheme::Gq));
-        assert!(ok, "sponsor signature rejected");
-        let k_dh = mod_pow(&zn_seen, &new_r, &params.bd.p);
-        meters[n].record(CompOp::ModExp);
-        let pkt = eps[n].recv_kind(kind::JOIN_HANDOFF);
-        let mut r = Reader::new(&pkt.payload);
-        let id = r.get_id().expect("handoff id");
-        assert_eq!(id, un.id);
-        let sealed = r.get_bytes().expect("handoff envelope");
-        let (ks, _) = open_key(&k_dh.to_bytes_be(), sealed, un.id).expect("valid handoff");
-        meters[n].record(CompOp::SymDec);
-        new_key_at_newcomer = mod_mul(&ks, &k_dh, &params.bd.p);
-    }
-
-    // Bystanders U_2 … U_{n-1}: two decryptions, then the new key.
-    let mut bystander_keys = Vec::with_capacity(n.saturating_sub(2));
-    for i in 1..n - 1 {
-        let pkt = eps[i].recv_kind(kind::JOIN_CONTROLLER);
-        let mut r = Reader::new(&pkt.payload);
-        let _ = r.get_id().expect("controller id");
-        let sealed = r.get_bytes().expect("controller envelope");
-        let (ks, _z1) = open_key(&key_material, sealed, u1.id).expect("valid K* envelope");
-        meters[i].record(CompOp::SymDec);
-        let (sealed_kdh, _zn, _sig) = read_sponsor(i);
-        let (kdh, _) = open_key(&key_material, &sealed_kdh, un.id).expect("valid K_DH envelope");
-        meters[i].record(CompOp::SymDec);
-        bystander_keys.push(mod_mul(&ks, &kdh, &params.bd.p));
-    }
-
-    // U_1: read m''_n, decrypt K_DH, compute the new key.
-    let new_key_at_u1 = {
-        let (sealed_kdh, _zn, _sig) = read_sponsor(0);
-        let (kdh, _) = open_key(&key_material, &sealed_kdh, un.id).expect("valid K_DH envelope");
-        meters[0].record(CompOp::SymDec);
-        mod_mul(&k_star, &kdh, &params.bd.p)
-    };
-    // U_n already holds both K* and K_DH.
-    let new_key_at_un = mod_mul(&k_star, &k_dh_at_un, &params.bd.p);
-
-    // ---- Assemble outcome ----
-    let mut members = session.members.clone();
-    members[0].r = new_r1;
-    members[0].z = z1_new;
-    members.push(MemberState {
-        id: newcomer,
-        gq_key: newcomer_key.clone(),
-        r: new_r,
-        z: new_z,
-        // The newcomer has not yet committed a (τ, t); a fresh pair is
-        // produced on its first Leave/Partition round. Zero marks "none".
-        tau: Ubig::zero(),
-        t: Ubig::zero(),
-    });
-    let new_key = new_key_at_u1;
-    assert_eq!(new_key, new_key_at_un, "U_n key diverged");
-    assert_eq!(new_key, new_key_at_newcomer, "newcomer key diverged");
-    for (i, k) in bystander_keys.iter().enumerate() {
-        assert_eq!(&new_key, k, "bystander U_{} key diverged", i + 2);
-    }
-
-    let reports: Vec<NodeReport> = (0..=n)
-        .map(|i| {
-            let mut counts = meters[i].snapshot();
-            let stats = medium.stats(eps[i].id());
-            counts.tx_bits = stats.tx_bits;
-            counts.rx_bits = stats.rx_bits;
-            counts.tx_bits_actual = stats.tx_bits_actual;
-            counts.rx_bits_actual = stats.rx_bits_actual;
-            counts.msgs_tx = stats.msgs_tx;
-            counts.msgs_rx = stats.msgs_rx;
-            NodeReport {
-                id: if i == n {
-                    newcomer
-                } else {
-                    session.members[i].id
-                },
-                key: new_key.clone(),
-                counts,
-            }
-        })
-        .collect();
-
-    let session_out = GroupSession {
-        params: params.clone(),
-        members,
-        key: new_key,
-    };
-    JoinOutcome {
-        session: session_out,
-        reports,
+    let mut run = JoinRun::new(
+        session,
+        newcomer,
+        newcomer_key,
+        seed,
+        composable,
+        &Faults::none(),
+    );
+    loop {
+        match run.pump() {
+            Pump::Done => return run.finish(),
+            Pump::Progressed => {}
+            other => panic!("join cannot {other:?} on a reliable medium"),
+        }
     }
 }
 

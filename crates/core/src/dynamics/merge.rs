@@ -14,17 +14,24 @@
 //! controllers' DH key), so that every member of the merged ring computes
 //! `K' = K*_A · K*_B` (eq. (9)). Only the two controllers exponentiate
 //! (4 each); all bystanders just decrypt twice.
+//!
+//! Controllers and bystanders are sans-IO round machines; [`MergeRun`] is
+//! the pumpable execution, [`merge`]/[`merge_many`] the blocking wrappers.
+
+use std::sync::Arc;
 
 use egka_bigint::{mod_inverse, mod_mul, mod_pow, Ubig};
 use egka_energy::complexity::{MERGE_R1_BITS, MERGE_R2_BITS, MERGE_R3_BITS};
-use egka_energy::{CompOp, Meter, Scheme};
+use egka_energy::{CompOp, Meter, OpCounts, Scheme};
 use egka_hash::ChaChaRng;
-use egka_net::Medium;
 use egka_sig::GqSignature;
 use rand::SeedableRng;
 
 use crate::dynamics::{open_key, seal_key};
 use crate::group::{GroupSession, MemberState};
+use crate::ident::UserId;
+use crate::machine::{Dest, Engine, Execution, Faults, Metered, Outgoing, Phase, PhaseOut, Pump};
+use crate::params::Params;
 use crate::proposed::NodeReport;
 use crate::wire::{kind, Reader, Writer};
 
@@ -38,289 +45,407 @@ pub struct MergeOutcome {
     pub reports: Vec<NodeReport>,
 }
 
+struct NodeState {
+    params: Arc<Params>,
+    meter: Meter,
+    rng: ChaChaRng,
+    /// Own group's old-key symmetric material.
+    km: Vec<u8>,
+    derived: Option<Ubig>,
+    // Controller scratch/outputs.
+    r_new: Option<Ubig>,
+    z_new: Option<Ubig>,
+    k_dh: Option<Ubig>,
+    k_star: Option<Ubig>,
+    // Bystander scratch.
+    own_half: Option<Ubig>,
+}
+
+impl Metered for NodeState {
+    fn meter(&self) -> &Meter {
+        &self.meter
+    }
+}
+
+/// Which side of eq. (7)/(8) a controller computes.
+struct CtrlSpec {
+    member: MemberState,
+    /// Own group's current key (`K_A` / `K_B`).
+    group_key: Ubig,
+    /// The peer controller's identity.
+    peer_id: UserId,
+    /// `z_2` for A; `z_{n+2}` for B (own group's second member).
+    z_second: Ubig,
+    /// `z_n` for A; `z_{n+m}` for B (own group's edge share).
+    z_edge: Ubig,
+    /// True for group A's `U_1` (decides the eq. (7) vs (8) shape).
+    is_a: bool,
+}
+
+fn controller_phases(
+    spec: CtrlSpec,
+    peer_ctrl: egka_net::NodeId,
+    r2_targets: Vec<egka_net::NodeId>,
+    r3_targets: Vec<egka_net::NodeId>,
+) -> Vec<Phase<NodeState>> {
+    let CtrlSpec {
+        member,
+        group_key,
+        peer_id,
+        z_second,
+        z_edge,
+        is_a,
+    } = spec;
+    let member2 = member.clone();
+    let own_id = member.id;
+    let edge_for_announce = z_edge.clone();
+    vec![
+        // ---- Round 1: refresh and announce to the peer controller ----
+        // m'_1 = U_1 ‖ z̃_1 ‖ z_n ‖ σ'_1  (symmetric for B).
+        Phase::immediate(move |s: &mut NodeState, _| {
+            let r_new = loop {
+                let r = egka_bigint::random_below(&mut s.rng, &s.params.bd.q);
+                if !r.is_zero() {
+                    break r;
+                }
+            };
+            let z_new = mod_pow(&s.params.bd.g, &r_new, &s.params.bd.p);
+            s.meter.record(CompOp::ModExp);
+            let mut body = Writer::new();
+            body.put_id(member.id)
+                .put_ubig(&z_new)
+                .put_ubig(&edge_for_announce);
+            let sig = s.params.gq.sign(&mut s.rng, &member.gq_key, &body.finish());
+            s.meter.record(CompOp::SignGen(Scheme::Gq));
+            let mut w = Writer::new();
+            w.put_id(member.id)
+                .put_ubig(&z_new)
+                .put_ubig(&edge_for_announce)
+                .put_ubig(&sig.s)
+                .put_ubig(&sig.c);
+            s.r_new = Some(r_new);
+            s.z_new = Some(z_new);
+            PhaseOut::Send(vec![Outgoing {
+                to: Dest::Multicast(vec![peer_ctrl]),
+                kind: kind::MERGE_R1,
+                payload: w.finish(),
+                nominal_bits: MERGE_R1_BITS,
+            }])
+        }),
+        // ---- Round 2: verify peer, derive DH, compute the half-key ----
+        Phase::gather(kind::MERGE_R1, 1, move |s: &mut NodeState, pkts| {
+            let mut r = Reader::new(&pkts[0].payload);
+            let id = r.get_id().expect("r1 id");
+            let z_peer = r.get_ubig().expect("r1 z~");
+            let edge_peer = r.get_ubig().expect("r1 edge z");
+            let sig_s = r.get_ubig().expect("r1 sig s");
+            let sig_c = r.get_ubig().expect("r1 sig c");
+            r.expect_end().expect("no trailing bytes");
+            let mut body = Writer::new();
+            body.put_id(id).put_ubig(&z_peer).put_ubig(&edge_peer);
+            let ok = s.params.gq.verify(
+                &id.to_bytes(),
+                &body.finish(),
+                &GqSignature { s: sig_s, c: sig_c },
+            );
+            s.meter.record(CompOp::SignVerify(Scheme::Gq));
+            assert!(ok, "merge round-1 signature rejected");
+            let r_new = s.r_new.as_ref().expect("refreshed");
+            let k_dh = mod_pow(&z_peer, r_new, &s.params.bd.p);
+            s.meter.record(CompOp::ModExp);
+            let p = &s.params.bd.p;
+            let half = if is_a {
+                // K*_A = K_A · (z_2 z_n)^{−r_1} · (z_2 z_{n+m})^{r'_1}
+                let t1_base = mod_inverse(&mod_mul(&z_second, &z_edge, p), p).expect("unit");
+                s.meter.record(CompOp::ModInv);
+                let t1 = mod_pow(&t1_base, &member2.r, p);
+                s.meter.record(CompOp::ModExp);
+                let t2 = mod_pow(&mod_mul(&z_second, &edge_peer, p), r_new, p);
+                s.meter.record(CompOp::ModExp);
+                mod_mul(&mod_mul(&group_key, &t1, p), &t2, p)
+            } else {
+                // K*_B = K_B · (z_n z_{n+2})^{r'_{n+1}} · (z_{n+2} z_{n+m})^{−r_{n+1}}
+                let t1 = mod_pow(&mod_mul(&edge_peer, &z_second, p), r_new, p);
+                s.meter.record(CompOp::ModExp);
+                let t2_base = mod_inverse(&mod_mul(&z_second, &z_edge, p), p).expect("unit");
+                s.meter.record(CompOp::ModInv);
+                let t2 = mod_pow(&t2_base, &member2.r, p);
+                s.meter.record(CompOp::ModExp);
+                mod_mul(&mod_mul(&group_key, &t1, p), &t2, p)
+            };
+            // Seal the half-key under the group key and under the DH key.
+            let env_group = seal_key(&mut s.rng, &s.km, &half, member2.id, None);
+            s.meter.record(CompOp::SymEnc);
+            let env_dh = seal_key(&mut s.rng, &k_dh.to_bytes_be(), &half, member2.id, None);
+            s.meter.record(CompOp::SymEnc);
+            let mut w = Writer::new();
+            w.put_id(member2.id)
+                .put_bytes(&env_group)
+                .put_bytes(&env_dh);
+            s.k_dh = Some(k_dh);
+            s.k_star = Some(half);
+            // Own bystanders + the peer controller.
+            PhaseOut::Send(vec![Outgoing {
+                to: Dest::Multicast(r2_targets.clone()),
+                kind: kind::MERGE_R2,
+                payload: w.finish(),
+                nominal_bits: MERGE_R2_BITS,
+            }])
+        }),
+        // ---- Round 3: re-export the peer half-key to the own group ----
+        Phase::gather(kind::MERGE_R2, 1, move |s: &mut NodeState, pkts| {
+            let mut r = Reader::new(&pkts[0].payload);
+            let id = r.get_id().expect("r2 id");
+            assert_eq!(id, peer_id);
+            let _env_group = r.get_bytes().expect("r2 group envelope");
+            let env_dh = r.get_bytes().expect("r2 dh envelope").to_vec();
+            r.expect_end().expect("no trailing bytes");
+            let dh_material = s.k_dh.as_ref().expect("derived").to_bytes_be();
+            let (peer_half, _) =
+                open_key(&dh_material, &env_dh, peer_id).expect("valid DH envelope");
+            s.meter.record(CompOp::SymDec);
+            let env = seal_key(&mut s.rng, &s.km, &peer_half, own_id, None);
+            s.meter.record(CompOp::SymEnc);
+            let mut w = Writer::new();
+            w.put_id(own_id).put_bytes(&env);
+            s.own_half = Some(peer_half);
+            PhaseOut::Send(vec![Outgoing {
+                to: Dest::Multicast(r3_targets.clone()),
+                kind: kind::MERGE_R3,
+                payload: w.finish(),
+                nominal_bits: MERGE_R3_BITS,
+            }])
+        }),
+        Phase::immediate(|s: &mut NodeState, _| {
+            let key = mod_mul(
+                s.k_star.as_ref().expect("own half"),
+                s.own_half.as_ref().expect("peer half"),
+                &s.params.bd.p,
+            );
+            s.derived = Some(key.clone());
+            PhaseOut::Done(key)
+        }),
+    ]
+}
+
+fn bystander_phases(ctrl_id: UserId) -> Vec<Phase<NodeState>> {
+    vec![
+        // Own controller's R2: open own half (the DH envelope is not for
+        // bystanders).
+        Phase::gather(kind::MERGE_R2, 1, move |s: &mut NodeState, pkts| {
+            let mut r = Reader::new(&pkts[0].payload);
+            let id = r.get_id().expect("r2 id");
+            assert_eq!(id, ctrl_id);
+            let env_group = r.get_bytes().expect("r2 group envelope");
+            let (own_half, _) = open_key(&s.km, env_group, ctrl_id).expect("valid envelope");
+            s.meter.record(CompOp::SymDec);
+            let _env_dh = r.get_bytes().expect("r2 dh envelope");
+            r.expect_end().expect("no trailing bytes");
+            s.own_half = Some(own_half);
+            PhaseOut::Send(Vec::new())
+        }),
+        Phase::gather(kind::MERGE_R3, 1, move |s: &mut NodeState, pkts| {
+            let mut r3 = Reader::new(&pkts[0].payload);
+            let id3 = r3.get_id().expect("r3 id");
+            assert_eq!(id3, ctrl_id);
+            let env3 = r3.get_bytes().expect("r3 envelope");
+            let (peer_half, _) = open_key(&s.km, env3, ctrl_id).expect("valid envelope");
+            s.meter.record(CompOp::SymDec);
+            let key = mod_mul(
+                s.own_half.as_ref().expect("own half"),
+                &peer_half,
+                &s.params.bd.p,
+            );
+            s.derived = Some(key.clone());
+            PhaseOut::Done(key)
+        }),
+    ]
+}
+
+/// One in-flight Merge of two groups.
+pub struct MergeRun {
+    exec: Execution<NodeState>,
+    a: GroupSession,
+    b: GroupSession,
+}
+
+impl MergeRun {
+    /// Prepares a merge of `a` and `b` (same PKG).
+    ///
+    /// # Panics
+    /// As [`merge`].
+    pub fn new(a: &GroupSession, b: &GroupSession, seed: u64, faults: &Faults) -> Self {
+        assert_eq!(
+            a.params.bd.p, b.params.bd.p,
+            "groups must share the BD group"
+        );
+        assert_eq!(a.params.gq.n, b.params.gq.n, "groups must share the PKG");
+        let n = a.n();
+        let m = b.n();
+        assert!(n >= 2 && m >= 2, "merge needs two non-trivial groups");
+        let params = Arc::new(a.params.clone());
+        let ka_material = a.key_material();
+        let kb_material = b.key_material();
+        let u1 = a.members[0].clone();
+        let un1 = b.members[0].clone();
+
+        // Node order: group A (0..n), then group B (n..n+m).
+        let mut ids = a.member_ids();
+        ids.extend(b.member_ids());
+
+        let exec = Execution::new(&ids, faults, |i, net_ids| {
+            let in_a = i < n;
+            let state = NodeState {
+                params: Arc::clone(&params),
+                meter: Meter::new(),
+                rng: if i == 0 {
+                    ChaChaRng::seed_from_u64(seed ^ 0xa)
+                } else if i == n {
+                    ChaChaRng::seed_from_u64(seed ^ 0xb)
+                } else {
+                    // Bystanders never draw randomness.
+                    ChaChaRng::seed_from_u64(seed ^ 0xdead ^ i as u64)
+                },
+                km: if in_a {
+                    ka_material.clone()
+                } else {
+                    kb_material.clone()
+                },
+                derived: None,
+                r_new: None,
+                z_new: None,
+                k_dh: None,
+                k_star: None,
+                own_half: None,
+            };
+            let phases = if i == 0 {
+                controller_phases(
+                    CtrlSpec {
+                        member: u1.clone(),
+                        group_key: a.key.clone(),
+                        peer_id: un1.id,
+                        z_second: a.z_of(1).clone(),
+                        z_edge: a.z_of(n - 1).clone(),
+                        is_a: true,
+                    },
+                    net_ids[n],
+                    // A's bystanders + the peer controller.
+                    (1..n).map(|j| net_ids[j]).chain([net_ids[n]]).collect(),
+                    (1..n).map(|j| net_ids[j]).collect(),
+                )
+            } else if i == n {
+                controller_phases(
+                    CtrlSpec {
+                        member: un1.clone(),
+                        group_key: b.key.clone(),
+                        peer_id: u1.id,
+                        z_second: b.z_of(1).clone(),
+                        z_edge: b.z_of(m - 1).clone(),
+                        is_a: false,
+                    },
+                    net_ids[0],
+                    (n + 1..n + m)
+                        .map(|j| net_ids[j])
+                        .chain([net_ids[0]])
+                        .collect(),
+                    (n + 1..n + m).map(|j| net_ids[j]).collect(),
+                )
+            } else if in_a {
+                bystander_phases(u1.id)
+            } else {
+                bystander_phases(un1.id)
+            };
+            Engine::new(state, phases)
+        });
+        MergeRun {
+            exec,
+            a: a.clone(),
+            b: b.clone(),
+        }
+    }
+
+    /// One non-blocking scheduling sweep.
+    pub fn pump(&mut self) -> Pump {
+        self.exec.pump()
+    }
+
+    /// True iff every member of both rings derived the merged key.
+    pub fn is_done(&self) -> bool {
+        self.exec.is_done()
+    }
+
+    /// Ops + traffic spent so far (aborted-attempt accounting).
+    pub fn partial_counts(&self) -> OpCounts {
+        self.exec.partial_counts()
+    }
+
+    /// Assembles the outcome.
+    ///
+    /// # Panics
+    /// Panics if the run is unfinished or keys diverged.
+    pub fn finish(self) -> MergeOutcome {
+        assert!(self.exec.is_done(), "finish() before the run completed");
+        let n = self.a.n();
+        let m = self.b.n();
+        let ctrl_a = self.exec.machine(0).state();
+        let ctrl_b = self.exec.machine(n).state();
+        assert_eq!(ctrl_a.k_dh, ctrl_b.k_dh, "controllers' DH keys must match");
+        let new_key = ctrl_a.derived.clone().expect("controller derived");
+        for i in 0..n + m {
+            assert_eq!(
+                self.exec.machine(i).state().derived.as_ref(),
+                Some(&new_key),
+                "merged key diverged at position {i}"
+            );
+        }
+        let mut members = Vec::with_capacity(n + m);
+        for (pos, src) in self.a.members.iter().enumerate() {
+            let mut mstate = src.clone();
+            if pos == 0 {
+                mstate.r = ctrl_a.r_new.clone().expect("refreshed");
+                mstate.z = ctrl_a.z_new.clone().expect("refreshed");
+            }
+            members.push(mstate);
+        }
+        for (pos, src) in self.b.members.iter().enumerate() {
+            let mut mstate = src.clone();
+            if pos == 0 {
+                mstate.r = ctrl_b.r_new.clone().expect("refreshed");
+                mstate.z = ctrl_b.z_new.clone().expect("refreshed");
+            }
+            members.push(mstate);
+        }
+        let reports: Vec<NodeReport> = (0..n + m)
+            .map(|i| NodeReport {
+                id: members[i].id,
+                key: new_key.clone(),
+                counts: self.exec.node_counts(i),
+            })
+            .collect();
+        MergeOutcome {
+            session: GroupSession {
+                params: self.a.params.clone(),
+                members,
+                key: new_key,
+            },
+            reports,
+        }
+    }
+}
+
 /// Merges `a` and `b` (which must share parameters — same PKG).
 ///
 /// # Panics
 /// Panics if the parameter sets differ, either group has fewer than 2
 /// members, or any signature/envelope check fails.
 pub fn merge(a: &GroupSession, b: &GroupSession, seed: u64) -> MergeOutcome {
-    assert_eq!(
-        a.params.bd.p, b.params.bd.p,
-        "groups must share the BD group"
-    );
-    assert_eq!(a.params.gq.n, b.params.gq.n, "groups must share the PKG");
-    let n = a.n();
-    let m = b.n();
-    assert!(n >= 2 && m >= 2, "merge needs two non-trivial groups");
-    let params = &a.params;
-    let ka_material = a.key_material();
-    let kb_material = b.key_material();
-
-    let medium = Medium::new();
-    // Endpoints: 0..n-1 = group A, n..n+m-1 = group B.
-    let eps: Vec<_> = (0..n + m).map(|_| medium.join()).collect();
-    let meters: Vec<Meter> = (0..n + m).map(|_| Meter::new()).collect();
-    let mut rng_a = ChaChaRng::seed_from_u64(seed ^ 0xa);
-    let mut rng_b = ChaChaRng::seed_from_u64(seed ^ 0xb);
-
-    let u1 = &a.members[0];
-    let un1 = &b.members[0];
-
-    // ---- Round 1: both controllers refresh and announce ----
-    // m'_1 = U_1 ‖ z̃_1 ‖ z_n ‖ σ'_1 → U_{n+1};   symmetric for B.
-    let round1 = |ctrl: &MemberState,
-                  edge_z: &Ubig,
-                  rng: &mut ChaChaRng,
-                  meter: &Meter|
-     -> (Ubig, Ubig, Vec<u8>) {
-        let r_new = loop {
-            let r = egka_bigint::random_below(rng, &params.bd.q);
-            if !r.is_zero() {
-                break r;
-            }
-        };
-        let z_new = mod_pow(&params.bd.g, &r_new, &params.bd.p);
-        meter.record(CompOp::ModExp);
-        let mut body = Writer::new();
-        body.put_id(ctrl.id).put_ubig(&z_new).put_ubig(edge_z);
-        let sig = params.gq.sign(rng, &ctrl.gq_key, &body.finish());
-        meter.record(CompOp::SignGen(Scheme::Gq));
-        let mut w = Writer::new();
-        w.put_id(ctrl.id)
-            .put_ubig(&z_new)
-            .put_ubig(edge_z)
-            .put_ubig(&sig.s)
-            .put_ubig(&sig.c);
-        (r_new, z_new, w.finish().to_vec())
-    };
-    let (r1_new, z1_new, m1) = round1(u1, a.z_of(n - 1), &mut rng_a, &meters[0]);
-    let (rn1_new, zn1_new, mn1) = round1(un1, b.z_of(m - 1), &mut rng_b, &meters[n]);
-    eps[0].multicast(&[eps[n].id()], kind::MERGE_R1, m1.into(), MERGE_R1_BITS);
-    eps[n].multicast(&[eps[0].id()], kind::MERGE_R1, mn1.into(), MERGE_R1_BITS);
-
-    // ---- Round 2: verify peer, derive DH, compute half-keys ----
-    let read_r1 = |who: usize, meter: &Meter| -> (Ubig, Ubig) {
-        let pkt = eps[who].recv_kind(kind::MERGE_R1);
-        let mut r = Reader::new(&pkt.payload);
-        let id = r.get_id().expect("r1 id");
-        let z_new = r.get_ubig().expect("r1 z~");
-        let edge = r.get_ubig().expect("r1 edge z");
-        let s = r.get_ubig().expect("r1 sig s");
-        let c = r.get_ubig().expect("r1 sig c");
-        r.expect_end().expect("no trailing bytes");
-        let mut body = Writer::new();
-        body.put_id(id).put_ubig(&z_new).put_ubig(&edge);
-        let ok = params
-            .gq
-            .verify(&id.to_bytes(), &body.finish(), &GqSignature { s, c });
-        meter.record(CompOp::SignVerify(Scheme::Gq));
-        assert!(ok, "merge round-1 signature rejected");
-        (z_new, edge)
-    };
-
-    // U_1's view.
-    let (zn1_seen, edge_b) = read_r1(0, &meters[0]); // z̃_{n+1}, z_{n+m}
-    let k_dh_a = mod_pow(&zn1_seen, &r1_new, &params.bd.p);
-    meters[0].record(CompOp::ModExp);
-    // K*_A = K_A · (z_2 z_n)^{−r_1} · (z_2 z_{n+m})^{r'_1}
-    let k_star_a = {
-        let z2 = a.z_of(1);
-        let zn = a.z_of(n - 1);
-        let t1_base = mod_inverse(&mod_mul(z2, zn, &params.bd.p), &params.bd.p).expect("unit");
-        meters[0].record(CompOp::ModInv);
-        let t1 = mod_pow(&t1_base, &u1.r, &params.bd.p);
-        meters[0].record(CompOp::ModExp);
-        let t2 = mod_pow(&mod_mul(z2, &edge_b, &params.bd.p), &r1_new, &params.bd.p);
-        meters[0].record(CompOp::ModExp);
-        mod_mul(&mod_mul(&a.key, &t1, &params.bd.p), &t2, &params.bd.p)
-    };
-
-    // U_{n+1}'s view.
-    let (z1_seen, edge_a) = read_r1(n, &meters[n]); // z̃_1, z_n
-    let k_dh_b = mod_pow(&z1_seen, &rn1_new, &params.bd.p);
-    meters[n].record(CompOp::ModExp);
-    assert_eq!(k_dh_a, k_dh_b, "controllers' DH keys must match");
-    // K*_B = K_B · (z_n z_{n+2})^{r'_{n+1}} · (z_{n+2} z_{n+m})^{−r_{n+1}}
-    let k_star_b = {
-        let zn2 = b.z_of(1); // z_{n+2}: group B's second member
-        let znm = b.z_of(m - 1); // z_{n+m}
-        let t1 = mod_pow(&mod_mul(&edge_a, zn2, &params.bd.p), &rn1_new, &params.bd.p);
-        meters[n].record(CompOp::ModExp);
-        let t2_base = mod_inverse(&mod_mul(zn2, znm, &params.bd.p), &params.bd.p).expect("unit");
-        meters[n].record(CompOp::ModInv);
-        let t2 = mod_pow(&t2_base, &un1.r, &params.bd.p);
-        meters[n].record(CompOp::ModExp);
-        mod_mul(&mod_mul(&b.key, &t1, &params.bd.p), &t2, &params.bd.p)
-    };
-
-    // Round-2 broadcasts: each controller seals its half-key under its
-    // group key and under the DH key.
-    let dh_material = k_dh_a.to_bytes_be();
-    let send_r2 = |who: usize,
-                   ctrl_id: crate::ident::UserId,
-                   half: &Ubig,
-                   group_material: &[u8],
-                   targets: &[egka_net::NodeId],
-                   rng: &mut ChaChaRng,
-                   meter: &Meter| {
-        let env_group = seal_key(rng, group_material, half, ctrl_id, None);
-        meter.record(CompOp::SymEnc);
-        let env_dh = seal_key(rng, &dh_material, half, ctrl_id, None);
-        meter.record(CompOp::SymEnc);
-        let mut w = Writer::new();
-        w.put_id(ctrl_id).put_bytes(&env_group).put_bytes(&env_dh);
-        eps[who].multicast(targets, kind::MERGE_R2, w.finish(), MERGE_R2_BITS);
-    };
-    // A's bystanders + the peer controller.
-    let a_targets: Vec<_> = (1..n).map(|i| eps[i].id()).chain([eps[n].id()]).collect();
-    send_r2(
-        0,
-        u1.id,
-        &k_star_a,
-        &ka_material,
-        &a_targets,
-        &mut rng_a,
-        &meters[0],
-    );
-    let b_targets: Vec<_> = (n + 1..n + m)
-        .map(|i| eps[i].id())
-        .chain([eps[0].id()])
-        .collect();
-    send_r2(
-        n,
-        un1.id,
-        &k_star_b,
-        &kb_material,
-        &b_targets,
-        &mut rng_b,
-        &meters[n],
-    );
-
-    // ---- Round 3: controllers re-export the peer half-key to their group ----
-    let relay = |who: usize,
-                 ctrl_id: crate::ident::UserId,
-                 peer_id: crate::ident::UserId,
-                 group_material: &[u8],
-                 targets: &[egka_net::NodeId],
-                 rng: &mut ChaChaRng,
-                 meter: &Meter|
-     -> Ubig {
-        let pkt = eps[who].recv_kind(kind::MERGE_R2);
-        let mut r = Reader::new(&pkt.payload);
-        let id = r.get_id().expect("r2 id");
-        assert_eq!(id, peer_id);
-        let _env_group = r.get_bytes().expect("r2 group envelope");
-        let env_dh = r.get_bytes().expect("r2 dh envelope").to_vec();
-        r.expect_end().expect("no trailing bytes");
-        let (peer_half, _) = open_key(&dh_material, &env_dh, peer_id).expect("valid DH envelope");
-        meter.record(CompOp::SymDec);
-        let env = seal_key(rng, group_material, &peer_half, ctrl_id, None);
-        meter.record(CompOp::SymEnc);
-        let mut w = Writer::new();
-        w.put_id(ctrl_id).put_bytes(&env);
-        eps[who].multicast(targets, kind::MERGE_R3, w.finish(), MERGE_R3_BITS);
-        peer_half
-    };
-    let a_bystanders: Vec<_> = (1..n).map(|i| eps[i].id()).collect();
-    let b_bystanders: Vec<_> = (n + 1..n + m).map(|i| eps[i].id()).collect();
-    let k_star_b_at_u1 = relay(
-        0,
-        u1.id,
-        un1.id,
-        &ka_material,
-        &a_bystanders,
-        &mut rng_a,
-        &meters[0],
-    );
-    let k_star_a_at_un1 = relay(
-        n,
-        un1.id,
-        u1.id,
-        &kb_material,
-        &b_bystanders,
-        &mut rng_b,
-        &meters[n],
-    );
-    assert_eq!(k_star_b_at_u1, k_star_b);
-    assert_eq!(k_star_a_at_un1, k_star_a);
-
-    // ---- Key computation ----
-    let new_key = mod_mul(&k_star_a, &k_star_b, &params.bd.p);
-    // Bystanders: open their controller's R2 (own half) and R3 (peer half).
-    let open_bystander =
-        |who: usize, ctrl_id: crate::ident::UserId, group_material: &[u8], meter: &Meter| -> Ubig {
-            let pkt = eps[who].recv_kind(kind::MERGE_R2);
-            let mut r = Reader::new(&pkt.payload);
-            let id = r.get_id().expect("r2 id");
-            assert_eq!(id, ctrl_id);
-            let env_group = r.get_bytes().expect("r2 group envelope");
-            let (own_half, _) =
-                open_key(group_material, env_group, ctrl_id).expect("valid envelope");
-            meter.record(CompOp::SymDec);
-            let _env_dh = r.get_bytes().expect("r2 dh envelope");
-            r.expect_end().expect("no trailing bytes");
-            let pkt3 = eps[who].recv_kind(kind::MERGE_R3);
-            let mut r3 = Reader::new(&pkt3.payload);
-            let id3 = r3.get_id().expect("r3 id");
-            assert_eq!(id3, ctrl_id);
-            let env3 = r3.get_bytes().expect("r3 envelope");
-            let (peer_half, _) = open_key(group_material, env3, ctrl_id).expect("valid envelope");
-            meter.record(CompOp::SymDec);
-            mod_mul(&own_half, &peer_half, &params.bd.p)
-        };
-    #[allow(clippy::needless_range_loop)] // i indexes eps and meters in lockstep
-    for i in 1..n {
-        let k = open_bystander(i, u1.id, &ka_material, &meters[i]);
-        assert_eq!(k, new_key, "group-A bystander key diverged");
-    }
-    #[allow(clippy::needless_range_loop)]
-    for i in n + 1..n + m {
-        let k = open_bystander(i, un1.id, &kb_material, &meters[i]);
-        assert_eq!(k, new_key, "group-B bystander key diverged");
-    }
-
-    // ---- Assemble outcome ----
-    let mut members = Vec::with_capacity(n + m);
-    for (pos, src) in a.members.iter().enumerate() {
-        let mut mstate = src.clone();
-        if pos == 0 {
-            mstate.r = r1_new.clone();
-            mstate.z = z1_new.clone();
+    let mut run = MergeRun::new(a, b, seed, &Faults::none());
+    loop {
+        match run.pump() {
+            Pump::Done => return run.finish(),
+            Pump::Progressed => {}
+            other => panic!("merge cannot {other:?} on a reliable medium"),
         }
-        members.push(mstate);
-    }
-    for (pos, src) in b.members.iter().enumerate() {
-        let mut mstate = src.clone();
-        if pos == 0 {
-            mstate.r = rn1_new.clone();
-            mstate.z = zn1_new.clone();
-        }
-        members.push(mstate);
-    }
-    let reports: Vec<NodeReport> = (0..n + m)
-        .map(|i| {
-            let mut counts = meters[i].snapshot();
-            let stats = medium.stats(eps[i].id());
-            counts.tx_bits = stats.tx_bits;
-            counts.rx_bits = stats.rx_bits;
-            counts.tx_bits_actual = stats.tx_bits_actual;
-            counts.rx_bits_actual = stats.rx_bits_actual;
-            counts.msgs_tx = stats.msgs_tx;
-            counts.msgs_rx = stats.msgs_rx;
-            NodeReport {
-                id: members[i].id,
-                key: new_key.clone(),
-                counts,
-            }
-        })
-        .collect();
-    MergeOutcome {
-        session: GroupSession {
-            params: params.clone(),
-            members,
-            key: new_key,
-        },
-        reports,
     }
 }
 

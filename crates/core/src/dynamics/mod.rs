@@ -32,9 +32,9 @@ pub mod join;
 pub mod leave;
 pub mod merge;
 
-pub use join::{join, JoinOutcome};
-pub use leave::{leave, partition, LeaveOutcome};
-pub use merge::{merge, merge_many, MergeOutcome};
+pub use join::{join, JoinOutcome, JoinRun};
+pub use leave::{leave, partition, LeaveOutcome, LeaveRun};
+pub use merge::{merge, merge_many, MergeOutcome, MergeRun};
 
 use egka_bigint::Ubig;
 use egka_symmetric::Envelope;

@@ -15,6 +15,10 @@
 //! * [`dynamics`] — the four dynamic membership protocols (§7): Join,
 //!   Leave, Merge, Partition, using real symmetric envelopes over the
 //!   current group key;
+//! * [`machine`] — the sans-IO round engine: every protocol above is a
+//!   poll-driven [`machine::RoundMachine`] (no endpoint calls inside
+//!   protocol logic), pumpable by a scheduler that interleaves many
+//!   groups on one thread;
 //! * [`params`] — the PKG Setup (paper §4) with paper/medium/toy security
 //!   profiles and a pinned 1024-bit fixture;
 //! * [`group`] — the session state the dynamic protocols consume;
@@ -35,6 +39,7 @@ pub mod bd;
 pub mod dynamics;
 pub mod group;
 pub mod ident;
+pub mod machine;
 pub mod par;
 pub mod params;
 pub mod proposed;
@@ -44,5 +49,6 @@ pub mod wire;
 pub use authbd::AuthKit;
 pub use group::{GroupSession, MemberState};
 pub use ident::UserId;
+pub use machine::{Dest, Faults, Outgoing, Pump, RoundMachine, SessionKey, Step};
 pub use params::{paper_fixture, Params, Pkg, SecurityProfile};
 pub use proposed::{Fault, NodeReport, RunConfig, RunReport};

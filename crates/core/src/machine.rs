@@ -1,0 +1,839 @@
+//! Sans-IO round engine: poll-driven protocol state machines.
+//!
+//! Every GKA variant in this crate used to be a *blocking* lock-step
+//! driver: per-node threads calling `Endpoint::recv_kind` and panicking on
+//! anything out of order. That shape forces a scheduler to run one group's
+//! rekey to completion before touching the next — one slow or powered-off
+//! member stalls every group sharing the thread.
+//!
+//! This module is the replacement substrate:
+//!
+//! * [`RoundMachine`] — the uniform poll API. A machine owns **one node's**
+//!   protocol state and never touches an endpoint; it consumes [`Packet`]s
+//!   and answers with a [`Step`]: messages to send, "need more input", the
+//!   derived [`SessionKey`], or a typed failure.
+//! * [`Engine`] — a phased interpreter the concrete protocols are written
+//!   against: a protocol is a list of [`Phase`]s (*collect k packets of
+//!   round tag t, then act*), and the engine supplies the packet
+//!   bookkeeping every machine needs — out-of-round packets are stashed
+//!   and replayed when their round starts, so interleaved delivery (the
+//!   whole point of sans-IO) cannot crash a protocol.
+//! * [`Execution`] — one protocol run: a private [`Medium`], an
+//!   [`egka_net::Reactor`] fanning packets to per-node mailboxes, and one
+//!   machine per node. `pump` advances the run as far as it can without
+//!   blocking and reports whether anything progressed — the primitive a
+//!   shard scheduler interleaves round-robin across many groups.
+//! * [`Faults`] — loss/detachment injection for liveness testing: a
+//!   detached member's machine still runs, but its transmissions vanish,
+//!   so its group stalls (and *only* its group — scheduler liveness is
+//!   exactly what the tests assert).
+//!
+//! The machines reproduce the blocking drivers **bit for bit**: identical
+//! per-node RNG draw order, identical meter records, identical wire bytes.
+//! `tests/poll_equivalence.rs` pins this with goldens captured from the
+//! lock-step implementation.
+
+use std::collections::VecDeque;
+use std::time::Duration;
+
+use egka_bigint::Ubig;
+use egka_energy::{Meter, OpCounts};
+use egka_net::{Endpoint, Medium, NetError, NodeId, Packet, Reactor, ReactorEvent, Token};
+
+use crate::ident::UserId;
+
+/// The group key a finished machine derived.
+pub type SessionKey = Ubig;
+
+/// Where an outgoing message goes.
+#[derive(Clone, Debug)]
+pub enum Dest {
+    /// Every other attached endpoint on the medium.
+    Broadcast,
+    /// Exactly one endpoint.
+    Unicast(NodeId),
+    /// An explicit recipient set (the paper's intended-recipient
+    /// accounting; self is skipped if present).
+    Multicast(Vec<NodeId>),
+}
+
+/// A message a machine wants transmitted.
+#[derive(Clone, Debug)]
+pub struct Outgoing {
+    /// Recipient selector.
+    pub to: Dest,
+    /// Protocol round tag.
+    pub kind: u16,
+    /// Serialized payload.
+    pub payload: bytes::Bytes,
+    /// Paper-accounting size in bits (what the energy model charges).
+    pub nominal_bits: u64,
+}
+
+/// What a machine wants after a `poll`.
+#[derive(Debug)]
+pub enum Step {
+    /// Transmit these, then poll again.
+    Send(Vec<Outgoing>),
+    /// Blocked until another packet (or a timeout) arrives.
+    NeedMore,
+    /// Protocol finished; the node derived this group key.
+    Done(SessionKey),
+    /// Protocol failed with a network-level error (e.g. a surfaced
+    /// deadline). Terminal.
+    Failed(NetError),
+}
+
+/// A poll-driven protocol state machine for one node. No IO inside: the
+/// caller moves packets in and messages out.
+pub trait RoundMachine {
+    /// Advances as far as possible. `incoming` hands the machine its next
+    /// packet (ownership transfers even if the machine only buffers it);
+    /// `None` asks it to make progress on what it already has.
+    fn poll(&mut self, incoming: Option<Packet>) -> Step;
+
+    /// A deadline expired while the machine was blocked. The default
+    /// surfaces the timeout as a terminal failure; protocols with a
+    /// retransmission story may restart instead.
+    fn on_timeout(&mut self, waited: Duration) -> Step {
+        Step::Failed(NetError::Timeout { waited })
+    }
+}
+
+/// What one phase waits for before its action runs.
+#[derive(Clone, Copy, Debug)]
+pub enum Collect {
+    /// Nothing — the action runs as soon as the phase is reached.
+    Immediate,
+    /// `count` packets with round tag `kind` (other kinds are stashed for
+    /// later phases).
+    Kind {
+        /// Required round tag.
+        kind: u16,
+        /// How many packets of that tag to gather.
+        count: usize,
+    },
+}
+
+/// What a phase action decided.
+pub enum PhaseOut {
+    /// Transmit these (possibly none) and advance to the next phase.
+    Send(Vec<Outgoing>),
+    /// The protocol completed with this key.
+    Done(SessionKey),
+    /// Jump back to phase 0 — the "all members retransmit" path. The
+    /// stash survives (the next attempt's packets may already be queued).
+    Restart,
+}
+
+/// A phase's action: node state + gathered packets → decision.
+pub type PhaseAction<S> = Box<dyn FnMut(&mut S, Vec<Packet>) -> PhaseOut + Send>;
+
+/// One step of a protocol script: gather, then act.
+pub struct Phase<S> {
+    /// Input requirement.
+    pub collect: Collect,
+    /// The action, run over the node state and the gathered packets.
+    pub act: PhaseAction<S>,
+}
+
+impl<S> Phase<S> {
+    /// A phase that acts immediately.
+    pub fn immediate(
+        act: impl FnMut(&mut S, Vec<Packet>) -> PhaseOut + Send + 'static,
+    ) -> Phase<S> {
+        Phase {
+            collect: Collect::Immediate,
+            act: Box::new(act),
+        }
+    }
+
+    /// A phase gathering `count` packets of `kind` first.
+    pub fn gather(
+        kind: u16,
+        count: usize,
+        act: impl FnMut(&mut S, Vec<Packet>) -> PhaseOut + Send + 'static,
+    ) -> Phase<S> {
+        Phase {
+            collect: Collect::Kind { kind, count },
+            act: Box::new(act),
+        }
+    }
+}
+
+/// Phased [`RoundMachine`] interpreter: runs a [`Phase`] script over a
+/// node-state value, stashing out-of-round packets between phases.
+pub struct Engine<S> {
+    state: S,
+    phases: Vec<Phase<S>>,
+    pc: usize,
+    gathered: Vec<Packet>,
+    stash: VecDeque<Packet>,
+    done: Option<SessionKey>,
+    failed: Option<NetError>,
+}
+
+impl<S> Engine<S> {
+    /// Builds a machine from a node state and its protocol script.
+    ///
+    /// # Panics
+    /// Panics if the script is empty.
+    pub fn new(state: S, phases: Vec<Phase<S>>) -> Self {
+        assert!(!phases.is_empty(), "a protocol script needs phases");
+        Engine {
+            state,
+            phases,
+            pc: 0,
+            gathered: Vec::new(),
+            stash: VecDeque::new(),
+            done: None,
+            failed: None,
+        }
+    }
+
+    /// The node state (for report assembly after the run).
+    pub fn state(&self) -> &S {
+        &self.state
+    }
+
+    /// Mutable node state access (test hooks).
+    pub fn state_mut(&mut self) -> &mut S {
+        &mut self.state
+    }
+
+    /// Overrides the packet count of the gather spec at script position
+    /// `phase` — for fan-ins whose size the builder only knows after a
+    /// role census (e.g. Leave's "every member hears every *other*
+    /// refresher").
+    ///
+    /// # Panics
+    /// Panics if that phase does not gather.
+    pub fn set_gather_count(&mut self, phase: usize, count: usize) {
+        match &mut self.phases[phase].collect {
+            Collect::Kind { count: c, .. } => *c = count,
+            Collect::Immediate => panic!("phase {phase} does not gather"),
+        }
+    }
+
+    /// The derived key, once [`Step::Done`] was returned.
+    pub fn key(&self) -> Option<&SessionKey> {
+        self.done.as_ref()
+    }
+
+    fn gather_from_stash(&mut self, kind: u16, count: usize) {
+        let mut i = 0;
+        while self.gathered.len() < count && i < self.stash.len() {
+            if self.stash[i].kind == kind {
+                let p = self.stash.remove(i).expect("index in bounds");
+                self.gathered.push(p);
+            } else {
+                i += 1;
+            }
+        }
+    }
+}
+
+impl<S> RoundMachine for Engine<S> {
+    fn poll(&mut self, incoming: Option<Packet>) -> Step {
+        if let Some(e) = self.failed {
+            return Step::Failed(e);
+        }
+        if let Some(k) = &self.done {
+            return Step::Done(k.clone());
+        }
+        if let Some(p) = incoming {
+            self.stash.push_back(p);
+        }
+        loop {
+            let phase = &mut self.phases[self.pc];
+            let packets = match phase.collect {
+                Collect::Immediate => Vec::new(),
+                Collect::Kind { kind, count } => {
+                    self.gather_from_stash(kind, count);
+                    if self.gathered.len() < count {
+                        return Step::NeedMore;
+                    }
+                    std::mem::take(&mut self.gathered)
+                }
+            };
+            match (self.phases[self.pc].act)(&mut self.state, packets) {
+                PhaseOut::Send(outs) => {
+                    self.pc += 1;
+                    assert!(
+                        self.pc < self.phases.len(),
+                        "protocol script fell off the end without Done"
+                    );
+                    return Step::Send(outs);
+                }
+                PhaseOut::Done(key) => {
+                    self.done = Some(key.clone());
+                    return Step::Done(key);
+                }
+                PhaseOut::Restart => {
+                    self.pc = 0;
+                    self.gathered.clear();
+                }
+            }
+        }
+    }
+
+    fn on_timeout(&mut self, waited: Duration) -> Step {
+        if self.done.is_none() && self.failed.is_none() {
+            self.failed = Some(NetError::Timeout { waited });
+        }
+        self.poll(None)
+    }
+}
+
+/// Node state that exposes its operation meter — every protocol state does,
+/// so an [`Execution`] can account even an aborted attempt's energy.
+pub trait Metered {
+    /// The node's operation meter.
+    fn meter(&self) -> &Meter;
+}
+
+/// Fault injection for a protocol execution.
+#[derive(Clone, Debug, Default)]
+pub struct Faults {
+    /// Per-delivery drop probability on the run's medium.
+    pub loss: f64,
+    /// Seed for the loss pattern (salted per retry so a retransmitted
+    /// attempt does not replay the identical drops).
+    pub loss_seed: u64,
+    /// Members that are powered off: their machines run, but nothing they
+    /// transmit reaches the medium and nothing reaches them.
+    pub detached: Vec<UserId>,
+}
+
+impl Faults {
+    /// Reliable medium, everyone attached.
+    pub fn none() -> Self {
+        Faults::default()
+    }
+
+    /// True iff no fault is armed.
+    pub fn is_none(&self) -> bool {
+        self.loss == 0.0 && self.detached.is_empty()
+    }
+}
+
+/// How far one [`Execution::pump`] got.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Pump {
+    /// Every machine finished.
+    Done,
+    /// Something moved (packets delivered, messages sent, a machine
+    /// finished) — pump again.
+    Progressed,
+    /// Nothing can move: no packets in flight, every unfinished machine
+    /// blocked. On a private medium this is permanent — the scheduler
+    /// should time the run out or retry it.
+    Stalled,
+    /// A machine failed (e.g. a surfaced timeout). Terminal.
+    Failed(NetError),
+}
+
+/// One in-flight protocol run: a private medium, a reactor fanning packets
+/// into per-node mailboxes, and one machine per node.
+pub struct Execution<S> {
+    medium: Medium,
+    reactor: Reactor,
+    tokens: Vec<Token>,
+    machines: Vec<Engine<S>>,
+    keys: Vec<Option<SessionKey>>,
+    failed: Option<NetError>,
+}
+
+impl<S: Send> Execution<S> {
+    /// Builds a run: joins `ids.len()` endpoints on a fresh medium,
+    /// applies `faults`, and constructs each node's machine via `mk`
+    /// (called with the node index and the slice of all net ids, in node
+    /// order — machines address peers through it).
+    pub fn new(
+        ids: &[UserId],
+        faults: &Faults,
+        mut mk: impl FnMut(usize, &[NodeId]) -> Engine<S>,
+    ) -> Self {
+        let medium = Medium::new();
+        if faults.loss > 0.0 {
+            medium.set_loss_seeded(faults.loss, faults.loss_seed);
+        }
+        let mut reactor = Reactor::new();
+        let mut tokens = Vec::with_capacity(ids.len());
+        let mut net_ids = Vec::with_capacity(ids.len());
+        for id in ids {
+            let ep = medium.join();
+            net_ids.push(ep.id());
+            if faults.detached.contains(id) {
+                medium.detach(ep.id());
+            }
+            tokens.push(reactor.register(ep));
+        }
+        let machines = (0..ids.len()).map(|i| mk(i, &net_ids)).collect();
+        Execution {
+            medium,
+            reactor,
+            tokens,
+            keys: vec![None; ids.len()],
+            machines,
+            failed: None,
+        }
+    }
+
+    /// Number of nodes in the run.
+    pub fn n(&self) -> usize {
+        self.machines.len()
+    }
+
+    /// True iff every machine returned [`Step::Done`].
+    pub fn is_done(&self) -> bool {
+        self.failed.is_none() && self.keys.iter().all(|k| k.is_some())
+    }
+
+    /// The failure that terminated the run, if any.
+    pub fn failure(&self) -> Option<NetError> {
+        self.failed
+    }
+
+    /// The medium's traffic counters for node `i`.
+    pub fn traffic(&self, i: usize) -> egka_net::TrafficStats {
+        self.medium
+            .stats(self.reactor.endpoint(self.tokens[i]).id())
+    }
+
+    /// The machine (and through it the node state) of node `i`.
+    pub fn machine(&self, i: usize) -> &Engine<S> {
+        &self.machines[i]
+    }
+
+    /// The key node `i` derived, if it finished.
+    pub fn key(&self, i: usize) -> Option<&SessionKey> {
+        self.keys[i].as_ref()
+    }
+
+    /// Arms a silence deadline on every node; an expiry fails the stalled
+    /// machine with [`NetError::Timeout`] at the next pump.
+    pub fn set_deadline(&mut self, timeout: Option<Duration>) {
+        for &t in &self.tokens {
+            self.reactor.set_deadline(t, timeout);
+        }
+    }
+
+    fn dispatch(ep: &Endpoint, outs: Vec<Outgoing>) {
+        for o in outs {
+            match o.to {
+                Dest::Broadcast => ep.broadcast(o.kind, o.payload, o.nominal_bits),
+                Dest::Unicast(to) => ep.unicast(to, o.kind, o.payload, o.nominal_bits),
+                Dest::Multicast(ts) => ep.multicast(&ts, o.kind, o.payload, o.nominal_bits),
+            }
+        }
+    }
+
+    /// Feeds `packets` and then polls machine `i` until it blocks; sends
+    /// go straight out through the node's endpoint. Returns whether the
+    /// node progressed; records a terminal failure in `failed`.
+    fn pump_node(
+        ep: &Endpoint,
+        machine: &mut Engine<S>,
+        key: &mut Option<SessionKey>,
+        packets: Vec<Packet>,
+        timed_out: Option<Duration>,
+        failed: &mut Option<NetError>,
+    ) -> bool {
+        if key.is_some() {
+            return false;
+        }
+        let mut progressed = false;
+        let mut inbox = packets.into_iter();
+        if let Some(waited) = timed_out {
+            // A reactor deadline expired for this node while it was
+            // blocked; surface it through the machine's timeout hook with
+            // the duration the reactor actually waited.
+            match machine.on_timeout(waited) {
+                Step::Failed(e) => {
+                    *failed = Some(e);
+                    return true;
+                }
+                Step::Done(k) => {
+                    *key = Some(k);
+                    return true;
+                }
+                _ => progressed = true,
+            }
+        }
+        loop {
+            let pkt = inbox.next();
+            let had_packet = pkt.is_some();
+            match machine.poll(pkt) {
+                Step::Send(outs) => {
+                    progressed = true;
+                    Self::dispatch(ep, outs);
+                }
+                Step::NeedMore => {
+                    if had_packet {
+                        progressed = true; // buffered for a later round
+                    } else {
+                        return progressed;
+                    }
+                }
+                Step::Done(k) => {
+                    *key = Some(k);
+                    return true;
+                }
+                Step::Failed(e) => {
+                    *failed = Some(e);
+                    return true;
+                }
+            }
+        }
+    }
+
+    /// One non-blocking scheduling sweep: fan arrived packets to their
+    /// mailboxes, then give every unfinished machine a chance to consume
+    /// and send. Never waits; interleave freely with other executions.
+    pub fn pump(&mut self) -> Pump {
+        if let Some(e) = self.failed {
+            return Pump::Failed(e);
+        }
+        if self.is_done() {
+            return Pump::Done;
+        }
+        let mut timeouts: Vec<Option<Duration>> = vec![None; self.machines.len()];
+        for ev in self.reactor.poll_all() {
+            if let ReactorEvent::TimedOut(token, NetError::Timeout { waited }) = ev {
+                if let Some(i) = self.tokens.iter().position(|&t| t == token) {
+                    timeouts[i] = Some(waited);
+                }
+            }
+        }
+        let mut progressed = false;
+        for (i, &fired) in timeouts.iter().enumerate() {
+            let packets = self.reactor.drain(self.tokens[i]);
+            if packets.is_empty() && fired.is_none() && self.keys[i].is_some() {
+                continue;
+            }
+            let ep = self.reactor.endpoint(self.tokens[i]);
+            progressed |= Self::pump_node(
+                ep,
+                &mut self.machines[i],
+                &mut self.keys[i],
+                packets,
+                fired,
+                &mut self.failed,
+            );
+            if let Some(e) = self.failed {
+                return Pump::Failed(e);
+            }
+        }
+        if self.is_done() {
+            Pump::Done
+        } else if progressed {
+            Pump::Progressed
+        } else {
+            Pump::Stalled
+        }
+    }
+
+    /// Like [`Execution::pump`] but fanning the per-node machine work
+    /// across threads (`crate::par`) — the blocking `run()` wrappers use
+    /// this to keep the big-sweep wall-clock of the lock-step drivers.
+    pub fn pump_par(&mut self) -> Pump {
+        if let Some(e) = self.failed {
+            return Pump::Failed(e);
+        }
+        if self.is_done() {
+            return Pump::Done;
+        }
+        self.reactor.poll_all();
+        let inboxes: Vec<Vec<Packet>> =
+            self.tokens.iter().map(|&t| self.reactor.drain(t)).collect();
+        let progressed = std::sync::atomic::AtomicBool::new(false);
+        let any_failed = std::sync::Mutex::new(None::<NetError>);
+        {
+            let reactor = &self.reactor;
+            let tokens = &self.tokens;
+            type Cell<'a, S> = (
+                usize,
+                &'a mut Engine<S>,
+                &'a mut Option<SessionKey>,
+                Vec<Packet>,
+            );
+            let mut cells: Vec<Cell<'_, S>> = self
+                .machines
+                .iter_mut()
+                .zip(self.keys.iter_mut())
+                .zip(inboxes)
+                .enumerate()
+                .map(|(i, ((m, k), inbox))| (i, m, k, inbox))
+                .collect();
+            crate::par::par_for_each_mut(&mut cells, |_, (i, machine, key, inbox)| {
+                let ep = reactor.endpoint(tokens[*i]);
+                let mut failed = None;
+                if Self::pump_node(ep, machine, key, std::mem::take(inbox), None, &mut failed) {
+                    progressed.store(true, std::sync::atomic::Ordering::Relaxed);
+                }
+                if let Some(e) = failed {
+                    *any_failed.lock().expect("uncontended collector") = Some(e);
+                }
+            });
+        }
+        if let Some(e) = any_failed.into_inner().expect("collector unpoisoned") {
+            self.failed = Some(e);
+            return Pump::Failed(e);
+        }
+        if self.is_done() {
+            Pump::Done
+        } else if progressed.load(std::sync::atomic::Ordering::Relaxed) {
+            Pump::Progressed
+        } else {
+            Pump::Stalled
+        }
+    }
+
+    /// Drives the run to completion with parallel sweeps (reliable-medium
+    /// path used by the blocking `run()` wrappers).
+    ///
+    /// # Panics
+    /// Panics if the run stalls or fails — on a fault-free private medium
+    /// either indicates a protocol scripting bug.
+    pub fn run_to_completion(&mut self) {
+        loop {
+            match self.pump_par() {
+                Pump::Done => return,
+                Pump::Progressed => {}
+                Pump::Stalled => panic!("protocol stalled on a reliable medium"),
+                Pump::Failed(e) => panic!("protocol failed on a reliable medium: {e}"),
+            }
+        }
+    }
+}
+
+impl<S: Send + Metered> Execution<S> {
+    /// Sums every node's metered operations *and* medium traffic — valid
+    /// mid-run, which is how an aborted (stalled/timed-out) attempt's
+    /// retransmission energy gets charged.
+    pub fn partial_counts(&self) -> OpCounts {
+        let mut total = OpCounts::new();
+        for i in 0..self.n() {
+            let mut c = self.machines[i].state().meter().snapshot();
+            let t = self.traffic(i);
+            c.tx_bits = t.tx_bits;
+            c.rx_bits = t.rx_bits;
+            c.tx_bits_actual = t.tx_bits_actual;
+            c.rx_bits_actual = t.rx_bits_actual;
+            c.msgs_tx = t.msgs_tx;
+            c.msgs_rx = t.msgs_rx;
+            total.merge(&c);
+        }
+        total
+    }
+
+    /// Per-node counts (meter + traffic), the shape every `NodeReport`
+    /// carries.
+    pub fn node_counts(&self, i: usize) -> OpCounts {
+        let mut c = self.machines[i].state().meter().snapshot();
+        let t = self.traffic(i);
+        c.tx_bits = t.tx_bits;
+        c.rx_bits = t.rx_bits;
+        c.tx_bits_actual = t.tx_bits_actual;
+        c.rx_bits_actual = t.rx_bits_actual;
+        c.msgs_tx = t.msgs_tx;
+        c.msgs_rx = t.msgs_rx;
+        c
+    }
+}
+
+/// Builds the standard two-broadcast-round script shared by the proposed,
+/// SSN and authenticated-BD protocols, with the paper's controller-last
+/// Round-2 ordering:
+///
+/// 1. announce (Round 1 broadcast);
+/// 2. gather the other `n−1` Round-1 messages, derive Round-2 values —
+///    non-controllers broadcast theirs immediately;
+/// 3. gather the other `n−1` Round-2 messages — the controller, having
+///    heard everyone, broadcasts *last*;
+/// 4. verify and derive (may restart the whole script: "all members
+///    retransmit").
+#[allow(clippy::too_many_arguments)] // one closure per protocol hook, by design
+pub(crate) fn two_round_script<S: 'static>(
+    idx: usize,
+    round1_kind: u16,
+    round2_kind: u16,
+    n: usize,
+    mut announce: impl FnMut(&mut S) -> Outgoing + Send + 'static,
+    mut absorb_round1: impl FnMut(&mut S, &[Packet]) + Send + 'static,
+    mut round2_msg: impl FnMut(&mut S) -> Outgoing + Send + 'static,
+    mut absorb_round2: impl FnMut(&mut S, &[Packet]) + Send + 'static,
+    mut finalize: impl FnMut(&mut S) -> PhaseOut + Send + 'static,
+) -> Vec<Phase<S>> {
+    type Round2Hook<S> = Box<dyn FnMut(&mut S) -> Option<Outgoing> + Send>;
+    let controller = idx == 0;
+    let mut round2_msg2 = None;
+    let mut round2_for_p1: Round2Hook<S> = if controller {
+        round2_msg2 = Some(round2_msg);
+        Box::new(|_s| None)
+    } else {
+        Box::new(move |s| Some(round2_msg(s)))
+    };
+    vec![
+        Phase::immediate(move |s: &mut S, _| PhaseOut::Send(vec![announce(s)])),
+        Phase::gather(round1_kind, n - 1, move |s, pkts| {
+            absorb_round1(s, &pkts);
+            PhaseOut::Send(round2_for_p1(s).into_iter().collect())
+        }),
+        Phase::gather(round2_kind, n - 1, move |s, pkts| {
+            absorb_round2(s, &pkts);
+            PhaseOut::Send(match &mut round2_msg2 {
+                Some(f) => vec![f(s)],
+                None => Vec::new(),
+            })
+        }),
+        Phase::immediate(move |s, _| finalize(s)),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+
+    struct Echo {
+        meter: Meter,
+        n: usize,
+    }
+
+    impl Metered for Echo {
+        fn meter(&self) -> &Meter {
+            &self.meter
+        }
+    }
+
+    /// A toy 1-round protocol: broadcast a byte, gather n−1, "derive" the
+    /// sum as the key.
+    fn echo_engine(idx: usize, n: usize) -> Engine<Echo> {
+        Engine::new(
+            Echo {
+                meter: Meter::new(),
+                n,
+            },
+            vec![
+                Phase::immediate(move |_s: &mut Echo, _| {
+                    PhaseOut::Send(vec![Outgoing {
+                        to: Dest::Broadcast,
+                        kind: 1,
+                        payload: Bytes::from(vec![idx as u8]),
+                        nominal_bits: 8,
+                    }])
+                }),
+                Phase::gather(1, n - 1, move |s: &mut Echo, pkts| {
+                    let sum: u64 =
+                        pkts.iter().map(|p| u64::from(p.payload[0])).sum::<u64>() + idx as u64;
+                    let _ = s.n;
+                    PhaseOut::Done(Ubig::from_u64(sum))
+                }),
+            ],
+        )
+    }
+
+    #[test]
+    fn execution_runs_toy_protocol_to_agreement() {
+        let ids: Vec<UserId> = (0..4).map(UserId).collect();
+        let mut exec = Execution::new(&ids, &Faults::none(), |i, _| echo_engine(i, 4));
+        while exec.pump() == Pump::Progressed {}
+        assert!(exec.is_done());
+        let want = Ubig::from_u64(6); // 0 + 1 + 2 + 3
+        for i in 0..4 {
+            assert_eq!(exec.key(i), Some(&want));
+        }
+    }
+
+    #[test]
+    fn engine_stashes_out_of_round_packets() {
+        let mut m = echo_engine(0, 3);
+        // First poll emits the announce.
+        assert!(matches!(m.poll(None), Step::Send(_)));
+        // A packet from a *future* round (kind 9) arrives first: stashed.
+        let stray = Packet {
+            from: 7,
+            kind: 9,
+            payload: Bytes::from_static(&[9]),
+            nominal_bits: 8,
+        };
+        assert!(matches!(m.poll(Some(stray)), Step::NeedMore));
+        // The two round-1 packets complete the machine regardless.
+        for b in [1u8, 2] {
+            let p = Packet {
+                from: u32::from(b),
+                kind: 1,
+                payload: Bytes::from(vec![b]),
+                nominal_bits: 8,
+            };
+            match m.poll(Some(p)) {
+                Step::NeedMore => assert_eq!(b, 1),
+                Step::Done(k) => assert_eq!(k, Ubig::from_u64(3)),
+                other => panic!("unexpected step {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn detached_member_stalls_only_its_run() {
+        let ids: Vec<UserId> = (0..3).map(UserId).collect();
+        let faults = Faults {
+            detached: vec![UserId(1)],
+            ..Faults::default()
+        };
+        let mut stalled = Execution::new(&ids, &faults, |i, _| echo_engine(i, 3));
+        let mut healthy = Execution::new(&ids, &Faults::none(), |i, _| echo_engine(i, 3));
+        // Interleave: healthy finishes, stalled reports Stalled forever.
+        loop {
+            let h = healthy.pump();
+            let s = stalled.pump();
+            if h == Pump::Done {
+                assert_ne!(s, Pump::Done, "node 1's silence must stall the run");
+                break;
+            }
+        }
+        // Once nothing is in flight, the stall is stable and permanent.
+        for _ in 0..3 {
+            assert_eq!(stalled.pump(), Pump::Stalled);
+        }
+        assert!(!stalled.is_done());
+    }
+
+    #[test]
+    fn deadline_surfaces_timeout_into_the_machines() {
+        let ids: Vec<UserId> = (0..3).map(UserId).collect();
+        let faults = Faults {
+            detached: vec![UserId(2)],
+            ..Faults::default()
+        };
+        let mut exec = Execution::new(&ids, &faults, |i, _| echo_engine(i, 3));
+        exec.set_deadline(Some(Duration::from_millis(1)));
+        while exec.pump() == Pump::Progressed {}
+        std::thread::sleep(Duration::from_millis(5));
+        match exec.pump() {
+            Pump::Failed(NetError::Timeout { waited }) => {
+                // The armed deadline, not a placeholder, reaches the error.
+                assert_eq!(waited, Duration::from_millis(1));
+            }
+            other => panic!("expected surfaced timeout, got {other:?}"),
+        }
+        assert!(matches!(exec.failure(), Some(NetError::Timeout { .. })));
+    }
+
+    #[test]
+    fn partial_counts_account_an_aborted_attempt() {
+        let ids: Vec<UserId> = (0..3).map(UserId).collect();
+        let faults = Faults {
+            detached: vec![UserId(0)],
+            ..Faults::default()
+        };
+        let mut exec = Execution::new(&ids, &faults, |i, _| echo_engine(i, 3));
+        while exec.pump() == Pump::Progressed {}
+        assert!(!exec.is_done());
+        // Nodes 1 and 2 still transmitted their announcements.
+        let counts = exec.partial_counts();
+        assert_eq!(counts.msgs_tx, 2);
+    }
+}

@@ -16,25 +16,31 @@
 //! bounded retries here); [`Fault`] injects the two corruptions the checks
 //! are designed to catch.
 //!
-//! Every node runs on its own state machine over the shared
-//! [`egka_net::Medium`]; rounds execute in lockstep with per-round
-//! fan-out across threads ([`crate::par`]). Operation counts are recorded
-//! into per-node [`Meter`]s with exactly the granularity the paper's cost
-//! model prices (Table 1 column 1: 3 exponentiations, 1 GQ signature
-//! generation, 1 batch verification).
+//! Every node is a sans-IO [`crate::machine::RoundMachine`]: the protocol
+//! logic never touches an endpoint, it consumes packets and emits outgoing
+//! messages from `poll`. [`run`] is the blocking convenience driver (one
+//! [`GkaRun`] pumped to completion with per-round thread fan-out); a
+//! scheduler that interleaves many groups pumps [`GkaRun`]s directly.
+//! Operation counts land in per-node [`Meter`]s with exactly the
+//! granularity the paper's cost model prices (Table 1 column 1: 3
+//! exponentiations, 1 GQ signature generation, 1 batch verification).
+
+use std::sync::Arc;
 
 use egka_bigint::{mod_mul, Ubig};
 use egka_energy::complexity::InitialProtocol;
 use egka_energy::{CompOp, Meter, OpCounts, Scheme};
 use egka_hash::ChaChaRng;
-use egka_net::{Endpoint, Medium};
+use egka_net::NetError;
 use egka_sig::GqSecretKey;
 use rand::SeedableRng;
 
 use crate::bd;
 use crate::group::{GroupSession, MemberState};
 use crate::ident::UserId;
-use crate::par::par_for_each_mut;
+use crate::machine::{
+    two_round_script, Dest, Engine, Execution, Faults, Metered, Outgoing, PhaseOut, Pump,
+};
 use crate::params::Params;
 use crate::wire::{kind, Reader, Writer};
 
@@ -113,15 +119,19 @@ impl RunReport {
     }
 }
 
-struct Node {
+/// One node's protocol state — everything the lock-step driver's `Node`
+/// held except the endpoint, which sans-IO machines never see.
+struct NodeState {
     idx: usize,
     id: UserId,
     ring: Vec<UserId>,
     key: GqSecretKey,
-    ep: Endpoint,
+    params: Arc<Params>,
     meter: Meter,
     rng: ChaChaRng,
     fault: Option<Fault>,
+    max_attempts: u32,
+    attempts: u32,
     // per-attempt state
     share: Option<bd::Share>,
     tau: Ubig,
@@ -133,6 +143,293 @@ struct Node {
     challenge: Ubig,
     bind: Vec<u8>,
     derived: Option<Ubig>,
+}
+
+impl Metered for NodeState {
+    fn meter(&self) -> &Meter {
+        &self.meter
+    }
+}
+
+fn ring_position(ring: &[UserId], id: UserId, what: &str) -> usize {
+    ring.iter()
+        .position(|&u| u == id)
+        .unwrap_or_else(|| panic!("{what} sender is a ring member"))
+}
+
+/// Builds node `idx`'s machine. Phases (the shared two-round shape):
+/// announce `m_i`, absorb the other `n−1` and derive Round-2 values,
+/// exchange `m'_i` controller-last, then verify-and-derive — restarting
+/// the whole script on a failed check ("all members retransmit").
+fn node_machine(state: NodeState) -> Engine<NodeState> {
+    let n = state.ring.len();
+    let phases = two_round_script(
+        state.idx,
+        kind::ROUND1,
+        kind::ROUND2,
+        n,
+        // Round 1: fresh (r_i, τ_i), broadcast m_i = U_i ‖ z_i ‖ t_i.
+        move |s: &mut NodeState| {
+            s.attempts += 1;
+            assert!(
+                s.attempts <= s.max_attempts,
+                "protocol did not converge within {} attempts",
+                s.max_attempts
+            );
+            let share = bd::round1_share(&mut s.rng, &s.params.bd);
+            s.meter.record(CompOp::ModExp); // z_i = g^{r_i}
+            let (tau, t) = s.params.gq.commit(&mut s.rng);
+            // t_i = τ^e is half of the GQ signature generation; the other
+            // half (s_i = τ·S^c) happens in Round 2. Charged as one
+            // SignGen there.
+            let mut w = Writer::new();
+            w.put_id(s.id).put_ubig(&share.z).put_ubig(&t);
+            s.zs[s.idx] = share.z.clone();
+            s.ts[s.idx] = t.clone();
+            s.share = Some(share);
+            s.tau = tau;
+            s.t = t;
+            Outgoing {
+                to: Dest::Broadcast,
+                kind: kind::ROUND1,
+                payload: w.finish(),
+                nominal_bits: InitialProtocol::ProposedGqBatch.round1_bits(),
+            }
+        },
+        // Absorb the other announcements, then compute X_i, the shared
+        // challenge c = H(T, Z) and the response s_i.
+        move |s: &mut NodeState, pkts| {
+            for pkt in pkts {
+                let mut r = Reader::new(&pkt.payload);
+                let id = r.get_id().expect("well-formed round-1 id");
+                let z = r.get_ubig().expect("well-formed z");
+                let t = r.get_ubig().expect("well-formed t");
+                r.expect_end().expect("no trailing bytes");
+                let j = ring_position(&s.ring, id, "round-1");
+                s.zs[j] = z;
+                s.ts[j] = t;
+            }
+            let share = s.share.as_ref().expect("round 1 done");
+            let mut x = bd::round2_x(
+                &s.params.bd,
+                &share.r,
+                &s.zs[(s.idx + n - 1) % n],
+                &s.zs[(s.idx + 1) % n],
+            );
+            s.meter.record(CompOp::ModExp); // X_i
+            s.meter.record(CompOp::ModInv); // 1/z_{i-1} (negligible)
+            if let Some(Fault::CorruptX { on_attempt, .. }) = s.fault {
+                if on_attempt == s.attempts - 1 {
+                    x = mod_mul(&x, &s.params.bd.g, &s.params.bd.p);
+                }
+            }
+            // Z = ∏ z_i, T = ∏ t_i, c = H(T, Z).
+            let z_prod =
+                s.zs.iter()
+                    .fold(Ubig::one(), |acc, z| mod_mul(&acc, z, &s.params.bd.p));
+            let t_agg = s.params.gq.aggregate_commitments(&s.ts);
+            s.bind = z_prod.to_bytes_be();
+            s.challenge = s.params.gq.shared_challenge(&t_agg, &s.bind);
+            s.meter.record(CompOp::Hash);
+            let mut resp = s.params.gq.respond(&s.key, &s.tau, &s.challenge);
+            // Commit (Round 1) + respond: one GQ signature generation.
+            s.meter.record(CompOp::SignGen(Scheme::Gq));
+            if let Some(Fault::CorruptS { on_attempt, .. }) = s.fault {
+                if on_attempt == s.attempts - 1 {
+                    resp = mod_mul(&resp, &Ubig::from_u64(3), &s.params.gq.n);
+                }
+            }
+            s.xs[s.idx] = x;
+            s.ss[s.idx] = resp;
+        },
+        // Round-2 broadcast m'_i = U_i ‖ X_i ‖ s_i.
+        move |s: &mut NodeState| {
+            let mut w = Writer::new();
+            w.put_id(s.id).put_ubig(&s.xs[s.idx]).put_ubig(&s.ss[s.idx]);
+            Outgoing {
+                to: Dest::Broadcast,
+                kind: kind::ROUND2,
+                payload: w.finish(),
+                nominal_bits: InitialProtocol::ProposedGqBatch.round2_bits(),
+            }
+        },
+        // Absorb the other n−1 Round-2 messages.
+        move |s: &mut NodeState, pkts| {
+            for pkt in pkts {
+                let mut r = Reader::new(&pkt.payload);
+                let id = r.get_id().expect("well-formed round-2 id");
+                let x = r.get_ubig().expect("well-formed X");
+                let resp = r.get_ubig().expect("well-formed s");
+                r.expect_end().expect("no trailing bytes");
+                let j = ring_position(&s.ring, id, "round-2");
+                s.xs[j] = x;
+                s.ss[j] = resp;
+            }
+        },
+        // Batch verification (eq. (2)) + Lemma 1 + key derivation; every
+        // node evaluates the same deterministic checks, so failure is
+        // simultaneous and the retransmission restart stays in lock step.
+        move |s: &mut NodeState| {
+            let ids: Vec<Vec<u8>> = s.ring.iter().map(|u| u.to_bytes().to_vec()).collect();
+            let id_refs: Vec<&[u8]> = ids.iter().map(|v| v.as_slice()).collect();
+            let batch_ok = s
+                .params
+                .gq
+                .aggregate_verify(&id_refs, &s.ss, &s.challenge, &s.bind);
+            // One priced batch verification, however it came out.
+            s.meter.record(CompOp::SignVerify(Scheme::Gq));
+            if !batch_ok || !bd::lemma1_holds(&s.params.bd, &s.xs) {
+                return PhaseOut::Restart;
+            }
+            let share = s.share.as_ref().expect("round 1 done");
+            let ring: Vec<Ubig> = (0..n).map(|j| s.xs[(s.idx + j) % n].clone()).collect();
+            let key = bd::compute_key(&s.params.bd, &share.r, &s.zs[(s.idx + n - 1) % n], &ring);
+            s.meter.record(CompOp::ModExp); // the key exponentiation
+            s.derived = Some(key.clone());
+            PhaseOut::Done(key)
+        },
+    );
+    Engine::new(state, phases)
+}
+
+/// One in-flight run of the proposed protocol over all `n` members'
+/// machines — pump it alongside other groups' runs, or let [`run`] drive
+/// it to completion.
+pub struct GkaRun {
+    exec: Execution<NodeState>,
+    params: Params,
+    ring: Vec<UserId>,
+}
+
+impl GkaRun {
+    /// Prepares a run for `n = keys.len()` users with optional fault
+    /// injection on the private medium.
+    ///
+    /// # Panics
+    /// Panics if fewer than two keys are supplied.
+    pub fn new(
+        params: &Params,
+        keys: &[GqSecretKey],
+        seed: u64,
+        config: RunConfig,
+        faults: &Faults,
+    ) -> Self {
+        let n = keys.len();
+        assert!(n >= 2, "a group needs at least two members");
+        // Identities come from the extracted keys (a merged ring's members
+        // are not numbered 0..n), positions from slice order.
+        let ring: Vec<UserId> = keys
+            .iter()
+            .map(|k| {
+                let b: [u8; 4] = k.id.as_slice().try_into().expect("32-bit identities");
+                UserId::from_bytes(b)
+            })
+            .collect();
+        let shared = Arc::new(params.clone());
+        let exec = Execution::new(&ring, faults, |i, _net_ids| {
+            node_machine(NodeState {
+                idx: i,
+                id: ring[i],
+                ring: ring.clone(),
+                key: keys[i].clone(),
+                params: Arc::clone(&shared),
+                meter: Meter::new(),
+                rng: ChaChaRng::seed_from_u64(
+                    seed ^ (i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15),
+                ),
+                fault: config.fault.filter(|f| match *f {
+                    Fault::CorruptX { node, .. } | Fault::CorruptS { node, .. } => node == i,
+                }),
+                max_attempts: config.max_attempts,
+                attempts: 0,
+                share: None,
+                tau: Ubig::zero(),
+                t: Ubig::zero(),
+                zs: vec![Ubig::zero(); n],
+                ts: vec![Ubig::zero(); n],
+                xs: vec![Ubig::zero(); n],
+                ss: vec![Ubig::zero(); n],
+                challenge: Ubig::zero(),
+                bind: Vec::new(),
+                derived: None,
+            })
+        });
+        GkaRun {
+            exec,
+            params: params.clone(),
+            ring,
+        }
+    }
+
+    /// One non-blocking scheduling sweep; see [`Execution::pump`].
+    pub fn pump(&mut self) -> Pump {
+        self.exec.pump()
+    }
+
+    /// True iff every member derived the key.
+    pub fn is_done(&self) -> bool {
+        self.exec.is_done()
+    }
+
+    /// Terminal failure, if one surfaced (deadline expiry).
+    pub fn failure(&self) -> Option<NetError> {
+        self.exec.failure()
+    }
+
+    /// Ops + traffic spent so far — the cost a scheduler charges for an
+    /// aborted (stalled) attempt.
+    pub fn partial_counts(&self) -> OpCounts {
+        self.exec.partial_counts()
+    }
+
+    /// Drives the run to completion with parallel per-node sweeps.
+    pub(crate) fn run_to_completion(&mut self) {
+        self.exec.run_to_completion();
+    }
+
+    /// Assembles the reports and the post-agreement session.
+    ///
+    /// # Panics
+    /// Panics if the run has not finished, or if (impossibly) keys
+    /// diverged.
+    pub fn finish(self) -> (RunReport, GroupSession) {
+        assert!(self.exec.is_done(), "finish() before the run completed");
+        let n = self.ring.len();
+        let reports: Vec<NodeReport> = (0..n)
+            .map(|i| {
+                let state = self.exec.machine(i).state();
+                NodeReport {
+                    id: state.id,
+                    key: state.derived.clone().expect("derived after convergence"),
+                    counts: self.exec.node_counts(i),
+                }
+            })
+            .collect();
+        let session = GroupSession {
+            params: self.params.clone(),
+            members: (0..n)
+                .map(|i| {
+                    let state = self.exec.machine(i).state();
+                    let share = state.share.as_ref().expect("share set");
+                    MemberState {
+                        id: state.id,
+                        gq_key: state.key.clone(),
+                        r: share.r.clone(),
+                        z: share.z.clone(),
+                        tau: state.tau.clone(),
+                        t: state.t.clone(),
+                    }
+                })
+                .collect(),
+            key: reports[0].key.clone(),
+        };
+        let report = RunReport {
+            nodes: reports,
+            attempts: self.exec.machine(0).state().attempts,
+        };
+        assert!(report.keys_agree(), "post-verification keys must agree");
+        (report, session)
+    }
 }
 
 /// Runs the proposed protocol for `n = keys.len()` users and returns the
@@ -148,274 +445,9 @@ pub fn run(
     seed: u64,
     config: RunConfig,
 ) -> (RunReport, GroupSession) {
-    let n = keys.len();
-    assert!(n >= 2, "a group needs at least two members");
-    // Identities come from the extracted keys (a merged ring's members are
-    // not numbered 0..n), positions from slice order.
-    let ring: Vec<UserId> = keys
-        .iter()
-        .map(|k| {
-            let b: [u8; 4] = k.id.as_slice().try_into().expect("32-bit identities");
-            UserId::from_bytes(b)
-        })
-        .collect();
-    let medium = Medium::new();
-    let mut nodes: Vec<Node> = (0..n)
-        .map(|i| Node {
-            idx: i,
-            id: ring[i],
-            ring: ring.clone(),
-            key: keys[i].clone(),
-            ep: medium.join(),
-            meter: Meter::new(),
-            rng: ChaChaRng::seed_from_u64(seed ^ (i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15)),
-            fault: config.fault.filter(|f| match *f {
-                Fault::CorruptX { node, .. } | Fault::CorruptS { node, .. } => node == i,
-            }),
-            share: None,
-            tau: Ubig::zero(),
-            t: Ubig::zero(),
-            zs: vec![Ubig::zero(); n],
-            ts: vec![Ubig::zero(); n],
-            xs: vec![Ubig::zero(); n],
-            ss: vec![Ubig::zero(); n],
-            challenge: Ubig::zero(),
-            bind: Vec::new(),
-            derived: None,
-        })
-        .collect();
-
-    let mut attempts = 0;
-    loop {
-        attempts += 1;
-        assert!(
-            attempts <= config.max_attempts,
-            "protocol did not converge within {} attempts",
-            config.max_attempts
-        );
-        let attempt = attempts - 1;
-        round1(params, &mut nodes, attempt);
-        round2(params, &mut nodes, attempt);
-        if verify_and_derive(params, &mut nodes) {
-            break;
-        }
-        // Failure detected identically by every node: all retransmit.
-    }
-
-    let reports: Vec<NodeReport> = nodes
-        .iter()
-        .map(|node| {
-            let mut counts = node.meter.snapshot();
-            let stats = medium.stats(node.ep.id());
-            counts.tx_bits = stats.tx_bits;
-            counts.rx_bits = stats.rx_bits;
-            counts.tx_bits_actual = stats.tx_bits_actual;
-            counts.rx_bits_actual = stats.rx_bits_actual;
-            counts.msgs_tx = stats.msgs_tx;
-            counts.msgs_rx = stats.msgs_rx;
-            NodeReport {
-                id: node.id,
-                key: node.derived.clone().expect("derived after convergence"),
-                counts,
-            }
-        })
-        .collect();
-    let session = GroupSession {
-        params: params.clone(),
-        members: nodes
-            .iter()
-            .map(|node| {
-                let share = node.share.as_ref().expect("share set");
-                MemberState {
-                    id: node.id,
-                    gq_key: node.key.clone(),
-                    r: share.r.clone(),
-                    z: share.z.clone(),
-                    tau: node.tau.clone(),
-                    t: node.t.clone(),
-                }
-            })
-            .collect(),
-        key: reports[0].key.clone(),
-    };
-    let report = RunReport {
-        nodes: reports,
-        attempts,
-    };
-    assert!(report.keys_agree(), "post-verification keys must agree");
-    (report, session)
-}
-
-/// Round 1: every node samples `(r_i, τ_i)`, broadcasts `m_i = U_i‖z_i‖t_i`
-/// and collects everyone else's.
-fn round1(params: &Params, nodes: &mut [Node], _attempt: u32) {
-    let n = nodes.len();
-    // Compute + send (parallel: 2 exponentiations per node).
-    par_for_each_mut(nodes, |_, node| {
-        let share = bd::round1_share(&mut node.rng, &params.bd);
-        node.meter.record(CompOp::ModExp); // z_i = g^{r_i}
-        let (tau, t) = params.gq.commit(&mut node.rng);
-        // t_i = τ^e is half of the GQ signature generation; the other half
-        // (s_i = τ·S^c) happens in Round 2. Charged as one SignGen there.
-        let mut w = Writer::new();
-        w.put_id(node.id).put_ubig(&share.z).put_ubig(&t);
-        node.ep.broadcast(
-            kind::ROUND1,
-            w.finish(),
-            InitialProtocol::ProposedGqBatch.round1_bits(),
-        );
-        node.zs[node.idx] = share.z.clone();
-        node.ts[node.idx] = t.clone();
-        node.share = Some(share);
-        node.tau = tau;
-        node.t = t;
-    });
-    // Drain: every node reads the other n−1 announcements.
-    par_for_each_mut(nodes, |_, node| {
-        for _ in 0..n - 1 {
-            let pkt = node.ep.recv_kind(kind::ROUND1);
-            let mut r = Reader::new(&pkt.payload);
-            let id = r.get_id().expect("well-formed round-1 id");
-            let z = r.get_ubig().expect("well-formed z");
-            let t = r.get_ubig().expect("well-formed t");
-            r.expect_end().expect("no trailing bytes");
-            let j = node
-                .ring
-                .iter()
-                .position(|&u| u == id)
-                .expect("round-1 sender is a ring member");
-            node.zs[j] = z;
-            node.ts[j] = t;
-        }
-    });
-}
-
-/// Round 2: every node computes `X_i`, the shared challenge `c = H(T, Z)`
-/// and its response `s_i`; `U_1` (ring index 0) broadcasts last.
-fn round2(params: &Params, nodes: &mut [Node], attempt: u32) {
-    let n = nodes.len();
-    par_for_each_mut(nodes, |_, node| {
-        let share = node.share.as_ref().expect("round 1 done");
-        let mut x = bd::round2_x(
-            &params.bd,
-            &share.r,
-            &node.zs[(node.idx + n - 1) % n],
-            &node.zs[(node.idx + 1) % n],
-        );
-        node.meter.record(CompOp::ModExp); // X_i
-        node.meter.record(CompOp::ModInv); // 1/z_{i-1} (negligible)
-        if let Some(Fault::CorruptX { on_attempt, .. }) = node.fault {
-            if on_attempt == attempt {
-                x = mod_mul(&x, &params.bd.g, &params.bd.p);
-            }
-        }
-        // Z = ∏ z_i, T = ∏ t_i, c = H(T, Z).
-        let z_prod = node
-            .zs
-            .iter()
-            .fold(Ubig::one(), |acc, z| mod_mul(&acc, z, &params.bd.p));
-        let t_agg = params.gq.aggregate_commitments(&node.ts);
-        node.bind = z_prod.to_bytes_be();
-        node.challenge = params.gq.shared_challenge(&t_agg, &node.bind);
-        node.meter.record(CompOp::Hash);
-        let mut s = params.gq.respond(&node.key, &node.tau, &node.challenge);
-        // Commit (Round 1) + respond: one GQ signature generation.
-        node.meter.record(CompOp::SignGen(Scheme::Gq));
-        if let Some(Fault::CorruptS { on_attempt, .. }) = node.fault {
-            if on_attempt == attempt {
-                s = mod_mul(&s, &Ubig::from_u64(3), &params.gq.n);
-            }
-        }
-        node.xs[node.idx] = x;
-        node.ss[node.idx] = s;
-    });
-    // Send phase with controller-last ordering: everyone except U_1 sends,
-    // then U_1 (having heard all m'_j) sends. Rounds are lockstep, so
-    // retransmitted attempts reuse the same message kind.
-    let send = |node: &Node| {
-        let mut w = Writer::new();
-        w.put_id(node.id)
-            .put_ubig(&node.xs[node.idx])
-            .put_ubig(&node.ss[node.idx]);
-        node.ep.broadcast(
-            kind::ROUND2,
-            w.finish(),
-            InitialProtocol::ProposedGqBatch.round2_bits(),
-        );
-    };
-    for node in nodes.iter().skip(1) {
-        send(node);
-    }
-    // Controller drains the n−1 messages first (the paper's "U_1 broadcasts
-    // last"), then answers.
-    {
-        let controller = &mut nodes[0];
-        for _ in 0..n - 1 {
-            let pkt = controller.ep.recv_kind(kind::ROUND2);
-            store_round2(controller, &pkt.payload);
-        }
-        send(&nodes[0]);
-    }
-    // Everyone else drains the other n−1 messages (their own excluded).
-    par_for_each_mut(&mut nodes[1..], |_, node| {
-        for _ in 0..n - 1 {
-            let pkt = node.ep.recv_kind(kind::ROUND2);
-            store_round2(node, &pkt.payload);
-        }
-    });
-}
-
-fn store_round2(node: &mut Node, payload: &[u8]) {
-    let mut r = Reader::new(payload);
-    let id = r.get_id().expect("well-formed round-2 id");
-    let x = r.get_ubig().expect("well-formed X");
-    let s = r.get_ubig().expect("well-formed s");
-    r.expect_end().expect("no trailing bytes");
-    let j = node
-        .ring
-        .iter()
-        .position(|&u| u == id)
-        .expect("round-2 sender is a ring member");
-    node.xs[j] = x;
-    node.ss[j] = s;
-}
-
-/// Batch verification (eq. (2)) + Lemma 1 + key derivation. Returns whether
-/// the attempt succeeded on every node (the checks are deterministic and
-/// identical across nodes, so agreement is structural).
-fn verify_and_derive(params: &Params, nodes: &mut [Node]) -> bool {
-    let n = nodes.len();
-    let ok = std::sync::atomic::AtomicBool::new(true);
-    par_for_each_mut(nodes, |_, node| {
-        let ids: Vec<Vec<u8>> = node.ring.iter().map(|u| u.to_bytes().to_vec()).collect();
-        let id_refs: Vec<&[u8]> = ids.iter().map(|v| v.as_slice()).collect();
-        let batch_ok = params
-            .gq
-            .aggregate_verify(&id_refs, &node.ss, &node.challenge, &node.bind);
-        // One priced batch verification, however it came out.
-        node.meter.record(CompOp::SignVerify(Scheme::Gq));
-        if !batch_ok {
-            ok.store(false, std::sync::atomic::Ordering::Relaxed);
-            return;
-        }
-        if !bd::lemma1_holds(&params.bd, &node.xs) {
-            ok.store(false, std::sync::atomic::Ordering::Relaxed);
-            return;
-        }
-        let share = node.share.as_ref().expect("round 1 done");
-        let ring: Vec<Ubig> = (0..n)
-            .map(|j| node.xs[(node.idx + j) % n].clone())
-            .collect();
-        let key = bd::compute_key(
-            &params.bd,
-            &share.r,
-            &node.zs[(node.idx + n - 1) % n],
-            &ring,
-        );
-        node.meter.record(CompOp::ModExp); // the key exponentiation
-        node.derived = Some(key);
-    });
-    ok.load(std::sync::atomic::Ordering::Relaxed)
+    let mut gka = GkaRun::new(params, keys, seed, config, &Faults::none());
+    gka.run_to_completion();
+    gka.finish()
 }
 
 #[cfg(test)]
@@ -521,5 +553,44 @@ mod tests {
             }),
         };
         let _ = run(&params, &keys, 11, config);
+    }
+
+    #[test]
+    fn detached_member_stalls_the_run_without_blocking_the_caller() {
+        let (params, keys) = setup(4);
+        let faults = Faults {
+            detached: vec![UserId(2)],
+            ..Faults::default()
+        };
+        let mut gka = GkaRun::new(&params, &keys, 5, RunConfig::default(), &faults);
+        // Pump until quiescent: never blocks, never completes.
+        for _ in 0..32 {
+            if gka.pump() == Pump::Stalled {
+                break;
+            }
+        }
+        assert_eq!(gka.pump(), Pump::Stalled);
+        assert!(!gka.is_done());
+        // The healthy members' Round-1 transmissions are still accounted.
+        assert!(gka.partial_counts().msgs_tx >= 3);
+    }
+
+    #[test]
+    fn interleaved_runs_match_dedicated_runs() {
+        // Two groups pumped round-robin on one thread derive exactly the
+        // keys they derive when run back to back.
+        let (params, keys_a) = setup(4);
+        let keys_b = keys_a.clone();
+        let (ra, _) = run(&params, &keys_a, 77, RunConfig::default());
+        let (rb, _) = run(&params, &keys_b, 78, RunConfig::default());
+
+        let mut a = GkaRun::new(&params, &keys_a, 77, RunConfig::default(), &Faults::none());
+        let mut b = GkaRun::new(&params, &keys_b, 78, RunConfig::default(), &Faults::none());
+        while !(a.is_done() && b.is_done()) {
+            a.pump();
+            b.pump();
+        }
+        assert_eq!(a.finish().0.key(), ra.key());
+        assert_eq!(b.finish().0.key(), rb.key());
     }
 }

@@ -23,27 +23,34 @@
 //! every other member **individually** — the `2(n − 1)` verification
 //! exponentiations are exactly what makes SSN's column grow with `n`
 //! (and what the proposed protocol's batch verification eliminates).
+//!
+//! Per-node logic is a sans-IO [`crate::machine::RoundMachine`] sharing
+//! the proposed protocol's two-round script shape; [`run`] is the blocking
+//! driver over one [`SsnRun`].
+
+use std::sync::Arc;
 
 use egka_bigint::{mod_mul, mod_pow, Ubig};
 use egka_energy::complexity::InitialProtocol;
 use egka_energy::{CompOp, Meter};
 use egka_hash::{hash_to_below, ChaChaRng};
-use egka_net::{Endpoint, Medium};
 use egka_sig::GqSecretKey;
 use rand::SeedableRng;
 
 use crate::bd;
 use crate::ident::UserId;
-use crate::par::par_for_each_mut;
+use crate::machine::{
+    two_round_script, Dest, Engine, Execution, Faults, Metered, Outgoing, PhaseOut, Pump,
+};
 use crate::params::Params;
 use crate::proposed::{NodeReport, RunReport};
 use crate::wire::{kind, Reader, Writer};
 
-struct Node {
+struct NodeState {
     idx: usize,
     id: UserId,
     key: GqSecretKey,
-    ep: Endpoint,
+    params: Arc<Params>,
     meter: Meter,
     rng: ChaChaRng,
     share: Option<bd::Share>,
@@ -53,6 +60,12 @@ struct Node {
     xs: Vec<Ubig>,
     ss: Vec<Ubig>,
     derived: Option<Ubig>,
+}
+
+impl Metered for NodeState {
+    fn meter(&self) -> &Meter {
+        &self.meter
+    }
 }
 
 /// The per-sender implicit-authentication challenge
@@ -68,200 +81,227 @@ fn challenge(params: &Params, id: UserId, z: &Ubig, x: &Ubig, t: &Ubig, z_prod: 
     egka_hash::challenge_hash(&[&w.finish()]).rem_ref(&params.gq.e)
 }
 
+fn node_machine(state: NodeState, n: usize) -> Engine<NodeState> {
+    let proto = InitialProtocol::Ssn;
+    let phases = two_round_script(
+        state.idx,
+        kind::ROUND1,
+        kind::ROUND2,
+        n,
+        // Round 1: fresh share + commitment, both priced individually.
+        move |s: &mut NodeState| {
+            let share = bd::round1_share(&mut s.rng, &s.params.bd);
+            s.meter.record(CompOp::ModExp); // z_i
+            let (tau, t) = s.params.gq.commit(&mut s.rng);
+            s.meter.record(CompOp::ModExp); // t_i = τ^e (priced individually here)
+            let mut w = Writer::new();
+            w.put_id(s.id).put_ubig(&share.z).put_ubig(&t);
+            s.zs[s.idx] = share.z.clone();
+            s.ts[s.idx] = t;
+            s.tau = tau;
+            s.share = Some(share);
+            Outgoing {
+                to: Dest::Broadcast,
+                kind: kind::ROUND1,
+                payload: w.finish(),
+                nominal_bits: proto.round1_bits(),
+            }
+        },
+        // Absorb round 1, derive (X_i, s_i) under the per-sender challenge.
+        move |s: &mut NodeState, pkts| {
+            for pkt in pkts {
+                let mut r = Reader::new(&pkt.payload);
+                let id = r.get_id().expect("round-1 id");
+                let z = r.get_ubig().expect("round-1 z");
+                let t = r.get_ubig().expect("round-1 t");
+                r.expect_end().expect("no trailing bytes");
+                let j = id.0 as usize;
+                s.zs[j] = z;
+                s.ts[j] = t;
+            }
+            let share = s.share.as_ref().expect("round 1 done");
+            let x = bd::round2_x(
+                &s.params.bd,
+                &share.r,
+                &s.zs[(s.idx + n - 1) % n],
+                &s.zs[(s.idx + 1) % n],
+            );
+            s.meter.record(CompOp::ModExp); // X_i
+            s.meter.record(CompOp::ModInv);
+            let z_prod =
+                s.zs.iter()
+                    .fold(Ubig::one(), |acc, z| mod_mul(&acc, z, &s.params.bd.p));
+            let c = challenge(&s.params, s.id, &share.z, &x, &s.ts[s.idx], &z_prod);
+            let resp = s.params.gq.respond(&s.key, &s.tau, &c);
+            s.meter.record(CompOp::ModExp); // S^{c_i}
+            s.xs[s.idx] = x;
+            s.ss[s.idx] = resp;
+        },
+        move |s: &mut NodeState| {
+            let mut w = Writer::new();
+            w.put_id(s.id).put_ubig(&s.xs[s.idx]).put_ubig(&s.ss[s.idx]);
+            Outgoing {
+                to: Dest::Broadcast,
+                kind: kind::ROUND2,
+                payload: w.finish(),
+                nominal_bits: proto.round2_bits(),
+            }
+        },
+        move |s: &mut NodeState, pkts| {
+            for pkt in pkts {
+                let mut r = Reader::new(&pkt.payload);
+                let id = r.get_id().expect("round-2 id");
+                let x = r.get_ubig().expect("round-2 X");
+                let resp = r.get_ubig().expect("round-2 s");
+                r.expect_end().expect("no trailing bytes");
+                let j = id.0 as usize;
+                s.xs[j] = x;
+                s.ss[j] = resp;
+            }
+        },
+        // Per-sender implicit authentication + key (with confirmation
+        // exponent).
+        move |s: &mut NodeState| {
+            let z_prod =
+                s.zs.iter()
+                    .fold(Ubig::one(), |acc, z| mod_mul(&acc, z, &s.params.bd.p));
+            for j in 0..n {
+                if j == s.idx {
+                    continue;
+                }
+                let c = challenge(
+                    &s.params,
+                    UserId(j as u32),
+                    &s.zs[j],
+                    &s.xs[j],
+                    &s.ts[j],
+                    &z_prod,
+                );
+                // t_j == s_j^e · H(U_j)^{−c_j}: two modular exponentiations.
+                let se = mod_pow(&s.ss[j], &s.params.gq.e, &s.params.gq.n);
+                s.meter.record(CompOp::ModExp);
+                let h = s.params.gq.hash_id(&UserId(j as u32).to_bytes());
+                let h_inv = egka_bigint::mod_inverse(&h, &s.params.gq.n).expect("unit");
+                let hc = mod_pow(&h_inv, &c, &s.params.gq.n);
+                s.meter.record(CompOp::ModExp);
+                s.meter.record(CompOp::ModInv);
+                let t_rec = mod_mul(&se, &hc, &s.params.gq.n);
+                assert_eq!(t_rec, s.ts[j], "implicit authentication of U{j} failed");
+            }
+            let share = s.share.as_ref().expect("round 1 done");
+            let ring: Vec<Ubig> = (0..n).map(|k| s.xs[(s.idx + k) % n].clone()).collect();
+            let k_bd = bd::compute_key(&s.params.bd, &share.r, &s.zs[(s.idx + n - 1) % n], &ring);
+            s.meter.record(CompOp::ModExp); // BD key
+                                            // Key confirmation exponent: K' = K_BD^{H_q(Z)}.
+            let kc = hash_to_below(
+                b"egka.ssn.confirm.v1",
+                &z_prod.to_bytes_be(),
+                &s.params.bd.q,
+            );
+            let key = mod_pow(&k_bd, &kc, &s.params.bd.p);
+            s.meter.record(CompOp::ModExp);
+            s.derived = Some(key.clone());
+            PhaseOut::Done(key)
+        },
+    );
+    Engine::new(state, phases)
+}
+
+/// One in-flight SSN run (pumpable; see [`crate::proposed::GkaRun`]).
+pub struct SsnRun {
+    exec: Execution<NodeState>,
+}
+
+impl SsnRun {
+    /// Prepares a run for `keys.len()` users.
+    ///
+    /// # Panics
+    /// Panics if fewer than two keys are supplied or identities are not
+    /// `U0..U(n-1)`.
+    pub fn new(params: &Params, keys: &[GqSecretKey], seed: u64, faults: &Faults) -> Self {
+        let n = keys.len();
+        assert!(n >= 2, "a group needs at least two members");
+        // This baseline is only exercised on freshly numbered groups; the
+        // proposed protocol is the one that composes with dynamic events.
+        assert!(
+            keys.iter()
+                .enumerate()
+                .all(|(i, k)| k.id == UserId(i as u32).to_bytes()),
+            "SSN driver expects identities U0..U{}",
+            n - 1
+        );
+        let ids: Vec<UserId> = (0..n as u32).map(UserId).collect();
+        let shared = Arc::new(params.clone());
+        let exec = Execution::new(&ids, faults, |i, _| {
+            node_machine(
+                NodeState {
+                    idx: i,
+                    id: UserId(i as u32),
+                    key: keys[i].clone(),
+                    params: Arc::clone(&shared),
+                    meter: Meter::new(),
+                    rng: ChaChaRng::seed_from_u64(
+                        seed ^ (i as u64).wrapping_mul(0xd6e8_feb8_6659_fd93),
+                    ),
+                    share: None,
+                    tau: Ubig::zero(),
+                    zs: vec![Ubig::zero(); n],
+                    ts: vec![Ubig::zero(); n],
+                    xs: vec![Ubig::zero(); n],
+                    ss: vec![Ubig::zero(); n],
+                    derived: None,
+                },
+                n,
+            )
+        });
+        SsnRun { exec }
+    }
+
+    /// One non-blocking scheduling sweep.
+    pub fn pump(&mut self) -> Pump {
+        self.exec.pump()
+    }
+
+    /// True iff every member derived the key.
+    pub fn is_done(&self) -> bool {
+        self.exec.is_done()
+    }
+
+    /// Assembles the per-node reports.
+    ///
+    /// # Panics
+    /// Panics if the run has not finished or keys diverged.
+    pub fn finish(self) -> RunReport {
+        assert!(self.exec.is_done(), "finish() before the run completed");
+        let nodes: Vec<NodeReport> = (0..self.exec.n())
+            .map(|i| {
+                let state = self.exec.machine(i).state();
+                NodeReport {
+                    id: state.id,
+                    key: state.derived.clone().expect("derived"),
+                    counts: self.exec.node_counts(i),
+                }
+            })
+            .collect();
+        let report = RunReport { nodes, attempts: 1 };
+        assert!(report.keys_agree(), "SSN keys must agree");
+        report
+    }
+}
+
 /// Runs the SSN protocol for `keys.len()` users.
 ///
 /// # Panics
 /// Panics on any failed implicit-authentication check (honest runs only).
 pub fn run(params: &Params, keys: &[GqSecretKey], seed: u64) -> RunReport {
-    let n = keys.len();
-    assert!(n >= 2, "a group needs at least two members");
-    // This baseline is only exercised on freshly numbered groups; the
-    // proposed protocol is the one that composes with dynamic events.
-    assert!(
-        keys.iter()
-            .enumerate()
-            .all(|(i, k)| k.id == UserId(i as u32).to_bytes()),
-        "SSN driver expects identities U0..U{}",
-        n - 1
-    );
-    let medium = Medium::new();
-    let proto = InitialProtocol::Ssn;
-    let mut nodes: Vec<Node> = (0..n)
-        .map(|i| Node {
-            idx: i,
-            id: UserId(i as u32),
-            key: keys[i].clone(),
-            ep: medium.join(),
-            meter: Meter::new(),
-            rng: ChaChaRng::seed_from_u64(seed ^ (i as u64).wrapping_mul(0xd6e8_feb8_6659_fd93)),
-            share: None,
-            tau: Ubig::zero(),
-            zs: vec![Ubig::zero(); n],
-            ts: vec![Ubig::zero(); n],
-            xs: vec![Ubig::zero(); n],
-            ss: vec![Ubig::zero(); n],
-            derived: None,
-        })
-        .collect();
-
-    // ---- Round 1 ----
-    par_for_each_mut(&mut nodes, |_, node| {
-        let share = bd::round1_share(&mut node.rng, &params.bd);
-        node.meter.record(CompOp::ModExp); // z_i
-        let (tau, t) = params.gq.commit(&mut node.rng);
-        node.meter.record(CompOp::ModExp); // t_i = τ^e (priced individually here)
-        let mut w = Writer::new();
-        w.put_id(node.id).put_ubig(&share.z).put_ubig(&t);
-        node.ep
-            .broadcast(kind::ROUND1, w.finish(), proto.round1_bits());
-        node.zs[node.idx] = share.z.clone();
-        node.ts[node.idx] = t;
-        node.tau = tau;
-        node.share = Some(share);
-    });
-    par_for_each_mut(&mut nodes, |_, node| {
-        for _ in 0..n - 1 {
-            let pkt = node.ep.recv_kind(kind::ROUND1);
-            let mut r = Reader::new(&pkt.payload);
-            let id = r.get_id().expect("round-1 id");
-            let z = r.get_ubig().expect("round-1 z");
-            let t = r.get_ubig().expect("round-1 t");
-            r.expect_end().expect("no trailing bytes");
-            let j = id.0 as usize;
-            node.zs[j] = z;
-            node.ts[j] = t;
+    let mut ssn = SsnRun::new(params, keys, seed, &Faults::none());
+    loop {
+        match ssn.pump() {
+            Pump::Done => return ssn.finish(),
+            Pump::Progressed => {}
+            other => panic!("SSN run on a reliable medium cannot {other:?}"),
         }
-    });
-
-    // ---- Round 2 ----
-    par_for_each_mut(&mut nodes, |_, node| {
-        let share = node.share.as_ref().expect("round 1 done");
-        let x = bd::round2_x(
-            &params.bd,
-            &share.r,
-            &node.zs[(node.idx + n - 1) % n],
-            &node.zs[(node.idx + 1) % n],
-        );
-        node.meter.record(CompOp::ModExp); // X_i
-        node.meter.record(CompOp::ModInv);
-        let z_prod = node
-            .zs
-            .iter()
-            .fold(Ubig::one(), |acc, z| mod_mul(&acc, z, &params.bd.p));
-        let c = challenge(params, node.id, &share.z, &x, &node.ts[node.idx], &z_prod);
-        let s = params.gq.respond(&node.key, &node.tau, &c);
-        node.meter.record(CompOp::ModExp); // S^{c_i}
-        node.xs[node.idx] = x;
-        node.ss[node.idx] = s;
-    });
-    let send = |node: &Node| {
-        let mut w = Writer::new();
-        w.put_id(node.id)
-            .put_ubig(&node.xs[node.idx])
-            .put_ubig(&node.ss[node.idx]);
-        node.ep
-            .broadcast(kind::ROUND2, w.finish(), proto.round2_bits());
-    };
-    for node in nodes.iter().skip(1) {
-        send(node);
     }
-    {
-        let controller = &mut nodes[0];
-        for _ in 0..n - 1 {
-            let pkt = controller.ep.recv_kind(kind::ROUND2);
-            store_round2(controller, &pkt.payload);
-        }
-        send(&nodes[0]);
-    }
-    par_for_each_mut(&mut nodes[1..], |_, node| {
-        for _ in 0..n - 1 {
-            let pkt = node.ep.recv_kind(kind::ROUND2);
-            store_round2(node, &pkt.payload);
-        }
-    });
-
-    // ---- Per-sender implicit authentication + key ----
-    par_for_each_mut(&mut nodes, |_, node| {
-        let z_prod = node
-            .zs
-            .iter()
-            .fold(Ubig::one(), |acc, z| mod_mul(&acc, z, &params.bd.p));
-        for j in 0..n {
-            if j == node.idx {
-                continue;
-            }
-            let c = challenge(
-                params,
-                UserId(j as u32),
-                &node.zs[j],
-                &node.xs[j],
-                &node.ts[j],
-                &z_prod,
-            );
-            // t_j == s_j^e · H(U_j)^{−c_j}: two modular exponentiations.
-            let se = mod_pow(&node.ss[j], &params.gq.e, &params.gq.n);
-            node.meter.record(CompOp::ModExp);
-            let h = params.gq.hash_id(&UserId(j as u32).to_bytes());
-            let h_inv = egka_bigint::mod_inverse(&h, &params.gq.n).expect("unit");
-            let hc = mod_pow(&h_inv, &c, &params.gq.n);
-            node.meter.record(CompOp::ModExp);
-            node.meter.record(CompOp::ModInv);
-            let t_rec = mod_mul(&se, &hc, &params.gq.n);
-            assert_eq!(t_rec, node.ts[j], "implicit authentication of U{j} failed");
-        }
-        let share = node.share.as_ref().expect("round 1 done");
-        let ring: Vec<Ubig> = (0..n)
-            .map(|k| node.xs[(node.idx + k) % n].clone())
-            .collect();
-        let k_bd = bd::compute_key(
-            &params.bd,
-            &share.r,
-            &node.zs[(node.idx + n - 1) % n],
-            &ring,
-        );
-        node.meter.record(CompOp::ModExp); // BD key
-                                           // Key confirmation exponent: K' = K_BD^{H_q(Z)}.
-        let kc = hash_to_below(b"egka.ssn.confirm.v1", &z_prod.to_bytes_be(), &params.bd.q);
-        let key = mod_pow(&k_bd, &kc, &params.bd.p);
-        node.meter.record(CompOp::ModExp);
-        node.derived = Some(key);
-    });
-
-    let nodes_out: Vec<NodeReport> = nodes
-        .iter()
-        .map(|node| {
-            let mut counts = node.meter.snapshot();
-            let stats = medium.stats(node.ep.id());
-            counts.tx_bits = stats.tx_bits;
-            counts.rx_bits = stats.rx_bits;
-            counts.tx_bits_actual = stats.tx_bits_actual;
-            counts.rx_bits_actual = stats.rx_bits_actual;
-            counts.msgs_tx = stats.msgs_tx;
-            counts.msgs_rx = stats.msgs_rx;
-            NodeReport {
-                id: node.id,
-                key: node.derived.clone().expect("derived"),
-                counts,
-            }
-        })
-        .collect();
-    let report = RunReport {
-        nodes: nodes_out,
-        attempts: 1,
-    };
-    assert!(report.keys_agree(), "SSN keys must agree");
-    report
-}
-
-fn store_round2(node: &mut Node, payload: &[u8]) {
-    let mut r = Reader::new(payload);
-    let id = r.get_id().expect("round-2 id");
-    let x = r.get_ubig().expect("round-2 X");
-    let s = r.get_ubig().expect("round-2 s");
-    r.expect_end().expect("no trailing bytes");
-    let j = id.0 as usize;
-    node.xs[j] = x;
-    node.ss[j] = s;
 }
 
 #[cfg(test)]

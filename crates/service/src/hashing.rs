@@ -1,0 +1,98 @@
+//! Jump consistent hashing for elastic shard counts.
+//!
+//! The service used to place groups with a fixed `hash % N`: growing the
+//! shard pool from `N` to `N+1` remapped nearly every group (only `1/N+1`
+//! of `hash % N` placements coincide with `hash % (N+1)`), which would
+//! force a full re-registration of group state on every resize. Jump
+//! consistent hashing (Lamping & Veach, arXiv:1406.2294) gives the same
+//! O(1), zero-state placement but moves only `≈ 1/(N+1)` of the keys on a
+//! grow — and every moved key lands on the *new* bucket, never between old
+//! ones. The unit tests pin both properties.
+
+/// Maps `key` to a bucket in `0..buckets` such that growing `buckets` by
+/// one relocates only `≈ 1/buckets` of the keys (all onto the new bucket).
+///
+/// # Panics
+/// Panics if `buckets` is zero.
+pub fn jump_hash(key: u64, buckets: u32) -> u32 {
+    assert!(buckets > 0, "need at least one bucket");
+    let mut key = key;
+    let mut b: i64 = -1;
+    let mut j: i64 = 0;
+    while j < i64::from(buckets) {
+        b = j;
+        key = key.wrapping_mul(2862933555777941757).wrapping_add(1);
+        let r = ((1u64 << 31) as f64) / (((key >> 33) + 1) as f64);
+        j = (((b + 1) as f64) * r) as i64;
+    }
+    b as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn keys() -> impl Iterator<Item = u64> {
+        // Deterministic spread of group-id-like keys.
+        (0..10_000u64).map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ (i << 7))
+    }
+
+    #[test]
+    fn stays_in_range_and_is_deterministic() {
+        for buckets in [1u32, 2, 7, 8, 64] {
+            for k in keys().take(500) {
+                let b = jump_hash(k, buckets);
+                assert!(b < buckets);
+                assert_eq!(b, jump_hash(k, buckets));
+            }
+        }
+    }
+
+    #[test]
+    fn grow_moves_at_most_one_over_n_plus_slack() {
+        // The defining consistent-hashing property: going N → N+1 moves
+        // ≈ 1/(N+1) of keys; we allow 50% relative slack over 10k keys.
+        for n in [2u32, 4, 8, 16] {
+            let total = 10_000u32;
+            let moved = keys()
+                .filter(|&k| jump_hash(k, n) != jump_hash(k, n + 1))
+                .count() as u32;
+            let expected = total / (n + 1);
+            assert!(
+                moved <= expected + expected / 2,
+                "N={n}: moved {moved} of {total}, expected ≈ {expected}"
+            );
+            assert!(moved > 0, "N={n}: a grow must move some keys");
+        }
+    }
+
+    #[test]
+    fn moved_keys_land_only_on_the_new_bucket() {
+        for n in [3u32, 8, 13] {
+            for k in keys().take(3_000) {
+                let before = jump_hash(k, n);
+                let after = jump_hash(k, n + 1);
+                if before != after {
+                    assert_eq!(after, n, "moved keys must land on the new bucket");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn distribution_is_roughly_uniform() {
+        let buckets = 8u32;
+        let mut counts = vec![0u32; buckets as usize];
+        let total = 10_000;
+        for k in keys().take(total) {
+            counts[jump_hash(k, buckets) as usize] += 1;
+        }
+        let expected = total as u32 / buckets;
+        for (b, &c) in counts.iter().enumerate() {
+            assert!(
+                (expected / 2..expected * 2).contains(&c),
+                "bucket {b} holds {c}, expected ≈ {expected}"
+            );
+        }
+    }
+}

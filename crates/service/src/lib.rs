@@ -18,15 +18,25 @@
 //!                 │   │ shard 0 │ │ shard 1 │  …  │ shard N │    │
 //!                 │   │ groups  │ │ groups  │     │ groups  │    │
 //!                 │   │ queues  │ │ queues  │     │ queues  │    │
+//!                 │   │ ⟲ pump  │ │ ⟲ pump  │     │ ⟲ pump  │    │
 //!                 │   └─────────┘ └─────────┘     └─────────┘    │
 //!                 └──────────────────────────────────────────────┘
 //! ```
 //!
-//! * **Sharded registry** ([`shard`]): groups are hashed across `N` worker
-//!   shards; during a tick each shard runs single-threaded over its own
-//!   groups, so group state needs **no locking** and results are
-//!   deterministic regardless of thread scheduling. Only shards — never
-//!   individual groups — are fanned across threads.
+//! * **Sharded registry** (shard layer): groups are placed on `N` worker
+//!   shards by [`jump_hash`] (consistent: growing the pool relocates only
+//!   `≈ 1/(N+1)` of the groups); during a tick each shard runs
+//!   single-threaded over its own groups, so group state needs **no
+//!   locking** and results are deterministic regardless of thread
+//!   scheduling. Only shards — never individual groups — are fanned
+//!   across threads.
+//! * **Shards are schedulers, not drivers**: every rekey step is a
+//!   sans-IO `egka_core::machine` execution, and within a tick the shard
+//!   **interleaves** all pending groups' round machines round-robin
+//!   (`pump` in the diagram). A group stalled by a powered-off member or
+//!   persistent loss is detected, retried with fresh randomness, and
+//!   finally timed out — keeping its pre-epoch key, requeueing its events
+//!   — while every other group on the shard completes in the same epoch.
 //! * **Epoch-batched rekey coordinator** ([`plan`]): membership events
 //!   queue per group between ticks; each tick collapses a queue into the
 //!   **minimal sequence of the paper's §7 dynamics** — k leaves become one
@@ -35,8 +45,9 @@
 //!   cheaper), a join cancelled by a leave of the same pending user costs
 //!   nothing, and cross-group merge requests fold with one `merge_many`.
 //! * **Metrics** ([`metrics`]): per-epoch and cumulative — groups active,
-//!   events coalesced, rekeys executed, priced energy (mJ), operation
-//!   counts, and cumulative `egka_net::TrafficStats`.
+//!   events coalesced, rekeys executed/failed, steps retransmitted,
+//!   priced energy (mJ), operation counts, and cumulative
+//!   `egka_net::TrafficStats`.
 //!
 //! Every rekey executes the real protocols over the simulated medium —
 //! keys are derived by actual modular arithmetic on every simulated node
@@ -77,12 +88,14 @@
 #![warn(missing_docs)]
 
 pub mod event;
+pub mod hashing;
 pub mod metrics;
 pub mod plan;
 mod service;
 mod shard;
 
 pub use event::{GroupId, MembershipEvent, RejectReason, ServiceError};
+pub use hashing::jump_hash;
 pub use metrics::{EpochReport, ServiceMetrics};
 pub use plan::{plan_group, CostModel, RekeyPlan, RekeyStep};
 pub use service::{KeyService, ServiceConfig};

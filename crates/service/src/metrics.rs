@@ -33,6 +33,15 @@ pub struct ServiceMetrics {
     pub rekeys_executed: u64,
     /// Full initial-GKA re-runs (fallbacks and batched-join GKAs).
     pub full_gka_runs: u64,
+    /// Rekey steps that timed out after exhausting their retransmission
+    /// budget (the group kept its pre-epoch key; its events requeued).
+    pub rekeys_failed: u64,
+    /// Groups whose epoch was aborted by a stalled rekey (a powered-off
+    /// member, or persistent loss).
+    pub groups_stalled: u64,
+    /// Loss-stalled protocol steps that were retried with fresh
+    /// randomness ("all members retransmit" at the scheduler level).
+    pub steps_retried: u64,
     /// Epochs ticked.
     pub epochs: u64,
     /// Total priced energy across all nodes of all groups, in mJ.
@@ -77,6 +86,13 @@ pub struct EpochReport {
     pub rekeys_executed: u64,
     /// Full initial-GKA executions among them.
     pub full_gka_runs: u64,
+    /// Rekey steps that timed out this epoch (their groups kept their
+    /// pre-epoch keys; events requeued).
+    pub rekeys_failed: u64,
+    /// Groups stalled (epoch aborted) this epoch.
+    pub groups_stalled: u64,
+    /// Loss-stalled steps retried with fresh randomness this epoch.
+    pub steps_retried: u64,
     /// Groups dissolved this epoch.
     pub groups_dissolved: u64,
     /// Priced energy of this epoch's rekeys, in mJ.
@@ -85,7 +101,11 @@ pub struct EpochReport {
     pub ops: OpCounts,
     /// Traffic of this epoch's rekeys.
     pub traffic: TrafficStats,
-    /// Wall-clock latency of each group rekey executed this epoch.
+    /// Wall-clock from a group's epoch being planned to its commit, one
+    /// entry per group that rekeyed. Under the interleaving scheduler
+    /// this *includes* time the shard spent pumping other groups (and any
+    /// retransmitted attempts) — it measures what a caller of `tick()`
+    /// experiences per group, not a group's exclusive protocol time.
     pub rekey_latencies: Vec<Duration>,
 }
 
@@ -119,6 +139,9 @@ impl EpochReport {
         m.events_cancelled += self.events_cancelled;
         m.rekeys_executed += self.rekeys_executed;
         m.full_gka_runs += self.full_gka_runs;
+        m.rekeys_failed += self.rekeys_failed;
+        m.groups_stalled += self.groups_stalled;
+        m.steps_retried += self.steps_retried;
         m.groups_dissolved += self.groups_dissolved;
         m.energy_mj += self.energy_mj;
         m.ops.merge(&self.ops);

@@ -1,5 +1,6 @@
 //! The sharded, epoch-batched key-management service.
 
+use std::collections::BTreeSet;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -8,9 +9,10 @@ use egka_core::proposed;
 use egka_core::{dynamics, par, GroupSession, Pkg, RunConfig, UserId};
 
 use crate::event::{GroupId, MembershipEvent, RejectReason, ServiceError};
+use crate::hashing::jump_hash;
 use crate::metrics::{add_traffic, traffic_of, EpochReport, ServiceMetrics};
 use crate::plan::CostModel;
-use crate::shard::{mix, GroupState, Shard};
+use crate::shard::{mix, EpochCtx, GroupState, Shard};
 
 /// Service configuration.
 #[derive(Clone, Debug)]
@@ -23,6 +25,9 @@ pub struct ServiceConfig {
     /// Hardware model the coalescing planner optimizes for, and whether
     /// Joins run in composable mode.
     pub cost: CostModel,
+    /// How many times a loss-stalled rekey step is retried with fresh
+    /// randomness before its group is timed out for the epoch.
+    pub step_retries: u32,
 }
 
 impl Default for ServiceConfig {
@@ -31,6 +36,7 @@ impl Default for ServiceConfig {
             shards: 8,
             seed: 0xe96a,
             cost: CostModel::default(),
+            step_retries: 2,
         }
     }
 }
@@ -48,6 +54,12 @@ pub struct KeyService {
     shards: Vec<Shard>,
     epoch: u64,
     metrics: ServiceMetrics,
+    /// Per-delivery loss probability injected into every rekey step's
+    /// medium (0.0 = reliable).
+    loss: f64,
+    /// Members currently powered off: any group whose epoch needs one of
+    /// them stalls (and only that group — scheduler liveness).
+    detached: BTreeSet<UserId>,
 }
 
 impl KeyService {
@@ -64,12 +76,41 @@ impl KeyService {
             shards,
             epoch: 0,
             metrics: ServiceMetrics::default(),
+            loss: 0.0,
+            detached: BTreeSet::new(),
         }
     }
 
-    /// The shard index `gid` hashes to.
+    /// The shard index `gid` hashes to — jump consistent hashing, so
+    /// growing the shard pool relocates only `≈ 1/(N+1)` of the groups
+    /// (see [`crate::hashing`]).
     pub fn shard_of(&self, gid: GroupId) -> usize {
-        (mix(0x051a_6d0f_5ead, gid) % self.shards.len() as u64) as usize
+        jump_hash(mix(0x051a_6d0f_5ead, gid), self.shards.len() as u32) as usize
+    }
+
+    /// Injects per-delivery loss into every subsequent rekey step's
+    /// medium. Loss-stalled steps are retried (`step_retries`) with fresh
+    /// randomness — the paper's "all members retransmit" path, driven by
+    /// the scheduler. `0.0` restores reliable delivery.
+    ///
+    /// # Panics
+    /// Panics unless `0.0 <= prob < 1.0`.
+    pub fn set_loss(&mut self, prob: f64) {
+        assert!((0.0..1.0).contains(&prob), "loss probability out of range");
+        self.loss = prob;
+    }
+
+    /// Marks `member` as powered off: any group whose next rekey needs it
+    /// stalls and times out for the epoch (keeping its pre-epoch key,
+    /// requeueing its events) while every other group proceeds.
+    pub fn detach_member(&mut self, member: UserId) {
+        self.detached.insert(member);
+    }
+
+    /// Reverses [`KeyService::detach_member`]; requeued events apply at
+    /// the next tick.
+    pub fn attach_member(&mut self, member: UserId) {
+        self.detached.remove(&member);
     }
 
     /// Creates a group by running the initial authenticated GKA over
@@ -126,21 +167,33 @@ impl KeyService {
     }
 
     /// Runs one rekey epoch: resolves cross-group merges on the
-    /// coordinator, then fans the shards across threads — each shard
-    /// single-threaded over its own groups — and folds their reports.
+    /// coordinator, then fans the shards across threads — each shard a
+    /// single-threaded *scheduler* interleaving its pending groups' round
+    /// machines — and folds their reports.
     pub fn tick(&mut self) -> EpochReport {
         self.epoch += 1;
         let epoch = self.epoch;
 
-        let mut merge_report = self.resolve_merges(epoch);
+        let (mut merge_report, deferred_merges) = self.resolve_merges(epoch);
 
         // Fan out: shards are independent (no group spans two shards), so
         // this is lock-free parallelism; determinism is per-shard.
         let pkg = Arc::clone(&self.pkg);
         let cost = self.config.cost.clone();
         let seed = self.config.seed;
+        let detached: Vec<UserId> = self.detached.iter().copied().collect();
+        let loss = self.loss;
+        let step_retries = self.config.step_retries;
         par::par_for_each_mut(&mut self.shards, |_, shard| {
-            shard.run_epoch(&pkg, &cost, epoch, seed);
+            shard.run_epoch(&EpochCtx {
+                pkg: &pkg,
+                cost: &cost,
+                epoch,
+                service_seed: seed,
+                loss,
+                detached: &detached,
+                step_retries,
+            });
         });
 
         for shard in &mut self.shards {
@@ -152,11 +205,29 @@ impl KeyService {
             merge_report.events_cancelled += scratch.events_cancelled;
             merge_report.rekeys_executed += scratch.rekeys_executed;
             merge_report.full_gka_runs += scratch.full_gka_runs;
+            merge_report.rekeys_failed += scratch.rekeys_failed;
+            merge_report.groups_stalled += scratch.groups_stalled;
+            merge_report.steps_retried += scratch.steps_retried;
             merge_report.groups_dissolved += scratch.groups_dissolved;
             merge_report.energy_mj += scratch.energy_mj;
             merge_report.ops.merge(&scratch.ops);
             add_traffic(&mut merge_report.traffic, &scratch.traffic);
             merge_report.rekey_latencies.extend(scratch.rekey_latencies);
+        }
+        // Timed-out merge folds go back into their host's queue now —
+        // after the shard phase, so this tick's planners (which reject
+        // `MergeWith` by construction) never see them — and are resolved
+        // again at the next tick.
+        for (host, target) in deferred_merges {
+            if self.group_exists(host) {
+                let hs = self.shard_of(host);
+                self.shards[hs]
+                    .pending
+                    .entry(host)
+                    .or_default()
+                    .push(MembershipEvent::MergeWith(target));
+                // Already counted at its original submit; no re-count.
+            }
         }
         merge_report.epoch = epoch;
         merge_report.fold_into(&mut self.metrics);
@@ -168,12 +239,16 @@ impl KeyService {
     /// coordinator thread (merges are the one operation crossing shard
     /// boundaries). Host groups are processed in ascending id order;
     /// absorbed groups forward both their queued events and their pending
-    /// merge requests to their absorber.
-    fn resolve_merges(&mut self, epoch: u64) -> EpochReport {
+    /// merge requests to their absorber. Folds that time out under the
+    /// fault plan are returned as deferred `(host, target)` requests; the
+    /// caller reinjects them after the shard phase so they retry next
+    /// tick.
+    fn resolve_merges(&mut self, epoch: u64) -> (EpochReport, Vec<(GroupId, GroupId)>) {
         let mut report = EpochReport {
             epoch,
             ..EpochReport::default()
         };
+        let mut deferred: Vec<(GroupId, GroupId)> = Vec::new();
 
         // (host, target) pairs in deterministic order.
         let mut requests: Vec<(GroupId, GroupId)> = Vec::new();
@@ -189,7 +264,7 @@ impl KeyService {
             }
         }
         if requests.is_empty() {
-            return report;
+            return (report, deferred);
         }
         requests.sort();
 
@@ -246,59 +321,121 @@ impl KeyService {
                 continue;
             }
 
-            // Fold host + targets with merge_many (k−1 pairwise merges).
-            let host_shard = self.shard_of(host);
-            let host_state = self.shards[host_shard]
-                .groups
-                .remove(&host)
-                .expect("exists");
-            let (host_created_epoch, host_rekeys) = (host_state.created_epoch, host_state.rekeys);
-            let mut sessions: Vec<GroupSession> = vec![host_state.session];
-            for &t in &targets {
-                let ts = self.shard_of(t);
-                let state = self.shards[ts].groups.remove(&t).expect("exists");
-                sessions.push(state.session);
-            }
+            // Fold the targets into the host with k−1 pairwise merges
+            // (`merge_many`'s schedule), each under the service's fault
+            // plan: a stalled fold retransmits with fresh randomness and,
+            // if it keeps stalling (e.g. a powered-off member), the
+            // remaining merge requests are deferred to the next tick with
+            // every already-committed fold kept.
             let started = Instant::now();
-            let refs: Vec<&GroupSession> = sessions.iter().collect();
             let seed = mix(mix(self.config.seed, host), epoch ^ 0x6d65);
-            let out = dynamics::merge_many(&refs, seed);
-            for r in &out.reports {
-                report.ops.merge(&r.counts);
-            }
-            report.rekey_latencies.push(started.elapsed());
-            report.rekeys_executed += targets.len() as u64; // k−1 folds
-            report.events_applied += targets.len() as u64;
+            let host_shard = self.shard_of(host);
+            let mut acc = self.shards[host_shard].groups[&host].session.clone();
             report.groups_touched += 1;
-
-            // The merged ring lives on under the host id; absorbed groups'
-            // pending events forward to the host.
-            for &t in &targets {
-                absorbed.insert(t, host);
-                self.metrics.groups_merged_away += 1;
-                let ts = self.shard_of(t);
-                let forwarded = self.shards[ts].pending.remove(&t).unwrap_or_default();
-                if !forwarded.is_empty() {
-                    let hs = self.shard_of(host);
-                    self.shards[hs]
-                        .pending
-                        .entry(host)
-                        .or_default()
-                        .extend(forwarded);
+            let mut folds_done = 0u64;
+            for (j, &t) in targets.iter().enumerate() {
+                // merge_many's fold seeds: `seed` for the first fold,
+                // `seed ^ (k << 8)` for session index k ≥ 2.
+                let fold_seed = if j == 0 {
+                    seed
+                } else {
+                    seed ^ ((j as u64 + 1) << 8)
+                };
+                let target_session = self.shards[self.shard_of(t)].groups[&t].session.clone();
+                match self.fold_one_merge(&acc, &target_session, fold_seed, &mut report) {
+                    Some(out) => {
+                        for r in &out.reports {
+                            report.ops.merge(&r.counts);
+                        }
+                        acc = out.session;
+                        folds_done += 1;
+                        report.rekeys_executed += 1;
+                        report.events_applied += 1;
+                        // The absorbed group's pending events forward to
+                        // the host.
+                        absorbed.insert(t, host);
+                        self.metrics.groups_merged_away += 1;
+                        let ts = self.shard_of(t);
+                        self.shards[ts].groups.remove(&t);
+                        let forwarded = self.shards[ts].pending.remove(&t).unwrap_or_default();
+                        if !forwarded.is_empty() {
+                            self.shards[host_shard]
+                                .pending
+                                .entry(host)
+                                .or_default()
+                                .extend(forwarded);
+                        }
+                    }
+                    None => {
+                        // This fold (and, with the host ring unchanged,
+                        // every later one) cannot complete now; defer the
+                        // unserved requests past this tick's shard phase.
+                        report.rekeys_failed += 1;
+                        report.groups_stalled += 1;
+                        deferred.extend(targets[j..].iter().map(|&rem| (host, rem)));
+                        break;
+                    }
                 }
             }
-            self.shards[host_shard].groups.insert(
-                host,
-                GroupState {
-                    session: out.session,
-                    created_epoch: host_created_epoch,
-                    rekeys: host_rekeys + targets.len() as u64,
-                },
-            );
+            if folds_done > 0 {
+                let state = self.shards[host_shard]
+                    .groups
+                    .get_mut(&host)
+                    .expect("host exists");
+                state.session = acc;
+                state.rekeys += folds_done;
+                report.rekey_latencies.push(started.elapsed());
+            }
         }
         report.energy_mj = self.config.cost.price_mj(&report.ops);
         add_traffic(&mut report.traffic, &traffic_of(&report.ops));
-        report
+        (report, deferred)
+    }
+
+    /// Attempts one pairwise merge fold under the service fault plan,
+    /// retrying loss stalls with fresh randomness. `None` means the fold
+    /// timed out (its wasted transmissions are already charged).
+    fn fold_one_merge(
+        &self,
+        acc: &GroupSession,
+        target: &GroupSession,
+        fold_seed: u64,
+        report: &mut EpochReport,
+    ) -> Option<dynamics::MergeOutcome> {
+        use egka_core::machine::Faults;
+        use egka_core::Pump;
+        let involves_detached = acc
+            .member_ids()
+            .iter()
+            .chain(target.member_ids().iter())
+            .any(|u| self.detached.contains(u));
+        let mut retry = 0u32;
+        loop {
+            let salted = if retry == 0 {
+                fold_seed
+            } else {
+                mix(fold_seed, 0x7e70 + u64::from(retry))
+            };
+            let faults = Faults {
+                loss: self.loss,
+                loss_seed: mix(salted, 0x105e),
+                detached: self.detached.iter().copied().collect(),
+            };
+            let mut run = dynamics::MergeRun::new(acc, target, salted, &faults);
+            loop {
+                match run.pump() {
+                    Pump::Done => return Some(run.finish()),
+                    Pump::Progressed => {}
+                    Pump::Stalled | Pump::Failed(_) => break,
+                }
+            }
+            report.ops.merge(&run.partial_counts());
+            if involves_detached || retry >= self.config.step_retries {
+                return None;
+            }
+            retry += 1;
+            report.steps_retried += 1;
+        }
     }
 
     fn group_exists(&self, gid: GroupId) -> bool {

@@ -1,15 +1,31 @@
-//! A worker shard: exclusive owner of a subset of the service's groups.
+//! A worker shard: exclusive owner of a subset of the service's groups,
+//! and a **scheduler** (not a driver) for their rekeys.
 //!
-//! Groups are hashed across shards at creation; each shard is driven
-//! **single-threaded** over its own groups during an epoch tick (the
+//! Groups are placed on shards by jump consistent hashing; each shard is
+//! driven single-threaded over its own groups during an epoch tick (the
 //! service fans shards — not groups — across threads), so group state
-//! needs no locking at all and epoch results are deterministic regardless
-//! of how the OS schedules the shard threads.
+//! needs no locking and epoch results are deterministic regardless of how
+//! the OS schedules the shard threads.
+//!
+//! Within a tick the shard no longer runs each group's rekey to
+//! completion before touching the next: every pending group's protocol
+//! step is a sans-IO [`egka_core::machine`] execution, and
+//! [`Shard::run_epoch`] **interleaves** them round-robin, pumping each
+//! group's machines as far as they go without blocking. A group whose
+//! member is powered off simply stops making progress; the scheduler
+//! detects the stall (a pump sweep with zero movement on a private medium
+//! is permanent), charges the wasted transmissions, retries lossy-medium
+//! stalls with fresh randomness, and finally times the group out — while
+//! every other group on the shard completes in the same epoch. That
+//! per-group isolation under faults is the liveness property
+//! `tests/liveness.rs` pins.
 
 use std::collections::BTreeMap;
 use std::time::Instant;
 
-use egka_core::{dynamics, proposed, GroupSession, Pkg, RunConfig, UserId};
+use egka_core::machine::Faults;
+use egka_core::proposed::GkaRun;
+use egka_core::{dynamics, GroupSession, Pkg, Pump, RunConfig, UserId};
 use egka_energy::OpCounts;
 
 use crate::event::{GroupId, MembershipEvent, RejectReason};
@@ -35,6 +51,83 @@ pub(crate) fn mix(a: u64, b: u64) -> u64 {
     z ^ (z >> 31)
 }
 
+/// Epoch-wide execution context handed to every shard.
+pub(crate) struct EpochCtx<'a> {
+    pub pkg: &'a Pkg,
+    pub cost: &'a CostModel,
+    pub epoch: u64,
+    pub service_seed: u64,
+    /// Network faults injected into every protocol step's medium.
+    pub loss: f64,
+    pub detached: &'a [UserId],
+    /// Retransmission budget for loss-stalled steps before the group is
+    /// timed out for the epoch.
+    pub step_retries: u32,
+}
+
+impl EpochCtx<'_> {
+    fn faults_for(&self, step_seed: u64) -> Faults {
+        Faults {
+            loss: self.loss,
+            loss_seed: mix(step_seed, 0x105e),
+            detached: self.detached.to_vec(),
+        }
+    }
+}
+
+/// The protocol execution currently in flight for one group's plan step.
+enum StepRun {
+    Gka(GkaRun),
+    Join(dynamics::JoinRun),
+    Partition(dynamics::LeaveRun),
+    /// First half of `MergeNewcomers`: the newcomers' own initial GKA.
+    NewcomerGka(GkaRun),
+    /// Second half: folding the newcomer ring into the group.
+    Merge(dynamics::MergeRun),
+}
+
+impl StepRun {
+    fn pump(&mut self) -> Pump {
+        match self {
+            StepRun::Gka(r) | StepRun::NewcomerGka(r) => r.pump(),
+            StepRun::Join(r) => r.pump(),
+            StepRun::Partition(r) => r.pump(),
+            StepRun::Merge(r) => r.pump(),
+        }
+    }
+
+    fn partial_counts(&self) -> OpCounts {
+        match self {
+            StepRun::Gka(r) | StepRun::NewcomerGka(r) => r.partial_counts(),
+            StepRun::Join(r) => r.partial_counts(),
+            StepRun::Partition(r) => r.partial_counts(),
+            StepRun::Merge(r) => r.partial_counts(),
+        }
+    }
+}
+
+/// One group's epoch work: its plan, working session, and progress.
+struct ActiveGroup {
+    gid: GroupId,
+    original_events: Vec<MembershipEvent>,
+    plan: RekeyPlan,
+    step_idx: usize,
+    runner: Option<StepRun>,
+    /// The (retry-salted) seed the current runner was built with — the
+    /// merge half of a batched join derives from it, so a retried
+    /// attempt's second half re-rolls its randomness and loss pattern too.
+    runner_seed: u64,
+    retries: u32,
+    session: GroupSession,
+    ops: OpCounts,
+    rekeys: u64,
+    gka_runs: u64,
+    started: Instant,
+    dissolved: bool,
+    done: bool,
+    failed: bool,
+}
+
 /// A shard: groups + their pending event queues.
 #[derive(Default)]
 pub(crate) struct Shard {
@@ -47,11 +140,16 @@ pub(crate) struct Shard {
 
 impl Shard {
     /// Executes one epoch over this shard's groups: drain each non-empty
-    /// queue, collapse it into a [`RekeyPlan`], run the plan, record
-    /// metrics into `self.scratch`. Deterministic given (state, seed).
-    pub fn run_epoch(&mut self, pkg: &Pkg, cost: &CostModel, epoch: u64, service_seed: u64) {
+    /// queue, collapse it into a [`RekeyPlan`], then **interleave** every
+    /// plan's protocol steps round-robin until each group completes,
+    /// stalls out, or dissolves. Deterministic given (state, seed, fault
+    /// plan). A group's epoch is atomic: its session and its plan's event
+    /// accounting commit only if every step completes; a timed-out group
+    /// keeps its pre-epoch key and its events are requeued for the next
+    /// tick.
+    pub fn run_epoch(&mut self, ctx: &EpochCtx<'_>) {
         let mut report = EpochReport {
-            epoch,
+            epoch: ctx.epoch,
             ..EpochReport::default()
         };
         let queues: Vec<(GroupId, Vec<MembershipEvent>)> = std::mem::take(&mut self.pending)
@@ -59,8 +157,10 @@ impl Shard {
             .filter(|(_, q)| !q.is_empty())
             .collect();
 
+        // ---- Plan every group's epoch ----
+        let mut active: Vec<ActiveGroup> = Vec::new();
         for (gid, events) in queues {
-            let Some(state) = self.groups.get_mut(&gid) else {
+            let Some(state) = self.groups.get(&gid) else {
                 // Group dissolved/merged away after the events were queued.
                 report.events_rejected += events.len() as u64;
                 report.rejections.extend(
@@ -71,143 +171,298 @@ impl Shard {
                 continue;
             };
             report.groups_touched += 1;
-            let plan = plan_group(&state.session, &events, cost);
-            report.events_applied += plan.events_applied;
-            report.events_cancelled += plan.events_cancelled;
-            report.events_rejected += plan.rejected.len() as u64;
-            report.rejections.extend(
-                plan.rejected
-                    .iter()
-                    .cloned()
-                    .map(|(ev, why)| (gid, ev, why)),
-            );
-
+            let plan = plan_group(&state.session, &events, ctx.cost);
             if plan.steps.is_empty() {
+                // Nothing to execute (e.g. a cancelled join/leave pair):
+                // the plan's accounting commits immediately.
+                fold_plan_accounting(&mut report, gid, &plan);
                 continue;
             }
-            let started = Instant::now();
-            let seed = mix(mix(service_seed, gid), epoch);
-            let outcome = execute_plan(pkg, &state.session, &plan, seed, cost);
-            report.rekeys_executed += outcome.rekeys;
-            report.full_gka_runs += outcome.gka_runs;
-            report.ops.merge(&outcome.ops);
-            add_traffic(&mut report.traffic, &traffic_of(&outcome.ops));
-            report.energy_mj += cost.price_mj(&outcome.ops);
-            match outcome.session {
-                Some(session) => {
-                    state.session = session;
-                    state.rekeys += outcome.rekeys;
-                    report.rekey_latencies.push(started.elapsed());
-                }
-                None => {
-                    self.groups.remove(&gid);
-                    report.groups_dissolved += 1;
-                }
+            active.push(ActiveGroup {
+                gid,
+                original_events: events,
+                plan,
+                step_idx: 0,
+                runner: None,
+                runner_seed: 0,
+                retries: 0,
+                session: state.session.clone(),
+                ops: OpCounts::new(),
+                rekeys: 0,
+                gka_runs: 0,
+                started: Instant::now(),
+                dissolved: false,
+                done: false,
+                failed: false,
+            });
+        }
+
+        // ---- Interleave: one pump per unfinished group per sweep ----
+        while active.iter().any(|g| !g.done) {
+            for g in active.iter_mut().filter(|g| !g.done) {
+                self.advance_group(g, ctx, &mut report);
+            }
+        }
+
+        // ---- Commit ----
+        for g in active {
+            if g.failed {
+                // Atomic epoch: the group keeps its pre-epoch session and
+                // key; its events go back to the head of the queue so the
+                // next tick retries them (e.g. once the member re-attaches).
+                report.groups_stalled += 1;
+                let queue = self.pending.entry(g.gid).or_default();
+                let mut requeued = g.original_events;
+                requeued.append(queue);
+                *queue = requeued;
+                // The wasted transmissions and computations are real
+                // energy; charge them even though no key changed.
+                report.ops.merge(&g.ops);
+                add_traffic(&mut report.traffic, &traffic_of(&g.ops));
+                report.energy_mj += ctx.cost.price_mj(&g.ops);
+                continue;
+            }
+            fold_plan_accounting(&mut report, g.gid, &g.plan);
+            report.rekeys_executed += g.rekeys;
+            report.full_gka_runs += g.gka_runs;
+            report.ops.merge(&g.ops);
+            add_traffic(&mut report.traffic, &traffic_of(&g.ops));
+            report.energy_mj += ctx.cost.price_mj(&g.ops);
+            if g.dissolved {
+                self.groups.remove(&g.gid);
+                report.groups_dissolved += 1;
+            } else if g.rekeys > 0 {
+                let state = self.groups.get_mut(&g.gid).expect("active group exists");
+                state.session = g.session;
+                state.rekeys += g.rekeys;
+                report.rekey_latencies.push(g.started.elapsed());
             }
         }
         self.scratch = report;
     }
-}
 
-/// Result of executing one group's plan.
-pub(crate) struct PlanOutcome {
-    /// `None` iff the group dissolved.
-    pub session: Option<GroupSession>,
-    /// Summed per-node counts of every protocol run in the plan.
-    pub ops: OpCounts,
-    /// §7/fallback protocol executions performed.
-    pub rekeys: u64,
-    /// Full initial-GKA executions among them (fallbacks + batched-join
-    /// newcomer GKAs).
-    pub gka_runs: u64,
-}
+    /// Gives `g` one scheduling quantum: materialize its current step's
+    /// execution if needed, pump it, and handle completion / stall.
+    fn advance_group(&self, g: &mut ActiveGroup, ctx: &EpochCtx<'_>, report: &mut EpochReport) {
+        let group_seed = mix(mix(ctx.service_seed, g.gid), ctx.epoch);
 
-/// Runs a [`RekeyPlan`] against a session, returning the new session and
-/// the *measured* (instrumented) cost of every protocol execution.
-pub(crate) fn execute_plan(
-    pkg: &Pkg,
-    session: &GroupSession,
-    plan: &RekeyPlan,
-    seed: u64,
-    cost: &CostModel,
-) -> PlanOutcome {
-    let mut current = session.clone();
-    let mut ops = OpCounts::new();
-    let mut rekeys = 0u64;
-    let mut gka_runs = 0u64;
+        // Materialize the runner for the current step.
+        if g.runner.is_none() {
+            let step = &g.plan.steps[g.step_idx];
+            if matches!(step, RekeyStep::Dissolve) {
+                g.dissolved = true;
+                g.done = true;
+                return;
+            }
+            let base_seed = mix(group_seed, g.step_idx as u64 + 1);
+            let step_seed = if g.retries == 0 {
+                base_seed
+            } else {
+                // Fresh randomness per retransmission attempt.
+                mix(base_seed, 0x7e70 + u64::from(g.retries))
+            };
+            let faults = ctx.faults_for(step_seed);
+            g.runner_seed = step_seed;
+            g.runner = Some(build_step(
+                ctx.pkg,
+                &g.session,
+                step,
+                step_seed,
+                ctx.cost.composable_joins,
+                &faults,
+            ));
+        }
 
-    for (idx, step) in plan.steps.iter().enumerate() {
-        let step_seed = mix(seed, idx as u64 + 1);
-        match step {
-            RekeyStep::Dissolve => {
-                return PlanOutcome {
-                    session: None,
-                    ops,
-                    rekeys,
-                    gka_runs,
-                };
+        let runner = g.runner.as_mut().expect("materialized above");
+        match runner.pump() {
+            Pump::Progressed => {}
+            Pump::Done => {
+                let finished = g.runner.take().expect("pumped");
+                let seed = g.runner_seed;
+                self.complete_step(g, finished, seed, ctx);
             }
-            RekeyStep::Partition { leavers } => {
-                let positions: Vec<usize> = leavers
-                    .iter()
-                    .map(|&u| {
-                        current
-                            .position_of(u)
-                            .expect("planner only removes live members")
-                    })
-                    .collect();
-                let out = dynamics::partition(&current, &positions, step_seed);
-                for r in &out.reports {
-                    ops.merge(&r.counts);
+            Pump::Stalled | Pump::Failed(_) => {
+                // On a private per-group medium a zero-progress sweep is
+                // permanent: every machine is blocked and nothing is in
+                // flight. Charge the aborted attempt and retry or give up.
+                let aborted = g.runner.take().expect("pumped");
+                g.ops.merge(&aborted.partial_counts());
+                let detached_member = group_touches_detached(g, ctx);
+                if !detached_member && g.retries < ctx.step_retries {
+                    g.retries += 1;
+                    report.steps_retried += 1;
+                    // Runner rebuilds with a salted seed next quantum.
+                } else {
+                    report.rekeys_failed += 1;
+                    g.failed = true;
+                    g.done = true;
                 }
-                current = out.session;
-                rekeys += 1;
-            }
-            RekeyStep::JoinOne { newcomer } => {
-                let key = pkg.extract(*newcomer);
-                let out =
-                    dynamics::join(&current, *newcomer, &key, step_seed, cost.composable_joins);
-                for r in &out.reports {
-                    ops.merge(&r.counts);
-                }
-                current = out.session;
-                rekeys += 1;
-            }
-            RekeyStep::MergeNewcomers { newcomers } => {
-                let keys: Vec<_> = newcomers.iter().map(|&u| pkg.extract(u)).collect();
-                let (gka_report, newcomer_session) =
-                    proposed::run(&current.params, &keys, step_seed, RunConfig::default());
-                for node in &gka_report.nodes {
-                    ops.merge(&node.counts);
-                }
-                gka_runs += 1;
-                let out = dynamics::merge(&current, &newcomer_session, mix(step_seed, 0x6d));
-                for r in &out.reports {
-                    ops.merge(&r.counts);
-                }
-                current = out.session;
-                rekeys += 1;
-            }
-            RekeyStep::FullRekey { members } => {
-                let keys: Vec<_> = members.iter().map(|&u| pkg.extract(u)).collect();
-                let (report, session) =
-                    proposed::run(&current.params, &keys, step_seed, RunConfig::default());
-                for node in &report.nodes {
-                    ops.merge(&node.counts);
-                }
-                current = session;
-                rekeys += 1;
-                gka_runs += 1;
             }
         }
     }
 
-    PlanOutcome {
-        session: Some(current),
-        ops,
-        rekeys,
-        gka_runs,
+    /// Folds a finished step's outcome into the group and arms the next
+    /// step (or the merge half of a batched join).
+    fn complete_step(
+        &self,
+        g: &mut ActiveGroup,
+        finished: StepRun,
+        step_seed: u64,
+        ctx: &EpochCtx<'_>,
+    ) {
+        match finished {
+            StepRun::Gka(run) => {
+                let (run_report, session) = run.finish();
+                for node in &run_report.nodes {
+                    g.ops.merge(&node.counts);
+                }
+                g.session = session;
+                g.rekeys += 1;
+                g.gka_runs += 1;
+            }
+            StepRun::Join(run) => {
+                let out = run.finish();
+                for r in &out.reports {
+                    g.ops.merge(&r.counts);
+                }
+                g.session = out.session;
+                g.rekeys += 1;
+            }
+            StepRun::Partition(run) => {
+                let out = run.finish();
+                for r in &out.reports {
+                    g.ops.merge(&r.counts);
+                }
+                g.session = out.session;
+                g.rekeys += 1;
+            }
+            StepRun::NewcomerGka(run) => {
+                let (run_report, newcomer_session) = run.finish();
+                for node in &run_report.nodes {
+                    g.ops.merge(&node.counts);
+                }
+                g.gka_runs += 1;
+                // Second half: fold the newcomer ring into the group,
+                // under the same epoch fault plan.
+                let merge_seed = mix(step_seed, 0x6d);
+                g.runner = Some(StepRun::Merge(dynamics::MergeRun::new(
+                    &g.session,
+                    &newcomer_session,
+                    merge_seed,
+                    &ctx.faults_for(merge_seed),
+                )));
+                return;
+            }
+            StepRun::Merge(run) => {
+                let out = run.finish();
+                for r in &out.reports {
+                    g.ops.merge(&r.counts);
+                }
+                g.session = out.session;
+                g.rekeys += 1;
+            }
+        }
+        g.retries = 0;
+        g.step_idx += 1;
+        if g.step_idx == g.plan.steps.len() {
+            g.done = true;
+        }
     }
+}
+
+/// Whether any member this epoch touches (survivors or arrivals) is in
+/// the detached set — such a group cannot succeed by retrying, so it
+/// fails fast instead of burning the retransmission budget.
+fn group_touches_detached(g: &ActiveGroup, ctx: &EpochCtx<'_>) -> bool {
+    if ctx.detached.is_empty() {
+        return false;
+    }
+    let in_session = g
+        .session
+        .member_ids()
+        .iter()
+        .any(|u| ctx.detached.contains(u));
+    let in_plan = g.plan.steps.iter().any(|s| match s {
+        RekeyStep::JoinOne { newcomer } => ctx.detached.contains(newcomer),
+        RekeyStep::MergeNewcomers { newcomers } => {
+            newcomers.iter().any(|u| ctx.detached.contains(u))
+        }
+        RekeyStep::FullRekey { members } => members.iter().any(|u| ctx.detached.contains(u)),
+        RekeyStep::Partition { .. } | RekeyStep::Dissolve => false,
+    });
+    in_session || in_plan
+}
+
+/// Materializes one plan step as a pumpable protocol execution.
+fn build_step(
+    pkg: &Pkg,
+    session: &GroupSession,
+    step: &RekeyStep,
+    step_seed: u64,
+    composable_joins: bool,
+    faults: &Faults,
+) -> StepRun {
+    match step {
+        RekeyStep::Dissolve => unreachable!("dissolve has no protocol execution"),
+        RekeyStep::Partition { leavers } => {
+            let positions: std::collections::BTreeSet<usize> = leavers
+                .iter()
+                .map(|&u| {
+                    session
+                        .position_of(u)
+                        .expect("planner only removes live members")
+                })
+                .collect();
+            StepRun::Partition(dynamics::LeaveRun::new(
+                session, &positions, step_seed, faults,
+            ))
+        }
+        RekeyStep::JoinOne { newcomer } => {
+            let key = pkg.extract(*newcomer);
+            StepRun::Join(dynamics::JoinRun::new(
+                session,
+                *newcomer,
+                &key,
+                step_seed,
+                composable_joins,
+                faults,
+            ))
+        }
+        RekeyStep::MergeNewcomers { newcomers } => {
+            let keys: Vec<_> = newcomers.iter().map(|&u| pkg.extract(u)).collect();
+            StepRun::NewcomerGka(GkaRun::new(
+                &session.params,
+                &keys,
+                step_seed,
+                RunConfig::default(),
+                faults,
+            ))
+        }
+        RekeyStep::FullRekey { members } => {
+            let keys: Vec<_> = members.iter().map(|&u| pkg.extract(u)).collect();
+            StepRun::Gka(GkaRun::new(
+                &session.params,
+                &keys,
+                step_seed,
+                RunConfig::default(),
+                faults,
+            ))
+        }
+    }
+}
+
+/// Commits a plan's admission accounting (applied / cancelled / rejected)
+/// into the epoch report.
+fn fold_plan_accounting(report: &mut EpochReport, gid: GroupId, plan: &RekeyPlan) {
+    report.events_applied += plan.events_applied;
+    report.events_cancelled += plan.events_cancelled;
+    report.events_rejected += plan.rejected.len() as u64;
+    report.rejections.extend(
+        plan.rejected
+            .iter()
+            .cloned()
+            .map(|(ev, why)| (gid, ev, why)),
+    );
 }
 
 /// Applies `UserId`-keyed events in arrival order to a plain vector —

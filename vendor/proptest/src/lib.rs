@@ -263,7 +263,7 @@ impl_range_strategy!(u8, u16, u32, u64, usize);
 pub mod collection {
     use super::{Strategy, TestRng};
 
-    /// Admissible length ranges for [`vec`].
+    /// Admissible length ranges for [`vec()`].
     #[derive(Clone, Debug)]
     pub struct SizeRange {
         lo: usize,

@@ -16,8 +16,12 @@
 //! medium, exercising the shard scheduler's stall-detection and
 //! retransmission path. With `--check-determinism` the scenario runs
 //! twice and the two fingerprints are compared.
+//!
+//! The scenario totals are also written as machine-readable JSON to
+//! `BENCH_service_churn.json` (override with `--json PATH`, disable with
+//! `--json -`), so the perf trajectory is tracked across PRs.
 
-use egka_bench::{arg_value, has_flag};
+use egka_bench::{arg_value, churn_report_json, has_flag};
 use egka_sim::{run_churn, ChurnConfig};
 
 fn main() {
@@ -63,6 +67,13 @@ fn main() {
 
     let report = run_churn(&config);
     print!("{}", report.render());
+
+    let json_path = arg_value("--json").unwrap_or_else(|| "BENCH_service_churn.json".into());
+    if json_path != "-" {
+        std::fs::write(&json_path, churn_report_json(&report))
+            .unwrap_or_else(|e| panic!("writing {json_path}: {e}"));
+        println!("\nwrote {json_path}");
+    }
 
     // Acceptance assert: batching must actually save protocol executions.
     // Only binding at meaningful workload sizes — a tiny or idle run can

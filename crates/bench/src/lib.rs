@@ -53,6 +53,75 @@ pub fn has_flag(name: &str) -> bool {
     std::env::args().any(|a| a == name)
 }
 
+/// Renders a churn report as a flat JSON object — the machine-readable
+/// artifact (`BENCH_service_churn.json`) that tracks the perf trajectory
+/// across PRs. Hand-rolled (no JSON dependency in this environment): every
+/// value is a number, a hex string, or a `{p50,p95,p99}` object.
+pub fn churn_report_json(report: &egka_sim::ChurnReport) -> String {
+    fn quantiles_ms(q: Option<(f64, f64, f64)>) -> String {
+        match q {
+            Some((p50, p95, p99)) => {
+                format!("{{\"p50\": {p50:.3}, \"p95\": {p95:.3}, \"p99\": {p99:.3}}}")
+            }
+            None => "null".to_string(),
+        }
+    }
+    // An idle run has rekeys == 0 and a coalesce ratio of ∞, which is not
+    // representable in JSON; `null` keeps the artifact parseable.
+    let coalesce = if report.coalesce_ratio.is_finite() {
+        format!("{:.4}", report.coalesce_ratio)
+    } else {
+        "null".to_string()
+    };
+    let wall_q = report.wall_latency.map(|(a, b, c)| {
+        (
+            a.as_secs_f64() * 1e3,
+            b.as_secs_f64() * 1e3,
+            c.as_secs_f64() * 1e3,
+        )
+    });
+    let (virtual_q, nodes_died, battery_spent_uj) = match &report.radio {
+        Some(r) => (r.latency_quantiles_ms, r.nodes_died, r.total_spent_uj),
+        None => (None, 0, 0.0),
+    };
+    format!(
+        "{{\n  \
+         \"schema\": \"egka-service-churn/1\",\n  \
+         \"groups\": {},\n  \
+         \"groups_active\": {},\n  \
+         \"events_submitted\": {},\n  \
+         \"events_applied\": {},\n  \
+         \"rekeys_executed\": {},\n  \
+         \"coalesce_ratio\": {},\n  \
+         \"energy_mj\": {:.3},\n  \
+         \"throughput_eps\": {:.1},\n  \
+         \"wall_ms\": {:.1},\n  \
+         \"groups_stalled\": {},\n  \
+         \"steps_retried\": {},\n  \
+         \"nodes_died\": {},\n  \
+         \"battery_spent_uj\": {:.1},\n  \
+         \"latency_wall_ms\": {},\n  \
+         \"latency_virtual_ms\": {},\n  \
+         \"key_fingerprint\": \"{:016x}\"\n}}\n",
+        report.groups,
+        report.groups_active,
+        report.events_submitted,
+        report.events_applied,
+        report.rekeys_executed,
+        coalesce,
+        report.energy_mj,
+        report.throughput_eps,
+        report.wall.as_secs_f64() * 1e3,
+        report.groups_stalled,
+        report.steps_retried,
+        nodes_died,
+        battery_spent_uj,
+        quantiles_ms(wall_q),
+        quantiles_ms(virtual_q),
+        report.key_fingerprint,
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -63,5 +132,37 @@ mod tests {
         assert_eq!(fmt_joules(0.039), "39.000 mJ");
         assert_eq!(fmt_joules(0.00000134 * 1000.0), "1.340 mJ");
         assert_eq!(fmt_joules(0.0000005), "0.500 µJ");
+    }
+
+    #[test]
+    fn churn_json_has_the_tracked_fields() {
+        let report = egka_sim::run_churn(&egka_sim::ChurnConfig {
+            groups: 4,
+            epochs: 2,
+            shards: 2,
+            radio: Some(egka_sim::RadioChurnConfig::ideal()),
+            ..egka_sim::ChurnConfig::default()
+        });
+        let json = churn_report_json(&report);
+        for key in [
+            "\"schema\"",
+            "\"events_applied\"",
+            "\"rekeys_executed\"",
+            "\"coalesce_ratio\"",
+            "\"throughput_eps\"",
+            "\"latency_wall_ms\"",
+            "\"latency_virtual_ms\"",
+            "\"p99\"",
+            "\"key_fingerprint\"",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+        // Balanced braces — cheap structural sanity for the hand-rolled
+        // encoder.
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "{json}"
+        );
     }
 }

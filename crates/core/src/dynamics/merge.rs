@@ -379,6 +379,12 @@ impl MergeRun {
         self.exec.partial_counts()
     }
 
+    /// Virtual milliseconds this run has spent on its radio clock (`None`
+    /// off-radio).
+    pub fn virtual_elapsed_ms(&self) -> Option<f64> {
+        self.exec.virtual_now_ms()
+    }
+
     /// Assembles the outcome.
     ///
     /// # Panics

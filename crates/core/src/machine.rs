@@ -37,7 +37,8 @@ use std::collections::VecDeque;
 use std::time::Duration;
 
 use egka_bigint::Ubig;
-use egka_energy::{Meter, OpCounts};
+use egka_energy::{comp_energy_mj, Meter, OpCounts};
+use egka_medium::{BatteryBank, RadioMedium, RadioProfile};
 use egka_net::{Endpoint, Medium, NetError, NodeId, Packet, Reactor, ReactorEvent, Token};
 
 use crate::ident::UserId;
@@ -292,6 +293,24 @@ pub trait Metered {
     fn meter(&self) -> &Meter;
 }
 
+/// Runs the execution over a virtual-time radio instead of the instant
+/// medium: per-link delay, airtime contention at the transceiver's data
+/// rate, seeded loss, and battery drain (see `egka-medium`).
+#[derive(Clone, Debug)]
+pub struct RadioSpec {
+    /// Hardware/channel profile. Its `loss` is overridden by
+    /// [`Faults::loss`] whenever that is non-zero, so the scheduler's
+    /// retry salting applies unchanged on the radio path.
+    pub profile: RadioProfile,
+    /// Seed for the radio's jitter/loss stream (mixed with
+    /// [`Faults::loss_seed`] so retried attempts re-roll the air).
+    pub seed: u64,
+    /// Battery budgets shared across executions; `None` runs on mains
+    /// power. A user whose cell is already drained joins powered off —
+    /// battery death persists across protocol steps.
+    pub bank: Option<BatteryBank>,
+}
+
 /// Fault injection for a protocol execution.
 #[derive(Clone, Debug, Default)]
 pub struct Faults {
@@ -303,6 +322,9 @@ pub struct Faults {
     /// Members that are powered off: their machines run, but nothing they
     /// transmit reaches the medium and nothing reaches them.
     pub detached: Vec<UserId>,
+    /// When set, the run's medium is a virtual-time radio instead of the
+    /// instant fan-out channel.
+    pub radio: Option<RadioSpec>,
 }
 
 impl Faults {
@@ -311,9 +333,9 @@ impl Faults {
         Faults::default()
     }
 
-    /// True iff no fault is armed.
+    /// True iff no fault is armed and the medium is the instant channel.
     pub fn is_none(&self) -> bool {
-        self.loss == 0.0 && self.detached.is_empty()
+        self.loss == 0.0 && self.detached.is_empty() && self.radio.is_none()
     }
 }
 
@@ -337,6 +359,15 @@ pub enum Pump {
 /// into per-node mailboxes, and one machine per node.
 pub struct Execution<S> {
     medium: Medium,
+    /// Virtual-time radio beneath `medium` when [`Faults::radio`] is set;
+    /// `pump` advances its clock whenever the machines are otherwise
+    /// blocked on in-flight airtime.
+    radio: Option<RadioMedium>,
+    /// Node order → user id, for battery accounting.
+    users: Vec<UserId>,
+    /// Compute energy (mJ) already debited per node, so each pump charges
+    /// only the delta since the last sweep.
+    comp_mj_charged: Vec<f64>,
     reactor: Reactor,
     tokens: Vec<Token>,
     machines: Vec<Engine<S>>,
@@ -344,7 +375,7 @@ pub struct Execution<S> {
     failed: Option<NetError>,
 }
 
-impl<S: Send> Execution<S> {
+impl<S: Send + Metered> Execution<S> {
     /// Builds a run: joins `ids.len()` endpoints on a fresh medium,
     /// applies `faults`, and constructs each node's machine via `mk`
     /// (called with the node index and the slice of all net ids, in node
@@ -354,15 +385,31 @@ impl<S: Send> Execution<S> {
         faults: &Faults,
         mut mk: impl FnMut(usize, &[NodeId]) -> Engine<S>,
     ) -> Self {
-        let medium = Medium::new();
-        if faults.loss > 0.0 {
+        let radio = faults.radio.as_ref().map(|spec| {
+            let mut profile = spec.profile.clone();
+            if faults.loss > 0.0 {
+                // The scheduler's loss (and its per-retry salt) wins over
+                // the profile default, so retries re-roll the air.
+                profile.loss = faults.loss;
+            }
+            let bank = spec.bank.clone().unwrap_or_default();
+            RadioMedium::with_bank(profile, spec.seed ^ faults.loss_seed, bank)
+        });
+        let medium = match &radio {
+            Some(r) => r.net().clone(),
+            None => Medium::new(),
+        };
+        if faults.loss > 0.0 && radio.is_none() {
             medium.set_loss_seeded(faults.loss, faults.loss_seed);
         }
         let mut reactor = Reactor::new();
         let mut tokens = Vec::with_capacity(ids.len());
         let mut net_ids = Vec::with_capacity(ids.len());
         for id in ids {
-            let ep = medium.join();
+            let ep = match &radio {
+                Some(r) => r.join(id.0),
+                None => medium.join(),
+            };
             net_ids.push(ep.id());
             if faults.detached.contains(id) {
                 medium.detach(ep.id());
@@ -372,6 +419,9 @@ impl<S: Send> Execution<S> {
         let machines = (0..ids.len()).map(|i| mk(i, &net_ids)).collect();
         Execution {
             medium,
+            radio,
+            users: ids.to_vec(),
+            comp_mj_charged: vec![0.0; ids.len()],
             reactor,
             tokens,
             keys: vec![None; ids.len()],
@@ -413,9 +463,54 @@ impl<S: Send> Execution<S> {
 
     /// Arms a silence deadline on every node; an expiry fails the stalled
     /// machine with [`NetError::Timeout`] at the next pump.
+    ///
+    /// On a radio execution the deadline is armed on the **virtual
+    /// clock** — a run simulating a slow channel must never time out
+    /// because the host was slow, so wall-clock deadlines are ignored
+    /// there.
     pub fn set_deadline(&mut self, timeout: Option<Duration>) {
-        for &t in &self.tokens {
-            self.reactor.set_deadline(t, timeout);
+        match &self.radio {
+            Some(radio) => {
+                let now = radio.now_ns();
+                for &t in &self.tokens {
+                    self.reactor
+                        .set_virtual_deadline(t, now, timeout.map(|d| d.as_nanos() as u64));
+                }
+            }
+            None => {
+                for &t in &self.tokens {
+                    self.reactor.set_deadline(t, timeout);
+                }
+            }
+        }
+    }
+
+    /// The radio beneath this execution, if it runs on virtual time.
+    pub fn radio(&self) -> Option<&RadioMedium> {
+        self.radio.as_ref()
+    }
+
+    /// Virtual milliseconds elapsed on the run's radio clock (`None` on an
+    /// instant medium).
+    pub fn virtual_now_ms(&self) -> Option<f64> {
+        self.radio.as_ref().map(|r| r.now_ms())
+    }
+
+    /// Debits each node's battery for compute energy accrued since the
+    /// last sweep (radio executions only — the instant medium has no
+    /// batteries).
+    fn charge_compute(&mut self) {
+        let Some(radio) = &self.radio else {
+            return;
+        };
+        let cpu = radio.profile().cpu.clone();
+        for i in 0..self.machines.len() {
+            let mj = comp_energy_mj(&cpu, &self.machines[i].state().meter().snapshot());
+            let delta = mj - self.comp_mj_charged[i];
+            if delta > 0.0 {
+                self.comp_mj_charged[i] = mj;
+                radio.debit_compute_mj(self.users[i].0, delta);
+            }
         }
     }
 
@@ -491,6 +586,13 @@ impl<S: Send> Execution<S> {
     /// One non-blocking scheduling sweep: fan arrived packets to their
     /// mailboxes, then give every unfinished machine a chance to consume
     /// and send. Never waits; interleave freely with other executions.
+    ///
+    /// On a radio execution the sweep also keeps the air moving: sends
+    /// are scheduled onto the channel, batteries are debited, and — when
+    /// the machines are otherwise blocked — the virtual clock advances to
+    /// the next delivery, which counts as progress. `Stalled` therefore
+    /// still means what schedulers rely on: nothing in flight, nobody can
+    /// move, permanently.
     pub fn pump(&mut self) -> Pump {
         if let Some(e) = self.failed {
             return Pump::Failed(e);
@@ -498,8 +600,12 @@ impl<S: Send> Execution<S> {
         if self.is_done() {
             return Pump::Done;
         }
+        let events = match &self.radio {
+            Some(radio) => self.reactor.poll_all_at(radio.now_ns()),
+            None => self.reactor.poll_all(),
+        };
         let mut timeouts: Vec<Option<Duration>> = vec![None; self.machines.len()];
-        for ev in self.reactor.poll_all() {
+        for ev in events {
             if let ReactorEvent::TimedOut(token, NetError::Timeout { waited }) = ev {
                 if let Some(i) = self.tokens.iter().position(|&t| t == token) {
                     timeouts[i] = Some(waited);
@@ -525,6 +631,22 @@ impl<S: Send> Execution<S> {
                 return Pump::Failed(e);
             }
         }
+        if self.radio.is_some() {
+            self.charge_compute();
+            let radio = self.radio.as_ref().expect("checked above");
+            radio.pump_air();
+            if !progressed && !self.is_done() {
+                if radio.advance().is_some() {
+                    progressed = true;
+                } else if let Some(at) = self.reactor.next_virtual_deadline() {
+                    // Quiet air, armed timer: the deadline itself is the
+                    // next discrete event — jump the clock onto it so the
+                    // next poll fires it.
+                    radio.advance_to(at);
+                    progressed = true;
+                }
+            }
+        }
         if self.is_done() {
             Pump::Done
         } else if progressed {
@@ -538,6 +660,13 @@ impl<S: Send> Execution<S> {
     /// across threads (`crate::par`) — the blocking `run()` wrappers use
     /// this to keep the big-sweep wall-clock of the lock-step drivers.
     pub fn pump_par(&mut self) -> Pump {
+        if self.radio.is_some() {
+            // Parallel machine sweeps would enqueue sends in a
+            // nondeterministic order, which on a radio becomes a
+            // nondeterministic channel schedule; virtual-time runs stay
+            // sequential.
+            return self.pump();
+        }
         if let Some(e) = self.failed {
             return Pump::Failed(e);
         }
@@ -820,6 +949,111 @@ mod tests {
             other => panic!("expected surfaced timeout, got {other:?}"),
         }
         assert!(matches!(exec.failure(), Some(NetError::Timeout { .. })));
+    }
+
+    #[test]
+    fn radio_execution_agrees_and_spends_virtual_time() {
+        let ids: Vec<UserId> = (0..4).map(UserId).collect();
+        let faults = Faults {
+            radio: Some(RadioSpec {
+                profile: RadioProfile::sensor_100kbps(),
+                seed: 0xa1,
+                bank: None,
+            }),
+            ..Faults::default()
+        };
+        let mut exec = Execution::new(&ids, &faults, |i, _| echo_engine(i, 4));
+        while exec.pump() == Pump::Progressed {}
+        assert!(exec.is_done(), "radio pacing must not change the outcome");
+        let want = Ubig::from_u64(6);
+        for i in 0..4 {
+            assert_eq!(exec.key(i), Some(&want));
+        }
+        // Four 8-bit announcements serialized at 100 kbps = 4 × 0.08 ms of
+        // airtime, plus ≥ 2 ms of link delay on the last delivery.
+        let t = exec.virtual_now_ms().expect("radio clock");
+        assert!(t >= 0.32 + 2.0, "virtual time {t} ms too small");
+        // Batteries were debited (mains bank: accounted, nobody dies).
+        let bank = exec.radio().unwrap().bank().clone();
+        assert!(bank.spent_uj(0) > 0.0);
+    }
+
+    #[test]
+    fn ideal_radio_reproduces_the_instant_medium_bit_for_bit() {
+        let ids: Vec<UserId> = (0..5).map(UserId).collect();
+        let run = |faults: &Faults| {
+            let mut exec = Execution::new(&ids, faults, |i, _| echo_engine(i, 5));
+            while exec.pump() == Pump::Progressed {}
+            assert!(exec.is_done());
+            let keys: Vec<_> = (0..5).map(|i| exec.key(i).cloned()).collect();
+            let counts = exec.partial_counts();
+            (keys, counts)
+        };
+        let instant = run(&Faults::none());
+        let radio = run(&Faults {
+            radio: Some(RadioSpec {
+                profile: RadioProfile::ideal(),
+                seed: 9,
+                bank: None,
+            }),
+            ..Faults::default()
+        });
+        assert_eq!(instant, radio);
+    }
+
+    #[test]
+    fn battery_death_stalls_the_run_through_the_detach_path() {
+        // Node 1 can afford its own transmission but not much reception:
+        // it browns out mid-protocol and the run stalls exactly like a
+        // detached member — the fault the schedulers already survive.
+        let bank = BatteryBank::infinite();
+        bank.set_capacity(1, 200.0); // µJ; one 8-bit tx ≈ 86.4, one rx ≈ 60
+        let ids: Vec<UserId> = (0..3).map(UserId).collect();
+        let faults = Faults {
+            radio: Some(RadioSpec {
+                profile: RadioProfile::sensor_100kbps(),
+                seed: 4,
+                bank: Some(bank.clone()),
+            }),
+            ..Faults::default()
+        };
+        let mut exec = Execution::new(&ids, &faults, |i, _| echo_engine(i, 3));
+        while exec.pump() == Pump::Progressed {}
+        assert!(!exec.is_done(), "a dead member cannot finish");
+        assert_eq!(exec.pump(), Pump::Stalled, "permanent, like detachment");
+        assert!(bank.is_dead(1));
+        assert!(!bank.is_dead(0));
+        // A later execution over the same bank sees the death immediately:
+        // the user joins powered off.
+        let mut next = Execution::new(&ids, &faults, |i, _| echo_engine(i, 3));
+        while next.pump() == Pump::Progressed {}
+        assert!(!next.is_done());
+    }
+
+    #[test]
+    fn radio_deadline_fires_on_the_virtual_clock() {
+        let ids: Vec<UserId> = (0..3).map(UserId).collect();
+        let faults = Faults {
+            detached: vec![UserId(2)],
+            radio: Some(RadioSpec {
+                profile: RadioProfile::sensor_100kbps(),
+                seed: 5,
+                bank: None,
+            }),
+            ..Faults::default()
+        };
+        let mut exec = Execution::new(&ids, &faults, |i, _| echo_engine(i, 3));
+        exec.set_deadline(Some(Duration::from_millis(50)));
+        loop {
+            match exec.pump() {
+                Pump::Progressed => {}
+                Pump::Failed(NetError::Timeout { waited }) => {
+                    assert_eq!(waited, Duration::from_millis(50));
+                    break;
+                }
+                other => panic!("expected a virtual timeout, got {other:?}"),
+            }
+        }
     }
 
     #[test]

@@ -382,6 +382,12 @@ impl GkaRun {
         self.exec.partial_counts()
     }
 
+    /// Virtual milliseconds this run has spent on its radio clock (`None`
+    /// off-radio).
+    pub fn virtual_elapsed_ms(&self) -> Option<f64> {
+        self.exec.virtual_now_ms()
+    }
+
     /// Drives the run to completion with parallel per-node sweeps.
     pub(crate) fn run_to_completion(&mut self) {
         self.exec.run_to_completion();

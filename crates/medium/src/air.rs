@@ -1,0 +1,411 @@
+//! The discrete-event radio: a virtual clock, a serialized channel, and a
+//! delivery queue.
+//!
+//! A [`RadioMedium`] wraps a *deferred* [`egka_net::Medium`]: protocol
+//! code sends through ordinary [`Endpoint`]s, but instead of instant
+//! fan-out each transmission parks in the outbox until [`RadioMedium::
+//! pump_air`] schedules it — serializing airtime on the shared channel,
+//! drawing per-link jitter, applying seeded loss, and debiting the
+//! transmitter's battery. [`RadioMedium::advance`] then moves the virtual
+//! clock to the next scheduled delivery and hands the packet to its
+//! receiver (debiting *its* battery), so a driver alternates "pump the
+//! machines" / "advance the air" and reads the rekey's latency straight
+//! off [`RadioMedium::now_ms`].
+//!
+//! Everything is deterministic per seed: the jitter and loss draws come
+//! from one xorshift64* stream advanced in transmission order.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use egka_net::{Endpoint, Medium, NodeId, Packet};
+use parking_lot::Mutex;
+
+use crate::battery::BatteryBank;
+use crate::profile::RadioProfile;
+
+/// One scheduled hand-off to a receiver. Ordered by `(at_ns, seq)` so a
+/// min-heap pops deliveries in virtual-time order with FIFO tie-breaking —
+/// zero-delay configurations reproduce the instant medium's arrival order
+/// exactly.
+#[derive(Clone, Debug)]
+struct Delivery {
+    at_ns: u64,
+    seq: u64,
+    to: NodeId,
+    packet: Packet,
+}
+
+impl PartialEq for Delivery {
+    fn eq(&self, other: &Self) -> bool {
+        (self.at_ns, self.seq) == (other.at_ns, other.seq)
+    }
+}
+impl Eq for Delivery {}
+impl PartialOrd for Delivery {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Delivery {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at_ns, self.seq).cmp(&(other.at_ns, other.seq))
+    }
+}
+
+struct AirState {
+    /// Node index → raw user id (battery cell key).
+    users: Vec<u32>,
+    now_ns: u64,
+    /// The shared channel is busy until this instant; the next
+    /// transmission starts no earlier.
+    channel_free_ns: u64,
+    /// xorshift64* stream for jitter and loss draws.
+    rng: u64,
+    seq: u64,
+    queue: BinaryHeap<Reverse<Delivery>>,
+    /// Users whose battery died on this medium, in death order.
+    newly_dead: Vec<u32>,
+}
+
+impl AirState {
+    /// Uniform draw in `[0, 1)` (xorshift64*, same generator as the
+    /// instant medium's loss state).
+    fn unit(&mut self) -> f64 {
+        self.rng ^= self.rng >> 12;
+        self.rng ^= self.rng << 25;
+        self.rng ^= self.rng >> 27;
+        let x = self.rng.wrapping_mul(0x2545_F491_4F6C_DD1D);
+        (x >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// A virtual-time wireless medium: per-link delay, airtime contention on
+/// one shared channel, seeded loss, and battery-driven node death.
+pub struct RadioMedium {
+    net: Medium,
+    profile: RadioProfile,
+    bank: BatteryBank,
+    state: Mutex<AirState>,
+}
+
+impl RadioMedium {
+    /// A radio with mains-powered nodes (energy is accounted but nobody
+    /// dies).
+    pub fn new(profile: RadioProfile, seed: u64) -> Self {
+        Self::with_bank(profile, seed, BatteryBank::infinite())
+    }
+
+    /// A radio whose nodes draw from `bank` — the bank outlives the
+    /// medium, so drain accumulates across protocol runs.
+    pub fn with_bank(profile: RadioProfile, seed: u64, bank: BatteryBank) -> Self {
+        RadioMedium {
+            net: Medium::deferred(),
+            profile,
+            bank,
+            state: Mutex::new(AirState {
+                users: Vec::new(),
+                now_ns: 0,
+                channel_free_ns: 0,
+                // xorshift64* needs a non-zero state.
+                rng: seed | 1,
+                seq: 0,
+                queue: BinaryHeap::new(),
+                newly_dead: Vec::new(),
+            }),
+        }
+    }
+
+    /// The wrapped (deferred) packet medium — endpoints, partitions and
+    /// traffic counters live there.
+    pub fn net(&self) -> &Medium {
+        &self.net
+    }
+
+    /// The radio's hardware/channel profile.
+    pub fn profile(&self) -> &RadioProfile {
+        &self.profile
+    }
+
+    /// The battery bank nodes draw from.
+    pub fn bank(&self) -> &BatteryBank {
+        &self.bank
+    }
+
+    /// Registers a node for `user`. A user whose battery is already dead
+    /// joins powered off (its endpoint is detached immediately).
+    pub fn join(&self, user: u32) -> Endpoint {
+        let ep = self.net.join();
+        self.state.lock().users.push(user);
+        if self.bank.is_dead(user) {
+            self.net.detach(ep.id());
+        }
+        ep
+    }
+
+    /// Drains the net outbox and puts every parked transmission on the
+    /// air: debits the transmitter's battery, serializes the shared
+    /// channel, draws loss and per-link jitter, and schedules each
+    /// surviving copy's delivery. Returns how many transmissions were
+    /// scheduled.
+    pub fn pump_air(&self) -> usize {
+        let txs = self.net.take_outbox();
+        if txs.is_empty() {
+            return 0;
+        }
+        let mut st = self.state.lock();
+        let scheduled = txs.len();
+        for tx in txs {
+            let bits = tx.packet.nominal_bits;
+            let user = st.users[tx.from as usize];
+            let tx_uj = bits as f64 * self.profile.transceiver.tx_uj_per_bit;
+            if !self.bank.debit(user, tx_uj) && !self.net.is_detached(tx.from) {
+                // The battery browned out radiating this packet: it still
+                // leaves the antenna, but the node is off from here on.
+                self.net.detach(tx.from);
+                st.newly_dead.push(user);
+            }
+            let start = st.now_ns.max(st.channel_free_ns);
+            let end = start + self.profile.airtime_ns(bits);
+            st.channel_free_ns = end;
+            for &to in &tx.targets {
+                if self.profile.loss > 0.0 && st.unit() < self.profile.loss {
+                    continue;
+                }
+                let jitter_ns = if self.profile.delay.jitter_ms > 0.0 {
+                    (st.unit() * self.profile.delay.jitter_ms * 1e6) as u64
+                } else {
+                    0
+                };
+                let at_ns = end + (self.profile.delay.base_ms * 1e6) as u64 + jitter_ns;
+                let seq = st.seq;
+                st.seq += 1;
+                st.queue.push(Reverse(Delivery {
+                    at_ns,
+                    seq,
+                    to,
+                    packet: tx.packet.clone(),
+                }));
+            }
+        }
+        scheduled
+    }
+
+    /// Advances the virtual clock to the next scheduled delivery and hands
+    /// over every packet due at that instant, debiting each receiver's
+    /// battery (a receiver that dies mid-reception hears nothing). Returns
+    /// the new virtual now in nanoseconds, or `None` if nothing is in
+    /// flight.
+    pub fn advance(&self) -> Option<u64> {
+        let mut st = self.state.lock();
+        let Reverse(first) = st.queue.pop()?;
+        st.now_ns = st.now_ns.max(first.at_ns);
+        let due_at = first.at_ns;
+        let mut due = vec![first];
+        while let Some(Reverse(d)) = st.queue.peek() {
+            if d.at_ns != due_at {
+                break;
+            }
+            let Reverse(d) = st.queue.pop().expect("peeked");
+            due.push(d);
+        }
+        for d in due {
+            if self.net.is_detached(d.to) {
+                continue; // powered off since the packet went on the air
+            }
+            let user = st.users[d.to as usize];
+            let rx_uj = d.packet.nominal_bits as f64 * self.profile.transceiver.rx_uj_per_bit;
+            if !self.bank.debit(user, rx_uj) {
+                self.net.detach(d.to);
+                st.newly_dead.push(user);
+                continue;
+            }
+            self.net.deliver_to(d.to, &d.packet);
+        }
+        Some(st.now_ns)
+    }
+
+    /// Debits compute energy (millijoules, the unit the CPU model prices
+    /// in) from `user`'s battery; a drained battery powers the node off.
+    /// Returns whether the node is still alive.
+    pub fn debit_compute_mj(&self, user: u32, mj: f64) -> bool {
+        if mj <= 0.0 {
+            return !self.bank.is_dead(user);
+        }
+        if self.bank.debit(user, mj * 1000.0) {
+            return true;
+        }
+        let mut st = self.state.lock();
+        if let Some(idx) = st.users.iter().position(|&u| u == user) {
+            let node = idx as NodeId;
+            if !self.net.is_detached(node) {
+                self.net.detach(node);
+                st.newly_dead.push(user);
+            }
+        }
+        false
+    }
+
+    /// Jumps the clock forward to `at_ns` (never backward) — how a driver
+    /// realizes a *timer* event (e.g. a silence deadline) when nothing is
+    /// on the air. With deliveries pending, use [`RadioMedium::advance`]
+    /// instead so the timer cannot leapfrog traffic.
+    pub fn advance_to(&self, at_ns: u64) {
+        let mut st = self.state.lock();
+        st.now_ns = st.now_ns.max(at_ns);
+    }
+
+    /// Virtual now, nanoseconds.
+    pub fn now_ns(&self) -> u64 {
+        self.state.lock().now_ns
+    }
+
+    /// Virtual now, milliseconds.
+    pub fn now_ms(&self) -> f64 {
+        self.now_ns() as f64 / 1e6
+    }
+
+    /// True iff deliveries are scheduled (callers should [`RadioMedium::
+    /// pump_air`] first so parked sends are counted).
+    pub fn has_pending(&self) -> bool {
+        !self.state.lock().queue.is_empty()
+    }
+
+    /// Users whose battery died on this medium so far, in death order.
+    pub fn newly_dead(&self) -> Vec<u32> {
+        self.state.lock().newly_dead.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::DelaySpec;
+    use bytes::Bytes;
+    use egka_energy::Transceiver;
+
+    fn quiet() -> RadioProfile {
+        RadioProfile {
+            transceiver: Transceiver::radio_100kbps(),
+            cpu: egka_energy::CpuModel::strongarm_133(),
+            delay: DelaySpec {
+                base_ms: 0.0,
+                jitter_ms: 0.0,
+            },
+            loss: 0.0,
+        }
+    }
+
+    #[test]
+    fn airtime_serializes_the_shared_channel() {
+        // The ISSUE's example: a 3000-bit broadcast at 100 kbps occupies
+        // the channel for 30 virtual ms; two back-to-back broadcasts end
+        // at 30 and 60 ms.
+        let radio = RadioMedium::new(quiet(), 1);
+        let a = radio.join(10);
+        let b = radio.join(11);
+        a.broadcast(1, Bytes::new(), 3000);
+        a.broadcast(2, Bytes::new(), 3000);
+        assert_eq!(radio.pump_air(), 2);
+        radio.advance().unwrap();
+        assert!((radio.now_ms() - 30.0).abs() < 1e-9, "{}", radio.now_ms());
+        assert_eq!(b.try_recv().unwrap().kind, 1);
+        assert!(b.try_recv().is_none(), "second packet still on the air");
+        radio.advance().unwrap();
+        assert!((radio.now_ms() - 60.0).abs() < 1e-9);
+        assert_eq!(b.try_recv().unwrap().kind, 2);
+        assert!(radio.advance().is_none(), "air is quiet again");
+    }
+
+    #[test]
+    fn per_link_delay_adds_base_and_seeded_jitter() {
+        let mut profile = quiet();
+        profile.delay = DelaySpec {
+            base_ms: 5.0,
+            jitter_ms: 2.0,
+        };
+        let arrival = |seed: u64| {
+            let radio = RadioMedium::new(profile.clone(), seed);
+            let a = radio.join(0);
+            let _b = radio.join(1);
+            a.broadcast(1, Bytes::new(), 1000); // 10 ms airtime
+            radio.pump_air();
+            radio.advance().unwrap()
+        };
+        let t = arrival(7);
+        // 10 ms airtime + 5 ms base + jitter ∈ [0, 2) ms.
+        assert!((15_000_000..17_000_000).contains(&t), "{t}");
+        assert_eq!(arrival(7), t, "same seed, same jitter");
+        assert_ne!(arrival(8), t, "different seed, different jitter");
+    }
+
+    #[test]
+    fn seeded_loss_drops_deterministically() {
+        let mut profile = quiet();
+        profile.loss = 0.5;
+        let delivered = |seed: u64| {
+            let radio = RadioMedium::new(profile.clone(), seed);
+            let a = radio.join(0);
+            let b = radio.join(1);
+            for _ in 0..200 {
+                a.broadcast(1, Bytes::new(), 8);
+            }
+            radio.pump_air();
+            while radio.advance().is_some() {}
+            let mut n = 0;
+            while b.try_recv().is_some() {
+                n += 1;
+            }
+            n
+        };
+        let n = delivered(3);
+        assert!((60..140).contains(&n), "50% loss delivered {n}/200");
+        assert_eq!(delivered(3), n);
+    }
+
+    #[test]
+    fn battery_death_powers_a_node_off_mid_air() {
+        let bank = BatteryBank::new(40_000.0); // 40 mJ
+        bank.set_capacity(0, f64::INFINITY); // the transmitter is mains-powered
+        let radio = RadioMedium::with_bank(quiet(), 1, bank.clone());
+        let a = radio.join(0);
+        let b = radio.join(1);
+        // Receiving 1000 bits costs 7510 µJ on the sensor radio; node 1
+        // can afford five receptions, then dies mid-reception of the sixth.
+        for _ in 0..8 {
+            a.broadcast(1, Bytes::new(), 1000);
+        }
+        radio.pump_air();
+        while radio.advance().is_some() {}
+        let mut heard = 0;
+        while b.try_recv().is_some() {
+            heard += 1;
+        }
+        assert_eq!(heard, 5, "the sixth reception browned out the battery");
+        assert!(bank.is_dead(1));
+        assert_eq!(radio.newly_dead(), vec![1]);
+        assert!(radio.net().is_detached(b.id()));
+        // Node 0 paid 8 × 1000 × 10.8 µJ of transmit energy.
+        assert!((bank.spent_uj(0) - 86_400.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn dead_user_joins_powered_off() {
+        let bank = BatteryBank::new(1.0);
+        bank.debit(9, 2.0);
+        let radio = RadioMedium::with_bank(quiet(), 1, bank);
+        let ep = radio.join(9);
+        assert!(radio.net().is_detached(ep.id()));
+    }
+
+    #[test]
+    fn compute_debit_can_kill_too() {
+        let bank = BatteryBank::new(10_000.0); // 10 mJ
+        let radio = RadioMedium::with_bank(quiet(), 1, bank);
+        let ep = radio.join(4);
+        assert!(radio.debit_compute_mj(4, 9.0));
+        assert!(!radio.debit_compute_mj(4, 2.0), "11 mJ of compute: dead");
+        assert!(radio.net().is_detached(ep.id()));
+        assert_eq!(radio.newly_dead(), vec![4]);
+    }
+}

@@ -1,0 +1,43 @@
+//! # egka-medium
+//!
+//! A discrete-event, **virtual-clock** wireless medium for the `egka`
+//! reproduction — the layer that turns the paper's Table 2/3 hardware
+//! models into *simulated radio time* and *battery drain* instead of
+//! leaving them as after-the-fact pricing.
+//!
+//! The instant [`egka_net::Medium`] delivers every packet in zero time on
+//! the host clock; good enough for counting bits, useless for answering
+//! "how long does a rekey take on a 100 kbps sensor radio, and which mote
+//! dies first?". This crate answers both:
+//!
+//! * [`RadioMedium`] wraps a *deferred* net medium: sends park in an
+//!   outbox, [`RadioMedium::pump_air`] puts them on the air and
+//!   [`RadioMedium::advance`] moves a virtual clock from delivery to
+//!   delivery;
+//! * **airtime contention** — one shared channel, serialized at the
+//!   transceiver's `data_rate_bps` (a 3000-bit broadcast on the 100 kbps
+//!   radio occupies the channel for 30 virtual ms);
+//! * **per-link delay** — fixed base + seeded uniform jitter per delivery
+//!   ([`DelaySpec`]);
+//! * **seeded loss** — the same xorshift64* family as the instant medium,
+//!   applied per delivery at schedule time;
+//! * **battery-driven death** — every tx/rx bit and compute millijoule is
+//!   debited from a shared [`BatteryBank`]; a drained node is powered off
+//!   *mid-protocol* (detached on the net medium), which is exactly the
+//!   fault the scheduler layers above already know how to survive.
+//!
+//! Everything is deterministic per seed, and the
+//! [`RadioProfile::ideal()`] configuration (zero delay, zero jitter, zero
+//! loss) preserves the instant medium's arrival order exactly — upstream
+//! goldens pin that equivalence bit for bit.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod air;
+mod battery;
+mod profile;
+
+pub use air::RadioMedium;
+pub use battery::{BatteryBank, BatteryStatus};
+pub use profile::{DelaySpec, RadioProfile};

@@ -20,6 +20,12 @@
 //! unbounded channels during `send`), which is exactly what the round-based
 //! GKA drivers need; endpoints block on [`Endpoint::recv`] until their next
 //! message arrives, so per-node threads synchronize naturally.
+//!
+//! A medium can instead be built **deferred** ([`Medium::deferred`]): sends
+//! park in an outbox as [`Transmission`]s and a transport layer (e.g. the
+//! `egka-medium` virtual-time radio) decides *when* — on its own clock —
+//! each receiver hears them via [`Medium::deliver_to`]. The instant path
+//! stays byte-for-byte untouched when no transport is attached.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -67,9 +73,9 @@ pub enum NetError {
     /// The *sender* itself is detached; nothing was transmitted.
     SelfDetached,
     /// A packet of a different kind arrived where a specific round tag was
-    /// required. The typed replacement for [`Endpoint::recv_kind`]'s panic:
-    /// a sans-IO scheduler treats this as a value and re-buffers or drops,
-    /// instead of tearing down the node thread.
+    /// required. A sans-IO scheduler treats this as a value and re-buffers
+    /// or drops, instead of tearing down the node thread (the deleted
+    /// `recv_kind` shim used to panic here).
     UnexpectedKind {
         /// The round tag the caller was waiting for.
         expected: u16,
@@ -170,9 +176,26 @@ impl LossState {
     }
 }
 
+/// A transmission parked in a deferred medium's outbox: the sender has
+/// been charged, the recipient set is resolved (partition/detachment
+/// filtered at send time), and a transport layer decides when — and
+/// whether — each target hears it via [`Medium::deliver_to`].
+#[derive(Clone, Debug)]
+pub struct Transmission {
+    /// Transmitting node.
+    pub from: NodeId,
+    /// Resolved recipients (already filtered for partition/detachment).
+    pub targets: Vec<NodeId>,
+    /// The packet itself.
+    pub packet: Packet,
+}
+
 struct Inner {
     nodes: RwLock<Vec<NodeSlot>>,
     loss: Mutex<LossState>,
+    /// Deferred media park sends here instead of delivering instantly.
+    /// `None` = instant fan-out (the classic medium).
+    outbox: Option<Mutex<Vec<Transmission>>>,
 }
 
 /// The shared broadcast medium. Cloning is cheap and all clones observe the
@@ -198,8 +221,69 @@ impl Medium {
                     prob: 0.0,
                     rng: 0x9E37_79B9_7F4A_7C15,
                 }),
+                outbox: None,
             }),
         }
+    }
+
+    /// A medium whose sends park in an outbox instead of delivering
+    /// instantly. The sender is charged at send time; a transport layer
+    /// drains [`Medium::take_outbox`] and hands each packet to its
+    /// receivers with [`Medium::deliver_to`] when its clock says so.
+    ///
+    /// The medium's own loss generator is **not** consulted on the
+    /// deferred path — the transport owns the drop decision along with the
+    /// delivery time.
+    pub fn deferred() -> Self {
+        Medium {
+            inner: Arc::new(Inner {
+                nodes: RwLock::new(Vec::new()),
+                loss: Mutex::new(LossState {
+                    prob: 0.0,
+                    rng: 0x9E37_79B9_7F4A_7C15,
+                }),
+                outbox: Some(Mutex::new(Vec::new())),
+            }),
+        }
+    }
+
+    /// True iff this medium parks sends for a transport layer.
+    pub fn is_deferred(&self) -> bool {
+        self.inner.outbox.is_some()
+    }
+
+    /// Drains the deferred outbox in send order. Empty on an instant
+    /// medium.
+    pub fn take_outbox(&self) -> Vec<Transmission> {
+        match &self.inner.outbox {
+            Some(outbox) => std::mem::take(&mut *outbox.lock()),
+            None => Vec::new(),
+        }
+    }
+
+    /// Delivers `packet` to `to` *now*, charging its receive counters —
+    /// the transport layer's half of a deferred send. Returns `false`
+    /// (delivering nothing) if the target has detached since the packet
+    /// went on the air.
+    pub fn deliver_to(&self, to: NodeId, packet: &Packet) -> bool {
+        let nodes = self.inner.nodes.read();
+        let dst = &nodes[to as usize];
+        if dst.detached {
+            return false;
+        }
+        {
+            let mut s = dst.stats.lock();
+            s.rx_bits += packet.nominal_bits;
+            s.rx_bits_actual += packet.payload.len() as u64 * 8;
+            s.msgs_rx += 1;
+        }
+        let _ = dst.sender.send(packet.clone());
+        true
+    }
+
+    /// Whether `id` is currently detached (powered off).
+    pub fn is_detached(&self, id: NodeId) -> bool {
+        self.inner.nodes.read()[id as usize].detached
     }
 
     /// Registers a new endpoint and returns its handle.
@@ -304,6 +388,24 @@ impl Medium {
                     .filter(move |&i| i != from as usize),
             ),
         };
+        if let Some(outbox) = &self.inner.outbox {
+            // Deferred: resolve the audible recipient set now (partition
+            // and detachment are send-time physics), but let the transport
+            // layer own loss and delivery time.
+            let audible: Vec<NodeId> = targets
+                .filter(|&idx| {
+                    let dst = &nodes[idx];
+                    !dst.detached && dst.partition == src.partition
+                })
+                .map(|idx| idx as NodeId)
+                .collect();
+            outbox.lock().push(Transmission {
+                from,
+                targets: audible,
+                packet,
+            });
+            return;
+        }
         for idx in targets {
             let dst = &nodes[idx];
             if dst.detached || dst.partition != src.partition {
@@ -484,7 +586,7 @@ impl Endpoint {
 
     /// Blocks for the next packet of *any* kind and fails with a typed
     /// [`NetError::UnexpectedKind`] if it is not `kind` — the value-level
-    /// form of the old panicking [`Endpoint::recv_kind`] contract. Unlike
+    /// form of the deleted panicking `recv_kind` contract. Unlike
     /// [`Endpoint::recv_kind_within`] the mismatching packet is *not*
     /// buffered: the caller asked for strict round ordering.
     pub fn recv_kind_checked(&self, kind: u16) -> Result<Packet, NetError> {
@@ -547,19 +649,6 @@ impl Endpoint {
         }
     }
 
-    /// Blocks for the next packet with `kind`, buffering nothing: packets of
-    /// other kinds are dropped with a panic.
-    #[deprecated(
-        since = "0.2.0",
-        note = "lock-step shim for legacy drivers; use `recv_kind_within` \
-                (buffers out-of-round packets) or `recv_kind_checked` \
-                (typed error) instead"
-    )]
-    pub fn recv_kind(&self, kind: u16) -> Packet {
-        self.recv_kind_checked(kind)
-            .unwrap_or_else(|e| panic!("{e}"))
-    }
-
     /// This endpoint's traffic counters.
     pub fn stats(&self) -> TrafficStats {
         self.medium.stats(self.id)
@@ -567,7 +656,6 @@ impl Endpoint {
 }
 
 #[cfg(test)]
-#[allow(deprecated)] // recv_kind's shim contract is itself under test
 mod tests {
     use super::*;
     use std::time::Duration;
@@ -777,23 +865,13 @@ mod tests {
         let b = m.join();
         std::thread::scope(|s| {
             s.spawn(|| {
-                let p = b.recv_kind(9);
+                let p = b.recv_kind_within(9, None).unwrap();
                 b.unicast(p.from, 10, Bytes::from_static(b"pong"), 32);
             });
             a.broadcast(9, Bytes::from_static(b"ping"), 32);
-            let reply = a.recv_kind(10);
+            let reply = a.recv_kind_within(10, None).unwrap();
             assert_eq!(reply.payload.as_ref(), b"pong");
         });
-    }
-
-    #[test]
-    #[should_panic(expected = "round mismatch")]
-    fn recv_kind_panics_on_unexpected() {
-        let m = Medium::new();
-        let a = m.join();
-        let b = m.join();
-        a.broadcast(1, Bytes::new(), 8);
-        let _ = b.recv_kind(2);
     }
 
     #[test]
@@ -841,6 +919,58 @@ mod tests {
         // The kind-9 packet was stashed, not dropped, and plain receives
         // see the stash too.
         assert_eq!(b.try_recv().unwrap().kind, 9);
+    }
+
+    #[test]
+    fn deferred_medium_parks_sends_in_the_outbox() {
+        let m = Medium::deferred();
+        assert!(m.is_deferred());
+        let a = m.join();
+        let b = m.join();
+        let c = m.join();
+        a.broadcast(3, Bytes::from_static(b"air"), 2080);
+        // Nothing delivered yet; the sender is already charged.
+        assert!(b.try_recv().is_none());
+        assert_eq!(a.stats().msgs_tx, 1);
+        assert_eq!(a.stats().tx_bits, 2080);
+        assert_eq!(b.stats().msgs_rx, 0);
+        let outbox = m.take_outbox();
+        assert_eq!(outbox.len(), 1);
+        assert_eq!(outbox[0].from, a.id());
+        assert_eq!(outbox[0].targets, vec![b.id(), c.id()]);
+        // A second take is empty (drained).
+        assert!(m.take_outbox().is_empty());
+        // The transport delivers when its clock says so; rx is charged then.
+        assert!(m.deliver_to(b.id(), &outbox[0].packet));
+        assert_eq!(b.recv().payload.as_ref(), b"air");
+        assert_eq!(b.stats().rx_bits, 2080);
+        assert_eq!(c.stats().msgs_rx, 0, "undelivered target uncharged");
+    }
+
+    #[test]
+    fn deferred_send_resolves_partition_and_detachment_at_send_time() {
+        let m = Medium::deferred();
+        let a = m.join();
+        let b = m.join();
+        let c = m.join();
+        m.set_partition(c.id(), 1);
+        m.detach(b.id());
+        a.broadcast(0, Bytes::new(), 8);
+        let outbox = m.take_outbox();
+        assert_eq!(outbox.len(), 1);
+        assert!(
+            outbox[0].targets.is_empty(),
+            "partitioned and detached nodes are not audible"
+        );
+        // A target that detaches *after* the send but before delivery is
+        // dropped at delivery time.
+        let d = m.join();
+        a.broadcast(0, Bytes::new(), 8);
+        let outbox = m.take_outbox();
+        assert_eq!(outbox[0].targets, vec![d.id()]);
+        m.detach(d.id());
+        assert!(!m.deliver_to(d.id(), &outbox[0].packet));
+        assert_eq!(d.stats().msgs_rx, 0);
     }
 
     #[test]

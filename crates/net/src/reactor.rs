@@ -38,6 +38,9 @@ struct Slot {
     ep: Endpoint,
     mailbox: VecDeque<Packet>,
     deadline: Option<(Instant, Duration)>,
+    /// Virtual-clock deadline `(fires_at_ns, timeout_ns)` for transports
+    /// that run on simulated time instead of the host clock.
+    vdeadline: Option<(u64, u64)>,
 }
 
 /// Non-blocking fan-in from many endpoints to per-registration mailboxes.
@@ -58,6 +61,7 @@ impl Reactor {
             ep,
             mailbox: VecDeque::new(),
             deadline: None,
+            vdeadline: None,
         });
         self.slots.len() - 1
     }
@@ -84,6 +88,15 @@ impl Reactor {
         self.slots[token].deadline = timeout.map(|t| (Instant::now() + t, t));
     }
 
+    /// Arms (or with `None` disarms) a **virtual-clock** silence deadline:
+    /// it fires when a transport's simulated time — supplied to
+    /// [`Reactor::poll_all_at`] — passes `now_ns + timeout_ns` with the
+    /// token's mailbox still empty. Like the wall-clock form, traffic
+    /// re-arms it and expiry disarms it.
+    pub fn set_virtual_deadline(&mut self, token: Token, now_ns: u64, timeout_ns: Option<u64>) {
+        self.slots[token].vdeadline = timeout_ns.map(|t| (now_ns + t, t));
+    }
+
     /// Drains every endpoint's channel into its mailbox (never blocking)
     /// and checks deadlines. Returns one event per registration that
     /// became readable or timed out this poll.
@@ -107,6 +120,52 @@ impl Reactor {
                 if now >= at && slot.mailbox.is_empty() {
                     slot.deadline = None;
                     events.push(ReactorEvent::TimedOut(token, NetError::Timeout { waited }));
+                }
+            }
+        }
+        events
+    }
+
+    /// The earliest armed virtual deadline across all registrations, if
+    /// any — the "next timer event" a discrete-event driver jumps the
+    /// clock to when nothing is on the air.
+    pub fn next_virtual_deadline(&self) -> Option<u64> {
+        self.slots
+            .iter()
+            .filter_map(|s| s.vdeadline.map(|(at, _)| at))
+            .min()
+    }
+
+    /// Like [`Reactor::poll_all`] but for transports on **simulated
+    /// time**: silence deadlines armed with
+    /// [`Reactor::set_virtual_deadline`] are compared against the supplied
+    /// virtual clock `now_ns` instead of the host clock. Wall-clock
+    /// deadlines are ignored on this path — a virtual-time run must never
+    /// time out because the host was slow.
+    pub fn poll_all_at(&mut self, now_ns: u64) -> Vec<ReactorEvent> {
+        let mut events = Vec::new();
+        for (token, slot) in self.slots.iter_mut().enumerate() {
+            let mut readable = false;
+            while let Some(p) = slot.ep.try_recv() {
+                slot.mailbox.push_back(p);
+                readable = true;
+            }
+            if readable {
+                // Progress resets the virtual clock too: deadlines bound
+                // *silence* in simulated time.
+                if let Some((_, t)) = slot.vdeadline {
+                    slot.vdeadline = Some((now_ns + t, t));
+                }
+                events.push(ReactorEvent::Readable(token));
+            } else if let Some((at, timeout_ns)) = slot.vdeadline {
+                if now_ns >= at && slot.mailbox.is_empty() {
+                    slot.vdeadline = None;
+                    events.push(ReactorEvent::TimedOut(
+                        token,
+                        NetError::Timeout {
+                            waited: Duration::from_nanos(timeout_ns),
+                        },
+                    ));
                 }
             }
         }
@@ -195,6 +254,35 @@ mod tests {
         std::thread::sleep(Duration::from_millis(2));
         let events = r.poll_all();
         assert!(matches!(events[..], [ReactorEvent::Readable(tok)] if tok == t));
+    }
+
+    #[test]
+    fn virtual_deadline_fires_on_the_simulated_clock_only() {
+        let m = Medium::new();
+        let a = m.join();
+        let mut r = Reactor::new();
+        let t = r.register(m.join());
+        r.set_virtual_deadline(t, 0, Some(1_000_000)); // 1 virtual ms
+                                                       // The host clock is irrelevant: polling *before* the virtual
+                                                       // deadline reports nothing, no matter how long the host waited.
+        std::thread::sleep(Duration::from_millis(3));
+        assert!(r.poll_all_at(999_999).is_empty());
+        // Crossing the virtual deadline with a silent mailbox fires once.
+        let events = r.poll_all_at(1_000_000);
+        assert!(matches!(
+            events[..],
+            [ReactorEvent::TimedOut(tok, NetError::Timeout { waited })]
+                if tok == t && waited == Duration::from_millis(1)
+        ));
+        assert!(r.poll_all_at(2_000_000).is_empty(), "expiry disarms");
+        // Traffic re-arms the silence window instead of timing out.
+        r.set_virtual_deadline(t, 2_000_000, Some(1_000_000));
+        a.broadcast(1, Bytes::new(), 8);
+        let events = r.poll_all_at(3_000_000);
+        assert!(matches!(events[..], [ReactorEvent::Readable(tok)] if tok == t));
+        assert!(r.pop(t).is_some());
+        assert!(r.poll_all_at(3_500_000).is_empty(), "re-armed at 3 ms");
+        assert_eq!(r.poll_all_at(4_000_000).len(), 1, "fires at 3 ms + 1 ms");
     }
 
     #[test]

@@ -58,6 +58,9 @@ pub enum ServiceError {
     GroupTooSmall,
     /// Duplicate founding member ids.
     DuplicateMember(UserId),
+    /// A founding member is powered off (detached) or battery-dead: it
+    /// cannot run the initial GKA.
+    MemberUnavailable(UserId),
 }
 
 impl core::fmt::Display for ServiceError {
@@ -67,6 +70,9 @@ impl core::fmt::Display for ServiceError {
             ServiceError::GroupExists(g) => write!(f, "group {g} already exists"),
             ServiceError::GroupTooSmall => write!(f, "a group needs at least two members"),
             ServiceError::DuplicateMember(u) => write!(f, "duplicate founding member {u}"),
+            ServiceError::MemberUnavailable(u) => {
+                write!(f, "founding member {u} is powered off or battery-dead")
+            }
         }
     }
 }

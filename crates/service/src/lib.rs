@@ -96,9 +96,9 @@ mod shard;
 
 pub use event::{GroupId, MembershipEvent, RejectReason, ServiceError};
 pub use hashing::jump_hash;
-pub use metrics::{EpochReport, ServiceMetrics};
+pub use metrics::{quantiles3, EpochReport, ServiceMetrics, VIRTUAL_LATENCY_WINDOW};
 pub use plan::{plan_group, CostModel, RekeyPlan, RekeyStep};
-pub use service::{KeyService, ServiceConfig};
+pub use service::{KeyService, RadioConfig, ServiceConfig};
 pub use shard::{final_membership, GroupState};
 
 #[cfg(test)]

@@ -44,6 +44,15 @@ pub struct ServiceMetrics {
     pub steps_retried: u64,
     /// Epochs ticked.
     pub epochs: u64,
+    /// Members whose battery drained to zero under a radio medium — each
+    /// was auto-detached, feeding the scheduler's timeout path.
+    pub nodes_died: u64,
+    /// Virtual radio milliseconds of recent committed rekeys (one entry
+    /// per group-epoch that rekeyed over a radio medium; includes
+    /// retransmitted attempts). Bounded to the most recent
+    /// [`VIRTUAL_LATENCY_WINDOW`] entries so a long-lived service does
+    /// not grow without bound. Empty off-radio.
+    pub virtual_latencies_ms: Vec<f64>,
     /// Total priced energy across all nodes of all groups, in mJ.
     pub energy_mj: f64,
     /// Cumulative operation counts across all rekeys.
@@ -65,6 +74,27 @@ impl ServiceMetrics {
         }
         self.events_applied as f64 / self.rekeys_executed as f64
     }
+
+    /// `(p50, p95, p99)` rekey latency in **virtual radio milliseconds**
+    /// across the retained window of committed rekeys; `None` off-radio.
+    pub fn virtual_latency_quantiles(&self) -> Option<(f64, f64, f64)> {
+        quantiles3(&self.virtual_latencies_ms)
+    }
+}
+
+/// How many per-rekey virtual latencies [`ServiceMetrics`] retains for
+/// quantile queries (the most recent win; ~512 KiB at the cap).
+pub const VIRTUAL_LATENCY_WINDOW: usize = 65_536;
+
+/// `(p50, p95, p99)` of a latency sample, `None` when empty.
+pub fn quantiles3(xs: &[f64]) -> Option<(f64, f64, f64)> {
+    if xs.is_empty() {
+        return None;
+    }
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+    let at = |q: f64| sorted[((sorted.len() - 1) as f64 * q).round() as usize];
+    Some((at(0.50), at(0.95), at(0.99)))
 }
 
 /// What one [`crate::KeyService::tick`] did.
@@ -101,12 +131,19 @@ pub struct EpochReport {
     pub ops: OpCounts,
     /// Traffic of this epoch's rekeys.
     pub traffic: TrafficStats,
+    /// Members whose battery died this epoch.
+    pub nodes_died: u64,
     /// Wall-clock from a group's epoch being planned to its commit, one
     /// entry per group that rekeyed. Under the interleaving scheduler
     /// this *includes* time the shard spent pumping other groups (and any
     /// retransmitted attempts) — it measures what a caller of `tick()`
     /// experiences per group, not a group's exclusive protocol time.
     pub rekey_latencies: Vec<Duration>,
+    /// Virtual **radio** milliseconds per committed rekey this epoch:
+    /// the group's exclusive channel time (airtime + link delay, summed
+    /// over its plan's steps and any retransmitted attempts), measured on
+    /// the simulated clock. Empty off-radio.
+    pub rekey_latencies_virtual_ms: Vec<f64>,
 }
 
 impl EpochReport {
@@ -132,6 +169,12 @@ impl EpochReport {
         Some((at(0.50), at(0.95), sorted[sorted.len() - 1]))
     }
 
+    /// `(p50, p95, p99)` rekey latency of this epoch in virtual radio
+    /// milliseconds; `None` off-radio or when nothing rekeyed.
+    pub fn latency_quantiles_virtual(&self) -> Option<(f64, f64, f64)> {
+        quantiles3(&self.rekey_latencies_virtual_ms)
+    }
+
     /// Folds this epoch into the cumulative service counters.
     pub(crate) fn fold_into(&self, m: &mut ServiceMetrics) {
         m.events_applied += self.events_applied;
@@ -143,6 +186,13 @@ impl EpochReport {
         m.groups_stalled += self.groups_stalled;
         m.steps_retried += self.steps_retried;
         m.groups_dissolved += self.groups_dissolved;
+        m.nodes_died += self.nodes_died;
+        m.virtual_latencies_ms
+            .extend_from_slice(&self.rekey_latencies_virtual_ms);
+        if m.virtual_latencies_ms.len() > VIRTUAL_LATENCY_WINDOW {
+            let excess = m.virtual_latencies_ms.len() - VIRTUAL_LATENCY_WINDOW;
+            m.virtual_latencies_ms.drain(..excess);
+        }
         m.energy_mj += self.energy_mj;
         m.ops.merge(&self.ops);
         add_traffic(&mut m.traffic, &self.traffic);

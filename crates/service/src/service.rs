@@ -7,12 +7,40 @@ use std::time::Instant;
 use egka_bigint::Ubig;
 use egka_core::proposed;
 use egka_core::{dynamics, par, GroupSession, Pkg, RunConfig, UserId};
+use egka_medium::{BatteryBank, BatteryStatus, RadioProfile};
 
 use crate::event::{GroupId, MembershipEvent, RejectReason, ServiceError};
 use crate::hashing::jump_hash;
 use crate::metrics::{add_traffic, traffic_of, EpochReport, ServiceMetrics};
 use crate::plan::CostModel;
-use crate::shard::{mix, EpochCtx, GroupState, Shard};
+use crate::shard::{mix, EpochCtx, GroupState, RadioEpoch, Shard};
+
+/// Runs every rekey over the virtual-time radio instead of the instant
+/// medium: per-link delay, airtime contention at the profile's data rate,
+/// and battery drain per tx/rx bit and compute op. Rekey latencies are
+/// then reported in virtual radio milliseconds
+/// ([`EpochReport::latency_quantiles_virtual`]) and a member whose budget
+/// drains to zero is powered off mid-protocol and auto-detached.
+#[derive(Clone, Debug)]
+pub struct RadioConfig {
+    /// Hardware/channel profile (transceiver, CPU, link delay, loss).
+    pub profile: RadioProfile,
+    /// Battery budget installed per member on first contact, microjoules.
+    /// `f64::INFINITY` (the [`RadioConfig::new`] default) means mains
+    /// power — drain is accounted but nobody dies. Override per member
+    /// with [`KeyService::set_battery`].
+    pub default_battery_uj: f64,
+}
+
+impl RadioConfig {
+    /// Mains-powered nodes on `profile`.
+    pub fn new(profile: RadioProfile) -> Self {
+        RadioConfig {
+            profile,
+            default_battery_uj: f64::INFINITY,
+        }
+    }
+}
 
 /// Service configuration.
 #[derive(Clone, Debug)]
@@ -28,6 +56,8 @@ pub struct ServiceConfig {
     /// How many times a loss-stalled rekey step is retried with fresh
     /// randomness before its group is timed out for the epoch.
     pub step_retries: u32,
+    /// When set, rekeys run over the virtual-time radio medium.
+    pub radio: Option<RadioConfig>,
 }
 
 impl Default for ServiceConfig {
@@ -37,6 +67,7 @@ impl Default for ServiceConfig {
             seed: 0xe96a,
             cost: CostModel::default(),
             step_retries: 2,
+            radio: None,
         }
     }
 }
@@ -60,6 +91,12 @@ pub struct KeyService {
     /// Members currently powered off: any group whose epoch needs one of
     /// them stalls (and only that group — scheduler liveness).
     detached: BTreeSet<UserId>,
+    /// Battery budgets under a radio config (`None` off-radio). Shared by
+    /// every epoch's protocol executions, so drain accumulates for the
+    /// life of the service.
+    bank: Option<BatteryBank>,
+    /// Battery deaths already folded into `detached` / `nodes_died`.
+    known_dead: BTreeSet<UserId>,
 }
 
 impl KeyService {
@@ -70,6 +107,10 @@ impl KeyService {
     pub fn new(pkg: Arc<Pkg>, config: ServiceConfig) -> Self {
         assert!(config.shards > 0, "need at least one shard");
         let shards = (0..config.shards).map(|_| Shard::default()).collect();
+        let bank = config
+            .radio
+            .as_ref()
+            .map(|r| BatteryBank::new(r.default_battery_uj));
         KeyService {
             pkg,
             config,
@@ -78,6 +119,8 @@ impl KeyService {
             metrics: ServiceMetrics::default(),
             loss: 0.0,
             detached: BTreeSet::new(),
+            bank,
+            known_dead: BTreeSet::new(),
         }
     }
 
@@ -108,14 +151,45 @@ impl KeyService {
     }
 
     /// Reverses [`KeyService::detach_member`]; requeued events apply at
-    /// the next tick.
+    /// the next tick. A battery-dead member stays down — its radio has no
+    /// power to come back with.
     pub fn attach_member(&mut self, member: UserId) {
-        self.detached.remove(&member);
+        if !self.known_dead.contains(&member) {
+            self.detached.remove(&member);
+        }
+    }
+
+    /// Installs `member`'s battery budget (microjoules), replacing the
+    /// radio config's default. No-op off-radio.
+    pub fn set_battery(&mut self, member: UserId, capacity_uj: f64) {
+        if let Some(bank) = &self.bank {
+            bank.set_capacity(member.0, capacity_uj);
+        }
+    }
+
+    /// Per-member battery budgets (spent/remaining/dead), ascending by
+    /// id. Empty off-radio or before any radio traffic.
+    pub fn battery_status(&self) -> Vec<BatteryStatus> {
+        self.bank.as_ref().map_or_else(Vec::new, |b| b.snapshot())
+    }
+
+    /// Members whose battery has drained to zero, ascending. Each was
+    /// auto-detached at the end of the epoch it died in.
+    pub fn dead_members(&self) -> Vec<UserId> {
+        self.bank
+            .as_ref()
+            .map_or_else(Vec::new, |b| b.dead().into_iter().map(UserId).collect())
     }
 
     /// Creates a group by running the initial authenticated GKA over
     /// `members` (extracting their ID keys from the PKG). Counts and
     /// energy are charged to the service metrics.
+    ///
+    /// Creation is **provisioning**, not radio traffic: like the PKG's
+    /// `Extract`, it happens before the field powers up, so it runs on
+    /// the instant medium and draws no battery even under a radio config.
+    /// What it cannot do is raise the dead — founding a group with a
+    /// detached or battery-dead member is rejected.
     pub fn create_group(&mut self, gid: GroupId, members: &[UserId]) -> Result<(), ServiceError> {
         if members.len() < 2 {
             return Err(ServiceError::GroupTooSmall);
@@ -123,6 +197,9 @@ impl KeyService {
         for (i, u) in members.iter().enumerate() {
             if members[..i].contains(u) {
                 return Err(ServiceError::DuplicateMember(*u));
+            }
+            if self.detached.contains(u) || self.bank.as_ref().is_some_and(|b| b.is_dead(u.0)) {
+                return Err(ServiceError::MemberUnavailable(*u));
             }
         }
         let shard = self.shard_of(gid);
@@ -177,13 +254,17 @@ impl KeyService {
         let (mut merge_report, deferred_merges) = self.resolve_merges(epoch);
 
         // Fan out: shards are independent (no group spans two shards), so
-        // this is lock-free parallelism; determinism is per-shard.
+        // this is lock-free parallelism; determinism is per-shard. The
+        // battery bank *is* shared across shards, but each cell is only
+        // ever debited by its owner's group, so drain order per cell stays
+        // deterministic too.
         let pkg = Arc::clone(&self.pkg);
         let cost = self.config.cost.clone();
         let seed = self.config.seed;
         let detached: Vec<UserId> = self.detached.iter().copied().collect();
         let loss = self.loss;
         let step_retries = self.config.step_retries;
+        let radio = self.radio_epoch();
         par::par_for_each_mut(&mut self.shards, |_, shard| {
             shard.run_epoch(&EpochCtx {
                 pkg: &pkg,
@@ -193,6 +274,7 @@ impl KeyService {
                 loss,
                 detached: &detached,
                 step_retries,
+                radio: radio.as_ref(),
             });
         });
 
@@ -213,6 +295,22 @@ impl KeyService {
             merge_report.ops.merge(&scratch.ops);
             add_traffic(&mut merge_report.traffic, &scratch.traffic);
             merge_report.rekey_latencies.extend(scratch.rekey_latencies);
+            merge_report
+                .rekey_latencies_virtual_ms
+                .extend(scratch.rekey_latencies_virtual_ms);
+        }
+        // Harvest battery deaths: a drained member is powered off for good
+        // — auto-detach it so the next epoch's planner fails fast instead
+        // of burning the retransmission budget on a corpse. Evicting it
+        // (a Leave) still works: leavers transmit nothing.
+        if let Some(bank) = &self.bank {
+            for user in bank.dead() {
+                let u = UserId(user);
+                if self.known_dead.insert(u) {
+                    self.detached.insert(u);
+                    merge_report.nodes_died += 1;
+                }
+            }
         }
         // Timed-out merge folds go back into their host's queue now —
         // after the shard phase, so this tick's planners (which reject
@@ -333,6 +431,7 @@ impl KeyService {
             let mut acc = self.shards[host_shard].groups[&host].session.clone();
             report.groups_touched += 1;
             let mut folds_done = 0u64;
+            let mut virtual_ms = 0.0f64;
             for (j, &t) in targets.iter().enumerate() {
                 // merge_many's fold seeds: `seed` for the first fold,
                 // `seed ^ (k << 8)` for session index k ≥ 2.
@@ -342,7 +441,13 @@ impl KeyService {
                     seed ^ ((j as u64 + 1) << 8)
                 };
                 let target_session = self.shards[self.shard_of(t)].groups[&t].session.clone();
-                match self.fold_one_merge(&acc, &target_session, fold_seed, &mut report) {
+                match self.fold_one_merge(
+                    &acc,
+                    &target_session,
+                    fold_seed,
+                    &mut report,
+                    &mut virtual_ms,
+                ) {
                     Some(out) => {
                         for r in &out.reports {
                             report.ops.merge(&r.counts);
@@ -385,6 +490,9 @@ impl KeyService {
                 state.session = acc;
                 state.rekeys += folds_done;
                 report.rekey_latencies.push(started.elapsed());
+                if self.config.radio.is_some() {
+                    report.rekey_latencies_virtual_ms.push(virtual_ms);
+                }
             }
         }
         report.energy_mj = self.config.cost.price_mj(&report.ops);
@@ -392,23 +500,36 @@ impl KeyService {
         (report, deferred)
     }
 
+    /// The per-tick radio context (profile + shared bank), if configured.
+    fn radio_epoch(&self) -> Option<RadioEpoch> {
+        self.config.radio.as_ref().map(|rc| RadioEpoch {
+            profile: rc.profile.clone(),
+            bank: self.bank.clone().expect("bank exists whenever radio does"),
+        })
+    }
+
     /// Attempts one pairwise merge fold under the service fault plan,
     /// retrying loss stalls with fresh randomness. `None` means the fold
     /// timed out (its wasted transmissions are already charged).
+    /// `virtual_ms` accumulates the fold's radio time, aborted attempts
+    /// included.
     fn fold_one_merge(
         &self,
         acc: &GroupSession,
         target: &GroupSession,
         fold_seed: u64,
         report: &mut EpochReport,
+        virtual_ms: &mut f64,
     ) -> Option<dynamics::MergeOutcome> {
         use egka_core::machine::Faults;
-        use egka_core::Pump;
+        use egka_core::{Pump, RadioSpec};
         let involves_detached = acc
             .member_ids()
             .iter()
             .chain(target.member_ids().iter())
-            .any(|u| self.detached.contains(u));
+            .any(|u| {
+                self.detached.contains(u) || self.bank.as_ref().is_some_and(|b| b.is_dead(u.0))
+            });
         let mut retry = 0u32;
         loop {
             let salted = if retry == 0 {
@@ -420,16 +541,25 @@ impl KeyService {
                 loss: self.loss,
                 loss_seed: mix(salted, 0x105e),
                 detached: self.detached.iter().copied().collect(),
+                radio: self.config.radio.as_ref().map(|rc| RadioSpec {
+                    profile: rc.profile.clone(),
+                    seed: mix(salted, 0xad10),
+                    bank: self.bank.clone(),
+                }),
             };
             let mut run = dynamics::MergeRun::new(acc, target, salted, &faults);
             loop {
                 match run.pump() {
-                    Pump::Done => return Some(run.finish()),
+                    Pump::Done => {
+                        *virtual_ms += run.virtual_elapsed_ms().unwrap_or(0.0);
+                        return Some(run.finish());
+                    }
                     Pump::Progressed => {}
                     Pump::Stalled | Pump::Failed(_) => break,
                 }
             }
             report.ops.merge(&run.partial_counts());
+            *virtual_ms += run.virtual_elapsed_ms().unwrap_or(0.0);
             if involves_detached || retry >= self.config.step_retries {
                 return None;
             }

@@ -25,8 +25,9 @@ use std::time::Instant;
 
 use egka_core::machine::Faults;
 use egka_core::proposed::GkaRun;
-use egka_core::{dynamics, GroupSession, Pkg, Pump, RunConfig, UserId};
+use egka_core::{dynamics, GroupSession, Pkg, Pump, RadioSpec, RunConfig, UserId};
 use egka_energy::OpCounts;
+use egka_medium::{BatteryBank, RadioProfile};
 
 use crate::event::{GroupId, MembershipEvent, RejectReason};
 use crate::metrics::{add_traffic, traffic_of, EpochReport};
@@ -51,6 +52,14 @@ pub(crate) fn mix(a: u64, b: u64) -> u64 {
     z ^ (z >> 31)
 }
 
+/// The radio half of an epoch context: the hardware/channel profile every
+/// step's medium is built from, and the shared battery bank the drain
+/// accumulates in.
+pub(crate) struct RadioEpoch {
+    pub profile: RadioProfile,
+    pub bank: BatteryBank,
+}
+
 /// Epoch-wide execution context handed to every shard.
 pub(crate) struct EpochCtx<'a> {
     pub pkg: &'a Pkg,
@@ -63,6 +72,9 @@ pub(crate) struct EpochCtx<'a> {
     /// Retransmission budget for loss-stalled steps before the group is
     /// timed out for the epoch.
     pub step_retries: u32,
+    /// When set, every protocol step runs over a virtual-time radio
+    /// instead of the instant medium.
+    pub radio: Option<&'a RadioEpoch>,
 }
 
 impl EpochCtx<'_> {
@@ -71,7 +83,18 @@ impl EpochCtx<'_> {
             loss: self.loss,
             loss_seed: mix(step_seed, 0x105e),
             detached: self.detached.to_vec(),
+            radio: self.radio.map(|r| RadioSpec {
+                profile: r.profile.clone(),
+                seed: mix(step_seed, 0xad10),
+                bank: Some(r.bank.clone()),
+            }),
         }
+    }
+
+    /// Whether `u` is unreachable for this epoch: explicitly powered off,
+    /// or battery-dead on the radio.
+    fn is_down(&self, u: UserId) -> bool {
+        self.detached.contains(&u) || self.radio.is_some_and(|r| r.bank.is_dead(u.0))
     }
 }
 
@@ -104,6 +127,18 @@ impl StepRun {
             StepRun::Merge(r) => r.partial_counts(),
         }
     }
+
+    /// Virtual radio milliseconds this step's run has consumed (0 when the
+    /// step ran on the instant medium).
+    fn virtual_elapsed_ms(&self) -> f64 {
+        match self {
+            StepRun::Gka(r) | StepRun::NewcomerGka(r) => r.virtual_elapsed_ms(),
+            StepRun::Join(r) => r.virtual_elapsed_ms(),
+            StepRun::Partition(r) => r.virtual_elapsed_ms(),
+            StepRun::Merge(r) => r.virtual_elapsed_ms(),
+        }
+        .unwrap_or(0.0)
+    }
 }
 
 /// One group's epoch work: its plan, working session, and progress.
@@ -123,6 +158,9 @@ struct ActiveGroup {
     rekeys: u64,
     gka_runs: u64,
     started: Instant,
+    /// Virtual radio milliseconds spent on this group's epoch so far —
+    /// completed steps plus aborted (retransmitted) attempts.
+    virtual_ms: f64,
     dissolved: bool,
     done: bool,
     failed: bool,
@@ -191,6 +229,7 @@ impl Shard {
                 rekeys: 0,
                 gka_runs: 0,
                 started: Instant::now(),
+                virtual_ms: 0.0,
                 dissolved: false,
                 done: false,
                 failed: false,
@@ -236,6 +275,9 @@ impl Shard {
                 state.session = g.session;
                 state.rekeys += g.rekeys;
                 report.rekey_latencies.push(g.started.elapsed());
+                if ctx.radio.is_some() {
+                    report.rekey_latencies_virtual_ms.push(g.virtual_ms);
+                }
             }
         }
         self.scratch = report;
@@ -279,14 +321,17 @@ impl Shard {
             Pump::Done => {
                 let finished = g.runner.take().expect("pumped");
                 let seed = g.runner_seed;
+                g.virtual_ms += finished.virtual_elapsed_ms();
                 self.complete_step(g, finished, seed, ctx);
             }
             Pump::Stalled | Pump::Failed(_) => {
                 // On a private per-group medium a zero-progress sweep is
                 // permanent: every machine is blocked and nothing is in
-                // flight. Charge the aborted attempt and retry or give up.
+                // flight. Charge the aborted attempt (its energy *and* its
+                // radio time) and retry or give up.
                 let aborted = g.runner.take().expect("pumped");
                 g.ops.merge(&aborted.partial_counts());
+                g.virtual_ms += aborted.virtual_elapsed_ms();
                 let detached_member = group_touches_detached(g, ctx);
                 if !detached_member && g.retries < ctx.step_retries {
                     g.retries += 1;
@@ -370,24 +415,19 @@ impl Shard {
     }
 }
 
-/// Whether any member this epoch touches (survivors or arrivals) is in
-/// the detached set — such a group cannot succeed by retrying, so it
-/// fails fast instead of burning the retransmission budget.
+/// Whether any member this epoch touches (survivors or arrivals) is
+/// unreachable — explicitly detached or battery-dead. Such a group cannot
+/// succeed by retrying, so it fails fast instead of burning the
+/// retransmission budget.
 fn group_touches_detached(g: &ActiveGroup, ctx: &EpochCtx<'_>) -> bool {
-    if ctx.detached.is_empty() {
+    if ctx.detached.is_empty() && ctx.radio.is_none() {
         return false;
     }
-    let in_session = g
-        .session
-        .member_ids()
-        .iter()
-        .any(|u| ctx.detached.contains(u));
+    let in_session = g.session.member_ids().iter().any(|&u| ctx.is_down(u));
     let in_plan = g.plan.steps.iter().any(|s| match s {
-        RekeyStep::JoinOne { newcomer } => ctx.detached.contains(newcomer),
-        RekeyStep::MergeNewcomers { newcomers } => {
-            newcomers.iter().any(|u| ctx.detached.contains(u))
-        }
-        RekeyStep::FullRekey { members } => members.iter().any(|u| ctx.detached.contains(u)),
+        RekeyStep::JoinOne { newcomer } => ctx.is_down(*newcomer),
+        RekeyStep::MergeNewcomers { newcomers } => newcomers.iter().any(|&u| ctx.is_down(u)),
+        RekeyStep::FullRekey { members } => members.iter().any(|&u| ctx.is_down(u)),
         RekeyStep::Partition { .. } | RekeyStep::Dissolve => false,
     });
     in_session || in_plan

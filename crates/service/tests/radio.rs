@@ -1,0 +1,194 @@
+//! Service-level behavior over the virtual-time radio medium:
+//! virtual-ms latency quantiles, battery-driven death feeding the
+//! detach/timeout path, and bit-for-bit equivalence of the ideal radio
+//! with the instant medium.
+
+use std::sync::Arc;
+
+use egka_core::{Pkg, SecurityProfile, UserId};
+use egka_hash::ChaChaRng;
+use egka_medium::RadioProfile;
+use egka_service::{KeyService, MembershipEvent, RadioConfig, ServiceConfig};
+use rand::SeedableRng;
+
+fn service(seed: u64, shards: usize, radio: Option<RadioConfig>) -> KeyService {
+    let mut rng = ChaChaRng::seed_from_u64(0xad10 ^ seed);
+    let pkg = Arc::new(Pkg::setup(&mut rng, SecurityProfile::Toy));
+    KeyService::new(
+        pkg,
+        ServiceConfig {
+            shards,
+            seed,
+            radio,
+            ..ServiceConfig::default()
+        },
+    )
+}
+
+/// Group `g`'s founding members are `g*10 .. g*10+4`.
+fn founders(g: u64) -> Vec<UserId> {
+    (0..4).map(|i| UserId(g as u32 * 10 + i)).collect()
+}
+
+#[test]
+fn radio_rekeys_report_virtual_latency_and_battery_drain() {
+    let radio = RadioConfig::new(RadioProfile::sensor_100kbps());
+    let mut svc = service(1, 2, Some(radio));
+    for g in 0..4u64 {
+        svc.create_group(g, &founders(g)).unwrap();
+    }
+    for g in 0..4u64 {
+        svc.submit(g, MembershipEvent::Leave(UserId(g as u32 * 10)))
+            .unwrap();
+    }
+    let report = svc.tick();
+    assert_eq!(report.rekeys_executed, 4);
+    assert_eq!(report.rekey_latencies_virtual_ms.len(), 4);
+    let (p50, p95, p99) = report.latency_quantiles_virtual().expect("radio quantiles");
+    assert!(p50 <= p95 && p95 <= p99);
+    // A Leave moves several kilobit broadcasts over a 100 kbps channel
+    // with ≥ 2 ms link delay: tens of virtual milliseconds at least.
+    assert!(p50 > 10.0, "p50 {p50} vms implausibly small");
+    // The cumulative metrics carry the same quantiles.
+    assert_eq!(
+        svc.metrics().virtual_latency_quantiles(),
+        Some((p50, p95, p99))
+    );
+    // Every rekey participant drew real energy from its (mains) battery
+    // (leavers transmit nothing, so only the 3 survivors per group have
+    // cells).
+    let status = svc.battery_status();
+    assert!(status.len() >= 12, "all survivors have cells");
+    assert!(status.iter().all(|s| s.spent_uj > 0.0 && !s.dead));
+    assert!(svc.dead_members().is_empty());
+}
+
+#[test]
+fn radio_service_is_deterministic_per_seed() {
+    let run = |seed: u64| {
+        let mut svc = service(
+            seed,
+            2,
+            Some(RadioConfig::new(RadioProfile::sensor_100kbps())),
+        );
+        for g in 0..3u64 {
+            svc.create_group(g, &founders(g)).unwrap();
+        }
+        for g in 0..3u64 {
+            svc.submit(g, MembershipEvent::Join(UserId(100 + g as u32)))
+                .unwrap();
+        }
+        let report = svc.tick();
+        let keys: Vec<_> = (0..3u64)
+            .map(|g| svc.group_key(g).unwrap().clone())
+            .collect();
+        (report.rekey_latencies_virtual_ms.clone(), keys)
+    };
+    assert_eq!(run(7), run(7), "same seed: same virtual times, same keys");
+    assert_ne!(run(7).1, run(8).1);
+}
+
+#[test]
+fn ideal_radio_matches_the_instant_medium_bit_for_bit() {
+    let run = |radio: Option<RadioConfig>| {
+        let mut svc = service(11, 2, radio);
+        for g in 0..4u64 {
+            svc.create_group(g, &founders(g)).unwrap();
+        }
+        for g in 0..4u64 {
+            svc.submit(g, MembershipEvent::Join(UserId(200 + g as u32)))
+                .unwrap();
+            svc.submit(g, MembershipEvent::Leave(UserId(g as u32 * 10 + 1)))
+                .unwrap();
+        }
+        let report = svc.tick();
+        let keys: Vec<_> = svc
+            .group_ids()
+            .iter()
+            .map(|&g| svc.group_key(g).unwrap().clone())
+            .collect();
+        (
+            report.events_applied,
+            report.rekeys_executed,
+            report.energy_mj,
+            keys,
+        )
+    };
+    let instant = run(None);
+    let radio = run(Some(RadioConfig::new(RadioProfile::ideal())));
+    assert_eq!(instant, radio);
+}
+
+#[test]
+fn dead_or_detached_members_cannot_found_groups() {
+    let mut svc = service(4, 1, Some(RadioConfig::new(RadioProfile::sensor_100kbps())));
+    // Battery-dead founder: capacity zero means the first contact check
+    // sees a drained cell.
+    svc.set_battery(UserId(1), 0.0);
+    assert_eq!(
+        svc.create_group(1, &founders(0)),
+        Err(egka_service::ServiceError::MemberUnavailable(UserId(1)))
+    );
+    // Detached founder.
+    svc.detach_member(UserId(12));
+    assert_eq!(
+        svc.create_group(2, &founders(1)),
+        Err(egka_service::ServiceError::MemberUnavailable(UserId(12)))
+    );
+    // Healthy founders still work.
+    svc.create_group(3, &founders(2)).unwrap();
+    assert_eq!(svc.groups_active(), 1);
+}
+
+#[test]
+fn battery_death_mid_epoch_stalls_one_group_and_feeds_the_detach_path() {
+    // Five groups on one shard; group 2's member U21 gets a battery so
+    // small it browns out during the epoch's rekey. Liveness: the other
+    // four groups complete the same epoch; U21's group times out, keeps
+    // its key, and — because death is permanent — recovers only by
+    // *evicting* the corpse.
+    let n_groups = 5u64;
+    let mut radio = RadioConfig::new(RadioProfile::sensor_100kbps());
+    radio.default_battery_uj = f64::INFINITY;
+    let mut svc = service(2, 1, Some(radio));
+    for g in 0..n_groups {
+        svc.create_group(g, &founders(g)).unwrap();
+    }
+    let keys_before: Vec<_> = (0..n_groups)
+        .map(|g| svc.group_key(g).unwrap().clone())
+        .collect();
+    // ~25 mJ: enough to start the rekey, not enough to finish it.
+    svc.set_battery(UserId(21), 25_000.0);
+    for g in 0..n_groups {
+        svc.submit(g, MembershipEvent::Leave(UserId(g as u32 * 10)))
+            .unwrap();
+    }
+    let report = svc.tick();
+    assert_eq!(report.nodes_died, 1, "U21's battery died mid-epoch");
+    assert_eq!(report.groups_stalled, 1, "exactly group 2 stalls");
+    assert_eq!(report.rekeys_executed, n_groups - 1, "liveness preserved");
+    assert_eq!(svc.dead_members(), vec![UserId(21)]);
+    for g in 0..n_groups {
+        if g == 2 {
+            assert_eq!(svc.group_key(g).unwrap(), &keys_before[g as usize]);
+        } else {
+            assert_ne!(svc.group_key(g).unwrap(), &keys_before[g as usize]);
+        }
+    }
+
+    // attach_member cannot resurrect a drained battery.
+    svc.attach_member(UserId(21));
+    // Evict the corpse: the requeued Leave(20) plus Leave(21) coalesce
+    // into one Partition among the three survivors — leavers transmit
+    // nothing, so the dead radio is not needed.
+    svc.submit(2, MembershipEvent::Leave(UserId(21))).unwrap();
+    let report2 = svc.tick();
+    assert_eq!(report2.groups_stalled, 0);
+    assert_eq!(report2.rekeys_executed, 1);
+    let s = svc.session(2).expect("group recovered");
+    assert_eq!(s.n(), 2);
+    assert!(!s.contains(UserId(21)));
+    assert!(!s.contains(UserId(20)));
+    assert_ne!(svc.group_key(2).unwrap(), &keys_before[2]);
+    assert_eq!(svc.metrics().nodes_died, 1, "death counted once");
+}

@@ -12,8 +12,51 @@ use std::time::{Duration, Instant};
 
 use egka_core::{Pkg, SecurityProfile, UserId};
 use egka_hash::ChaChaRng;
-use egka_service::{GroupId, KeyService, MembershipEvent, ServiceConfig};
+use egka_medium::RadioProfile;
+use egka_service::{GroupId, KeyService, MembershipEvent, RadioConfig, ServiceConfig};
 use rand::{Rng, SeedableRng};
+
+use crate::report::RadioSummary;
+
+/// Radio knobs for the churn scenario: run every rekey over the
+/// virtual-time medium, optionally with finite batteries.
+#[derive(Clone, Debug)]
+pub struct RadioChurnConfig {
+    /// Hardware/channel profile.
+    pub profile: RadioProfile,
+    /// Default per-member battery, microjoules (`f64::INFINITY` = mains).
+    pub battery_uj: f64,
+    /// The first `weak_nodes` user ids get `weak_battery_uj` instead —
+    /// deterministic early deaths for the battery-exhaustion scenario.
+    pub weak_nodes: u32,
+    /// Budget of the weak nodes, microjoules.
+    pub weak_battery_uj: f64,
+}
+
+impl RadioChurnConfig {
+    /// The 100 kbps sensor field: 2 J batteries, two motes shipped with
+    /// nearly-flat 100 mJ cells (they die mid-scenario).
+    pub fn sensor_field() -> Self {
+        RadioChurnConfig {
+            profile: RadioProfile::sensor_100kbps(),
+            battery_uj: 2_000_000.0,
+            weak_nodes: 2,
+            weak_battery_uj: 100_000.0,
+        }
+    }
+
+    /// The equivalence configuration: 100 kbps channel, zero delay, zero
+    /// loss, infinite batteries — must reproduce the instant-medium churn
+    /// fingerprint bit for bit.
+    pub fn ideal() -> Self {
+        RadioChurnConfig {
+            profile: RadioProfile::ideal(),
+            battery_uj: f64::INFINITY,
+            weak_nodes: 0,
+            weak_battery_uj: f64::INFINITY,
+        }
+    }
+}
 
 /// Workload shape.
 #[derive(Clone, Debug)]
@@ -36,6 +79,11 @@ pub struct ChurnConfig {
     /// (exercises the scheduler's timeout/retransmission path; `0.0` is
     /// the reliable baseline).
     pub loss: f64,
+    /// Run every rekey over the virtual-time radio medium (`None` = the
+    /// classic instant-medium scenario). Battery-dead members are evicted
+    /// by the driver: it submits a `Leave` for each corpse, the way a real
+    /// deployment's failure detector would.
+    pub radio: Option<RadioChurnConfig>,
 }
 
 impl Default for ChurnConfig {
@@ -49,6 +97,7 @@ impl Default for ChurnConfig {
             shards: 8,
             seed: 0xc452_4e01,
             loss: 0.0,
+            radio: None,
         }
     }
 }
@@ -68,6 +117,9 @@ pub struct ChurnEpoch {
     pub energy_mj: f64,
     /// `(p50, p95, max)` per-group rekey latency, if any rekeys ran.
     pub latency: Option<(Duration, Duration, Duration)>,
+    /// `(p50, p95, p99)` rekey latency in **virtual radio ms** (radio
+    /// scenarios only).
+    pub virtual_latency: Option<(f64, f64, f64)>,
 }
 
 /// Scenario outcome.
@@ -95,6 +147,12 @@ pub struct ChurnReport {
     pub steps_retried: u64,
     /// Per-epoch breakdown.
     pub epochs: Vec<ChurnEpoch>,
+    /// `(p50, p95, p99)` wall-clock rekey latency across every committed
+    /// rekey of the scenario.
+    pub wall_latency: Option<(Duration, Duration, Duration)>,
+    /// Virtual-time summary (latency quantiles in virtual ms, battery
+    /// ledger, deaths) — radio scenarios only.
+    pub radio: Option<RadioSummary>,
     /// Wall-clock of the whole scenario (setup + all ticks).
     pub wall: Duration,
     /// Events applied per wall-clock second.
@@ -135,11 +193,20 @@ pub fn run_churn(config: &ChurnConfig) -> ChurnReport {
         ServiceConfig {
             shards: config.shards,
             seed: config.seed,
+            radio: config.radio.as_ref().map(|r| RadioConfig {
+                profile: r.profile.clone(),
+                default_battery_uj: r.battery_uj,
+            }),
             ..ServiceConfig::default()
         },
     );
     if config.loss > 0.0 {
         svc.set_loss(config.loss);
+    }
+    if let Some(radio) = &config.radio {
+        for u in 0..radio.weak_nodes {
+            svc.set_battery(UserId(u), radio.weak_battery_uj);
+        }
     }
 
     // Founding membership: disjoint id ranges per group, sizes varied in
@@ -156,8 +223,31 @@ pub fn run_churn(config: &ChurnConfig) -> ChurnReport {
 
     let mut epochs = Vec::with_capacity(config.epochs as usize);
     let mut events_submitted = 0u64;
+    let mut wall_latencies: Vec<Duration> = Vec::new();
+    let mut evicted: std::collections::BTreeSet<UserId> = std::collections::BTreeSet::new();
     for _ in 0..config.epochs {
         let mut epoch_events = 0u64;
+        // Evictions can legitimately dissolve a group (all its members
+        // died or left); stop generating traffic for the tombstone.
+        if config.radio.is_some() {
+            let live: std::collections::BTreeSet<GroupId> = svc.group_ids().into_iter().collect();
+            mirror.retain(|(g, _)| live.contains(g));
+        }
+        // The deployment's failure detector: members whose battery died
+        // in an earlier epoch are evicted with an ordinary Leave — the
+        // survivors' Partition (or fallback GKA) never needs the dead
+        // radio, so the group recovers.
+        for u in svc.dead_members() {
+            if !evicted.insert(u) {
+                continue;
+            }
+            if let Some((g, members)) = mirror.iter_mut().find(|(_, members)| members.contains(&u))
+            {
+                svc.submit(*g, MembershipEvent::Leave(u)).expect("evict");
+                members.retain(|&m| m != u);
+                epoch_events += 1;
+            }
+        }
         for (g, members) in mirror.iter_mut() {
             let joins = poisson(&mut rng, config.join_rate);
             let leaves = poisson(&mut rng, config.leave_rate);
@@ -186,6 +276,7 @@ pub fn run_churn(config: &ChurnConfig) -> ChurnReport {
             report.events_rejected, 0,
             "driver generates only valid events"
         );
+        wall_latencies.extend_from_slice(&report.rekey_latencies);
         epochs.push(ChurnEpoch {
             epoch: report.epoch,
             events: epoch_events,
@@ -193,11 +284,39 @@ pub fn run_churn(config: &ChurnConfig) -> ChurnReport {
             coalesce_ratio: report.coalesce_ratio(),
             energy_mj: report.energy_mj,
             latency: report.latency_quantiles(),
+            virtual_latency: report.latency_quantiles_virtual(),
         });
     }
 
     let metrics = svc.metrics().clone();
     let wall = started.elapsed();
+    let wall_latency = {
+        let ms: Vec<f64> = wall_latencies
+            .iter()
+            .map(|d| d.as_secs_f64() * 1e3)
+            .collect();
+        egka_service::quantiles3(&ms).map(|(p50, p95, p99)| {
+            let d = |ms: f64| Duration::from_secs_f64(ms / 1e3);
+            (d(p50), d(p95), d(p99))
+        })
+    };
+    let radio = config.radio.as_ref().map(|_| {
+        let mut batteries = svc.battery_status();
+        let total_spent_uj = batteries.iter().map(|s| s.spent_uj).sum();
+        batteries.sort_by(|a, b| {
+            b.spent_uj
+                .partial_cmp(&a.spent_uj)
+                .expect("drain is finite")
+        });
+        batteries.truncate(5);
+        RadioSummary {
+            latency_quantiles_ms: metrics.virtual_latency_quantiles(),
+            nodes_died: metrics.nodes_died,
+            died: svc.dead_members().iter().map(|u| u.0).collect(),
+            total_spent_uj,
+            top_spenders: batteries,
+        }
+    });
     let key_fingerprint = svc
         .group_ids()
         .iter()
@@ -220,6 +339,8 @@ pub fn run_churn(config: &ChurnConfig) -> ChurnReport {
         groups_stalled: metrics.groups_stalled,
         steps_retried: metrics.steps_retried,
         epochs,
+        wall_latency,
+        radio,
         wall,
         throughput_eps: metrics.events_applied as f64 / wall.as_secs_f64().max(1e-9),
         key_fingerprint,
@@ -247,12 +368,30 @@ impl ChurnReport {
                 e.epoch, e.events, e.rekeys, e.coalesce_ratio, e.energy_mj, p50, p95, max
             );
         }
+        if self.epochs.iter().any(|e| e.virtual_latency.is_some()) {
+            let _ = writeln!(out);
+            let _ = writeln!(
+                out,
+                "{:>5} {:>12} {:>12} {:>12}  (rekey latency, virtual radio ms)",
+                "epoch", "v-p50", "v-p95", "v-p99"
+            );
+            for e in &self.epochs {
+                let (p50, p95, p99) = match e.virtual_latency {
+                    Some((a, b, c)) => (format!("{a:.1}"), format!("{b:.1}"), format!("{c:.1}")),
+                    None => ("-".into(), "-".into(), "-".into()),
+                };
+                let _ = writeln!(out, "{:>5} {:>12} {:>12} {:>12}", e.epoch, p50, p95, p99);
+            }
+        }
         let _ = writeln!(out);
         let _ = writeln!(
             out,
             "groups: {} live / {} created   events: {} applied / {} submitted",
             self.groups_active, self.groups, self.events_applied, self.events_submitted
         );
+        if let Some(radio) = &self.radio {
+            let _ = write!(out, "{}", radio.render());
+        }
         let _ = writeln!(
             out,
             "rekeys: {}   events-coalesced ratio: {:.2}   total energy: {:.1} mJ",
@@ -288,6 +427,7 @@ mod tests {
             shards: 4,
             seed: 0x5eed,
             loss: 0.0,
+            radio: None,
         }
     }
 
@@ -326,6 +466,67 @@ mod tests {
         assert_eq!(report.events_applied, 55);
         assert_eq!(report.rekeys_executed, 36);
         assert!((report.energy_mj - 41_399.819_52).abs() < 1e-3);
+    }
+
+    #[test]
+    fn churn_over_ideal_radio_matches_the_instant_golden_bit_for_bit() {
+        // Medium/reactor equivalence: with zero delay, zero loss and
+        // infinite batteries, a churn run over `egka-medium` (airtime
+        // serialization and all) reproduces the instant-medium golden
+        // (`churn_matches_blocking_driver_golden`) exactly — fingerprint,
+        // counters and priced energy.
+        let mut config = small();
+        config.radio = Some(RadioChurnConfig::ideal());
+        let report = run_churn(&config);
+        assert_eq!(report.key_fingerprint, 0x6e14_e41f_677b_0a8b);
+        assert_eq!(report.events_applied, 55);
+        assert_eq!(report.rekeys_executed, 36);
+        assert!((report.energy_mj - 41_399.819_52).abs() < 1e-3);
+        assert_eq!(report.groups_stalled, 0);
+        // And the radio view is populated: every rekey has a virtual
+        // latency (airtime is real even with zero link delay).
+        let radio = report.radio.expect("radio summary");
+        let (p50, _, p99) = radio.latency_quantiles_ms.expect("virtual quantiles");
+        assert!(p50 > 0.0 && p99 >= p50);
+        assert_eq!(radio.nodes_died, 0);
+        assert!(radio.total_spent_uj > 0.0);
+    }
+
+    #[test]
+    fn radio_churn_kills_weak_motes_but_preserves_liveness() {
+        // The acceptance scenario: a seeded run over the 100 kbps sensor
+        // medium with nonzero delay, finite batteries and two nearly-flat
+        // motes. Both die mid-epoch; their groups stall for that epoch
+        // (and only that epoch — the driver evicts the corpses), while
+        // every other group keeps completing rekeys.
+        let mut config = small();
+        config.radio = Some(RadioChurnConfig::sensor_field());
+        let report = run_churn(&config);
+        let radio = report.radio.as_ref().expect("radio summary");
+        assert!(radio.nodes_died >= 1, "a weak mote must die mid-epoch");
+        assert!(radio.died.iter().all(|&u| u < 2), "only the weak die");
+        assert!(
+            report.groups_stalled >= 1,
+            "the dying mote's group times out for its epoch"
+        );
+        // Liveness: the scenario as a whole keeps rekeying — stalls stay
+        // a small minority, and at most the weak motes' own group is lost
+        // (evicting every member a group has left legitimately dissolves
+        // it; both weak motes are founders of group 0).
+        assert!(report.rekeys_executed > report.groups_stalled * 4);
+        assert!(report.groups_active >= config.groups - 1);
+        let (p50, p95, p99) = radio.latency_quantiles_ms.expect("virtual quantiles");
+        assert!(p50 <= p95 && p95 <= p99);
+        assert!(p50 > 10.0, "kilobit rounds on 100 kbps take tens of vms");
+        // Determinism, deaths and all.
+        let again = run_churn(&config);
+        assert_eq!(report.key_fingerprint, again.key_fingerprint);
+        assert_eq!(radio.died, again.radio.as_ref().unwrap().died);
+        assert_eq!(
+            radio.latency_quantiles_ms,
+            again.radio.as_ref().unwrap().latency_quantiles_ms
+        );
+        assert!(!report.render().is_empty());
     }
 
     #[test]

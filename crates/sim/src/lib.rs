@@ -28,8 +28,8 @@ pub mod report;
 pub mod scenario;
 pub mod tables;
 
-pub use churn::{run_churn, ChurnConfig, ChurnReport};
+pub use churn::{run_churn, ChurnConfig, ChurnReport, RadioChurnConfig};
 pub use figure1::{check_shape, curve_letter, generate as generate_figure1, Figure1Config};
 pub use latency::{initial_gka_latency, node_latency, LatencyEstimate};
-pub use report::{Figure1, Figure1Point, Source, Table5, Table5Row};
+pub use report::{Figure1, Figure1Point, RadioSummary, Source, Table5, Table5Row};
 pub use tables::{generate_table5, measured_dynamic_msgs, Table5Config, PAPER_TABLE5};

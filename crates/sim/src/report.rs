@@ -1,7 +1,74 @@
 //! Report data structures and text/CSV renderers for the reproduced
-//! tables and figure.
+//! tables and figure, plus the radio-scenario summary.
 
+use egka_medium::BatteryStatus;
 use serde::{Deserialize, Serialize};
+
+/// What running a scenario over the virtual-time radio adds to its
+/// report: rekey latency in **virtual radio milliseconds** and the
+/// battery ledger.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct RadioSummary {
+    /// `(p50, p95, p99)` virtual-ms latency across every committed rekey.
+    pub latency_quantiles_ms: Option<(f64, f64, f64)>,
+    /// Members whose battery drained to zero (each was powered off
+    /// mid-protocol and auto-detached).
+    pub nodes_died: u64,
+    /// The dead, ascending by raw user id.
+    pub died: Vec<u32>,
+    /// Total energy drawn from all batteries, microjoules.
+    pub total_spent_uj: f64,
+    /// The heaviest spenders (top 5 by µJ drawn), for the per-node budget
+    /// view.
+    pub top_spenders: Vec<BatteryStatus>,
+}
+
+impl RadioSummary {
+    /// Plain-text rendering appended to a scenario report.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        if let Some((p50, p95, p99)) = self.latency_quantiles_ms {
+            let _ = writeln!(
+                out,
+                "radio: rekey latency p50 {p50:.1} / p95 {p95:.1} / p99 {p99:.1} virtual ms"
+            );
+        }
+        let _ = writeln!(
+            out,
+            "radio: {:.1} mJ drawn from batteries   {} node(s) died{}",
+            self.total_spent_uj / 1000.0,
+            self.nodes_died,
+            if self.died.is_empty() {
+                String::new()
+            } else {
+                format!(
+                    " ({})",
+                    self.died
+                        .iter()
+                        .map(|u| format!("U{u}"))
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                )
+            }
+        );
+        for s in &self.top_spenders {
+            let _ = writeln!(
+                out,
+                "  U{:<6} spent {:>12.1} µJ   remaining {:>12}   {}",
+                s.user,
+                s.spent_uj,
+                if s.capacity_uj.is_infinite() {
+                    "∞".to_string()
+                } else {
+                    format!("{:.1} µJ", s.remaining_uj())
+                },
+                if s.dead { "DEAD" } else { "alive" }
+            );
+        }
+        out
+    }
+}
 
 /// How a data point's operation counts were obtained.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]

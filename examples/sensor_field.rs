@@ -7,11 +7,18 @@
 //! authenticated BD for every membership change, and translates both into
 //! battery drain.
 //!
+//! The initial deployment's GKA is executed **over the virtual-time
+//! 100 kbps medium** (`egka-medium`): the channel serializes every
+//! broadcast at 100 kbps, links add jitter, and each mote's battery is
+//! debited per bit and per modular operation — so the time-to-key is
+//! printed in simulated radio milliseconds, not host time.
+//!
 //! ```text
 //! cargo run --example sensor_field
 //! ```
 
 use egka::prelude::*;
+use egka_core::proposed::GkaRun;
 use egka_energy::complexity::{bd_reexec, DynamicEvent};
 
 /// A pair of AA cells ≈ 2 × 1.5 V × 2500 mAh ≈ 27 kJ usable.
@@ -23,12 +30,38 @@ fn main() {
     let cpu = CpuModel::strongarm_133();
     let radio = Transceiver::radio_100kbps();
 
-    // Initial deployment: 16 motes.
+    // Initial deployment: 16 motes agree on a key over the *virtual-time*
+    // 100 kbps medium, each drawing from a fresh pair of AA cells.
     let n0 = 16;
     let keys = pkg.extract_group(64);
-    let (report, mut session) = proposed::run(pkg.params(), &keys[..n0], 1, RunConfig::default());
+    let bank = BatteryBank::new(BATTERY_J * 1e6);
+    let faults = Faults {
+        radio: Some(RadioSpec {
+            profile: RadioProfile::sensor_100kbps(),
+            seed: 0xf1e1d,
+            bank: Some(bank.clone()),
+        }),
+        ..Faults::default()
+    };
+    let mut gka = GkaRun::new(pkg.params(), &keys[..n0], 1, RunConfig::default(), &faults);
+    loop {
+        match gka.pump() {
+            Pump::Progressed => {}
+            Pump::Done => break,
+            other => panic!("deployment GKA must complete, got {other:?}"),
+        }
+    }
+    let air_ms = gka.virtual_elapsed_ms().expect("radio clock");
+    let (report, mut session) = gka.finish();
     let initial_mj = total_energy_mj(&cpu, &radio, &report.nodes[0].counts);
-    println!("deployment: {n0} motes agree on a key — {initial_mj:.1} mJ per mote\n");
+    // `extract_group` hands out identities U0..U15 in order.
+    let drawn_uj: f64 = (0..n0 as u32).map(|u| bank.spent_uj(u)).sum();
+    println!(
+        "deployment: {n0} motes agree on a key in {air_ms:.0} virtual ms on the \
+         100 kbps channel\n            {initial_mj:.1} mJ per mote (priced); \
+         {:.1} mJ drawn from the field's batteries\n",
+        drawn_uj / 1000.0
+    );
 
     // A day of churn: nodes join (new deployments) and die (battery/defect).
     // Track the busiest surviving node's cumulative energy.

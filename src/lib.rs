@@ -57,6 +57,7 @@
 //! | [`sig`] | GQ (+ batch), DSA, ECDSA, SOK, certificates, CA |
 //! | [`net`] | broadcast medium with per-node bit accounting |
 //! | [`energy`] | Tables 2/3 cost models, meters, Tables 1/4/5 closed forms |
+//! | [`medium`] | virtual-time radio: link delay, airtime contention, batteries |
 //! | [`core`] | the five GKA protocols + Join/Leave/Merge/Partition |
 //! | [`service`] | sharded multi-group key management, epoch-batched rekeying |
 //! | [`sim`] | Figure 1 and Table 4/5 harnesses, churn workloads, reports |
@@ -69,6 +70,7 @@ pub use egka_core as core;
 pub use egka_ec as ec;
 pub use egka_energy as energy;
 pub use egka_hash as hash;
+pub use egka_medium as medium;
 pub use egka_net as net;
 pub use egka_service as service;
 pub use egka_sig as sig;
@@ -79,14 +81,15 @@ pub use egka_symmetric as symmetric;
 pub mod prelude {
     pub use egka_bigint::{SchnorrGroup, Ubig};
     pub use egka_core::{
-        authbd, dynamics, proposed, ssn, AuthKit, Fault, GroupSession, Params, Pkg, RunConfig,
-        SecurityProfile, UserId,
+        authbd, dynamics, proposed, ssn, AuthKit, Fault, Faults, GroupSession, Params, Pkg, Pump,
+        RadioSpec, RunConfig, SecurityProfile, UserId,
     };
     pub use egka_energy::{
         complexity::InitialProtocol, total_energy_mj, CompOp, CpuModel, Meter, OpCounts, Scheme,
         Transceiver,
     };
     pub use egka_hash::ChaChaRng;
+    pub use egka_medium::{BatteryBank, RadioProfile};
     pub use egka_sim::{Figure1Config, Table5Config};
     pub use rand::SeedableRng;
 }

@@ -7,7 +7,7 @@ use std::sync::Arc;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use egka_core::{dynamics, proposed, Pkg, RunConfig, SecurityProfile, UserId};
 use egka_hash::ChaChaRng;
-use egka_service::{KeyService, MembershipEvent, ServiceConfig};
+use egka_service::{KeyService, MembershipEvent};
 use rand::SeedableRng;
 use std::hint::black_box;
 
@@ -25,7 +25,7 @@ fn bench_epoch_tick(c: &mut Criterion) {
     for groups in [8u64, 32] {
         group.bench_with_input(BenchmarkId::new("churn", groups), &groups, |b, &groups| {
             b.iter(|| {
-                let mut svc = KeyService::new(Arc::clone(&pkg), ServiceConfig::default());
+                let mut svc = KeyService::builder().build(Arc::clone(&pkg));
                 for g in 0..groups {
                     let base = g as u32 * 16;
                     let members: Vec<UserId> = (base..base + 5).map(UserId).collect();

@@ -17,17 +17,23 @@
 //! `Leave`, so one battery death stalls one group for one epoch — every
 //! other group keeps completing (the liveness acceptance criterion, which
 //! this binary asserts).
+//!
+//! The scenario totals are also written as machine-readable JSON to
+//! `BENCH_radio_churn.json` (same shape as `BENCH_service_churn.json`;
+//! override with `--json PATH`, disable with `--json -`), so radio-path
+//! perf is tracked across PRs too.
 
-use egka_bench::{arg_value, has_flag};
-use egka_sim::{run_churn, ChurnConfig, RadioChurnConfig};
+use egka_bench::{arg_value, churn_report_json, has_flag, parse_suite_policy};
+use egka_sim::{run_churn, ChurnConfig};
 
 fn main() {
-    let mut config = ChurnConfig {
-        groups: 40,
-        epochs: 4,
-        ..ChurnConfig::default()
-    };
-    let mut radio = RadioChurnConfig::sensor_field();
+    // The canonical radio scenario lives on ChurnConfig so this binary,
+    // the tests and CI all drive the same knobs.
+    let mut config = ChurnConfig::radio_bench();
+    let mut radio = config.radio.take().expect("radio_bench has a radio");
+    if let Some(v) = arg_value("--policy") {
+        config.suite_policy = parse_suite_policy(&v);
+    }
     if has_flag("--wlan") {
         radio.profile = egka_medium::RadioProfile::wlan_spectrum24();
     }
@@ -90,6 +96,13 @@ fn main() {
 
     let report = run_churn(&config);
     print!("{}", report.render());
+
+    let json_path = arg_value("--json").unwrap_or_else(|| "BENCH_radio_churn.json".into());
+    if json_path != "-" {
+        std::fs::write(&json_path, churn_report_json(&report))
+            .unwrap_or_else(|e| panic!("writing {json_path}: {e}"));
+        println!("\nwrote {json_path}");
+    }
 
     let summary = report.radio.as_ref().expect("radio scenario");
     // Acceptance asserts: rekey latency is measured in virtual radio time,

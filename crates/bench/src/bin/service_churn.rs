@@ -6,8 +6,18 @@
 //! cargo run --release -p egka-bench --bin service_churn
 //! cargo run --release -p egka-bench --bin service_churn -- \
 //!     --groups 1000 --epochs 10 --join-rate 0.7 --leave-rate 0.6 \
-//!     --shards 8 --seed 7 [--loss 0.01] [--check-determinism]
+//!     --shards 8 --seed 7 [--loss 0.01] [--policy cheapest|<suite key>] \
+//!     [--preset mixed-suite] [--check-determinism]
 //! ```
+//!
+//! `--policy` selects the suite policy: `cheapest` prices all five
+//! Table 1 protocols with the paper's low-power profile (StrongARM +
+//! 100 kbps radio) and runs each group on its argmin; `cheapest-wlan`
+//! prices with the WLAN card; any suite key (`proposed`, `bd_ecdsa`, …)
+//! fixes the whole fleet on that protocol. `--preset mixed-suite` starts
+//! from `ChurnConfig::mixed_suite_bench()` (founding sizes 2..4 under the
+//! cheapest policy — a provably mixed fleet) and asserts that at least two
+//! distinct suites were actually selected.
 //!
 //! Reports per-epoch events/rekeys/coalesce-ratio/energy and rekey-latency
 //! quantiles, plus scenario totals (throughput, events-coalesced ratio,
@@ -21,11 +31,19 @@
 //! `BENCH_service_churn.json` (override with `--json PATH`, disable with
 //! `--json -`), so the perf trajectory is tracked across PRs.
 
-use egka_bench::{arg_value, churn_report_json, has_flag};
+use egka_bench::{arg_value, churn_report_json, has_flag, parse_suite_policy};
 use egka_sim::{run_churn, ChurnConfig};
 
 fn main() {
-    let mut config = ChurnConfig::default();
+    let mut config = match arg_value("--preset").as_deref() {
+        None => ChurnConfig::default(),
+        Some("mixed-suite") => ChurnConfig::mixed_suite_bench(),
+        Some(other) => panic!("unknown --preset {other} (try: mixed-suite)"),
+    };
+    let mixed_preset = arg_value("--preset").as_deref() == Some("mixed-suite");
+    if let Some(v) = arg_value("--policy") {
+        config.suite_policy = parse_suite_policy(&v);
+    }
     if let Some(v) = arg_value("--groups") {
         config.groups = v.parse().expect("--groups N");
     }
@@ -53,7 +71,7 @@ fn main() {
 
     println!(
         "service_churn: {} groups (size {}..{}), {} epochs, λ_join {}, λ_leave {}, \
-         {} shards, seed {:#x}, loss {}\n",
+         {} shards, seed {:#x}, loss {}, policy {:?}\n",
         config.groups,
         config.group_size,
         config.group_size + 2,
@@ -62,7 +80,8 @@ fn main() {
         config.leave_rate,
         config.shards,
         config.seed,
-        config.loss
+        config.loss,
+        config.suite_policy
     );
 
     let report = run_churn(&config);
@@ -88,6 +107,25 @@ fn main() {
         println!("\n(workload too small for the coalesce-ratio acceptance assert)");
     }
 
+    // Acceptance assert for the mixed-suite preset: the cheapest policy
+    // must actually field more than one protocol across the fleet.
+    if mixed_preset {
+        assert!(
+            report.suites.len() >= 2,
+            "mixed-suite preset selected only {:?}",
+            report.suites
+        );
+        println!(
+            "\nmixed fleet ✓ ({})",
+            report
+                .suites
+                .iter()
+                .map(|s| format!("{} × {}", s.suite.key(), s.groups))
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+    }
+
     if has_flag("--check-determinism") {
         println!("\nre-running for determinism check…");
         let again = run_churn(&config);
@@ -100,6 +138,15 @@ fn main() {
             report.steps_retried, again.steps_retried,
             "retransmission schedule must be deterministic too"
         );
+        if mixed_preset {
+            let mix = |r: &egka_sim::ChurnReport| {
+                r.suites
+                    .iter()
+                    .map(|s| (s.suite, s.groups, s.rekeys))
+                    .collect::<Vec<_>>()
+            };
+            assert_eq!(mix(&report), mix(&again), "suite selection is seeded");
+        }
         println!(
             "deterministic ✓ (fingerprint {:016x} reproduced)",
             again.key_fingerprint

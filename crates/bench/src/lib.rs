@@ -53,6 +53,31 @@ pub fn has_flag(name: &str) -> bool {
     std::env::args().any(|a| a == name)
 }
 
+/// Parses a `--policy` value: `cheapest` (StrongARM + 100 kbps radio),
+/// `cheapest-wlan` (StrongARM + WLAN card), or a suite key (`proposed`,
+/// `bd_sok`, `bd_ecdsa`, `bd_dsa`, `ssn`) for a fixed fleet.
+///
+/// # Panics
+/// Panics on an unrecognized value.
+pub fn parse_suite_policy(value: &str) -> egka_service::SuitePolicy {
+    use egka_energy::{CpuModel, Transceiver};
+    use egka_service::{SuiteId, SuitePolicy};
+    match value {
+        "cheapest" => SuitePolicy::Cheapest {
+            cpu: CpuModel::strongarm_133(),
+            transceiver: Transceiver::radio_100kbps(),
+        },
+        "cheapest-wlan" => SuitePolicy::Cheapest {
+            cpu: CpuModel::strongarm_133(),
+            transceiver: Transceiver::wlan_spectrum24(),
+        },
+        key => match SuiteId::from_key(key) {
+            Some(id) => SuitePolicy::Fixed(id),
+            None => panic!("unknown --policy {key} (try: cheapest, cheapest-wlan, or a suite key)"),
+        },
+    }
+}
+
 /// Renders a churn report as a flat JSON object — the machine-readable
 /// artifact (`BENCH_service_churn.json`) that tracks the perf trajectory
 /// across PRs. Hand-rolled (no JSON dependency in this environment): every
@@ -84,6 +109,20 @@ pub fn churn_report_json(report: &egka_sim::ChurnReport) -> String {
         Some(r) => (r.latency_quantiles_ms, r.nodes_died, r.total_spent_uj),
         None => (None, 0, 0.0),
     };
+    let suites = report
+        .suites
+        .iter()
+        .map(|s| {
+            format!(
+                "\"{}\": {{\"groups\": {}, \"rekeys\": {}, \"energy_mj\": {:.3}}}",
+                s.suite.key(),
+                s.groups,
+                s.rekeys,
+                s.energy_mj
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(", ");
     format!(
         "{{\n  \
          \"schema\": \"egka-service-churn/1\",\n  \
@@ -102,6 +141,7 @@ pub fn churn_report_json(report: &egka_sim::ChurnReport) -> String {
          \"battery_spent_uj\": {:.1},\n  \
          \"latency_wall_ms\": {},\n  \
          \"latency_virtual_ms\": {},\n  \
+         \"suites\": {{{}}},\n  \
          \"key_fingerprint\": \"{:016x}\"\n}}\n",
         report.groups,
         report.groups_active,
@@ -118,6 +158,7 @@ pub fn churn_report_json(report: &egka_sim::ChurnReport) -> String {
         battery_spent_uj,
         quantiles_ms(wall_q),
         quantiles_ms(virtual_q),
+        suites,
         report.key_fingerprint,
     )
 }

@@ -29,7 +29,7 @@ use egka_sig::{
 use rand::{Rng, SeedableRng};
 
 use crate::bd;
-use crate::ident::UserId;
+use crate::ident::{ring_position, UserId};
 use crate::machine::{
     two_round_script, Dest, Engine, Execution, Faults, Metered, Outgoing, PhaseOut, Pump,
 };
@@ -37,6 +37,11 @@ use crate::proposed::{NodeReport, RunReport};
 use crate::wire::{kind, Reader, Writer};
 
 /// Credentials for one authenticated-BD variant, for the whole group.
+///
+/// A kit is provisioned either for the canonical ring `U_0 … U_{n−1}`
+/// ([`AuthKit::setup_sok`] & co.) or for an arbitrary identity set
+/// ([`AuthKit::setup_sok_for`] & co.) — the latter is what lets these
+/// baselines run as service-managed suites over real member ids.
 pub enum AuthKit {
     /// SOK (pairing-based, ID-based: no certificates).
     Sok {
@@ -44,6 +49,8 @@ pub enum AuthKit {
         params: SokParams,
         /// Per-user extracted keys, ring order.
         keys: Vec<SokSecretKey>,
+        /// Member identities, ring order.
+        ids: Vec<UserId>,
     },
     /// ECDSA with certificates.
     Ecdsa {
@@ -55,6 +62,8 @@ pub enum AuthKit {
         certs: Vec<Certificate>,
         /// The CA's verification key.
         ca: CaPublic,
+        /// Member identities, ring order (certificate subjects).
+        ids: Vec<UserId>,
     },
     /// DSA with certificates.
     Dsa {
@@ -66,6 +75,8 @@ pub enum AuthKit {
         certs: Vec<Certificate>,
         /// The CA's verification key.
         ca: CaPublic,
+        /// Member identities, ring order (certificate subjects).
+        ids: Vec<UserId>,
     },
 }
 
@@ -81,68 +92,86 @@ impl AuthKit {
 
     /// Group size this kit was provisioned for.
     pub fn n(&self) -> usize {
+        self.ids().len()
+    }
+
+    /// The member identities this kit was provisioned for, ring order.
+    pub fn ids(&self) -> &[UserId] {
         match self {
-            AuthKit::Sok { keys, .. } => keys.len(),
-            AuthKit::Ecdsa { keys, .. } => keys.len(),
-            AuthKit::Dsa { keys, .. } => keys.len(),
+            AuthKit::Sok { ids, .. } => ids,
+            AuthKit::Ecdsa { ids, .. } => ids,
+            AuthKit::Dsa { ids, .. } => ids,
         }
+    }
+
+    /// Canonical ring `U_0 … U_{n−1}`.
+    fn canonical_ids(n: usize) -> Vec<UserId> {
+        (0..n as u32).map(UserId).collect()
     }
 
     /// Provisions a SOK deployment: PKG setup + per-user extraction.
     pub fn setup_sok<R: Rng + ?Sized>(rng: &mut R, group: egka_ec::PairingGroup, n: usize) -> Self {
+        Self::setup_sok_for(rng, group, &Self::canonical_ids(n))
+    }
+
+    /// [`AuthKit::setup_sok`] for an explicit identity ring.
+    pub fn setup_sok_for<R: Rng + ?Sized>(
+        rng: &mut R,
+        group: egka_ec::PairingGroup,
+        ids: &[UserId],
+    ) -> Self {
         let pkg = SokPkg::setup(rng, group);
-        let keys = (0..n)
-            .map(|i| pkg.extract(&UserId(i as u32).to_bytes()))
-            .collect();
+        let keys = ids.iter().map(|u| pkg.extract(&u.to_bytes())).collect();
         AuthKit::Sok {
             params: pkg.params,
             keys,
+            ids: ids.to_vec(),
         }
     }
 
     /// Provisions an ECDSA deployment: CA + per-user keys + certificates.
     pub fn setup_ecdsa<R: Rng + ?Sized>(rng: &mut R, scheme: Ecdsa, n: usize) -> Self {
+        Self::setup_ecdsa_for(rng, scheme, &Self::canonical_ids(n))
+    }
+
+    /// [`AuthKit::setup_ecdsa`] for an explicit identity ring.
+    pub fn setup_ecdsa_for<R: Rng + ?Sized>(rng: &mut R, scheme: Ecdsa, ids: &[UserId]) -> Self {
         let mut ca = CertificateAuthority::new_ecdsa(rng, b"egka-ca", scheme.clone());
-        let keys: Vec<EcdsaKeyPair> = (0..n).map(|_| scheme.keygen(rng)).collect();
+        let keys: Vec<EcdsaKeyPair> = ids.iter().map(|_| scheme.keygen(rng)).collect();
         let certs = keys
             .iter()
-            .enumerate()
-            .map(|(i, k)| {
-                ca.issue(
-                    rng,
-                    &UserId(i as u32).to_bytes(),
-                    SubjectKey::Ecdsa(k.q.clone()),
-                )
-            })
+            .zip(ids)
+            .map(|(k, u)| ca.issue(rng, &u.to_bytes(), SubjectKey::Ecdsa(k.q.clone())))
             .collect();
         AuthKit::Ecdsa {
             ca: ca.public(),
             scheme,
             keys,
             certs,
+            ids: ids.to_vec(),
         }
     }
 
     /// Provisions a DSA deployment: CA + per-user keys + certificates.
     pub fn setup_dsa<R: Rng + ?Sized>(rng: &mut R, scheme: Dsa, n: usize) -> Self {
+        Self::setup_dsa_for(rng, scheme, &Self::canonical_ids(n))
+    }
+
+    /// [`AuthKit::setup_dsa`] for an explicit identity ring.
+    pub fn setup_dsa_for<R: Rng + ?Sized>(rng: &mut R, scheme: Dsa, ids: &[UserId]) -> Self {
         let mut ca = CertificateAuthority::new_dsa(rng, b"egka-ca", scheme.clone());
-        let keys: Vec<DsaKeyPair> = (0..n).map(|_| scheme.keygen(rng)).collect();
+        let keys: Vec<DsaKeyPair> = ids.iter().map(|_| scheme.keygen(rng)).collect();
         let certs = keys
             .iter()
-            .enumerate()
-            .map(|(i, k)| {
-                ca.issue(
-                    rng,
-                    &UserId(i as u32).to_bytes(),
-                    SubjectKey::Dsa(k.y.clone()),
-                )
-            })
+            .zip(ids)
+            .map(|(k, u)| ca.issue(rng, &u.to_bytes(), SubjectKey::Dsa(k.y.clone())))
             .collect();
         AuthKit::Dsa {
             ca: ca.public(),
             scheme,
             keys,
             certs,
+            ids: ids.to_vec(),
         }
     }
 }
@@ -172,6 +201,9 @@ enum NodeAuth {
 struct NodeState {
     idx: usize,
     id: UserId,
+    /// Member identities in ring order (positions are ring indices; wire
+    /// messages carry identities, which are looked up here).
+    ring: Arc<Vec<UserId>>,
     auth: NodeAuth,
     bd_group: Arc<SchnorrGroup>,
     meter: Meter,
@@ -238,7 +270,7 @@ fn node_machine(state: NodeState, n: usize, proto: InitialProtocol) -> Engine<No
                 let z = r.get_ubig().expect("round-1 z");
                 let cert_bytes = r.get_bytes().expect("round-1 cert field");
                 r.expect_end().expect("no trailing bytes");
-                let j = id.0 as usize;
+                let j = ring_position(&s.ring, id, "round-1");
                 s.zs[j] = z;
                 if !cert_bytes.is_empty() {
                     s.certs[j] = Some(Certificate::decode(cert_bytes).expect("valid cert bytes"));
@@ -254,7 +286,7 @@ fn node_machine(state: NodeState, n: usize, proto: InitialProtocol) -> Engine<No
                         continue;
                     }
                     let cert = s.certs[j].as_ref().expect("cert schemes ship certs");
-                    match s.store.check(cert, &UserId(j as u32).to_bytes(), ca) {
+                    match s.store.check(cert, &s.ring[j].to_bytes(), ca) {
                         CertCheck::NewlyVerified => s.meter.record(CompOp::CertVerify(scheme)),
                         CertCheck::AlreadyTrusted => {}
                         CertCheck::Rejected => panic!("honest-run certificate rejected"),
@@ -323,7 +355,7 @@ fn node_machine(state: NodeState, n: usize, proto: InitialProtocol) -> Engine<No
                 let x = r.get_ubig().expect("round-2 X");
                 let sig = r.get_bytes().expect("round-2 signature");
                 r.expect_end().expect("no trailing bytes");
-                let j = id.0 as usize;
+                let j = ring_position(&s.ring, id, "round-2");
                 s.xs[j] = x;
                 s.sigs[j] = sig.to_vec();
             }
@@ -337,7 +369,7 @@ fn node_machine(state: NodeState, n: usize, proto: InitialProtocol) -> Engine<No
                 if j == s.idx {
                     continue;
                 }
-                let msg = signed_message(UserId(j as u32), &s.zs[j], &s.xs[j], &z_prod);
+                let msg = signed_message(s.ring[j], &s.zs[j], &s.xs[j], &z_prod);
                 let ok = verify_one(s, j, &msg);
                 assert!(ok, "honest-run signature from U{j} rejected");
             }
@@ -375,13 +407,15 @@ impl AuthBdRun {
         assert!(n >= 2, "a group needs at least two members");
         let proto = kit.protocol();
         let group = Arc::new(bd_group.clone());
-        let ids: Vec<UserId> = (0..n as u32).map(UserId).collect();
+        let ids: Vec<UserId> = kit.ids().to_vec();
+        let ring = Arc::new(ids.clone());
         let exec = Execution::new(&ids, faults, |i, _| {
             let mut state = NodeState {
                 idx: i,
-                id: UserId(i as u32),
+                id: ids[i],
+                ring: Arc::clone(&ring),
                 auth: match kit {
-                    AuthKit::Sok { params, keys } => NodeAuth::Sok {
+                    AuthKit::Sok { params, keys, .. } => NodeAuth::Sok {
                         params: params.clone(),
                         key: keys[i].clone(),
                     },
@@ -390,6 +424,7 @@ impl AuthBdRun {
                         keys,
                         certs,
                         ca,
+                        ..
                     } => NodeAuth::Ecdsa {
                         scheme: scheme.clone(),
                         key: keys[i].clone(),
@@ -401,6 +436,7 @@ impl AuthBdRun {
                         keys,
                         certs,
                         ca,
+                        ..
                     } => NodeAuth::Dsa {
                         scheme: scheme.clone(),
                         key: keys[i].clone(),
@@ -426,7 +462,7 @@ impl AuthBdRun {
             if let AuthKit::Ecdsa { certs, ca, .. } | AuthKit::Dsa { certs, ca, .. } = kit {
                 for (j, cert) in certs.iter().enumerate() {
                     if i != j && already_trusts(i, j) {
-                        let outcome = state.store.check(cert, &UserId(j as u32).to_bytes(), ca);
+                        let outcome = state.store.check(cert, &ids[j].to_bytes(), ca);
                         assert_eq!(outcome, CertCheck::NewlyVerified);
                     }
                 }
@@ -444,6 +480,66 @@ impl AuthBdRun {
     /// True iff every member derived the key.
     pub fn is_done(&self) -> bool {
         self.exec.is_done()
+    }
+
+    /// Terminal failure, if one surfaced (deadline expiry).
+    pub fn failure(&self) -> Option<egka_net::NetError> {
+        self.exec.failure()
+    }
+
+    /// Ops + traffic spent so far — the cost a scheduler charges for an
+    /// aborted (stalled) attempt.
+    pub fn partial_counts(&self) -> egka_energy::OpCounts {
+        self.exec.partial_counts()
+    }
+
+    /// Virtual milliseconds this run has spent on its radio clock (`None`
+    /// off-radio).
+    pub fn virtual_elapsed_ms(&self) -> Option<f64> {
+        self.exec.virtual_now_ms()
+    }
+
+    /// Like [`AuthBdRun::finish`], but also assembles a
+    /// [`crate::GroupSession`] over `params` so the run can seed service
+    /// state: each member carries its BD share; `gq_keys` (ring order)
+    /// fill the ID-key slots the session schema requires. The BD group of
+    /// `params` must be the one the run executed over.
+    ///
+    /// The authenticated-BD baselines have no §7 dynamics — a membership
+    /// change re-runs the whole protocol — so the GQ commitment slots are
+    /// left zeroed; nothing ever reads them for these suites.
+    ///
+    /// # Panics
+    /// Panics if the run has not finished, keys diverged, or `gq_keys`
+    /// does not match the ring.
+    pub fn finish_session(
+        self,
+        params: &crate::params::Params,
+        gq_keys: &[egka_sig::GqSecretKey],
+    ) -> (RunReport, crate::GroupSession) {
+        assert!(self.exec.is_done(), "finish() before the run completed");
+        assert_eq!(gq_keys.len(), self.exec.n(), "one GQ key per member");
+        let members: Vec<crate::MemberState> = (0..self.exec.n())
+            .map(|i| {
+                let state = self.exec.machine(i).state();
+                let share = state.share.as_ref().expect("round 1 done");
+                crate::MemberState {
+                    id: state.id,
+                    gq_key: gq_keys[i].clone(),
+                    r: share.r.clone(),
+                    z: share.z.clone(),
+                    tau: Ubig::zero(),
+                    t: Ubig::zero(),
+                }
+            })
+            .collect();
+        let report = self.finish();
+        let session = crate::GroupSession {
+            params: params.clone(),
+            key: report.nodes[0].key.clone(),
+            members,
+        };
+        (report, session)
     }
 
     /// Assembles the per-node reports.
@@ -511,7 +607,7 @@ pub fn run_with_trust(
 /// message hash; the paper's Table 1 only counts the identity ones, so the
 /// message MapToPoint is recorded as a free `Hash` — see `EXPERIMENTS.md`.)
 fn verify_one(node: &mut NodeState, j: usize, msg: &[u8]) -> bool {
-    let jid = UserId(j as u32);
+    let jid = node.ring[j];
     match &node.auth {
         NodeAuth::Sok { params, .. } => {
             if !node.mapped_ids[j] {

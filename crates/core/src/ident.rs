@@ -29,6 +29,18 @@ impl fmt::Display for UserId {
     }
 }
 
+/// Ring position of `id` in `ring` — for resolving a wire message's sender
+/// identity to its protocol role. Honest-run protocols treat an unknown
+/// sender as a scripting bug, hence the panic.
+///
+/// # Panics
+/// Panics (with `what` naming the round) if `id` is not in `ring`.
+pub(crate) fn ring_position(ring: &[UserId], id: UserId, what: &str) -> usize {
+    ring.iter()
+        .position(|&u| u == id)
+        .unwrap_or_else(|| panic!("{what} sender is a ring member"))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -19,6 +19,10 @@
 //!   poll-driven [`machine::RoundMachine`] (no endpoint calls inside
 //!   protocol logic), pumpable by a scheduler that interleaves many
 //!   groups on one thread;
+//! * [`mod@suite`] — the protocol-erased boundary: every protocol above
+//!   packaged as an object-safe [`suite::Suite`] (stable [`suite::SuiteId`],
+//!   boxed pumpable runs for the initial GKA and the §7 dynamics, closed-form
+//!   cost hooks) so multi-protocol services program against `dyn Suite`;
 //! * [`params`] — the PKG Setup (paper §4) with paper/medium/toy security
 //!   profiles and a pinned 1024-bit fixture;
 //! * [`group`] — the session state the dynamic protocols consume;
@@ -44,6 +48,7 @@ pub mod par;
 pub mod params;
 pub mod proposed;
 pub mod ssn;
+pub mod suite;
 pub mod wire;
 
 pub use authbd::AuthKit;
@@ -52,3 +57,4 @@ pub use ident::UserId;
 pub use machine::{Dest, Faults, Outgoing, Pump, RadioSpec, RoundMachine, SessionKey, Step};
 pub use params::{paper_fixture, Params, Pkg, SecurityProfile};
 pub use proposed::{Fault, NodeReport, RunConfig, RunReport};
+pub use suite::{suite, StepCtx, Suite, SuiteId, SuiteOutcome, SuiteRun};

@@ -37,7 +37,7 @@ use rand::SeedableRng;
 
 use crate::bd;
 use crate::group::{GroupSession, MemberState};
-use crate::ident::UserId;
+use crate::ident::{ring_position, UserId};
 use crate::machine::{
     two_round_script, Dest, Engine, Execution, Faults, Metered, Outgoing, PhaseOut, Pump,
 };
@@ -149,12 +149,6 @@ impl Metered for NodeState {
     fn meter(&self) -> &Meter {
         &self.meter
     }
-}
-
-fn ring_position(ring: &[UserId], id: UserId, what: &str) -> usize {
-    ring.iter()
-        .position(|&u| u == id)
-        .unwrap_or_else(|| panic!("{what} sender is a ring member"))
 }
 
 /// Builds node `idx`'s machine. Phases (the shared two-round shape):

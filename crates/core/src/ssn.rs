@@ -38,7 +38,7 @@ use egka_sig::GqSecretKey;
 use rand::SeedableRng;
 
 use crate::bd;
-use crate::ident::UserId;
+use crate::ident::{ring_position, UserId};
 use crate::machine::{
     two_round_script, Dest, Engine, Execution, Faults, Metered, Outgoing, PhaseOut, Pump,
 };
@@ -49,6 +49,9 @@ use crate::wire::{kind, Reader, Writer};
 struct NodeState {
     idx: usize,
     id: UserId,
+    /// Member identities in ring order (positions are ring indices; wire
+    /// messages carry identities, which are looked up here).
+    ring: Arc<Vec<UserId>>,
     key: GqSecretKey,
     params: Arc<Params>,
     meter: Meter,
@@ -115,7 +118,7 @@ fn node_machine(state: NodeState, n: usize) -> Engine<NodeState> {
                 let z = r.get_ubig().expect("round-1 z");
                 let t = r.get_ubig().expect("round-1 t");
                 r.expect_end().expect("no trailing bytes");
-                let j = id.0 as usize;
+                let j = ring_position(&s.ring, id, "round-1");
                 s.zs[j] = z;
                 s.ts[j] = t;
             }
@@ -154,7 +157,7 @@ fn node_machine(state: NodeState, n: usize) -> Engine<NodeState> {
                 let x = r.get_ubig().expect("round-2 X");
                 let resp = r.get_ubig().expect("round-2 s");
                 r.expect_end().expect("no trailing bytes");
-                let j = id.0 as usize;
+                let j = ring_position(&s.ring, id, "round-2");
                 s.xs[j] = x;
                 s.ss[j] = resp;
             }
@@ -169,18 +172,11 @@ fn node_machine(state: NodeState, n: usize) -> Engine<NodeState> {
                 if j == s.idx {
                     continue;
                 }
-                let c = challenge(
-                    &s.params,
-                    UserId(j as u32),
-                    &s.zs[j],
-                    &s.xs[j],
-                    &s.ts[j],
-                    &z_prod,
-                );
+                let c = challenge(&s.params, s.ring[j], &s.zs[j], &s.xs[j], &s.ts[j], &z_prod);
                 // t_j == s_j^e · H(U_j)^{−c_j}: two modular exponentiations.
                 let se = mod_pow(&s.ss[j], &s.params.gq.e, &s.params.gq.n);
                 s.meter.record(CompOp::ModExp);
-                let h = s.params.gq.hash_id(&UserId(j as u32).to_bytes());
+                let h = s.params.gq.hash_id(&s.ring[j].to_bytes());
                 let h_inv = egka_bigint::mod_inverse(&h, &s.params.gq.n).expect("unit");
                 let hc = mod_pow(&h_inv, &c, &s.params.gq.n);
                 s.meter.record(CompOp::ModExp);
@@ -221,22 +217,23 @@ impl SsnRun {
     pub fn new(params: &Params, keys: &[GqSecretKey], seed: u64, faults: &Faults) -> Self {
         let n = keys.len();
         assert!(n >= 2, "a group needs at least two members");
-        // This baseline is only exercised on freshly numbered groups; the
-        // proposed protocol is the one that composes with dynamic events.
-        assert!(
-            keys.iter()
-                .enumerate()
-                .all(|(i, k)| k.id == UserId(i as u32).to_bytes()),
-            "SSN driver expects identities U0..U{}",
-            n - 1
-        );
-        let ids: Vec<UserId> = (0..n as u32).map(UserId).collect();
+        // Identities come from the extracted keys (arbitrary ids are fine:
+        // wire messages carry identities, looked up by ring position).
+        let ids: Vec<UserId> = keys
+            .iter()
+            .map(|k| {
+                let b: [u8; 4] = k.id.as_slice().try_into().expect("32-bit identities");
+                UserId::from_bytes(b)
+            })
+            .collect();
+        let ring = Arc::new(ids.clone());
         let shared = Arc::new(params.clone());
         let exec = Execution::new(&ids, faults, |i, _| {
             node_machine(
                 NodeState {
                     idx: i,
-                    id: UserId(i as u32),
+                    id: ids[i],
+                    ring: Arc::clone(&ring),
                     key: keys[i].clone(),
                     params: Arc::clone(&shared),
                     meter: Meter::new(),
@@ -265,6 +262,56 @@ impl SsnRun {
     /// True iff every member derived the key.
     pub fn is_done(&self) -> bool {
         self.exec.is_done()
+    }
+
+    /// Terminal failure, if one surfaced (deadline expiry).
+    pub fn failure(&self) -> Option<egka_net::NetError> {
+        self.exec.failure()
+    }
+
+    /// Ops + traffic spent so far — the cost a scheduler charges for an
+    /// aborted (stalled) attempt.
+    pub fn partial_counts(&self) -> egka_energy::OpCounts {
+        self.exec.partial_counts()
+    }
+
+    /// Virtual milliseconds this run has spent on its radio clock (`None`
+    /// off-radio).
+    pub fn virtual_elapsed_ms(&self) -> Option<f64> {
+        self.exec.virtual_now_ms()
+    }
+
+    /// Like [`SsnRun::finish`], but also assembles a
+    /// [`crate::GroupSession`] over `params` so the run can seed service
+    /// state. SSN has no §7 dynamics — a membership change re-runs the
+    /// whole protocol — but each member's BD share and GQ commitment are
+    /// genuinely held, so they are carried faithfully.
+    ///
+    /// # Panics
+    /// Panics if the run has not finished or keys diverged.
+    pub fn finish_session(self, params: &Params) -> (RunReport, crate::GroupSession) {
+        assert!(self.exec.is_done(), "finish() before the run completed");
+        let members: Vec<crate::MemberState> = (0..self.exec.n())
+            .map(|i| {
+                let state = self.exec.machine(i).state();
+                let share = state.share.as_ref().expect("round 1 done");
+                crate::MemberState {
+                    id: state.id,
+                    gq_key: state.key.clone(),
+                    r: share.r.clone(),
+                    z: share.z.clone(),
+                    tau: state.tau.clone(),
+                    t: state.ts[state.idx].clone(),
+                }
+            })
+            .collect();
+        let report = self.finish();
+        let session = crate::GroupSession {
+            params: params.clone(),
+            key: report.nodes[0].key.clone(),
+            members,
+        };
+        (report, session)
     }
 
     /// Assembles the per-node reports.

@@ -1,0 +1,1038 @@
+//! Protocol-erased suites: one object-safe boundary over all five GKA
+//! protocols.
+//!
+//! The paper's argument is comparative — the proposed GQ-batch scheme vs
+//! the SOK/ECDSA/DSA-authenticated BD baselines and the SSN ID-based
+//! scheme, priced per hardware profile. This module makes that comparison
+//! *executable at the service layer*: a [`Suite`] packages one protocol's
+//!
+//! * **run constructors** — the initial GKA and the §7 dynamics (Join,
+//!   Partition, batched-join Merge, cross-group Merge), each returned as a
+//!   boxed [`SuiteRun`] whose nodes are sans-IO
+//!   [`crate::machine::RoundMachine`]s pumped by a scheduler;
+//! * **closed-form complexity hooks** — group-total [`OpCounts`] from
+//!   `egka_energy::complexity`, the same shapes the instrumented runs are
+//!   asserted to match, so a planner can price a suite without running it.
+//!
+//! Behind `dyn Suite`, `egka-service` runs *any* of the five protocols per
+//! group and its planner can pick the cheapest suite for the hardware at
+//! hand (see `egka_service::SuitePolicy`).
+//!
+//! ## Dynamics realization
+//!
+//! Only the proposed scheme has native §7 dynamics
+//! ([`Suite::native_dynamics`]). The baselines follow the paper's own
+//! baseline convention: **every membership change re-runs the whole
+//! protocol** over the final membership — which is exactly what their
+//! closed-form hooks price, and what makes Table 5's 10–100× headline
+//! reproducible at the service layer.
+//!
+//! ```
+//! use egka_core::suite::{suite, SuiteId, StepCtx};
+//! use egka_core::{Faults, Pkg, Pump, SecurityProfile, UserId};
+//! use egka_hash::ChaChaRng;
+//! use rand::SeedableRng;
+//!
+//! let mut rng = ChaChaRng::seed_from_u64(7);
+//! let pkg = Pkg::setup(&mut rng, SecurityProfile::Toy);
+//! let members: Vec<UserId> = (0..4).map(UserId).collect();
+//! let faults_for = |_seed: u64| Faults::none();
+//! let ctx = StepCtx { pkg: &pkg, seed: 42, composable_joins: true, faults_for: &faults_for };
+//!
+//! // The same call shape drives any of the five protocols.
+//! for id in [SuiteId::Proposed, SuiteId::Ssn] {
+//!     let mut run = suite(id).initial(&ctx, pkg.params(), &members);
+//!     while run.pump() == Pump::Progressed {}
+//!     let out = run.finish();
+//!     assert_eq!(out.session.member_ids(), members);
+//! }
+//! ```
+
+use std::sync::OnceLock;
+
+use egka_energy::complexity::{
+    proposed_join, proposed_merge, proposed_partition, InitialProtocol, RoleCounts,
+};
+use egka_energy::{CompOp, OpCounts};
+use egka_hash::ChaChaRng;
+use egka_sig::{Dsa, Ecdsa, GqSecretKey};
+use rand::SeedableRng;
+
+use crate::authbd::{AuthBdRun, AuthKit};
+use crate::dynamics::{JoinRun, LeaveRun, MergeRun};
+use crate::group::GroupSession;
+use crate::ident::UserId;
+use crate::machine::{Faults, Pump};
+use crate::params::{Params, Pkg};
+use crate::proposed::{GkaRun, NodeReport, RunConfig};
+use crate::ssn::SsnRun;
+
+/// Deterministic 64-bit mixing for derived seeds (splitmix64 finalizer).
+/// Every scheduler-side seed chain (per-group, per-step, per-retry) is
+/// built from this one function, so suites and schedulers derive identical
+/// streams.
+pub fn mix(a: u64, b: u64) -> u64 {
+    let mut z = a ^ b.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Stable identity of one GKA suite — the five columns of the paper's
+/// Table 1. The discriminant order is the table's column order and is
+/// part of the public contract (ties in cost comparisons break toward the
+/// earlier column).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum SuiteId {
+    /// The paper's proposal: BD + GQ batch verification, native §7
+    /// dynamics.
+    Proposed,
+    /// BD authenticated with SOK (pairing) signatures.
+    BdSok,
+    /// BD authenticated with ECDSA + certificates.
+    BdEcdsa,
+    /// BD authenticated with DSA + certificates.
+    BdDsa,
+    /// The Saeednia–Safavi-Naini ID-based scheme.
+    Ssn,
+}
+
+impl SuiteId {
+    /// All suites, Table 1 column order.
+    pub const ALL: [SuiteId; 5] = [
+        SuiteId::Proposed,
+        SuiteId::BdSok,
+        SuiteId::BdEcdsa,
+        SuiteId::BdDsa,
+        SuiteId::Ssn,
+    ];
+
+    /// The Table 1 column this suite instantiates.
+    pub fn protocol(self) -> InitialProtocol {
+        match self {
+            SuiteId::Proposed => InitialProtocol::ProposedGqBatch,
+            SuiteId::BdSok => InitialProtocol::BdSok,
+            SuiteId::BdEcdsa => InitialProtocol::BdEcdsa,
+            SuiteId::BdDsa => InitialProtocol::BdDsa,
+            SuiteId::Ssn => InitialProtocol::Ssn,
+        }
+    }
+
+    /// Short machine-friendly key (`proposed`, `bd_sok`, …).
+    pub fn key(self) -> &'static str {
+        self.protocol().key()
+    }
+
+    /// Column header as printed in the paper.
+    pub fn name(self) -> &'static str {
+        self.protocol().name()
+    }
+
+    /// Parses a [`SuiteId::key`] back into the id.
+    pub fn from_key(key: &str) -> Option<SuiteId> {
+        SuiteId::ALL.into_iter().find(|s| s.key() == key)
+    }
+}
+
+/// Per-step execution context a scheduler hands to a suite's run
+/// constructors.
+pub struct StepCtx<'a> {
+    /// The PKG identities/keys are extracted from.
+    pub pkg: &'a Pkg,
+    /// The (retry-salted) step seed: all of the step's randomness derives
+    /// from it via [`mix`].
+    pub seed: u64,
+    /// Whether proposed Joins run in composable mode (`z'_1`
+    /// disseminated — see `egka_core::dynamics`).
+    pub composable_joins: bool,
+    /// Maps a derived seed to the fault plan (loss/detachment/radio) its
+    /// medium runs under — the scheduler owns loss salting, the suite owns
+    /// how many media a step needs (a batched join needs two).
+    pub faults_for: &'a dyn Fn(u64) -> Faults,
+}
+
+impl StepCtx<'_> {
+    /// The fault plan for the step's primary medium.
+    pub fn faults(&self) -> Faults {
+        (self.faults_for)(self.seed)
+    }
+}
+
+/// Outcome of a completed [`SuiteRun`].
+pub struct SuiteOutcome {
+    /// Per-node reports (keys + instrumented counts) of every protocol
+    /// execution the step ran, concatenated.
+    pub reports: Vec<NodeReport>,
+    /// The resulting group session.
+    pub session: GroupSession,
+    /// Full initial-GKA executions among them (fallbacks and the newcomer
+    /// half of a batched join).
+    pub gka_runs: u64,
+}
+
+/// One in-flight, pumpable protocol step — the object-safe handle a
+/// scheduler interleaves. Each implementation wraps one or more
+/// [`crate::machine::Execution`]s of per-node [`crate::RoundMachine`]s.
+pub trait SuiteRun: Send {
+    /// One non-blocking scheduling sweep; see
+    /// [`crate::machine::Execution::pump`].
+    fn pump(&mut self) -> Pump;
+
+    /// True iff every machine of every execution finished.
+    fn is_done(&self) -> bool;
+
+    /// Ops + traffic spent so far — what a scheduler charges for an
+    /// aborted (stalled / timed-out) attempt.
+    fn partial_counts(&self) -> OpCounts;
+
+    /// Virtual radio milliseconds consumed so far (0 on the instant
+    /// medium), completed sub-executions included.
+    fn virtual_elapsed_ms(&self) -> f64;
+
+    /// Assembles the outcome.
+    ///
+    /// # Panics
+    /// Panics if the run has not finished.
+    fn finish(self: Box<Self>) -> SuiteOutcome;
+}
+
+/// One GKA protocol behind a uniform, object-safe surface: run
+/// constructors for the initial agreement and every §7 dynamic, plus the
+/// closed-form group-total costs the planner prices them with.
+///
+/// Implementations are stateless; get them from [`suite`].
+pub trait Suite: Send + Sync {
+    /// Stable identity.
+    fn id(&self) -> SuiteId;
+
+    /// Whether the suite has native §7 dynamics. When `false`, the
+    /// dynamic constructors realize every membership change as a full
+    /// re-run over the final membership (the paper's baseline convention),
+    /// and a planner should collapse a whole event batch into one
+    /// full rekey.
+    fn native_dynamics(&self) -> bool {
+        self.id() == SuiteId::Proposed
+    }
+
+    // ---- run constructors ----
+
+    /// The initial GKA over `members` (keys extracted from `ctx.pkg`).
+    fn initial(&self, ctx: &StepCtx<'_>, params: &Params, members: &[UserId]) -> Box<dyn SuiteRun>;
+
+    /// One newcomer joins `session`.
+    fn join_one(
+        &self,
+        ctx: &StepCtx<'_>,
+        session: &GroupSession,
+        newcomer: UserId,
+    ) -> Box<dyn SuiteRun>;
+
+    /// `leavers` depart `session` in one reduced rekey (a single leaver
+    /// degenerates to the Leave protocol).
+    fn partition(
+        &self,
+        ctx: &StepCtx<'_>,
+        session: &GroupSession,
+        leavers: &[UserId],
+    ) -> Box<dyn SuiteRun>;
+
+    /// `k ≥ 2` newcomers join `session` as a batch (proposed: newcomers
+    /// run their own initial GKA, then one Merge).
+    fn merge_newcomers(
+        &self,
+        ctx: &StepCtx<'_>,
+        session: &GroupSession,
+        newcomers: &[UserId],
+    ) -> Box<dyn SuiteRun>;
+
+    /// Two agreed groups fold into one (`host` ring first).
+    fn merge_groups(
+        &self,
+        ctx: &StepCtx<'_>,
+        host: &GroupSession,
+        other: &GroupSession,
+    ) -> Box<dyn SuiteRun>;
+
+    /// Full re-run of the initial GKA over `members` (the planner's
+    /// fallback step; identical to [`Suite::initial`]).
+    fn full_rekey(
+        &self,
+        ctx: &StepCtx<'_>,
+        params: &Params,
+        members: &[UserId],
+    ) -> Box<dyn SuiteRun> {
+        self.initial(ctx, params, members)
+    }
+
+    // ---- closed-form complexity hooks (group totals) ----
+
+    /// Per-user closed-form counts of the initial GKA at size `n`
+    /// (Table 1 column evaluated at `n`).
+    fn initial_per_user(&self, n: u64) -> OpCounts {
+        self.id().protocol().per_user_counts(n)
+    }
+
+    /// Group-total closed-form cost of the initial GKA at size `n`.
+    fn initial_total(&self, n: u64) -> OpCounts {
+        let mut total = OpCounts::new();
+        total.merge_scaled(&self.initial_per_user(n), n);
+        total
+    }
+
+    /// Group-total closed-form cost of one Join at current size `n`.
+    /// Baselines: one full re-run at `n + 1`.
+    fn join_total(&self, n: u64, _composable: bool) -> OpCounts {
+        self.initial_total(n + 1)
+    }
+
+    /// Group-total closed-form cost of `k` sequential Joins starting at
+    /// size `n`. Baselines apply a batch as one re-run at `n + k` — for
+    /// them this equals [`Suite::batch_join_total`] by construction.
+    fn sequential_joins_total(&self, n: u64, k: u64, _composable: bool) -> OpCounts {
+        self.initial_total(n + k)
+    }
+
+    /// Group-total closed-form cost of the batched-join plan for `k ≥ 2`
+    /// newcomers at size `n`.
+    fn batch_join_total(&self, n: u64, k: u64) -> OpCounts {
+        assert!(k >= 2, "batch path needs at least two newcomers");
+        self.initial_total(n + k)
+    }
+
+    /// Group-total closed-form cost of a Partition removing `ld` of `n`
+    /// members with `v` refreshers. Baselines: one full re-run over the
+    /// `n − ld` survivors.
+    fn partition_total(&self, n: u64, ld: u64, _v: u64) -> OpCounts {
+        self.initial_total(n - ld)
+    }
+
+    /// Group-total closed-form cost of merging groups of size `n` and
+    /// `m`. Baselines: one full re-run at `n + m`.
+    fn merge_total(&self, n: u64, m: u64) -> OpCounts {
+        self.initial_total(n + m)
+    }
+
+    /// Group-total closed-form cost of a full rekey at size `n`.
+    fn full_rekey_total(&self, n: u64) -> OpCounts {
+        self.initial_total(n)
+    }
+}
+
+/// The suite registry: the five Table 1 columns as `&'static dyn Suite`.
+pub fn suite(id: SuiteId) -> &'static dyn Suite {
+    match id {
+        SuiteId::Proposed => &ProposedSuite,
+        SuiteId::BdSok => &BaselineSuite(SuiteId::BdSok),
+        SuiteId::BdEcdsa => &BaselineSuite(SuiteId::BdEcdsa),
+        SuiteId::BdDsa => &BaselineSuite(SuiteId::BdDsa),
+        SuiteId::Ssn => &BaselineSuite(SuiteId::Ssn),
+    }
+}
+
+/// Sums per-role closed-form counts over their populations.
+pub fn roles_total(roles: &[RoleCounts]) -> OpCounts {
+    let mut total = OpCounts::new();
+    for role in roles {
+        total.merge_scaled(&role.counts, role.population);
+    }
+    total
+}
+
+fn extract_keys(pkg: &Pkg, members: &[UserId]) -> Vec<GqSecretKey> {
+    members.iter().map(|&u| pkg.extract(u)).collect()
+}
+
+// ===================== the proposed suite =====================
+
+/// The paper's proposal (§4 initial GKA + native §7 dynamics).
+struct ProposedSuite;
+
+impl Suite for ProposedSuite {
+    fn id(&self) -> SuiteId {
+        SuiteId::Proposed
+    }
+
+    fn initial(&self, ctx: &StepCtx<'_>, params: &Params, members: &[UserId]) -> Box<dyn SuiteRun> {
+        let keys = extract_keys(ctx.pkg, members);
+        Box::new(ProposedInitial(GkaRun::new(
+            params,
+            &keys,
+            ctx.seed,
+            RunConfig::default(),
+            &ctx.faults(),
+        )))
+    }
+
+    fn join_one(
+        &self,
+        ctx: &StepCtx<'_>,
+        session: &GroupSession,
+        newcomer: UserId,
+    ) -> Box<dyn SuiteRun> {
+        let key = ctx.pkg.extract(newcomer);
+        Box::new(ProposedJoin(JoinRun::new(
+            session,
+            newcomer,
+            &key,
+            ctx.seed,
+            ctx.composable_joins,
+            &ctx.faults(),
+        )))
+    }
+
+    fn partition(
+        &self,
+        ctx: &StepCtx<'_>,
+        session: &GroupSession,
+        leavers: &[UserId],
+    ) -> Box<dyn SuiteRun> {
+        let positions: std::collections::BTreeSet<usize> = leavers
+            .iter()
+            .map(|&u| {
+                session
+                    .position_of(u)
+                    .expect("planner only removes live members")
+            })
+            .collect();
+        Box::new(ProposedPartition(LeaveRun::new(
+            session,
+            &positions,
+            ctx.seed,
+            &ctx.faults(),
+        )))
+    }
+
+    fn merge_newcomers(
+        &self,
+        ctx: &StepCtx<'_>,
+        session: &GroupSession,
+        newcomers: &[UserId],
+    ) -> Box<dyn SuiteRun> {
+        let keys = extract_keys(ctx.pkg, newcomers);
+        // The merge half's seed (and its loss/radio salt) derives from the
+        // step seed, so a retried attempt re-rolls both halves.
+        let merge_seed = mix(ctx.seed, 0x6d);
+        Box::new(ProposedMergeNewcomers {
+            gka: Some(GkaRun::new(
+                &session.params,
+                &keys,
+                ctx.seed,
+                RunConfig::default(),
+                &ctx.faults(),
+            )),
+            merge: None,
+            base: session.clone(),
+            merge_seed,
+            merge_faults: (ctx.faults_for)(merge_seed),
+            carried: OpCounts::new(),
+            carried_reports: Vec::new(),
+            carried_virtual_ms: 0.0,
+        })
+    }
+
+    fn merge_groups(
+        &self,
+        ctx: &StepCtx<'_>,
+        host: &GroupSession,
+        other: &GroupSession,
+    ) -> Box<dyn SuiteRun> {
+        Box::new(ProposedMerge(MergeRun::new(
+            host,
+            other,
+            ctx.seed,
+            &ctx.faults(),
+        )))
+    }
+
+    fn join_total(&self, n: u64, composable: bool) -> OpCounts {
+        let mut total = roles_total(&proposed_join(n));
+        if composable {
+            // U_1 computes and ships z'_1 inside m'_1: one extra
+            // exponentiation, +Z_BITS on the wire, received by the n−1
+            // other old-group members.
+            total.add(CompOp::ModExp, 1);
+            total.tx_bits += egka_energy::wire::Z_BITS;
+            total.rx_bits += egka_energy::wire::Z_BITS * (n - 1);
+        }
+        total
+    }
+
+    fn sequential_joins_total(&self, n: u64, k: u64, composable: bool) -> OpCounts {
+        let mut total = OpCounts::new();
+        for i in 0..k {
+            total.merge(&self.join_total(n + i, composable));
+        }
+        total
+    }
+
+    fn batch_join_total(&self, n: u64, k: u64) -> OpCounts {
+        assert!(k >= 2, "batch path needs at least two newcomers");
+        let mut total = self.initial_total(k);
+        total.merge(&roles_total(&proposed_merge(n, k)));
+        total
+    }
+
+    fn partition_total(&self, n: u64, ld: u64, v: u64) -> OpCounts {
+        roles_total(&proposed_partition(n, ld, v))
+    }
+
+    fn merge_total(&self, n: u64, m: u64) -> OpCounts {
+        roles_total(&proposed_merge(n, m))
+    }
+}
+
+struct ProposedInitial(GkaRun);
+
+impl SuiteRun for ProposedInitial {
+    fn pump(&mut self) -> Pump {
+        self.0.pump()
+    }
+
+    fn is_done(&self) -> bool {
+        self.0.is_done()
+    }
+
+    fn partial_counts(&self) -> OpCounts {
+        self.0.partial_counts()
+    }
+
+    fn virtual_elapsed_ms(&self) -> f64 {
+        self.0.virtual_elapsed_ms().unwrap_or(0.0)
+    }
+
+    fn finish(self: Box<Self>) -> SuiteOutcome {
+        let (report, session) = self.0.finish();
+        SuiteOutcome {
+            reports: report.nodes,
+            session,
+            gka_runs: 1,
+        }
+    }
+}
+
+struct ProposedJoin(JoinRun);
+
+impl SuiteRun for ProposedJoin {
+    fn pump(&mut self) -> Pump {
+        self.0.pump()
+    }
+
+    fn is_done(&self) -> bool {
+        self.0.is_done()
+    }
+
+    fn partial_counts(&self) -> OpCounts {
+        self.0.partial_counts()
+    }
+
+    fn virtual_elapsed_ms(&self) -> f64 {
+        self.0.virtual_elapsed_ms().unwrap_or(0.0)
+    }
+
+    fn finish(self: Box<Self>) -> SuiteOutcome {
+        let out = self.0.finish();
+        SuiteOutcome {
+            reports: out.reports,
+            session: out.session,
+            gka_runs: 0,
+        }
+    }
+}
+
+struct ProposedPartition(LeaveRun);
+
+impl SuiteRun for ProposedPartition {
+    fn pump(&mut self) -> Pump {
+        self.0.pump()
+    }
+
+    fn is_done(&self) -> bool {
+        self.0.is_done()
+    }
+
+    fn partial_counts(&self) -> OpCounts {
+        self.0.partial_counts()
+    }
+
+    fn virtual_elapsed_ms(&self) -> f64 {
+        self.0.virtual_elapsed_ms().unwrap_or(0.0)
+    }
+
+    fn finish(self: Box<Self>) -> SuiteOutcome {
+        let out = self.0.finish();
+        SuiteOutcome {
+            reports: out.reports,
+            session: out.session,
+            gka_runs: 0,
+        }
+    }
+}
+
+struct ProposedMerge(MergeRun);
+
+impl SuiteRun for ProposedMerge {
+    fn pump(&mut self) -> Pump {
+        self.0.pump()
+    }
+
+    fn is_done(&self) -> bool {
+        self.0.is_done()
+    }
+
+    fn partial_counts(&self) -> OpCounts {
+        self.0.partial_counts()
+    }
+
+    fn virtual_elapsed_ms(&self) -> f64 {
+        self.0.virtual_elapsed_ms().unwrap_or(0.0)
+    }
+
+    fn finish(self: Box<Self>) -> SuiteOutcome {
+        let out = self.0.finish();
+        SuiteOutcome {
+            reports: out.reports,
+            session: out.session,
+            gka_runs: 0,
+        }
+    }
+}
+
+/// The batched join: the newcomers' own initial GKA, then one Merge of the
+/// newcomer ring into the group — two executions behind one pumpable run.
+struct ProposedMergeNewcomers {
+    gka: Option<GkaRun>,
+    merge: Option<MergeRun>,
+    base: GroupSession,
+    merge_seed: u64,
+    merge_faults: Faults,
+    /// Completed-half counts/reports, so a stall in the merge half still
+    /// charges the newcomer GKA.
+    carried: OpCounts,
+    carried_reports: Vec<NodeReport>,
+    carried_virtual_ms: f64,
+}
+
+impl SuiteRun for ProposedMergeNewcomers {
+    fn pump(&mut self) -> Pump {
+        if let Some(gka) = &mut self.gka {
+            return match gka.pump() {
+                Pump::Done => {
+                    let gka = self.gka.take().expect("checked above");
+                    self.carried_virtual_ms += gka.virtual_elapsed_ms().unwrap_or(0.0);
+                    let (report, newcomer_session) = gka.finish();
+                    for node in &report.nodes {
+                        self.carried.merge(&node.counts);
+                    }
+                    self.carried_reports.extend(report.nodes);
+                    self.merge = Some(MergeRun::new(
+                        &self.base,
+                        &newcomer_session,
+                        self.merge_seed,
+                        &self.merge_faults,
+                    ));
+                    Pump::Progressed
+                }
+                other => other,
+            };
+        }
+        self.merge.as_mut().expect("one half is active").pump()
+    }
+
+    fn is_done(&self) -> bool {
+        self.merge.as_ref().is_some_and(MergeRun::is_done)
+    }
+
+    fn partial_counts(&self) -> OpCounts {
+        let mut total = self.carried.clone();
+        match (&self.gka, &self.merge) {
+            (Some(gka), _) => total.merge(&gka.partial_counts()),
+            (None, Some(merge)) => total.merge(&merge.partial_counts()),
+            (None, None) => unreachable!("one half is always active"),
+        }
+        total
+    }
+
+    fn virtual_elapsed_ms(&self) -> f64 {
+        let active = match (&self.gka, &self.merge) {
+            (Some(gka), _) => gka.virtual_elapsed_ms(),
+            (None, Some(merge)) => merge.virtual_elapsed_ms(),
+            (None, None) => unreachable!("one half is always active"),
+        };
+        self.carried_virtual_ms + active.unwrap_or(0.0)
+    }
+
+    fn finish(mut self: Box<Self>) -> SuiteOutcome {
+        let merge = self.merge.take().expect("finish() after both halves");
+        let out = merge.finish();
+        let mut reports = self.carried_reports;
+        reports.extend(out.reports);
+        SuiteOutcome {
+            reports,
+            session: out.session,
+            gka_runs: 1,
+        }
+    }
+}
+
+// ===================== the baseline suites =====================
+
+/// An authenticated-BD or SSN baseline: the real protocol for the initial
+/// GKA, full re-runs for every dynamic.
+struct BaselineSuite(SuiteId);
+
+/// The SOK fixture deployment: one deterministic pairing group shared by
+/// every SOK run (PKG setup per run is re-seeded from the step seed).
+/// Energy is priced from operation counts and the paper's nominal wire
+/// sizes, so the fixture's curve size only affects the measured
+/// "actual bits" ablation, never the priced joules.
+fn sok_pairing() -> &'static egka_ec::PairingGroup {
+    static GROUP: OnceLock<egka_ec::PairingGroup> = OnceLock::new();
+    GROUP.get_or_init(|| {
+        let mut rng = ChaChaRng::seed_from_u64(0x50a1_c0de);
+        egka_ec::gen_pairing_group(&mut rng, 96, 64)
+    })
+}
+
+/// The DSA fixture scheme (deterministic Schnorr group), same rationale
+/// as [`sok_pairing`].
+fn dsa_scheme() -> &'static Dsa {
+    static SCHEME: OnceLock<Dsa> = OnceLock::new();
+    SCHEME.get_or_init(|| {
+        let mut rng = ChaChaRng::seed_from_u64(0xd5a_c0de);
+        Dsa::new(egka_bigint::gen_schnorr_group(&mut rng, 256, 96))
+    })
+}
+
+impl BaselineSuite {
+    /// Provisions this suite's credentials for `members` — like the PKG's
+    /// `Extract`, provisioning happens off-air and is not metered.
+    fn provision(&self, seed: u64, members: &[UserId]) -> Option<AuthKit> {
+        let mut rng = ChaChaRng::seed_from_u64(mix(seed, 0x5e70b));
+        match self.0 {
+            SuiteId::BdSok => Some(AuthKit::setup_sok_for(
+                &mut rng,
+                sok_pairing().clone(),
+                members,
+            )),
+            SuiteId::BdEcdsa => Some(AuthKit::setup_ecdsa_for(
+                &mut rng,
+                Ecdsa::new(egka_ec::secp160r1()),
+                members,
+            )),
+            SuiteId::BdDsa => Some(AuthKit::setup_dsa_for(
+                &mut rng,
+                dsa_scheme().clone(),
+                members,
+            )),
+            SuiteId::Ssn => None,
+            SuiteId::Proposed => unreachable!("the proposed suite is not a baseline"),
+        }
+    }
+
+    /// The full protocol run over `members` — the baseline realization of
+    /// every step.
+    fn rerun(&self, ctx: &StepCtx<'_>, params: &Params, members: &[UserId]) -> Box<dyn SuiteRun> {
+        assert!(members.len() >= 2, "a group needs at least two members");
+        let faults = ctx.faults();
+        let gq_keys = extract_keys(ctx.pkg, members);
+        let inner = match self.provision(ctx.seed, members) {
+            Some(kit) => BaselineInner::AuthBd(AuthBdRun::new(
+                &params.bd,
+                &kit,
+                ctx.seed,
+                &faults,
+                |_, _| false,
+            )),
+            None => BaselineInner::Ssn(SsnRun::new(params, &gq_keys, ctx.seed, &faults)),
+        };
+        Box::new(BaselineRun {
+            inner,
+            params: params.clone(),
+            gq_keys,
+        })
+    }
+}
+
+impl Suite for BaselineSuite {
+    fn id(&self) -> SuiteId {
+        self.0
+    }
+
+    fn initial(&self, ctx: &StepCtx<'_>, params: &Params, members: &[UserId]) -> Box<dyn SuiteRun> {
+        self.rerun(ctx, params, members)
+    }
+
+    fn join_one(
+        &self,
+        ctx: &StepCtx<'_>,
+        session: &GroupSession,
+        newcomer: UserId,
+    ) -> Box<dyn SuiteRun> {
+        let mut members = session.member_ids();
+        members.push(newcomer);
+        self.rerun(ctx, &session.params, &members)
+    }
+
+    fn partition(
+        &self,
+        ctx: &StepCtx<'_>,
+        session: &GroupSession,
+        leavers: &[UserId],
+    ) -> Box<dyn SuiteRun> {
+        let members: Vec<UserId> = session
+            .member_ids()
+            .into_iter()
+            .filter(|u| !leavers.contains(u))
+            .collect();
+        self.rerun(ctx, &session.params, &members)
+    }
+
+    fn merge_newcomers(
+        &self,
+        ctx: &StepCtx<'_>,
+        session: &GroupSession,
+        newcomers: &[UserId],
+    ) -> Box<dyn SuiteRun> {
+        let mut members = session.member_ids();
+        members.extend_from_slice(newcomers);
+        self.rerun(ctx, &session.params, &members)
+    }
+
+    fn merge_groups(
+        &self,
+        ctx: &StepCtx<'_>,
+        host: &GroupSession,
+        other: &GroupSession,
+    ) -> Box<dyn SuiteRun> {
+        let mut members = host.member_ids();
+        members.extend(other.member_ids());
+        self.rerun(ctx, &host.params, &members)
+    }
+}
+
+enum BaselineInner {
+    AuthBd(AuthBdRun),
+    Ssn(SsnRun),
+}
+
+struct BaselineRun {
+    inner: BaselineInner,
+    params: Params,
+    gq_keys: Vec<GqSecretKey>,
+}
+
+impl SuiteRun for BaselineRun {
+    fn pump(&mut self) -> Pump {
+        match &mut self.inner {
+            BaselineInner::AuthBd(run) => run.pump(),
+            BaselineInner::Ssn(run) => run.pump(),
+        }
+    }
+
+    fn is_done(&self) -> bool {
+        match &self.inner {
+            BaselineInner::AuthBd(run) => run.is_done(),
+            BaselineInner::Ssn(run) => run.is_done(),
+        }
+    }
+
+    fn partial_counts(&self) -> OpCounts {
+        match &self.inner {
+            BaselineInner::AuthBd(run) => run.partial_counts(),
+            BaselineInner::Ssn(run) => run.partial_counts(),
+        }
+    }
+
+    fn virtual_elapsed_ms(&self) -> f64 {
+        match &self.inner {
+            BaselineInner::AuthBd(run) => run.virtual_elapsed_ms(),
+            BaselineInner::Ssn(run) => run.virtual_elapsed_ms(),
+        }
+        .unwrap_or(0.0)
+    }
+
+    fn finish(self: Box<Self>) -> SuiteOutcome {
+        let (report, session) = match self.inner {
+            BaselineInner::AuthBd(run) => run.finish_session(&self.params, &self.gq_keys),
+            BaselineInner::Ssn(run) => run.finish_session(&self.params),
+        };
+        SuiteOutcome {
+            reports: report.nodes,
+            session,
+            gka_runs: 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::SecurityProfile;
+    use egka_energy::Scheme;
+
+    fn pkg() -> &'static Pkg {
+        static PKG: OnceLock<Pkg> = OnceLock::new();
+        PKG.get_or_init(|| {
+            let mut rng = ChaChaRng::seed_from_u64(0x5017e);
+            Pkg::setup(&mut rng, SecurityProfile::Toy)
+        })
+    }
+
+    fn run_to_done(run: &mut dyn SuiteRun) {
+        loop {
+            match run.pump() {
+                Pump::Done => return,
+                Pump::Progressed => {}
+                other => panic!("suite run cannot {other:?} on a reliable medium"),
+            }
+        }
+    }
+
+    fn ctx<'a>(pkg: &'a Pkg, faults_for: &'a dyn Fn(u64) -> Faults, seed: u64) -> StepCtx<'a> {
+        StepCtx {
+            pkg,
+            seed,
+            composable_joins: true,
+            faults_for,
+        }
+    }
+
+    #[test]
+    fn every_suite_agrees_end_to_end_with_arbitrary_ids() {
+        let pkg = pkg();
+        // Deliberately non-contiguous identities: suites must address by
+        // ring position, not by id value.
+        let members: Vec<UserId> = [7u32, 1000, 3, 42].map(UserId).to_vec();
+        let faults_for = |_s: u64| Faults::none();
+        for id in SuiteId::ALL {
+            let c = ctx(pkg, &faults_for, 0x11 ^ id as u64);
+            let mut run = suite(id).initial(&c, pkg.params(), &members);
+            run_to_done(run.as_mut());
+            let out = run.finish();
+            assert_eq!(out.session.member_ids(), members, "{}", id.key());
+            assert!(
+                out.reports.windows(2).all(|w| w[0].key == w[1].key),
+                "{}: keys diverged",
+                id.key()
+            );
+            assert_eq!(out.session.key, out.reports[0].key);
+            assert_eq!(out.gka_runs, 1);
+        }
+    }
+
+    #[test]
+    fn instrumented_runs_match_the_closed_form_totals() {
+        let pkg = pkg();
+        let members: Vec<UserId> = (0..5).map(UserId).collect();
+        let faults_for = |_s: u64| Faults::none();
+        for id in SuiteId::ALL {
+            let s = suite(id);
+            let c = ctx(pkg, &faults_for, 0x22 ^ id as u64);
+            let mut run = s.initial(&c, pkg.params(), &members);
+            run_to_done(run.as_mut());
+            let out = run.finish();
+            let mut measured = OpCounts::new();
+            for node in &out.reports {
+                measured.merge(&node.counts);
+            }
+            let expect = s.initial_total(members.len() as u64);
+            assert_eq!(measured.exps(), expect.exps(), "{}", id.key());
+            assert_eq!(measured.tx_bits, expect.tx_bits, "{}", id.key());
+            assert_eq!(measured.rx_bits, expect.rx_bits, "{}", id.key());
+            assert_eq!(measured.msgs_tx, expect.msgs_tx, "{}", id.key());
+            for scheme in Scheme::ALL {
+                assert_eq!(
+                    measured.get(CompOp::SignVerify(scheme)),
+                    expect.get(CompOp::SignVerify(scheme)),
+                    "{}: {scheme:?} verifies",
+                    id.key()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn baseline_dynamics_are_full_reruns() {
+        let pkg = pkg();
+        let members: Vec<UserId> = (10..14).map(UserId).collect();
+        let faults_for = |_s: u64| Faults::none();
+        let s = suite(SuiteId::Ssn);
+        let c = ctx(pkg, &faults_for, 0x33);
+        let mut run = s.initial(&c, pkg.params(), &members);
+        run_to_done(run.as_mut());
+        let session = run.finish().session;
+
+        // Join: the new session covers the newcomer, with a fresh key.
+        let c2 = ctx(pkg, &faults_for, 0x34);
+        let mut join = s.join_one(&c2, &session, UserId(99));
+        run_to_done(join.as_mut());
+        let joined = join.finish();
+        assert_eq!(joined.session.n(), 5);
+        assert!(joined.session.contains(UserId(99)));
+        assert_ne!(joined.session.key, session.key);
+        assert_eq!(joined.gka_runs, 1, "a baseline join is a full re-run");
+
+        // Partition: survivors only.
+        let c3 = ctx(pkg, &faults_for, 0x35);
+        let mut part = s.partition(&c3, &joined.session, &[UserId(10), UserId(12)]);
+        run_to_done(part.as_mut());
+        let parted = part.finish();
+        assert_eq!(parted.session.n(), 3);
+        assert!(!parted.session.contains(UserId(10)));
+        assert_ne!(parted.session.key, joined.session.key);
+    }
+
+    #[test]
+    fn detached_member_stalls_every_suite() {
+        let pkg = pkg();
+        let members: Vec<UserId> = (0..4).map(UserId).collect();
+        let faults_for = |_s: u64| Faults {
+            detached: vec![UserId(2)],
+            ..Faults::default()
+        };
+        for id in SuiteId::ALL {
+            let c = ctx(pkg, &faults_for, 0x44 ^ id as u64);
+            let mut run = suite(id).initial(&c, pkg.params(), &members);
+            for _ in 0..64 {
+                if run.pump() == Pump::Stalled {
+                    break;
+                }
+            }
+            assert_eq!(run.pump(), Pump::Stalled, "{}", id.key());
+            assert!(!run.is_done(), "{}", id.key());
+            // The healthy members' transmissions are still chargeable.
+            assert!(run.partial_counts().msgs_tx >= 3, "{}", id.key());
+        }
+    }
+
+    #[test]
+    fn proposed_closed_forms_match_the_legacy_cost_model_shapes() {
+        // The Suite trait's closed forms are the planner's pricing source;
+        // pin the proposed suite's against the role tables directly.
+        let s = suite(SuiteId::Proposed);
+        let manual = {
+            let mut t = roles_total(&proposed_join(7));
+            t.add(CompOp::ModExp, 1);
+            t.tx_bits += egka_energy::wire::Z_BITS;
+            t.rx_bits += egka_energy::wire::Z_BITS * 6;
+            t
+        };
+        assert_eq!(s.join_total(7, true), manual);
+        assert_eq!(
+            s.partition_total(10, 3, 4),
+            roles_total(&proposed_partition(10, 3, 4))
+        );
+        assert_eq!(s.merge_total(8, 3), roles_total(&proposed_merge(8, 3)));
+        let mut batch = s.initial_total(2);
+        batch.merge(&roles_total(&proposed_merge(6, 2)));
+        assert_eq!(s.batch_join_total(6, 2), batch);
+    }
+
+    #[test]
+    fn suite_id_keys_round_trip() {
+        for id in SuiteId::ALL {
+            assert_eq!(SuiteId::from_key(id.key()), Some(id));
+        }
+        assert_eq!(SuiteId::from_key("nope"), None);
+    }
+}

@@ -66,16 +66,22 @@
 //! | join+leave of pending user    | nothing                                  |
 //! | < 3 survivors                 | full GKA re-run over final membership    |
 //!
+//! * **Protocol-erased suites** ([`SuitePolicy`]): every group runs one
+//!   of the five Table 1 protocols behind `egka_core::suite::Suite` —
+//!   fixed fleet-wide, or picked per group by the closed-form energy
+//!   argmin for a hardware profile (`Cheapest`), with per-suite costs
+//!   surfaced in [`EpochReport::per_suite`].
+//!
 //! ```
 //! use std::sync::Arc;
 //! use egka_core::{Pkg, SecurityProfile, UserId};
 //! use egka_hash::ChaChaRng;
-//! use egka_service::{KeyService, MembershipEvent, ServiceConfig};
+//! use egka_service::{KeyService, MembershipEvent};
 //! use rand::SeedableRng;
 //!
 //! let mut rng = ChaChaRng::seed_from_u64(7);
 //! let pkg = Arc::new(Pkg::setup(&mut rng, SecurityProfile::Toy));
-//! let mut svc = KeyService::new(pkg, ServiceConfig::default());
+//! let mut svc = KeyService::builder().build(pkg);
 //! svc.create_group(1, &[UserId(0), UserId(1), UserId(2), UserId(3)]).unwrap();
 //! svc.submit(1, MembershipEvent::Join(UserId(10))).unwrap();
 //! svc.submit(1, MembershipEvent::Leave(UserId(2))).unwrap();
@@ -94,11 +100,14 @@ pub mod plan;
 mod service;
 mod shard;
 
+pub use egka_core::suite::{Suite, SuiteId};
 pub use event::{GroupId, MembershipEvent, RejectReason, ServiceError};
 pub use hashing::jump_hash;
-pub use metrics::{quantiles3, EpochReport, ServiceMetrics, VIRTUAL_LATENCY_WINDOW};
-pub use plan::{plan_group, CostModel, RekeyPlan, RekeyStep};
-pub use service::{KeyService, RadioConfig, ServiceConfig};
+pub use metrics::{quantiles3, EpochReport, ServiceMetrics, SuiteUsage, VIRTUAL_LATENCY_WINDOW};
+pub use plan::{plan_group, plan_group_suite, CostModel, RekeyPlan, RekeyStep, SuitePolicy};
+#[allow(deprecated)]
+pub use service::ServiceConfig;
+pub use service::{KeyService, RadioConfig, ServiceBuilder};
 pub use shard::{final_membership, GroupState};
 
 #[cfg(test)]
@@ -112,13 +121,7 @@ mod tests {
     fn service(seed: u64) -> KeyService {
         let mut rng = ChaChaRng::seed_from_u64(0x5e81 ^ seed);
         let pkg = Arc::new(Pkg::setup(&mut rng, SecurityProfile::Toy));
-        KeyService::new(
-            pkg,
-            ServiceConfig {
-                seed,
-                ..ServiceConfig::default()
-            },
-        )
+        KeyService::builder().seed(seed).build(pkg)
     }
 
     fn users(range: std::ops::Range<u32>) -> Vec<UserId> {

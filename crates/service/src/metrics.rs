@@ -1,11 +1,36 @@
 //! Service-level and per-epoch metrics.
 
+use std::collections::BTreeMap;
 use std::time::Duration;
 
+use egka_core::suite::SuiteId;
 use egka_energy::OpCounts;
 use egka_net::TrafficStats;
 
 use crate::event::{GroupId, MembershipEvent, RejectReason};
+
+/// What one suite did (and cost) over some accounting window.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct SuiteUsage {
+    /// Committed rekeys executed under the suite (creations count as one
+    /// in the cumulative [`ServiceMetrics`] view).
+    pub rekeys: u64,
+    /// Priced energy attributed to the suite, mJ — committed rekeys *and*
+    /// charged failed attempts.
+    pub energy_mj: f64,
+}
+
+/// Merges per-suite usage maps component-wise.
+pub(crate) fn add_per_suite(
+    into: &mut BTreeMap<SuiteId, SuiteUsage>,
+    from: &BTreeMap<SuiteId, SuiteUsage>,
+) {
+    for (&suite, usage) in from {
+        let e = into.entry(suite).or_default();
+        e.rekeys += usage.rekeys;
+        e.energy_mj += usage.energy_mj;
+    }
+}
 
 /// Cumulative service counters (monotone across epochs).
 #[derive(Clone, Debug, Default)]
@@ -60,6 +85,9 @@ pub struct ServiceMetrics {
     /// Cumulative nominal/actual traffic across all rekeys, pulled from
     /// the per-run `egka-net` medium accounting.
     pub traffic: TrafficStats,
+    /// Cumulative rekeys and priced energy per GKA suite (group creations
+    /// included) — the multi-backend cost ledger.
+    pub per_suite: BTreeMap<SuiteId, SuiteUsage>,
 }
 
 impl ServiceMetrics {
@@ -144,6 +172,10 @@ pub struct EpochReport {
     /// over its plan's steps and any retransmitted attempts), measured on
     /// the simulated clock. Empty off-radio.
     pub rekey_latencies_virtual_ms: Vec<f64>,
+    /// This epoch's rekeys and priced energy per GKA suite — under a
+    /// [`crate::SuitePolicy::Cheapest`] service, the per-protocol cost
+    /// split the planner's selections produced.
+    pub per_suite: BTreeMap<SuiteId, SuiteUsage>,
 }
 
 impl EpochReport {
@@ -196,6 +228,7 @@ impl EpochReport {
         m.energy_mj += self.energy_mj;
         m.ops.merge(&self.ops);
         add_traffic(&mut m.traffic, &self.traffic);
+        add_per_suite(&mut m.per_suite, &self.per_suite);
         m.epochs += 1;
     }
 }

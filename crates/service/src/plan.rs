@@ -20,13 +20,13 @@
 //!    rekey needs ≥ 3 survivors), the planner falls back to one full re-run
 //!    of the initial GKA over the final membership — still a single rekey.
 
+use egka_core::suite::{suite, SuiteId};
 use egka_core::{GroupSession, UserId};
-use egka_energy::complexity::{
-    proposed_join, proposed_merge, proposed_partition, InitialProtocol, RoleCounts,
-};
-use egka_energy::{total_energy_mj, CompOp, CpuModel, OpCounts, Transceiver};
+use egka_energy::{total_energy_mj, CpuModel, OpCounts, Transceiver};
 
 use crate::event::{MembershipEvent, RejectReason};
+
+pub use egka_core::suite::roles_total;
 
 /// One §7 dynamic (or fallback) the executor will run.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -58,17 +58,34 @@ pub enum RekeyStep {
 }
 
 /// The planner's output for one group at one epoch.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug)]
 pub struct RekeyPlan {
     /// Steps to execute, in order (leaves before joins: a departed member
     /// must never see a key that covers the newcomers).
     pub steps: Vec<RekeyStep>,
+    /// The suite the steps execute under — and the suite the group adopts
+    /// when the epoch commits. Stays the group's current suite except at a
+    /// full rekey, where a [`SuitePolicy::Cheapest`] service re-picks the
+    /// cheapest protocol for the new size.
+    pub suite: SuiteId,
     /// Events that were absorbed (applied or mutually cancelled).
     pub events_applied: u64,
     /// Join/leave pairs of the same pending user that cancelled outright.
     pub events_cancelled: u64,
     /// Events that could not be applied, with reasons.
     pub rejected: Vec<(MembershipEvent, RejectReason)>,
+}
+
+impl Default for RekeyPlan {
+    fn default() -> Self {
+        RekeyPlan {
+            steps: Vec::new(),
+            suite: SuiteId::Proposed,
+            events_applied: 0,
+            events_cancelled: 0,
+            rejected: Vec::new(),
+        }
+    }
 }
 
 impl RekeyPlan {
@@ -109,64 +126,138 @@ impl CostModel {
         total_energy_mj(&self.cpu, &self.radio, counts)
     }
 
-    /// Group-total closed-form cost of one Join at current size `n`.
-    pub fn join_total(&self, n: u64) -> OpCounts {
-        let mut total = roles_total(&proposed_join(n));
-        if self.composable_joins {
-            // U_1 computes and ships z'_1 inside m'_1: one extra
-            // exponentiation, +Z_BITS on the wire, received by the n−1
-            // other old-group members.
-            total.add(CompOp::ModExp, 1);
-            total.tx_bits += egka_energy::wire::Z_BITS;
-            total.rx_bits += egka_energy::wire::Z_BITS * (n - 1);
-        }
-        total
-    }
-
-    /// Group-total closed-form cost of `k` sequential Joins starting at
+    /// Group-total closed-form cost of one proposed-suite Join at current
     /// size `n`.
+    pub fn join_total(&self, n: u64) -> OpCounts {
+        suite(SuiteId::Proposed).join_total(n, self.composable_joins)
+    }
+
+    /// Group-total closed-form cost of `k` sequential proposed-suite Joins
+    /// starting at size `n`.
     pub fn sequential_joins_total(&self, n: u64, k: u64) -> OpCounts {
-        let mut total = OpCounts::new();
-        for i in 0..k {
-            total.merge(&self.join_total(n + i));
-        }
-        total
+        suite(SuiteId::Proposed).sequential_joins_total(n, k, self.composable_joins)
     }
 
-    /// Group-total closed-form cost of the batch plan: `k ≥ 2` newcomers
-    /// run the initial GKA, then one Merge with the group of size `n`.
+    /// Group-total closed-form cost of the proposed batch plan: `k ≥ 2`
+    /// newcomers run the initial GKA, then one Merge with the group of
+    /// size `n`.
     pub fn batch_join_total(&self, n: u64, k: u64) -> OpCounts {
-        assert!(k >= 2, "batch path needs at least two newcomers");
-        let per_user = InitialProtocol::ProposedGqBatch.per_user_counts(k);
-        let mut total = OpCounts::new();
-        total.merge_scaled(&per_user, k);
-        total.merge(&roles_total(&proposed_merge(n, k)));
-        total
+        suite(SuiteId::Proposed).batch_join_total(n, k)
     }
 
-    /// Group-total closed-form cost of a Partition removing `ld` of `n`
-    /// members with `v` refreshers.
+    /// Group-total closed-form cost of a proposed-suite Partition removing
+    /// `ld` of `n` members with `v` refreshers.
     pub fn partition_total(&self, n: u64, ld: u64, v: u64) -> OpCounts {
-        roles_total(&proposed_partition(n, ld, v))
+        suite(SuiteId::Proposed).partition_total(n, ld, v)
     }
 
-    /// Group-total closed-form cost of re-running the initial GKA at size
-    /// `n`.
+    /// Group-total closed-form cost of re-running the proposed initial GKA
+    /// at size `n`.
     pub fn full_rekey_total(&self, n: u64) -> OpCounts {
-        let per_user = InitialProtocol::ProposedGqBatch.per_user_counts(n);
-        let mut total = OpCounts::new();
-        total.merge_scaled(&per_user, n);
-        total
+        suite(SuiteId::Proposed).full_rekey_total(n)
+    }
+
+    /// Group-total closed-form cost of running `s`'s initial GKA at size
+    /// `n` — every suite's creation price, from the Table 1 column.
+    pub fn suite_initial_total(&self, s: SuiteId, n: u64) -> OpCounts {
+        suite(s).initial_total(n)
+    }
+
+    /// Group-total closed-form cost of the cheapest realization of `k`
+    /// joins under suite `s` starting at size `n`, honoring the §7 side
+    /// conditions exactly as the planner does (baselines: one full re-run
+    /// at `n + k`). Zero for `k = 0`.
+    pub fn suite_joins_total(&self, s: SuiteId, n: u64, k: u64) -> OpCounts {
+        if k == 0 {
+            return OpCounts::new();
+        }
+        let su = suite(s);
+        if !su.native_dynamics() {
+            return su.sequential_joins_total(n, k, false);
+        }
+        if n >= 3 {
+            if k == 1 {
+                return su.join_total(n, self.composable_joins);
+            }
+            let seq = su.sequential_joins_total(n, k, self.composable_joins);
+            let batch = su.batch_join_total(n, k);
+            if self.price_mj(&seq) <= self.price_mj(&batch) {
+                seq
+            } else {
+                batch
+            }
+        } else if k >= 2 {
+            // n = 2 cannot host paper Joins; the Merge path applies.
+            su.batch_join_total(n, k)
+        } else {
+            // n = 2, one join: a full re-run at 3 (the planner's fallback).
+            su.full_rekey_total(n + 1)
+        }
     }
 }
 
-/// Sums per-role counts over their populations.
-pub fn roles_total(roles: &[RoleCounts]) -> OpCounts {
-    let mut total = OpCounts::new();
-    for role in roles {
-        total.merge_scaled(&role.counts, role.population);
+/// Which suite each group runs — fixed, or chosen per group by the
+/// closed-form energy argmin for a hardware profile. Consulted at
+/// `create_group` and again at every full-rekey plan, so a `Cheapest`
+/// service migrates a group to a cheaper protocol as its size crosses a
+/// crossover point.
+///
+/// The crossovers are real: on the paper's hardware the proposed GQ-batch
+/// scheme wins from `n ≈ 4` up, but for 2–3-member groups on the 100 kbps
+/// sensor radio the ECDSA-certificate baseline's smaller wire format and
+/// cheap verifications undercut it.
+#[derive(Clone, Debug)]
+pub enum SuitePolicy {
+    /// Every group runs this suite.
+    Fixed(SuiteId),
+    /// Per group, the suite minimizing the closed-form group-total energy
+    /// (initial GKA + the pending joins' cheapest realization), priced for
+    /// this hardware profile. Ties break toward the earlier Table 1
+    /// column.
+    Cheapest {
+        /// CPU energy model the selection prices compute with (Table 2).
+        cpu: CpuModel,
+        /// Transceiver the selection prices traffic with (Table 3).
+        transceiver: Transceiver,
+    },
+}
+
+impl Default for SuitePolicy {
+    fn default() -> Self {
+        SuitePolicy::Fixed(SuiteId::Proposed)
     }
-    total
+}
+
+impl SuitePolicy {
+    /// Selection argmin over millijoules under this policy's hardware,
+    /// priced for a group founding (or fully rekeying) at size `n` with
+    /// `pending_joins` queued arrivals. `cost` supplies the planner's
+    /// composable-joins convention so policy pricing and plan pricing
+    /// cannot drift.
+    pub fn choose(&self, cost: &CostModel, n: u64, pending_joins: u64) -> SuiteId {
+        match self {
+            SuitePolicy::Fixed(id) => *id,
+            SuitePolicy::Cheapest { cpu, transceiver } => {
+                let priced = CostModel {
+                    cpu: cpu.clone(),
+                    radio: transceiver.clone(),
+                    composable_joins: cost.composable_joins,
+                };
+                let mut best = SuiteId::Proposed;
+                let mut best_mj = f64::INFINITY;
+                for s in SuiteId::ALL {
+                    let mut total = priced.suite_initial_total(s, n);
+                    total.merge(&priced.suite_joins_total(s, n, pending_joins));
+                    let mj = priced.price_mj(&total);
+                    if mj < best_mj {
+                        best = s;
+                        best_mj = mj;
+                    }
+                }
+                best
+            }
+        }
+    }
 }
 
 /// Collapses one group's queued `Join`/`Leave` events into a [`RekeyPlan`]
@@ -181,6 +272,131 @@ pub fn plan_group(
     cost: &CostModel,
 ) -> RekeyPlan {
     let mut plan = RekeyPlan::default();
+    let (joins, leaves) = admit_events(session, events, &mut plan);
+
+    let n = session.n() as u64;
+    let survivors = n - leaves.len() as u64;
+    let final_size = survivors + joins.len() as u64;
+
+    // Everyone leaves (or a lone survivor): no group remains to rekey.
+    if final_size < 2 {
+        plan.steps.push(RekeyStep::Dissolve);
+        return plan;
+    }
+
+    // Too few survivors for a reduced rekey: one full re-run over the
+    // final membership covers every queued event in a single rekey.
+    if !leaves.is_empty() && survivors < 3 {
+        let members = final_members(session, &leaves, &joins);
+        plan.steps.push(RekeyStep::FullRekey { members });
+        return plan;
+    }
+
+    if !leaves.is_empty() {
+        plan.steps.push(RekeyStep::Partition {
+            leavers: leaves.clone(),
+        });
+    }
+
+    let n_after_leaves = survivors;
+    match joins.len() as u64 {
+        0 => {}
+        1 if n_after_leaves >= 3 => plan.steps.push(RekeyStep::JoinOne { newcomer: joins[0] }),
+        1 => {
+            // n = 2: the Join protocol needs a bystander; re-run at 3.
+            let members = final_members(session, &leaves, &joins);
+            plan.steps.push(RekeyStep::FullRekey { members });
+        }
+        k => {
+            let batch = cost.price_mj(&cost.batch_join_total(n_after_leaves, k));
+            if n_after_leaves >= 3 {
+                let sequential = cost.price_mj(&cost.sequential_joins_total(n_after_leaves, k));
+                if sequential <= batch {
+                    for &u in &joins {
+                        plan.steps.push(RekeyStep::JoinOne { newcomer: u });
+                    }
+                } else {
+                    plan.steps.push(RekeyStep::MergeNewcomers {
+                        newcomers: joins.clone(),
+                    });
+                }
+            } else {
+                // n = 2 cannot host paper Joins; the Merge path applies.
+                plan.steps.push(RekeyStep::MergeNewcomers {
+                    newcomers: joins.clone(),
+                });
+            }
+        }
+    }
+
+    plan
+}
+
+/// Plans one group's epoch for the suite it currently runs.
+///
+/// * The proposed suite plans with the §7 coalescer ([`plan_group`]) —
+///   under [`SuitePolicy::Fixed`]`(Proposed)` the output is bit-for-bit
+///   the legacy plan.
+/// * A baseline suite has no §7 dynamics: any net membership change
+///   collapses into **one** full re-run over the final membership (still
+///   a single rekey — the baseline convention the paper prices).
+/// * At a full rekey the policy re-picks the suite for the final size;
+///   otherwise the group keeps `current`.
+pub fn plan_group_suite(
+    session: &GroupSession,
+    events: &[MembershipEvent],
+    cost: &CostModel,
+    current: SuiteId,
+    policy: &SuitePolicy,
+) -> RekeyPlan {
+    let mut plan = if suite(current).native_dynamics() {
+        plan_group(session, events, cost)
+    } else {
+        let mut plan = RekeyPlan {
+            suite: current,
+            ..RekeyPlan::default()
+        };
+        let (joins, leaves) = admit_events(session, events, &mut plan);
+        if joins.is_empty() && leaves.is_empty() {
+            return plan;
+        }
+        let members = final_members(session, &leaves, &joins);
+        if members.len() < 2 {
+            plan.steps.push(RekeyStep::Dissolve);
+        } else {
+            plan.steps.push(RekeyStep::FullRekey { members });
+        }
+        plan
+    };
+    plan.suite = current;
+    if let [RekeyStep::FullRekey { members }] = plan.steps.as_slice() {
+        plan.suite = policy.choose(cost, members.len() as u64, 0);
+    }
+    plan
+}
+
+/// The membership after `leaves` depart and `joins` arrive (survivors in
+/// ring order, then newcomers in arrival order) — what every full-rekey
+/// fallback runs over.
+fn final_members(session: &GroupSession, leaves: &[UserId], joins: &[UserId]) -> Vec<UserId> {
+    let mut members: Vec<UserId> = session
+        .member_ids()
+        .into_iter()
+        .filter(|u| !leaves.contains(u))
+        .collect();
+    members.extend(joins.iter().copied());
+    members
+}
+
+/// Folds the queued `Join`/`Leave` events into net arrival/departure sets,
+/// recording admission accounting (applied / cancelled / rejected) on
+/// `plan`. Shared by every suite's planner — admission is protocol
+/// independent.
+fn admit_events(
+    session: &GroupSession,
+    events: &[MembershipEvent],
+    plan: &mut RekeyPlan,
+) -> (Vec<UserId>, Vec<UserId>) {
     let mut joins: Vec<UserId> = Vec::new();
     let mut leaves: Vec<UserId> = Vec::new();
 
@@ -222,70 +438,5 @@ pub fn plan_group(
         }
     }
 
-    let n = session.n() as u64;
-    let survivors = n - leaves.len() as u64;
-    let final_size = survivors + joins.len() as u64;
-
-    // Everyone leaves (or a lone survivor): no group remains to rekey.
-    if final_size < 2 {
-        plan.steps.push(RekeyStep::Dissolve);
-        return plan;
-    }
-
-    // Too few survivors for a reduced rekey: one full re-run over the
-    // final membership covers every queued event in a single rekey.
-    if !leaves.is_empty() && survivors < 3 {
-        let mut members: Vec<UserId> = session
-            .member_ids()
-            .into_iter()
-            .filter(|u| !leaves.contains(u))
-            .collect();
-        members.extend(joins.iter().copied());
-        plan.steps.push(RekeyStep::FullRekey { members });
-        return plan;
-    }
-
-    if !leaves.is_empty() {
-        plan.steps.push(RekeyStep::Partition {
-            leavers: leaves.clone(),
-        });
-    }
-
-    let n_after_leaves = survivors;
-    match joins.len() as u64 {
-        0 => {}
-        1 if n_after_leaves >= 3 => plan.steps.push(RekeyStep::JoinOne { newcomer: joins[0] }),
-        1 => {
-            // n = 2: the Join protocol needs a bystander; re-run at 3.
-            let mut members: Vec<UserId> = session
-                .member_ids()
-                .into_iter()
-                .filter(|u| !leaves.contains(u))
-                .collect();
-            members.extend(joins.iter().copied());
-            plan.steps.push(RekeyStep::FullRekey { members });
-        }
-        k => {
-            let batch = cost.price_mj(&cost.batch_join_total(n_after_leaves, k));
-            if n_after_leaves >= 3 {
-                let sequential = cost.price_mj(&cost.sequential_joins_total(n_after_leaves, k));
-                if sequential <= batch {
-                    for &u in &joins {
-                        plan.steps.push(RekeyStep::JoinOne { newcomer: u });
-                    }
-                } else {
-                    plan.steps.push(RekeyStep::MergeNewcomers {
-                        newcomers: joins.clone(),
-                    });
-                }
-            } else {
-                // n = 2 cannot host paper Joins; the Merge path applies.
-                plan.steps.push(RekeyStep::MergeNewcomers {
-                    newcomers: joins.clone(),
-                });
-            }
-        }
-    }
-
-    plan
+    (joins, leaves)
 }

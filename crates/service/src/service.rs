@@ -1,18 +1,19 @@
 //! The sharded, epoch-batched key-management service.
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 use std::time::Instant;
 
 use egka_bigint::Ubig;
-use egka_core::proposed;
-use egka_core::{dynamics, par, GroupSession, Pkg, RunConfig, UserId};
+use egka_core::suite::{suite, StepCtx, SuiteId, SuiteOutcome};
+use egka_core::{par, Faults, GroupSession, Pkg, Pump, RadioSpec, UserId};
+use egka_energy::OpCounts;
 use egka_medium::{BatteryBank, BatteryStatus, RadioProfile};
 
 use crate::event::{GroupId, MembershipEvent, RejectReason, ServiceError};
 use crate::hashing::jump_hash;
-use crate::metrics::{add_traffic, traffic_of, EpochReport, ServiceMetrics};
-use crate::plan::CostModel;
+use crate::metrics::{add_per_suite, add_traffic, traffic_of, EpochReport, ServiceMetrics};
+use crate::plan::{CostModel, SuitePolicy};
 use crate::shard::{mix, EpochCtx, GroupState, RadioEpoch, Shard};
 
 /// Runs every rekey over the virtual-time radio instead of the instant
@@ -42,7 +43,144 @@ impl RadioConfig {
     }
 }
 
-/// Service configuration.
+/// Internal, fully-resolved configuration (assembled by
+/// [`ServiceBuilder`]).
+#[derive(Clone, Debug)]
+pub(crate) struct Config {
+    pub shards: usize,
+    pub seed: u64,
+    pub cost: CostModel,
+    pub step_retries: u32,
+    pub radio: Option<RadioConfig>,
+    pub policy: SuitePolicy,
+    pub loss: f64,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            shards: 8,
+            seed: 0xe96a,
+            cost: CostModel::default(),
+            step_retries: 2,
+            radio: None,
+            policy: SuitePolicy::default(),
+            loss: 0.0,
+        }
+    }
+}
+
+/// Fluent construction façade for [`KeyService`] — the one place service
+/// knobs are set, so examples, benches and drivers cannot drift apart on
+/// ad-hoc field-poking.
+///
+/// ```
+/// use std::sync::Arc;
+/// use egka_core::{Pkg, SecurityProfile, UserId};
+/// use egka_core::suite::SuiteId;
+/// use egka_hash::ChaChaRng;
+/// use egka_service::{KeyService, SuitePolicy};
+/// use rand::SeedableRng;
+///
+/// let mut rng = ChaChaRng::seed_from_u64(7);
+/// let pkg = Arc::new(Pkg::setup(&mut rng, SecurityProfile::Toy));
+/// let mut svc = KeyService::builder()
+///     .shards(4)
+///     .seed(0xfeed)
+///     .suite_policy(SuitePolicy::Fixed(SuiteId::Proposed))
+///     .build(pkg);
+/// svc.create_group(1, &[UserId(0), UserId(1), UserId(2)]).unwrap();
+/// assert_eq!(svc.suite_of(1), Some(SuiteId::Proposed));
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct ServiceBuilder {
+    cfg: Config,
+}
+
+impl ServiceBuilder {
+    /// Number of worker shards groups are hashed across (default 8).
+    ///
+    /// # Panics
+    /// Panics if `shards` is zero.
+    pub fn shards(mut self, shards: usize) -> Self {
+        assert!(shards > 0, "need at least one shard");
+        self.cfg.shards = shards;
+        self
+    }
+
+    /// Master seed: with the same seed and the same call sequence, every
+    /// key and every counter the service produces is identical.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.cfg.seed = seed;
+        self
+    }
+
+    /// Hardware model the coalescing planner optimizes for, and whether
+    /// Joins run in composable mode.
+    pub fn cost(mut self, cost: CostModel) -> Self {
+        self.cfg.cost = cost;
+        self
+    }
+
+    /// How many times a loss-stalled rekey step is retried with fresh
+    /// randomness before its group is timed out for the epoch (default 2).
+    pub fn step_retries(mut self, retries: u32) -> Self {
+        self.cfg.step_retries = retries;
+        self
+    }
+
+    /// Runs every rekey over the virtual-time radio medium.
+    pub fn radio(mut self, radio: RadioConfig) -> Self {
+        self.cfg.radio = Some(radio);
+        self
+    }
+
+    /// How groups pick their GKA suite (default:
+    /// `SuitePolicy::Fixed(SuiteId::Proposed)`).
+    pub fn suite_policy(mut self, policy: SuitePolicy) -> Self {
+        self.cfg.policy = policy;
+        self
+    }
+
+    /// Initial per-delivery loss probability (same contract as
+    /// [`KeyService::set_loss`], which can still change it at runtime).
+    ///
+    /// # Panics
+    /// Panics unless `0.0 <= prob < 1.0`.
+    pub fn loss(mut self, prob: f64) -> Self {
+        assert!((0.0..1.0).contains(&prob), "loss probability out of range");
+        self.cfg.loss = prob;
+        self
+    }
+
+    /// Builds the service on `pkg`'s parameters.
+    pub fn build(self, pkg: Arc<Pkg>) -> KeyService {
+        let cfg = self.cfg;
+        let shards = (0..cfg.shards).map(|_| Shard::default()).collect();
+        let bank = cfg
+            .radio
+            .as_ref()
+            .map(|r| BatteryBank::new(r.default_battery_uj));
+        KeyService {
+            pkg,
+            loss: cfg.loss,
+            config: cfg,
+            shards,
+            epoch: 0,
+            metrics: ServiceMetrics::default(),
+            detached: BTreeSet::new(),
+            bank,
+            known_dead: BTreeSet::new(),
+        }
+    }
+}
+
+/// Deprecated field-poking configuration, kept one release as a thin shim
+/// over [`ServiceBuilder`] (which also exposes the suite policy and
+/// initial loss — knobs this struct predates).
+#[deprecated(
+    note = "configure via KeyService::builder(); this shim maps 1:1 onto ServiceBuilder and will be removed next release"
+)]
 #[derive(Clone, Debug)]
 pub struct ServiceConfig {
     /// Number of worker shards groups are hashed across.
@@ -60,6 +198,7 @@ pub struct ServiceConfig {
     pub radio: Option<RadioConfig>,
 }
 
+#[allow(deprecated)]
 impl Default for ServiceConfig {
     fn default() -> Self {
         ServiceConfig {
@@ -81,7 +220,7 @@ impl Default for ServiceConfig {
 /// §7 dynamics (see [`crate::plan`]).
 pub struct KeyService {
     pkg: Arc<Pkg>,
-    config: ServiceConfig,
+    config: Config,
     shards: Vec<Shard>,
     epoch: u64,
     metrics: ServiceMetrics,
@@ -100,28 +239,27 @@ pub struct KeyService {
 }
 
 impl KeyService {
+    /// Starts the fluent construction façade; see [`ServiceBuilder`].
+    pub fn builder() -> ServiceBuilder {
+        ServiceBuilder::default()
+    }
+
     /// Creates an empty service on `pkg`'s parameters.
     ///
     /// # Panics
     /// Panics if `config.shards` is zero.
+    #[deprecated(note = "use KeyService::builder()")]
+    #[allow(deprecated)]
     pub fn new(pkg: Arc<Pkg>, config: ServiceConfig) -> Self {
-        assert!(config.shards > 0, "need at least one shard");
-        let shards = (0..config.shards).map(|_| Shard::default()).collect();
-        let bank = config
-            .radio
-            .as_ref()
-            .map(|r| BatteryBank::new(r.default_battery_uj));
-        KeyService {
-            pkg,
-            config,
-            shards,
-            epoch: 0,
-            metrics: ServiceMetrics::default(),
-            loss: 0.0,
-            detached: BTreeSet::new(),
-            bank,
-            known_dead: BTreeSet::new(),
+        let mut builder = KeyService::builder()
+            .shards(config.shards)
+            .seed(config.seed)
+            .cost(config.cost)
+            .step_retries(config.step_retries);
+        if let Some(radio) = config.radio {
+            builder = builder.radio(radio);
         }
+        builder.build(pkg)
     }
 
     /// The shard index `gid` hashes to — jump consistent hashing, so
@@ -182,8 +320,9 @@ impl KeyService {
     }
 
     /// Creates a group by running the initial authenticated GKA over
-    /// `members` (extracting their ID keys from the PKG). Counts and
-    /// energy are charged to the service metrics.
+    /// `members` (extracting their ID keys from the PKG), under the suite
+    /// the service's [`SuitePolicy`] picks for this group size. Counts
+    /// and energy are charged to the service metrics.
     ///
     /// Creation is **provisioning**, not radio traffic: like the PKG's
     /// `Extract`, it happens before the field powers up, so it runs on
@@ -206,18 +345,42 @@ impl KeyService {
         if self.shards[shard].groups.contains_key(&gid) {
             return Err(ServiceError::GroupExists(gid));
         }
-        let keys: Vec<_> = members.iter().map(|&u| self.pkg.extract(u)).collect();
+        let suite_id = self
+            .config
+            .policy
+            .choose(&self.config.cost, members.len() as u64, 0);
         let seed = mix(mix(self.config.seed, gid), 0xc4ea7e);
-        let (report, session) = proposed::run(self.pkg.params(), &keys, seed, RunConfig::default());
-        for node in &report.nodes {
+        let faults_for = |_seed: u64| Faults::none();
+        let ctx = StepCtx {
+            pkg: &self.pkg,
+            seed,
+            composable_joins: self.config.cost.composable_joins,
+            faults_for: &faults_for,
+        };
+        let mut run = suite(suite_id).initial(&ctx, self.pkg.params(), members);
+        loop {
+            match run.pump() {
+                Pump::Done => break,
+                Pump::Progressed => {}
+                other => panic!("group creation on a reliable medium cannot {other:?}"),
+            }
+        }
+        let out = run.finish();
+        let mut created_mj = 0.0;
+        for node in &out.reports {
             self.metrics.ops.merge(&node.counts);
-            self.metrics.energy_mj += self.config.cost.price_mj(&node.counts);
+            created_mj += self.config.cost.price_mj(&node.counts);
             add_traffic(&mut self.metrics.traffic, &traffic_of(&node.counts));
         }
+        self.metrics.energy_mj += created_mj;
+        let usage = self.metrics.per_suite.entry(suite_id).or_default();
+        usage.rekeys += 1;
+        usage.energy_mj += created_mj;
         self.shards[shard].groups.insert(
             gid,
             GroupState {
-                session,
+                session: out.session,
+                suite: suite_id,
                 created_epoch: self.epoch,
                 rekeys: 0,
             },
@@ -260,6 +423,7 @@ impl KeyService {
         // deterministic too.
         let pkg = Arc::clone(&self.pkg);
         let cost = self.config.cost.clone();
+        let policy = self.config.policy.clone();
         let seed = self.config.seed;
         let detached: Vec<UserId> = self.detached.iter().copied().collect();
         let loss = self.loss;
@@ -269,6 +433,7 @@ impl KeyService {
             shard.run_epoch(&EpochCtx {
                 pkg: &pkg,
                 cost: &cost,
+                policy: &policy,
                 epoch,
                 service_seed: seed,
                 loss,
@@ -298,6 +463,7 @@ impl KeyService {
             merge_report
                 .rekey_latencies_virtual_ms
                 .extend(scratch.rekey_latencies_virtual_ms);
+            add_per_suite(&mut merge_report.per_suite, &scratch.per_suite);
         }
         // Harvest battery deaths: a drained member is powered off for good
         // — auto-detach it so the next epoch's planner fails fast instead
@@ -347,6 +513,9 @@ impl KeyService {
             ..EpochReport::default()
         };
         let mut deferred: Vec<(GroupId, GroupId)> = Vec::new();
+        // Per-suite attribution of everything this coordinator phase
+        // charges (committed folds and aborted attempts alike).
+        let mut suite_ops: BTreeMap<SuiteId, OpCounts> = BTreeMap::new();
 
         // (host, target) pairs in deterministic order.
         let mut requests: Vec<(GroupId, GroupId)> = Vec::new();
@@ -429,6 +598,7 @@ impl KeyService {
             let seed = mix(mix(self.config.seed, host), epoch ^ 0x6d65);
             let host_shard = self.shard_of(host);
             let mut acc = self.shards[host_shard].groups[&host].session.clone();
+            let mut acc_suite = self.shards[host_shard].groups[&host].suite;
             report.groups_touched += 1;
             let mut folds_done = 0u64;
             let mut virtual_ms = 0.0f64;
@@ -441,18 +611,35 @@ impl KeyService {
                     seed ^ ((j as u64 + 1) << 8)
                 };
                 let target_session = self.shards[self.shard_of(t)].groups[&t].session.clone();
+                // A native-dynamics host folds with its own Merge; a
+                // baseline host's "merge" is a full re-run over the union,
+                // so a Cheapest policy gets to re-pick the suite for the
+                // merged size (migrating the group, as at any full rekey).
+                let fold_suite = if egka_core::suite::suite(acc_suite).native_dynamics() {
+                    acc_suite
+                } else {
+                    let merged = (acc.n() + target_session.n()) as u64;
+                    self.config.policy.choose(&self.config.cost, merged, 0)
+                };
                 match self.fold_one_merge(
+                    fold_suite,
                     &acc,
                     &target_session,
                     fold_seed,
                     &mut report,
+                    suite_ops.entry(fold_suite).or_default(),
                     &mut virtual_ms,
                 ) {
                     Some(out) => {
+                        let fold_ops = suite_ops.entry(fold_suite).or_default();
                         for r in &out.reports {
                             report.ops.merge(&r.counts);
+                            fold_ops.merge(&r.counts);
                         }
+                        report.full_gka_runs += out.gka_runs;
+                        report.per_suite.entry(fold_suite).or_default().rekeys += 1;
                         acc = out.session;
+                        acc_suite = fold_suite;
                         folds_done += 1;
                         report.rekeys_executed += 1;
                         report.events_applied += 1;
@@ -488,6 +675,7 @@ impl KeyService {
                     .get_mut(&host)
                     .expect("host exists");
                 state.session = acc;
+                state.suite = acc_suite;
                 state.rekeys += folds_done;
                 report.rekey_latencies.push(started.elapsed());
                 if self.config.radio.is_some() {
@@ -496,6 +684,10 @@ impl KeyService {
             }
         }
         report.energy_mj = self.config.cost.price_mj(&report.ops);
+        for (suite_id, ops) in &suite_ops {
+            report.per_suite.entry(*suite_id).or_default().energy_mj +=
+                self.config.cost.price_mj(ops);
+        }
         add_traffic(&mut report.traffic, &traffic_of(&report.ops));
         (report, deferred)
     }
@@ -508,21 +700,23 @@ impl KeyService {
         })
     }
 
-    /// Attempts one pairwise merge fold under the service fault plan,
+    /// Attempts one pairwise merge fold under the service fault plan — as
+    /// `fold_suite`'s [`egka_core::Suite::merge_groups`] realization —
     /// retrying loss stalls with fresh randomness. `None` means the fold
-    /// timed out (its wasted transmissions are already charged).
-    /// `virtual_ms` accumulates the fold's radio time, aborted attempts
-    /// included.
+    /// timed out (its wasted transmissions are already charged, into both
+    /// `report.ops` and `fold_ops`). `virtual_ms` accumulates the fold's
+    /// radio time, aborted attempts included.
+    #[allow(clippy::too_many_arguments)] // one accumulator per ledger, by design
     fn fold_one_merge(
         &self,
+        fold_suite: SuiteId,
         acc: &GroupSession,
         target: &GroupSession,
         fold_seed: u64,
         report: &mut EpochReport,
+        fold_ops: &mut OpCounts,
         virtual_ms: &mut f64,
-    ) -> Option<dynamics::MergeOutcome> {
-        use egka_core::machine::Faults;
-        use egka_core::{Pump, RadioSpec};
+    ) -> Option<SuiteOutcome> {
         let involves_detached = acc
             .member_ids()
             .iter()
@@ -537,21 +731,27 @@ impl KeyService {
             } else {
                 mix(fold_seed, 0x7e70 + u64::from(retry))
             };
-            let faults = Faults {
+            let faults_for = |seed: u64| Faults {
                 loss: self.loss,
-                loss_seed: mix(salted, 0x105e),
+                loss_seed: mix(seed, 0x105e),
                 detached: self.detached.iter().copied().collect(),
                 radio: self.config.radio.as_ref().map(|rc| RadioSpec {
                     profile: rc.profile.clone(),
-                    seed: mix(salted, 0xad10),
+                    seed: mix(seed, 0xad10),
                     bank: self.bank.clone(),
                 }),
             };
-            let mut run = dynamics::MergeRun::new(acc, target, salted, &faults);
+            let ctx = StepCtx {
+                pkg: &self.pkg,
+                seed: salted,
+                composable_joins: self.config.cost.composable_joins,
+                faults_for: &faults_for,
+            };
+            let mut run = suite(fold_suite).merge_groups(&ctx, acc, target);
             loop {
                 match run.pump() {
                     Pump::Done => {
-                        *virtual_ms += run.virtual_elapsed_ms().unwrap_or(0.0);
+                        *virtual_ms += run.virtual_elapsed_ms();
                         return Some(run.finish());
                     }
                     Pump::Progressed => {}
@@ -559,7 +759,8 @@ impl KeyService {
                 }
             }
             report.ops.merge(&run.partial_counts());
-            *virtual_ms += run.virtual_elapsed_ms().unwrap_or(0.0);
+            fold_ops.merge(&run.partial_counts());
+            *virtual_ms += run.virtual_elapsed_ms();
             if involves_detached || retry >= self.config.step_retries {
                 return None;
             }
@@ -619,8 +820,44 @@ impl KeyService {
         &self.pkg
     }
 
-    /// The service configuration.
-    pub fn config(&self) -> &ServiceConfig {
-        &self.config
+    /// The suite-selection policy this service was built with.
+    pub fn suite_policy(&self) -> &SuitePolicy {
+        &self.config.policy
+    }
+
+    /// The legacy configuration view, reconstructed from the resolved
+    /// internal settings. Kept for the same one release as
+    /// [`ServiceConfig`]; read individual settings through the dedicated
+    /// accessors instead.
+    #[deprecated(note = "read settings through the dedicated accessors")]
+    #[allow(deprecated)]
+    pub fn config(&self) -> ServiceConfig {
+        ServiceConfig {
+            shards: self.config.shards,
+            seed: self.config.seed,
+            cost: self.config.cost.clone(),
+            step_retries: self.config.step_retries,
+            radio: self.config.radio.clone(),
+        }
+    }
+
+    /// The suite `gid`'s group currently runs, if the group is live.
+    pub fn suite_of(&self, gid: GroupId) -> Option<SuiteId> {
+        self.shards[self.shard_of(gid)]
+            .groups
+            .get(&gid)
+            .map(|s| s.suite)
+    }
+
+    /// Live groups per suite — the mixed-fleet view a `Cheapest` policy
+    /// produces.
+    pub fn groups_per_suite(&self) -> BTreeMap<SuiteId, u64> {
+        let mut mixed = BTreeMap::new();
+        for shard in &self.shards {
+            for state in shard.groups.values() {
+                *mixed.entry(state.suite).or_insert(0) += 1;
+            }
+        }
+        mixed
     }
 }

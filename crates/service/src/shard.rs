@@ -24,33 +24,33 @@ use std::collections::BTreeMap;
 use std::time::Instant;
 
 use egka_core::machine::Faults;
-use egka_core::proposed::GkaRun;
-use egka_core::{dynamics, GroupSession, Pkg, Pump, RadioSpec, RunConfig, UserId};
+use egka_core::suite::{suite, StepCtx, SuiteId, SuiteRun};
+use egka_core::{GroupSession, Pkg, Pump, RadioSpec, UserId};
 use egka_energy::OpCounts;
 use egka_medium::{BatteryBank, RadioProfile};
 
 use crate::event::{GroupId, MembershipEvent, RejectReason};
 use crate::metrics::{add_traffic, traffic_of, EpochReport};
-use crate::plan::{plan_group, CostModel, RekeyPlan, RekeyStep};
+use crate::plan::{plan_group_suite, CostModel, RekeyPlan, RekeyStep, SuitePolicy};
 
 /// One managed group.
 #[derive(Clone, Debug)]
 pub struct GroupState {
     /// The live session (members, shares, current key).
     pub session: GroupSession,
+    /// The GKA suite this group runs ([`crate::SuitePolicy`] chose it at
+    /// creation; a `Cheapest` policy may migrate it at a full rekey).
+    pub suite: SuiteId,
     /// Epoch at which the group was created.
     pub created_epoch: u64,
     /// Rekeys this group has been through.
     pub rekeys: u64,
 }
 
-/// Deterministic 64-bit mixing for per-group / per-step seeds.
-pub(crate) fn mix(a: u64, b: u64) -> u64 {
-    let mut z = a ^ b.wrapping_mul(0x9E37_79B9_7F4A_7C15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
-}
+/// Deterministic 64-bit mixing for per-group / per-step seeds
+/// (re-exported from the suite layer so schedulers and suites share one
+/// derivation chain).
+pub(crate) use egka_core::suite::mix;
 
 /// The radio half of an epoch context: the hardware/channel profile every
 /// step's medium is built from, and the shared battery bank the drain
@@ -64,6 +64,8 @@ pub(crate) struct RadioEpoch {
 pub(crate) struct EpochCtx<'a> {
     pub pkg: &'a Pkg,
     pub cost: &'a CostModel,
+    /// Suite-selection policy (consulted at full-rekey plans).
+    pub policy: &'a SuitePolicy,
     pub epoch: u64,
     pub service_seed: u64,
     /// Network faults injected into every protocol step's medium.
@@ -98,60 +100,16 @@ impl EpochCtx<'_> {
     }
 }
 
-/// The protocol execution currently in flight for one group's plan step.
-enum StepRun {
-    Gka(GkaRun),
-    Join(dynamics::JoinRun),
-    Partition(dynamics::LeaveRun),
-    /// First half of `MergeNewcomers`: the newcomers' own initial GKA.
-    NewcomerGka(GkaRun),
-    /// Second half: folding the newcomer ring into the group.
-    Merge(dynamics::MergeRun),
-}
-
-impl StepRun {
-    fn pump(&mut self) -> Pump {
-        match self {
-            StepRun::Gka(r) | StepRun::NewcomerGka(r) => r.pump(),
-            StepRun::Join(r) => r.pump(),
-            StepRun::Partition(r) => r.pump(),
-            StepRun::Merge(r) => r.pump(),
-        }
-    }
-
-    fn partial_counts(&self) -> OpCounts {
-        match self {
-            StepRun::Gka(r) | StepRun::NewcomerGka(r) => r.partial_counts(),
-            StepRun::Join(r) => r.partial_counts(),
-            StepRun::Partition(r) => r.partial_counts(),
-            StepRun::Merge(r) => r.partial_counts(),
-        }
-    }
-
-    /// Virtual radio milliseconds this step's run has consumed (0 when the
-    /// step ran on the instant medium).
-    fn virtual_elapsed_ms(&self) -> f64 {
-        match self {
-            StepRun::Gka(r) | StepRun::NewcomerGka(r) => r.virtual_elapsed_ms(),
-            StepRun::Join(r) => r.virtual_elapsed_ms(),
-            StepRun::Partition(r) => r.virtual_elapsed_ms(),
-            StepRun::Merge(r) => r.virtual_elapsed_ms(),
-        }
-        .unwrap_or(0.0)
-    }
-}
-
-/// One group's epoch work: its plan, working session, and progress.
+/// One group's epoch work: its plan, working session, and progress. The
+/// in-flight step is a protocol-erased [`SuiteRun`] — the shard schedules
+/// pumps and accounts outcomes without knowing which of the five suites
+/// is running.
 struct ActiveGroup {
     gid: GroupId,
     original_events: Vec<MembershipEvent>,
     plan: RekeyPlan,
     step_idx: usize,
-    runner: Option<StepRun>,
-    /// The (retry-salted) seed the current runner was built with — the
-    /// merge half of a batched join derives from it, so a retried
-    /// attempt's second half re-rolls its randomness and loss pattern too.
-    runner_seed: u64,
+    runner: Option<Box<dyn SuiteRun>>,
     retries: u32,
     session: GroupSession,
     ops: OpCounts,
@@ -209,7 +167,7 @@ impl Shard {
                 continue;
             };
             report.groups_touched += 1;
-            let plan = plan_group(&state.session, &events, ctx.cost);
+            let plan = plan_group_suite(&state.session, &events, ctx.cost, state.suite, ctx.policy);
             if plan.steps.is_empty() {
                 // Nothing to execute (e.g. a cancelled join/leave pair):
                 // the plan's accounting commits immediately.
@@ -222,7 +180,6 @@ impl Shard {
                 plan,
                 step_idx: 0,
                 runner: None,
-                runner_seed: 0,
                 retries: 0,
                 session: state.session.clone(),
                 ops: OpCounts::new(),
@@ -245,6 +202,9 @@ impl Shard {
 
         // ---- Commit ----
         for g in active {
+            let step_energy_mj = ctx.cost.price_mj(&g.ops);
+            let usage = report.per_suite.entry(g.plan.suite).or_default();
+            usage.energy_mj += step_energy_mj;
             if g.failed {
                 // Atomic epoch: the group keeps its pre-epoch session and
                 // key; its events go back to the head of the queue so the
@@ -258,15 +218,16 @@ impl Shard {
                 // energy; charge them even though no key changed.
                 report.ops.merge(&g.ops);
                 add_traffic(&mut report.traffic, &traffic_of(&g.ops));
-                report.energy_mj += ctx.cost.price_mj(&g.ops);
+                report.energy_mj += step_energy_mj;
                 continue;
             }
+            usage.rekeys += g.rekeys;
             fold_plan_accounting(&mut report, g.gid, &g.plan);
             report.rekeys_executed += g.rekeys;
             report.full_gka_runs += g.gka_runs;
             report.ops.merge(&g.ops);
             add_traffic(&mut report.traffic, &traffic_of(&g.ops));
-            report.energy_mj += ctx.cost.price_mj(&g.ops);
+            report.energy_mj += step_energy_mj;
             if g.dissolved {
                 self.groups.remove(&g.gid);
                 report.groups_dissolved += 1;
@@ -274,6 +235,9 @@ impl Shard {
                 let state = self.groups.get_mut(&g.gid).expect("active group exists");
                 state.session = g.session;
                 state.rekeys += g.rekeys;
+                // A full rekey is where a Cheapest policy migrates the
+                // group to the suite it re-keyed under.
+                state.suite = g.plan.suite;
                 report.rekey_latencies.push(g.started.elapsed());
                 if ctx.radio.is_some() {
                     report.rekey_latencies_virtual_ms.push(g.virtual_ms);
@@ -303,16 +267,7 @@ impl Shard {
                 // Fresh randomness per retransmission attempt.
                 mix(base_seed, 0x7e70 + u64::from(g.retries))
             };
-            let faults = ctx.faults_for(step_seed);
-            g.runner_seed = step_seed;
-            g.runner = Some(build_step(
-                ctx.pkg,
-                &g.session,
-                step,
-                step_seed,
-                ctx.cost.composable_joins,
-                &faults,
-            ));
+            g.runner = Some(build_step(ctx, g.plan.suite, &g.session, step, step_seed));
         }
 
         let runner = g.runner.as_mut().expect("materialized above");
@@ -320,9 +275,19 @@ impl Shard {
             Pump::Progressed => {}
             Pump::Done => {
                 let finished = g.runner.take().expect("pumped");
-                let seed = g.runner_seed;
                 g.virtual_ms += finished.virtual_elapsed_ms();
-                self.complete_step(g, finished, seed, ctx);
+                let out = finished.finish();
+                for node in &out.reports {
+                    g.ops.merge(&node.counts);
+                }
+                g.session = out.session;
+                g.rekeys += 1;
+                g.gka_runs += out.gka_runs;
+                g.retries = 0;
+                g.step_idx += 1;
+                if g.step_idx == g.plan.steps.len() {
+                    g.done = true;
+                }
             }
             Pump::Stalled | Pump::Failed(_) => {
                 // On a private per-group medium a zero-progress sweep is
@@ -345,74 +310,6 @@ impl Shard {
             }
         }
     }
-
-    /// Folds a finished step's outcome into the group and arms the next
-    /// step (or the merge half of a batched join).
-    fn complete_step(
-        &self,
-        g: &mut ActiveGroup,
-        finished: StepRun,
-        step_seed: u64,
-        ctx: &EpochCtx<'_>,
-    ) {
-        match finished {
-            StepRun::Gka(run) => {
-                let (run_report, session) = run.finish();
-                for node in &run_report.nodes {
-                    g.ops.merge(&node.counts);
-                }
-                g.session = session;
-                g.rekeys += 1;
-                g.gka_runs += 1;
-            }
-            StepRun::Join(run) => {
-                let out = run.finish();
-                for r in &out.reports {
-                    g.ops.merge(&r.counts);
-                }
-                g.session = out.session;
-                g.rekeys += 1;
-            }
-            StepRun::Partition(run) => {
-                let out = run.finish();
-                for r in &out.reports {
-                    g.ops.merge(&r.counts);
-                }
-                g.session = out.session;
-                g.rekeys += 1;
-            }
-            StepRun::NewcomerGka(run) => {
-                let (run_report, newcomer_session) = run.finish();
-                for node in &run_report.nodes {
-                    g.ops.merge(&node.counts);
-                }
-                g.gka_runs += 1;
-                // Second half: fold the newcomer ring into the group,
-                // under the same epoch fault plan.
-                let merge_seed = mix(step_seed, 0x6d);
-                g.runner = Some(StepRun::Merge(dynamics::MergeRun::new(
-                    &g.session,
-                    &newcomer_session,
-                    merge_seed,
-                    &ctx.faults_for(merge_seed),
-                )));
-                return;
-            }
-            StepRun::Merge(run) => {
-                let out = run.finish();
-                for r in &out.reports {
-                    g.ops.merge(&r.counts);
-                }
-                g.session = out.session;
-                g.rekeys += 1;
-            }
-        }
-        g.retries = 0;
-        g.step_idx += 1;
-        if g.step_idx == g.plan.steps.len() {
-            g.done = true;
-        }
-    }
 }
 
 /// Whether any member this epoch touches (survivors or arrivals) is
@@ -433,61 +330,29 @@ fn group_touches_detached(g: &ActiveGroup, ctx: &EpochCtx<'_>) -> bool {
     in_session || in_plan
 }
 
-/// Materializes one plan step as a pumpable protocol execution.
+/// Materializes one plan step as a protocol-erased, pumpable execution of
+/// `suite_id` — the single point where a plan meets `dyn Suite`.
 fn build_step(
-    pkg: &Pkg,
+    ctx: &EpochCtx<'_>,
+    suite_id: SuiteId,
     session: &GroupSession,
     step: &RekeyStep,
     step_seed: u64,
-    composable_joins: bool,
-    faults: &Faults,
-) -> StepRun {
+) -> Box<dyn SuiteRun> {
+    let faults_for = |seed: u64| ctx.faults_for(seed);
+    let step_ctx = StepCtx {
+        pkg: ctx.pkg,
+        seed: step_seed,
+        composable_joins: ctx.cost.composable_joins,
+        faults_for: &faults_for,
+    };
+    let s = suite(suite_id);
     match step {
         RekeyStep::Dissolve => unreachable!("dissolve has no protocol execution"),
-        RekeyStep::Partition { leavers } => {
-            let positions: std::collections::BTreeSet<usize> = leavers
-                .iter()
-                .map(|&u| {
-                    session
-                        .position_of(u)
-                        .expect("planner only removes live members")
-                })
-                .collect();
-            StepRun::Partition(dynamics::LeaveRun::new(
-                session, &positions, step_seed, faults,
-            ))
-        }
-        RekeyStep::JoinOne { newcomer } => {
-            let key = pkg.extract(*newcomer);
-            StepRun::Join(dynamics::JoinRun::new(
-                session,
-                *newcomer,
-                &key,
-                step_seed,
-                composable_joins,
-                faults,
-            ))
-        }
-        RekeyStep::MergeNewcomers { newcomers } => {
-            let keys: Vec<_> = newcomers.iter().map(|&u| pkg.extract(u)).collect();
-            StepRun::NewcomerGka(GkaRun::new(
-                &session.params,
-                &keys,
-                step_seed,
-                RunConfig::default(),
-                faults,
-            ))
-        }
-        RekeyStep::FullRekey { members } => {
-            let keys: Vec<_> = members.iter().map(|&u| pkg.extract(u)).collect();
-            StepRun::Gka(GkaRun::new(
-                &session.params,
-                &keys,
-                step_seed,
-                RunConfig::default(),
-                faults,
-            ))
-        }
+        RekeyStep::Partition { leavers } => s.partition(&step_ctx, session, leavers),
+        RekeyStep::JoinOne { newcomer } => s.join_one(&step_ctx, session, *newcomer),
+        RekeyStep::MergeNewcomers { newcomers } => s.merge_newcomers(&step_ctx, session, newcomers),
+        RekeyStep::FullRekey { members } => s.full_rekey(&step_ctx, &session.params, members),
     }
 }
 

@@ -15,7 +15,7 @@ use std::sync::Arc;
 use egka_core::{dynamics, Pkg, SecurityProfile, UserId};
 use egka_energy::OpCounts;
 use egka_hash::ChaChaRng;
-use egka_service::{final_membership, CostModel, KeyService, MembershipEvent, ServiceConfig};
+use egka_service::{final_membership, CostModel, KeyService, MembershipEvent};
 use proptest::prelude::*;
 use rand::SeedableRng;
 
@@ -37,14 +37,10 @@ fn paper_exact_cost() -> CostModel {
 }
 
 fn service_with_group(seed: u64, n: u32) -> (KeyService, Vec<UserId>) {
-    let mut svc = KeyService::new(
-        Arc::clone(pkg()),
-        ServiceConfig {
-            seed,
-            cost: paper_exact_cost(),
-            ..ServiceConfig::default()
-        },
-    );
+    let mut svc = KeyService::builder()
+        .seed(seed)
+        .cost(paper_exact_cost())
+        .build(Arc::clone(pkg()));
     let members: Vec<UserId> = (0..n).map(UserId).collect();
     svc.create_group(1, &members).expect("create");
     (svc, members)

@@ -12,20 +12,13 @@ use std::sync::Arc;
 
 use egka_core::{Pkg, SecurityProfile, UserId};
 use egka_hash::ChaChaRng;
-use egka_service::{KeyService, MembershipEvent, ServiceConfig};
+use egka_service::{KeyService, MembershipEvent};
 use rand::SeedableRng;
 
 fn service(seed: u64, shards: usize) -> KeyService {
     let mut rng = ChaChaRng::seed_from_u64(0x11fe ^ seed);
     let pkg = Arc::new(Pkg::setup(&mut rng, SecurityProfile::Toy));
-    KeyService::new(
-        pkg,
-        ServiceConfig {
-            shards,
-            seed,
-            ..ServiceConfig::default()
-        },
-    )
+    KeyService::builder().shards(shards).seed(seed).build(pkg)
 }
 
 /// Group `g`'s founding members are `g*10 .. g*10+4`.

@@ -8,21 +8,17 @@ use std::sync::Arc;
 use egka_core::{Pkg, SecurityProfile, UserId};
 use egka_hash::ChaChaRng;
 use egka_medium::RadioProfile;
-use egka_service::{KeyService, MembershipEvent, RadioConfig, ServiceConfig};
+use egka_service::{KeyService, MembershipEvent, RadioConfig};
 use rand::SeedableRng;
 
 fn service(seed: u64, shards: usize, radio: Option<RadioConfig>) -> KeyService {
     let mut rng = ChaChaRng::seed_from_u64(0xad10 ^ seed);
     let pkg = Arc::new(Pkg::setup(&mut rng, SecurityProfile::Toy));
-    KeyService::new(
-        pkg,
-        ServiceConfig {
-            shards,
-            seed,
-            radio,
-            ..ServiceConfig::default()
-        },
-    )
+    let mut builder = KeyService::builder().shards(shards).seed(seed);
+    if let Some(radio) = radio {
+        builder = builder.radio(radio);
+    }
+    builder.build(pkg)
 }
 
 /// Group `g`'s founding members are `g*10 .. g*10+4`.

@@ -11,9 +11,12 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use egka_core::{Pkg, SecurityProfile, UserId};
+use egka_energy::{CpuModel, Transceiver};
 use egka_hash::ChaChaRng;
 use egka_medium::RadioProfile;
-use egka_service::{GroupId, KeyService, MembershipEvent, RadioConfig, ServiceConfig};
+use egka_service::{
+    GroupId, KeyService, MembershipEvent, RadioConfig, SuiteId, SuitePolicy, SuiteUsage,
+};
 use rand::{Rng, SeedableRng};
 
 use crate::report::RadioSummary;
@@ -84,6 +87,9 @@ pub struct ChurnConfig {
     /// by the driver: it submits a `Leave` for each corpse, the way a real
     /// deployment's failure detector would.
     pub radio: Option<RadioChurnConfig>,
+    /// How groups pick their GKA suite (default: every group runs the
+    /// proposed scheme — the legacy scenario, golden-pinned).
+    pub suite_policy: SuitePolicy,
 }
 
 impl Default for ChurnConfig {
@@ -98,6 +104,36 @@ impl Default for ChurnConfig {
             seed: 0xc452_4e01,
             loss: 0.0,
             radio: None,
+            suite_policy: SuitePolicy::default(),
+        }
+    }
+}
+
+impl ChurnConfig {
+    /// The `radio_churn` bench scenario: 40 groups over the sensor-field
+    /// radio (finite batteries, two nearly-flat motes). One definition,
+    /// shared by the bench binary and CI, so knobs cannot drift.
+    pub fn radio_bench() -> Self {
+        ChurnConfig {
+            groups: 40,
+            epochs: 4,
+            radio: Some(RadioChurnConfig::sensor_field()),
+            ..ChurnConfig::default()
+        }
+    }
+
+    /// The mixed-suite scenario: founding sizes 2..4 straddle the
+    /// closed-form crossover on the paper's low-power profile (StrongARM +
+    /// 100 kbps radio), so a `Cheapest` policy provably selects more than
+    /// one protocol across the fleet.
+    pub fn mixed_suite_bench() -> Self {
+        ChurnConfig {
+            group_size: 2,
+            suite_policy: SuitePolicy::Cheapest {
+                cpu: CpuModel::strongarm_133(),
+                transceiver: Transceiver::radio_100kbps(),
+            },
+            ..ChurnConfig::default()
         }
     }
 }
@@ -153,6 +189,10 @@ pub struct ChurnReport {
     /// Virtual-time summary (latency quantiles in virtual ms, battery
     /// ledger, deaths) — radio scenarios only.
     pub radio: Option<RadioSummary>,
+    /// Per-suite breakdown: live groups, executed rekeys and priced
+    /// energy per GKA suite. One entry under a `Fixed` policy; a
+    /// `Cheapest` fleet splits across the crossover.
+    pub suites: Vec<SuiteBreakdown>,
     /// Wall-clock of the whole scenario (setup + all ticks).
     pub wall: Duration,
     /// Events applied per wall-clock second.
@@ -160,6 +200,19 @@ pub struct ChurnReport {
     /// XOR-fold of every surviving group key — a determinism fingerprint:
     /// equal seeds must produce equal fingerprints.
     pub key_fingerprint: u64,
+}
+
+/// One suite's share of a churn scenario.
+#[derive(Clone, Debug)]
+pub struct SuiteBreakdown {
+    /// Which suite.
+    pub suite: SuiteId,
+    /// Live groups running it at scenario end.
+    pub groups: u64,
+    /// Rekeys (creations included) executed under it.
+    pub rekeys: u64,
+    /// Priced energy attributed to it, mJ.
+    pub energy_mj: f64,
 }
 
 /// Knuth's Poisson sampler over the shim RNG (exact for the small rates
@@ -188,21 +241,20 @@ pub fn run_churn(config: &ChurnConfig) -> ChurnReport {
     let mut rng = ChaChaRng::seed_from_u64(config.seed ^ 0xc4_52_4e);
     let mut setup_rng = ChaChaRng::seed_from_u64(config.seed ^ 0x5e_70);
     let pkg = Arc::new(Pkg::setup(&mut setup_rng, SecurityProfile::Toy));
-    let mut svc = KeyService::new(
-        Arc::clone(&pkg),
-        ServiceConfig {
-            shards: config.shards,
-            seed: config.seed,
-            radio: config.radio.as_ref().map(|r| RadioConfig {
-                profile: r.profile.clone(),
-                default_battery_uj: r.battery_uj,
-            }),
-            ..ServiceConfig::default()
-        },
-    );
-    if config.loss > 0.0 {
-        svc.set_loss(config.loss);
+    let mut builder = KeyService::builder()
+        .shards(config.shards)
+        .seed(config.seed)
+        .suite_policy(config.suite_policy.clone());
+    if let Some(r) = &config.radio {
+        builder = builder.radio(RadioConfig {
+            profile: r.profile.clone(),
+            default_battery_uj: r.battery_uj,
+        });
     }
+    if config.loss > 0.0 {
+        builder = builder.loss(config.loss);
+    }
+    let mut svc = builder.build(Arc::clone(&pkg));
     if let Some(radio) = &config.radio {
         for u in 0..radio.weak_nodes {
             svc.set_battery(UserId(u), radio.weak_battery_uj);
@@ -317,6 +369,20 @@ pub fn run_churn(config: &ChurnConfig) -> ChurnReport {
             top_spenders: batteries,
         }
     });
+    let groups_per_suite = svc.groups_per_suite();
+    let suites: Vec<SuiteBreakdown> = SuiteId::ALL
+        .into_iter()
+        .filter_map(|id| {
+            let groups = groups_per_suite.get(&id).copied().unwrap_or(0);
+            let usage: SuiteUsage = metrics.per_suite.get(&id).copied().unwrap_or_default();
+            (groups > 0 || usage.rekeys > 0).then_some(SuiteBreakdown {
+                suite: id,
+                groups,
+                rekeys: usage.rekeys,
+                energy_mj: usage.energy_mj,
+            })
+        })
+        .collect();
     let key_fingerprint = svc
         .group_ids()
         .iter()
@@ -341,6 +407,7 @@ pub fn run_churn(config: &ChurnConfig) -> ChurnReport {
         epochs,
         wall_latency,
         radio,
+        suites,
         wall,
         throughput_eps: metrics.events_applied as f64 / wall.as_secs_f64().max(1e-9),
         key_fingerprint,
@@ -392,6 +459,23 @@ impl ChurnReport {
         if let Some(radio) = &self.radio {
             let _ = write!(out, "{}", radio.render());
         }
+        if self.suites.len() > 1 {
+            let mix = self
+                .suites
+                .iter()
+                .map(|s| {
+                    format!(
+                        "{} ({} groups, {} rekeys, {:.1} mJ)",
+                        s.suite.key(),
+                        s.groups,
+                        s.rekeys,
+                        s.energy_mj
+                    )
+                })
+                .collect::<Vec<_>>()
+                .join("   ");
+            let _ = writeln!(out, "suites: {mix}");
+        }
         let _ = writeln!(
             out,
             "rekeys: {}   events-coalesced ratio: {:.2}   total energy: {:.1} mJ",
@@ -428,6 +512,7 @@ mod tests {
             seed: 0x5eed,
             loss: 0.0,
             radio: None,
+            suite_policy: SuitePolicy::default(),
         }
     }
 
@@ -545,6 +630,61 @@ mod tests {
         let again = run_churn(&config);
         assert_eq!(report.key_fingerprint, again.key_fingerprint);
         assert_eq!(report.steps_retried, again.steps_retried);
+    }
+
+    #[test]
+    fn cheapest_policy_runs_a_mixed_suite_fleet() {
+        // Founding sizes 2..4 straddle the ECDSA/proposed crossover on the
+        // sensor profile, so the Cheapest policy must field at least two
+        // distinct suites — and the whole mixed fleet must stay
+        // deterministic and keep every group rekeyable.
+        let config = ChurnConfig {
+            groups: 12,
+            epochs: 3,
+            shards: 4,
+            seed: 0x5eed,
+            ..ChurnConfig::mixed_suite_bench()
+        };
+        let report = run_churn(&config);
+        assert!(
+            report.suites.len() >= 2,
+            "expected a mixed fleet, got {:?}",
+            report.suites
+        );
+        assert!(report.suites.iter().any(|s| s.suite == SuiteId::Proposed));
+        assert!(report.suites.iter().all(|s| s.energy_mj > 0.0));
+        assert!(report.events_applied > 0);
+        assert_eq!(report.groups_active, 12);
+        assert!(report.render().contains("suites:"));
+        let again = run_churn(&config);
+        assert_eq!(report.key_fingerprint, again.key_fingerprint);
+        let mix = |r: &ChurnReport| {
+            r.suites
+                .iter()
+                .map(|s| (s.suite, s.groups, s.rekeys))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(mix(&report), mix(&again), "suite selection is seeded");
+    }
+
+    #[test]
+    fn fixed_baseline_policy_churns_entirely_on_that_suite() {
+        // A Fixed(BdEcdsa) fleet: every group founds and rekeys through
+        // the certificate baseline (full re-runs), end to end.
+        let config = ChurnConfig {
+            groups: 6,
+            epochs: 2,
+            suite_policy: SuitePolicy::Fixed(SuiteId::BdEcdsa),
+            ..small()
+        };
+        let report = run_churn(&config);
+        assert_eq!(report.suites.len(), 1);
+        assert_eq!(report.suites[0].suite, SuiteId::BdEcdsa);
+        assert_eq!(report.suites[0].groups, 6);
+        assert!(report.events_applied > 0);
+        assert!(report.rekeys_executed > 0);
+        let again = run_churn(&config);
+        assert_eq!(report.key_fingerprint, again.key_fingerprint);
     }
 
     #[test]

@@ -13,12 +13,16 @@
 use std::sync::Arc;
 
 use egka::prelude::*;
-use egka::service::{KeyService, MembershipEvent, ServiceConfig};
 
 fn main() {
     let mut rng = ChaChaRng::seed_from_u64(0x2006);
     let pkg = Arc::new(Pkg::setup(&mut rng, SecurityProfile::Toy));
-    let mut svc = KeyService::new(Arc::clone(&pkg), ServiceConfig::default());
+    // The builder façade is the one place service knobs live; the default
+    // suite policy runs every group on the paper's proposed scheme.
+    let mut svc = KeyService::builder()
+        .shards(8)
+        .suite_policy(SuitePolicy::Fixed(SuiteId::Proposed))
+        .build(Arc::clone(&pkg));
 
     // Three concurrent groups, hashed across the service's shards.
     svc.create_group(1, &(0..6).map(UserId).collect::<Vec<_>>())

@@ -81,8 +81,8 @@ pub use egka_symmetric as symmetric;
 pub mod prelude {
     pub use egka_bigint::{SchnorrGroup, Ubig};
     pub use egka_core::{
-        authbd, dynamics, proposed, ssn, AuthKit, Fault, Faults, GroupSession, Params, Pkg, Pump,
-        RadioSpec, RunConfig, SecurityProfile, UserId,
+        authbd, dynamics, proposed, ssn, suite::suite, AuthKit, Fault, Faults, GroupSession,
+        Params, Pkg, Pump, RadioSpec, RunConfig, SecurityProfile, Suite, SuiteId, UserId,
     };
     pub use egka_energy::{
         complexity::InitialProtocol, total_energy_mj, CompOp, CpuModel, Meter, OpCounts, Scheme,
@@ -90,6 +90,10 @@ pub mod prelude {
     };
     pub use egka_hash::ChaChaRng;
     pub use egka_medium::{BatteryBank, RadioProfile};
+    pub use egka_service::{
+        EpochReport, GroupId, KeyService, MembershipEvent, ServiceBuilder, ServiceMetrics,
+        SuitePolicy,
+    };
     pub use egka_sim::{Figure1Config, Table5Config};
     pub use rand::SeedableRng;
 }

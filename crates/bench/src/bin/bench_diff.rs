@@ -1,0 +1,192 @@
+//! Perf-regression gate: compare a freshly generated churn artifact
+//! (`BENCH_service_churn.json` / `BENCH_radio_churn.json`) against the
+//! committed baseline and fail on regression.
+//!
+//! ```text
+//! cargo run --release -p egka-bench --bin bench_diff -- \
+//!     --baseline baselines/BENCH_service_churn.json \
+//!     --fresh BENCH_service_churn.json \
+//!     [--max-regress 0.25] [--wall-floor-ms 500]
+//! ```
+//!
+//! Two families of gates:
+//!
+//! * **Energy** (`energy_mj`, total and per suite): fully deterministic
+//!   per seed, so *any* drift means the code changed behavior; the gate
+//!   fails when fresh exceeds baseline by more than `--max-regress`
+//!   (default 25%), and also when a suite present in the baseline vanished
+//!   — a disappeared protocol is a behavior change, not a speedup.
+//! * **Wall clock** (`wall_ms`): inherently noisy across machines, so the
+//!   relative threshold only applies once the absolute slowdown also
+//!   clears `--wall-floor-ms` (default 500 ms) — a 3 ms scenario jumping
+//!   to 4 ms is noise, a 2 s scenario jumping to 3 s is a regression.
+//!
+//! Improvements (fresh below baseline) never fail; they print as a
+//! reminder to refresh the committed baseline. Exit code 1 on any failed
+//! gate, with every finding listed.
+
+use egka_bench::arg_value;
+use egka_bench::json::Json;
+
+struct Gate {
+    max_regress: f64,
+    wall_floor_ms: f64,
+    failures: Vec<String>,
+    notes: Vec<String>,
+}
+
+impl Gate {
+    fn ratio_line(name: &str, baseline: f64, fresh: f64) -> String {
+        let pct = if baseline > 0.0 {
+            format!("{:+.1}%", (fresh / baseline - 1.0) * 100.0)
+        } else {
+            "n/a".into()
+        };
+        format!("{name}: baseline {baseline:.3} → fresh {fresh:.3} ({pct})")
+    }
+
+    /// Deterministic quantities: relative threshold only.
+    fn check_energy(&mut self, name: &str, baseline: f64, fresh: f64) {
+        let line = Self::ratio_line(name, baseline, fresh);
+        if fresh > baseline * (1.0 + self.max_regress) {
+            self.failures.push(line);
+        } else {
+            self.notes.push(line);
+        }
+    }
+
+    /// Noisy quantities: relative threshold gated by an absolute floor.
+    fn check_wall(&mut self, name: &str, baseline: f64, fresh: f64) {
+        let line = Self::ratio_line(name, baseline, fresh);
+        if fresh > baseline * (1.0 + self.max_regress) && fresh - baseline > self.wall_floor_ms {
+            self.failures.push(line);
+        } else {
+            self.notes.push(line);
+        }
+    }
+}
+
+fn load(path: &str) -> Json {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("reading {path}: {e} (run the churn bench first?)"));
+    Json::parse(&text).unwrap_or_else(|e| panic!("parsing {path}: {e}"))
+}
+
+fn num(doc: &Json, path: &str, key: &str) -> f64 {
+    doc.get(key)
+        .and_then(Json::as_f64)
+        .unwrap_or_else(|| panic!("{path} has no numeric \"{key}\""))
+}
+
+fn main() {
+    let baseline_path = arg_value("--baseline").expect("--baseline PATH");
+    let fresh_path = arg_value("--fresh").expect("--fresh PATH");
+    let max_regress: f64 = arg_value("--max-regress")
+        .map(|v| v.parse().expect("--max-regress F"))
+        .unwrap_or(0.25);
+    let wall_floor_ms: f64 = arg_value("--wall-floor-ms")
+        .map(|v| v.parse().expect("--wall-floor-ms F"))
+        .unwrap_or(500.0);
+
+    let baseline = load(&baseline_path);
+    let fresh = load(&fresh_path);
+    for (doc, path) in [(&baseline, &baseline_path), (&fresh, &fresh_path)] {
+        let schema = doc.get("schema").and_then(Json::as_str).unwrap_or("?");
+        assert_eq!(
+            schema, "egka-service-churn/1",
+            "{path}: unexpected schema {schema}"
+        );
+    }
+
+    let mut gate = Gate {
+        max_regress,
+        wall_floor_ms,
+        failures: Vec::new(),
+        notes: Vec::new(),
+    };
+
+    gate.check_wall(
+        "wall_ms",
+        num(&baseline, &baseline_path, "wall_ms"),
+        num(&fresh, &fresh_path, "wall_ms"),
+    );
+    gate.check_energy(
+        "energy_mj",
+        num(&baseline, &baseline_path, "energy_mj"),
+        num(&fresh, &fresh_path, "energy_mj"),
+    );
+
+    // Per-suite energy: every suite the baseline fielded must still exist
+    // and stay within the threshold.
+    let empty: Vec<(String, Json)> = Vec::new();
+    let base_suites = baseline
+        .get("suites")
+        .and_then(Json::members)
+        .unwrap_or(&empty);
+    let fresh_suites = fresh
+        .get("suites")
+        .and_then(Json::members)
+        .unwrap_or(&empty);
+    for (suite, base_usage) in base_suites {
+        let name = format!("suites.{suite}.energy_mj");
+        let base_mj = base_usage
+            .get("energy_mj")
+            .and_then(Json::as_f64)
+            .unwrap_or(0.0);
+        match fresh_suites.iter().find(|(k, _)| k == suite) {
+            Some((_, fresh_usage)) => {
+                let fresh_mj = fresh_usage
+                    .get("energy_mj")
+                    .and_then(Json::as_f64)
+                    .unwrap_or(0.0);
+                gate.check_energy(&name, base_mj, fresh_mj);
+            }
+            None => gate
+                .failures
+                .push(format!("{name}: suite vanished from the fresh run")),
+        }
+    }
+    for (suite, _) in fresh_suites {
+        if !base_suites.iter().any(|(k, _)| k == suite) {
+            gate.notes.push(format!(
+                "suites.{suite}: new in the fresh run (not in baseline)"
+            ));
+        }
+    }
+
+    // Determinism cross-check, informational: a fingerprint change with
+    // unchanged config means intended behavior drift — refresh baselines.
+    let base_fp = baseline.get("key_fingerprint").and_then(Json::as_str);
+    let fresh_fp = fresh.get("key_fingerprint").and_then(Json::as_str);
+    if let (Some(b), Some(f)) = (base_fp, fresh_fp) {
+        if b != f {
+            gate.notes.push(format!(
+                "key_fingerprint changed ({b} → {f}): behavior drift — \
+                 refresh the baseline if intended"
+            ));
+        }
+    }
+
+    println!(
+        "bench_diff: {fresh_path} vs {baseline_path} \
+         (max regress {:.0}%, wall floor {wall_floor_ms} ms)\n",
+        max_regress * 100.0
+    );
+    for note in &gate.notes {
+        println!("  ok   {note}");
+    }
+    for failure in &gate.failures {
+        println!("  FAIL {failure}");
+    }
+    if gate.failures.is_empty() {
+        println!("\nno perf regression ✓");
+    } else {
+        println!(
+            "\n{} perf regression(s) beyond {:.0}% — investigate, or refresh \
+             the committed baseline if the cost is intended",
+            gate.failures.len(),
+            max_regress * 100.0
+        );
+        std::process::exit(1);
+    }
+}

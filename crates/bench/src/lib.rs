@@ -26,6 +26,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod json;
+
 /// Formats a joule value with engineering-friendly precision.
 pub fn fmt_joules(j: f64) -> String {
     if j >= 1.0 {
@@ -160,6 +162,51 @@ pub fn churn_report_json(report: &egka_sim::ChurnReport) -> String {
         quantiles_ms(virtual_q),
         suites,
         report.key_fingerprint,
+    )
+}
+
+/// Renders the crash-recovery scenario's artifact
+/// (`BENCH_recovery_churn.json`): the uninterrupted and recovered runs'
+/// fingerprints (the acceptance equality), what recovery replayed, and
+/// both wall clocks.
+pub fn recovery_churn_json(
+    uninterrupted: &egka_sim::ChurnReport,
+    crashed: &egka_sim::ChurnReport,
+) -> String {
+    let rec = crashed
+        .recovery
+        .expect("the crashed run carries a recovery summary");
+    let snapshot_epoch = match rec.snapshot_epoch {
+        Some(e) => e.to_string(),
+        None => "null".to_string(),
+    };
+    format!(
+        "{{\n  \
+         \"schema\": \"egka-recovery-churn/1\",\n  \
+         \"groups\": {},\n  \
+         \"epochs\": {},\n  \
+         \"kill_epoch\": {},\n  \
+         \"snapshot_epoch\": {},\n  \
+         \"records_replayed\": {},\n  \
+         \"epochs_replayed\": {},\n  \
+         \"groups_recovered\": {},\n  \
+         \"uninterrupted_fingerprint\": \"{:016x}\",\n  \
+         \"recovered_fingerprint\": \"{:016x}\",\n  \
+         \"fingerprints_equal\": {},\n  \
+         \"uninterrupted_wall_ms\": {:.1},\n  \
+         \"recovered_wall_ms\": {:.1}\n}}\n",
+        uninterrupted.groups,
+        uninterrupted.epochs.len(),
+        rec.kill_epoch,
+        snapshot_epoch,
+        rec.records_replayed,
+        rec.epochs_replayed,
+        rec.groups_recovered,
+        uninterrupted.key_fingerprint,
+        crashed.key_fingerprint,
+        uninterrupted.key_fingerprint == crashed.key_fingerprint,
+        uninterrupted.wall.as_secs_f64() * 1e3,
+        crashed.wall.as_secs_f64() * 1e3,
     )
 }
 

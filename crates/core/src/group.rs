@@ -19,6 +19,7 @@ use egka_sig::GqSecretKey;
 
 use crate::ident::UserId;
 use crate::params::Params;
+use crate::wire::{DecodeError, Reader, Writer};
 
 /// One member's private protocol state.
 #[derive(Clone, Debug)]
@@ -93,6 +94,56 @@ impl GroupSession {
         self.members.iter().map(|m| m.id).collect()
     }
 
+    /// Serializes the full per-member session state (identities, BD
+    /// exponents, public shares, GQ commitments and extracted ID keys)
+    /// plus the group key — everything the §7 dynamics consume — into `w`.
+    ///
+    /// The shared [`Params`] are deliberately *not* written: they belong
+    /// to the PKG the service runs on, and a store that duplicated them
+    /// per group could silently resurrect a session under the wrong
+    /// algebra. [`GroupSession::decode_state`] takes them from the caller.
+    pub fn encode_state(&self, w: &mut Writer) {
+        w.put_u32(self.members.len() as u32);
+        for m in &self.members {
+            w.put_id(m.id)
+                .put_bytes(&m.gq_key.id)
+                .put_ubig(&m.gq_key.s_id)
+                .put_ubig(&m.r)
+                .put_ubig(&m.z)
+                .put_ubig(&m.tau)
+                .put_ubig(&m.t);
+        }
+        w.put_ubig(&self.key);
+    }
+
+    /// Reconstructs a session written by [`GroupSession::encode_state`]
+    /// under the caller's shared parameters.
+    pub fn decode_state(r: &mut Reader<'_>, params: &Params) -> Result<GroupSession, DecodeError> {
+        let n = r.get_u32()? as usize;
+        // A damaged count fails on the first truncated member read; only
+        // the pre-allocation needs guarding.
+        let mut members = Vec::with_capacity(n.min(1 << 16));
+        for _ in 0..n {
+            let id = r.get_id()?;
+            let gq_id = r.get_bytes()?.to_vec();
+            let s_id = r.get_ubig()?;
+            members.push(MemberState {
+                id,
+                gq_key: GqSecretKey { id: gq_id, s_id },
+                r: r.get_ubig()?,
+                z: r.get_ubig()?,
+                tau: r.get_ubig()?,
+                t: r.get_ubig()?,
+            });
+        }
+        let key = r.get_ubig()?;
+        Ok(GroupSession {
+            params: params.clone(),
+            members,
+            key,
+        })
+    }
+
     /// Checks the defining invariant: `K = g^{Σ r_i r_{i+1}}` and
     /// `z_i = g^{r_i}` for every member (test/debug helper; a real node
     /// cannot evaluate this, it requires all secrets).
@@ -131,6 +182,40 @@ mod tests {
         assert_eq!(session.n(), 4);
         assert_eq!(session.pred(0), 3);
         assert_eq!(session.succ(3), 0);
+    }
+
+    #[test]
+    fn state_codec_roundtrips_bit_for_bit() {
+        use crate::wire::{Reader, Writer};
+        let mut rng = ChaChaRng::seed_from_u64(0x57a7e);
+        let pkg = Pkg::setup(&mut rng, SecurityProfile::Toy);
+        let keys = pkg.extract_group(5);
+        let (_, session) = proposed::run(pkg.params(), &keys, 9, RunConfig::default());
+
+        let mut w = Writer::new();
+        session.encode_state(&mut w);
+        let buf = w.finish();
+        let mut r = Reader::new(&buf);
+        let back = crate::GroupSession::decode_state(&mut r, pkg.params()).unwrap();
+        r.expect_end().unwrap();
+
+        assert_eq!(back.key, session.key);
+        assert_eq!(back.n(), session.n());
+        for (a, b) in back.members.iter().zip(&session.members) {
+            assert_eq!(a.id, b.id);
+            assert_eq!(a.gq_key, b.gq_key);
+            assert_eq!(a.r, b.r);
+            assert_eq!(a.z, b.z);
+            assert_eq!(a.tau, b.tau);
+            assert_eq!(a.t, b.t);
+        }
+        assert!(back.invariant_holds());
+
+        // Truncation is a typed decode error, never a panic.
+        for cut in [0usize, 1, 7, buf.len() / 2, buf.len() - 1] {
+            let mut r = Reader::new(&buf[..cut]);
+            assert!(crate::GroupSession::decode_state(&mut r, pkg.params()).is_err());
+        }
     }
 
     #[test]

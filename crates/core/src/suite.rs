@@ -132,6 +132,23 @@ impl SuiteId {
     pub fn from_key(key: &str) -> Option<SuiteId> {
         SuiteId::ALL.into_iter().find(|s| s.key() == key)
     }
+
+    /// Stable one-byte code for persisted state (never reorder: stored
+    /// snapshots reference these values).
+    pub fn code(self) -> u8 {
+        match self {
+            SuiteId::Proposed => 0,
+            SuiteId::BdSok => 1,
+            SuiteId::BdEcdsa => 2,
+            SuiteId::BdDsa => 3,
+            SuiteId::Ssn => 4,
+        }
+    }
+
+    /// Parses a [`SuiteId::code`] back into the id.
+    pub fn from_code(code: u8) -> Option<SuiteId> {
+        SuiteId::ALL.into_iter().find(|s| s.code() == code)
+    }
 }
 
 /// Per-step execution context a scheduler hands to a suite's run

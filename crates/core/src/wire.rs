@@ -97,6 +97,40 @@ impl Writer {
         self
     }
 
+    /// Appends a length-prefixed opaque byte string with a u32 length —
+    /// for state blobs (sealed sessions) that can outgrow the u16 wire
+    /// prefix of [`Writer::put_bytes`].
+    pub fn put_blob(&mut self, b: &[u8]) -> &mut Self {
+        debug_assert!(b.len() <= u32::MAX as usize);
+        self.buf.extend_from_slice(&(b.len() as u32).to_be_bytes());
+        self.buf.extend_from_slice(b);
+        self
+    }
+
+    /// Appends a raw byte tag.
+    pub fn put_u8(&mut self, v: u8) -> &mut Self {
+        self.buf.push(v);
+        self
+    }
+
+    /// Appends a 32-bit big-endian integer.
+    pub fn put_u32(&mut self, v: u32) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+        self
+    }
+
+    /// Appends a 64-bit big-endian integer.
+    pub fn put_u64(&mut self, v: u64) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+        self
+    }
+
+    /// Appends an `f64` as its IEEE-754 bit pattern (exact round-trip —
+    /// state codecs must never drift through decimal formatting).
+    pub fn put_f64(&mut self, v: f64) -> &mut Self {
+        self.put_u64(v.to_bits())
+    }
+
     /// Finishes into a shareable buffer.
     pub fn finish(self) -> Bytes {
         Bytes::from(self.buf)
@@ -142,6 +176,38 @@ impl<'a> Reader<'a> {
         let len = self.take(2, "truncated length")?;
         let len = u16::from_be_bytes([len[0], len[1]]) as usize;
         self.take(len, "truncated bytes")
+    }
+
+    /// Reads a u32-length-prefixed byte string written by
+    /// [`Writer::put_blob`].
+    pub fn get_blob(&mut self) -> Result<&'a [u8], DecodeError> {
+        let len = self.take(4, "truncated blob length")?;
+        let len = u32::from_be_bytes([len[0], len[1], len[2], len[3]]) as usize;
+        self.take(len, "truncated blob")
+    }
+
+    /// Reads a raw byte tag.
+    pub fn get_u8(&mut self) -> Result<u8, DecodeError> {
+        Ok(self.take(1, "truncated tag")?[0])
+    }
+
+    /// Reads a 32-bit big-endian integer.
+    pub fn get_u32(&mut self) -> Result<u32, DecodeError> {
+        let b = self.take(4, "truncated u32")?;
+        Ok(u32::from_be_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Reads a 64-bit big-endian integer.
+    pub fn get_u64(&mut self) -> Result<u64, DecodeError> {
+        let b = self.take(8, "truncated u64")?;
+        Ok(u64::from_be_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    /// Reads an `f64` bit pattern written by [`Writer::put_f64`].
+    pub fn get_f64(&mut self) -> Result<f64, DecodeError> {
+        Ok(f64::from_bits(self.get_u64()?))
     }
 
     /// Fails unless the whole payload was consumed (catches codec drift).

@@ -71,6 +71,14 @@
 //!   fixed fleet-wide, or picked per group by the closed-form energy
 //!   argmin for a hardware profile (`Cheapest`), with per-suite costs
 //!   surfaced in [`EpochReport::per_suite`].
+//! * **Durability** ([`StoreConfig`], [`ServiceBuilder::store`],
+//!   [`ServiceBuilder::recover`]): state-changing calls are write-ahead
+//!   logged to an `egka-store` backend with one commit record per applied
+//!   epoch (appended before the report is returned), plus periodic
+//!   compacting snapshots with session-key material sealed under the
+//!   authenticated envelope. Recovery replays snapshot + tail through the
+//!   ordinary entry points and reconstructs every shard bit for bit —
+//!   groups survive the controller process.
 //!
 //! ```
 //! use std::sync::Arc;
@@ -96,17 +104,18 @@
 pub mod event;
 pub mod hashing;
 pub mod metrics;
+mod persist;
 pub mod plan;
 mod service;
 mod shard;
 
 pub use egka_core::suite::{Suite, SuiteId};
+pub use egka_store::{FileStore, MemStore, Store, StoreError};
 pub use event::{GroupId, MembershipEvent, RejectReason, ServiceError};
 pub use hashing::jump_hash;
 pub use metrics::{quantiles3, EpochReport, ServiceMetrics, SuiteUsage, VIRTUAL_LATENCY_WINDOW};
+pub use persist::{RecoveryReport, StoreConfig};
 pub use plan::{plan_group, plan_group_suite, CostModel, RekeyPlan, RekeyStep, SuitePolicy};
-#[allow(deprecated)]
-pub use service::ServiceConfig;
 pub use service::{KeyService, RadioConfig, ServiceBuilder};
 pub use shard::{final_membership, GroupState};
 

@@ -88,6 +88,14 @@ pub struct ServiceMetrics {
     /// Cumulative rekeys and priced energy per GKA suite (group creations
     /// included) — the multi-backend cost ledger.
     pub per_suite: BTreeMap<SuiteId, SuiteUsage>,
+    /// Write-ahead log records appended (commands + epoch commits); 0
+    /// without a configured store.
+    pub wal_appends: u64,
+    /// Compacting snapshots installed.
+    pub snapshots_written: u64,
+    /// Durability barriers (fsyncs or their in-memory equivalent) the
+    /// store has performed on this service's behalf.
+    pub store_syncs: u64,
 }
 
 impl ServiceMetrics {

@@ -1,0 +1,522 @@
+//! Durable group state: WAL record codec, snapshot codec, recovery.
+//!
+//! ## What is logged
+//!
+//! The service's state is a deterministic function of its configuration
+//! (seed, shards, policy, radio) and the *sequence of state-changing
+//! calls* made against it. So the WAL does not persist protocol
+//! transcripts — it persists the **commands** ([`WalRecord`]): group
+//! creations, submitted membership events, power events, battery installs,
+//! loss changes, and one [`WalRecord::EpochCommit`] per applied epoch,
+//! appended *before* the epoch's report is returned to the caller.
+//! Recovery replays the commands through the ordinary service entry
+//! points; determinism does the rest, bit for bit.
+//!
+//! ## What is snapshotted
+//!
+//! Replaying a long history re-runs every rekey's cryptography. Every
+//! `snapshot_every` epochs the service therefore serializes its *state*
+//! directly — membership, per-group [`SuiteId`], epoch, session-key
+//! material (sealed under the store's envelope key), pending queues, the
+//! battery ledger, detached members — and installs it atomically,
+//! truncating the log. Recovery is then snapshot + tail.
+//!
+//! Every record carries a monotone **log sequence number**; the snapshot
+//! records the LSN watermark it covers, so a tail that survived a crash
+//! between snapshot install and log truncation replays exactly once (the
+//! file backend's documented crash window).
+//!
+//! ## Sealing
+//!
+//! Session keys are the one secret the service holds; at rest they are
+//! sealed with the authenticated `E_K(·)` envelope (`egka-symmetric`)
+//! under a 32-byte store key supplied by the deployment
+//! ([`StoreConfig::seal_key`]). A snapshot opened with the wrong key — or
+//! a tampered one — surfaces as [`StoreError::Corrupt`], never as a wrong
+//! group key.
+
+use std::sync::Arc;
+
+use egka_core::suite::SuiteId;
+use egka_core::wire::{DecodeError, Reader, Writer};
+use egka_core::{GroupSession, Pkg, UserId};
+use egka_hash::ChaChaRng;
+use egka_store::{Store, StoreError};
+use egka_symmetric::Envelope;
+use rand::SeedableRng;
+
+use crate::event::{GroupId, MembershipEvent};
+use crate::shard::GroupState;
+
+/// Snapshot format magic + version (bump on layout changes).
+const SNAPSHOT_MAGIC: &[u8; 8] = b"EGKASNP1";
+/// WAL record format version.
+const WAL_VERSION: u8 = 1;
+
+/// Durability configuration handed to
+/// [`crate::ServiceBuilder::store`]: the backend plus the sealing and
+/// compaction knobs.
+#[derive(Clone)]
+pub struct StoreConfig {
+    /// The WAL + snapshot backing.
+    pub backend: Arc<dyn Store>,
+    /// 32-byte key the snapshots' session-key material is sealed under.
+    /// Recovery requires the same key. Defaults to an all-zero
+    /// development key — a real deployment supplies its own.
+    pub seal_key: [u8; 32],
+    /// Install a compacting snapshot every this many epochs (0 disables
+    /// periodic snapshots; the WAL then grows until
+    /// [`crate::KeyService::snapshot_now`] is called).
+    pub snapshot_every: u64,
+}
+
+impl StoreConfig {
+    /// Durability on `backend` with the development seal key and a
+    /// snapshot every 8 epochs.
+    pub fn new(backend: Arc<dyn Store>) -> Self {
+        StoreConfig {
+            backend,
+            seal_key: [0u8; 32],
+            snapshot_every: 8,
+        }
+    }
+
+    /// Replaces the snapshot sealing key.
+    pub fn seal_key(mut self, key: [u8; 32]) -> Self {
+        self.seal_key = key;
+        self
+    }
+
+    /// Replaces the snapshot cadence (0 = never automatically).
+    pub fn snapshot_every(mut self, epochs: u64) -> Self {
+        self.snapshot_every = epochs;
+        self
+    }
+
+    pub(crate) fn envelope(&self) -> Envelope {
+        Envelope::from_key_material(&self.seal_key)
+    }
+}
+
+impl core::fmt::Debug for StoreConfig {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("StoreConfig")
+            .field("backend", &"<dyn Store>")
+            .field("seal_key", &"<sealed>")
+            .field("snapshot_every", &self.snapshot_every)
+            .finish()
+    }
+}
+
+/// What [`crate::ServiceBuilder::recover`] did.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Epoch the restored snapshot covered (`None` = no snapshot, full
+    /// log replay).
+    pub snapshot_epoch: Option<u64>,
+    /// WAL records replayed from the tail.
+    pub records_replayed: u64,
+    /// Committed epochs re-executed from the tail.
+    pub epochs_replayed: u64,
+    /// Groups live after recovery.
+    pub groups_recovered: u64,
+}
+
+/// One durable state-changing command.
+#[derive(Clone, Debug, PartialEq)]
+pub(crate) enum WalRecord {
+    /// First record of every fresh log: the topology the commands were
+    /// issued under, so a log-only recovery (no snapshot yet) rejects a
+    /// mismatched builder instead of silently deriving different keys.
+    ConfigHeader { shards: u32, seed: u64 },
+    /// `create_group(gid, members)` succeeded.
+    CreateGroup { gid: GroupId, members: Vec<UserId> },
+    /// `submit(gid, event)` accepted the event into a queue.
+    Submit {
+        gid: GroupId,
+        event: MembershipEvent,
+    },
+    /// `detach_member(user)`.
+    Detach(UserId),
+    /// `attach_member(user)`.
+    Attach(UserId),
+    /// `set_battery(user, capacity_uj)`.
+    SetBattery { user: UserId, capacity_uj: f64 },
+    /// `set_loss(prob)`.
+    SetLoss(f64),
+    /// A `tick()` applied this epoch in full (appended before the report
+    /// is returned — the write-ahead commit point).
+    EpochCommit { epoch: u64 },
+}
+
+mod tag {
+    pub const CONFIG_HEADER: u8 = 8;
+    pub const CREATE: u8 = 1;
+    pub const SUBMIT: u8 = 2;
+    pub const DETACH: u8 = 3;
+    pub const ATTACH: u8 = 4;
+    pub const SET_BATTERY: u8 = 5;
+    pub const SET_LOSS: u8 = 6;
+    pub const EPOCH_COMMIT: u8 = 7;
+}
+
+mod event_tag {
+    pub const JOIN: u8 = 1;
+    pub const LEAVE: u8 = 2;
+    pub const MERGE_WITH: u8 = 3;
+}
+
+fn put_event(w: &mut Writer, event: &MembershipEvent) {
+    match *event {
+        MembershipEvent::Join(u) => {
+            w.put_u8(event_tag::JOIN).put_id(u);
+        }
+        MembershipEvent::Leave(u) => {
+            w.put_u8(event_tag::LEAVE).put_id(u);
+        }
+        MembershipEvent::MergeWith(g) => {
+            w.put_u8(event_tag::MERGE_WITH).put_u64(g);
+        }
+    }
+}
+
+fn get_event(r: &mut Reader<'_>) -> Result<MembershipEvent, DecodeError> {
+    match r.get_u8()? {
+        event_tag::JOIN => Ok(MembershipEvent::Join(r.get_id()?)),
+        event_tag::LEAVE => Ok(MembershipEvent::Leave(r.get_id()?)),
+        event_tag::MERGE_WITH => Ok(MembershipEvent::MergeWith(r.get_u64()?)),
+        _ => Err(DecodeError {
+            what: "unknown membership-event tag",
+        }),
+    }
+}
+
+impl WalRecord {
+    /// Encodes `[version][lsn][tag][fields…]`.
+    pub(crate) fn encode(&self, lsn: u64) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.put_u8(WAL_VERSION).put_u64(lsn);
+        match self {
+            WalRecord::ConfigHeader { shards, seed } => {
+                w.put_u8(tag::CONFIG_HEADER).put_u32(*shards).put_u64(*seed);
+            }
+            WalRecord::CreateGroup { gid, members } => {
+                w.put_u8(tag::CREATE)
+                    .put_u64(*gid)
+                    .put_u32(members.len() as u32);
+                for u in members {
+                    w.put_id(*u);
+                }
+            }
+            WalRecord::Submit { gid, event } => {
+                w.put_u8(tag::SUBMIT).put_u64(*gid);
+                put_event(&mut w, event);
+            }
+            WalRecord::Detach(u) => {
+                w.put_u8(tag::DETACH).put_id(*u);
+            }
+            WalRecord::Attach(u) => {
+                w.put_u8(tag::ATTACH).put_id(*u);
+            }
+            WalRecord::SetBattery { user, capacity_uj } => {
+                w.put_u8(tag::SET_BATTERY)
+                    .put_id(*user)
+                    .put_f64(*capacity_uj);
+            }
+            WalRecord::SetLoss(p) => {
+                w.put_u8(tag::SET_LOSS).put_f64(*p);
+            }
+            WalRecord::EpochCommit { epoch } => {
+                w.put_u8(tag::EPOCH_COMMIT).put_u64(*epoch);
+            }
+        }
+        w.finish().to_vec()
+    }
+
+    /// Decodes one record payload, returning `(lsn, record)`.
+    pub(crate) fn decode(payload: &[u8]) -> Result<(u64, WalRecord), DecodeError> {
+        let mut r = Reader::new(payload);
+        if r.get_u8()? != WAL_VERSION {
+            return Err(DecodeError {
+                what: "unsupported wal record version",
+            });
+        }
+        let lsn = r.get_u64()?;
+        let record = match r.get_u8()? {
+            tag::CONFIG_HEADER => WalRecord::ConfigHeader {
+                shards: r.get_u32()?,
+                seed: r.get_u64()?,
+            },
+            tag::CREATE => {
+                let gid = r.get_u64()?;
+                let n = r.get_u32()? as usize;
+                let mut members = Vec::with_capacity(n.min(1 << 16));
+                for _ in 0..n {
+                    members.push(r.get_id()?);
+                }
+                WalRecord::CreateGroup { gid, members }
+            }
+            tag::SUBMIT => WalRecord::Submit {
+                gid: r.get_u64()?,
+                event: get_event(&mut r)?,
+            },
+            tag::DETACH => WalRecord::Detach(r.get_id()?),
+            tag::ATTACH => WalRecord::Attach(r.get_id()?),
+            tag::SET_BATTERY => WalRecord::SetBattery {
+                user: r.get_id()?,
+                capacity_uj: r.get_f64()?,
+            },
+            tag::SET_LOSS => WalRecord::SetLoss(r.get_f64()?),
+            tag::EPOCH_COMMIT => WalRecord::EpochCommit {
+                epoch: r.get_u64()?,
+            },
+            _ => {
+                return Err(DecodeError {
+                    what: "unknown wal record tag",
+                })
+            }
+        };
+        r.expect_end()?;
+        Ok((lsn, record))
+    }
+}
+
+/// Everything a snapshot carries besides the groups themselves.
+pub(crate) struct SnapshotState<'a> {
+    /// Shard count and master seed of the service that cut the snapshot —
+    /// a recovery under a different topology would scatter groups across
+    /// different shards and derive different step seeds, so a mismatch is
+    /// typed corruption rather than silent divergence.
+    pub shards: u32,
+    pub seed: u64,
+    pub epoch: u64,
+    pub next_lsn: u64,
+    pub loss: f64,
+    pub detached: Vec<UserId>,
+    pub known_dead: Vec<UserId>,
+    /// `(user, capacity_uj, spent_uj)` battery cells, ascending by id.
+    pub batteries: Vec<(u32, f64, f64)>,
+    /// `(gid, state)` for every live group, ascending by id.
+    pub groups: Vec<(GroupId, &'a GroupState)>,
+    /// `(gid, queued events)` for every non-empty queue, ascending by id.
+    pub pending: Vec<(GroupId, &'a [MembershipEvent])>,
+}
+
+/// The owned counterpart [`decode_snapshot`] returns.
+pub(crate) struct RestoredState {
+    pub shards: u32,
+    pub seed: u64,
+    pub epoch: u64,
+    pub next_lsn: u64,
+    pub loss: f64,
+    pub detached: Vec<UserId>,
+    pub known_dead: Vec<UserId>,
+    pub batteries: Vec<(u32, f64, f64)>,
+    pub groups: Vec<(GroupId, GroupState)>,
+    pub pending: Vec<(GroupId, Vec<MembershipEvent>)>,
+}
+
+/// Serializes a snapshot, sealing each group's session state under
+/// `config`'s envelope. `seal_seed` drives the sealing IVs (deterministic
+/// per service seed + epoch, so snapshotting never perturbs protocol
+/// randomness).
+pub(crate) fn encode_snapshot(
+    state: &SnapshotState<'_>,
+    config: &StoreConfig,
+    seal_seed: u64,
+) -> Vec<u8> {
+    let envelope = config.envelope();
+    let mut rng = ChaChaRng::seed_from_u64(seal_seed ^ 0x5ea1_5ea1);
+    let mut w = Writer::new();
+    w.put_bytes(SNAPSHOT_MAGIC);
+    w.put_u32(state.shards).put_u64(state.seed);
+    w.put_u64(state.epoch)
+        .put_u64(state.next_lsn)
+        .put_f64(state.loss);
+    w.put_u32(state.detached.len() as u32);
+    for u in &state.detached {
+        w.put_id(*u);
+    }
+    w.put_u32(state.known_dead.len() as u32);
+    for u in &state.known_dead {
+        w.put_id(*u);
+    }
+    w.put_u32(state.batteries.len() as u32);
+    for &(user, capacity, spent) in &state.batteries {
+        w.put_u32(user).put_f64(capacity).put_f64(spent);
+    }
+    w.put_u32(state.groups.len() as u32);
+    for (gid, g) in &state.groups {
+        w.put_u64(*gid)
+            .put_u8(g.suite.code())
+            .put_u64(g.created_epoch)
+            .put_u64(g.rekeys);
+        let mut sw = Writer::new();
+        g.session.encode_state(&mut sw);
+        let sealed = envelope.seal(&mut rng, &sw.finish());
+        w.put_blob(&sealed);
+    }
+    w.put_u32(state.pending.len() as u32);
+    for (gid, events) in &state.pending {
+        w.put_u64(*gid).put_u32(events.len() as u32);
+        for ev in events.iter() {
+            put_event(&mut w, ev);
+        }
+    }
+    w.finish().to_vec()
+}
+
+fn corrupt(what: &'static str) -> StoreError {
+    StoreError::Corrupt { what, offset: 0 }
+}
+
+/// Deserializes and unseals a snapshot against the recovering service's
+/// PKG and envelope key. Any damage — truncation, tag drift, a wrong or
+/// stale seal key — is a typed [`StoreError::Corrupt`].
+pub(crate) fn decode_snapshot(
+    bytes: &[u8],
+    config: &StoreConfig,
+    pkg: &Pkg,
+) -> Result<RestoredState, StoreError> {
+    let envelope = config.envelope();
+    let mut r = Reader::new(bytes);
+    let de = |_: DecodeError| corrupt("snapshot truncated or malformed");
+    if r.get_bytes().map_err(de)? != SNAPSHOT_MAGIC {
+        return Err(corrupt("snapshot magic mismatch"));
+    }
+    let shards = r.get_u32().map_err(de)?;
+    let seed = r.get_u64().map_err(de)?;
+    let epoch = r.get_u64().map_err(de)?;
+    let next_lsn = r.get_u64().map_err(de)?;
+    let loss = r.get_f64().map_err(de)?;
+    if !(0.0..1.0).contains(&loss) {
+        return Err(corrupt("snapshot loss out of range"));
+    }
+    let mut detached = Vec::new();
+    for _ in 0..r.get_u32().map_err(de)? {
+        detached.push(r.get_id().map_err(de)?);
+    }
+    let mut known_dead = Vec::new();
+    for _ in 0..r.get_u32().map_err(de)? {
+        known_dead.push(r.get_id().map_err(de)?);
+    }
+    let mut batteries = Vec::new();
+    for _ in 0..r.get_u32().map_err(de)? {
+        batteries.push((
+            r.get_u32().map_err(de)?,
+            r.get_f64().map_err(de)?,
+            r.get_f64().map_err(de)?,
+        ));
+    }
+    let n_groups = r.get_u32().map_err(de)?;
+    let mut groups = Vec::with_capacity((n_groups as usize).min(1 << 16));
+    for _ in 0..n_groups {
+        let gid = r.get_u64().map_err(de)?;
+        let suite = SuiteId::from_code(r.get_u8().map_err(de)?)
+            .ok_or_else(|| corrupt("unknown suite code in snapshot"))?;
+        let created_epoch = r.get_u64().map_err(de)?;
+        let rekeys = r.get_u64().map_err(de)?;
+        let sealed = r.get_blob().map_err(de)?;
+        let plain = envelope.open(sealed).map_err(|_| {
+            corrupt("sealed session failed authentication (damaged or wrong seal key)")
+        })?;
+        let mut sr = Reader::new(&plain);
+        let session = GroupSession::decode_state(&mut sr, pkg.params())
+            .map_err(|_| corrupt("sealed session payload malformed"))?;
+        sr.expect_end()
+            .map_err(|_| corrupt("sealed session has trailing bytes"))?;
+        groups.push((
+            gid,
+            GroupState {
+                session,
+                suite,
+                created_epoch,
+                rekeys,
+            },
+        ));
+    }
+    let n_pending = r.get_u32().map_err(de)?;
+    let mut pending = Vec::with_capacity((n_pending as usize).min(1 << 16));
+    for _ in 0..n_pending {
+        let gid = r.get_u64().map_err(de)?;
+        let n = r.get_u32().map_err(de)?;
+        let mut events = Vec::with_capacity((n as usize).min(1 << 16));
+        for _ in 0..n {
+            events.push(get_event(&mut r).map_err(de)?);
+        }
+        pending.push((gid, events));
+    }
+    r.expect_end()
+        .map_err(|_| corrupt("snapshot has trailing bytes"))?;
+    Ok(RestoredState {
+        shards,
+        seed,
+        epoch,
+        next_lsn,
+        loss,
+        detached,
+        known_dead,
+        batteries,
+        groups,
+        pending,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wal_record_codec_roundtrips() {
+        let records = vec![
+            WalRecord::ConfigHeader {
+                shards: 8,
+                seed: 0xe96a,
+            },
+            WalRecord::CreateGroup {
+                gid: 7,
+                members: vec![UserId(0), UserId(1), UserId(9)],
+            },
+            WalRecord::Submit {
+                gid: 7,
+                event: MembershipEvent::Join(UserId(4)),
+            },
+            WalRecord::Submit {
+                gid: 7,
+                event: MembershipEvent::Leave(UserId(1)),
+            },
+            WalRecord::Submit {
+                gid: 7,
+                event: MembershipEvent::MergeWith(12),
+            },
+            WalRecord::Detach(UserId(3)),
+            WalRecord::Attach(UserId(3)),
+            WalRecord::SetBattery {
+                user: UserId(2),
+                capacity_uj: 1234.5,
+            },
+            WalRecord::SetLoss(0.01),
+            WalRecord::EpochCommit { epoch: 42 },
+        ];
+        for (i, rec) in records.iter().enumerate() {
+            let lsn = 100 + i as u64;
+            let (got_lsn, got) = WalRecord::decode(&rec.encode(lsn)).unwrap();
+            assert_eq!(got_lsn, lsn);
+            assert_eq!(&got, rec);
+        }
+    }
+
+    #[test]
+    fn wal_record_rejects_damage() {
+        let payload = WalRecord::EpochCommit { epoch: 9 }.encode(1);
+        for cut in 0..payload.len() {
+            assert!(WalRecord::decode(&payload[..cut]).is_err(), "cut {cut}");
+        }
+        let mut extra = payload.clone();
+        extra.push(0);
+        assert!(WalRecord::decode(&extra).is_err(), "trailing bytes");
+        let mut bad_tag = payload;
+        bad_tag[9] = 0xFF;
+        assert!(WalRecord::decode(&bad_tag).is_err(), "unknown tag");
+    }
+}

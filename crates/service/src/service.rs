@@ -10,9 +10,14 @@ use egka_core::{par, Faults, GroupSession, Pkg, Pump, RadioSpec, UserId};
 use egka_energy::OpCounts;
 use egka_medium::{BatteryBank, BatteryStatus, RadioProfile};
 
+use egka_store::{wal_records, StoreError};
+
 use crate::event::{GroupId, MembershipEvent, RejectReason, ServiceError};
 use crate::hashing::jump_hash;
 use crate::metrics::{add_per_suite, add_traffic, traffic_of, EpochReport, ServiceMetrics};
+use crate::persist::{
+    decode_snapshot, encode_snapshot, RecoveryReport, SnapshotState, StoreConfig, WalRecord,
+};
 use crate::plan::{CostModel, SuitePolicy};
 use crate::shard::{mix, EpochCtx, GroupState, RadioEpoch, Shard};
 
@@ -54,6 +59,7 @@ pub(crate) struct Config {
     pub radio: Option<RadioConfig>,
     pub policy: SuitePolicy,
     pub loss: f64,
+    pub store: Option<StoreConfig>,
 }
 
 impl Default for Config {
@@ -66,6 +72,7 @@ impl Default for Config {
             radio: None,
             policy: SuitePolicy::default(),
             loss: 0.0,
+            store: None,
         }
     }
 }
@@ -153,6 +160,17 @@ impl ServiceBuilder {
         self
     }
 
+    /// Attaches a durable [`egka_store::Store`]: every state-changing call
+    /// is write-ahead logged, every applied epoch appends its commit record
+    /// before the [`EpochReport`] is returned, and a compacting snapshot is
+    /// installed on the configured cadence. A service built *without* a
+    /// store behaves exactly as before — persistence is a pure observer of
+    /// the deterministic state machine.
+    pub fn store(mut self, store: StoreConfig) -> Self {
+        self.cfg.store = Some(store);
+        self
+    }
+
     /// Builds the service on `pkg`'s parameters.
     pub fn build(self, pkg: Arc<Pkg>) -> KeyService {
         let cfg = self.cfg;
@@ -171,43 +189,100 @@ impl ServiceBuilder {
             detached: BTreeSet::new(),
             bank,
             known_dead: BTreeSet::new(),
+            next_lsn: 1,
+            replaying: false,
         }
     }
-}
 
-/// Deprecated field-poking configuration, kept one release as a thin shim
-/// over [`ServiceBuilder`] (which also exposes the suite policy and
-/// initial loss — knobs this struct predates).
-#[deprecated(
-    note = "configure via KeyService::builder(); this shim maps 1:1 onto ServiceBuilder and will be removed next release"
-)]
-#[derive(Clone, Debug)]
-pub struct ServiceConfig {
-    /// Number of worker shards groups are hashed across.
-    pub shards: usize,
-    /// Master seed: with the same seed and the same call sequence, every
-    /// key and every counter the service produces is identical.
-    pub seed: u64,
-    /// Hardware model the coalescing planner optimizes for, and whether
-    /// Joins run in composable mode.
-    pub cost: CostModel,
-    /// How many times a loss-stalled rekey step is retried with fresh
-    /// randomness before its group is timed out for the epoch.
-    pub step_retries: u32,
-    /// When set, rekeys run over the virtual-time radio medium.
-    pub radio: Option<RadioConfig>,
-}
-
-#[allow(deprecated)]
-impl Default for ServiceConfig {
-    fn default() -> Self {
-        ServiceConfig {
-            shards: 8,
-            seed: 0xe96a,
-            cost: CostModel::default(),
-            step_retries: 2,
-            radio: None,
+    /// Rebuilds a service from this builder's [`ServiceBuilder::store`]:
+    /// restores the latest snapshot (unsealing session-key material), then
+    /// replays the WAL tail through the ordinary entry points — re-running
+    /// each committed epoch's rekeys deterministically — until the
+    /// reconstructed shards are bit-for-bit the pre-crash state.
+    ///
+    /// The builder must carry the **same configuration** (seed, shards,
+    /// policy, radio, cost) the original service ran with; the snapshot
+    /// pins seed and shard count and a mismatch is reported as
+    /// [`StoreError::Corrupt`] rather than silently diverging. Commands
+    /// whose commit never reached the log (a torn tail) are gone — exactly
+    /// the write-ahead contract: an unacknowledged epoch never happened.
+    ///
+    /// # Panics
+    /// Panics if no store was configured on the builder.
+    pub fn recover(self, pkg: Arc<Pkg>) -> Result<(KeyService, RecoveryReport), StoreError> {
+        let store = self
+            .cfg
+            .store
+            .clone()
+            .expect("ServiceBuilder::recover needs ServiceBuilder::store");
+        let mut svc = self.build(pkg);
+        let mut report = RecoveryReport::default();
+        svc.replaying = true;
+        if let Some(snap) = store.backend.snapshot_bytes()? {
+            let restored = decode_snapshot(&snap, &store, &svc.pkg)?;
+            if restored.shards != svc.config.shards as u32 || restored.seed != svc.config.seed {
+                svc.replaying = false;
+                return Err(StoreError::Corrupt {
+                    what: "snapshot was cut under a different service configuration",
+                    offset: 0,
+                });
+            }
+            svc.epoch = restored.epoch;
+            svc.loss = restored.loss;
+            svc.detached = restored.detached.into_iter().collect();
+            svc.known_dead = restored.known_dead.into_iter().collect();
+            match &svc.bank {
+                Some(bank) => {
+                    for (user, capacity_uj, spent_uj) in restored.batteries {
+                        bank.set_capacity(user, capacity_uj);
+                        let _ = bank.debit(user, spent_uj);
+                    }
+                }
+                // Dropping a drained battery ledger would resurrect dead
+                // motes and silently diverge from the acknowledged state —
+                // the same class of mismatch as a wrong seed.
+                None if !restored.batteries.is_empty() => {
+                    svc.replaying = false;
+                    return Err(StoreError::Corrupt {
+                        what:
+                            "snapshot carries a battery ledger but the builder has no radio config",
+                        offset: 0,
+                    });
+                }
+                None => {}
+            }
+            for (gid, state) in restored.groups {
+                let shard = svc.shard_of(gid);
+                svc.shards[shard].groups.insert(gid, state);
+            }
+            for (gid, events) in restored.pending {
+                let shard = svc.shard_of(gid);
+                svc.shards[shard].pending.insert(gid, events);
+            }
+            svc.metrics.groups_active = svc.groups_active() as u64;
+            svc.next_lsn = restored.next_lsn;
+            report.snapshot_epoch = Some(restored.epoch);
         }
+        let watermark = svc.next_lsn;
+        for payload in wal_records(store.backend.as_ref())? {
+            let (lsn, record) = WalRecord::decode(&payload).map_err(|_| StoreError::Corrupt {
+                what: "wal record malformed",
+                offset: 0,
+            })?;
+            if lsn < watermark {
+                // Tail that predates the snapshot (the file backend's
+                // crash window between snapshot install and truncation):
+                // already folded in, skip.
+                continue;
+            }
+            svc.apply_replayed(record)?;
+            svc.next_lsn = lsn + 1;
+            report.records_replayed += 1;
+        }
+        report.epochs_replayed = svc.metrics.epochs;
+        report.groups_recovered = svc.groups_active() as u64;
+        svc.replaying = false;
+        Ok((svc, report))
     }
 }
 
@@ -236,6 +311,12 @@ pub struct KeyService {
     bank: Option<BatteryBank>,
     /// Battery deaths already folded into `detached` / `nodes_died`.
     known_dead: BTreeSet<UserId>,
+    /// Log sequence number of the next WAL record (monotone across
+    /// compaction, so a stale post-snapshot tail replays exactly once).
+    next_lsn: u64,
+    /// True while `recover` replays the log: replayed commands must not be
+    /// re-appended, and ticks must not cut snapshots.
+    replaying: bool,
 }
 
 impl KeyService {
@@ -244,22 +325,95 @@ impl KeyService {
         ServiceBuilder::default()
     }
 
-    /// Creates an empty service on `pkg`'s parameters.
+    /// Appends one command to the write-ahead log, unless none is
+    /// configured or the command is itself being replayed by `recover`.
     ///
-    /// # Panics
-    /// Panics if `config.shards` is zero.
-    #[deprecated(note = "use KeyService::builder()")]
-    #[allow(deprecated)]
-    pub fn new(pkg: Arc<Pkg>, config: ServiceConfig) -> Self {
-        let mut builder = KeyService::builder()
-            .shards(config.shards)
-            .seed(config.seed)
-            .cost(config.cost)
-            .step_retries(config.step_retries);
-        if let Some(radio) = config.radio {
-            builder = builder.radio(radio);
+    /// Durability failures are **fatal by design** (fail-stop): a service
+    /// that acknowledged state it could not log would break the recovery
+    /// contract, so an append error panics rather than limping on.
+    fn log(&mut self, record: WalRecord) {
+        if self.replaying {
+            return;
         }
-        builder.build(pkg)
+        if self.config.store.is_none() {
+            return;
+        }
+        // The very first record of a fresh log is a config header, so that
+        // a log-only recovery (no snapshot cut yet) validates seed and
+        // shard count exactly like the snapshot path does.
+        if self.next_lsn == 1 && !matches!(record, WalRecord::ConfigHeader { .. }) {
+            self.log(WalRecord::ConfigHeader {
+                shards: self.config.shards as u32,
+                seed: self.config.seed,
+            });
+        }
+        let store = self.config.store.as_ref().expect("checked above");
+        let lsn = self.next_lsn;
+        self.next_lsn += 1;
+        store
+            .backend
+            .append(&record.encode(lsn))
+            .expect("write-ahead log append must not fail (fail-stop durability)");
+        self.metrics.wal_appends += 1;
+        self.metrics.store_syncs = store.backend.sync_count();
+    }
+
+    /// Re-applies one replayed WAL command through the ordinary entry
+    /// points. A command the live service would reject describes a history
+    /// that cannot have happened — typed corruption, not a panic.
+    fn apply_replayed(&mut self, record: WalRecord) -> Result<(), StoreError> {
+        let rejected = |what| StoreError::Corrupt { what, offset: 0 };
+        match record {
+            WalRecord::ConfigHeader { shards, seed } => {
+                if shards != self.config.shards as u32 || seed != self.config.seed {
+                    return Err(rejected(
+                        "wal was written under a different service configuration",
+                    ));
+                }
+                Ok(())
+            }
+            WalRecord::CreateGroup { gid, members } => self
+                .create_group(gid, &members)
+                .map_err(|_| rejected("replayed create_group was rejected")),
+            WalRecord::Submit { gid, event } => self
+                .submit(gid, event)
+                .map_err(|_| rejected("replayed submit was rejected")),
+            WalRecord::Detach(user) => {
+                self.detach_member(user);
+                Ok(())
+            }
+            WalRecord::Attach(user) => {
+                self.attach_member(user);
+                Ok(())
+            }
+            WalRecord::SetBattery { user, capacity_uj } => {
+                // set_battery is a silent no-op off-radio, but a *logged*
+                // battery install proves the original service had a bank —
+                // dropping the ledger here would diverge silently, exactly
+                // like the snapshot-path mismatch.
+                if self.bank.is_none() {
+                    return Err(rejected(
+                        "wal has a battery install but the builder has no radio config",
+                    ));
+                }
+                self.set_battery(user, capacity_uj);
+                Ok(())
+            }
+            WalRecord::SetLoss(prob) => {
+                if !(0.0..1.0).contains(&prob) {
+                    return Err(rejected("replayed loss probability out of range"));
+                }
+                self.set_loss(prob);
+                Ok(())
+            }
+            WalRecord::EpochCommit { epoch } => {
+                let _ = self.tick();
+                if self.epoch != epoch {
+                    return Err(rejected("replayed epoch commit out of sequence"));
+                }
+                Ok(())
+            }
+        }
     }
 
     /// The shard index `gid` hashes to — jump consistent hashing, so
@@ -279,6 +433,7 @@ impl KeyService {
     pub fn set_loss(&mut self, prob: f64) {
         assert!((0.0..1.0).contains(&prob), "loss probability out of range");
         self.loss = prob;
+        self.log(WalRecord::SetLoss(prob));
     }
 
     /// Marks `member` as powered off: any group whose next rekey needs it
@@ -286,6 +441,7 @@ impl KeyService {
     /// requeueing its events) while every other group proceeds.
     pub fn detach_member(&mut self, member: UserId) {
         self.detached.insert(member);
+        self.log(WalRecord::Detach(member));
     }
 
     /// Reverses [`KeyService::detach_member`]; requeued events apply at
@@ -295,6 +451,7 @@ impl KeyService {
         if !self.known_dead.contains(&member) {
             self.detached.remove(&member);
         }
+        self.log(WalRecord::Attach(member));
     }
 
     /// Installs `member`'s battery budget (microjoules), replacing the
@@ -302,6 +459,10 @@ impl KeyService {
     pub fn set_battery(&mut self, member: UserId, capacity_uj: f64) {
         if let Some(bank) = &self.bank {
             bank.set_capacity(member.0, capacity_uj);
+            self.log(WalRecord::SetBattery {
+                user: member,
+                capacity_uj,
+            });
         }
     }
 
@@ -387,6 +548,10 @@ impl KeyService {
         );
         self.metrics.groups_created += 1;
         self.metrics.groups_active += 1;
+        self.log(WalRecord::CreateGroup {
+            gid,
+            members: members.to_vec(),
+        });
         Ok(())
     }
 
@@ -401,8 +566,9 @@ impl KeyService {
             .pending
             .entry(gid)
             .or_default()
-            .push(event);
+            .push(event.clone());
         self.metrics.events_submitted += 1;
+        self.log(WalRecord::Submit { gid, event });
         Ok(())
     }
 
@@ -496,7 +662,87 @@ impl KeyService {
         merge_report.epoch = epoch;
         merge_report.fold_into(&mut self.metrics);
         self.metrics.groups_active = self.shards.iter().map(|s| s.groups.len() as u64).sum();
+        // Write-ahead commit: the epoch is durable before its report is
+        // visible to the caller, so an acknowledged rekey can always be
+        // reconstructed.
+        self.log(WalRecord::EpochCommit { epoch });
+        let snapshot_due = self.config.store.as_ref().is_some_and(|store| {
+            !self.replaying
+                && store.snapshot_every > 0
+                && epoch.is_multiple_of(store.snapshot_every)
+        });
+        if snapshot_due {
+            self.snapshot_now();
+        }
         merge_report
+    }
+
+    /// Serializes the full service state (sealing session-key material
+    /// under the store's envelope key) and installs it atomically,
+    /// truncating the WAL — the compaction point recovery replays from.
+    /// No-op without a configured store or during replay.
+    ///
+    /// # Panics
+    /// Like WAL appends, a failed snapshot install is fatal
+    /// (fail-stop durability).
+    pub fn snapshot_now(&mut self) {
+        if self.config.store.is_none() || self.replaying {
+            return;
+        }
+        // Cutting a snapshot consumes one LSN. The LSN stream is persisted
+        // (snapshot header) and strictly monotone across the service's
+        // whole durable life — compaction, recovery and all — so deriving
+        // the sealing seed from it guarantees the envelope never reuses a
+        // (key, IV) pair across two snapshot bodies, even for back-to-back
+        // cuts in one epoch or cuts either side of a crash. (A counter
+        // like `snapshots_written` would reset with the process.)
+        let seal_lsn = self.next_lsn;
+        self.next_lsn += 1;
+        let store = self.config.store.as_ref().expect("checked above");
+        let batteries = self
+            .bank
+            .as_ref()
+            .map(|b| {
+                b.snapshot()
+                    .into_iter()
+                    .map(|s| (s.user, s.capacity_uj, s.spent_uj))
+                    .collect()
+            })
+            .unwrap_or_default();
+        let mut groups: Vec<(GroupId, &GroupState)> = Vec::new();
+        let mut pending: Vec<(GroupId, &[MembershipEvent])> = Vec::new();
+        for shard in &self.shards {
+            for (&gid, state) in &shard.groups {
+                groups.push((gid, state));
+            }
+            for (&gid, queue) in &shard.pending {
+                if !queue.is_empty() {
+                    pending.push((gid, queue));
+                }
+            }
+        }
+        groups.sort_by_key(|(gid, _)| *gid);
+        pending.sort_by_key(|(gid, _)| *gid);
+        let state = SnapshotState {
+            shards: self.config.shards as u32,
+            seed: self.config.seed,
+            epoch: self.epoch,
+            next_lsn: self.next_lsn,
+            loss: self.loss,
+            detached: self.detached.iter().copied().collect(),
+            known_dead: self.known_dead.iter().copied().collect(),
+            batteries,
+            groups,
+            pending,
+        };
+        let seal_seed = mix(mix(self.config.seed, seal_lsn), 0x5ea1);
+        let bytes = encode_snapshot(&state, store, seal_seed);
+        store
+            .backend
+            .install_snapshot(&bytes)
+            .expect("snapshot install must not fail (fail-stop durability)");
+        self.metrics.snapshots_written += 1;
+        self.metrics.store_syncs = store.backend.sync_count();
     }
 
     /// Drains `MergeWith` events from every queue and executes them on the
@@ -823,22 +1069,6 @@ impl KeyService {
     /// The suite-selection policy this service was built with.
     pub fn suite_policy(&self) -> &SuitePolicy {
         &self.config.policy
-    }
-
-    /// The legacy configuration view, reconstructed from the resolved
-    /// internal settings. Kept for the same one release as
-    /// [`ServiceConfig`]; read individual settings through the dedicated
-    /// accessors instead.
-    #[deprecated(note = "read settings through the dedicated accessors")]
-    #[allow(deprecated)]
-    pub fn config(&self) -> ServiceConfig {
-        ServiceConfig {
-            shards: self.config.shards,
-            seed: self.config.seed,
-            cost: self.config.cost.clone(),
-            step_retries: self.config.step_retries,
-            radio: self.config.radio.clone(),
-        }
     }
 
     /// The suite `gid`'s group currently runs, if the group is live.

@@ -352,40 +352,6 @@ proptest! {
 }
 
 #[test]
-#[allow(deprecated)]
-fn deprecated_service_config_shim_matches_the_builder() {
-    // One release of back-compat: the old field-poking constructor must
-    // behave exactly like the builder it now delegates to.
-    let via_shim = {
-        let mut svc = KeyService::new(
-            Arc::clone(pkg()),
-            egka_service::ServiceConfig {
-                shards: 3,
-                seed: 0x51a,
-                ..egka_service::ServiceConfig::default()
-            },
-        );
-        svc.create_group(1, &(0..4).map(UserId).collect::<Vec<_>>())
-            .unwrap();
-        svc.submit(1, MembershipEvent::Join(UserId(9))).unwrap();
-        svc.tick();
-        svc.group_key(1).unwrap().clone()
-    };
-    let via_builder = {
-        let mut svc = KeyService::builder()
-            .shards(3)
-            .seed(0x51a)
-            .build(Arc::clone(pkg()));
-        svc.create_group(1, &(0..4).map(UserId).collect::<Vec<_>>())
-            .unwrap();
-        svc.submit(1, MembershipEvent::Join(UserId(9))).unwrap();
-        svc.tick();
-        svc.group_key(1).unwrap().clone()
-    };
-    assert_eq!(via_shim, via_builder);
-}
-
-#[test]
 fn suite_closed_forms_price_the_instrumented_service_runs() {
     // A Fixed(BdEcdsa) group creation's metered ops equal the closed-form
     // initial total the planner prices — the consistency the whole

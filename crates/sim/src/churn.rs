@@ -15,7 +15,8 @@ use egka_energy::{CpuModel, Transceiver};
 use egka_hash::ChaChaRng;
 use egka_medium::RadioProfile;
 use egka_service::{
-    GroupId, KeyService, MembershipEvent, RadioConfig, SuiteId, SuitePolicy, SuiteUsage,
+    GroupId, KeyService, MembershipEvent, RadioConfig, RecoveryReport, StoreConfig, SuiteId,
+    SuitePolicy, SuiteUsage,
 };
 use rand::{Rng, SeedableRng};
 
@@ -193,6 +194,12 @@ pub struct ChurnReport {
     /// energy per GKA suite. One entry under a `Fixed` policy; a
     /// `Cheapest` fleet splits across the crossover.
     pub suites: Vec<SuiteBreakdown>,
+    /// Set when the scenario killed and recovered the controller
+    /// mid-scenario ([`run_churn_with_crash`]): what the recovery
+    /// replayed. Counters above only cover the post-recovery service life
+    /// (observability resets with the process; the *keys* do not — the
+    /// fingerprint must equal the uninterrupted run's).
+    pub recovery: Option<CrashSummary>,
     /// Wall-clock of the whole scenario (setup + all ticks).
     pub wall: Duration,
     /// Events applied per wall-clock second.
@@ -200,6 +207,35 @@ pub struct ChurnReport {
     /// XOR-fold of every surviving group key — a determinism fingerprint:
     /// equal seeds must produce equal fingerprints.
     pub key_fingerprint: u64,
+}
+
+/// What a mid-scenario crash + recovery replayed
+/// ([`ChurnReport::recovery`]).
+#[derive(Clone, Copy, Debug)]
+pub struct CrashSummary {
+    /// Epoch (1-based) at which the controller was killed — after that
+    /// epoch's events were submitted (and WAL-logged), before its tick.
+    pub kill_epoch: u64,
+    /// Epoch the restored snapshot covered, if one had been cut.
+    pub snapshot_epoch: Option<u64>,
+    /// WAL tail records replayed through the service entry points.
+    pub records_replayed: u64,
+    /// Committed epochs re-executed from the tail.
+    pub epochs_replayed: u64,
+    /// Live groups after recovery.
+    pub groups_recovered: u64,
+}
+
+impl From<(u64, RecoveryReport)> for CrashSummary {
+    fn from((kill_epoch, r): (u64, RecoveryReport)) -> Self {
+        CrashSummary {
+            kill_epoch,
+            snapshot_epoch: r.snapshot_epoch,
+            records_replayed: r.records_replayed,
+            epochs_replayed: r.epochs_replayed,
+            groups_recovered: r.groups_recovered,
+        }
+    }
 }
 
 /// One suite's share of a churn scenario.
@@ -237,10 +273,43 @@ fn poisson<R: Rng + ?Sized>(rng: &mut R, lambda: f64) -> u64 {
 /// members and never shrink a group below three) — the service's rejection
 /// counters must therefore stay at zero, which the driver asserts.
 pub fn run_churn(config: &ChurnConfig) -> ChurnReport {
-    let started = Instant::now();
-    let mut rng = ChaChaRng::seed_from_u64(config.seed ^ 0xc4_52_4e);
-    let mut setup_rng = ChaChaRng::seed_from_u64(config.seed ^ 0x5e_70);
-    let pkg = Arc::new(Pkg::setup(&mut setup_rng, SecurityProfile::Toy));
+    run_churn_inner(config, None)
+}
+
+/// Runs the churn scenario against a durable service and **kills the
+/// controller mid-scenario**: at epoch `kill_epoch` (1-based), after that
+/// epoch's events are submitted (and therefore write-ahead logged) but
+/// before its tick, the service is dropped and a fresh one is recovered
+/// from `store` — snapshot + WAL tail — then the scenario finishes.
+///
+/// The clients (the driver's membership mirror and event stream) survive
+/// the controller crash, as they would in a real deployment. Determinism
+/// makes the acceptance check exact: the finished run's
+/// [`ChurnReport::key_fingerprint`] must be bit-for-bit equal to the
+/// uninterrupted [`run_churn`] of the same config.
+///
+/// # Panics
+/// Panics if `kill_epoch` is not within `1..=config.epochs`, or if
+/// recovery fails (a damaged store).
+pub fn run_churn_with_crash(
+    config: &ChurnConfig,
+    store: StoreConfig,
+    kill_epoch: u64,
+) -> ChurnReport {
+    assert!(
+        (1..=config.epochs).contains(&kill_epoch),
+        "kill_epoch {kill_epoch} outside 1..={}",
+        config.epochs
+    );
+    run_churn_inner(config, Some((store, kill_epoch)))
+}
+
+/// Assembles the service builder for `config` (shared by the initial
+/// build and the post-crash recovery, so the two cannot drift).
+fn assemble_builder(
+    config: &ChurnConfig,
+    store: Option<StoreConfig>,
+) -> egka_service::ServiceBuilder {
     let mut builder = KeyService::builder()
         .shards(config.shards)
         .seed(config.seed)
@@ -254,7 +323,19 @@ pub fn run_churn(config: &ChurnConfig) -> ChurnReport {
     if config.loss > 0.0 {
         builder = builder.loss(config.loss);
     }
-    let mut svc = builder.build(Arc::clone(&pkg));
+    if let Some(store) = store {
+        builder = builder.store(store);
+    }
+    builder
+}
+
+fn run_churn_inner(config: &ChurnConfig, crash: Option<(StoreConfig, u64)>) -> ChurnReport {
+    let started = Instant::now();
+    let mut rng = ChaChaRng::seed_from_u64(config.seed ^ 0xc4_52_4e);
+    let mut setup_rng = ChaChaRng::seed_from_u64(config.seed ^ 0x5e_70);
+    let pkg = Arc::new(Pkg::setup(&mut setup_rng, SecurityProfile::Toy));
+    let mut svc =
+        assemble_builder(config, crash.as_ref().map(|(s, _)| s.clone())).build(Arc::clone(&pkg));
     if let Some(radio) = &config.radio {
         for u in 0..radio.weak_nodes {
             svc.set_battery(UserId(u), radio.weak_battery_uj);
@@ -277,7 +358,8 @@ pub fn run_churn(config: &ChurnConfig) -> ChurnReport {
     let mut events_submitted = 0u64;
     let mut wall_latencies: Vec<Duration> = Vec::new();
     let mut evicted: std::collections::BTreeSet<UserId> = std::collections::BTreeSet::new();
-    for _ in 0..config.epochs {
+    let mut recovery: Option<CrashSummary> = None;
+    for epoch_idx in 0..config.epochs {
         let mut epoch_events = 0u64;
         // Evictions can legitimately dissolve a group (all its members
         // died or left); stop generating traffic for the tombstone.
@@ -323,6 +405,19 @@ pub fn run_churn(config: &ChurnConfig) -> ChurnReport {
             }
         }
         events_submitted += epoch_events;
+        // The crash point: this epoch's events are in the WAL but its
+        // commit is not — the controller dies and a new process recovers
+        // from snapshot + tail, mid-scenario.
+        if let Some((store, kill_epoch)) = &crash {
+            if *kill_epoch == epoch_idx + 1 {
+                drop(svc);
+                let (restored, rr) = assemble_builder(config, Some(store.clone()))
+                    .recover(Arc::clone(&pkg))
+                    .expect("recover the churn controller from its store");
+                svc = restored;
+                recovery = Some(CrashSummary::from((*kill_epoch, rr)));
+            }
+        }
         let report = svc.tick();
         assert_eq!(
             report.events_rejected, 0,
@@ -408,6 +503,7 @@ pub fn run_churn(config: &ChurnConfig) -> ChurnReport {
         wall_latency,
         radio,
         suites,
+        recovery,
         wall,
         throughput_eps: metrics.events_applied as f64 / wall.as_secs_f64().max(1e-9),
         key_fingerprint,
@@ -486,6 +582,22 @@ impl ChurnReport {
                 out,
                 "faults: {} group-epochs stalled   {} steps retransmitted",
                 self.groups_stalled, self.steps_retried
+            );
+        }
+        if let Some(rec) = &self.recovery {
+            let snap = match rec.snapshot_epoch {
+                Some(e) => format!("snapshot@{e}"),
+                None => "no snapshot".into(),
+            };
+            let _ = writeln!(
+                out,
+                "recovery: controller killed at epoch {} — {} + {} wal records \
+                 ({} epochs re-run), {} groups recovered",
+                rec.kill_epoch,
+                snap,
+                rec.records_replayed,
+                rec.epochs_replayed,
+                rec.groups_recovered
             );
         }
         let _ = writeln!(
@@ -685,6 +797,61 @@ mod tests {
         assert!(report.rekeys_executed > 0);
         let again = run_churn(&config);
         assert_eq!(report.key_fingerprint, again.key_fingerprint);
+    }
+
+    #[test]
+    fn crash_recovery_reproduces_the_uninterrupted_fingerprint_across_seeds() {
+        // The durability acceptance golden: kill the controller at a
+        // seed-derived epoch, recover from snapshot + WAL tail, finish the
+        // scenario — the churn fingerprint (XOR-fold of every surviving
+        // group key) must be bit-for-bit the uninterrupted run's, across
+        // ≥ 3 seeds and therefore ≥ 3 different kill points.
+        use egka_service::{MemStore, StoreConfig};
+        for seed in [0x5eed_u64, 0xfeed1, 0xabba7] {
+            let mut config = small();
+            config.seed = seed;
+            let baseline = run_churn(&config);
+            let kill_epoch = 1 + seed % config.epochs;
+            let store = StoreConfig::new(std::sync::Arc::new(MemStore::new())).snapshot_every(2);
+            let crashed = run_churn_with_crash(&config, store, kill_epoch);
+            assert_eq!(
+                crashed.key_fingerprint, baseline.key_fingerprint,
+                "seed {seed:#x}, killed at epoch {kill_epoch}"
+            );
+            assert_eq!(crashed.groups_active, baseline.groups_active);
+            let rec = crashed.recovery.expect("crash ran");
+            assert_eq!(rec.kill_epoch, kill_epoch);
+            assert_eq!(rec.groups_recovered, config.groups);
+            if kill_epoch >= 3 {
+                assert_eq!(rec.snapshot_epoch, Some(2), "compaction cadence is 2");
+            }
+            assert!(crashed.render().contains("recovery: controller killed"));
+        }
+    }
+
+    #[test]
+    fn crash_recovery_over_the_radio_restores_the_battery_ledger() {
+        // Crash-recover a *radio* scenario: the battery ledger (including
+        // the weak motes' partial drain, or their deaths) must restore
+        // exactly, or the survivors' remaining lifetime — and with it every
+        // subsequent death and eviction — would silently diverge from the
+        // uninterrupted run.
+        use egka_service::{MemStore, StoreConfig};
+        let mut config = small();
+        config.radio = Some(RadioChurnConfig::sensor_field());
+        let baseline = run_churn(&config);
+        let store = StoreConfig::new(std::sync::Arc::new(MemStore::new())).snapshot_every(1);
+        let crashed = run_churn_with_crash(&config, store, 2);
+        assert_eq!(crashed.key_fingerprint, baseline.key_fingerprint);
+        let (b, c) = (
+            baseline.radio.as_ref().expect("radio summary"),
+            crashed.radio.as_ref().expect("radio summary"),
+        );
+        assert_eq!(b.died, c.died, "battery deaths must replay identically");
+        // (Latency quantiles are observability, not state: the recovered
+        // process only retains the window since the snapshot — the *keys*
+        // and the *ledger* are what must not diverge.)
+        assert!(c.total_spent_uj > 0.0);
     }
 
     #[test]

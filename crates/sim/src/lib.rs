@@ -28,7 +28,10 @@ pub mod report;
 pub mod scenario;
 pub mod tables;
 
-pub use churn::{run_churn, ChurnConfig, ChurnReport, RadioChurnConfig, SuiteBreakdown};
+pub use churn::{
+    run_churn, run_churn_with_crash, ChurnConfig, ChurnReport, CrashSummary, RadioChurnConfig,
+    SuiteBreakdown,
+};
 pub use figure1::{check_shape, curve_letter, generate as generate_figure1, Figure1Config};
 pub use latency::{initial_gka_latency, node_latency, LatencyEstimate};
 pub use report::{Figure1, Figure1Point, RadioSummary, Source, Table5, Table5Row};

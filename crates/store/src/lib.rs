@@ -1,0 +1,171 @@
+//! # egka-store — durable group state
+//!
+//! The service layer's groups outlive any single controller process; this
+//! crate is where their state survives. It provides:
+//!
+//! * a **write-ahead log** ([`wal`]): append-only, length-prefixed and
+//!   CRC-checksummed records. The service appends every state-changing
+//!   command (group creations, membership events, power events) and an
+//!   *epoch commit* record after every applied rekey epoch;
+//! * **compacting snapshots**: periodically the service serializes all
+//!   per-shard group state (membership, suite, epoch, sealed session-key
+//!   material, battery ledger) and installs it atomically, truncating the
+//!   log — recovery then replays snapshot + tail instead of the whole
+//!   history;
+//! * the [`Store`] trait with two backends: [`MemStore`] (hermetic tests,
+//!   byte-identical to what the file backend persists) and [`FileStore`]
+//!   (a directory with `wal.log` + `snapshot.bin`, fsynced on append).
+//!
+//! The crate deals in *bytes*; what the records and snapshots mean is the
+//! service layer's business (`egka_service`). That split keeps the torture
+//! tests here independent of protocol state, and keeps this crate at the
+//! bottom of the dependency stack.
+//!
+//! ## Recovery contract
+//!
+//! * A **torn tail** (crash mid-append) is not an error: the unfinished
+//!   record never happened, and recovery sees a clean prefix.
+//! * **Corruption is typed**: any complete record or snapshot whose
+//!   checksum fails surfaces as [`StoreError::Corrupt`] — recovery either
+//!   reconstructs a strict prefix of committed epochs or reports the
+//!   damage; it never panics and never fabricates state.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod wal;
+
+mod file;
+mod mem;
+
+pub use file::FileStore;
+pub use mem::MemStore;
+pub use wal::{crc32, frame, scan, Tail};
+
+/// Typed persistence failures.
+#[derive(Debug)]
+pub enum StoreError {
+    /// The underlying medium failed (filesystem errors; the in-memory
+    /// backend never produces this).
+    Io(std::io::Error),
+    /// A checksummed structure (WAL record or snapshot) failed
+    /// verification — the bytes are damaged, not merely truncated.
+    Corrupt {
+        /// What failed to verify.
+        what: &'static str,
+        /// Byte offset of the damaged structure within its stream.
+        offset: u64,
+    },
+}
+
+impl core::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "store io: {e}"),
+            StoreError::Corrupt { what, offset } => {
+                write!(f, "store corrupt at byte {offset}: {what}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+/// Durable backing for one service's WAL + snapshot.
+///
+/// Implementations are internally synchronized (`&self` methods): the
+/// service holds the store behind an `Arc` and appends from its
+/// coordinator thread, while tooling may read concurrently.
+pub trait Store: Send + Sync {
+    /// Appends one record (framing it) and makes it durable before
+    /// returning — the write-ahead guarantee.
+    fn append(&self, payload: &[u8]) -> Result<(), StoreError>;
+
+    /// The raw WAL byte stream, exactly as persisted (framing included).
+    fn wal_bytes(&self) -> Result<Vec<u8>, StoreError>;
+
+    /// Atomically replaces the snapshot with `snapshot` (framed +
+    /// checksummed by the implementation) and truncates the WAL — the
+    /// compaction point. Durable before returning.
+    fn install_snapshot(&self, snapshot: &[u8]) -> Result<(), StoreError>;
+
+    /// The last installed snapshot's payload, if any, checksum-verified.
+    fn snapshot_bytes(&self) -> Result<Option<Vec<u8>>, StoreError>;
+
+    /// How many durability barriers (fsyncs, or their in-memory
+    /// equivalent) this store has performed — surfaced in service metrics.
+    fn sync_count(&self) -> u64;
+}
+
+/// Decodes a store's full WAL into complete record payloads (owned), using
+/// the [`wal::scan`] prefix/corrupt contract.
+pub fn wal_records(store: &dyn Store) -> Result<Vec<Vec<u8>>, StoreError> {
+    let bytes = store.wal_bytes()?;
+    let (records, _tail) = wal::scan(&bytes)?;
+    Ok(records.into_iter().map(<[u8]>::to_vec).collect())
+}
+
+/// Verifies and unwraps a persisted snapshot (exactly one [`wal::frame`]).
+///
+/// Unlike the log, a snapshot has no useful "clean prefix": it is all or
+/// nothing, so a truncated or damaged snapshot is [`StoreError::Corrupt`].
+pub(crate) fn unframe_snapshot(bytes: &[u8]) -> Result<Vec<u8>, StoreError> {
+    let (records, tail) = wal::scan(bytes)?;
+    match (records.as_slice(), tail) {
+        ([payload], Tail::Clean) => Ok(payload.to_vec()),
+        _ => Err(StoreError::Corrupt {
+            what: "snapshot is not exactly one intact frame",
+            offset: 0,
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exercise(store: &dyn Store) {
+        store.append(b"alpha").unwrap();
+        store.append(b"beta").unwrap();
+        assert_eq!(
+            wal_records(store).unwrap(),
+            vec![b"alpha".to_vec(), b"beta".to_vec()]
+        );
+        assert!(store.snapshot_bytes().unwrap().is_none());
+
+        store.install_snapshot(b"state@2").unwrap();
+        assert_eq!(store.snapshot_bytes().unwrap().unwrap(), b"state@2");
+        assert!(
+            wal_records(store).unwrap().is_empty(),
+            "compaction truncates"
+        );
+
+        store.append(b"gamma").unwrap();
+        assert_eq!(wal_records(store).unwrap(), vec![b"gamma".to_vec()]);
+        assert_eq!(store.snapshot_bytes().unwrap().unwrap(), b"state@2");
+        assert!(store.sync_count() >= 4);
+    }
+
+    #[test]
+    fn mem_store_contract() {
+        exercise(&MemStore::new());
+    }
+
+    #[test]
+    fn file_store_contract() {
+        let dir = std::env::temp_dir().join(format!("egka-store-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        exercise(&FileStore::open(&dir).unwrap());
+        // Reopening sees the same durable state.
+        let reopened = FileStore::open(&dir).unwrap();
+        assert_eq!(wal_records(&reopened).unwrap(), vec![b"gamma".to_vec()]);
+        assert_eq!(reopened.snapshot_bytes().unwrap().unwrap(), b"state@2");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

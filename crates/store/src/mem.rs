@@ -1,0 +1,93 @@
+//! The in-memory backend: hermetic tests, byte-identical persistence.
+
+use parking_lot::Mutex;
+
+use crate::wal::frame;
+use crate::{Store, StoreError};
+
+#[derive(Debug, Default)]
+struct MemState {
+    wal: Vec<u8>,
+    snapshot: Option<Vec<u8>>,
+    syncs: u64,
+}
+
+/// A [`Store`] that lives in memory.
+///
+/// It persists the *same bytes* a [`crate::FileStore`] would write to
+/// disk, so torture tests (truncate the log at an arbitrary byte, flip a
+/// bit) exercise exactly the framing a crash would tear — without touching
+/// the filesystem. Cloning shares the underlying state, the way two
+/// openings of one directory would.
+#[derive(Clone, Debug, Default)]
+pub struct MemStore {
+    inner: std::sync::Arc<Mutex<MemState>>,
+}
+
+impl MemStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        MemStore::default()
+    }
+
+    /// A store pre-loaded with raw WAL bytes and an optional raw snapshot
+    /// *payload* — the torture-test constructor: hand it a damaged byte
+    /// stream and watch recovery cope.
+    pub fn with_raw(wal: Vec<u8>, snapshot: Option<Vec<u8>>) -> Self {
+        MemStore {
+            inner: std::sync::Arc::new(Mutex::new(MemState {
+                wal,
+                snapshot: snapshot.map(|payload| frame(&payload)),
+                syncs: 0,
+            })),
+        }
+    }
+
+    /// The raw snapshot bytes as persisted (framing included), for tests
+    /// that want to damage them.
+    pub fn raw_snapshot(&self) -> Option<Vec<u8>> {
+        self.inner.lock().snapshot.clone()
+    }
+
+    /// Replaces the persisted bytes wholesale (framing and all) — the
+    /// other half of the torture-test API.
+    pub fn set_raw(&self, wal: Vec<u8>, framed_snapshot: Option<Vec<u8>>) {
+        let mut inner = self.inner.lock();
+        inner.wal = wal;
+        inner.snapshot = framed_snapshot;
+    }
+}
+
+impl Store for MemStore {
+    fn append(&self, payload: &[u8]) -> Result<(), StoreError> {
+        let mut inner = self.inner.lock();
+        inner.wal.extend_from_slice(&frame(payload));
+        inner.syncs += 1;
+        Ok(())
+    }
+
+    fn wal_bytes(&self) -> Result<Vec<u8>, StoreError> {
+        Ok(self.inner.lock().wal.clone())
+    }
+
+    fn install_snapshot(&self, snapshot: &[u8]) -> Result<(), StoreError> {
+        let mut inner = self.inner.lock();
+        inner.snapshot = Some(frame(snapshot));
+        inner.wal.clear();
+        inner.syncs += 1;
+        Ok(())
+    }
+
+    fn snapshot_bytes(&self) -> Result<Option<Vec<u8>>, StoreError> {
+        let inner = self.inner.lock();
+        inner
+            .snapshot
+            .as_deref()
+            .map(crate::unframe_snapshot)
+            .transpose()
+    }
+
+    fn sync_count(&self) -> u64 {
+        self.inner.lock().syncs
+    }
+}

@@ -59,7 +59,8 @@
 //! | [`energy`] | Tables 2/3 cost models, meters, Tables 1/4/5 closed forms |
 //! | [`medium`] | virtual-time radio: link delay, airtime contention, batteries |
 //! | [`core`] | the five GKA protocols + Join/Leave/Merge/Partition |
-//! | [`service`] | sharded multi-group key management, epoch-batched rekeying |
+//! | [`store`] | durable group state: checksummed WAL + compacting snapshots |
+//! | [`service`] | sharded multi-group key management, epoch-batched rekeying, crash recovery |
 //! | [`sim`] | Figure 1 and Table 4/5 harnesses, churn workloads, reports |
 
 #![forbid(unsafe_code)]
@@ -75,6 +76,7 @@ pub use egka_net as net;
 pub use egka_service as service;
 pub use egka_sig as sig;
 pub use egka_sim as sim;
+pub use egka_store as store;
 pub use egka_symmetric as symmetric;
 
 /// The most common imports for working with the reproduction.
@@ -91,8 +93,8 @@ pub mod prelude {
     pub use egka_hash::ChaChaRng;
     pub use egka_medium::{BatteryBank, RadioProfile};
     pub use egka_service::{
-        EpochReport, GroupId, KeyService, MembershipEvent, ServiceBuilder, ServiceMetrics,
-        SuitePolicy,
+        EpochReport, FileStore, GroupId, KeyService, MemStore, MembershipEvent, RecoveryReport,
+        ServiceBuilder, ServiceMetrics, StoreConfig, SuitePolicy,
     };
     pub use egka_sim::{Figure1Config, Table5Config};
     pub use rand::SeedableRng;

@@ -90,13 +90,21 @@ fn main() {
 
     let baseline = load(&baseline_path);
     let fresh = load(&fresh_path);
+    const SCHEMAS: [&str; 2] = ["egka-service-churn/1", "egka-trace-churn/1"];
     for (doc, path) in [(&baseline, &baseline_path), (&fresh, &fresh_path)] {
         let schema = doc.get("schema").and_then(Json::as_str).unwrap_or("?");
-        assert_eq!(
-            schema, "egka-service-churn/1",
+        assert!(
+            SCHEMAS.contains(&schema),
             "{path}: unexpected schema {schema}"
         );
     }
+    // Comparing a trace artifact against a service artifact (or vice
+    // versa) silently gates the wrong numbers — require the same schema.
+    assert_eq!(
+        baseline.get("schema").and_then(Json::as_str),
+        fresh.get("schema").and_then(Json::as_str),
+        "baseline and fresh artifacts carry different schemas"
+    );
 
     let mut gate = Gate {
         max_regress,
@@ -110,6 +118,17 @@ fn main() {
         num(&baseline, &baseline_path, "wall_ms"),
         num(&fresh, &fresh_path, "wall_ms"),
     );
+    // The trace artifact also carries the same scenario's wall clock with
+    // tracing *disabled* — the traced-off overhead guard: a disabled
+    // tracer must stay a no-op, so this number obeys the ordinary wall
+    // gate (relative threshold + absolute noise floor), nothing tighter.
+    if baseline.get("wall_ms_untraced").is_some() {
+        gate.check_wall(
+            "wall_ms_untraced",
+            num(&baseline, &baseline_path, "wall_ms_untraced"),
+            num(&fresh, &fresh_path, "wall_ms_untraced"),
+        );
+    }
     gate.check_energy(
         "energy_mj",
         num(&baseline, &baseline_path, "energy_mj"),
@@ -154,16 +173,20 @@ fn main() {
         }
     }
 
-    // Determinism cross-check, informational: a fingerprint change with
+    // Determinism cross-checks, informational: a fingerprint change with
     // unchanged config means intended behavior drift — refresh baselines.
-    let base_fp = baseline.get("key_fingerprint").and_then(Json::as_str);
-    let fresh_fp = fresh.get("key_fingerprint").and_then(Json::as_str);
-    if let (Some(b), Some(f)) = (base_fp, fresh_fp) {
-        if b != f {
-            gate.notes.push(format!(
-                "key_fingerprint changed ({b} → {f}): behavior drift — \
-                 refresh the baseline if intended"
-            ));
+    // (`event_fingerprint` is the trace artifact's analogue: the
+    // (name, phase) → count shape of the recorded events.)
+    for key in ["key_fingerprint", "event_fingerprint"] {
+        let base_fp = baseline.get(key).and_then(Json::as_str);
+        let fresh_fp = fresh.get(key).and_then(Json::as_str);
+        if let (Some(b), Some(f)) = (base_fp, fresh_fp) {
+            if b != f {
+                gate.notes.push(format!(
+                    "{key} changed ({b} → {f}): behavior drift — \
+                     refresh the baseline if intended"
+                ));
+            }
         }
     }
 

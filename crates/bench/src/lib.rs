@@ -83,7 +83,10 @@ pub fn parse_suite_policy(value: &str) -> egka_service::SuitePolicy {
 /// Renders a churn report as a flat JSON object — the machine-readable
 /// artifact (`BENCH_service_churn.json`) that tracks the perf trajectory
 /// across PRs. Hand-rolled (no JSON dependency in this environment): every
-/// value is a number, a hex string, or a `{p50,p95,p99}` object.
+/// value is a number, a hex string, or a `{p50,p95,p99}` object — plus a
+/// nested `"metrics"` object carrying the service's *complete* counter
+/// set via [`egka_service::ServiceMetrics::to_json`] (the legacy flat
+/// keys stay, so committed baselines keep parsing).
 pub fn churn_report_json(report: &egka_sim::ChurnReport) -> String {
     fn quantiles_ms(q: Option<(f64, f64, f64)>) -> String {
         match q {
@@ -144,6 +147,7 @@ pub fn churn_report_json(report: &egka_sim::ChurnReport) -> String {
          \"latency_wall_ms\": {},\n  \
          \"latency_virtual_ms\": {},\n  \
          \"suites\": {{{}}},\n  \
+         \"metrics\": {},\n  \
          \"key_fingerprint\": \"{:016x}\"\n}}\n",
         report.groups,
         report.groups_active,
@@ -161,6 +165,7 @@ pub fn churn_report_json(report: &egka_sim::ChurnReport) -> String {
         quantiles_ms(wall_q),
         quantiles_ms(virtual_q),
         suites,
+        report.metrics.to_json(),
         report.key_fingerprint,
     )
 }
@@ -242,6 +247,8 @@ mod tests {
             "\"latency_virtual_ms\"",
             "\"p99\"",
             "\"key_fingerprint\"",
+            "\"metrics\"",
+            "\"wal_appends\"",
         ] {
             assert!(json.contains(key), "missing {key} in {json}");
         }

@@ -221,6 +221,13 @@ impl<S> Engine<S> {
         self.done.as_ref()
     }
 
+    /// Which script phase the machine is at — the protocol *round* index,
+    /// observed by the tracing pump hook. A finished machine reports its
+    /// final phase.
+    pub fn phase_index(&self) -> usize {
+        self.pc
+    }
+
     fn gather_from_stash(&mut self, kind: u16, count: usize) {
         let mut i = 0;
         while self.gathered.len() < count && i < self.stash.len() {
@@ -325,6 +332,11 @@ pub struct Faults {
     /// When set, the run's medium is a virtual-time radio instead of the
     /// instant fan-out channel.
     pub radio: Option<RadioSpec>,
+    /// Purely observational trace hook: when set, the execution reports
+    /// round transitions (and the radio reports airtime) into this shared
+    /// buffer. Never consulted by any fault or scheduling decision, so
+    /// attaching it cannot change a run's outcome.
+    pub trace: Option<egka_trace::StepTrace>,
 }
 
 impl Faults {
@@ -373,6 +385,12 @@ pub struct Execution<S> {
     machines: Vec<Engine<S>>,
     keys: Vec<Option<SessionKey>>,
     failed: Option<NetError>,
+    /// Observational trace hook (from [`Faults::trace`]); `last_round` and
+    /// `sweeps` drive round-transition detection and the off-radio
+    /// pseudo-clock.
+    trace: Option<egka_trace::StepTrace>,
+    last_round: Option<usize>,
+    sweeps: u64,
 }
 
 impl<S: Send + Metered> Execution<S> {
@@ -393,7 +411,11 @@ impl<S: Send + Metered> Execution<S> {
                 profile.loss = faults.loss;
             }
             let bank = spec.bank.clone().unwrap_or_default();
-            RadioMedium::with_bank(profile, spec.seed ^ faults.loss_seed, bank)
+            let radio = RadioMedium::with_bank(profile, spec.seed ^ faults.loss_seed, bank);
+            if let Some(trace) = &faults.trace {
+                radio.set_trace(trace.clone());
+            }
+            radio
         });
         let medium = match &radio {
             Some(r) => r.net().clone(),
@@ -427,6 +449,9 @@ impl<S: Send + Metered> Execution<S> {
             keys: vec![None; ids.len()],
             machines,
             failed: None,
+            trace: faults.trace.clone(),
+            last_round: None,
+            sweeps: 0,
         }
     }
 
@@ -600,6 +625,7 @@ impl<S: Send + Metered> Execution<S> {
         if self.is_done() {
             return Pump::Done;
         }
+        self.sweeps += 1;
         let events = match &self.radio {
             Some(radio) => self.reactor.poll_all_at(radio.now_ns()),
             None => self.reactor.poll_all(),
@@ -647,7 +673,11 @@ impl<S: Send + Metered> Execution<S> {
                 }
             }
         }
+        self.trace_rounds();
         if self.is_done() {
+            if let Some(trace) = &self.trace {
+                trace.finish_rounds(self.trace_rel_ns());
+            }
             Pump::Done
         } else if progressed {
             Pump::Progressed
@@ -656,15 +686,45 @@ impl<S: Send + Metered> Execution<S> {
         }
     }
 
+    /// The step-relative virtual clock the trace hook stamps events with:
+    /// the radio's clock when there is one, a pump-sweep pseudo-clock on
+    /// the instant medium (rounds still order correctly, they just have
+    /// no physical duration).
+    fn trace_rel_ns(&self) -> u64 {
+        match &self.radio {
+            Some(r) => r.now_ns(),
+            None => self.sweeps * egka_trace::SWEEP_NS,
+        }
+    }
+
+    /// Reports the execution's current round — the furthest phase index
+    /// any machine reached — whenever it changes (including `Restart`
+    /// resets, which re-open an earlier round).
+    fn trace_rounds(&mut self) {
+        let Some(trace) = &self.trace else {
+            return;
+        };
+        let round = self
+            .machines
+            .iter()
+            .map(Engine::phase_index)
+            .max()
+            .unwrap_or(0);
+        if self.last_round != Some(round) {
+            trace.round_transition(round as u32, self.trace_rel_ns());
+            self.last_round = Some(round);
+        }
+    }
+
     /// Like [`Execution::pump`] but fanning the per-node machine work
     /// across threads (`crate::par`) — the blocking `run()` wrappers use
     /// this to keep the big-sweep wall-clock of the lock-step drivers.
     pub fn pump_par(&mut self) -> Pump {
-        if self.radio.is_some() {
+        if self.radio.is_some() || self.trace.is_some() {
             // Parallel machine sweeps would enqueue sends in a
             // nondeterministic order, which on a radio becomes a
-            // nondeterministic channel schedule; virtual-time runs stay
-            // sequential.
+            // nondeterministic channel schedule — and under tracing a
+            // nondeterministic event stream; both stay sequential.
             return self.pump();
         }
         if let Some(e) = self.failed {

@@ -66,6 +66,10 @@ struct AirState {
     queue: BinaryHeap<Reverse<Delivery>>,
     /// Users whose battery died on this medium, in death order.
     newly_dead: Vec<u32>,
+    /// Observational trace hook: airtime spans, loss drops and battery
+    /// debits are reported here when attached. Never read back, so it
+    /// cannot perturb the schedule or the RNG stream.
+    trace: Option<egka_trace::StepTrace>,
 }
 
 impl AirState {
@@ -112,8 +116,15 @@ impl RadioMedium {
                 seq: 0,
                 queue: BinaryHeap::new(),
                 newly_dead: Vec::new(),
+                trace: None,
             }),
         }
+    }
+
+    /// Attaches an observational trace: subsequent transmissions report
+    /// airtime spans, drops, and battery debits into it.
+    pub fn set_trace(&self, trace: egka_trace::StepTrace) {
+        self.state.lock().trace = Some(trace);
     }
 
     /// The wrapped (deferred) packet medium — endpoints, partitions and
@@ -154,6 +165,7 @@ impl RadioMedium {
             return 0;
         }
         let mut st = self.state.lock();
+        let trace = st.trace.clone();
         let scheduled = txs.len();
         for tx in txs {
             let bits = tx.packet.nominal_bits;
@@ -164,12 +176,21 @@ impl RadioMedium {
                 // leaves the antenna, but the node is off from here on.
                 self.net.detach(tx.from);
                 st.newly_dead.push(user);
+                if let Some(t) = &trace {
+                    t.air_death(user, st.now_ns);
+                }
             }
             let start = st.now_ns.max(st.channel_free_ns);
             let end = start + self.profile.airtime_ns(bits);
             st.channel_free_ns = end;
+            if let Some(t) = &trace {
+                t.air_tx(bits, tx_uj, start, end);
+            }
             for &to in &tx.targets {
                 if self.profile.loss > 0.0 && st.unit() < self.profile.loss {
+                    if let Some(t) = &trace {
+                        t.air_drop(st.users[to as usize], end);
+                    }
                     continue;
                 }
                 let jitter_ns = if self.profile.delay.jitter_ms > 0.0 {
@@ -209,6 +230,7 @@ impl RadioMedium {
             let Reverse(d) = st.queue.pop().expect("peeked");
             due.push(d);
         }
+        let trace = st.trace.clone();
         for d in due {
             if self.net.is_detached(d.to) {
                 continue; // powered off since the packet went on the air
@@ -218,7 +240,13 @@ impl RadioMedium {
             if !self.bank.debit(user, rx_uj) {
                 self.net.detach(d.to);
                 st.newly_dead.push(user);
+                if let Some(t) = &trace {
+                    t.air_death(user, st.now_ns);
+                }
                 continue;
+            }
+            if let Some(t) = &trace {
+                t.air_rx(user, rx_uj, st.now_ns);
             }
             self.net.deliver_to(d.to, &d.packet);
         }
@@ -241,6 +269,9 @@ impl RadioMedium {
             if !self.net.is_detached(node) {
                 self.net.detach(node);
                 st.newly_dead.push(user);
+                if let Some(t) = &st.trace {
+                    t.air_death(user, st.now_ns);
+                }
             }
         }
         false

@@ -116,6 +116,99 @@ impl ServiceMetrics {
     pub fn virtual_latency_quantiles(&self) -> Option<(f64, f64, f64)> {
         quantiles3(&self.virtual_latencies_ms)
     }
+
+    /// Renders the full counter set as one flat JSON object, parseable by
+    /// `egka_bench::json` (numbers, nested objects, `null`) — the single
+    /// serialization the bench artifacts embed, instead of each binary
+    /// hand-picking fields.
+    ///
+    /// The exhaustive destructuring is deliberate: adding a field to
+    /// [`ServiceMetrics`] without exporting it here is a compile error,
+    /// not a silently stale artifact. Latencies are summarized as
+    /// `{p50,p95,p99}` quantiles plus the retained sample count; op
+    /// counts as their computational-op total (traffic is exported in
+    /// full, separately).
+    pub fn to_json(&self) -> String {
+        let ServiceMetrics {
+            groups_active,
+            groups_created,
+            groups_dissolved,
+            groups_merged_away,
+            events_submitted,
+            events_applied,
+            events_rejected,
+            events_cancelled,
+            rekeys_executed,
+            full_gka_runs,
+            rekeys_failed,
+            groups_stalled,
+            steps_retried,
+            epochs,
+            nodes_died,
+            virtual_latencies_ms,
+            energy_mj,
+            ops,
+            traffic,
+            per_suite,
+            wal_appends,
+            snapshots_written,
+            store_syncs,
+        } = self;
+        let latency = match quantiles3(virtual_latencies_ms) {
+            Some((p50, p95, p99)) => {
+                format!("{{\"p50\": {p50:.3}, \"p95\": {p95:.3}, \"p99\": {p99:.3}}}")
+            }
+            None => "null".to_string(),
+        };
+        let suites = per_suite
+            .iter()
+            .map(|(id, u)| {
+                format!(
+                    "\"{}\": {{\"rekeys\": {}, \"energy_mj\": {:.3}}}",
+                    id.key(),
+                    u.rekeys,
+                    u.energy_mj
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(", ");
+        let comp_ops: u64 = ops.comp.iter().sum();
+        format!(
+            "{{\"groups_active\": {groups_active}, \
+             \"groups_created\": {groups_created}, \
+             \"groups_dissolved\": {groups_dissolved}, \
+             \"groups_merged_away\": {groups_merged_away}, \
+             \"events_submitted\": {events_submitted}, \
+             \"events_applied\": {events_applied}, \
+             \"events_rejected\": {events_rejected}, \
+             \"events_cancelled\": {events_cancelled}, \
+             \"rekeys_executed\": {rekeys_executed}, \
+             \"full_gka_runs\": {full_gka_runs}, \
+             \"rekeys_failed\": {rekeys_failed}, \
+             \"groups_stalled\": {groups_stalled}, \
+             \"steps_retried\": {steps_retried}, \
+             \"epochs\": {epochs}, \
+             \"nodes_died\": {nodes_died}, \
+             \"energy_mj\": {energy_mj:.3}, \
+             \"comp_ops\": {comp_ops}, \
+             \"traffic\": {{\"tx_bits\": {}, \"rx_bits\": {}, \
+             \"tx_bits_actual\": {}, \"rx_bits_actual\": {}, \
+             \"msgs_tx\": {}, \"msgs_rx\": {}}}, \
+             \"latency_virtual_ms\": {latency}, \
+             \"latency_samples\": {}, \
+             \"per_suite\": {{{suites}}}, \
+             \"wal_appends\": {wal_appends}, \
+             \"snapshots_written\": {snapshots_written}, \
+             \"store_syncs\": {store_syncs}}}",
+            traffic.tx_bits,
+            traffic.rx_bits,
+            traffic.tx_bits_actual,
+            traffic.rx_bits_actual,
+            traffic.msgs_tx,
+            traffic.msgs_rx,
+            virtual_latencies_ms.len(),
+        )
+    }
 }
 
 /// How many per-rekey virtual latencies [`ServiceMetrics`] retains for
@@ -123,14 +216,23 @@ impl ServiceMetrics {
 pub const VIRTUAL_LATENCY_WINDOW: usize = 65_536;
 
 /// `(p50, p95, p99)` of a latency sample, `None` when empty.
+///
+/// Quantiles are **nearest-rank on the sorted sample**: `p_q` is the
+/// element at index `round((n-1) * q)`. The degenerate cases are explicit
+/// rather than falling out of the arithmetic: an empty sample has no
+/// quantiles (`None`, never `NaN`), and a single sample *is* all three of
+/// its quantiles.
 pub fn quantiles3(xs: &[f64]) -> Option<(f64, f64, f64)> {
-    if xs.is_empty() {
-        return None;
+    match xs {
+        [] => None,
+        [only] => Some((*only, *only, *only)),
+        _ => {
+            let mut sorted = xs.to_vec();
+            sorted.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+            let at = |q: f64| sorted[((sorted.len() - 1) as f64 * q).round() as usize];
+            Some((at(0.50), at(0.95), at(0.99)))
+        }
     }
-    let mut sorted = xs.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
-    let at = |q: f64| sorted[((sorted.len() - 1) as f64 * q).round() as usize];
-    Some((at(0.50), at(0.95), at(0.99)))
 }
 
 /// What one [`crate::KeyService::tick`] did.
@@ -261,5 +363,70 @@ pub(crate) fn traffic_of(counts: &OpCounts) -> TrafficStats {
         rx_bits_actual: counts.rx_bits_actual,
         msgs_tx: counts.msgs_tx,
         msgs_rx: counts.msgs_rx,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantiles_empty_is_none() {
+        assert_eq!(quantiles3(&[]), None);
+    }
+
+    #[test]
+    fn quantiles_single_sample_is_all_three() {
+        assert_eq!(quantiles3(&[7.25]), Some((7.25, 7.25, 7.25)));
+    }
+
+    #[test]
+    fn quantiles_two_samples() {
+        // round((2-1)*0.50) = 1, so p50 already lands on the larger
+        // sample; p95/p99 likewise.
+        assert_eq!(quantiles3(&[3.0, 1.0]), Some((3.0, 3.0, 3.0)));
+    }
+
+    #[test]
+    fn quantiles_pinned_on_1_to_100() {
+        // Nearest-rank on n=100: index round(99q) → p50 = sorted[50] = 51,
+        // p95 = sorted[94] = 95, p99 = sorted[98] = 99.
+        let xs: Vec<f64> = (1..=100).map(f64::from).collect();
+        assert_eq!(quantiles3(&xs), Some((51.0, 95.0, 99.0)));
+    }
+
+    #[test]
+    fn quantiles_sort_input() {
+        let mut xs: Vec<f64> = (1..=100).rev().map(f64::from).collect();
+        xs.swap(10, 60);
+        assert_eq!(quantiles3(&xs), Some((51.0, 95.0, 99.0)));
+    }
+
+    #[test]
+    fn metrics_json_is_parseable_and_complete() {
+        let mut m = ServiceMetrics {
+            groups_active: 3,
+            rekeys_executed: 9,
+            energy_mj: 1.5,
+            ..ServiceMetrics::default()
+        };
+        m.virtual_latencies_ms.push(2.0);
+        m.per_suite.insert(
+            SuiteId::Proposed,
+            SuiteUsage {
+                rekeys: 9,
+                energy_mj: 1.5,
+            },
+        );
+        let json = m.to_json();
+        assert!(json.contains("\"groups_active\": 3"));
+        assert!(json.contains("\"latency_virtual_ms\": {\"p50\": 2.000"));
+        assert!(json.contains("\"proposed\""));
+        // Balanced braces — the cheap structural sanity check available
+        // without a parser dependency (egka-bench's parser round-trips it
+        // in its own tests).
+        let opens = json.matches('{').count();
+        assert_eq!(opens, json.matches('}').count());
+        assert!(opens >= 4);
     }
 }

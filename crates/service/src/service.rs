@@ -10,7 +10,11 @@ use egka_core::{par, Faults, GroupSession, Pkg, Pump, RadioSpec, UserId};
 use egka_energy::OpCounts;
 use egka_medium::{BatteryBank, BatteryStatus, RadioProfile};
 
-use egka_store::{wal_records, StoreError};
+use egka_store::{wal_records, StoreError, TracedStore};
+use egka_trace::{
+    group_tid, Event, Payload, Phase, StepTrace, TraceConfig, Tracer, CONTROL_TID, COORD_PID,
+    EPOCH_NS, SWEEP_NS,
+};
 
 use crate::event::{GroupId, MembershipEvent, RejectReason, ServiceError};
 use crate::hashing::jump_hash;
@@ -60,6 +64,7 @@ pub(crate) struct Config {
     pub policy: SuitePolicy,
     pub loss: f64,
     pub store: Option<StoreConfig>,
+    pub trace: Tracer,
 }
 
 impl Default for Config {
@@ -73,6 +78,7 @@ impl Default for Config {
             policy: SuitePolicy::default(),
             loss: 0.0,
             store: None,
+            trace: Tracer::disabled(),
         }
     }
 }
@@ -171,9 +177,27 @@ impl ServiceBuilder {
         self
     }
 
+    /// Records structured trace events (and optional metrics) for every
+    /// epoch, plan, protocol step, round, retransmission, battery death
+    /// and WAL append, all on the **virtual clock** — so the export is
+    /// deterministic per seed. Instrumentation is purely observational:
+    /// it draws no randomness and changes no keys, counters or WAL bytes.
+    /// Without this call tracing is a no-op.
+    pub fn trace(mut self, trace: TraceConfig) -> Self {
+        self.cfg.trace = Tracer::from(trace);
+        self
+    }
+
     /// Builds the service on `pkg`'s parameters.
     pub fn build(self, pkg: Arc<Pkg>) -> KeyService {
-        let cfg = self.cfg;
+        let mut cfg = self.cfg;
+        // Under tracing, the durable backend reports its append /
+        // snapshot-install spans on the dedicated store lane.
+        if cfg.trace.is_enabled() {
+            if let Some(sc) = &mut cfg.store {
+                sc.backend = Arc::new(TracedStore::new(Arc::clone(&sc.backend), cfg.trace.clone()));
+            }
+        }
         let shards = (0..cfg.shards).map(|_| Shard::default()).collect();
         let bank = cfg
             .radio
@@ -191,6 +215,7 @@ impl ServiceBuilder {
             known_dead: BTreeSet::new(),
             next_lsn: 1,
             replaying: false,
+            coord_ns: 0,
         }
     }
 
@@ -275,6 +300,17 @@ impl ServiceBuilder {
                 // already folded in, skip.
                 continue;
             }
+            if svc.trace_on() {
+                let ts = svc.coord_ts();
+                svc.config.trace.emit(
+                    Event::new(Phase::Instant, ts, COORD_PID, CONTROL_TID, "wal.replay").with(
+                        Payload::Lsn {
+                            lsn,
+                            bytes: payload.len() as u64,
+                        },
+                    ),
+                );
+            }
             svc.apply_replayed(record)?;
             svc.next_lsn = lsn + 1;
             report.records_replayed += 1;
@@ -317,12 +353,28 @@ pub struct KeyService {
     /// True while `recover` replays the log: replayed commands must not be
     /// re-appended, and ticks must not cut snapshots.
     replaying: bool,
+    /// The coordinator's position on its trace lanes (virtual ns): jumps
+    /// to each epoch's slot and ticks one `SWEEP_NS` per coordinator-side
+    /// event between slots. Only advanced under tracing.
+    coord_ns: u64,
 }
 
 impl KeyService {
     /// Starts the fluent construction façade; see [`ServiceBuilder`].
     pub fn builder() -> ServiceBuilder {
         ServiceBuilder::default()
+    }
+
+    fn trace_on(&self) -> bool {
+        self.config.trace.is_enabled()
+    }
+
+    /// Advances the coordinator's lane clock by one sweep and returns it —
+    /// every coordinator-side event gets a fresh, strictly monotone
+    /// virtual timestamp.
+    fn coord_ts(&mut self) -> u64 {
+        self.coord_ns += SWEEP_NS;
+        self.coord_ns
     }
 
     /// Appends one command to the write-ahead log, unless none is
@@ -350,12 +402,27 @@ impl KeyService {
         let store = self.config.store.as_ref().expect("checked above");
         let lsn = self.next_lsn;
         self.next_lsn += 1;
+        let encoded = record.encode(lsn);
         store
             .backend
-            .append(&record.encode(lsn))
+            .append(&encoded)
             .expect("write-ahead log append must not fail (fail-stop durability)");
         self.metrics.wal_appends += 1;
         self.metrics.store_syncs = store.backend.sync_count();
+        if self.trace_on() {
+            let ts = self.coord_ts();
+            self.config.trace.emit(
+                Event::new(Phase::Instant, ts, COORD_PID, CONTROL_TID, "wal.append").with(
+                    Payload::Lsn {
+                        lsn,
+                        bytes: encoded.len() as u64,
+                    },
+                ),
+            );
+            if let Some(reg) = self.config.trace.registry() {
+                reg.add("wal_appends", 1);
+            }
+        }
     }
 
     /// Re-applies one replayed WAL command through the ordinary entry
@@ -511,7 +578,24 @@ impl KeyService {
             .policy
             .choose(&self.config.cost, members.len() as u64, 0);
         let seed = mix(mix(self.config.seed, gid), 0xc4ea7e);
-        let faults_for = |_seed: u64| Faults::none();
+        let strace = if self.trace_on() {
+            let ts = self.coord_ts();
+            self.config.trace.emit(
+                Event::new(Phase::Begin, ts, COORD_PID, group_tid(gid), "create").with(
+                    Payload::Plan {
+                        suite: suite_id.key(),
+                        steps: 1,
+                    },
+                ),
+            );
+            Some(StepTrace::new(COORD_PID, gid, ts))
+        } else {
+            None
+        };
+        let faults_for = |_seed: u64| Faults {
+            trace: strace.clone(),
+            ..Faults::none()
+        };
         let ctx = StepCtx {
             pkg: &self.pkg,
             seed,
@@ -537,6 +621,24 @@ impl KeyService {
         let usage = self.metrics.per_suite.entry(suite_id).or_default();
         usage.rekeys += 1;
         usage.energy_mj += created_mj;
+        if let Some(st) = strace {
+            st.close();
+            let end = st.end_ns();
+            self.config.trace.emit_all(st.drain());
+            self.config.trace.emit(
+                Event::new(Phase::End, end, COORD_PID, group_tid(gid), "create").with(
+                    Payload::Rekey {
+                        suite: suite_id.key(),
+                        rekeys: 1,
+                        mj: created_mj,
+                    },
+                ),
+            );
+            self.coord_ns = self.coord_ns.max(end);
+            if let Some(reg) = self.config.trace.registry() {
+                reg.add("groups_created", 1);
+            }
+        }
         self.shards[shard].groups.insert(
             gid,
             GroupState {
@@ -579,6 +681,20 @@ impl KeyService {
     pub fn tick(&mut self) -> EpochReport {
         self.epoch += 1;
         let epoch = self.epoch;
+        let trace_enabled = self.trace_on();
+        if trace_enabled {
+            // Each epoch gets a fixed slot on the virtual timeline; the
+            // coordinator's own events tick forward inside it.
+            self.coord_ns = epoch.saturating_mul(EPOCH_NS).max(self.coord_ns + SWEEP_NS);
+            self.config.trace.emit(
+                Event::new(Phase::Begin, self.coord_ns, COORD_PID, CONTROL_TID, "epoch").with(
+                    Payload::Epoch {
+                        epoch,
+                        groups: self.groups_active() as u64,
+                    },
+                ),
+            );
+        }
 
         let (mut merge_report, deferred_merges) = self.resolve_merges(epoch);
 
@@ -595,7 +711,7 @@ impl KeyService {
         let loss = self.loss;
         let step_retries = self.config.step_retries;
         let radio = self.radio_epoch();
-        par::par_for_each_mut(&mut self.shards, |_, shard| {
+        par::par_for_each_mut(&mut self.shards, |i, shard| {
             shard.run_epoch(&EpochCtx {
                 pkg: &pkg,
                 cost: &cost,
@@ -606,10 +722,20 @@ impl KeyService {
                 detached: &detached,
                 step_retries,
                 radio: radio.as_ref(),
+                pid: i as u32 + 1,
+                trace_enabled,
             });
         });
 
         for shard in &mut self.shards {
+            // Shards buffered their events locally during the parallel
+            // phase; draining them here, in shard order, keeps the global
+            // event stream deterministic.
+            if trace_enabled {
+                self.config
+                    .trace
+                    .emit_all(std::mem::take(&mut shard.scratch_trace));
+            }
             let scratch = std::mem::take(&mut shard.scratch);
             merge_report.groups_touched += scratch.groups_touched;
             merge_report.events_applied += scratch.events_applied;
@@ -635,12 +761,18 @@ impl KeyService {
         // — auto-detach it so the next epoch's planner fails fast instead
         // of burning the retransmission budget on a corpse. Evicting it
         // (a Leave) still works: leavers transmit nothing.
-        if let Some(bank) = &self.bank {
-            for user in bank.dead() {
-                let u = UserId(user);
-                if self.known_dead.insert(u) {
-                    self.detached.insert(u);
-                    merge_report.nodes_died += 1;
+        let drained = self.bank.as_ref().map(|b| b.dead()).unwrap_or_default();
+        for user in drained {
+            let u = UserId(user);
+            if self.known_dead.insert(u) {
+                self.detached.insert(u);
+                merge_report.nodes_died += 1;
+                if trace_enabled {
+                    let ts = self.coord_ts();
+                    self.config.trace.emit(
+                        Event::new(Phase::Instant, ts, COORD_PID, CONTROL_TID, "battery.death")
+                            .with(Payload::Death { user }),
+                    );
                 }
             }
         }
@@ -673,6 +805,28 @@ impl KeyService {
         });
         if snapshot_due {
             self.snapshot_now();
+        }
+        if trace_enabled {
+            if let Some(reg) = self.config.trace.registry() {
+                reg.add("epochs", 1);
+                reg.add("rekeys", merge_report.rekeys_executed);
+                reg.add("rekeys_failed", merge_report.rekeys_failed);
+                reg.add("steps_retried", merge_report.steps_retried);
+                reg.add("nodes_died", merge_report.nodes_died);
+                for ms in &merge_report.rekey_latencies_virtual_ms {
+                    reg.observe("rekey_latency_vms", *ms);
+                }
+                for (sid, usage) in &merge_report.per_suite {
+                    reg.observe(&format!("suite_energy_mj/{}", sid.key()), usage.energy_mj);
+                }
+            }
+            let ts = self.coord_ts();
+            self.config.trace.emit(
+                Event::new(Phase::End, ts, COORD_PID, CONTROL_TID, "epoch").with(Payload::Epoch {
+                    epoch,
+                    groups: self.metrics.groups_active,
+                }),
+            );
         }
         merge_report
     }
@@ -737,12 +891,30 @@ impl KeyService {
         };
         let seal_seed = mix(mix(self.config.seed, seal_lsn), 0x5ea1);
         let bytes = encode_snapshot(&state, store, seal_seed);
+        let snapshot_bytes = bytes.len() as u64;
         store
             .backend
             .install_snapshot(&bytes)
             .expect("snapshot install must not fail (fail-stop durability)");
         self.metrics.snapshots_written += 1;
         self.metrics.store_syncs = store.backend.sync_count();
+        if self.trace_on() {
+            let begin = self.coord_ts();
+            let end = self.coord_ts();
+            let lsn = Payload::Lsn {
+                lsn: seal_lsn,
+                bytes: snapshot_bytes,
+            };
+            self.config.trace.emit(
+                Event::new(Phase::Begin, begin, COORD_PID, CONTROL_TID, "snapshot").with(lsn),
+            );
+            self.config
+                .trace
+                .emit(Event::new(Phase::End, end, COORD_PID, CONTROL_TID, "snapshot").with(lsn));
+            if let Some(reg) = self.config.trace.registry() {
+                reg.add("snapshots_written", 1);
+            }
+        }
     }
 
     /// Drains `MergeWith` events from every queue and executes them on the
@@ -867,7 +1039,22 @@ impl KeyService {
                     let merged = (acc.n() + target_session.n()) as u64;
                     self.config.policy.choose(&self.config.cost, merged, 0)
                 };
-                match self.fold_one_merge(
+                let fold_trace = if self.trace_on() {
+                    let ts = self.coord_ts();
+                    self.config.trace.emit(
+                        Event::new(Phase::Begin, ts, COORD_PID, group_tid(host), "merge.fold")
+                            .with(Payload::Plan {
+                                suite: fold_suite.key(),
+                                steps: 1,
+                            }),
+                    );
+                    Some(StepTrace::new(COORD_PID, host, ts))
+                } else {
+                    None
+                };
+                let vms_before = virtual_ms;
+                let retried_before = report.steps_retried;
+                let folded = self.fold_one_merge(
                     fold_suite,
                     &acc,
                     &target_session,
@@ -875,7 +1062,27 @@ impl KeyService {
                     &mut report,
                     suite_ops.entry(fold_suite).or_default(),
                     &mut virtual_ms,
-                ) {
+                    fold_trace.as_ref(),
+                );
+                if let Some(st) = fold_trace {
+                    st.close();
+                    let end = st.end_ns();
+                    self.config.trace.emit_all(st.drain());
+                    self.config.trace.emit(
+                        Event::new(Phase::End, end, COORD_PID, group_tid(host), "merge.fold").with(
+                            Payload::Step {
+                                suite: fold_suite.key(),
+                                step: j as u32,
+                                retries: (report.steps_retried - retried_before) as u32,
+                                vms: virtual_ms - vms_before,
+                                bits: 0,
+                                mj: 0.0,
+                            },
+                        ),
+                    );
+                    self.coord_ns = self.coord_ns.max(end);
+                }
+                match folded {
                     Some(out) => {
                         let fold_ops = suite_ops.entry(fold_suite).or_default();
                         for r in &out.reports {
@@ -962,6 +1169,7 @@ impl KeyService {
         report: &mut EpochReport,
         fold_ops: &mut OpCounts,
         virtual_ms: &mut f64,
+        trace: Option<&StepTrace>,
     ) -> Option<SuiteOutcome> {
         let involves_detached = acc
             .member_ids()
@@ -986,6 +1194,7 @@ impl KeyService {
                     seed: mix(seed, 0xad10),
                     bank: self.bank.clone(),
                 }),
+                trace: trace.cloned(),
             };
             let ctx = StepCtx {
                 pkg: &self.pkg,

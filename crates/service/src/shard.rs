@@ -29,6 +29,8 @@ use egka_core::{GroupSession, Pkg, Pump, RadioSpec, UserId};
 use egka_energy::OpCounts;
 use egka_medium::{BatteryBank, RadioProfile};
 
+use egka_trace::{Event, Payload, Phase, StallCause, StepTrace, CONTROL_TID, EPOCH_NS, SWEEP_NS};
+
 use crate::event::{GroupId, MembershipEvent, RejectReason};
 use crate::metrics::{add_traffic, traffic_of, EpochReport};
 use crate::plan::{plan_group_suite, CostModel, RekeyPlan, RekeyStep, SuitePolicy};
@@ -77,6 +79,13 @@ pub(crate) struct EpochCtx<'a> {
     /// When set, every protocol step runs over a virtual-time radio
     /// instead of the instant medium.
     pub radio: Option<&'a RadioEpoch>,
+    /// This shard's trace pid lane (shard index + 1; the coordinator is
+    /// pid 0).
+    pub pid: u32,
+    /// Whether the service records traces — shards buffer events locally
+    /// and the coordinator drains the buffers in shard order, so the
+    /// recorded stream is deterministic despite the parallel fan-out.
+    pub trace_enabled: bool,
 }
 
 impl EpochCtx<'_> {
@@ -90,6 +99,7 @@ impl EpochCtx<'_> {
                 seed: mix(step_seed, 0xad10),
                 bank: Some(r.bank.clone()),
             }),
+            trace: None,
         }
     }
 
@@ -122,6 +132,12 @@ struct ActiveGroup {
     dissolved: bool,
     done: bool,
     failed: bool,
+    /// Shared buffer the in-flight step's executor and radio report into
+    /// (when tracing); drained after the step settles.
+    trace: Option<StepTrace>,
+    /// The group's position on its trace lane: where the next step span
+    /// begins.
+    lane_ns: u64,
 }
 
 /// A shard: groups + their pending event queues.
@@ -132,6 +148,9 @@ pub(crate) struct Shard {
     /// Scratch output of the last `run_epoch` (read by the coordinator
     /// after the parallel fan-out joins).
     pub scratch: EpochReport,
+    /// Trace events buffered during the last `run_epoch`, drained by the
+    /// coordinator in shard order after the join.
+    pub scratch_trace: Vec<Event>,
 }
 
 impl Shard {
@@ -148,6 +167,8 @@ impl Shard {
             epoch: ctx.epoch,
             ..EpochReport::default()
         };
+        let mut tr: Vec<Event> = Vec::new();
+        let slot = ctx.epoch * EPOCH_NS;
         let queues: Vec<(GroupId, Vec<MembershipEvent>)> = std::mem::take(&mut self.pending)
             .into_iter()
             .filter(|(_, q)| !q.is_empty())
@@ -171,8 +192,38 @@ impl Shard {
             if plan.steps.is_empty() {
                 // Nothing to execute (e.g. a cancelled join/leave pair):
                 // the plan's accounting commits immediately.
+                if ctx.trace_enabled {
+                    tr.push(
+                        Event::new(
+                            Phase::Instant,
+                            slot,
+                            ctx.pid,
+                            egka_trace::group_tid(gid),
+                            "plan.cancelled",
+                        )
+                        .with(Payload::Plan {
+                            suite: plan.suite.key(),
+                            steps: 0,
+                        }),
+                    );
+                }
                 fold_plan_accounting(&mut report, gid, &plan);
                 continue;
+            }
+            if ctx.trace_enabled {
+                tr.push(
+                    Event::new(
+                        Phase::Begin,
+                        slot,
+                        ctx.pid,
+                        egka_trace::group_tid(gid),
+                        "group.epoch",
+                    )
+                    .with(Payload::Plan {
+                        suite: plan.suite.key(),
+                        steps: plan.steps.len() as u32,
+                    }),
+                );
             }
             active.push(ActiveGroup {
                 gid,
@@ -190,19 +241,51 @@ impl Shard {
                 dissolved: false,
                 done: false,
                 failed: false,
+                trace: None,
+                lane_ns: slot,
             });
+        }
+
+        if ctx.trace_enabled {
+            tr.insert(
+                0,
+                Event::new(Phase::Begin, slot, ctx.pid, CONTROL_TID, "shard.epoch").with(
+                    Payload::Epoch {
+                        epoch: ctx.epoch,
+                        groups: active.len() as u64,
+                    },
+                ),
+            );
         }
 
         // ---- Interleave: one pump per unfinished group per sweep ----
         while active.iter().any(|g| !g.done) {
             for g in active.iter_mut().filter(|g| !g.done) {
-                self.advance_group(g, ctx, &mut report);
+                self.advance_group(g, ctx, &mut report, &mut tr);
             }
         }
 
         // ---- Commit ----
+        let mut lane_end = slot;
         for g in active {
             let step_energy_mj = ctx.cost.price_mj(&g.ops);
+            if ctx.trace_enabled {
+                lane_end = lane_end.max(g.lane_ns);
+                tr.push(
+                    Event::new(
+                        Phase::End,
+                        g.lane_ns,
+                        ctx.pid,
+                        egka_trace::group_tid(g.gid),
+                        "group.epoch",
+                    )
+                    .with(Payload::Rekey {
+                        suite: g.plan.suite.key(),
+                        rekeys: g.rekeys,
+                        mj: step_energy_mj,
+                    }),
+                );
+            }
             let usage = report.per_suite.entry(g.plan.suite).or_default();
             usage.energy_mj += step_energy_mj;
             if g.failed {
@@ -244,18 +327,45 @@ impl Shard {
                 }
             }
         }
+        if ctx.trace_enabled {
+            tr.push(
+                Event::new(Phase::End, lane_end, ctx.pid, CONTROL_TID, "shard.epoch").with(
+                    Payload::Epoch {
+                        epoch: ctx.epoch,
+                        groups: report.groups_touched,
+                    },
+                ),
+            );
+        }
         self.scratch = report;
+        self.scratch_trace = tr;
     }
 
     /// Gives `g` one scheduling quantum: materialize its current step's
     /// execution if needed, pump it, and handle completion / stall.
-    fn advance_group(&self, g: &mut ActiveGroup, ctx: &EpochCtx<'_>, report: &mut EpochReport) {
+    fn advance_group(
+        &self,
+        g: &mut ActiveGroup,
+        ctx: &EpochCtx<'_>,
+        report: &mut EpochReport,
+        tr: &mut Vec<Event>,
+    ) {
         let group_seed = mix(mix(ctx.service_seed, g.gid), ctx.epoch);
+        let lane = egka_trace::group_tid(g.gid);
 
         // Materialize the runner for the current step.
         if g.runner.is_none() {
             let step = &g.plan.steps[g.step_idx];
             if matches!(step, RekeyStep::Dissolve) {
+                if ctx.trace_enabled {
+                    tr.push(Event::new(
+                        Phase::Instant,
+                        g.lane_ns,
+                        ctx.pid,
+                        lane,
+                        "dissolve",
+                    ));
+                }
                 g.dissolved = true;
                 g.done = true;
                 return;
@@ -267,7 +377,33 @@ impl Shard {
                 // Fresh randomness per retransmission attempt.
                 mix(base_seed, 0x7e70 + u64::from(g.retries))
             };
-            g.runner = Some(build_step(ctx, g.plan.suite, &g.session, step, step_seed));
+            if ctx.trace_enabled {
+                if g.retries == 0 {
+                    // One span per plan step; retry attempts stay inside it
+                    // (their rounds and retry instants tell the story).
+                    tr.push(
+                        Event::new(Phase::Begin, g.lane_ns, ctx.pid, lane, step_name(step)).with(
+                            Payload::Step {
+                                suite: g.plan.suite.key(),
+                                step: g.step_idx as u32,
+                                retries: 0,
+                                vms: 0.0,
+                                bits: 0,
+                                mj: 0.0,
+                            },
+                        ),
+                    );
+                }
+                g.trace = Some(StepTrace::new(ctx.pid, g.gid, g.lane_ns));
+            }
+            g.runner = Some(build_step(
+                ctx,
+                g.plan.suite,
+                &g.session,
+                step,
+                step_seed,
+                g.trace.clone(),
+            ));
         }
 
         let runner = g.runner.as_mut().expect("materialized above");
@@ -275,11 +411,34 @@ impl Shard {
             Pump::Progressed => {}
             Pump::Done => {
                 let finished = g.runner.take().expect("pumped");
-                g.virtual_ms += finished.virtual_elapsed_ms();
+                let step_vms = finished.virtual_elapsed_ms();
+                g.virtual_ms += step_vms;
                 let out = finished.finish();
+                let mut sc = OpCounts::new();
                 for node in &out.reports {
-                    g.ops.merge(&node.counts);
+                    sc.merge(&node.counts);
                 }
+                if ctx.trace_enabled {
+                    drain_step_trace(g, tr);
+                    tr.push(
+                        Event::new(
+                            Phase::End,
+                            g.lane_ns,
+                            ctx.pid,
+                            lane,
+                            step_name(&g.plan.steps[g.step_idx]),
+                        )
+                        .with(Payload::Step {
+                            suite: g.plan.suite.key(),
+                            step: g.step_idx as u32,
+                            retries: g.retries,
+                            vms: step_vms,
+                            bits: sc.tx_bits,
+                            mj: ctx.cost.price_mj(&sc),
+                        }),
+                    );
+                }
+                g.ops.merge(&sc);
                 g.session = out.session;
                 g.rekeys += 1;
                 g.gka_runs += out.gka_runs;
@@ -298,17 +457,79 @@ impl Shard {
                 g.ops.merge(&aborted.partial_counts());
                 g.virtual_ms += aborted.virtual_elapsed_ms();
                 let detached_member = group_touches_detached(g, ctx);
+                if ctx.trace_enabled {
+                    drain_step_trace(g, tr);
+                    let cause = if !detached_member {
+                        StallCause::Loss
+                    } else if ctx.detached.is_empty() {
+                        StallCause::BatteryDead
+                    } else {
+                        StallCause::Detached
+                    };
+                    tr.push(
+                        Event::new(Phase::Instant, g.lane_ns, ctx.pid, lane, "stall")
+                            .with(Payload::Stall { cause }),
+                    );
+                }
                 if !detached_member && g.retries < ctx.step_retries {
                     g.retries += 1;
                     report.steps_retried += 1;
                     // Runner rebuilds with a salted seed next quantum.
+                    if ctx.trace_enabled {
+                        tr.push(
+                            Event::new(Phase::Instant, g.lane_ns, ctx.pid, lane, "retry")
+                                .with(Payload::Retry { attempt: g.retries }),
+                        );
+                    }
                 } else {
                     report.rekeys_failed += 1;
                     g.failed = true;
                     g.done = true;
+                    if ctx.trace_enabled {
+                        // Balance the step span even though it went nowhere.
+                        tr.push(
+                            Event::new(
+                                Phase::End,
+                                g.lane_ns,
+                                ctx.pid,
+                                lane,
+                                step_name(&g.plan.steps[g.step_idx]),
+                            )
+                            .with(Payload::Step {
+                                suite: g.plan.suite.key(),
+                                step: g.step_idx as u32,
+                                retries: g.retries,
+                                vms: g.virtual_ms,
+                                bits: 0,
+                                mj: 0.0,
+                            }),
+                        );
+                    }
                 }
             }
         }
+    }
+}
+
+/// Settles a step's shared trace buffer back into the shard's event
+/// stream: seals any dangling round span, advances the group's lane
+/// clock past everything the step emitted, and appends the events.
+fn drain_step_trace(g: &mut ActiveGroup, tr: &mut Vec<Event>) {
+    if let Some(st) = g.trace.take() {
+        st.close();
+        g.lane_ns = st.end_ns().max(g.lane_ns + SWEEP_NS);
+        tr.extend(st.drain());
+    }
+}
+
+/// Stable trace-span name for a plan step.
+fn step_name(step: &RekeyStep) -> &'static str {
+    match step {
+        RekeyStep::Partition { .. } => "step.partition",
+        RekeyStep::JoinOne { .. } => "step.join_one",
+        RekeyStep::MergeNewcomers { .. } => "step.merge_newcomers",
+        RekeyStep::FullRekey { .. } => "step.full_rekey",
+        RekeyStep::Dissolve => "step.dissolve",
     }
 }
 
@@ -338,8 +559,13 @@ fn build_step(
     session: &GroupSession,
     step: &RekeyStep,
     step_seed: u64,
+    trace: Option<StepTrace>,
 ) -> Box<dyn SuiteRun> {
-    let faults_for = |seed: u64| ctx.faults_for(seed);
+    let faults_for = move |seed: u64| {
+        let mut f = ctx.faults_for(seed);
+        f.trace = trace.clone();
+        f
+    };
     let step_ctx = StepCtx {
         pkg: ctx.pkg,
         seed: step_seed,

@@ -91,6 +91,13 @@ pub struct ChurnConfig {
     /// How groups pick their GKA suite (default: every group runs the
     /// proposed scheme — the legacy scenario, golden-pinned).
     pub suite_policy: SuitePolicy,
+    /// Record structured trace events (virtual-clock spans + instants)
+    /// into this sink while the scenario runs. `None` (the default) keeps
+    /// tracing a measured no-op. Instrumentation is purely observational,
+    /// so fingerprints and counters are identical either way — and, being
+    /// keyed to the virtual clock, the recorded events themselves are
+    /// deterministic per seed.
+    pub trace: Option<egka_trace::TraceConfig>,
 }
 
 impl Default for ChurnConfig {
@@ -106,6 +113,7 @@ impl Default for ChurnConfig {
             loss: 0.0,
             radio: None,
             suite_policy: SuitePolicy::default(),
+            trace: None,
         }
     }
 }
@@ -207,6 +215,11 @@ pub struct ChurnReport {
     /// XOR-fold of every surviving group key — a determinism fingerprint:
     /// equal seeds must produce equal fingerprints.
     pub key_fingerprint: u64,
+    /// The service's full cumulative counter set at scenario end — the
+    /// bench artifacts embed it via
+    /// [`egka_service::ServiceMetrics::to_json`] instead of hand-picking
+    /// fields.
+    pub metrics: egka_service::ServiceMetrics,
 }
 
 /// What a mid-scenario crash + recovery replayed
@@ -325,6 +338,9 @@ fn assemble_builder(
     }
     if let Some(store) = store {
         builder = builder.store(store);
+    }
+    if let Some(trace) = &config.trace {
+        builder = builder.trace(trace.clone());
     }
     builder
 }
@@ -507,6 +523,7 @@ fn run_churn_inner(config: &ChurnConfig, crash: Option<(StoreConfig, u64)>) -> C
         wall,
         throughput_eps: metrics.events_applied as f64 / wall.as_secs_f64().max(1e-9),
         key_fingerprint,
+        metrics,
     }
 }
 
@@ -625,6 +642,7 @@ mod tests {
             loss: 0.0,
             radio: None,
             suite_policy: SuitePolicy::default(),
+            trace: None,
         }
     }
 
@@ -852,6 +870,126 @@ mod tests {
         // process only retains the window since the snapshot — the *keys*
         // and the *ledger* are what must not diverge.)
         assert!(c.total_spent_uj > 0.0);
+    }
+
+    fn traced(mut config: ChurnConfig) -> (ChurnConfig, std::sync::Arc<egka_trace::RingSink>) {
+        let (tc, ring) = egka_trace::TraceConfig::ring(1 << 20);
+        config.trace = Some(tc);
+        (config, ring)
+    }
+
+    #[test]
+    fn tracing_is_observationally_transparent() {
+        // Instrumentation draws no randomness and perturbs no seeds: a
+        // traced run must reproduce the untraced golden bit for bit.
+        let (config, ring) = traced(small());
+        let report = run_churn(&config);
+        assert_eq!(report.key_fingerprint, 0x6e14_e41f_677b_0a8b);
+        assert_eq!(report.events_applied, 55);
+        assert_eq!(report.rekeys_executed, 36);
+        assert!((report.energy_mj - 41_399.819_52).abs() < 1e-3);
+        assert_eq!(
+            egka_trace::TraceSink::dropped(&*ring),
+            0,
+            "ring must not saturate on small()"
+        );
+        egka_trace::export::validate(&ring.events()).expect("spans balance");
+    }
+
+    #[test]
+    fn trace_export_is_byte_identical_across_runs() {
+        // Same seed + same config ⇒ the *recorded events themselves* are
+        // identical, down to the exported Chrome-trace bytes.
+        let (config, ring_a) = traced(small());
+        run_churn(&config);
+        let (config, ring_b) = traced(small());
+        run_churn(&config);
+        let a = egka_trace::export::chrome_trace_json(&ring_a.events());
+        let b = egka_trace::export::chrome_trace_json(&ring_b.events());
+        assert!(
+            !a.is_empty() && a == b,
+            "chrome export must be bytewise stable"
+        );
+        assert_eq!(
+            egka_trace::export::event_fingerprint(&ring_a.events()),
+            egka_trace::export::event_fingerprint(&ring_b.events()),
+        );
+        // A different seed records a different history.
+        let mut other = small();
+        other.seed ^= 1;
+        let (other, ring_c) = traced(other);
+        run_churn(&other);
+        assert_ne!(
+            egka_trace::export::event_fingerprint(&ring_a.events()),
+            egka_trace::export::event_fingerprint(&ring_c.events()),
+        );
+    }
+
+    #[test]
+    fn trace_event_count_fingerprint_golden() {
+        // Pins the (name, phase) → count shape of the small() trace across
+        // seeds. Any change to what gets instrumented (or to how often the
+        // scheduler takes each path) shows up here as a diff to explain —
+        // the trace-level analogue of the key-fingerprint golden.
+        for (seed, expected) in [
+            (0x5eed_u64, 0x0b39_6cea_20c7_6d54_u64),
+            (0xfeed1, 0x15b9_1649_ede0_6d86),
+            (0xabba7, 0x6c01_5f80_813a_a401),
+        ] {
+            let mut config = small();
+            config.seed = seed;
+            let (config, ring) = traced(config);
+            run_churn(&config);
+            let events = ring.events();
+            egka_trace::export::validate(&events).expect("spans balance");
+            assert_eq!(
+                egka_trace::export::event_fingerprint(&events),
+                expected,
+                "trace fingerprint drifted for seed {seed:#x}"
+            );
+        }
+    }
+
+    #[test]
+    fn crash_recovery_trace_replays_the_appended_lsns() {
+        // The recovered controller's `wal.replay` instants must carry
+        // exactly the LSNs the pre-crash controller's `wal.append`
+        // instants recorded for the replayed tail — the trace-level proof
+        // that recovery re-ran the same durable history, not a lookalike.
+        use egka_service::{MemStore, StoreConfig};
+        use egka_trace::Payload;
+        let config = small();
+        let kill_epoch = 2;
+        let store = StoreConfig::new(std::sync::Arc::new(MemStore::new()));
+        let (config, ring) = traced(config);
+        let crashed = run_churn_with_crash(&config, store, kill_epoch);
+        assert!(crashed.recovery.is_some());
+        let events = ring.events();
+        let lsns_of = |name: &str| -> Vec<u64> {
+            events
+                .iter()
+                .filter(|e| e.name == name)
+                .filter_map(|e| match e.payload {
+                    Payload::Lsn { lsn, .. } => Some(lsn),
+                    _ => None,
+                })
+                .collect()
+        };
+        let appended = lsns_of("wal.append");
+        let replayed = lsns_of("wal.replay");
+        assert!(!replayed.is_empty(), "recovery must replay a WAL tail");
+        // No snapshot was cut, so recovery replays the whole log: the
+        // replayed LSN sequence is exactly the pre-crash appended prefix.
+        let pre_crash: Vec<u64> = appended
+            .iter()
+            .copied()
+            .take_while(|&l| l <= *replayed.last().unwrap())
+            .collect();
+        assert_eq!(replayed, pre_crash, "replay must walk the appended LSNs");
+        // And the store lane saw the recovered service's appends too.
+        assert!(events
+            .iter()
+            .any(|e| e.pid == egka_trace::STORE_PID && e.name == "store.append"));
     }
 
     #[test]

@@ -103,6 +103,106 @@ pub trait Store: Send + Sync {
     fn sync_count(&self) -> u64;
 }
 
+impl<T: Store + ?Sized> Store for std::sync::Arc<T> {
+    fn append(&self, payload: &[u8]) -> Result<(), StoreError> {
+        (**self).append(payload)
+    }
+
+    fn wal_bytes(&self) -> Result<Vec<u8>, StoreError> {
+        (**self).wal_bytes()
+    }
+
+    fn install_snapshot(&self, snapshot: &[u8]) -> Result<(), StoreError> {
+        (**self).install_snapshot(snapshot)
+    }
+
+    fn snapshot_bytes(&self) -> Result<Option<Vec<u8>>, StoreError> {
+        (**self).snapshot_bytes()
+    }
+
+    fn sync_count(&self) -> u64 {
+        (**self).sync_count()
+    }
+}
+
+/// A [`Store`] decorator that reports append / snapshot-install spans and
+/// sync instants into an [`egka_trace::Tracer`].
+///
+/// The store has no virtual clock of its own, so spans are stamped on a
+/// per-store operation counter (one tick per call) on the dedicated store
+/// pid lane — ordering and durability structure are what a trace reader
+/// wants here, not durations.
+pub struct TracedStore<S> {
+    inner: S,
+    tracer: egka_trace::Tracer,
+    seq: std::sync::atomic::AtomicU64,
+}
+
+impl<S: Store> TracedStore<S> {
+    /// Wraps `inner`, reporting into `tracer`.
+    pub fn new(inner: S, tracer: egka_trace::Tracer) -> Self {
+        TracedStore {
+            inner,
+            tracer,
+            seq: std::sync::atomic::AtomicU64::new(0),
+        }
+    }
+
+    /// The wrapped store.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+
+    fn tick(&self) -> u64 {
+        use egka_trace::SWEEP_NS;
+        self.seq.fetch_add(1, std::sync::atomic::Ordering::Relaxed) * SWEEP_NS
+    }
+
+    fn span<T>(
+        &self,
+        name: &'static str,
+        bytes: u64,
+        op: impl FnOnce(&S) -> Result<T, StoreError>,
+    ) -> Result<T, StoreError> {
+        use egka_trace::{Event, Payload, Phase, CONTROL_TID, STORE_PID};
+        let start = self.tick();
+        self.tracer.emit(
+            Event::new(Phase::Begin, start, STORE_PID, CONTROL_TID, name)
+                .with(Payload::Io { bytes }),
+        );
+        let out = op(&self.inner);
+        self.tracer.emit(
+            Event::new(Phase::End, self.tick(), STORE_PID, CONTROL_TID, name)
+                .with(Payload::Io { bytes }),
+        );
+        out
+    }
+}
+
+impl<S: Store> Store for TracedStore<S> {
+    fn append(&self, payload: &[u8]) -> Result<(), StoreError> {
+        self.span("store.append", payload.len() as u64, |s| s.append(payload))
+    }
+
+    fn wal_bytes(&self) -> Result<Vec<u8>, StoreError> {
+        self.inner.wal_bytes()
+    }
+
+    fn install_snapshot(&self, snapshot: &[u8]) -> Result<(), StoreError> {
+        self.span("store.snapshot_install", snapshot.len() as u64, |s| {
+            s.install_snapshot(snapshot)
+        })
+    }
+
+    fn snapshot_bytes(&self) -> Result<Option<Vec<u8>>, StoreError> {
+        self.inner.snapshot_bytes()
+    }
+
+    fn sync_count(&self) -> u64 {
+        self.inner.sync_count()
+    }
+}
+
 /// Decodes a store's full WAL into complete record payloads (owned), using
 /// the [`wal::scan`] prefix/corrupt contract.
 pub fn wal_records(store: &dyn Store) -> Result<Vec<Vec<u8>>, StoreError> {
@@ -155,6 +255,22 @@ mod tests {
     #[test]
     fn mem_store_contract() {
         exercise(&MemStore::new());
+    }
+
+    #[test]
+    fn traced_store_contract_and_spans() {
+        let (cfg, ring) = egka_trace::TraceConfig::ring(1 << 10);
+        let traced = TracedStore::new(MemStore::new(), egka_trace::Tracer::from(cfg));
+        exercise(&traced);
+        let evs = ring.events();
+        egka_trace::export::validate(&evs).expect("balanced spans");
+        let appends = evs
+            .iter()
+            .filter(|e| e.name == "store.append" && e.phase == egka_trace::Phase::Begin)
+            .count();
+        assert_eq!(appends, 3, "alpha, beta, gamma");
+        assert!(evs.iter().any(|e| e.name == "store.snapshot_install"));
+        assert!(evs.iter().all(|e| e.pid == egka_trace::STORE_PID));
     }
 
     #[test]

@@ -1,0 +1,265 @@
+//! Named counters and fixed-bucket histograms with stable snapshots.
+
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+
+/// Default histogram bucket upper bounds, tuned for the quantities the
+/// service observes (virtual milliseconds, millijoules): spans five
+/// decades. Values above the last bound land in the overflow bucket.
+pub const DEFAULT_BOUNDS: &[f64] = &[
+    0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 500.0, 1_000.0, 2_500.0,
+    5_000.0, 10_000.0,
+];
+
+#[derive(Clone, Debug)]
+struct Histo {
+    bounds: Vec<f64>,
+    counts: Vec<u64>,
+    sum: f64,
+    count: u64,
+}
+
+impl Histo {
+    fn new(bounds: &[f64]) -> Self {
+        Histo {
+            bounds: bounds.to_vec(),
+            counts: vec![0; bounds.len() + 1],
+            sum: 0.0,
+            count: 0,
+        }
+    }
+
+    fn observe(&mut self, value: f64) {
+        let idx = self
+            .bounds
+            .iter()
+            .position(|b| value <= *b)
+            .unwrap_or(self.bounds.len());
+        self.counts[idx] += 1;
+        self.sum += value;
+        self.count += 1;
+    }
+}
+
+#[derive(Default)]
+struct Inner {
+    counters: BTreeMap<String, u64>,
+    histograms: BTreeMap<String, Histo>,
+}
+
+/// A registry of named counters and fixed-bucket histograms.
+///
+/// `BTreeMap`-backed so snapshots iterate in name order — the snapshot is
+/// *stable*: same updates, same snapshot, regardless of insertion order.
+#[derive(Default)]
+pub struct MetricsRegistry {
+    inner: Mutex<Inner>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// Adds `delta` to counter `name`, creating it at zero if absent.
+    pub fn add(&self, name: &str, delta: u64) {
+        let mut inner = self.inner.lock();
+        *inner.counters.entry(name.to_string()).or_insert(0) += delta;
+    }
+
+    /// Records `value` into histogram `name` with [`DEFAULT_BOUNDS`].
+    pub fn observe(&self, name: &str, value: f64) {
+        self.observe_with(name, DEFAULT_BOUNDS, value);
+    }
+
+    /// Records `value` into histogram `name`; `bounds` are used only on
+    /// first touch (a histogram's buckets are fixed for its lifetime).
+    pub fn observe_with(&self, name: &str, bounds: &[f64], value: f64) {
+        let mut inner = self.inner.lock();
+        inner
+            .histograms
+            .entry(name.to_string())
+            .or_insert_with(|| Histo::new(bounds))
+            .observe(value);
+    }
+
+    /// A stable, name-ordered snapshot of everything recorded so far.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let inner = self.inner.lock();
+        MetricsSnapshot {
+            counters: inner
+                .counters
+                .iter()
+                .map(|(k, v)| (k.clone(), *v))
+                .collect(),
+            histograms: inner
+                .histograms
+                .iter()
+                .map(|(k, h)| {
+                    (
+                        k.clone(),
+                        HistogramSnapshot {
+                            bounds: h.bounds.clone(),
+                            counts: h.counts.clone(),
+                            sum: h.sum,
+                            count: h.count,
+                        },
+                    )
+                })
+                .collect(),
+        }
+    }
+}
+
+impl core::fmt::Debug for MetricsRegistry {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        let inner = self.inner.lock();
+        f.debug_struct("MetricsRegistry")
+            .field("counters", &inner.counters.len())
+            .field("histograms", &inner.histograms.len())
+            .finish()
+    }
+}
+
+/// One histogram's frozen state.
+#[derive(Clone, Debug, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Bucket upper bounds; the implicit final bucket is `+inf`.
+    pub bounds: Vec<f64>,
+    /// Per-bucket counts, `bounds.len() + 1` long (last is overflow).
+    pub counts: Vec<u64>,
+    /// Sum of observed values.
+    pub sum: f64,
+    /// Number of observations.
+    pub count: u64,
+}
+
+impl HistogramSnapshot {
+    /// A bucket-interpolated quantile estimate (0.0..=1.0); `None` when
+    /// the histogram is empty.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return Some(if i < self.bounds.len() {
+                    self.bounds[i]
+                } else {
+                    // Overflow bucket: report the mean of what landed there
+                    // is unknowable; fall back to the last bound.
+                    *self.bounds.last().unwrap_or(&f64::INFINITY)
+                });
+            }
+        }
+        None
+    }
+}
+
+/// Name-ordered registry snapshot.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Counters, sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// Histograms, sorted by name.
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+}
+
+impl MetricsSnapshot {
+    /// Renders the snapshot as a fixed-width text table.
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        if !self.counters.is_empty() {
+            out.push_str("counter                                  value\n");
+            for (name, v) in &self.counters {
+                out.push_str(&format!("{name:<40} {v}\n"));
+            }
+        }
+        if !self.histograms.is_empty() {
+            out.push_str("histogram                                count        sum    ~p50    ~p95    ~p99\n");
+            for (name, h) in &self.histograms {
+                let q = |p: f64| {
+                    h.quantile(p)
+                        .map(|v| format!("{v:>7.2}"))
+                        .unwrap_or_else(|| "      -".to_string())
+                };
+                out.push_str(&format!(
+                    "{name:<40} {count:>5} {sum:>10.2} {p50} {p95} {p99}\n",
+                    count = h.count,
+                    sum = h.sum,
+                    p50 = q(0.50),
+                    p95 = q(0.95),
+                    p99 = q(0.99),
+                ));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_order() {
+        let reg = MetricsRegistry::new();
+        reg.add("zeta", 2);
+        reg.add("alpha", 1);
+        reg.add("zeta", 3);
+        let snap = reg.snapshot();
+        assert_eq!(
+            snap.counters,
+            vec![("alpha".to_string(), 1), ("zeta".to_string(), 5)]
+        );
+    }
+
+    #[test]
+    fn histogram_buckets_and_quantiles() {
+        let reg = MetricsRegistry::new();
+        for v in [0.2, 0.3, 4.0, 9.0, 20_000.0] {
+            reg.observe("lat", v);
+        }
+        let snap = reg.snapshot();
+        let (name, h) = &snap.histograms[0];
+        assert_eq!(name, "lat");
+        assert_eq!(h.count, 5);
+        assert_eq!(h.counts.iter().sum::<u64>(), 5);
+        // Overflow bucket holds the 20k observation.
+        assert_eq!(*h.counts.last().unwrap(), 1);
+        assert!(h.quantile(0.5).unwrap() <= 5.0);
+        assert!(h.quantile(0.0).is_some());
+        let empty = HistogramSnapshot {
+            bounds: vec![1.0],
+            counts: vec![0, 0],
+            sum: 0.0,
+            count: 0,
+        };
+        assert_eq!(empty.quantile(0.5), None);
+    }
+
+    #[test]
+    fn snapshot_is_stable_across_insertion_order() {
+        let a = MetricsRegistry::new();
+        a.add("x", 1);
+        a.add("y", 2);
+        let b = MetricsRegistry::new();
+        b.add("y", 2);
+        b.add("x", 1);
+        assert_eq!(a.snapshot(), b.snapshot());
+    }
+
+    #[test]
+    fn table_renders_without_panic() {
+        let reg = MetricsRegistry::new();
+        reg.add("wal_appends", 7);
+        reg.observe("rekey_latency_vms", 3.5);
+        let table = reg.snapshot().render_table();
+        assert!(table.contains("wal_appends"));
+        assert!(table.contains("rekey_latency_vms"));
+    }
+}

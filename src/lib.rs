@@ -61,6 +61,7 @@
 //! | [`core`] | the five GKA protocols + Join/Leave/Merge/Partition |
 //! | [`store`] | durable group state: checksummed WAL + compacting snapshots |
 //! | [`service`] | sharded multi-group key management, epoch-batched rekeying, crash recovery |
+//! | [`trace`] | virtual-clock structured tracing, metrics registry, Chrome-trace/flame export |
 //! | [`sim`] | Figure 1 and Table 4/5 harnesses, churn workloads, reports |
 
 #![forbid(unsafe_code)]
@@ -78,6 +79,7 @@ pub use egka_sig as sig;
 pub use egka_sim as sim;
 pub use egka_store as store;
 pub use egka_symmetric as symmetric;
+pub use egka_trace as trace;
 
 /// The most common imports for working with the reproduction.
 pub mod prelude {

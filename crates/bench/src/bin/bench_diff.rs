@@ -1,15 +1,16 @@
-//! Perf-regression gate: compare a freshly generated churn artifact
-//! (`BENCH_service_churn.json` / `BENCH_radio_churn.json`) against the
+//! Perf-regression gate: compare a freshly generated bench artifact
+//! (`BENCH_service_churn.json` / `BENCH_radio_churn.json` /
+//! `BENCH_trace_churn.json` / `BENCH_primitives.json`) against the
 //! committed baseline and fail on regression.
 //!
 //! ```text
 //! cargo run --release -p egka-bench --bin bench_diff -- \
 //!     --baseline baselines/BENCH_service_churn.json \
 //!     --fresh BENCH_service_churn.json \
-//!     [--max-regress 0.25] [--wall-floor-ms 500]
+//!     [--max-regress 0.25] [--wall-floor-ms 500] [--speedup-floor 2.0]
 //! ```
 //!
-//! Two families of gates:
+//! Three families of gates:
 //!
 //! * **Energy** (`energy_mj`, total and per suite): fully deterministic
 //!   per seed, so *any* drift means the code changed behavior; the gate
@@ -20,6 +21,11 @@
 //!   relative threshold only applies once the absolute slowdown also
 //!   clears `--wall-floor-ms` (default 500 ms) — a 3 ms scenario jumping
 //!   to 4 ms is noise, a 2 s scenario jumping to 3 s is a regression.
+//! * **Speedup ratios** (`egka-primitives/1` only): the artifact's
+//!   `*_speedup` fields are old-vs-new ratios measured inside one binary,
+//!   so they are machine-independent; the gated pair
+//!   (`fixed_base_mul_speedup`, `fixed_base_modexp_speedup`) must stay
+//!   above the absolute `--speedup-floor` (default 2×).
 //!
 //! Improvements (fresh below baseline) never fail; they print as a
 //! reminder to refresh the committed baseline. Exit code 1 on any failed
@@ -64,6 +70,17 @@ impl Gate {
             self.notes.push(line);
         }
     }
+
+    /// In-binary old/new ratios: machine-independent, so an absolute floor
+    /// applies (and the baseline value is shown for context only).
+    fn check_speedup(&mut self, name: &str, floor: f64, baseline: f64, fresh: f64) {
+        let line = format!("{name}: baseline {baseline:.2}x → fresh {fresh:.2}x (floor {floor}x)");
+        if fresh < floor {
+            self.failures.push(line);
+        } else {
+            self.notes.push(line);
+        }
+    }
 }
 
 fn load(path: &str) -> Json {
@@ -87,10 +104,17 @@ fn main() {
     let wall_floor_ms: f64 = arg_value("--wall-floor-ms")
         .map(|v| v.parse().expect("--wall-floor-ms F"))
         .unwrap_or(500.0);
+    let speedup_floor: f64 = arg_value("--speedup-floor")
+        .map(|v| v.parse().expect("--speedup-floor F"))
+        .unwrap_or(2.0);
 
     let baseline = load(&baseline_path);
     let fresh = load(&fresh_path);
-    const SCHEMAS: [&str; 2] = ["egka-service-churn/1", "egka-trace-churn/1"];
+    const SCHEMAS: [&str; 3] = [
+        "egka-service-churn/1",
+        "egka-trace-churn/1",
+        "egka-primitives/1",
+    ];
     for (doc, path) in [(&baseline, &baseline_path), (&fresh, &fresh_path)] {
         let schema = doc.get("schema").and_then(Json::as_str).unwrap_or("?");
         assert!(
@@ -113,27 +137,67 @@ fn main() {
         notes: Vec::new(),
     };
 
+    let schema = baseline
+        .get("schema")
+        .and_then(Json::as_str)
+        .unwrap_or("?")
+        .to_string();
+    let primitives = schema == "egka-primitives/1";
+
     gate.check_wall(
         "wall_ms",
         num(&baseline, &baseline_path, "wall_ms"),
         num(&fresh, &fresh_path, "wall_ms"),
     );
     // The trace artifact also carries the same scenario's wall clock with
-    // tracing *disabled* — the traced-off overhead guard: a disabled
-    // tracer must stay a no-op, so this number obeys the ordinary wall
-    // gate (relative threshold + absolute noise floor), nothing tighter.
-    if baseline.get("wall_ms_untraced").is_some() {
-        gate.check_wall(
-            "wall_ms_untraced",
-            num(&baseline, &baseline_path, "wall_ms_untraced"),
-            num(&fresh, &fresh_path, "wall_ms_untraced"),
+    // tracing *disabled* (the traced-off overhead guard: a disabled tracer
+    // must stay a no-op) and with the *parallel pump* on (threading must
+    // not cost wall time). Both obey the ordinary wall gate (relative
+    // threshold + absolute noise floor), nothing tighter.
+    for key in ["wall_ms_untraced", "wall_ms_par"] {
+        if baseline.get(key).is_some() && fresh.get(key).is_some() {
+            gate.check_wall(
+                key,
+                num(&baseline, &baseline_path, key),
+                num(&fresh, &fresh_path, key),
+            );
+        }
+    }
+
+    if primitives {
+        // The primitives artifact carries no energy model — its subject is
+        // the in-binary old/new ratios. The two fixed-base accelerations
+        // are the headline claims and must hold the absolute floor; the
+        // remaining ratios are informational (batch verification trades
+        // point additions for attribution guarantees and hovers near 1x).
+        for key in ["fixed_base_mul_speedup", "fixed_base_modexp_speedup"] {
+            gate.check_speedup(
+                key,
+                speedup_floor,
+                num(&baseline, &baseline_path, key),
+                num(&fresh, &fresh_path, key),
+            );
+        }
+        for key in [
+            "pairing_fixed_speedup",
+            "ecdsa_batch_speedup",
+            "gq_batch_speedup",
+        ] {
+            if baseline.get(key).is_some() && fresh.get(key).is_some() {
+                gate.notes.push(format!(
+                    "{key}: baseline {:.2}x → fresh {:.2}x (informational)",
+                    num(&baseline, &baseline_path, key),
+                    num(&fresh, &fresh_path, key),
+                ));
+            }
+        }
+    } else {
+        gate.check_energy(
+            "energy_mj",
+            num(&baseline, &baseline_path, "energy_mj"),
+            num(&fresh, &fresh_path, "energy_mj"),
         );
     }
-    gate.check_energy(
-        "energy_mj",
-        num(&baseline, &baseline_path, "energy_mj"),
-        num(&fresh, &fresh_path, "energy_mj"),
-    );
 
     // Per-suite energy: every suite the baseline fielded must still exist
     // and stay within the threshold.
@@ -177,7 +241,11 @@ fn main() {
     // unchanged config means intended behavior drift — refresh baselines.
     // (`event_fingerprint` is the trace artifact's analogue: the
     // (name, phase) → count shape of the recorded events.)
-    for key in ["key_fingerprint", "event_fingerprint"] {
+    for key in [
+        "key_fingerprint",
+        "event_fingerprint",
+        "workload_fingerprint",
+    ] {
         let base_fp = baseline.get(key).and_then(Json::as_str);
         let fresh_fp = fresh.get(key).and_then(Json::as_str);
         if let (Some(b), Some(f)) = (base_fp, fresh_fp) {

@@ -1,0 +1,375 @@
+//! Primitive micro-bench: old-vs-new timings for the fixed-base and batch
+//! accelerations, measured **in one binary** so the ratios cannot drift
+//! with toolchains or machines.
+//!
+//! ```text
+//! cargo run --release -p egka-bench --bin bench_primitives
+//! cargo run --release -p egka-bench --bin bench_primitives -- \
+//!     [--seed N] [--p-bits N] [--q-bits N] [--check-determinism] \
+//!     [--json PATH]
+//! ```
+//!
+//! Each pair times the *pre-acceleration* shape against the shipped one on
+//! the identical deterministic workload, asserting bit-equal results first:
+//!
+//! * **Fixed-base EC scalar mult** — generic wNAF `curve.mul(k, G)` vs the
+//!   comb-backed [`Curve::mul_gen`].
+//! * **Fixed-base modexp** — per-call `Montgomery::new(p)` + windowed `pow`
+//!   vs [`mod_pow_fixed`] (interned context + exponent-sized comb), on
+//!   q-sized exponents under a Schnorr modulus — the BD/DSA shape.
+//! * **Fixed-argument pairing** — full Miller loop vs
+//!   [`PairingGroup::pairing_fixed`] over a cached [`egka_ec::MillerPrecomp`].
+//! * **Epoch batch verification** — per-item `verify` loops vs the
+//!   `egka-sig` batch entry points (ECDSA RLC chunks, DSA amortized loop,
+//!   GQ split-form RLC).
+//!
+//! The artifact (`BENCH_primitives.json`, schema `egka-primitives/1`)
+//! carries each pair as `*_ns` plus a `*_speedup` ratio; `bench_diff`
+//! holds `fixed_base_mul_speedup` and `fixed_base_modexp_speedup` above an
+//! absolute floor (2×) in CI. `--check-determinism` regenerates every
+//! workload from the seed and asserts the result fingerprint reproduces.
+
+use std::time::Instant;
+
+use egka_bench::{arg_value, has_flag};
+use egka_bigint::{
+    gen_schnorr_group, mod_mul, mod_pow, mod_pow_fixed, random_below, Montgomery, SchnorrGroup,
+    Ubig,
+};
+use egka_ec::{secp160r1, Curve, PairingGroup, Point};
+use egka_hash::ChaChaRng;
+use egka_sig::{
+    dsa_batch_verify, ecdsa_batch_verify, gq_batch_verify_split, Dsa, DsaBatchItem, DsaSignature,
+    Ecdsa, EcdsaBatchItem, EcdsaSignature, GqPkg, GqSplitItem,
+};
+use rand::SeedableRng;
+
+/// FNV-1a over every workload result — the determinism witness.
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+    fn push(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x100_0000_01b3);
+        }
+    }
+}
+
+/// Nanoseconds per call of `f` over `iters` calls.
+fn per_op_ns<F: FnMut()>(iters: u32, mut f: F) -> f64 {
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    start.elapsed().as_secs_f64() * 1e9 / f64::from(iters)
+}
+
+struct Pair {
+    old_ns: f64,
+    new_ns: f64,
+}
+
+impl Pair {
+    fn speedup(&self) -> f64 {
+        self.old_ns / self.new_ns
+    }
+    fn print(&self, name: &str) {
+        println!(
+            "{name:24} old {:>12.0} ns   new {:>12.0} ns   {:>5.2}x",
+            self.old_ns,
+            self.new_ns,
+            self.speedup()
+        );
+    }
+}
+
+// ------------------------------------------------------- fixed-base EC mul
+
+fn ec_workload(seed: u64, curve: &Curve, fp: &mut Fnv) -> Vec<Ubig> {
+    let mut rng = ChaChaRng::seed_from_u64(seed ^ 0xec);
+    let scalars: Vec<Ubig> = (0..64).map(|_| curve.random_scalar(&mut rng)).collect();
+    for k in &scalars {
+        let new = curve.mul_gen(k);
+        assert_eq!(new, curve.mul(k, curve.generator()), "mul_gen disagrees");
+        fp.push(&curve.compress(&new));
+    }
+    scalars
+}
+
+fn bench_ec(seed: u64, fp: &mut Fnv) -> Pair {
+    let curve = secp160r1();
+    let scalars = ec_workload(seed, &curve, fp); // also warms the comb
+    let g = curve.generator().clone();
+    let mut i = 0usize;
+    let old_ns = per_op_ns(256, || {
+        std::hint::black_box(curve.mul(&scalars[i % scalars.len()], &g));
+        i += 1;
+    });
+    let new_ns = per_op_ns(256, || {
+        std::hint::black_box(curve.mul_gen(&scalars[i % scalars.len()]));
+        i += 1;
+    });
+    Pair { old_ns, new_ns }
+}
+
+// --------------------------------------------------------- fixed-base modexp
+
+fn modexp_workload(seed: u64, group: &SchnorrGroup, fp: &mut Fnv) -> Vec<Ubig> {
+    let mut rng = ChaChaRng::seed_from_u64(seed ^ 0x90d);
+    let exps: Vec<Ubig> = (0..64).map(|_| random_below(&mut rng, &group.q)).collect();
+    for e in &exps {
+        let new = mod_pow_fixed(&group.g, e, &group.p);
+        let ctx = Montgomery::new(group.p.clone());
+        assert_eq!(new, ctx.pow(&group.g, e), "mod_pow_fixed disagrees");
+        fp.push(&new.to_bytes_be());
+    }
+    exps
+}
+
+fn bench_modexp(seed: u64, group: &SchnorrGroup, fp: &mut Fnv) -> Pair {
+    let exps = modexp_workload(seed, group, fp); // also warms ctx + comb
+    let mut i = 0usize;
+    // The pre-acceleration shape: every call pays Montgomery setup and a
+    // generic modulus-length window walk.
+    let old_ns = per_op_ns(128, || {
+        let ctx = Montgomery::new(group.p.clone());
+        std::hint::black_box(ctx.pow(&group.g, &exps[i % exps.len()]));
+        i += 1;
+    });
+    let new_ns = per_op_ns(128, || {
+        std::hint::black_box(mod_pow_fixed(&group.g, &exps[i % exps.len()], &group.p));
+        i += 1;
+    });
+    Pair { old_ns, new_ns }
+}
+
+// ---------------------------------------------------------- fixed pairing
+
+fn bench_pairing(seed: u64, fp: &mut Fnv) -> Pair {
+    let group = PairingGroup::paper_fixture();
+    let mut rng = ChaChaRng::seed_from_u64(seed ^ 0x9a1);
+    let points: Vec<Point> = (0..8).map(|_| group.random_point(&mut rng)).collect();
+    let gen = group.curve().generator().clone();
+    let pre = group.precompute(&gen);
+    for q in &points {
+        let new = group.pairing_fixed(&pre, q);
+        assert_eq!(new, group.pairing(&gen, q), "pairing_fixed disagrees");
+        fp.push(&new.c0.to_bytes_be());
+        fp.push(&new.c1.to_bytes_be());
+    }
+    let mut i = 0usize;
+    let old_ns = per_op_ns(32, || {
+        std::hint::black_box(group.pairing(&gen, &points[i % points.len()]));
+        i += 1;
+    });
+    let new_ns = per_op_ns(32, || {
+        std::hint::black_box(group.pairing_fixed(&pre, &points[i % points.len()]));
+        i += 1;
+    });
+    Pair { old_ns, new_ns }
+}
+
+// ------------------------------------------------------------ batch verify
+
+fn bench_ecdsa_batch(seed: u64, fp: &mut Fnv) -> Pair {
+    let scheme = Ecdsa::new(secp160r1());
+    let mut rng = ChaChaRng::seed_from_u64(seed ^ 0xba7c);
+    let triples: Vec<(Point, Vec<u8>, EcdsaSignature)> = (0..16)
+        .map(|i| {
+            let kp = scheme.keygen(&mut rng);
+            let msg = format!("epoch share {i}").into_bytes();
+            let sig = scheme.sign(&mut rng, &kp, &msg);
+            (kp.q, msg, sig)
+        })
+        .collect();
+    let items: Vec<EcdsaBatchItem<'_>> = triples
+        .iter()
+        .map(|(q, msg, sig)| EcdsaBatchItem { q, msg, sig })
+        .collect();
+    assert_eq!(ecdsa_batch_verify(&scheme, &items), Ok(()));
+    for (_, _, sig) in &triples {
+        fp.push(&sig.r.to_bytes_be());
+    }
+    let n = items.len() as f64;
+    let old_ns = per_op_ns(8, || {
+        for it in &items {
+            assert!(scheme.verify(it.q, it.msg, it.sig));
+        }
+    }) / n;
+    let new_ns = per_op_ns(8, || {
+        ecdsa_batch_verify(&scheme, &items).unwrap();
+    }) / n;
+    Pair { old_ns, new_ns }
+}
+
+fn bench_dsa_batch(seed: u64, group: &SchnorrGroup, fp: &mut Fnv) -> Pair {
+    let scheme = Dsa::new(group.clone());
+    let mut rng = ChaChaRng::seed_from_u64(seed ^ 0xd5a);
+    let triples: Vec<(Ubig, Vec<u8>, DsaSignature)> = (0..8)
+        .map(|i| {
+            let kp = scheme.keygen(&mut rng);
+            let msg = format!("epoch share {i}").into_bytes();
+            let sig = scheme.sign(&mut rng, &kp, &msg);
+            (kp.y, msg, sig)
+        })
+        .collect();
+    let items: Vec<DsaBatchItem<'_>> = triples
+        .iter()
+        .map(|(y, msg, sig)| DsaBatchItem { y, msg, sig })
+        .collect();
+    assert_eq!(dsa_batch_verify(&scheme, &items), Ok(()));
+    for (_, _, sig) in &triples {
+        fp.push(&sig.s.to_bytes_be());
+    }
+    let n = items.len() as f64;
+    let old_ns = per_op_ns(8, || {
+        for it in &items {
+            assert!(scheme.verify(it.y, it.msg, it.sig));
+        }
+    }) / n;
+    let new_ns = per_op_ns(8, || {
+        dsa_batch_verify(&scheme, &items).unwrap();
+    }) / n;
+    Pair { old_ns, new_ns }
+}
+
+fn bench_gq_batch(seed: u64, fp: &mut Fnv) -> Pair {
+    let mut rng = ChaChaRng::seed_from_u64(seed ^ 0x60);
+    let pkg = GqPkg::setup_with_e_bits(&mut rng, 128, 41);
+    let p = &pkg.params;
+    let n = 16usize;
+    let ids: Vec<Vec<u8>> = (0..n).map(|i| format!("member-{i}").into_bytes()).collect();
+    let keys: Vec<_> = ids.iter().map(|id| pkg.extract(id)).collect();
+    let commits: Vec<(Ubig, Ubig)> = (0..n).map(|_| p.commit(&mut rng)).collect();
+    let t_agg =
+        p.aggregate_commitments(&commits.iter().map(|(_, t)| t.clone()).collect::<Vec<_>>());
+    let c = p.shared_challenge(&t_agg, b"bench epoch");
+    let values: Vec<(Vec<u8>, Ubig, Ubig)> = (0..n)
+        .map(|i| {
+            let s = p.respond(&keys[i], &commits[i].0, &c);
+            (ids[i].clone(), commits[i].1.clone(), s)
+        })
+        .collect();
+    let items: Vec<GqSplitItem<'_>> = values
+        .iter()
+        .map(|(id, t, s)| GqSplitItem { id, t, s })
+        .collect();
+    assert_eq!(gq_batch_verify_split(p, &c, &items), Ok(()));
+    for (_, _, s) in &values {
+        fp.push(&s.to_bytes_be());
+    }
+    let hs: Vec<Ubig> = items.iter().map(|it| p.hash_id(it.id)).collect();
+    let nf = items.len() as f64;
+    // The pre-batch shape: one full-size exponentiation pair per member.
+    let old_ns = per_op_ns(8, || {
+        for (it, h) in items.iter().zip(&hs) {
+            let lhs = mod_pow(it.s, &p.e, &p.n);
+            let rhs = mod_mul(it.t, &mod_pow(h, &c, &p.n), &p.n);
+            assert_eq!(lhs, rhs);
+        }
+    }) / nf;
+    let new_ns = per_op_ns(8, || {
+        gq_batch_verify_split(p, &c, &items).unwrap();
+    }) / nf;
+    Pair { old_ns, new_ns }
+}
+
+fn main() {
+    let start = Instant::now();
+    let seed: u64 = arg_value("--seed").map_or(0x9121, |v| v.parse().expect("--seed N"));
+    let p_bits: u32 = arg_value("--p-bits").map_or(512, |v| v.parse().expect("--p-bits N"));
+    let q_bits: u32 = arg_value("--q-bits").map_or(160, |v| v.parse().expect("--q-bits N"));
+    println!("bench_primitives: seed {seed:#x}, Schnorr {p_bits}/{q_bits} bits\n");
+
+    let mut group_rng = ChaChaRng::seed_from_u64(seed ^ 0x5c0);
+    let group = gen_schnorr_group(&mut group_rng, p_bits, q_bits);
+
+    let mut fp = Fnv::new();
+    let ec = bench_ec(seed, &mut fp);
+    ec.print("fixed_base_mul");
+    let modexp = bench_modexp(seed, &group, &mut fp);
+    modexp.print("fixed_base_modexp");
+    let pairing = bench_pairing(seed, &mut fp);
+    pairing.print("pairing_fixed");
+    let ecdsa = bench_ecdsa_batch(seed, &mut fp);
+    ecdsa.print("ecdsa_batch (per item)");
+    let dsa = bench_dsa_batch(seed, &group, &mut fp);
+    dsa.print("dsa_batch (per item)");
+    let gq = bench_gq_batch(seed, &mut fp);
+    gq.print("gq_batch (per item)");
+    let fingerprint = fp.0;
+    println!("\nworkload fingerprint {fingerprint:016x}");
+
+    if has_flag("--check-determinism") {
+        println!("re-deriving every workload for the determinism check…");
+        let mut again = Fnv::new();
+        let curve = secp160r1();
+        ec_workload(seed, &curve, &mut again);
+        modexp_workload(seed, &group, &mut again);
+        bench_pairing(seed, &mut again);
+        bench_ecdsa_batch(seed, &mut again);
+        bench_dsa_batch(seed, &group, &mut again);
+        bench_gq_batch(seed, &mut again);
+        assert_eq!(
+            fingerprint, again.0,
+            "same seed must reproduce every workload result bit for bit"
+        );
+        println!("deterministic ✓");
+    }
+
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    let json = format!(
+        "{{\n  \
+         \"schema\": \"egka-primitives/1\",\n  \
+         \"seed\": {seed},\n  \
+         \"p_bits\": {p_bits},\n  \
+         \"q_bits\": {q_bits},\n  \
+         \"workload_fingerprint\": \"{fingerprint:016x}\",\n  \
+         \"variable_base_mul_ns\": {:.0},\n  \
+         \"fixed_base_mul_ns\": {:.0},\n  \
+         \"fixed_base_mul_speedup\": {:.3},\n  \
+         \"plain_modexp_ns\": {:.0},\n  \
+         \"fixed_base_modexp_ns\": {:.0},\n  \
+         \"fixed_base_modexp_speedup\": {:.3},\n  \
+         \"pairing_ns\": {:.0},\n  \
+         \"pairing_fixed_ns\": {:.0},\n  \
+         \"pairing_fixed_speedup\": {:.3},\n  \
+         \"ecdsa_verify_ns\": {:.0},\n  \
+         \"ecdsa_batch_item_ns\": {:.0},\n  \
+         \"ecdsa_batch_speedup\": {:.3},\n  \
+         \"dsa_verify_ns\": {:.0},\n  \
+         \"dsa_batch_item_ns\": {:.0},\n  \
+         \"gq_verify_ns\": {:.0},\n  \
+         \"gq_batch_item_ns\": {:.0},\n  \
+         \"gq_batch_speedup\": {:.3},\n  \
+         \"wall_ms\": {wall_ms:.1}\n}}\n",
+        ec.old_ns,
+        ec.new_ns,
+        ec.speedup(),
+        modexp.old_ns,
+        modexp.new_ns,
+        modexp.speedup(),
+        pairing.old_ns,
+        pairing.new_ns,
+        pairing.speedup(),
+        ecdsa.old_ns,
+        ecdsa.new_ns,
+        ecdsa.speedup(),
+        dsa.old_ns,
+        dsa.new_ns,
+        gq.old_ns,
+        gq.new_ns,
+        gq.speedup(),
+    );
+    let json_path = arg_value("--json").unwrap_or_else(|| "BENCH_primitives.json".into());
+    if json_path != "-" {
+        std::fs::write(&json_path, &json).unwrap_or_else(|e| panic!("writing {json_path}: {e}"));
+        println!("wrote {json_path}");
+    } else {
+        print!("{json}");
+    }
+}

@@ -19,6 +19,8 @@
 //! * [`div`] — Knuth Algorithm D division.
 //! * [`modular`] — modular add/sub/mul/pow, gcd, inverse, Jacobi symbol.
 //! * [`mont`] — Montgomery contexts (the hot path for all exponentiation).
+//! * [`fixed`] — interned Montgomery contexts and Lim–Lee fixed-base combs
+//!   for generators exponentiated under a long-lived modulus.
 //! * [`prime`] — Miller–Rabin, sequential & crossbeam-parallel prime search,
 //!   Schnorr-group generation.
 //! * [`rng`] — uniform sampling helpers over any [`rand::Rng`].
@@ -27,6 +29,7 @@
 #![warn(missing_docs)]
 
 pub mod div;
+pub mod fixed;
 pub mod limbs;
 pub mod modular;
 pub mod mont;
@@ -34,6 +37,7 @@ pub mod prime;
 pub mod rng;
 pub mod ubig;
 
+pub use fixed::{fixed_base, mod_pow_fixed, mont_ctx, FixedBase};
 pub use modular::{ext_gcd_mod, gcd, jacobi, mod_add, mod_inverse, mod_mul, mod_pow, mod_sub};
 pub use mont::{MontForm, Montgomery};
 pub use prime::{gen_prime, gen_prime_parallel, gen_schnorr_group, is_prime, SchnorrGroup};

@@ -1,7 +1,6 @@
 //! Modular arithmetic on [`Ubig`]: add/sub/mul/pow mod m, gcd, inverse,
 //! Jacobi symbol.
 
-use crate::mont::Montgomery;
 use crate::ubig::Ubig;
 
 /// `(a + b) mod m`. Operands need not be reduced.
@@ -28,7 +27,8 @@ pub fn mod_mul(a: &Ubig, b: &Ubig, m: &Ubig) -> Ubig {
 /// `a^e mod m`.
 ///
 /// Dispatches to Montgomery exponentiation for odd moduli (the common case
-/// throughout this workspace) and falls back to binary square-and-multiply
+/// throughout this workspace), reusing interned contexts from
+/// [`crate::fixed::mont_ctx`], and falls back to binary square-and-multiply
 /// with explicit reductions for even moduli.
 ///
 /// # Panics
@@ -39,8 +39,7 @@ pub fn mod_pow(a: &Ubig, e: &Ubig, m: &Ubig) -> Ubig {
         return Ubig::one();
     }
     if m.is_odd() {
-        let mont = Montgomery::new(m.clone());
-        return mont.pow(&a.rem_ref(m), e);
+        return crate::fixed::mont_ctx(m).pow(&a.rem_ref(m), e);
     }
     // Even modulus: plain left-to-right square-and-multiply.
     let mut base = a.rem_ref(m);

@@ -22,9 +22,9 @@ use egka_energy::complexity::InitialProtocol;
 use egka_energy::{CompOp, Meter, Scheme};
 use egka_hash::ChaChaRng;
 use egka_sig::{
-    CaPublic, CertCheck, CertStore, Certificate, CertificateAuthority, Dsa, DsaKeyPair,
-    DsaSignature, Ecdsa, EcdsaKeyPair, EcdsaSignature, SokParams, SokPkg, SokSecretKey,
-    SokSignature, SubjectKey,
+    dsa_batch_verify, ecdsa_batch_verify, CaPublic, CertCheck, CertStore, Certificate,
+    CertificateAuthority, Dsa, DsaBatchItem, DsaKeyPair, DsaSignature, Ecdsa, EcdsaBatchItem,
+    EcdsaKeyPair, EcdsaSignature, SokParams, SokPkg, SokSecretKey, SokSignature, SubjectKey,
 };
 use rand::{Rng, SeedableRng};
 
@@ -360,19 +360,13 @@ fn node_machine(state: NodeState, n: usize, proto: InitialProtocol) -> Engine<No
                 s.sigs[j] = sig.to_vec();
             }
         },
-        // Verify all n−1 signatures, then derive the key.
+        // Verify all n−1 signatures (ECDSA/DSA as one epoch batch), then
+        // derive the key.
         move |s: &mut NodeState| {
             let z_prod =
                 s.zs.iter()
                     .fold(Ubig::one(), |acc, z| mod_mul(&acc, z, &s.bd_group.p));
-            for j in 0..n {
-                if j == s.idx {
-                    continue;
-                }
-                let msg = signed_message(s.ring[j], &s.zs[j], &s.xs[j], &z_prod);
-                let ok = verify_one(s, j, &msg);
-                assert!(ok, "honest-run signature from U{j} rejected");
-            }
+            verify_round2_sigs(s, &z_prod);
             let share = s.share.as_ref().expect("round 1 done");
             let ring: Vec<Ubig> = (0..n).map(|k| s.xs[(s.idx + k) % n].clone()).collect();
             let key = bd::compute_key(&s.bd_group, &share.r, &s.zs[(s.idx + n - 1) % n], &ring);
@@ -599,6 +593,96 @@ pub fn run_with_trust(
     let mut auth = AuthBdRun::new(bd_group, kit, seed, &Faults::none(), already_trusts);
     auth.run_to_completion();
     auth.finish()
+}
+
+/// Verifies all `n − 1` Round-2 signatures for one node.
+///
+/// SOK verifies message by message ([`verify_one`] — its pairing reuse
+/// lives in the scheme's fixed-argument Miller precomputation); ECDSA and
+/// DSA hand the whole set to `egka_sig::batch` as one epoch batch. The
+/// meter records are **identical** to the one-by-one path — one
+/// `SignVerify` per peer message, charged up front — because the paper
+/// prices the protocol's verification count, not the implementation
+/// shortcut. A batch rejection names the lowest-index culprit (the batch
+/// layer falls back to individual verification for attribution).
+///
+/// # Panics
+/// Panics if any signature (or its certificate key) fails — these
+/// baselines model honest runs; fault injection happens at the transport.
+fn verify_round2_sigs(node: &mut NodeState, z_prod: &Ubig) {
+    let n = node.ring.len();
+    let peers: Vec<usize> = (0..n).filter(|&j| j != node.idx).collect();
+    let msgs: Vec<Vec<u8>> = peers
+        .iter()
+        .map(|&j| signed_message(node.ring[j], &node.zs[j], &node.xs[j], z_prod))
+        .collect();
+    if matches!(node.auth, NodeAuth::Sok { .. }) {
+        for (k, &j) in peers.iter().enumerate() {
+            let ok = verify_one(node, j, &msgs[k]);
+            assert!(ok, "honest-run signature from U{j} rejected");
+        }
+        return;
+    }
+    match &node.auth {
+        NodeAuth::Sok { .. } => unreachable!("handled above"),
+        NodeAuth::Ecdsa { scheme, .. } => {
+            let mut qs = Vec::with_capacity(peers.len());
+            let mut sigs = Vec::with_capacity(peers.len());
+            for &j in &peers {
+                node.meter.record(CompOp::SignVerify(Scheme::Ecdsa));
+                let Some(SubjectKey::Ecdsa(q)) = node.certs[j].as_ref().map(|c| c.key.clone())
+                else {
+                    panic!("honest-run signature from U{j} rejected");
+                };
+                let mut r = Reader::new(&node.sigs[j]);
+                let (Ok(sr), Ok(ss)) = (r.get_ubig(), r.get_ubig()) else {
+                    panic!("honest-run signature from U{j} rejected");
+                };
+                qs.push(q);
+                sigs.push(EcdsaSignature { r: sr, s: ss });
+            }
+            let items: Vec<EcdsaBatchItem<'_>> = peers
+                .iter()
+                .enumerate()
+                .map(|(k, _)| EcdsaBatchItem {
+                    q: &qs[k],
+                    msg: &msgs[k],
+                    sig: &sigs[k],
+                })
+                .collect();
+            if let Err(k) = ecdsa_batch_verify(scheme, &items) {
+                panic!("honest-run signature from U{} rejected", peers[k]);
+            }
+        }
+        NodeAuth::Dsa { scheme, .. } => {
+            let mut ys = Vec::with_capacity(peers.len());
+            let mut sigs = Vec::with_capacity(peers.len());
+            for &j in &peers {
+                node.meter.record(CompOp::SignVerify(Scheme::Dsa));
+                let Some(SubjectKey::Dsa(y)) = node.certs[j].as_ref().map(|c| c.key.clone()) else {
+                    panic!("honest-run signature from U{j} rejected");
+                };
+                let mut r = Reader::new(&node.sigs[j]);
+                let (Ok(sr), Ok(ss)) = (r.get_ubig(), r.get_ubig()) else {
+                    panic!("honest-run signature from U{j} rejected");
+                };
+                ys.push(y);
+                sigs.push(DsaSignature { r: sr, s: ss });
+            }
+            let items: Vec<DsaBatchItem<'_>> = peers
+                .iter()
+                .enumerate()
+                .map(|(k, _)| DsaBatchItem {
+                    y: &ys[k],
+                    msg: &msgs[k],
+                    sig: &sigs[k],
+                })
+                .collect();
+            if let Err(k) = dsa_batch_verify(scheme, &items) {
+                panic!("honest-run signature from U{} rejected", peers[k]);
+            }
+        }
+    }
 }
 
 /// Verifies sender `j`'s signature, recording the ops the paper prices:

@@ -19,7 +19,7 @@
 //! Functions here are pure algebra; operation metering happens at the
 //! protocol layer (every function documents what the paper charges for it).
 
-use egka_bigint::{mod_inverse, mod_mul, mod_pow, random_below, SchnorrGroup, Ubig};
+use egka_bigint::{mod_inverse, mod_mul, mod_pow, mod_pow_fixed, random_below, SchnorrGroup, Ubig};
 use rand::Rng;
 
 /// A user's Round-1 state: the secret exponent and the public share.
@@ -39,7 +39,7 @@ pub fn round1_share<R: Rng + ?Sized>(rng: &mut R, group: &SchnorrGroup) -> Share
             break r;
         }
     };
-    let z = mod_pow(&group.g, &r, &group.p);
+    let z = mod_pow_fixed(&group.g, &r, &group.p);
     Share { r, z }
 }
 

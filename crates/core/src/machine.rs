@@ -337,6 +337,12 @@ pub struct Faults {
     /// buffer. Never consulted by any fault or scheduling decision, so
     /// attaching it cannot change a run's outcome.
     pub trace: Option<egka_trace::StepTrace>,
+    /// Fan the per-node machine work of every [`Execution::pump`] across
+    /// threads. Safe under any fault mix — a sweep's sends are buffered
+    /// per node and dispatched in node-index order after the machines
+    /// join, so the medium (and therefore the loss draws, the radio
+    /// schedule and the trace stream) sees exactly the sequential order.
+    pub parallel: bool,
 }
 
 impl Faults {
@@ -391,6 +397,8 @@ pub struct Execution<S> {
     trace: Option<egka_trace::StepTrace>,
     last_round: Option<usize>,
     sweeps: u64,
+    /// From [`Faults::parallel`]: fan machine sweeps across threads.
+    parallel: bool,
 }
 
 impl<S: Send + Metered> Execution<S> {
@@ -452,6 +460,7 @@ impl<S: Send + Metered> Execution<S> {
             trace: faults.trace.clone(),
             last_round: None,
             sweeps: 0,
+            parallel: faults.parallel,
         }
     }
 
@@ -550,15 +559,18 @@ impl<S: Send + Metered> Execution<S> {
     }
 
     /// Feeds `packets` and then polls machine `i` until it blocks; sends
-    /// go straight out through the node's endpoint. Returns whether the
-    /// node progressed; records a terminal failure in `failed`.
+    /// accumulate into `out` in poll order (the caller dispatches them —
+    /// the machine cannot observe the medium mid-sweep, so deferring the
+    /// dispatch to the end of the node's poll loop is exact). Returns
+    /// whether the node progressed; records a terminal failure in
+    /// `failed`.
     fn pump_node(
-        ep: &Endpoint,
         machine: &mut Engine<S>,
         key: &mut Option<SessionKey>,
         packets: Vec<Packet>,
         timed_out: Option<Duration>,
         failed: &mut Option<NetError>,
+        out: &mut Vec<Outgoing>,
     ) -> bool {
         if key.is_some() {
             return false;
@@ -587,7 +599,7 @@ impl<S: Send + Metered> Execution<S> {
             match machine.poll(pkt) {
                 Step::Send(outs) => {
                     progressed = true;
-                    Self::dispatch(ep, outs);
+                    out.extend(outs);
                 }
                 Step::NeedMore => {
                     if had_packet {
@@ -619,6 +631,18 @@ impl<S: Send + Metered> Execution<S> {
     /// still means what schedulers rely on: nothing in flight, nobody can
     /// move, permanently.
     pub fn pump(&mut self) -> Pump {
+        self.pump_impl(self.parallel)
+    }
+
+    /// One sweep with `parallel` machine fan-out. Both modes produce the
+    /// bit-identical event stream: the reactor only fills mailboxes at the
+    /// top of a sweep (mid-sweep sends sit in endpoint channels until the
+    /// next `poll_all`), so machines cannot observe each other within a
+    /// sweep, and the parallel mode dispatches each node's buffered sends
+    /// in node-index order after the machines join — the same medium
+    /// interaction order (loss draws, radio schedule, trace events) as the
+    /// sequential loop.
+    fn pump_impl(&mut self, parallel: bool) -> Pump {
         if let Some(e) = self.failed {
             return Pump::Failed(e);
         }
@@ -639,22 +663,74 @@ impl<S: Send + Metered> Execution<S> {
             }
         }
         let mut progressed = false;
-        for (i, &fired) in timeouts.iter().enumerate() {
-            let packets = self.reactor.drain(self.tokens[i]);
-            if packets.is_empty() && fired.is_none() && self.keys[i].is_some() {
-                continue;
+        if parallel && self.machines.len() > 1 && timeouts.iter().all(Option::is_none) {
+            // Parallel sweep. Timeout sweeps stay sequential: a surfaced
+            // timeout stops the sweep at the failing node, and later
+            // nodes' meters must not advance past that point.
+            let inboxes: Vec<Vec<Packet>> =
+                self.tokens.iter().map(|&t| self.reactor.drain(t)).collect();
+            struct NodeCell<'a, S> {
+                machine: &'a mut Engine<S>,
+                key: &'a mut Option<SessionKey>,
+                inbox: Vec<Packet>,
+                out: Vec<Outgoing>,
+                failed: Option<NetError>,
+                progressed: bool,
             }
-            let ep = self.reactor.endpoint(self.tokens[i]);
-            progressed |= Self::pump_node(
-                ep,
-                &mut self.machines[i],
-                &mut self.keys[i],
-                packets,
-                fired,
-                &mut self.failed,
-            );
-            if let Some(e) = self.failed {
-                return Pump::Failed(e);
+            let mut cells: Vec<NodeCell<'_, S>> = self
+                .machines
+                .iter_mut()
+                .zip(self.keys.iter_mut())
+                .zip(inboxes)
+                .map(|((machine, key), inbox)| NodeCell {
+                    machine,
+                    key,
+                    inbox,
+                    out: Vec::new(),
+                    failed: None,
+                    progressed: false,
+                })
+                .collect();
+            crate::par::par_for_each_mut(&mut cells, |_, cell| {
+                cell.progressed = Self::pump_node(
+                    cell.machine,
+                    cell.key,
+                    std::mem::take(&mut cell.inbox),
+                    None,
+                    &mut cell.failed,
+                    &mut cell.out,
+                );
+            });
+            // Join barrier passed: replay per-node outcomes in node-index
+            // order — sends, then the *lowest* failing node wins (the
+            // sequential loop would have stopped there).
+            for (i, cell) in cells.into_iter().enumerate() {
+                progressed |= cell.progressed;
+                Self::dispatch(self.reactor.endpoint(self.tokens[i]), cell.out);
+                if let Some(e) = cell.failed {
+                    self.failed = Some(e);
+                    return Pump::Failed(e);
+                }
+            }
+        } else {
+            for (i, &fired) in timeouts.iter().enumerate() {
+                let packets = self.reactor.drain(self.tokens[i]);
+                if packets.is_empty() && fired.is_none() && self.keys[i].is_some() {
+                    continue;
+                }
+                let mut out = Vec::new();
+                progressed |= Self::pump_node(
+                    &mut self.machines[i],
+                    &mut self.keys[i],
+                    packets,
+                    fired,
+                    &mut self.failed,
+                    &mut out,
+                );
+                Self::dispatch(self.reactor.endpoint(self.tokens[i]), out);
+                if let Some(e) = self.failed {
+                    return Pump::Failed(e);
+                }
             }
         }
         if self.radio.is_some() {
@@ -716,67 +792,15 @@ impl<S: Send + Metered> Execution<S> {
         }
     }
 
-    /// Like [`Execution::pump`] but fanning the per-node machine work
-    /// across threads (`crate::par`) — the blocking `run()` wrappers use
-    /// this to keep the big-sweep wall-clock of the lock-step drivers.
+    /// Like [`Execution::pump`] but always fanning the per-node machine
+    /// work across threads (`crate::par`), regardless of
+    /// [`Faults::parallel`] — the blocking `run()` wrappers use this to
+    /// keep the big-sweep wall-clock of the lock-step drivers. Radio and
+    /// trace runs are parallel too: buffered in-order dispatch makes the
+    /// channel schedule and event stream bit-identical to [`Execution::pump`]
+    /// (pinned by the `pump_parallel_matches_sequential_*` tests).
     pub fn pump_par(&mut self) -> Pump {
-        if self.radio.is_some() || self.trace.is_some() {
-            // Parallel machine sweeps would enqueue sends in a
-            // nondeterministic order, which on a radio becomes a
-            // nondeterministic channel schedule — and under tracing a
-            // nondeterministic event stream; both stay sequential.
-            return self.pump();
-        }
-        if let Some(e) = self.failed {
-            return Pump::Failed(e);
-        }
-        if self.is_done() {
-            return Pump::Done;
-        }
-        self.reactor.poll_all();
-        let inboxes: Vec<Vec<Packet>> =
-            self.tokens.iter().map(|&t| self.reactor.drain(t)).collect();
-        let progressed = std::sync::atomic::AtomicBool::new(false);
-        let any_failed = std::sync::Mutex::new(None::<NetError>);
-        {
-            let reactor = &self.reactor;
-            let tokens = &self.tokens;
-            type Cell<'a, S> = (
-                usize,
-                &'a mut Engine<S>,
-                &'a mut Option<SessionKey>,
-                Vec<Packet>,
-            );
-            let mut cells: Vec<Cell<'_, S>> = self
-                .machines
-                .iter_mut()
-                .zip(self.keys.iter_mut())
-                .zip(inboxes)
-                .enumerate()
-                .map(|(i, ((m, k), inbox))| (i, m, k, inbox))
-                .collect();
-            crate::par::par_for_each_mut(&mut cells, |_, (i, machine, key, inbox)| {
-                let ep = reactor.endpoint(tokens[*i]);
-                let mut failed = None;
-                if Self::pump_node(ep, machine, key, std::mem::take(inbox), None, &mut failed) {
-                    progressed.store(true, std::sync::atomic::Ordering::Relaxed);
-                }
-                if let Some(e) = failed {
-                    *any_failed.lock().expect("uncontended collector") = Some(e);
-                }
-            });
-        }
-        if let Some(e) = any_failed.into_inner().expect("collector unpoisoned") {
-            self.failed = Some(e);
-            return Pump::Failed(e);
-        }
-        if self.is_done() {
-            Pump::Done
-        } else if progressed.load(std::sync::atomic::Ordering::Relaxed) {
-            Pump::Progressed
-        } else {
-            Pump::Stalled
-        }
+        self.pump_impl(true)
     }
 
     /// Drives the run to completion with parallel sweeps (reliable-medium
@@ -1113,6 +1137,119 @@ mod tests {
                 }
                 other => panic!("expected a virtual timeout, got {other:?}"),
             }
+        }
+    }
+
+    /// Drives an echo run with either pump flavor and snapshots everything
+    /// observable: per-node keys, merged op counts, the virtual clock and
+    /// the drained trace events (timestamps included).
+    #[allow(clippy::type_complexity)]
+    fn echo_run(
+        faults: &Faults,
+        n: usize,
+        par: bool,
+    ) -> (
+        Vec<Option<Ubig>>,
+        OpCounts,
+        Option<f64>,
+        Vec<egka_trace::Event>,
+    ) {
+        let ids: Vec<UserId> = (0..n as u32).map(UserId).collect();
+        let mut exec = Execution::new(&ids, faults, |i, _| echo_engine(i, n));
+        loop {
+            let p = if par { exec.pump_par() } else { exec.pump() };
+            if p != Pump::Progressed {
+                break;
+            }
+        }
+        let keys = (0..n).map(|i| exec.key(i).cloned()).collect();
+        let counts = exec.partial_counts();
+        let clock = exec.virtual_now_ms();
+        let events = faults.trace.as_ref().map(|t| t.drain()).unwrap_or_default();
+        (keys, counts, clock, events)
+    }
+
+    #[test]
+    fn parallel_pump_matches_sequential_under_loss() {
+        // Seeded loss on the instant medium: the loss draws happen at
+        // dispatch time, so this pins the parallel sweep's in-order
+        // buffered dispatch (a reordered dispatch would shuffle which
+        // deliveries drop).
+        for seed in [1u64, 7, 0xbeef] {
+            let faults = Faults {
+                loss: 0.35,
+                loss_seed: seed,
+                ..Faults::default()
+            };
+            assert_eq!(
+                echo_run(&faults, 5, false),
+                echo_run(&faults, 5, true),
+                "loss seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_pump_matches_sequential_on_radio_with_trace() {
+        // Radio + trace used to force the sequential fallback; now the
+        // parallel sweep must reproduce the channel schedule and the
+        // traced event stream bit for bit, virtual timestamps included.
+        let mk_faults = || Faults {
+            radio: Some(RadioSpec {
+                profile: RadioProfile::sensor_100kbps(),
+                seed: 0x77,
+                bank: None,
+            }),
+            trace: Some(egka_trace::StepTrace::new(1, 42, 10_000)),
+            ..Faults::default()
+        };
+        let seq_faults = mk_faults();
+        let par_faults = mk_faults();
+        let seq = echo_run(&seq_faults, 6, false);
+        let par = echo_run(&par_faults, 6, true);
+        assert_eq!(seq.0, par.0, "keys");
+        assert_eq!(seq.1, par.1, "op counts");
+        assert_eq!(seq.2, par.2, "virtual clock");
+        assert_eq!(seq.3, par.3, "trace event streams (with timestamps)");
+        assert!(!seq.3.is_empty(), "trace must have recorded rounds");
+    }
+
+    #[test]
+    fn faults_parallel_flag_routes_pump_through_the_parallel_sweep() {
+        let faults = Faults {
+            loss: 0.2,
+            loss_seed: 3,
+            parallel: true,
+            ..Faults::default()
+        };
+        let sequential = Faults {
+            loss: 0.2,
+            loss_seed: 3,
+            ..Faults::default()
+        };
+        // `pump()` with the flag ≡ `pump()` without it: the flag may only
+        // change wall-clock, never observable state.
+        assert_eq!(echo_run(&faults, 4, false), echo_run(&sequential, 4, false));
+    }
+
+    #[test]
+    fn parallel_pump_surfaces_deadline_timeouts() {
+        // The old pump_par dropped reactor timeout events; the unified
+        // sweep must fail the run exactly like the sequential pump.
+        let ids: Vec<UserId> = (0..3).map(UserId).collect();
+        let faults = Faults {
+            detached: vec![UserId(2)],
+            ..Faults::default()
+        };
+        let mut exec = Execution::new(&ids, &faults, |i, _| echo_engine(i, 3));
+        exec.set_deadline(Some(Duration::from_millis(1)));
+        while exec.pump_par() == Pump::Progressed {}
+        std::thread::sleep(Duration::from_millis(5));
+        match exec.pump_par() {
+            Pump::Failed(NetError::Timeout { waited }) => {
+                assert_eq!(waited, Duration::from_millis(1));
+            }
+            other => panic!("expected surfaced timeout, got {other:?}"),
         }
     }
 

@@ -34,4 +34,4 @@ pub mod pairing;
 pub use curve::{Curve, Point};
 pub use curves::{secp160r1, secp192r1, secp256k1, tiny19};
 pub use field::{Fp, Fp2, Fp2El};
-pub use pairing::{gen_pairing_group, PairingGroup};
+pub use pairing::{gen_pairing_group, MillerPrecomp, PairingGroup};

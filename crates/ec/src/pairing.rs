@@ -28,6 +28,14 @@ use rand::Rng;
 use crate::curve::{Curve, Point};
 use crate::field::{Fp, Fp2, Fp2El};
 
+/// Cached Miller-loop line coefficients for one fixed first argument —
+/// see [`PairingGroup::precompute`]. One entry per loop line in schedule
+/// order (`None` marks the verticals denominator elimination skips).
+#[derive(Clone, Debug)]
+pub struct MillerPrecomp {
+    lines: Vec<Option<(Ubig, Ubig)>>,
+}
+
 /// A symmetric pairing group on a supersingular curve.
 #[derive(Clone, Debug)]
 pub struct PairingGroup {
@@ -186,6 +194,99 @@ impl PairingGroup {
         }
         debug_assert!(v.is_infinity(), "order-q input must close the Miller loop");
         self.final_exponentiation(&acc)
+    }
+
+    /// Precomputes the Miller-loop line coefficients for a fixed first
+    /// argument `P`: the loop's `V` trajectory (and every line slope λ)
+    /// depends only on `P`, so a pairing against a long-lived point (the
+    /// group generator, a master public key) can cache them once and
+    /// evaluate each subsequent `Q` with one field multiply per line —
+    /// no inversions in the loop ([`PairingGroup::pairing_fixed`]).
+    pub fn precompute(&self, p_pt: &Point) -> MillerPrecomp {
+        let order = self.curve.order().clone();
+        let mut lines = Vec::new();
+        let mut v = p_pt.clone();
+        let bits = order.bit_length();
+        for i in (0..bits - 1).rev() {
+            lines.push(self.tangent_coeffs(&v));
+            v = self.curve.double(&v);
+            if order.bit(i) {
+                lines.push(self.chord_coeffs(&v, p_pt));
+                v = self.curve.add(&v, p_pt);
+            }
+        }
+        debug_assert!(
+            p_pt.is_infinity() || v.is_infinity(),
+            "order-q input must close the Miller loop"
+        );
+        MillerPrecomp { lines }
+    }
+
+    /// The modified Tate pairing with the first argument's line
+    /// coefficients precomputed ([`PairingGroup::precompute`]). Identical
+    /// output to [`PairingGroup::pairing`] — each line's value at
+    /// `φ(Q) = (−q_x, i·q_y)` is `(A − λ·φ_x) + i·q_y` with `(λ, A)`
+    /// cached, so the loop costs one field multiply per line.
+    ///
+    /// # Panics
+    /// May panic (or return garbage) if `pre` was built by a different
+    /// pairing group: the line schedule is keyed to this group's order.
+    pub fn pairing_fixed(&self, pre: &MillerPrecomp, q_pt: &Point) -> Fp2El {
+        let (qx, qy) = match q_pt.xy() {
+            None => return Fp2El::one(),
+            Some(xy) => (xy.0.clone(), xy.1.clone()),
+        };
+        let f = self.curve.field();
+        let fp2 = &self.fp2;
+        let phi_x = f.neg(&qx);
+        let order = self.curve.order();
+        let bits = order.bit_length();
+        let mut acc = Fp2El::one();
+        let mut lines = pre.lines.iter();
+        let eval = |acc: &Fp2El, line: Option<&(Ubig, Ubig)>| match line {
+            Some((lambda, a)) => {
+                let c0 = f.sub(a, &f.mul(lambda, &phi_x));
+                fp2.mul(acc, &Fp2El { c0, c1: qy.clone() })
+            }
+            None => acc.clone(),
+        };
+        for i in (0..bits - 1).rev() {
+            acc = fp2.sqr(&acc);
+            acc = eval(&acc, lines.next().expect("line schedule").as_ref());
+            if order.bit(i) {
+                acc = eval(&acc, lines.next().expect("line schedule").as_ref());
+            }
+        }
+        self.final_exponentiation(&acc)
+    }
+
+    /// `(λ, A = λ·x_V − y_V)` of the tangent at `V`, or `None` when
+    /// vertical. The line's value at `φ(Q)` is `(A − λ·φ_x) + i·q_y`.
+    fn tangent_coeffs(&self, v: &Point) -> Option<(Ubig, Ubig)> {
+        let f = self.curve.field();
+        let (vx, vy) = v.xy()?;
+        if vy.is_zero() {
+            return None;
+        }
+        let lambda = f.mul(
+            &f.add(&f.mul_u64(&f.sqr(vx), 3), &Ubig::one()),
+            &f.inv(&f.mul_u64(vy, 2)).expect("vy != 0"),
+        );
+        let a = f.sub(&f.mul(&lambda, vx), vy);
+        Some((lambda, a))
+    }
+
+    /// `(λ, A)` of the chord through `V` and `P`, or `None` when vertical.
+    fn chord_coeffs(&self, v: &Point, p: &Point) -> Option<(Ubig, Ubig)> {
+        let f = self.curve.field();
+        let (vx, vy) = v.xy()?;
+        let (px, py) = p.xy()?;
+        if vx == px {
+            return None;
+        }
+        let lambda = f.mul(&f.sub(py, vy), &f.inv(&f.sub(px, vx)).expect("px != vx"));
+        let a = f.sub(&f.mul(&lambda, vx), vy);
+        Some((lambda, a))
     }
 
     /// Tangent line at `V` evaluated at `φ(Q) = (φ_x, i·q_y)`; `None` when the
@@ -365,6 +466,24 @@ mod tests {
         let b = g.map_to_point(b"bob");
         assert_eq!(a1, a2);
         assert_ne!(a1, b);
+    }
+
+    #[test]
+    fn fixed_base_pairing_matches_generic() {
+        let g = small_group();
+        let mut rng = ChaChaRng::seed_from_u64(14);
+        let gen = g.curve().generator().clone();
+        let pre = g.precompute(&gen);
+        for _ in 0..4 {
+            let q = g.random_point(&mut rng);
+            assert_eq!(g.pairing_fixed(&pre, &q), g.pairing(&gen, &q));
+        }
+        assert!(g.pairing_fixed(&pre, &Point::Infinity).is_one());
+        // An arbitrary (non-generator) fixed point works too.
+        let p = g.random_point(&mut rng);
+        let pre_p = g.precompute(&p);
+        let q = g.random_point(&mut rng);
+        assert_eq!(g.pairing_fixed(&pre_p, &q), g.pairing(&p, &q));
     }
 
     #[test]

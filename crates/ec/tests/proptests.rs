@@ -101,6 +101,90 @@ proptest! {
     }
 }
 
+// -------------------------------------------------------------------------
+// Reference equivalence: every accelerated ladder (generic wNAF `mul`, the
+// fixed-base comb behind `mul_gen`, the Straus interleaving behind
+// `mul_mul_add`) must agree with textbook MSB-first double-and-add — on
+// random scalars and on the order-boundary edge cases where window and comb
+// bookkeeping is most likely to slip.
+
+/// Textbook double-and-add. Deliberately the dumbest correct algorithm: no
+/// windows, no NAF, no comb — one double per bit, one add per set bit.
+fn naive_mul(c: &Curve, k: &Ubig, p: &Point) -> Point {
+    let mut acc = Point::Infinity;
+    for bit in (0..k.bit_length()).rev() {
+        acc = c.double(&acc);
+        if k.bit(bit) {
+            acc = c.add(&acc, p);
+        }
+    }
+    acc
+}
+
+/// `0, 1, n−1, n, n+1` — the scalars that straddle the subgroup order.
+fn edge_scalars(c: &Curve) -> Vec<Ubig> {
+    let n = c.order();
+    vec![
+        Ubig::zero(),
+        Ubig::one(),
+        n.checked_sub(&Ubig::one()).unwrap(),
+        n.clone(),
+        n.add_ref(&Ubig::one()),
+    ]
+}
+
+/// Asserts all three accelerated paths match the naive reference for `k`
+/// (reduced mod the order first, matching `mul`/`mul_gen` semantics).
+fn assert_ladders_match(c: &Curve, k: &Ubig) {
+    let g = c.generator().clone();
+    let reduced = k.rem_ref(c.order());
+    let want = naive_mul(c, &reduced, &g);
+    assert_eq!(c.mul(k, &g), want, "mul disagrees with double-and-add");
+    assert_eq!(c.mul_gen(k), want, "mul_gen disagrees with double-and-add");
+    // k·G + 0·G and ⌊k/2⌋·G + ⌈k/2⌉·G both equal k·G.
+    let half = reduced.shr_bits(1);
+    let rest = reduced.checked_sub(&half).unwrap();
+    assert_eq!(
+        c.mul_mul_add(&half, &g, &rest, &g),
+        want,
+        "mul_mul_add disagrees with double-and-add"
+    );
+}
+
+#[test]
+fn ladders_match_naive_on_edge_scalars() {
+    for c in [tiny19(), secp160r1()] {
+        for k in edge_scalars(&c) {
+            assert_ladders_match(&c, &k);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn ladders_match_naive_on_random_scalars(seed in any::<u64>()) {
+        for c in [tiny19(), secp160r1()] {
+            // Stretch the u64 across the full scalar width so high comb
+            // columns are exercised, not just the low 64 bits.
+            let wide = elem(c.field(), seed);
+            assert_ladders_match(&c, &wide);
+            assert_ladders_match(&c, &Ubig::from_u64(seed));
+        }
+    }
+
+    #[test]
+    fn mul_mul_add_matches_naive_on_distinct_points(a in 1u64..u64::MAX, b in 1u64..u64::MAX) {
+        let c = secp160r1();
+        let g = c.generator().clone();
+        let (ka, kb) = (Ubig::from_u64(a), Ubig::from_u64(b));
+        let q = c.mul_gen(&Ubig::from_u64(0x9e37_79b9));
+        let want = c.add(&naive_mul(&c, &ka, &g), &naive_mul(&c, &kb, &q));
+        prop_assert_eq!(c.mul_mul_add(&ka, &g, &kb, &q), want);
+    }
+}
+
 #[test]
 fn fixture_pairing_group_is_reusable() {
     // Not a proptest (expensive); pins that the 194-bit fixture behaves.

@@ -65,6 +65,7 @@ pub(crate) struct Config {
     pub loss: f64,
     pub store: Option<StoreConfig>,
     pub trace: Tracer,
+    pub parallel_pump: bool,
 }
 
 impl Default for Config {
@@ -79,6 +80,7 @@ impl Default for Config {
             loss: 0.0,
             store: None,
             trace: Tracer::disabled(),
+            parallel_pump: false,
         }
     }
 }
@@ -152,6 +154,16 @@ impl ServiceBuilder {
     /// `SuitePolicy::Fixed(SuiteId::Proposed)`).
     pub fn suite_policy(mut self, policy: SuitePolicy) -> Self {
         self.cfg.policy = policy;
+        self
+    }
+
+    /// Fans every protocol step's per-node machine work across threads
+    /// (default off). Purely a wall-clock knob: the parallel sweep
+    /// dispatches sends in node-index order after the machines join, so
+    /// keys, meters, loss draws, radio schedules and trace streams are
+    /// bit-identical to the sequential pump.
+    pub fn parallel_pump(mut self, on: bool) -> Self {
+        self.cfg.parallel_pump = on;
         self
     }
 
@@ -594,6 +606,7 @@ impl KeyService {
         };
         let faults_for = |_seed: u64| Faults {
             trace: strace.clone(),
+            parallel: self.config.parallel_pump,
             ..Faults::none()
         };
         let ctx = StepCtx {
@@ -710,6 +723,7 @@ impl KeyService {
         let detached: Vec<UserId> = self.detached.iter().copied().collect();
         let loss = self.loss;
         let step_retries = self.config.step_retries;
+        let parallel_pump = self.config.parallel_pump;
         let radio = self.radio_epoch();
         par::par_for_each_mut(&mut self.shards, |i, shard| {
             shard.run_epoch(&EpochCtx {
@@ -724,6 +738,7 @@ impl KeyService {
                 radio: radio.as_ref(),
                 pid: i as u32 + 1,
                 trace_enabled,
+                parallel_pump,
             });
         });
 
@@ -1195,6 +1210,7 @@ impl KeyService {
                     bank: self.bank.clone(),
                 }),
                 trace: trace.cloned(),
+                parallel: self.config.parallel_pump,
             };
             let ctx = StepCtx {
                 pkg: &self.pkg,

@@ -1,0 +1,618 @@
+//! Seeded random-linear-combination (RLC) batch verification.
+//!
+//! A coordinator rekey verifies one signature per member — dozens of
+//! independent `(key, message, signature)` triples under the same scheme.
+//! This module verifies such an *epoch batch* faster than a loop of
+//! individual verifications, without weakening soundness:
+//!
+//! * **ECDSA** ([`ecdsa_batch_verify`]) — the classic small-exponent test.
+//!   Each verification equation `u1_i·G + u2_i·Q_i = R_i` is scaled by a
+//!   random 64-bit coefficient `a_i` and the equations are summed, so one
+//!   multi-scalar multiplication (plus a fixed-base comb evaluation for the
+//!   aggregated generator term) replaces the per-item double-scalar
+//!   multiplications. ECDSA transmits only `r_i = x(R_i) mod n`, so `R_i`
+//!   is recovered by decompressing `r_i` and the unknown `y` parities are
+//!   resolved with a Gray-code walk over sign vectors — which is why the
+//!   batch works on small chunks ([`ECDSA_CHUNK`]) rather than the whole
+//!   epoch at once.
+//! * **DSA** ([`dsa_batch_verify`]) — **no RLC exists** for unmodified DSA:
+//!   the verifier checks `r_i = (g^{u1_i} y_i^{u2_i} mod p) mod q`, and the
+//!   outer `mod q` is not a group homomorphism, so per-equation scaling
+//!   does not distribute over a product of the `r_i`. (Known DSA batch
+//!   schemes require the signer to transmit the full `g^{k}` value.) The
+//!   batch entry point instead amortizes shared state — one interned
+//!   Montgomery context and one fixed-base comb for `g` across the whole
+//!   batch — and reports the first failing index like its siblings.
+//! * **GQ** ([`gq_batch_verify_split`]) — RLC over the *split* (shared
+//!   challenge) form used by the GKA protocols: each member's response
+//!   satisfies `s_i^e = t_i · h_i^c (mod n)`, a genuine multiplicative
+//!   relation, so scaled equations multiply into
+//!   `(∏ s_i^{a_i})^e = ∏ t_i^{a_i} · (∏ h_i^{a_i})^c` — three full-size
+//!   exponentiations plus short 64-bit multi-exponentiations, regardless
+//!   of batch size. The independent-signature form (`GqSignature`, which
+//!   checks a *hash equality* `c = H(t, m)`) cannot be combined this way;
+//!   the paper's own aggregate check (eq. (2), [`crate::gq`]) stays as-is.
+//!
+//! **Coefficient seeding.** The RLC coefficients must be unpredictable to
+//! whoever chose the signatures, and must *not* consume protocol RNG (node
+//! RNG draw order is golden-pinned by the simulator). They are therefore
+//! derived Fiat–Shamir-style: a seed is hashed from the full batch
+//! transcript (all keys, messages and signature components), and `a_i`
+//! expands from `(seed, i)`. Flipping any bit of any input reshuffles every
+//! coefficient.
+//!
+//! **Attribution.** All entry points return `Result<(), usize>` with the
+//! lowest failing index. A failed RLC check falls back to individual
+//! verification (ECDSA) or bisection over sub-batches (GQ) to find the
+//! culprit — and since a batch of valid signatures satisfies the combined
+//! equation *identically* (not just with high probability), the fallback
+//! also absorbs the rare false rejection (e.g. an `R_i` that decompresses
+//! to the wrong curve twist) without ever rejecting a valid batch.
+
+use egka_bigint::{mod_inverse, mod_mul, mod_pow, mont_ctx, MontForm, Montgomery, Ubig};
+use egka_ec::Point;
+use egka_hash::mgf1;
+
+use crate::dsa::{Dsa, DsaSignature};
+use crate::ecdsa::{Ecdsa, EcdsaSignature};
+use crate::gq::GqParams;
+
+/// ECDSA chunk width: sign recovery enumerates `2^ECDSA_CHUNK` sign
+/// vectors per chunk (Gray-coded, one point addition each), so this stays
+/// small.
+pub const ECDSA_CHUNK: usize = 4;
+
+const ECDSA_TAG: &[u8] = b"egka.batch.ecdsa.v1";
+const GQ_TAG: &[u8] = b"egka.batch.gq.v1";
+
+/// One ECDSA triple in an epoch batch.
+#[derive(Clone, Copy, Debug)]
+pub struct EcdsaBatchItem<'a> {
+    /// Signer public key.
+    pub q: &'a Point,
+    /// Signed message.
+    pub msg: &'a [u8],
+    /// The signature.
+    pub sig: &'a EcdsaSignature,
+}
+
+/// One DSA triple in an epoch batch.
+#[derive(Clone, Copy, Debug)]
+pub struct DsaBatchItem<'a> {
+    /// Signer public key `y = g^x`.
+    pub y: &'a Ubig,
+    /// Signed message.
+    pub msg: &'a [u8],
+    /// The signature.
+    pub sig: &'a DsaSignature,
+}
+
+/// One member's split-form GQ values (shared challenge `c`).
+#[derive(Clone, Copy, Debug)]
+pub struct GqSplitItem<'a> {
+    /// Member identity (hashed to `h_i` via [`GqParams::hash_id`]).
+    pub id: &'a [u8],
+    /// Round-1 commitment `t_i = τ_i^e`.
+    pub t: &'a Ubig,
+    /// Round-2 response `s_i = τ_i · S_IDᵢ^c`.
+    pub s: &'a Ubig,
+}
+
+/// Expands `(seed, i)` to a nonzero 64-bit RLC coefficient.
+fn coefficient(tag: &[u8], seed: &[u8], i: usize) -> u64 {
+    let mut input = Vec::with_capacity(seed.len() + 8);
+    input.extend_from_slice(seed);
+    input.extend_from_slice(&(i as u64).to_be_bytes());
+    let bytes = mgf1(tag, &input, 8);
+    u64::from_be_bytes(bytes.try_into().expect("mgf1 returns 8 bytes")) | 1
+}
+
+/// Appends a length-prefixed field to a transcript.
+fn push_field(transcript: &mut Vec<u8>, bytes: &[u8]) {
+    transcript.extend_from_slice(&(bytes.len() as u64).to_be_bytes());
+    transcript.extend_from_slice(bytes);
+}
+
+// ---------------------------------------------------------------- ECDSA
+
+/// Batch-verifies ECDSA signatures; `Err(i)` is the lowest failing index.
+///
+/// Accepts exactly the set of batches whose every item passes
+/// [`Ecdsa::verify`]: the RLC path is an accelerator, and any chunk it
+/// cannot certify (combined equation fails for every sign vector, or an
+/// `r_i` that does not decompress) is re-checked item by item.
+pub fn ecdsa_batch_verify(scheme: &Ecdsa, items: &[EcdsaBatchItem<'_>]) -> Result<(), usize> {
+    let seed = ecdsa_seed(scheme, items);
+    for (chunk_idx, chunk) in items.chunks(ECDSA_CHUNK).enumerate() {
+        let base = chunk_idx * ECDSA_CHUNK;
+        if chunk.len() >= 2 && ecdsa_chunk_holds(scheme, chunk, base, &seed) {
+            continue;
+        }
+        // Single-item chunk, or the RLC check failed: attribute (and
+        // rescue any false rejection) by individual verification.
+        for (j, it) in chunk.iter().enumerate() {
+            if !scheme.verify(it.q, it.msg, it.sig) {
+                return Err(base + j);
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Hashes the whole batch transcript into a coefficient seed.
+fn ecdsa_seed(scheme: &Ecdsa, items: &[EcdsaBatchItem<'_>]) -> Vec<u8> {
+    let curve = scheme.curve();
+    let mut transcript = Vec::new();
+    for it in items {
+        push_field(&mut transcript, &curve.compress(it.q));
+        push_field(&mut transcript, it.msg);
+        push_field(&mut transcript, &it.sig.r.to_bytes_be());
+        push_field(&mut transcript, &it.sig.s.to_bytes_be());
+    }
+    mgf1(ECDSA_TAG, &transcript, 32)
+}
+
+/// Runs the RLC check on one chunk; `true` certifies every item in it.
+fn ecdsa_chunk_holds(
+    scheme: &Ecdsa,
+    chunk: &[EcdsaBatchItem<'_>],
+    base: usize,
+    seed: &[u8],
+) -> bool {
+    let curve = scheme.curve();
+    let n = curve.order();
+    let f = curve.field();
+    if !f.is_3_mod_4() {
+        return false; // no fast sqrt → cannot recover R; fall back
+    }
+
+    // Per-item scalars and recovered commitment points.
+    let mut sg = Ubig::zero(); // Σ a_i·u1_i mod n, aggregated generator scalar
+    let mut u2s = Vec::with_capacity(chunk.len()); // a_i·u2_i mod n
+    let mut coeffs = Vec::with_capacity(chunk.len()); // a_i as Ubig
+    let mut r_pts = Vec::with_capacity(chunk.len()); // R_i candidates
+    let mut neg_r_pts = Vec::with_capacity(chunk.len());
+    for (j, it) in chunk.iter().enumerate() {
+        if it.sig.r.is_zero() || &it.sig.r >= n || it.sig.s.is_zero() || &it.sig.s >= n {
+            return false;
+        }
+        if it.q.is_infinity() || !curve.is_on_curve(it.q) {
+            return false;
+        }
+        let Some(w) = mod_inverse(&it.sig.s, n) else {
+            return false;
+        };
+        // Recover R_i from its x-coordinate r_i. (If n < p the true
+        // x-coordinate could also be r_i + n; that rare case surfaces as
+        // a chunk failure and is rescued by the individual fallback.)
+        if &it.sig.r >= f.modulus() {
+            return false;
+        }
+        let rhs = f.add(
+            &f.mul(&f.add(&f.sqr(&it.sig.r), curve.a()), &it.sig.r),
+            curve.b(),
+        );
+        let Some(y) = f.sqrt(&rhs) else {
+            return false;
+        };
+        let r_pt = Point::affine(it.sig.r.clone(), y);
+        let a_i = Ubig::from_u64(coefficient(ECDSA_TAG, seed, base + j));
+        let h = scheme.hash_msg(it.msg);
+        let u1 = mod_mul(&h, &w, n);
+        let u2 = mod_mul(&it.sig.r, &w, n);
+        sg = (sg.add_ref(&mod_mul(&a_i, &u1, n))).rem_ref(n);
+        u2s.push(mod_mul(&a_i, &u2, n));
+        neg_r_pts.push(curve.neg(&r_pt));
+        r_pts.push(r_pt);
+        coeffs.push(a_i);
+    }
+
+    // U(ε = all +1) = (Σ a_i u1_i)·G + Σ a_i u2_i·Q_i − Σ a_i·R_i.
+    let mut terms: Vec<(&Ubig, &Point)> = Vec::with_capacity(2 * chunk.len());
+    for (j, it) in chunk.iter().enumerate() {
+        terms.push((&u2s[j], it.q));
+        terms.push((&coeffs[j], &neg_r_pts[j]));
+    }
+    let mut u = curve.add(&curve.mul_gen(&sg), &curve.mul_multi(&terms));
+    if u.is_infinity() {
+        return true;
+    }
+
+    // Gray-code walk over the remaining 2^k − 1 sign vectors: each step
+    // flips one ε_j, shifting U by ±2a_j·R_j (points built lazily —
+    // low-index flips happen exponentially more often).
+    let mut minus = vec![false; chunk.len()];
+    let mut steps: Vec<Option<(Point, Point)>> = vec![None; chunk.len()];
+    for step in 1usize..(1 << chunk.len()) {
+        let j = step.trailing_zeros() as usize;
+        let (e_j, neg_e_j) = steps[j].get_or_insert_with(|| {
+            let two_a = Ubig::from_u64(2).mul_ref(&coeffs[j]);
+            let e = curve.mul(&two_a, &r_pts[j]);
+            let neg_e = curve.neg(&e);
+            (e, neg_e)
+        });
+        minus[j] = !minus[j];
+        u = curve.add(&u, if minus[j] { e_j } else { neg_e_j });
+        if u.is_infinity() {
+            return true;
+        }
+    }
+    false
+}
+
+// ------------------------------------------------------------------ DSA
+
+/// Verifies a DSA epoch batch; `Err(i)` is the lowest failing index.
+///
+/// See the module docs for why DSA admits no random-linear-combination:
+/// this entry point amortizes the shared Montgomery context and the
+/// fixed-base comb for `g` (both interned in `egka-bigint`) across the
+/// batch, which is where the per-item savings actually come from.
+pub fn dsa_batch_verify(scheme: &Dsa, items: &[DsaBatchItem<'_>]) -> Result<(), usize> {
+    for (i, it) in items.iter().enumerate() {
+        if !scheme.verify(it.y, it.msg, it.sig) {
+            return Err(i);
+        }
+    }
+    Ok(())
+}
+
+// ------------------------------------------------------------------- GQ
+
+/// Batch-verifies split-form GQ responses under the shared challenge `c`;
+/// `Err(i)` is the lowest failing index.
+///
+/// Checks `(∏ s_i^{a_i})^e == ∏ t_i^{a_i} · (∏ h_i^{a_i})^c (mod n)` —
+/// valid batches satisfy this identically, so acceptance is exact; a
+/// forged response survives only if its coefficient draw lands in a
+/// ≈2⁻⁶³ bad set. On failure the culprit is located by bisection
+/// (`O(log n)` sub-batch checks) rather than a full individual sweep.
+pub fn gq_batch_verify_split(
+    params: &GqParams,
+    c: &Ubig,
+    items: &[GqSplitItem<'_>],
+) -> Result<(), usize> {
+    // Malformed values fail fast with exact attribution.
+    for (i, it) in items.iter().enumerate() {
+        if it.s.is_zero() || it.s >= &params.n || it.t.is_zero() || it.t >= &params.n {
+            return Err(i);
+        }
+    }
+    if items.is_empty() {
+        return Ok(());
+    }
+    let hs: Vec<Ubig> = items.iter().map(|it| params.hash_id(it.id)).collect();
+
+    let mut transcript = Vec::new();
+    push_field(&mut transcript, &c.to_bytes_be());
+    for (it, h) in items.iter().zip(&hs) {
+        push_field(&mut transcript, &it.t.to_bytes_be());
+        push_field(&mut transcript, &it.s.to_bytes_be());
+        push_field(&mut transcript, &h.to_bytes_be());
+    }
+    let seed = mgf1(GQ_TAG, &transcript, 32);
+    let coeffs: Vec<u64> = (0..items.len())
+        .map(|i| coefficient(GQ_TAG, &seed, i))
+        .collect();
+
+    let ctx = mont_ctx(&params.n);
+    if gq_range_holds(params, &ctx, c, items, &hs, &coeffs, 0, items.len()) {
+        return Ok(());
+    }
+    match gq_bisect(params, &ctx, c, items, &hs, &coeffs, 0, items.len()) {
+        Some(i) => Err(i),
+        // The combined equation failed but bisection lost the culprit to a
+        // coefficient collision (≈2⁻⁶³): settle it with a linear sweep.
+        None => match items
+            .iter()
+            .zip(&hs)
+            .position(|(it, h)| !gq_single_holds(params, c, it, h))
+        {
+            Some(i) => Err(i),
+            None => Ok(()),
+        },
+    }
+}
+
+/// RLC check over `items[lo..hi]`.
+#[allow(clippy::too_many_arguments)]
+fn gq_range_holds(
+    params: &GqParams,
+    ctx: &Montgomery,
+    c: &Ubig,
+    items: &[GqSplitItem<'_>],
+    hs: &[Ubig],
+    coeffs: &[u64],
+    lo: usize,
+    hi: usize,
+) -> bool {
+    let s_prod = multi_pow_64(ctx, (lo..hi).map(|i| (items[i].s, coeffs[i])));
+    let t_prod = multi_pow_64(ctx, (lo..hi).map(|i| (items[i].t, coeffs[i])));
+    let h_prod = multi_pow_64(ctx, (lo..hi).map(|i| (&hs[i], coeffs[i])));
+    let lhs = ctx.pow(&s_prod, &params.e);
+    let rhs = mod_mul(&t_prod, &ctx.pow(&h_prod, c), &params.n);
+    lhs == rhs
+}
+
+/// Locates a failing index inside a range known to fail the RLC check.
+#[allow(clippy::too_many_arguments)]
+fn gq_bisect(
+    params: &GqParams,
+    ctx: &Montgomery,
+    c: &Ubig,
+    items: &[GqSplitItem<'_>],
+    hs: &[Ubig],
+    coeffs: &[u64],
+    lo: usize,
+    hi: usize,
+) -> Option<usize> {
+    if hi - lo == 1 {
+        return (!gq_single_holds(params, c, &items[lo], &hs[lo])).then_some(lo);
+    }
+    let mid = lo + (hi - lo) / 2;
+    // A failing range has a failing half (the full product splits into the
+    // two half-products), so recurse only into halves that fail.
+    if !gq_range_holds(params, ctx, c, items, hs, coeffs, lo, mid) {
+        if let Some(i) = gq_bisect(params, ctx, c, items, hs, coeffs, lo, mid) {
+            return Some(i);
+        }
+    }
+    if !gq_range_holds(params, ctx, c, items, hs, coeffs, mid, hi) {
+        if let Some(i) = gq_bisect(params, ctx, c, items, hs, coeffs, mid, hi) {
+            return Some(i);
+        }
+    }
+    None
+}
+
+/// The split-form check for one member: `s^e == t · h^c (mod n)`.
+fn gq_single_holds(params: &GqParams, c: &Ubig, item: &GqSplitItem<'_>, h: &Ubig) -> bool {
+    let lhs = mod_pow(item.s, &params.e, &params.n);
+    let rhs = mod_mul(item.t, &mod_pow(h, c, &params.n), &params.n);
+    lhs == rhs
+}
+
+/// `∏ base_i^{e_i} mod n` for 64-bit exponents via one shared
+/// square-and-multiply chain: 64 squarings total plus ~32 multiplies per
+/// term, instead of a full chain per term.
+fn multi_pow_64<'a>(ctx: &Montgomery, pairs: impl Iterator<Item = (&'a Ubig, u64)>) -> Ubig {
+    let ms: Vec<(MontForm, u64)> = pairs
+        .map(|(b, e)| (ctx.to_mont(&b.rem_ref(ctx.modulus())), e))
+        .collect();
+    let mut acc = ctx.one();
+    for bit in (0..64u32).rev() {
+        acc = ctx.sqr(&acc);
+        for (m, e) in &ms {
+            if (e >> bit) & 1 == 1 {
+                acc = ctx.mul(&acc, m);
+            }
+        }
+    }
+    ctx.from_mont(&acc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gq::GqPkg;
+    use egka_hash::ChaChaRng;
+    use rand::SeedableRng;
+
+    // ------------------------------------------------------------ ECDSA
+
+    fn ecdsa_batch(n: usize, rng_seed: u64) -> (Ecdsa, Vec<(Point, Vec<u8>, EcdsaSignature)>) {
+        let scheme = Ecdsa::new(egka_ec::secp160r1());
+        let mut rng = ChaChaRng::seed_from_u64(rng_seed);
+        let triples = (0..n)
+            .map(|i| {
+                let kp = scheme.keygen(&mut rng);
+                let msg = format!("epoch rekey share {i}").into_bytes();
+                let sig = scheme.sign(&mut rng, &kp, &msg);
+                (kp.q, msg, sig)
+            })
+            .collect();
+        (scheme, triples)
+    }
+
+    fn as_items(triples: &[(Point, Vec<u8>, EcdsaSignature)]) -> Vec<EcdsaBatchItem<'_>> {
+        triples
+            .iter()
+            .map(|(q, msg, sig)| EcdsaBatchItem { q, msg, sig })
+            .collect()
+    }
+
+    #[test]
+    fn ecdsa_accepts_valid_batches_of_all_sizes() {
+        for n in [0usize, 1, 2, 3, 4, 5, 9] {
+            let (scheme, triples) = ecdsa_batch(n, 0xb47c + n as u64);
+            assert_eq!(
+                ecdsa_batch_verify(&scheme, &as_items(&triples)),
+                Ok(()),
+                "n = {n}"
+            );
+        }
+    }
+
+    #[test]
+    fn ecdsa_attributes_each_forged_position() {
+        let n = 6;
+        for bad in 0..n {
+            let (scheme, mut triples) = ecdsa_batch(n, 0xf0f0);
+            triples[bad].2.s = triples[bad]
+                .2
+                .s
+                .add_ref(&Ubig::one())
+                .rem_ref(scheme.curve().order());
+            let got = ecdsa_batch_verify(&scheme, &as_items(&triples));
+            // s+1 could be 0 (rejected) or a wrong-but-in-range scalar;
+            // either way the forged index is the one reported.
+            assert_eq!(got, Err(bad), "forged position {bad}");
+        }
+    }
+
+    #[test]
+    fn ecdsa_reports_lowest_of_several_forgeries() {
+        let (scheme, mut triples) = ecdsa_batch(8, 0xdead);
+        for bad in [2usize, 5, 6] {
+            triples[bad].2.r = triples[bad]
+                .2
+                .r
+                .add_ref(&Ubig::one())
+                .rem_ref(scheme.curve().order());
+        }
+        assert_eq!(ecdsa_batch_verify(&scheme, &as_items(&triples)), Err(2));
+    }
+
+    #[test]
+    fn ecdsa_rejects_swapped_messages() {
+        let (scheme, mut triples) = ecdsa_batch(4, 0xcafe);
+        let m = triples[1].1.clone();
+        triples[1].1 = triples[2].1.clone();
+        triples[2].1 = m;
+        let got = ecdsa_batch_verify(&scheme, &as_items(&triples));
+        assert_eq!(got, Err(1));
+    }
+
+    #[test]
+    fn ecdsa_batch_agrees_with_individual_on_random_corruption() {
+        // The batch accepts iff every individual verification accepts.
+        for seed in 0..8u64 {
+            let (scheme, mut triples) = ecdsa_batch(5, 0x5eed + seed);
+            if seed % 2 == 0 {
+                let i = (seed as usize / 2) % triples.len();
+                triples[i].2.r = Ubig::from_u64(12345 + seed);
+            }
+            let items = as_items(&triples);
+            let individual = items
+                .iter()
+                .position(|it| !scheme.verify(it.q, it.msg, it.sig));
+            let batch = ecdsa_batch_verify(&scheme, &items);
+            assert_eq!(batch.err(), individual, "seed {seed}");
+        }
+    }
+
+    // -------------------------------------------------------------- DSA
+
+    #[test]
+    fn dsa_batch_accepts_valid_and_attributes_forgery() {
+        let mut rng = ChaChaRng::seed_from_u64(0xd5a);
+        let group = egka_bigint::gen_schnorr_group(&mut rng, 256, 96);
+        let scheme = Dsa::new(group);
+        let triples: Vec<(Ubig, Vec<u8>, DsaSignature)> = (0..4)
+            .map(|i| {
+                let kp = scheme.keygen(&mut rng);
+                let msg = format!("share {i}").into_bytes();
+                let sig = scheme.sign(&mut rng, &kp, &msg);
+                (kp.y, msg, sig)
+            })
+            .collect();
+        let items: Vec<DsaBatchItem<'_>> = triples
+            .iter()
+            .map(|(y, msg, sig)| DsaBatchItem { y, msg, sig })
+            .collect();
+        assert_eq!(dsa_batch_verify(&scheme, &items), Ok(()));
+
+        let mut forged = triples.clone();
+        forged[2].2.s = forged[2].2.s.add_ref(&Ubig::one());
+        let items: Vec<DsaBatchItem<'_>> = forged
+            .iter()
+            .map(|(y, msg, sig)| DsaBatchItem { y, msg, sig })
+            .collect();
+        assert_eq!(dsa_batch_verify(&scheme, &items), Err(2));
+    }
+
+    // --------------------------------------------------------------- GQ
+
+    struct GqFixture {
+        pkg: GqPkg,
+        c: Ubig,
+        values: Vec<(Vec<u8>, Ubig, Ubig)>, // (id, t, s)
+    }
+
+    fn gq_fixture(n: usize, seed: u64) -> GqFixture {
+        let mut rng = ChaChaRng::seed_from_u64(seed);
+        let pkg = GqPkg::setup_with_e_bits(&mut rng, 128, 41);
+        let p = &pkg.params;
+        let ids: Vec<Vec<u8>> = (0..n).map(|i| format!("member-{i}").into_bytes()).collect();
+        let keys: Vec<_> = ids.iter().map(|id| pkg.extract(id)).collect();
+        let commits: Vec<(Ubig, Ubig)> = (0..n).map(|_| p.commit(&mut rng)).collect();
+        let t_agg =
+            p.aggregate_commitments(&commits.iter().map(|(_, t)| t.clone()).collect::<Vec<_>>());
+        let c = p.shared_challenge(&t_agg, b"epoch binding");
+        let values = (0..n)
+            .map(|i| {
+                let s = p.respond(&keys[i], &commits[i].0, &c);
+                (ids[i].clone(), commits[i].1.clone(), s)
+            })
+            .collect();
+        GqFixture { pkg, c, values }
+    }
+
+    fn gq_items(fx: &GqFixture) -> Vec<GqSplitItem<'_>> {
+        fx.values
+            .iter()
+            .map(|(id, t, s)| GqSplitItem { id, t, s })
+            .collect()
+    }
+
+    #[test]
+    fn gq_accepts_valid_batches_of_all_sizes() {
+        for n in [1usize, 2, 3, 7] {
+            let fx = gq_fixture(n, 0x60 + n as u64);
+            assert_eq!(
+                gq_batch_verify_split(&fx.pkg.params, &fx.c, &gq_items(&fx)),
+                Ok(()),
+                "n = {n}"
+            );
+        }
+    }
+
+    #[test]
+    fn gq_attributes_each_forged_position() {
+        let n = 5;
+        for bad in 0..n {
+            let mut fx = gq_fixture(n, 0x6abc);
+            fx.values[bad].2 = mod_mul(&fx.values[bad].2, &Ubig::from_u64(7), &fx.pkg.params.n);
+            assert_eq!(
+                gq_batch_verify_split(&fx.pkg.params, &fx.c, &gq_items(&fx)),
+                Err(bad),
+                "forged position {bad}"
+            );
+        }
+    }
+
+    #[test]
+    fn gq_reports_lowest_of_several_forgeries() {
+        let mut fx = gq_fixture(6, 0x6def);
+        for bad in [1usize, 4] {
+            fx.values[bad].1 = mod_mul(&fx.values[bad].1, &Ubig::from_u64(3), &fx.pkg.params.n);
+        }
+        assert_eq!(
+            gq_batch_verify_split(&fx.pkg.params, &fx.c, &gq_items(&fx)),
+            Err(1)
+        );
+    }
+
+    #[test]
+    fn gq_rejects_out_of_range_values() {
+        let mut fx = gq_fixture(3, 0x6066);
+        fx.values[1].2 = Ubig::zero();
+        assert_eq!(
+            gq_batch_verify_split(&fx.pkg.params, &fx.c, &gq_items(&fx)),
+            Err(1)
+        );
+    }
+
+    #[test]
+    fn gq_batch_agrees_with_single_checks() {
+        // Batch accepts iff every member passes the split-form check.
+        let fx = gq_fixture(4, 0x6aaa);
+        let p = &fx.pkg.params;
+        let items = gq_items(&fx);
+        for (id, t, s) in &fx.values {
+            let h = p.hash_id(id);
+            assert!(gq_single_holds(p, &fx.c, &GqSplitItem { id, t, s }, &h));
+        }
+        assert_eq!(gq_batch_verify_split(p, &fx.c, &items), Ok(()));
+    }
+}

@@ -4,7 +4,7 @@
 //! bits (Table 3, note 1). The certificate-based BD baseline signs its
 //! round-2 message with this scheme and ships a 263-byte DSA certificate.
 
-use egka_bigint::{mod_inverse, mod_mul, mod_pow, random_below, SchnorrGroup, Ubig};
+use egka_bigint::{mod_inverse, mod_mul, mod_pow, mod_pow_fixed, random_below, SchnorrGroup, Ubig};
 use egka_hash::hash_to_below;
 use rand::Rng;
 
@@ -59,7 +59,7 @@ impl Dsa {
                 break x;
             }
         };
-        let y = mod_pow(&self.group.g, &x, &self.group.p);
+        let y = mod_pow_fixed(&self.group.g, &x, &self.group.p);
         DsaKeyPair { x, y }
     }
 
@@ -73,7 +73,7 @@ impl Dsa {
             if k.is_zero() {
                 continue;
             }
-            let r = mod_pow(g, &k, p).rem_ref(q);
+            let r = mod_pow_fixed(g, &k, p).rem_ref(q);
             if r.is_zero() {
                 continue;
             }
@@ -99,7 +99,7 @@ impl Dsa {
         let h = self.hash_msg(msg);
         let u1 = mod_mul(&h, &w, q);
         let u2 = mod_mul(&sig.r, &w, q);
-        let v = mod_mul(&mod_pow(g, &u1, p), &mod_pow(y, &u2, p), p).rem_ref(q);
+        let v = mod_mul(&mod_pow_fixed(g, &u1, p), &mod_pow(y, &u2, p), p).rem_ref(q);
         v == sig.r
     }
 }

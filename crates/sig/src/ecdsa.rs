@@ -48,7 +48,7 @@ impl Ecdsa {
         &self.curve
     }
 
-    fn hash_msg(&self, msg: &[u8]) -> Ubig {
+    pub(crate) fn hash_msg(&self, msg: &[u8]) -> Ubig {
         hash_to_below(MSG_TAG, msg, self.curve.order())
     }
 

@@ -10,6 +10,9 @@
 //! * [`ecdsa`] — ECDSA over secp160r1 (and any other `egka-ec` curve);
 //! * [`sok`] — the Sakai–Ohgishi–Kasahara pairing-based ID-based signature
 //!   (2 scalar-mul sign, 3-pairing verify, MapToPoint per identity/message);
+//! * [`batch`] — seeded random-linear-combination **epoch batch
+//!   verification** for ECDSA and split-form GQ (plus an amortized DSA
+//!   batch loop), with lowest-failing-index attribution;
 //! * [`certs`] — an X.509-like certificate format, DSA/ECDSA certifying
 //!   authorities, and the [`certs::CertStore`] verified-certificate cache
 //!   that reproduces the paper's "returning members don't re-verify
@@ -21,12 +24,17 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod certs;
 pub mod dsa;
 pub mod ecdsa;
 pub mod gq;
 pub mod sok;
 
+pub use batch::{
+    dsa_batch_verify, ecdsa_batch_verify, gq_batch_verify_split, DsaBatchItem, EcdsaBatchItem,
+    GqSplitItem,
+};
 pub use certs::{
     CaPublic, CaSignature, CertCheck, CertScheme, CertStore, Certificate, CertificateAuthority,
     SubjectKey,

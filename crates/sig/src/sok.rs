@@ -18,8 +18,10 @@
 //! or message needs a MapToPoint. Signatures are two compressed points
 //! ("194-bit SOK" sizing in Table 3, note 2).
 
+use std::sync::{Arc, OnceLock};
+
 use egka_bigint::Ubig;
-use egka_ec::{PairingGroup, Point};
+use egka_ec::{MillerPrecomp, PairingGroup, Point};
 use rand::Rng;
 
 /// Public parameters of a SOK instance.
@@ -28,6 +30,12 @@ pub struct SokParams {
     group: PairingGroup,
     /// Master public key `P_pub = s·G`.
     pub p_pub: Point,
+    /// Lazily built Miller precomputation for `G` (clone-shared): the
+    /// verification pairings `ê(S1, G)` and `ê(Q_ID, P_pub)` both fix one
+    /// argument, so their line coefficients are cached across signatures.
+    gen_pre: Arc<OnceLock<MillerPrecomp>>,
+    /// Same for `P_pub`.
+    pub_pre: Arc<OnceLock<MillerPrecomp>>,
 }
 
 /// The PKG for SOK key extraction.
@@ -63,7 +71,12 @@ impl SokPkg {
         let gen = group.curve().generator().clone();
         let p_pub = group.curve().mul(&master, &gen);
         SokPkg {
-            params: SokParams { group, p_pub },
+            params: SokParams {
+                group,
+                p_pub,
+                gen_pre: Arc::new(OnceLock::new()),
+                pub_pre: Arc::new(OnceLock::new()),
+            },
             master,
         }
     }
@@ -114,10 +127,18 @@ impl SokParams {
         }
         let q_id = self.group.map_to_point(id);
         let q_m = self.group.map_to_point(msg);
-        let gen = curve.generator().clone();
-        let lhs = self.group.pairing(&sig.s1, &gen);
+        // The modified pairing is symmetric, so the two fixed-argument
+        // pairings run against cached Miller-line coefficients:
+        // ê(S1, G) = ê(G, S1) and ê(Q_ID, P_pub) = ê(P_pub, Q_ID).
+        let gen_pre = self
+            .gen_pre
+            .get_or_init(|| self.group.precompute(curve.generator()));
+        let pub_pre = self
+            .pub_pre
+            .get_or_init(|| self.group.precompute(&self.p_pub));
+        let lhs = self.group.pairing_fixed(gen_pre, &sig.s1);
         let rhs = self.group.fp2().mul(
-            &self.group.pairing(&q_id, &self.p_pub),
+            &self.group.pairing_fixed(pub_pre, &q_id),
             &self.group.pairing(&q_m, &sig.s2),
         );
         lhs == rhs

@@ -98,6 +98,10 @@ pub struct ChurnConfig {
     /// keyed to the virtual clock, the recorded events themselves are
     /// deterministic per seed.
     pub trace: Option<egka_trace::TraceConfig>,
+    /// Fan each protocol step's per-node machine sweeps across threads
+    /// (wall-clock only; every fingerprint, counter and trace event is
+    /// bit-identical to the sequential pump — `trace_churn` asserts it).
+    pub parallel_pump: bool,
 }
 
 impl Default for ChurnConfig {
@@ -114,6 +118,7 @@ impl Default for ChurnConfig {
             radio: None,
             suite_policy: SuitePolicy::default(),
             trace: None,
+            parallel_pump: false,
         }
     }
 }
@@ -326,7 +331,8 @@ fn assemble_builder(
     let mut builder = KeyService::builder()
         .shards(config.shards)
         .seed(config.seed)
-        .suite_policy(config.suite_policy.clone());
+        .suite_policy(config.suite_policy.clone())
+        .parallel_pump(config.parallel_pump);
     if let Some(r) = &config.radio {
         builder = builder.radio(RadioConfig {
             profile: r.profile.clone(),
@@ -643,6 +649,7 @@ mod tests {
             radio: None,
             suite_policy: SuitePolicy::default(),
             trace: None,
+            parallel_pump: false,
         }
     }
 
@@ -677,6 +684,21 @@ mod tests {
         // the interleaved shard scheduler and jump consistent hashing
         // must all be observationally transparent.
         let report = run_churn(&small());
+        assert_eq!(report.key_fingerprint, 0x6e14_e41f_677b_0a8b);
+        assert_eq!(report.events_applied, 55);
+        assert_eq!(report.rekeys_executed, 36);
+        assert!((report.energy_mj - 41_399.819_52).abs() < 1e-3);
+    }
+
+    #[test]
+    fn parallel_pump_reproduces_the_golden_bit_for_bit() {
+        // The parallel sweep buffers per-node output and dispatches it in
+        // node-index order, so churn over threads must land on the exact
+        // same fingerprint, counters and priced energy as the sequential
+        // golden above.
+        let mut config = small();
+        config.parallel_pump = true;
+        let report = run_churn(&config);
         assert_eq!(report.key_fingerprint, 0x6e14_e41f_677b_0a8b);
         assert_eq!(report.events_applied, 55);
         assert_eq!(report.rekeys_executed, 36);

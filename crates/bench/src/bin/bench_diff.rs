@@ -1,7 +1,9 @@
 //! Perf-regression gate: compare a freshly generated bench artifact
 //! (`BENCH_service_churn.json` / `BENCH_radio_churn.json` /
-//! `BENCH_trace_churn.json` / `BENCH_primitives.json`) against the
-//! committed baseline and fail on regression.
+//! `BENCH_trace_churn.json` / `BENCH_health_churn.json` /
+//! `BENCH_primitives.json`) against the committed baseline and fail on
+//! regression. Artifacts that carry a `trace_drops` count additionally
+//! fail outright when the fresh run's bounded ring dropped any event.
 //!
 //! ```text
 //! cargo run --release -p egka-bench --bin bench_diff -- \
@@ -110,9 +112,10 @@ fn main() {
 
     let baseline = load(&baseline_path);
     let fresh = load(&fresh_path);
-    const SCHEMAS: [&str; 3] = [
+    const SCHEMAS: [&str; 4] = [
         "egka-service-churn/1",
         "egka-trace-churn/1",
+        "egka-health-churn/1",
         "egka-primitives/1",
     ];
     for (doc, path) in [(&baseline, &baseline_path), (&fresh, &fresh_path)] {
@@ -161,6 +164,20 @@ fn main() {
                 num(&baseline, &baseline_path, key),
                 num(&fresh, &fresh_path, key),
             );
+        }
+    }
+    // Trace/telemetry artifacts record how many events the bounded ring
+    // had to drop. A lossy trace is not a slower trace — it is a broken
+    // one (fingerprints and metrics silently under-count) — so any
+    // nonzero drop count in the fresh run is an outright failure, not a
+    // relative-threshold question.
+    if let Some(drops) = fresh.get("trace_drops").and_then(Json::as_f64) {
+        if drops > 0.0 {
+            gate.failures.push(format!(
+                "trace_drops: fresh run dropped {drops:.0} event(s)"
+            ));
+        } else {
+            gate.notes.push("trace_drops: 0".into());
         }
     }
 

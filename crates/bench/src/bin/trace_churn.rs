@@ -245,6 +245,7 @@ fn main() {
          \"wall_ms\": {wall_ms_traced:.1},\n  \
          \"wall_ms_untraced\": {wall_ms_untraced:.1},\n  \
          \"wall_ms_par\": {wall_ms_par:.1},\n  \
+         \"trace_drops\": {},\n  \
          \"suites\": {{{suites}}},\n  \
          \"metrics\": {},\n  \
          \"key_fingerprint\": \"{:016x}\"\n}}\n",
@@ -253,6 +254,7 @@ fn main() {
         events.len(),
         chrome.len(),
         traced.energy_mj,
+        traced.trace_drops.unwrap_or(0),
         traced.metrics.to_json(),
         traced.key_fingerprint,
     );

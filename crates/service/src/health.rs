@@ -1,0 +1,351 @@
+//! Live health & load telemetry: per-shard load stats, the per-member
+//! **stall attribution ledger**, the epoch **phase profiler**, and the
+//! typed [`HealthReport`].
+//!
+//! Everything here is *always on* — plain counter arithmetic on the
+//! coordinator, no tracing required — so an operator can ask a running
+//! service "which shard is hot?" and "which member keeps stalling its
+//! group?" without replaying a Perfetto export. The ledger is the data
+//! substrate the planned failure detector (ROADMAP: robust rekeying with
+//! identifiable aborts) will consume: `k` consecutive stalled epochs
+//! attributed to one member is its eviction trigger.
+//!
+//! Accumulated health state is observability, not service state: it is
+//! not write-ahead logged, and a recovered service restarts it from the
+//! replayed WAL tail.
+
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+use egka_core::UserId;
+use egka_trace::{Histogram, StallCause};
+
+use crate::event::GroupId;
+
+/// Consecutive stalled epochs after which [`HealthReport::Stalled`]
+/// flags a group (below this, stalls surface as
+/// [`HealthReport::Degraded`] reasons).
+pub const STALLED_AFTER_EPOCHS: u64 = 3;
+
+/// Cumulative load and outcome counters for one shard, plus the live
+/// gauges [`crate::KeyService::shard_stats`] fills at snapshot time.
+///
+/// The counter fields sum to the matching [`crate::ServiceMetrics`]
+/// totals across shards — exactly for the integer counters, and to
+/// floating-point association order for `energy_mj` (the proptest in
+/// `tests/health.rs` pins both). Merge-phase work is attributed to the
+/// *host* group's shard; group-creation energy to the created group's
+/// shard; WAL bytes to the shard of the record's group (epoch commits
+/// and config records are coordinator-wide and unattributed).
+#[derive(Clone, Debug, Default)]
+pub struct ShardStats {
+    /// Shard index.
+    pub shard: usize,
+    /// Groups currently owned (gauge).
+    pub groups: u64,
+    /// Events sitting in this shard's pending queues (gauge).
+    pub pending_events: u64,
+    /// Events applied as membership changes.
+    pub events_applied: u64,
+    /// Events rejected at their epoch.
+    pub events_rejected: u64,
+    /// Join/leave pairs that cancelled without a rekey.
+    pub events_cancelled: u64,
+    /// §7 dynamic rekeys committed (creations excluded, matching
+    /// [`crate::ServiceMetrics::rekeys_executed`]).
+    pub rekeys_executed: u64,
+    /// Rekey steps that timed out.
+    pub rekeys_failed: u64,
+    /// Group-epochs aborted by a stalled rekey.
+    pub groups_stalled: u64,
+    /// Loss-stalled steps retried with fresh randomness.
+    pub steps_retried: u64,
+    /// Priced energy attributed to this shard's groups, mJ.
+    pub energy_mj: f64,
+    /// WAL bytes appended for records addressed to this shard's groups.
+    pub wal_bytes: u64,
+    /// Virtual radio milliseconds per committed rekey (fixed-bucket
+    /// histogram; empty off-radio).
+    pub latency_virtual: Histogram,
+}
+
+/// One `(group, member)` — or group-level — stall tally.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MemberStall {
+    /// Stalled epochs since the last successful rekey (reset on commit).
+    pub consecutive: u64,
+    /// Stalled epochs over the ledger's lifetime (never reset).
+    pub cumulative: u64,
+    /// Classification of the most recent stall.
+    pub last_cause: StallCause,
+}
+
+/// One stall this epoch, attributed: the group, the scheduler's
+/// [`StallCause`] classification, and the unreachable members the epoch
+/// needed (empty under pure loss — nobody is to blame).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StallEvent {
+    /// The group whose epoch aborted.
+    pub group: GroupId,
+    /// Why it stalled.
+    pub cause: StallCause,
+    /// The detached / battery-dead members among the session and plan,
+    /// ascending.
+    pub culprits: Vec<UserId>,
+}
+
+/// A flattened ledger row: one member's stall tally within one group.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StallRecord {
+    /// The stalled group.
+    pub group: GroupId,
+    /// The member the stalls are attributed to.
+    pub member: UserId,
+    /// Its tally.
+    pub stall: MemberStall,
+}
+
+/// The per-member stall attribution ledger.
+///
+/// Every aborted group-epoch increments the group's tally and — when the
+/// scheduler identified unreachable members — each culprit's
+/// `(group, member)` tally. A successful rekey resets the *consecutive*
+/// counters (group and members alike) but keeps the cumulative history,
+/// so flapping members stay visible after they recover.
+#[derive(Clone, Debug, Default)]
+pub struct StallLedger {
+    members: BTreeMap<(GroupId, UserId), MemberStall>,
+    groups: BTreeMap<GroupId, MemberStall>,
+}
+
+impl StallLedger {
+    fn bump(entry: &mut Option<&mut MemberStall>, cause: StallCause) {
+        if let Some(e) = entry {
+            e.consecutive += 1;
+            e.cumulative += 1;
+            e.last_cause = cause;
+        }
+    }
+
+    /// Records one aborted group-epoch.
+    pub(crate) fn record_stall(&mut self, gid: GroupId, cause: StallCause, culprits: &[UserId]) {
+        let fresh = MemberStall {
+            consecutive: 0,
+            cumulative: 0,
+            last_cause: cause,
+        };
+        Self::bump(&mut Some(self.groups.entry(gid).or_insert(fresh)), cause);
+        for &u in culprits {
+            Self::bump(
+                &mut Some(self.members.entry((gid, u)).or_insert(fresh)),
+                cause,
+            );
+        }
+    }
+
+    /// Records a committed rekey: the group (and its members') consecutive
+    /// counters reset; cumulative history stays.
+    pub(crate) fn record_success(&mut self, gid: GroupId) {
+        if let Some(g) = self.groups.get_mut(&gid) {
+            g.consecutive = 0;
+        }
+        for (_, e) in self
+            .members
+            .range_mut((gid, UserId(u32::MIN))..=(gid, UserId(u32::MAX)))
+        {
+            e.consecutive = 0;
+        }
+    }
+
+    /// Group-level tallies, ascending by group id.
+    pub fn group_records(&self) -> Vec<(GroupId, MemberStall)> {
+        self.groups.iter().map(|(&g, &s)| (g, s)).collect()
+    }
+
+    /// Per-member rows, ascending by `(group, member)`.
+    pub fn member_records(&self) -> Vec<StallRecord> {
+        self.members
+            .iter()
+            .map(|(&(group, member), &stall)| StallRecord {
+                group,
+                member,
+                stall,
+            })
+            .collect()
+    }
+
+    /// One group's tally, if it ever stalled.
+    pub fn group(&self, gid: GroupId) -> Option<MemberStall> {
+        self.groups.get(&gid).copied()
+    }
+
+    /// One member's tally within a group, if stalls were ever attributed
+    /// to it.
+    pub fn member(&self, gid: GroupId, member: UserId) -> Option<MemberStall> {
+        self.members.get(&(gid, member)).copied()
+    }
+
+    /// The member rows with the highest cumulative tally, worst first
+    /// (ties broken by `(group, member)` for determinism), at most `n`.
+    pub fn worst_members(&self, n: usize) -> Vec<StallRecord> {
+        let mut rows = self.member_records();
+        rows.sort_by(|a, b| {
+            b.stall
+                .cumulative
+                .cmp(&a.stall.cumulative)
+                .then(a.group.cmp(&b.group))
+                .then(a.member.cmp(&b.member))
+        });
+        rows.truncate(n);
+        rows
+    }
+
+    /// Whether no stall has ever been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.groups.is_empty()
+    }
+}
+
+/// Wall and virtual time one epoch phase consumed.
+///
+/// Shard-side buckets sum the *per-shard* walls, so under the parallel
+/// fan-out a bucket reads like CPU time, not elapsed time — the sum over
+/// shards can exceed the tick's wall clock on a multi-core host.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PhaseBucket {
+    /// Wall-clock time spent (nondeterministic; never fed to the trace
+    /// or the metrics registry).
+    pub wall: Duration,
+    /// Virtual radio milliseconds attributed (deterministic; 0 off-radio).
+    pub virtual_ms: f64,
+}
+
+impl PhaseBucket {
+    pub(crate) fn add(&mut self, other: &PhaseBucket) {
+        self.wall += other.wall;
+        self.virtual_ms += other.virtual_ms;
+    }
+}
+
+/// Where an epoch tick's time went: planning (queue drain + coalescing),
+/// executing protocol steps (including the coordinator's merge folds),
+/// committing results (session installs, report folding, the WAL epoch
+/// commit), and snapshotting.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PhaseProfile {
+    /// Queue drain and plan construction.
+    pub plan: PhaseBucket,
+    /// Protocol-step interleaving (shards) and merge folds (coordinator).
+    pub execute: PhaseBucket,
+    /// Commit loops, report folding and the WAL epoch-commit append.
+    pub commit: PhaseBucket,
+    /// Compacting snapshot cuts (zero on epochs without one).
+    pub snapshot: PhaseBucket,
+}
+
+impl PhaseProfile {
+    /// Folds another profile in, bucket by bucket.
+    pub fn add(&mut self, other: &PhaseProfile) {
+        self.plan.add(&other.plan);
+        self.execute.add(&other.execute);
+        self.commit.add(&other.commit);
+        self.snapshot.add(&other.snapshot);
+    }
+
+    /// Total wall time across the four buckets.
+    pub fn wall_total(&self) -> Duration {
+        self.plan.wall + self.execute.wall + self.commit.wall + self.snapshot.wall
+    }
+
+    /// Total virtual milliseconds across the four buckets.
+    pub fn virtual_total_ms(&self) -> f64 {
+        self.plan.virtual_ms
+            + self.execute.virtual_ms
+            + self.commit.virtual_ms
+            + self.snapshot.virtual_ms
+    }
+}
+
+/// A typed, deterministic answer to "is the service OK right now?".
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum HealthReport {
+    /// No live group has a pending stall streak and no member is
+    /// battery-dead.
+    Healthy,
+    /// Operational but impaired; each reason is a human-readable,
+    /// deterministic sentence (stall streaks below the
+    /// [`STALLED_AFTER_EPOCHS`] threshold, battery deaths).
+    Degraded {
+        /// Why, in stable order.
+        reasons: Vec<String>,
+    },
+    /// At least one live group has stalled [`STALLED_AFTER_EPOCHS`] or
+    /// more consecutive epochs — it is making no progress and will not
+    /// without intervention (re-attach, eviction, or the future failure
+    /// detector's proposed eviction).
+    Stalled {
+        /// The stuck groups, ascending.
+        groups: Vec<GroupId>,
+    },
+}
+
+impl HealthReport {
+    /// Stable one-word label (`healthy` / `degraded` / `stalled`) for
+    /// artifacts and logs.
+    pub fn label(&self) -> &'static str {
+        match self {
+            HealthReport::Healthy => "healthy",
+            HealthReport::Degraded { .. } => "degraded",
+            HealthReport::Stalled { .. } => "stalled",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ledger_attributes_and_resets() {
+        let mut ledger = StallLedger::default();
+        ledger.record_stall(7, StallCause::Detached, &[UserId(3), UserId(9)]);
+        ledger.record_stall(7, StallCause::Detached, &[UserId(3)]);
+        ledger.record_stall(8, StallCause::Loss, &[]);
+        assert_eq!(ledger.group(7).unwrap().consecutive, 2);
+        assert_eq!(ledger.member(7, UserId(3)).unwrap().cumulative, 2);
+        assert_eq!(ledger.member(7, UserId(9)).unwrap().consecutive, 1);
+        assert_eq!(ledger.member(8, UserId(3)), None);
+        // Success resets consecutive, keeps cumulative, leaves other
+        // groups alone.
+        ledger.record_success(7);
+        assert_eq!(ledger.group(7).unwrap().consecutive, 0);
+        assert_eq!(ledger.group(7).unwrap().cumulative, 2);
+        assert_eq!(ledger.member(7, UserId(3)).unwrap().consecutive, 0);
+        assert_eq!(ledger.member(7, UserId(3)).unwrap().cumulative, 2);
+        assert_eq!(ledger.group(8).unwrap().consecutive, 1);
+        let worst = ledger.worst_members(1);
+        assert_eq!(worst[0].member, UserId(3));
+    }
+
+    #[test]
+    fn phase_profile_sums() {
+        let mut p = PhaseProfile::default();
+        let mut q = PhaseProfile::default();
+        q.plan.wall = Duration::from_millis(2);
+        q.execute.virtual_ms = 5.0;
+        p.add(&q);
+        p.add(&q);
+        assert_eq!(p.wall_total(), Duration::from_millis(4));
+        assert_eq!(p.virtual_total_ms(), 10.0);
+    }
+
+    #[test]
+    fn health_labels_are_stable() {
+        assert_eq!(HealthReport::Healthy.label(), "healthy");
+        assert_eq!(
+            HealthReport::Degraded { reasons: vec![] }.label(),
+            "degraded"
+        );
+        assert_eq!(HealthReport::Stalled { groups: vec![1] }.label(), "stalled");
+    }
+}

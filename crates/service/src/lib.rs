@@ -103,6 +103,7 @@
 
 pub mod event;
 pub mod hashing;
+pub mod health;
 pub mod metrics;
 mod persist;
 pub mod plan;
@@ -113,7 +114,11 @@ pub use egka_core::suite::{Suite, SuiteId};
 pub use egka_store::{FileStore, MemStore, Store, StoreError};
 pub use event::{GroupId, MembershipEvent, RejectReason, ServiceError};
 pub use hashing::jump_hash;
-pub use metrics::{quantiles3, EpochReport, ServiceMetrics, SuiteUsage, VIRTUAL_LATENCY_WINDOW};
+pub use health::{
+    HealthReport, MemberStall, PhaseBucket, PhaseProfile, ShardStats, StallEvent, StallLedger,
+    StallRecord, STALLED_AFTER_EPOCHS,
+};
+pub use metrics::{quantiles3, EpochReport, ServiceMetrics, SuiteUsage};
 pub use persist::{RecoveryReport, StoreConfig};
 pub use plan::{plan_group, plan_group_suite, CostModel, RekeyPlan, RekeyStep, SuitePolicy};
 pub use service::{KeyService, RadioConfig, ServiceBuilder};

@@ -6,8 +6,10 @@ use std::time::Duration;
 use egka_core::suite::SuiteId;
 use egka_energy::OpCounts;
 use egka_net::TrafficStats;
+use egka_trace::Histogram;
 
 use crate::event::{GroupId, MembershipEvent, RejectReason};
+use crate::health::{PhaseProfile, StallEvent};
 
 /// What one suite did (and cost) over some accounting window.
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
@@ -72,12 +74,13 @@ pub struct ServiceMetrics {
     /// Members whose battery drained to zero under a radio medium — each
     /// was auto-detached, feeding the scheduler's timeout path.
     pub nodes_died: u64,
-    /// Virtual radio milliseconds of recent committed rekeys (one entry
-    /// per group-epoch that rekeyed over a radio medium; includes
-    /// retransmitted attempts). Bounded to the most recent
-    /// [`VIRTUAL_LATENCY_WINDOW`] entries so a long-lived service does
-    /// not grow without bound. Empty off-radio.
-    pub virtual_latencies_ms: Vec<f64>,
+    /// Fixed-bucket histogram of virtual radio milliseconds per committed
+    /// rekey (one observation per group-epoch that rekeyed over a radio
+    /// medium; includes retransmitted attempts). O(1) per sample and
+    /// O(buckets) memory, so a long-lived service never grows; quantiles
+    /// come from bucket interpolation with exact min/max clamping. Empty
+    /// off-radio.
+    pub latency_virtual: Histogram,
     /// Total priced energy across all nodes of all groups, in mJ.
     pub energy_mj: f64,
     /// Cumulative operation counts across all rekeys.
@@ -112,9 +115,11 @@ impl ServiceMetrics {
     }
 
     /// `(p50, p95, p99)` rekey latency in **virtual radio milliseconds**
-    /// across the retained window of committed rekeys; `None` off-radio.
+    /// across every committed rekey, estimated from the fixed-bucket
+    /// histogram; `None` off-radio.
     pub fn virtual_latency_quantiles(&self) -> Option<(f64, f64, f64)> {
-        quantiles3(&self.virtual_latencies_ms)
+        let s = self.latency_virtual.snapshot();
+        Some((s.quantile(0.50)?, s.quantile(0.95)?, s.quantile(0.99)?))
     }
 
     /// Renders the full counter set as one flat JSON object, parseable by
@@ -145,7 +150,7 @@ impl ServiceMetrics {
             steps_retried,
             epochs,
             nodes_died,
-            virtual_latencies_ms,
+            latency_virtual,
             energy_mj,
             ops,
             traffic,
@@ -154,11 +159,16 @@ impl ServiceMetrics {
             snapshots_written,
             store_syncs,
         } = self;
-        let latency = match quantiles3(virtual_latencies_ms) {
-            Some((p50, p95, p99)) => {
+        let lat_snap = latency_virtual.snapshot();
+        let latency = match (
+            lat_snap.quantile(0.50),
+            lat_snap.quantile(0.95),
+            lat_snap.quantile(0.99),
+        ) {
+            (Some(p50), Some(p95), Some(p99)) => {
                 format!("{{\"p50\": {p50:.3}, \"p95\": {p95:.3}, \"p99\": {p99:.3}}}")
             }
-            None => "null".to_string(),
+            _ => "null".to_string(),
         };
         let suites = per_suite
             .iter()
@@ -206,14 +216,10 @@ impl ServiceMetrics {
             traffic.rx_bits_actual,
             traffic.msgs_tx,
             traffic.msgs_rx,
-            virtual_latencies_ms.len(),
+            latency_virtual.count(),
         )
     }
 }
-
-/// How many per-rekey virtual latencies [`ServiceMetrics`] retains for
-/// quantile queries (the most recent win; ~512 KiB at the cap).
-pub const VIRTUAL_LATENCY_WINDOW: usize = 65_536;
 
 /// `(p50, p95, p99)` of a latency sample, `None` when empty.
 ///
@@ -286,6 +292,17 @@ pub struct EpochReport {
     /// [`crate::SuitePolicy::Cheapest`] service, the per-protocol cost
     /// split the planner's selections produced.
     pub per_suite: BTreeMap<SuiteId, SuiteUsage>,
+    /// Every aborted group-epoch, attributed: the stalled group, the
+    /// scheduler's cause classification, and the unreachable members the
+    /// plan needed. Feeds the service's stall ledger.
+    pub stall_events: Vec<StallEvent>,
+    /// Groups that committed a rekey this epoch (successful epochs reset
+    /// their ledger streaks).
+    pub rekeyed_groups: Vec<GroupId>,
+    /// Where this tick's wall and virtual time went: plan / execute /
+    /// commit / snapshot. Wall buckets are nondeterministic and never fed
+    /// to traces or the metrics registry.
+    pub phases: PhaseProfile,
 }
 
 impl EpochReport {
@@ -329,11 +346,8 @@ impl EpochReport {
         m.steps_retried += self.steps_retried;
         m.groups_dissolved += self.groups_dissolved;
         m.nodes_died += self.nodes_died;
-        m.virtual_latencies_ms
-            .extend_from_slice(&self.rekey_latencies_virtual_ms);
-        if m.virtual_latencies_ms.len() > VIRTUAL_LATENCY_WINDOW {
-            let excess = m.virtual_latencies_ms.len() - VIRTUAL_LATENCY_WINDOW;
-            m.virtual_latencies_ms.drain(..excess);
+        for &v in &self.rekey_latencies_virtual_ms {
+            m.latency_virtual.observe(v);
         }
         m.energy_mj += self.energy_mj;
         m.ops.merge(&self.ops);
@@ -402,6 +416,33 @@ mod tests {
         assert_eq!(quantiles3(&xs), Some((51.0, 95.0, 99.0)));
     }
 
+    /// The histogram that replaced the sort-on-every-call sample vector
+    /// must reproduce `quantiles3`'s pinned answers on the same inputs:
+    /// exactly for the degenerate cases (empty, single sample, n=2) and
+    /// for uniform data, where within-bucket interpolation is exact.
+    #[test]
+    fn histogram_quantiles_pin_to_nearest_rank() {
+        let observe_all = |xs: &[f64]| {
+            let mut h = Histogram::default();
+            for &x in xs {
+                h.observe(x);
+            }
+            h
+        };
+        let triple = |h: &Histogram| {
+            let s = h.snapshot();
+            Some((s.quantile(0.50)?, s.quantile(0.95)?, s.quantile(0.99)?))
+        };
+        for xs in [
+            &[][..],
+            &[7.25][..],
+            &[3.0, 1.0][..],
+            &(1..=100).map(f64::from).collect::<Vec<_>>()[..],
+        ] {
+            assert_eq!(triple(&observe_all(xs)), quantiles3(xs), "input {xs:?}");
+        }
+    }
+
     #[test]
     fn metrics_json_is_parseable_and_complete() {
         let mut m = ServiceMetrics {
@@ -410,7 +451,7 @@ mod tests {
             energy_mj: 1.5,
             ..ServiceMetrics::default()
         };
-        m.virtual_latencies_ms.push(2.0);
+        m.latency_virtual.observe(2.0);
         m.per_suite.insert(
             SuiteId::Proposed,
             SuiteUsage {

@@ -12,12 +12,15 @@ use egka_medium::{BatteryBank, BatteryStatus, RadioProfile};
 
 use egka_store::{wal_records, StoreError, TracedStore};
 use egka_trace::{
-    group_tid, Event, Payload, Phase, StepTrace, TraceConfig, Tracer, CONTROL_TID, COORD_PID,
-    EPOCH_NS, SWEEP_NS,
+    group_tid, labeled, Event, Payload, Phase, StallCause, StepTrace, TraceConfig, Tracer,
+    CONTROL_TID, COORD_PID, EPOCH_NS, SWEEP_NS,
 };
 
 use crate::event::{GroupId, MembershipEvent, RejectReason, ServiceError};
 use crate::hashing::jump_hash;
+use crate::health::{
+    HealthReport, PhaseProfile, ShardStats, StallEvent, StallLedger, STALLED_AFTER_EPOCHS,
+};
 use crate::metrics::{add_per_suite, add_traffic, traffic_of, EpochReport, ServiceMetrics};
 use crate::persist::{
     decode_snapshot, encode_snapshot, RecoveryReport, SnapshotState, StoreConfig, WalRecord,
@@ -211,6 +214,12 @@ impl ServiceBuilder {
             }
         }
         let shards = (0..cfg.shards).map(|_| Shard::default()).collect();
+        let health_shards = (0..cfg.shards)
+            .map(|shard| ShardStats {
+                shard,
+                ..ShardStats::default()
+            })
+            .collect();
         let bank = cfg
             .radio
             .as_ref()
@@ -220,6 +229,9 @@ impl ServiceBuilder {
             loss: cfg.loss,
             config: cfg,
             shards,
+            health_shards,
+            ledger: StallLedger::default(),
+            phase_totals: PhaseProfile::default(),
             epoch: 0,
             metrics: ServiceMetrics::default(),
             detached: BTreeSet::new(),
@@ -345,6 +357,14 @@ pub struct KeyService {
     pkg: Arc<Pkg>,
     config: Config,
     shards: Vec<Shard>,
+    /// Per-shard cumulative load/outcome counters — observability only,
+    /// never persisted; recovery re-accumulates them over the replayed
+    /// WAL tail.
+    health_shards: Vec<ShardStats>,
+    /// Per-member stall attribution (see [`StallLedger`]).
+    ledger: StallLedger,
+    /// Where tick time has gone, cumulatively, across the service's life.
+    phase_totals: PhaseProfile,
     epoch: u64,
     metrics: ServiceMetrics,
     /// Per-delivery loss probability injected into every rekey step's
@@ -411,6 +431,15 @@ impl KeyService {
                 seed: self.config.seed,
             });
         }
+        // Group-addressed records are charged to their shard's WAL-byte
+        // ledger; coordinator-wide records (epoch commits, config, fault
+        // toggles) stay unattributed.
+        let byte_shard = match &record {
+            WalRecord::CreateGroup { gid, .. } | WalRecord::Submit { gid, .. } => {
+                Some(self.shard_of(*gid))
+            }
+            _ => None,
+        };
         let store = self.config.store.as_ref().expect("checked above");
         let lsn = self.next_lsn;
         self.next_lsn += 1;
@@ -419,6 +448,9 @@ impl KeyService {
             .backend
             .append(&encoded)
             .expect("write-ahead log append must not fail (fail-stop durability)");
+        if let Some(s) = byte_shard {
+            self.health_shards[s].wal_bytes += encoded.len() as u64;
+        }
         self.metrics.wal_appends += 1;
         self.metrics.store_syncs = store.backend.sync_count();
         if self.trace_on() {
@@ -631,6 +663,9 @@ impl KeyService {
             add_traffic(&mut self.metrics.traffic, &traffic_of(&node.counts));
         }
         self.metrics.energy_mj += created_mj;
+        // Provisioning energy lands on the shard the group will live on
+        // (creations count no shard rekey — they are not epoch dynamics).
+        self.health_shards[shard].energy_mj += created_mj;
         let usage = self.metrics.per_suite.entry(suite_id).or_default();
         usage.rekeys += 1;
         usage.energy_mj += created_mj;
@@ -709,7 +744,9 @@ impl KeyService {
             );
         }
 
+        let merges_started = Instant::now();
         let (mut merge_report, deferred_merges) = self.resolve_merges(epoch);
+        merge_report.phases.execute.wall += merges_started.elapsed();
 
         // Fan out: shards are independent (no group spans two shards), so
         // this is lock-free parallelism; determinism is per-shard. The
@@ -742,7 +779,8 @@ impl KeyService {
             });
         });
 
-        for shard in &mut self.shards {
+        let commit_started = Instant::now();
+        for (i, shard) in self.shards.iter_mut().enumerate() {
             // Shards buffered their events locally during the parallel
             // phase; draining them here, in shard order, keeps the global
             // event stream deterministic.
@@ -752,6 +790,21 @@ impl KeyService {
                     .emit_all(std::mem::take(&mut shard.scratch_trace));
             }
             let scratch = std::mem::take(&mut shard.scratch);
+            let hs = &mut self.health_shards[i];
+            hs.events_applied += scratch.events_applied;
+            hs.events_rejected += scratch.events_rejected;
+            hs.events_cancelled += scratch.events_cancelled;
+            hs.rekeys_executed += scratch.rekeys_executed;
+            hs.rekeys_failed += scratch.rekeys_failed;
+            hs.groups_stalled += scratch.groups_stalled;
+            hs.steps_retried += scratch.steps_retried;
+            hs.energy_mj += scratch.energy_mj;
+            for &ms in &scratch.rekey_latencies_virtual_ms {
+                hs.latency_virtual.observe(ms);
+            }
+            merge_report.phases.add(&scratch.phases);
+            merge_report.stall_events.extend(scratch.stall_events);
+            merge_report.rekeyed_groups.extend(scratch.rekeyed_groups);
             merge_report.groups_touched += scratch.groups_touched;
             merge_report.events_applied += scratch.events_applied;
             merge_report.events_rejected += scratch.events_rejected;
@@ -807,20 +860,33 @@ impl KeyService {
             }
         }
         merge_report.epoch = epoch;
+        // Feed the stall ledger: successes first (they close streaks),
+        // then this epoch's stalls — a group that both merged and stalled
+        // this epoch is, as of now, stalled.
+        for gid in &merge_report.rekeyed_groups {
+            self.ledger.record_success(*gid);
+        }
+        for ev in &merge_report.stall_events {
+            self.ledger.record_stall(ev.group, ev.cause, &ev.culprits);
+        }
         merge_report.fold_into(&mut self.metrics);
         self.metrics.groups_active = self.shards.iter().map(|s| s.groups.len() as u64).sum();
         // Write-ahead commit: the epoch is durable before its report is
         // visible to the caller, so an acknowledged rekey can always be
         // reconstructed.
         self.log(WalRecord::EpochCommit { epoch });
+        merge_report.phases.commit.wall += commit_started.elapsed();
         let snapshot_due = self.config.store.as_ref().is_some_and(|store| {
             !self.replaying
                 && store.snapshot_every > 0
                 && epoch.is_multiple_of(store.snapshot_every)
         });
         if snapshot_due {
+            let snapshot_started = Instant::now();
             self.snapshot_now();
+            merge_report.phases.snapshot.wall += snapshot_started.elapsed();
         }
+        self.phase_totals.add(&merge_report.phases);
         if trace_enabled {
             if let Some(reg) = self.config.trace.registry() {
                 reg.add("epochs", 1);
@@ -832,8 +898,30 @@ impl KeyService {
                     reg.observe("rekey_latency_vms", *ms);
                 }
                 for (sid, usage) in &merge_report.per_suite {
-                    reg.observe(&format!("suite_energy_mj/{}", sid.key()), usage.energy_mj);
+                    reg.observe(
+                        &labeled("suite_energy_mj", &[("suite", sid.key())]),
+                        usage.energy_mj,
+                    );
                 }
+                // Live-load gauges and epoch-windowed rates — all virtual
+                // / deterministic values, so same-seed runs render a
+                // byte-identical exposition.
+                for (i, shard) in self.shards.iter().enumerate() {
+                    let idx = i.to_string();
+                    reg.set_gauge(
+                        &labeled("shard_groups", &[("shard", &idx)]),
+                        shard.groups.len() as f64,
+                    );
+                    reg.set_gauge(
+                        &labeled("shard_pending_events", &[("shard", &idx)]),
+                        shard.pending.values().map(|q| q.len()).sum::<usize>() as f64,
+                    );
+                }
+                reg.set_gauge("groups_active", self.metrics.groups_active as f64);
+                reg.meter("events_applied", merge_report.events_applied as f64);
+                reg.meter("rekeys_executed", merge_report.rekeys_executed as f64);
+                reg.meter("energy_mj", merge_report.energy_mj);
+                reg.roll_window();
             }
             let ts = self.coord_ts();
             self.config.trace.emit(
@@ -982,6 +1070,7 @@ impl KeyService {
         let mut i = 0;
         while i < requests.len() {
             let host = resolve(&absorbed, requests[i].0);
+            let host_shard = self.shard_of(host);
             // Gather every request whose resolved host is `host` in this
             // contiguous run (requests are sorted by original host id).
             let mut targets: Vec<GroupId> = Vec::new();
@@ -992,9 +1081,11 @@ impl KeyService {
                 let ev = MembershipEvent::MergeWith(raw_target);
                 if target == host {
                     report.events_rejected += 1;
+                    self.health_shards[host_shard].events_rejected += 1;
                     report.rejections.push((host, ev, RejectReason::SelfMerge));
                 } else if !self.group_exists(target) {
                     report.events_rejected += 1;
+                    self.health_shards[host_shard].events_rejected += 1;
                     report
                         .rejections
                         .push((host, ev, RejectReason::UnknownPeerGroup));
@@ -1002,6 +1093,7 @@ impl KeyService {
                     targets.push(target);
                 } else {
                     report.events_rejected += 1;
+                    self.health_shards[host_shard].events_rejected += 1;
                     report
                         .rejections
                         .push((host, ev, RejectReason::DuplicateMerge));
@@ -1010,6 +1102,7 @@ impl KeyService {
             }
             if !self.group_exists(host) {
                 report.events_rejected += targets.len() as u64;
+                self.health_shards[host_shard].events_rejected += targets.len() as u64;
                 report.rejections.extend(
                     targets
                         .iter()
@@ -1029,12 +1122,16 @@ impl KeyService {
             // every already-committed fold kept.
             let started = Instant::now();
             let seed = mix(mix(self.config.seed, host), epoch ^ 0x6d65);
-            let host_shard = self.shard_of(host);
             let mut acc = self.shards[host_shard].groups[&host].session.clone();
             let mut acc_suite = self.shards[host_shard].groups[&host].suite;
             report.groups_touched += 1;
             let mut folds_done = 0u64;
             let mut virtual_ms = 0.0f64;
+            // Everything this host's folds charge — committed and aborted
+            // attempts alike — so the host's shard can be billed exactly.
+            let mut host_ops = OpCounts::new();
+            let mut host_stalled = false;
+            let host_retried_before = report.steps_retried;
             for (j, &t) in targets.iter().enumerate() {
                 // merge_many's fold seeds: `seed` for the first fold,
                 // `seed ^ (k << 8)` for session index k ≥ 2.
@@ -1076,6 +1173,7 @@ impl KeyService {
                     fold_seed,
                     &mut report,
                     suite_ops.entry(fold_suite).or_default(),
+                    &mut host_ops,
                     &mut virtual_ms,
                     fold_trace.as_ref(),
                 );
@@ -1103,6 +1201,7 @@ impl KeyService {
                         for r in &out.reports {
                             report.ops.merge(&r.counts);
                             fold_ops.merge(&r.counts);
+                            host_ops.merge(&r.counts);
                         }
                         report.full_gka_runs += out.gka_runs;
                         report.per_suite.entry(fold_suite).or_default().rekeys += 1;
@@ -1111,6 +1210,8 @@ impl KeyService {
                         folds_done += 1;
                         report.rekeys_executed += 1;
                         report.events_applied += 1;
+                        self.health_shards[host_shard].rekeys_executed += 1;
+                        self.health_shards[host_shard].events_applied += 1;
                         // The absorbed group's pending events forward to
                         // the host.
                         absorbed.insert(t, host);
@@ -1132,6 +1233,36 @@ impl KeyService {
                         // unserved requests past this tick's shard phase.
                         report.rekeys_failed += 1;
                         report.groups_stalled += 1;
+                        self.health_shards[host_shard].rekeys_failed += 1;
+                        self.health_shards[host_shard].groups_stalled += 1;
+                        // Attribute the stall exactly as the shard
+                        // scheduler would: unreachable members of either
+                        // ring are the culprits; none means pure loss.
+                        let mut culprits: Vec<UserId> = acc
+                            .member_ids()
+                            .iter()
+                            .chain(target_session.member_ids().iter())
+                            .copied()
+                            .filter(|u| {
+                                self.detached.contains(u)
+                                    || self.bank.as_ref().is_some_and(|b| b.is_dead(u.0))
+                            })
+                            .collect();
+                        culprits.sort_unstable();
+                        culprits.dedup();
+                        let cause = if culprits.is_empty() {
+                            StallCause::Loss
+                        } else if self.detached.is_empty() {
+                            StallCause::BatteryDead
+                        } else {
+                            StallCause::Detached
+                        };
+                        report.stall_events.push(StallEvent {
+                            group: host,
+                            cause,
+                            culprits,
+                        });
+                        host_stalled = true;
                         deferred.extend(targets[j..].iter().map(|&rem| (host, rem)));
                         break;
                     }
@@ -1145,13 +1276,27 @@ impl KeyService {
                 state.session = acc;
                 state.suite = acc_suite;
                 state.rekeys += folds_done;
+                if !host_stalled {
+                    report.rekeyed_groups.push(host);
+                }
                 report.rekey_latencies.push(started.elapsed());
                 if self.config.radio.is_some() {
                     report.rekey_latencies_virtual_ms.push(virtual_ms);
+                    self.health_shards[host_shard]
+                        .latency_virtual
+                        .observe(virtual_ms);
                 }
             }
+            // Bill the host's shard for this coordinator work — committed
+            // folds and aborted attempts alike. Pricing per host (instead
+            // of one `price_mj` over the phase total) is exact up to f64
+            // association order: `price_mj` is linear in the counts.
+            let host_mj = self.config.cost.price_mj(&host_ops);
+            report.energy_mj += host_mj;
+            self.health_shards[host_shard].energy_mj += host_mj;
+            self.health_shards[host_shard].steps_retried +=
+                report.steps_retried - host_retried_before;
         }
-        report.energy_mj = self.config.cost.price_mj(&report.ops);
         for (suite_id, ops) in &suite_ops {
             report.per_suite.entry(*suite_id).or_default().energy_mj +=
                 self.config.cost.price_mj(ops);
@@ -1171,9 +1316,9 @@ impl KeyService {
     /// Attempts one pairwise merge fold under the service fault plan — as
     /// `fold_suite`'s [`egka_core::Suite::merge_groups`] realization —
     /// retrying loss stalls with fresh randomness. `None` means the fold
-    /// timed out (its wasted transmissions are already charged, into both
-    /// `report.ops` and `fold_ops`). `virtual_ms` accumulates the fold's
-    /// radio time, aborted attempts included.
+    /// timed out (its wasted transmissions are already charged, into
+    /// `report.ops`, `fold_ops` and `host_ops`). `virtual_ms` accumulates
+    /// the fold's radio time, aborted attempts included.
     #[allow(clippy::too_many_arguments)] // one accumulator per ledger, by design
     fn fold_one_merge(
         &self,
@@ -1183,6 +1328,7 @@ impl KeyService {
         fold_seed: u64,
         report: &mut EpochReport,
         fold_ops: &mut OpCounts,
+        host_ops: &mut OpCounts,
         virtual_ms: &mut f64,
         trace: Option<&StepTrace>,
     ) -> Option<SuiteOutcome> {
@@ -1231,6 +1377,7 @@ impl KeyService {
             }
             report.ops.merge(&run.partial_counts());
             fold_ops.merge(&run.partial_counts());
+            host_ops.merge(&run.partial_counts());
             *virtual_ms += run.virtual_elapsed_ms();
             if involves_detached || retry >= self.config.step_retries {
                 return None;
@@ -1279,6 +1426,73 @@ impl KeyService {
     /// Cumulative service metrics.
     pub fn metrics(&self) -> &ServiceMetrics {
         &self.metrics
+    }
+
+    /// Per-shard load and outcome stats, ascending by shard index — the
+    /// counters accumulated since construction (or recovery-replay start)
+    /// plus live gauges (`groups`, `pending_events`) filled at call time.
+    /// The counter fields sum to the matching [`ServiceMetrics`] totals.
+    pub fn shard_stats(&self) -> Vec<ShardStats> {
+        self.health_shards
+            .iter()
+            .map(|hs| {
+                let mut s = hs.clone();
+                s.groups = self.shards[hs.shard].groups.len() as u64;
+                s.pending_events = self.shards[hs.shard]
+                    .pending
+                    .values()
+                    .map(|q| q.len() as u64)
+                    .sum();
+                s
+            })
+            .collect()
+    }
+
+    /// The per-member stall attribution ledger.
+    pub fn stall_ledger(&self) -> &StallLedger {
+        &self.ledger
+    }
+
+    /// Cumulative epoch phase profile: where tick wall time (and virtual
+    /// radio time) has gone since construction.
+    pub fn phase_profile(&self) -> &PhaseProfile {
+        &self.phase_totals
+    }
+
+    /// A typed liveness verdict from the stall ledger and battery bank:
+    /// [`HealthReport::Stalled`] when any *live* group has
+    /// [`STALLED_AFTER_EPOCHS`] or more consecutive stalled epochs,
+    /// [`HealthReport::Degraded`] for shorter live streaks or battery
+    /// deaths, else [`HealthReport::Healthy`]. Deterministic given the
+    /// event history; dissolved or merged-away groups never count.
+    pub fn health(&self) -> HealthReport {
+        let mut stalled: Vec<GroupId> = Vec::new();
+        let mut reasons: Vec<String> = Vec::new();
+        for (gid, s) in self.ledger.group_records() {
+            if s.consecutive == 0 || !self.group_exists(gid) {
+                continue;
+            }
+            if s.consecutive >= STALLED_AFTER_EPOCHS {
+                stalled.push(gid);
+            } else {
+                reasons.push(format!(
+                    "group {gid}: {} consecutive stalled epoch(s) ({})",
+                    s.consecutive,
+                    s.last_cause.label()
+                ));
+            }
+        }
+        if !stalled.is_empty() {
+            return HealthReport::Stalled { groups: stalled };
+        }
+        if !self.known_dead.is_empty() {
+            reasons.push(format!("{} member(s) battery-dead", self.known_dead.len()));
+        }
+        if reasons.is_empty() {
+            HealthReport::Healthy
+        } else {
+            HealthReport::Degraded { reasons }
+        }
     }
 
     /// Current epoch number (ticks completed).

@@ -32,6 +32,7 @@ use egka_medium::{BatteryBank, RadioProfile};
 use egka_trace::{Event, Payload, Phase, StallCause, StepTrace, CONTROL_TID, EPOCH_NS, SWEEP_NS};
 
 use crate::event::{GroupId, MembershipEvent, RejectReason};
+use crate::health::StallEvent;
 use crate::metrics::{add_traffic, traffic_of, EpochReport};
 use crate::plan::{plan_group_suite, CostModel, RekeyPlan, RekeyStep, SuitePolicy};
 
@@ -179,6 +180,7 @@ impl Shard {
             .collect();
 
         // ---- Plan every group's epoch ----
+        let plan_started = Instant::now();
         let mut active: Vec<ActiveGroup> = Vec::new();
         for (gid, events) in queues {
             let Some(state) = self.groups.get(&gid) else {
@@ -249,6 +251,7 @@ impl Shard {
                 lane_ns: slot,
             });
         }
+        report.phases.plan.wall += plan_started.elapsed();
 
         if ctx.trace_enabled {
             tr.insert(
@@ -263,13 +266,16 @@ impl Shard {
         }
 
         // ---- Interleave: one pump per unfinished group per sweep ----
+        let exec_started = Instant::now();
         while active.iter().any(|g| !g.done) {
             for g in active.iter_mut().filter(|g| !g.done) {
                 self.advance_group(g, ctx, &mut report, &mut tr);
             }
         }
+        report.phases.execute.wall += exec_started.elapsed();
 
         // ---- Commit ----
+        let commit_started = Instant::now();
         let mut lane_end = slot;
         for g in active {
             let step_energy_mj = ctx.cost.price_mj(&g.ops);
@@ -292,6 +298,7 @@ impl Shard {
             }
             let usage = report.per_suite.entry(g.plan.suite).or_default();
             usage.energy_mj += step_energy_mj;
+            report.phases.execute.virtual_ms += g.virtual_ms;
             if g.failed {
                 // Atomic epoch: the group keeps its pre-epoch session and
                 // key; its events go back to the head of the queue so the
@@ -319,6 +326,7 @@ impl Shard {
                 self.groups.remove(&g.gid);
                 report.groups_dissolved += 1;
             } else if g.rekeys > 0 {
+                report.rekeyed_groups.push(g.gid);
                 let state = self.groups.get_mut(&g.gid).expect("active group exists");
                 state.session = g.session;
                 state.rekeys += g.rekeys;
@@ -341,6 +349,7 @@ impl Shard {
                 ),
             );
         }
+        report.phases.commit.wall += commit_started.elapsed();
         self.scratch = report;
         self.scratch_trace = tr;
     }
@@ -461,15 +470,15 @@ impl Shard {
                 g.ops.merge(&aborted.partial_counts());
                 g.virtual_ms += aborted.virtual_elapsed_ms();
                 let detached_member = group_touches_detached(g, ctx);
+                let cause = if !detached_member {
+                    StallCause::Loss
+                } else if ctx.detached.is_empty() {
+                    StallCause::BatteryDead
+                } else {
+                    StallCause::Detached
+                };
                 if ctx.trace_enabled {
                     drain_step_trace(g, tr);
-                    let cause = if !detached_member {
-                        StallCause::Loss
-                    } else if ctx.detached.is_empty() {
-                        StallCause::BatteryDead
-                    } else {
-                        StallCause::Detached
-                    };
                     tr.push(
                         Event::new(Phase::Instant, g.lane_ns, ctx.pid, lane, "stall")
                             .with(Payload::Stall { cause }),
@@ -487,6 +496,11 @@ impl Shard {
                     }
                 } else {
                     report.rekeys_failed += 1;
+                    report.stall_events.push(StallEvent {
+                        group: g.gid,
+                        cause,
+                        culprits: down_members(g, ctx),
+                    });
                     g.failed = true;
                     g.done = true;
                     if ctx.trace_enabled {
@@ -553,6 +567,38 @@ fn group_touches_detached(g: &ActiveGroup, ctx: &EpochCtx<'_>) -> bool {
         RekeyStep::Partition { .. } | RekeyStep::Dissolve => false,
     });
     in_session || in_plan
+}
+
+/// The unreachable members a group's epoch needed — the stall ledger's
+/// culprit list. Session members plus the plan's arrivals, filtered to the
+/// down set, ascending and deduplicated; empty under pure loss.
+fn down_members(g: &ActiveGroup, ctx: &EpochCtx<'_>) -> Vec<UserId> {
+    let mut down: Vec<UserId> = g
+        .session
+        .member_ids()
+        .iter()
+        .copied()
+        .filter(|&u| ctx.is_down(u))
+        .collect();
+    for s in &g.plan.steps {
+        match s {
+            RekeyStep::JoinOne { newcomer } => {
+                if ctx.is_down(*newcomer) {
+                    down.push(*newcomer);
+                }
+            }
+            RekeyStep::MergeNewcomers { newcomers } => {
+                down.extend(newcomers.iter().copied().filter(|&u| ctx.is_down(u)));
+            }
+            RekeyStep::FullRekey { members } => {
+                down.extend(members.iter().copied().filter(|&u| ctx.is_down(u)));
+            }
+            RekeyStep::Partition { .. } | RekeyStep::Dissolve => {}
+        }
+    }
+    down.sort_unstable();
+    down.dedup();
+    down
 }
 
 /// Materializes one plan step as a protocol-erased, pumpable execution of

@@ -45,11 +45,17 @@ fn radio_rekeys_report_virtual_latency_and_battery_drain() {
     // A Leave moves several kilobit broadcasts over a 100 kbps channel
     // with ≥ 2 ms link delay: tens of virtual milliseconds at least.
     assert!(p50 > 10.0, "p50 {p50} vms implausibly small");
-    // The cumulative metrics carry the same quantiles.
-    assert_eq!(
-        svc.metrics().virtual_latency_quantiles(),
-        Some((p50, p95, p99))
-    );
+    // The cumulative metrics carry the same data through the fixed-bucket
+    // histogram: within-bucket interpolation can shift a mid-sample
+    // quantile slightly, but the extremes pin to the exact min/max and
+    // the median stays within a few percent of the nearest-rank answer.
+    let (m50, m95, m99) = svc
+        .metrics()
+        .virtual_latency_quantiles()
+        .expect("metrics quantiles");
+    assert!((m50 - p50).abs() / p50 < 0.05, "p50 {m50} vs {p50}");
+    assert_eq!(m95, p95);
+    assert_eq!(m99, p99);
     // Every rekey participant drew real energy from its (mains) battery
     // (leavers transmit nothing, so only the 3 survivors per group have
     // cells).

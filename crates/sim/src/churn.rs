@@ -225,6 +225,23 @@ pub struct ChurnReport {
     /// [`egka_service::ServiceMetrics::to_json`] instead of hand-picking
     /// fields.
     pub metrics: egka_service::ServiceMetrics,
+    /// Per-shard load and outcome stats at scenario end
+    /// ([`egka_service::KeyService::shard_stats`]); counters sum to
+    /// `metrics`.
+    pub shards: Vec<egka_service::ShardStats>,
+    /// The service's typed liveness verdict at scenario end.
+    pub health: egka_service::HealthReport,
+    /// Per-member stall attribution rows, worst offenders included —
+    /// empty on a fault-free run.
+    pub member_stalls: Vec<egka_service::StallRecord>,
+    /// Trace events dropped by the ring sink (`None` untraced). Any
+    /// nonzero value means the trace (and its fingerprints) is
+    /// incomplete — the bench gates fail on it.
+    pub trace_drops: Option<u64>,
+    /// Rendered metrics-registry table (`None` unless a registry was
+    /// attached to [`ChurnConfig::trace`]) — the live-counter view a
+    /// `--trace` run prints without needing a Perfetto export.
+    pub metrics_table: Option<String>,
 }
 
 /// What a mid-scenario crash + recovery replayed
@@ -511,6 +528,13 @@ fn run_churn_inner(config: &ChurnConfig, crash: Option<(StoreConfig, u64)>) -> C
         })
         .fold(0u64, |acc, h| acc.rotate_left(1) ^ h);
 
+    let (trace_drops, metrics_table) = match &config.trace {
+        Some(tc) => (
+            Some(tc.sink.dropped()),
+            tc.registry.as_ref().map(|r| r.snapshot().render_table()),
+        ),
+        None => (None, None),
+    };
     ChurnReport {
         groups: config.groups,
         events_submitted,
@@ -529,6 +553,11 @@ fn run_churn_inner(config: &ChurnConfig, crash: Option<(StoreConfig, u64)>) -> C
         wall,
         throughput_eps: metrics.events_applied as f64 / wall.as_secs_f64().max(1e-9),
         key_fingerprint,
+        shards: svc.shard_stats(),
+        health: svc.health(),
+        member_stalls: svc.stall_ledger().member_records(),
+        trace_drops,
+        metrics_table,
         metrics,
     }
 }
@@ -607,6 +636,71 @@ impl ChurnReport {
                 self.groups_stalled, self.steps_retried
             );
         }
+        if !self.shards.is_empty() {
+            let _ = writeln!(out);
+            let _ = writeln!(
+                out,
+                "{:>5} {:>7} {:>8} {:>8} {:>7} {:>7} {:>8} {:>14} {:>10}",
+                "shard",
+                "groups",
+                "pending",
+                "applied",
+                "rekeys",
+                "failed",
+                "retried",
+                "energy (mJ)",
+                "wal (B)"
+            );
+            for s in &self.shards {
+                let _ = writeln!(
+                    out,
+                    "{:>5} {:>7} {:>8} {:>8} {:>7} {:>7} {:>8} {:>14.1} {:>10}",
+                    s.shard,
+                    s.groups,
+                    s.pending_events,
+                    s.events_applied,
+                    s.rekeys_executed,
+                    s.rekeys_failed,
+                    s.steps_retried,
+                    s.energy_mj,
+                    s.wal_bytes
+                );
+            }
+        }
+        match &self.health {
+            egka_service::HealthReport::Healthy => {
+                let _ = writeln!(out, "health: healthy");
+            }
+            egka_service::HealthReport::Degraded { reasons } => {
+                let _ = writeln!(out, "health: degraded — {}", reasons.join("; "));
+            }
+            egka_service::HealthReport::Stalled { groups } => {
+                let _ = writeln!(
+                    out,
+                    "health: STALLED — groups {groups:?} making no progress"
+                );
+            }
+        }
+        if !self.member_stalls.is_empty() {
+            let mut rows = self.member_stalls.clone();
+            rows.sort_by_key(|r| std::cmp::Reverse(r.stall.cumulative));
+            rows.truncate(5);
+            let attribution = rows
+                .iter()
+                .map(|r| {
+                    format!(
+                        "g{}/u{}: {}x (streak {}, {})",
+                        r.group,
+                        r.member.0,
+                        r.stall.cumulative,
+                        r.stall.consecutive,
+                        r.stall.last_cause.label()
+                    )
+                })
+                .collect::<Vec<_>>()
+                .join("   ");
+            let _ = writeln!(out, "stall ledger (worst): {attribution}");
+        }
         if let Some(rec) = &self.recovery {
             let snap = match rec.snapshot_epoch {
                 Some(e) => format!("snapshot@{e}"),
@@ -628,6 +722,12 @@ impl ChurnReport {
             "wall: {:.2?}   throughput: {:.0} events/s   key fingerprint: {:016x}",
             self.wall, self.throughput_eps, self.key_fingerprint
         );
+        // A traced run with a registry attached gets its live-counter
+        // table inline — no Perfetto export needed to see the numbers.
+        if let Some(table) = &self.metrics_table {
+            let _ = writeln!(out);
+            let _ = write!(out, "{table}");
+        }
         out
     }
 }
@@ -944,6 +1044,48 @@ mod tests {
         assert_ne!(
             egka_trace::export::event_fingerprint(&ring_a.events()),
             egka_trace::export::event_fingerprint(&ring_c.events()),
+        );
+    }
+
+    #[test]
+    fn health_plane_reconciles_and_exposition_is_byte_stable() {
+        // The health/load plane feeds only deterministic (virtual) values
+        // into the registry, so a same-seed rerun renders a byte-identical
+        // Prometheus exposition — and the per-shard stats partition the
+        // service totals exactly.
+        let run = || {
+            let (mut config, _ring) = traced(small());
+            let registry = std::sync::Arc::new(egka_trace::MetricsRegistry::new());
+            config.trace.as_mut().expect("traced").registry =
+                Some(std::sync::Arc::clone(&registry));
+            let report = run_churn(&config);
+            (report, registry.snapshot().prometheus_text())
+        };
+        let (report, text_a) = run();
+        let (_, text_b) = run();
+        assert!(
+            !text_a.is_empty() && text_a == text_b,
+            "exposition must be byte-stable per seed"
+        );
+        assert!(text_a.contains("# TYPE"), "typed exposition families");
+        assert_eq!(report.trace_drops, Some(0));
+        assert!(
+            report
+                .metrics_table
+                .as_deref()
+                .is_some_and(|t| !t.is_empty()),
+            "registry table rides along in the report"
+        );
+        assert!(report.render().contains("health:"));
+        let rekeys: u64 = report.shards.iter().map(|s| s.rekeys_executed).sum();
+        assert_eq!(rekeys, report.metrics.rekeys_executed);
+        let applied: u64 = report.shards.iter().map(|s| s.events_applied).sum();
+        assert_eq!(applied, report.metrics.events_applied);
+        let energy: f64 = report.shards.iter().map(|s| s.energy_mj).sum();
+        assert!(
+            (energy - report.metrics.energy_mj).abs() <= 1e-9 * report.metrics.energy_mj.max(1.0),
+            "shard energy {energy} vs metrics {}",
+            report.metrics.energy_mj
         );
     }
 

@@ -46,7 +46,10 @@ mod registry;
 mod sink;
 mod step;
 
-pub use registry::{HistogramSnapshot, MetricsRegistry, MetricsSnapshot, DEFAULT_BOUNDS};
+pub use registry::{
+    labeled, Histogram, HistogramSnapshot, MeterSnapshot, MetricsRegistry, MetricsSnapshot,
+    DEFAULT_BOUNDS, METER_WINDOWS,
+};
 pub use sink::{NoopSink, RingSink, TraceSink};
 pub use step::StepTrace;
 

@@ -112,10 +112,11 @@ fn main() {
 
     let baseline = load(&baseline_path);
     let fresh = load(&fresh_path);
-    const SCHEMAS: [&str; 4] = [
+    const SCHEMAS: [&str; 5] = [
         "egka-service-churn/1",
         "egka-trace-churn/1",
         "egka-health-churn/1",
+        "egka-robust-churn/1",
         "egka-primitives/1",
     ];
     for (doc, path) in [(&baseline, &baseline_path), (&fresh, &fresh_path)] {
@@ -178,6 +179,20 @@ fn main() {
             ));
         } else {
             gate.notes.push("trace_drops: 0".into());
+        }
+    }
+    // The robustness artifact counts fault-injected groups that finished
+    // the scenario stalled. With the eviction engine armed that number is
+    // a liveness violation, not a perf question — any nonzero value in
+    // the fresh run fails outright.
+    if let Some(stalled) = fresh.get("stalled_faulted_groups").and_then(Json::as_f64) {
+        if stalled > 0.0 {
+            gate.failures.push(format!(
+                "stalled_faulted_groups: {stalled:.0} fault-injected group(s) \
+                 never completed — the eviction engine failed them"
+            ));
+        } else {
+            gate.notes.push("stalled_faulted_groups: 0".into());
         }
     }
 

@@ -1,0 +1,490 @@
+//! # egka-robust
+//!
+//! The identifiable-abort eviction engine: the acting half of the
+//! robustness plane whose detecting half is `egka-service`'s
+//! [`StallLedger`](../egka_service/health/struct.StallLedger.html).
+//!
+//! The paper's §7 dynamics assume every member answers; a single silent
+//! or battery-dead mote stalls its group forever. This crate decides
+//! *who to evict* once a group's stall streak crosses the policy
+//! threshold ([`EvictionPolicy::plan`]), records *why* in a signed,
+//! WAL-persisted [`BlameCert`] so crash recovery replays the eviction
+//! bit for bit, and keeps evicted members in a [`Quarantine`] penalty
+//! box with escalating backoff so flapping links cannot churn a group's
+//! membership every epoch.
+//!
+//! The crate is deliberately policy-only: it speaks raw `u64` group ids
+//! and `u32` member ids and never touches sessions, shards, or the WAL
+//! itself — `egka-service` owns the wiring.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::BTreeMap;
+
+use egka_bigint::Ubig;
+use egka_sig::blame::{BlamePublic, CoordinatorKey};
+use egka_sig::EcdsaSignature;
+use egka_trace::StallCause;
+
+/// Domain-separation tag for the blame-certificate to-be-signed bytes.
+const BLAME_DOMAIN: &[u8] = b"egka.blame.v1";
+
+/// When and how hard the eviction engine acts.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EvictionPolicy {
+    /// Consecutive stalled epochs before a group's culprits are evicted.
+    pub streak_threshold: u64,
+    /// Baseline quarantine span, in epochs, for a first eviction.
+    pub base_quarantine_epochs: u64,
+    /// Cap on the backoff doubling exponent for repeat offenders.
+    pub backoff_cap: u32,
+}
+
+impl Default for EvictionPolicy {
+    fn default() -> Self {
+        EvictionPolicy {
+            streak_threshold: 3,
+            base_quarantine_epochs: 2,
+            backoff_cap: 4,
+        }
+    }
+}
+
+/// The typed evidence held against one evicted member.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MemberEvidence {
+    /// The member being blamed.
+    pub member: u32,
+    /// Consecutive stalled epochs attributed to the member.
+    pub streak: u64,
+    /// Lifetime stalled epochs attributed to the member.
+    pub cumulative: u64,
+    /// The most recent stall classification.
+    pub cause: StallCause,
+}
+
+/// One group's eviction verdict for the epoch.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EvictionDecision {
+    /// The stalled group.
+    pub group: u64,
+    /// The members to evict, ascending by member id.
+    pub evicted: Vec<MemberEvidence>,
+}
+
+impl EvictionPolicy {
+    /// Plans this epoch's evictions.
+    ///
+    /// `group_streaks` carries each group's consecutive stalled-epoch
+    /// count; `members` maps groups to per-member evidence. A group is
+    /// ripe once its streak reaches [`streak_threshold`]; within a ripe
+    /// group, every member whose own streak reaches the threshold is
+    /// evicted. Output is deterministic: decisions ascend by group id
+    /// and evidence ascends by member id.
+    ///
+    /// [`streak_threshold`]: EvictionPolicy::streak_threshold
+    pub fn plan(
+        &self,
+        group_streaks: &[(u64, u64)],
+        members: &[(u64, MemberEvidence)],
+    ) -> Vec<EvictionDecision> {
+        let ripe: BTreeMap<u64, u64> = group_streaks
+            .iter()
+            .filter(|(_, streak)| *streak >= self.streak_threshold)
+            .copied()
+            .collect();
+        let mut by_group: BTreeMap<u64, Vec<MemberEvidence>> = BTreeMap::new();
+        for (group, ev) in members {
+            if ripe.contains_key(group) && ev.streak >= self.streak_threshold {
+                by_group.entry(*group).or_default().push(ev.clone());
+            }
+        }
+        by_group
+            .into_iter()
+            .map(|(group, mut evicted)| {
+                evicted.sort_by_key(|e| e.member);
+                evicted.dedup_by_key(|e| e.member);
+                EvictionDecision { group, evicted }
+            })
+            .filter(|d| !d.evicted.is_empty())
+            .collect()
+    }
+}
+
+/// One member's penalty-box entry.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct QuarantineCell {
+    /// First epoch at which a Join readmits the member.
+    until_epoch: u64,
+    /// Lifetime eviction count — drives the backoff exponent.
+    evictions: u32,
+}
+
+/// The penalty box: evicted members serve an accrual-keyed span before a
+/// Join may readmit them, and repeat offenders serve exponentially
+/// longer.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Quarantine {
+    cells: BTreeMap<u32, QuarantineCell>,
+}
+
+impl Quarantine {
+    /// Books `member` into the penalty box at `epoch` with the given
+    /// lifetime stall accrual, returning the epoch at which readmission
+    /// unlocks. The span grows with cumulative accrual and doubles per
+    /// prior eviction up to [`EvictionPolicy::backoff_cap`].
+    pub fn quarantine(
+        &mut self,
+        policy: &EvictionPolicy,
+        member: u32,
+        epoch: u64,
+        cumulative: u64,
+    ) -> u64 {
+        let cell = self.cells.entry(member).or_insert(QuarantineCell {
+            until_epoch: 0,
+            evictions: 0,
+        });
+        let span = (policy.base_quarantine_epochs + cumulative / 2)
+            << cell.evictions.min(policy.backoff_cap);
+        cell.until_epoch = epoch + span;
+        cell.evictions += 1;
+        cell.until_epoch
+    }
+
+    /// Whether `member` is still serving a penalty at `epoch`.
+    pub fn is_quarantined(&self, member: u32, epoch: u64) -> bool {
+        self.cells
+            .get(&member)
+            .is_some_and(|cell| epoch < cell.until_epoch)
+    }
+
+    /// The epoch `member`'s pending penalty elapses at, if one is still
+    /// booked (readmission clears it).
+    pub fn pending_until(&self, member: u32) -> Option<u64> {
+        self.cells
+            .get(&member)
+            .map(|cell| cell.until_epoch)
+            .filter(|&e| e != 0)
+    }
+
+    /// Readmits `member`: clears any pending penalty but keeps the
+    /// eviction count so a re-eviction backs off harder. Returns `true`
+    /// if the member had a quarantine record to clear.
+    pub fn readmit(&mut self, member: u32) -> bool {
+        match self.cells.get_mut(&member) {
+            Some(cell) => {
+                let had_penalty = cell.until_epoch != 0;
+                cell.until_epoch = 0;
+                had_penalty
+            }
+            None => false,
+        }
+    }
+
+    /// How many times `member` has been evicted so far.
+    pub fn evictions(&self, member: u32) -> u32 {
+        self.cells.get(&member).map_or(0, |cell| cell.evictions)
+    }
+
+    /// Flattens the penalty box to `(member, until_epoch, evictions)`
+    /// rows, ascending by member — the snapshot codec's wire form.
+    pub fn rows(&self) -> Vec<(u32, u64, u32)> {
+        self.cells
+            .iter()
+            .map(|(m, c)| (*m, c.until_epoch, c.evictions))
+            .collect()
+    }
+
+    /// Rebuilds the penalty box from [`rows`](Quarantine::rows) output.
+    pub fn from_rows(rows: &[(u32, u64, u32)]) -> Self {
+        Quarantine {
+            cells: rows
+                .iter()
+                .map(|&(m, until_epoch, evictions)| {
+                    (
+                        m,
+                        QuarantineCell {
+                            until_epoch,
+                            evictions,
+                        },
+                    )
+                })
+                .collect(),
+        }
+    }
+}
+
+/// A signed record of one group's eviction: who was removed, at which
+/// epoch, and the typed stall evidence justifying it. Appended to the
+/// WAL so recovery replays the eviction bit for bit, and verifiable by
+/// any holder of the coordinator's [`BlamePublic`] key.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BlameCert {
+    /// The group the members were evicted from.
+    pub group: u64,
+    /// The epoch whose synthesis produced the eviction.
+    pub epoch: u64,
+    /// The evicted members with their evidence, ascending by member id.
+    pub evicted: Vec<MemberEvidence>,
+    /// The coordinator's ECDSA signature over [`tbs_bytes`](BlameCert::tbs_bytes).
+    pub signature: EcdsaSignature,
+}
+
+/// Appends a big-endian `u16` length prefix followed by `bytes`.
+fn put(out: &mut Vec<u8>, bytes: &[u8]) {
+    let len = u16::try_from(bytes.len()).expect("blame field fits in u16");
+    out.extend_from_slice(&len.to_be_bytes());
+    out.extend_from_slice(bytes);
+}
+
+/// Bounds-checked cursor over a decode buffer.
+struct Cur<'a>(&'a [u8], usize);
+
+impl<'a> Cur<'a> {
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let end = self.1.checked_add(n)?;
+        let slice = self.0.get(self.1..end)?;
+        self.1 = end;
+        Some(slice)
+    }
+
+    fn get(&mut self) -> Option<&'a [u8]> {
+        let len = u16::from_be_bytes(self.take(2)?.try_into().ok()?);
+        self.take(usize::from(len))
+    }
+
+    fn byte(&mut self) -> Option<u8> {
+        Some(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Option<u32> {
+        Some(u32::from_be_bytes(self.take(4)?.try_into().ok()?))
+    }
+
+    fn u64(&mut self) -> Option<u64> {
+        Some(u64::from_be_bytes(self.take(8)?.try_into().ok()?))
+    }
+}
+
+impl BlameCert {
+    /// The to-be-signed byte string: domain tag, then every field in
+    /// big-endian wire order.
+    pub fn tbs_bytes(group: u64, epoch: u64, evicted: &[MemberEvidence]) -> Vec<u8> {
+        let mut out = Vec::new();
+        put(&mut out, BLAME_DOMAIN);
+        out.extend_from_slice(&group.to_be_bytes());
+        out.extend_from_slice(&epoch.to_be_bytes());
+        let count = u16::try_from(evicted.len()).expect("eviction count fits in u16");
+        out.extend_from_slice(&count.to_be_bytes());
+        for ev in evicted {
+            out.extend_from_slice(&ev.member.to_be_bytes());
+            out.extend_from_slice(&ev.streak.to_be_bytes());
+            out.extend_from_slice(&ev.cumulative.to_be_bytes());
+            out.push(ev.cause.code());
+        }
+        out
+    }
+
+    /// Builds and signs a certificate with the coordinator's
+    /// deterministic key: equal inputs always produce bit-identical
+    /// certificates.
+    pub fn sign(
+        key: &CoordinatorKey,
+        group: u64,
+        epoch: u64,
+        evicted: Vec<MemberEvidence>,
+    ) -> Self {
+        let signature = key.sign(&Self::tbs_bytes(group, epoch, &evicted));
+        BlameCert {
+            group,
+            epoch,
+            evicted,
+            signature,
+        }
+    }
+
+    /// Verifies the coordinator signature against the certificate body.
+    pub fn verify(&self, public: &BlamePublic) -> bool {
+        let tbs = Self::tbs_bytes(self.group, self.epoch, &self.evicted);
+        public.verify(&tbs, &self.signature)
+    }
+
+    /// Serializes the certificate (body + signature) for the WAL.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Self::tbs_bytes(self.group, self.epoch, &self.evicted);
+        put(&mut out, &self.signature.r.to_bytes_be());
+        put(&mut out, &self.signature.s.to_bytes_be());
+        out
+    }
+
+    /// Inverse of [`encode`](BlameCert::encode). Rejects truncation,
+    /// trailing bytes, a wrong domain tag, and unknown cause codes.
+    pub fn decode(buf: &[u8]) -> Option<Self> {
+        let mut c = Cur(buf, 0);
+        if c.get()? != BLAME_DOMAIN {
+            return None;
+        }
+        let group = c.u64()?;
+        let epoch = c.u64()?;
+        let count = u16::from_be_bytes(c.take(2)?.try_into().ok()?);
+        let mut evicted = Vec::with_capacity(usize::from(count));
+        for _ in 0..count {
+            let member = c.u32()?;
+            let streak = c.u64()?;
+            let cumulative = c.u64()?;
+            let cause = StallCause::from_code(c.byte()?)?;
+            evicted.push(MemberEvidence {
+                member,
+                streak,
+                cumulative,
+                cause,
+            });
+        }
+        let signature = EcdsaSignature {
+            r: Ubig::from_bytes_be(c.get()?),
+            s: Ubig::from_bytes_be(c.get()?),
+        };
+        if c.1 != buf.len() {
+            return None;
+        }
+        Some(BlameCert {
+            group,
+            epoch,
+            evicted,
+            signature,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn evidence(member: u32, streak: u64, cumulative: u64) -> MemberEvidence {
+        MemberEvidence {
+            member,
+            streak,
+            cumulative,
+            cause: StallCause::Detached,
+        }
+    }
+
+    #[test]
+    fn plan_evicts_only_ripe_groups_and_ripe_members() {
+        let policy = EvictionPolicy::default();
+        let streaks = [(7u64, 3u64), (9, 2)];
+        let members = [
+            (7u64, evidence(3, 3, 3)),
+            (7, evidence(1, 1, 1)), // below threshold: spared
+            (9, evidence(5, 3, 3)), // group not ripe: spared
+            (7, evidence(2, 4, 6)),
+        ];
+        let decisions = policy.plan(&streaks, &members);
+        assert_eq!(decisions.len(), 1);
+        assert_eq!(decisions[0].group, 7);
+        let ids: Vec<u32> = decisions[0].evicted.iter().map(|e| e.member).collect();
+        assert_eq!(ids, vec![2, 3], "evidence must ascend by member id");
+    }
+
+    #[test]
+    fn plan_is_order_independent() {
+        let policy = EvictionPolicy::default();
+        let streaks = [(1u64, 4u64), (2, 5)];
+        let fwd = [
+            (2u64, evidence(9, 4, 4)),
+            (1, evidence(4, 3, 3)),
+            (1, evidence(8, 5, 9)),
+        ];
+        let mut rev = fwd.clone();
+        rev.reverse();
+        assert_eq!(policy.plan(&streaks, &fwd), policy.plan(&streaks, &rev));
+    }
+
+    #[test]
+    fn quarantine_backoff_escalates_and_caps() {
+        let policy = EvictionPolicy {
+            streak_threshold: 3,
+            base_quarantine_epochs: 2,
+            backoff_cap: 2,
+        };
+        let mut q = Quarantine::default();
+        // First eviction at epoch 10 with cumulative 4: span 2 + 4/2 = 4.
+        assert_eq!(q.quarantine(&policy, 5, 10, 4), 14);
+        assert!(q.is_quarantined(5, 13));
+        assert!(!q.is_quarantined(5, 14));
+        assert!(q.readmit(5), "a pending penalty is cleared on readmit");
+        assert!(!q.is_quarantined(5, 10));
+        // Second eviction doubles the span; third doubles again; the
+        // fourth is capped at the same exponent as the third.
+        assert_eq!(q.quarantine(&policy, 5, 20, 4), 20 + 8);
+        q.readmit(5);
+        assert_eq!(q.quarantine(&policy, 5, 30, 4), 30 + 16);
+        q.readmit(5);
+        assert_eq!(q.quarantine(&policy, 5, 40, 4), 40 + 16);
+        assert_eq!(q.evictions(5), 4);
+        // Unknown members are never quarantined and readmit is a no-op.
+        assert!(!q.is_quarantined(77, 0));
+        assert!(!q.readmit(77));
+    }
+
+    #[test]
+    fn quarantine_rows_roundtrip() {
+        let policy = EvictionPolicy::default();
+        let mut q = Quarantine::default();
+        q.quarantine(&policy, 3, 5, 2);
+        q.quarantine(&policy, 9, 6, 0);
+        q.readmit(9);
+        let rows = q.rows();
+        assert_eq!(Quarantine::from_rows(&rows), q);
+        assert_eq!(Quarantine::from_rows(&rows).rows(), rows);
+    }
+
+    #[test]
+    fn blame_cert_signs_verifies_and_roundtrips() {
+        let key = CoordinatorKey::from_seed(0x5eed);
+        let evicted = vec![evidence(3, 3, 7), evidence(11, 4, 4)];
+        let cert = BlameCert::sign(&key, 2, 9, evicted.clone());
+        assert!(cert.verify(&key.public()));
+        // Deterministic: re-signing the same body yields the same cert.
+        assert_eq!(BlameCert::sign(&key, 2, 9, evicted), cert);
+        let bytes = cert.encode();
+        let back = BlameCert::decode(&bytes).expect("roundtrip decodes");
+        assert_eq!(back, cert);
+        assert!(back.verify(&key.public()));
+    }
+
+    #[test]
+    fn blame_cert_decode_rejects_damage() {
+        let key = CoordinatorKey::from_seed(1);
+        let cert = BlameCert::sign(&key, 1, 2, vec![evidence(4, 3, 3)]);
+        let bytes = cert.encode();
+        // Truncation at every prefix length.
+        for cut in 0..bytes.len() {
+            assert!(BlameCert::decode(&bytes[..cut]).is_none(), "cut at {cut}");
+        }
+        // Trailing garbage.
+        let mut extended = bytes.clone();
+        extended.push(0);
+        assert!(BlameCert::decode(&extended).is_none());
+        // A flipped body byte still decodes (the codec is not a MAC) but
+        // the signature no longer verifies.
+        let mut flipped = bytes.clone();
+        flipped[20] ^= 1;
+        if let Some(tampered) = BlameCert::decode(&flipped) {
+            assert!(!tampered.verify(&key.public()));
+        }
+    }
+
+    #[test]
+    fn blame_cert_rejects_unknown_cause_code() {
+        let key = CoordinatorKey::from_seed(1);
+        let cert = BlameCert::sign(&key, 1, 2, vec![evidence(4, 3, 3)]);
+        let mut bytes = cert.encode();
+        // The cause byte sits right after the fixed-width member fields.
+        let cause_at = 2 + BLAME_DOMAIN.len() + 8 + 8 + 2 + 4 + 8 + 8;
+        assert_eq!(bytes[cause_at], StallCause::Detached.code());
+        bytes[cause_at] = 0xff;
+        assert!(BlameCert::decode(&bytes).is_none());
+    }
+}

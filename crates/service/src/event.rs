@@ -61,6 +61,14 @@ pub enum ServiceError {
     /// A founding member is powered off (detached) or battery-dead: it
     /// cannot run the initial GKA.
     MemberUnavailable(UserId),
+    /// The user was evicted by the robustness engine and its quarantine
+    /// has not elapsed: the Join is refused until the given epoch.
+    Quarantined {
+        /// The penalized user.
+        user: UserId,
+        /// First epoch at which a Join will be accepted again.
+        until_epoch: u64,
+    },
 }
 
 impl core::fmt::Display for ServiceError {
@@ -72,6 +80,9 @@ impl core::fmt::Display for ServiceError {
             ServiceError::DuplicateMember(u) => write!(f, "duplicate founding member {u}"),
             ServiceError::MemberUnavailable(u) => {
                 write!(f, "founding member {u} is powered off or battery-dead")
+            }
+            ServiceError::Quarantined { user, until_epoch } => {
+                write!(f, "user {user} is quarantined until epoch {until_epoch}")
             }
         }
     }

@@ -6,13 +6,14 @@
 //! coordinator, no tracing required — so an operator can ask a running
 //! service "which shard is hot?" and "which member keeps stalling its
 //! group?" without replaying a Perfetto export. The ledger is the data
-//! substrate the planned failure detector (ROADMAP: robust rekeying with
-//! identifiable aborts) will consume: `k` consecutive stalled epochs
-//! attributed to one member is its eviction trigger.
+//! substrate the `egka-robust` eviction planner consumes: `k`
+//! consecutive stalled epochs attributed to one member is its eviction
+//! trigger.
 //!
-//! Accumulated health state is observability, not service state: it is
-//! not write-ahead logged, and a recovered service restarts it from the
-//! replayed WAL tail.
+//! Because evictions are derived from the ledger, it is no longer pure
+//! observability: snapshots persist the ledger (and the quarantine box)
+//! so a recovered service re-derives the *same* evictions, and the WAL
+//! tail replays the rest.
 
 use std::collections::BTreeMap;
 use std::time::Duration;
@@ -185,16 +186,21 @@ impl StallLedger {
         self.members.get(&(gid, member)).copied()
     }
 
-    /// The member rows with the highest cumulative tally, worst first
-    /// (ties broken by `(group, member)` for determinism), at most `n`.
+    /// The worst member rows, at most `n`, in a fully pinned order:
+    /// highest consecutive streak first, then highest cumulative tally,
+    /// then ascending member id, then ascending group id. Eviction
+    /// planning consumes this ranking, so it must never depend on map
+    /// iteration order — the tie-break chain leaves no two distinct rows
+    /// unordered.
     pub fn worst_members(&self, n: usize) -> Vec<StallRecord> {
         let mut rows = self.member_records();
         rows.sort_by(|a, b| {
             b.stall
-                .cumulative
-                .cmp(&a.stall.cumulative)
-                .then(a.group.cmp(&b.group))
+                .consecutive
+                .cmp(&a.stall.consecutive)
+                .then(b.stall.cumulative.cmp(&a.stall.cumulative))
                 .then(a.member.cmp(&b.member))
+                .then(a.group.cmp(&b.group))
         });
         rows.truncate(n);
         rows
@@ -203,6 +209,18 @@ impl StallLedger {
     /// Whether no stall has ever been recorded.
     pub fn is_empty(&self) -> bool {
         self.groups.is_empty()
+    }
+
+    /// Rebuilds a ledger from snapshot rows (the inverses of
+    /// [`StallLedger::group_records`] / [`StallLedger::member_records`]).
+    pub(crate) fn restore(groups: Vec<(GroupId, MemberStall)>, members: Vec<StallRecord>) -> Self {
+        StallLedger {
+            groups: groups.into_iter().collect(),
+            members: members
+                .into_iter()
+                .map(|r| ((r.group, r.member), r.stall))
+                .collect(),
+        }
     }
 }
 
@@ -281,8 +299,8 @@ pub enum HealthReport {
     },
     /// At least one live group has stalled [`STALLED_AFTER_EPOCHS`] or
     /// more consecutive epochs — it is making no progress and will not
-    /// without intervention (re-attach, eviction, or the future failure
-    /// detector's proposed eviction).
+    /// without intervention (re-attach, or the `egka-robust` eviction
+    /// engine completing the epoch over the survivors).
     Stalled {
         /// The stuck groups, ascending.
         groups: Vec<GroupId>,
@@ -325,6 +343,48 @@ mod tests {
         assert_eq!(ledger.group(8).unwrap().consecutive, 1);
         let worst = ledger.worst_members(1);
         assert_eq!(worst[0].member, UserId(3));
+    }
+
+    #[test]
+    fn worst_members_pins_ties() {
+        let mut ledger = StallLedger::default();
+        // Three members with identical (consecutive=1, cumulative=1)
+        // tallies, spread across two groups, plus one clear leader.
+        ledger.record_stall(5, StallCause::Detached, &[UserId(8), UserId(2)]);
+        ledger.record_stall(4, StallCause::Detached, &[UserId(2), UserId(6)]);
+        ledger.record_stall(4, StallCause::Detached, &[UserId(6)]);
+        let worst = ledger.worst_members(10);
+        let order: Vec<(GroupId, UserId)> = worst.iter().map(|r| (r.group, r.member)).collect();
+        // u6 leads on streak; the (1, 1) tie then orders by member id
+        // with u2's two groups adjacent, group ascending.
+        assert_eq!(
+            order,
+            vec![
+                (4, UserId(6)),
+                (4, UserId(2)),
+                (5, UserId(2)),
+                (5, UserId(8)),
+            ]
+        );
+        // Streak dominates cumulative: after group 4's success resets
+        // its members to streak 0, u6's cumulative 2 still sorts behind
+        // every live streak, and only then ahead of the cumulative 1s.
+        ledger.record_success(4);
+        ledger.record_stall(5, StallCause::Detached, &[UserId(8)]);
+        let order: Vec<(GroupId, UserId)> = ledger
+            .worst_members(10)
+            .iter()
+            .map(|r| (r.group, r.member))
+            .collect();
+        assert_eq!(
+            order,
+            vec![
+                (5, UserId(8)),
+                (5, UserId(2)),
+                (4, UserId(6)),
+                (4, UserId(2)),
+            ]
+        );
     }
 
     #[test]

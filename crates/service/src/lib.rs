@@ -79,6 +79,13 @@
 //!   authenticated envelope. Recovery replays snapshot + tail through the
 //!   ordinary entry points and reconstructs every shard bit for bit —
 //!   groups survive the controller process.
+//! * **Robustness** ([`ServiceBuilder::eviction`], `egka-robust`): with
+//!   an armed [`EvictionPolicy`], a group whose stall streak crosses the
+//!   threshold has the ledger's culprits *evicted* at the next tick —
+//!   synthesized Leaves complete the epoch over the survivors, a signed
+//!   [`BlameCert`] lands in the WAL so recovery replays the eviction bit
+//!   for bit, and evicted members serve an escalating-backoff
+//!   [`Quarantine`] before a Join readmits them.
 //!
 //! ```
 //! use std::sync::Arc;
@@ -111,7 +118,10 @@ mod service;
 mod shard;
 
 pub use egka_core::suite::{Suite, SuiteId};
+pub use egka_robust::{BlameCert, EvictionDecision, EvictionPolicy, MemberEvidence, Quarantine};
+pub use egka_sig::blame::BlamePublic;
 pub use egka_store::{FileStore, MemStore, Store, StoreError};
+pub use egka_trace::StallCause;
 pub use event::{GroupId, MembershipEvent, RejectReason, ServiceError};
 pub use hashing::jump_hash;
 pub use health::{
@@ -337,6 +347,58 @@ mod tests {
         let report = svc.tick();
         assert_eq!(report.rekeys_executed, 0);
         assert_eq!(svc.groups_active(), 40);
+    }
+
+    #[test]
+    fn eviction_logs_a_verifiable_blame_cert_in_the_wal() {
+        use egka_store::wal_records;
+
+        let mut rng = ChaChaRng::seed_from_u64(0x0b57);
+        let pkg = Arc::new(Pkg::setup(&mut rng, SecurityProfile::Toy));
+        let backend: Arc<dyn Store> = Arc::new(MemStore::new());
+        let mut svc = KeyService::builder()
+            .seed(0xe0a1)
+            .eviction(EvictionPolicy::default())
+            .store(StoreConfig::new(Arc::clone(&backend)).snapshot_every(0))
+            .build(pkg);
+        svc.create_group(1, &users(0..4)).unwrap();
+        svc.detach_member(UserId(3));
+        svc.submit(1, MembershipEvent::Join(UserId(10))).unwrap();
+        // STALLED_AFTER_EPOCHS stalls accrue the streak…
+        for _ in 0..STALLED_AFTER_EPOCHS {
+            let r = svc.tick();
+            assert_eq!(r.members_evicted, 0);
+            assert_eq!(r.rekeys_executed, 0);
+        }
+        // …and the next tick evicts the culprit and completes the epoch
+        // over the survivors: within STALLED_AFTER_EPOCHS + 1 epochs.
+        let r = svc.tick();
+        assert_eq!(r.evicted, vec![(1, UserId(3))]);
+        assert_eq!(r.blame_certs, 1);
+        assert!(r.rekeys_executed >= 1, "the stalled group completed");
+        let s = svc.session(1).unwrap();
+        assert!(!s.contains(UserId(3)));
+        assert!(s.contains(UserId(10)));
+
+        // The signed certificate is in the WAL, names the member, and
+        // verifies against the coordinator's public key.
+        let public = svc.blame_public().expect("eviction armed");
+        let mut logged = Vec::new();
+        for payload in wal_records(backend.as_ref()).unwrap() {
+            if let (_, crate::persist::WalRecord::Evict { cert }) =
+                crate::persist::WalRecord::decode(&payload).unwrap()
+            {
+                logged.push(BlameCert::decode(&cert).expect("logged cert decodes"));
+            }
+        }
+        assert_eq!(logged.len(), 1);
+        assert_eq!(logged[0].group, 1);
+        assert_eq!(logged[0].epoch, STALLED_AFTER_EPOCHS + 1);
+        assert_eq!(logged[0].evicted.len(), 1);
+        assert_eq!(logged[0].evicted[0].member, 3);
+        assert_eq!(logged[0].evicted[0].streak, STALLED_AFTER_EPOCHS);
+        assert!(logged[0].verify(&public), "coordinator signature verifies");
+        assert_eq!(svc.blame_certs(), &logged[..]);
     }
 
     #[test]

@@ -74,6 +74,14 @@ pub struct ServiceMetrics {
     /// Members whose battery drained to zero under a radio medium — each
     /// was auto-detached, feeding the scheduler's timeout path.
     pub nodes_died: u64,
+    /// Members evicted by the robustness engine (stall streak crossed
+    /// the policy threshold); 0 without an eviction policy.
+    pub members_evicted: u64,
+    /// Signed blame certificates appended to the WAL (one per evicting
+    /// group-epoch).
+    pub blame_certs: u64,
+    /// Previously evicted members readmitted by a post-quarantine Join.
+    pub members_readmitted: u64,
     /// Fixed-bucket histogram of virtual radio milliseconds per committed
     /// rekey (one observation per group-epoch that rekeyed over a radio
     /// medium; includes retransmitted attempts). O(1) per sample and
@@ -150,6 +158,9 @@ impl ServiceMetrics {
             steps_retried,
             epochs,
             nodes_died,
+            members_evicted,
+            blame_certs,
+            members_readmitted,
             latency_virtual,
             energy_mj,
             ops,
@@ -199,6 +210,9 @@ impl ServiceMetrics {
              \"steps_retried\": {steps_retried}, \
              \"epochs\": {epochs}, \
              \"nodes_died\": {nodes_died}, \
+             \"members_evicted\": {members_evicted}, \
+             \"blame_certs\": {blame_certs}, \
+             \"members_readmitted\": {members_readmitted}, \
              \"energy_mj\": {energy_mj:.3}, \
              \"comp_ops\": {comp_ops}, \
              \"traffic\": {{\"tx_bits\": {}, \"rx_bits\": {}, \
@@ -277,6 +291,14 @@ pub struct EpochReport {
     pub traffic: TrafficStats,
     /// Members whose battery died this epoch.
     pub nodes_died: u64,
+    /// Members the robustness engine evicted at the top of this tick,
+    /// as `(group, member)` pairs ascending — the synthesized Leaves
+    /// that complete the epoch over the survivors.
+    pub evicted: Vec<(GroupId, egka_core::UserId)>,
+    /// `evicted.len()` as a counter (folds into the cumulative total).
+    pub members_evicted: u64,
+    /// Blame certificates signed and logged this tick.
+    pub blame_certs: u64,
     /// Wall-clock from a group's epoch being planned to its commit, one
     /// entry per group that rekeyed. Under the interleaving scheduler
     /// this *includes* time the shard spent pumping other groups (and any
@@ -346,6 +368,8 @@ impl EpochReport {
         m.steps_retried += self.steps_retried;
         m.groups_dissolved += self.groups_dissolved;
         m.nodes_died += self.nodes_died;
+        m.members_evicted += self.members_evicted;
+        m.blame_certs += self.blame_certs;
         for &v in &self.rekey_latencies_virtual_ms {
             m.latency_virtual.observe(v);
         }

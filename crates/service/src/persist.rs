@@ -43,13 +43,14 @@ use egka_core::{GroupSession, Pkg, UserId};
 use egka_hash::ChaChaRng;
 use egka_store::{Store, StoreError};
 use egka_symmetric::Envelope;
+use egka_trace::StallCause;
 use rand::SeedableRng;
 
 use crate::event::{GroupId, MembershipEvent};
 use crate::shard::GroupState;
 
 /// Snapshot format magic + version (bump on layout changes).
-const SNAPSHOT_MAGIC: &[u8; 8] = b"EGKASNP1";
+const SNAPSHOT_MAGIC: &[u8; 8] = b"EGKASNP2";
 /// WAL record format version.
 const WAL_VERSION: u8 = 1;
 
@@ -147,6 +148,11 @@ pub(crate) enum WalRecord {
     /// A `tick()` applied this epoch in full (appended before the report
     /// is returned — the write-ahead commit point).
     EpochCommit { epoch: u64 },
+    /// The robustness engine evicted members: the encoded, signed
+    /// [`egka_robust::BlameCert`]. Logged *before* the synthesized Leave
+    /// events take effect, so replay can cross-check that it re-derives
+    /// the identical eviction from the replayed ledger.
+    Evict { cert: Vec<u8> },
 }
 
 mod tag {
@@ -158,6 +164,7 @@ mod tag {
     pub const SET_BATTERY: u8 = 5;
     pub const SET_LOSS: u8 = 6;
     pub const EPOCH_COMMIT: u8 = 7;
+    pub const EVICT: u8 = 9;
 }
 
 mod event_tag {
@@ -229,6 +236,9 @@ impl WalRecord {
             WalRecord::EpochCommit { epoch } => {
                 w.put_u8(tag::EPOCH_COMMIT).put_u64(*epoch);
             }
+            WalRecord::Evict { cert } => {
+                w.put_u8(tag::EVICT).put_blob(cert);
+            }
         }
         w.finish().to_vec()
     }
@@ -270,6 +280,9 @@ impl WalRecord {
             tag::EPOCH_COMMIT => WalRecord::EpochCommit {
                 epoch: r.get_u64()?,
             },
+            tag::EVICT => WalRecord::Evict {
+                cert: r.get_blob()?.to_vec(),
+            },
             _ => {
                 return Err(DecodeError {
                     what: "unknown wal record tag",
@@ -300,6 +313,18 @@ pub(crate) struct SnapshotState<'a> {
     pub groups: Vec<(GroupId, &'a GroupState)>,
     /// `(gid, queued events)` for every non-empty queue, ascending by id.
     pub pending: Vec<(GroupId, &'a [MembershipEvent])>,
+    /// Stall-ledger group rows `(gid, consecutive, cumulative, cause)`,
+    /// ascending — persisted so a recovered service re-derives the same
+    /// eviction decisions from the same streaks.
+    pub stall_groups: Vec<(GroupId, u64, u64, StallCause)>,
+    /// Stall-ledger member rows `(gid, member, consecutive, cumulative,
+    /// cause)`, ascending by `(gid, member)`.
+    pub stall_members: Vec<(GroupId, u32, u64, u64, StallCause)>,
+    /// Quarantine cells `(member, until_epoch, evictions)`, ascending.
+    pub quarantine: Vec<(u32, u64, u32)>,
+    /// Encoded blame certificates in issuance order, so a recovery from
+    /// a post-eviction snapshot still surfaces the full audit trail.
+    pub blame_certs: Vec<Vec<u8>>,
 }
 
 /// The owned counterpart [`decode_snapshot`] returns.
@@ -314,6 +339,10 @@ pub(crate) struct RestoredState {
     pub batteries: Vec<(u32, f64, f64)>,
     pub groups: Vec<(GroupId, GroupState)>,
     pub pending: Vec<(GroupId, Vec<MembershipEvent>)>,
+    pub stall_groups: Vec<(GroupId, u64, u64, StallCause)>,
+    pub stall_members: Vec<(GroupId, u32, u64, u64, StallCause)>,
+    pub quarantine: Vec<(u32, u64, u32)>,
+    pub blame_certs: Vec<Vec<u8>>,
 }
 
 /// Serializes a snapshot, sealing each group's session state under
@@ -362,6 +391,29 @@ pub(crate) fn encode_snapshot(
         for ev in events.iter() {
             put_event(&mut w, ev);
         }
+    }
+    w.put_u32(state.stall_groups.len() as u32);
+    for &(gid, consecutive, cumulative, cause) in &state.stall_groups {
+        w.put_u64(gid)
+            .put_u64(consecutive)
+            .put_u64(cumulative)
+            .put_u8(cause.code());
+    }
+    w.put_u32(state.stall_members.len() as u32);
+    for &(gid, member, consecutive, cumulative, cause) in &state.stall_members {
+        w.put_u64(gid)
+            .put_u32(member)
+            .put_u64(consecutive)
+            .put_u64(cumulative)
+            .put_u8(cause.code());
+    }
+    w.put_u32(state.quarantine.len() as u32);
+    for &(member, until_epoch, evictions) in &state.quarantine {
+        w.put_u32(member).put_u64(until_epoch).put_u32(evictions);
+    }
+    w.put_u32(state.blame_certs.len() as u32);
+    for cert in &state.blame_certs {
+        w.put_blob(cert);
     }
     w.finish().to_vec()
 }
@@ -446,6 +498,39 @@ pub(crate) fn decode_snapshot(
         }
         pending.push((gid, events));
     }
+    let cause_of =
+        |code: u8| StallCause::from_code(code).ok_or_else(|| corrupt("unknown stall cause"));
+    let mut stall_groups = Vec::new();
+    for _ in 0..r.get_u32().map_err(de)? {
+        stall_groups.push((
+            r.get_u64().map_err(de)?,
+            r.get_u64().map_err(de)?,
+            r.get_u64().map_err(de)?,
+            cause_of(r.get_u8().map_err(de)?)?,
+        ));
+    }
+    let mut stall_members = Vec::new();
+    for _ in 0..r.get_u32().map_err(de)? {
+        stall_members.push((
+            r.get_u64().map_err(de)?,
+            r.get_u32().map_err(de)?,
+            r.get_u64().map_err(de)?,
+            r.get_u64().map_err(de)?,
+            cause_of(r.get_u8().map_err(de)?)?,
+        ));
+    }
+    let mut quarantine = Vec::new();
+    for _ in 0..r.get_u32().map_err(de)? {
+        quarantine.push((
+            r.get_u32().map_err(de)?,
+            r.get_u64().map_err(de)?,
+            r.get_u32().map_err(de)?,
+        ));
+    }
+    let mut blame_certs = Vec::new();
+    for _ in 0..r.get_u32().map_err(de)? {
+        blame_certs.push(r.get_blob().map_err(de)?.to_vec());
+    }
     r.expect_end()
         .map_err(|_| corrupt("snapshot has trailing bytes"))?;
     Ok(RestoredState {
@@ -459,6 +544,10 @@ pub(crate) fn decode_snapshot(
         batteries,
         groups,
         pending,
+        stall_groups,
+        stall_members,
+        quarantine,
+        blame_certs,
     })
 }
 
@@ -497,6 +586,9 @@ mod tests {
             },
             WalRecord::SetLoss(0.01),
             WalRecord::EpochCommit { epoch: 42 },
+            WalRecord::Evict {
+                cert: vec![0xde, 0xad, 0xbe, 0xef],
+            },
         ];
         for (i, rec) in records.iter().enumerate() {
             let lsn = 100 + i as u64;
@@ -518,5 +610,16 @@ mod tests {
         let mut bad_tag = payload;
         bad_tag[9] = 0xFF;
         assert!(WalRecord::decode(&bad_tag).is_err(), "unknown tag");
+    }
+
+    #[test]
+    fn wal_evict_record_rejects_damage() {
+        let payload = WalRecord::Evict { cert: vec![7; 16] }.encode(3);
+        for cut in 0..payload.len() {
+            assert!(WalRecord::decode(&payload[..cut]).is_err(), "cut {cut}");
+        }
+        let mut extra = payload;
+        extra.push(0);
+        assert!(WalRecord::decode(&extra).is_err(), "trailing bytes");
     }
 }

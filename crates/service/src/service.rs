@@ -9,7 +9,8 @@ use egka_core::suite::{suite, StepCtx, SuiteId, SuiteOutcome};
 use egka_core::{par, Faults, GroupSession, Pkg, Pump, RadioSpec, UserId};
 use egka_energy::OpCounts;
 use egka_medium::{BatteryBank, BatteryStatus, RadioProfile};
-
+use egka_robust::{BlameCert, EvictionPolicy, MemberEvidence, Quarantine};
+use egka_sig::blame::{BlamePublic, CoordinatorKey};
 use egka_store::{wal_records, StoreError, TracedStore};
 use egka_trace::{
     group_tid, labeled, Event, Payload, Phase, StallCause, StepTrace, TraceConfig, Tracer,
@@ -69,6 +70,7 @@ pub(crate) struct Config {
     pub store: Option<StoreConfig>,
     pub trace: Tracer,
     pub parallel_pump: bool,
+    pub eviction: Option<EvictionPolicy>,
 }
 
 impl Default for Config {
@@ -84,6 +86,7 @@ impl Default for Config {
             store: None,
             trace: Tracer::disabled(),
             parallel_pump: false,
+            eviction: None,
         }
     }
 }
@@ -192,6 +195,19 @@ impl ServiceBuilder {
         self
     }
 
+    /// Arms the identifiable-abort eviction engine (`egka-robust`): once
+    /// a group's stall streak crosses `policy.streak_threshold`, the next
+    /// tick synthesizes Leave events evicting the ledger's culprits so
+    /// the epoch completes over the survivors, appends a signed
+    /// [`BlameCert`] to the WAL (when a store is configured), and books
+    /// the evicted members into an escalating-backoff quarantine that a
+    /// post-penalty Join clears. Without this call — the default — the
+    /// service never evicts anybody and behaves exactly as before.
+    pub fn eviction(mut self, policy: EvictionPolicy) -> Self {
+        self.cfg.eviction = Some(policy);
+        self
+    }
+
     /// Records structured trace events (and optional metrics) for every
     /// epoch, plan, protocol step, round, retransmission, battery death
     /// and WAL append, all on the **virtual clock** — so the export is
@@ -224,6 +240,11 @@ impl ServiceBuilder {
             .radio
             .as_ref()
             .map(|r| BatteryBank::new(r.default_battery_uj));
+        // The blame-signing key derives from the master seed, so a
+        // recovered coordinator re-signs bit-identical certificates.
+        let coordinator = cfg
+            .eviction
+            .map(|_| CoordinatorKey::from_seed(mix(cfg.seed, 0xb1a4e)));
         KeyService {
             pkg,
             loss: cfg.loss,
@@ -240,6 +261,11 @@ impl ServiceBuilder {
             next_lsn: 1,
             replaying: false,
             coord_ns: 0,
+            quarantine: Quarantine::default(),
+            coordinator,
+            blame_certs: Vec::new(),
+            replay_certs: Vec::new(),
+            replay_fault: None,
         }
     }
 
@@ -308,6 +334,48 @@ impl ServiceBuilder {
                 let shard = svc.shard_of(gid);
                 svc.shards[shard].pending.insert(gid, events);
             }
+            svc.ledger = StallLedger::restore(
+                restored
+                    .stall_groups
+                    .into_iter()
+                    .map(|(gid, consecutive, cumulative, last_cause)| {
+                        (
+                            gid,
+                            crate::health::MemberStall {
+                                consecutive,
+                                cumulative,
+                                last_cause,
+                            },
+                        )
+                    })
+                    .collect(),
+                restored
+                    .stall_members
+                    .into_iter()
+                    .map(|(gid, member, consecutive, cumulative, last_cause)| {
+                        crate::health::StallRecord {
+                            group: gid,
+                            member: UserId(member),
+                            stall: crate::health::MemberStall {
+                                consecutive,
+                                cumulative,
+                                last_cause,
+                            },
+                        }
+                    })
+                    .collect(),
+            );
+            svc.quarantine = Quarantine::from_rows(&restored.quarantine);
+            svc.blame_certs = restored
+                .blame_certs
+                .iter()
+                .map(|bytes| {
+                    BlameCert::decode(bytes).ok_or(StoreError::Corrupt {
+                        what: "snapshot blame certificate malformed",
+                        offset: 0,
+                    })
+                })
+                .collect::<Result<_, _>>()?;
             svc.metrics.groups_active = svc.groups_active() as u64;
             svc.next_lsn = restored.next_lsn;
             report.snapshot_epoch = Some(restored.epoch);
@@ -341,6 +409,10 @@ impl ServiceBuilder {
         }
         report.epochs_replayed = svc.metrics.epochs;
         report.groups_recovered = svc.groups_active() as u64;
+        // An Evict record whose epoch commit never reached the log is a
+        // torn tail: the eviction never happened (write-ahead contract)
+        // and the resumed service will re-derive and re-log it.
+        svc.replay_certs.clear();
         svc.replaying = false;
         Ok((svc, report))
     }
@@ -389,6 +461,22 @@ pub struct KeyService {
     /// to each epoch's slot and ticks one `SWEEP_NS` per coordinator-side
     /// event between slots. Only advanced under tracing.
     coord_ns: u64,
+    /// The eviction penalty box (always empty without an armed
+    /// [`ServiceBuilder::eviction`] policy). Snapshotted with the ledger
+    /// so recovery re-derives identical readmission decisions.
+    quarantine: Quarantine,
+    /// The blame-signing key, derived from the master seed when an
+    /// eviction policy is armed.
+    coordinator: Option<CoordinatorKey>,
+    /// Every blame certificate this service has signed (or re-derived
+    /// during replay), in eviction order.
+    blame_certs: Vec<BlameCert>,
+    /// Certificates read from the WAL tail during replay, awaiting the
+    /// replayed tick that must re-derive them bit for bit.
+    replay_certs: Vec<BlameCert>,
+    /// A divergence detected inside a replayed tick (the tick itself
+    /// cannot error); surfaced as corruption at the epoch-commit record.
+    replay_fault: Option<&'static str>,
 }
 
 impl KeyService {
@@ -522,6 +610,32 @@ impl KeyService {
                 if self.epoch != epoch {
                     return Err(rejected("replayed epoch commit out of sequence"));
                 }
+                if let Some(what) = self.replay_fault.take() {
+                    return Err(rejected(what));
+                }
+                // Anything the logged epoch evicted that the replayed
+                // tick did not re-derive is divergence.
+                if !self.replay_certs.is_empty() {
+                    return Err(rejected(
+                        "logged eviction was not re-derived by the replayed epoch",
+                    ));
+                }
+                Ok(())
+            }
+            WalRecord::Evict { cert } => {
+                let Some(coordinator) = &self.coordinator else {
+                    return Err(rejected(
+                        "wal has an eviction but the builder has no eviction policy",
+                    ));
+                };
+                let cert = BlameCert::decode(&cert)
+                    .ok_or_else(|| rejected("logged blame certificate malformed"))?;
+                if !cert.verify(&coordinator.public()) {
+                    return Err(rejected(
+                        "logged blame certificate failed signature verification",
+                    ));
+                }
+                self.replay_certs.push(cert);
                 Ok(())
             }
         }
@@ -712,6 +826,22 @@ impl KeyService {
         if !self.shards[shard].groups.contains_key(&gid) {
             return Err(ServiceError::UnknownGroup(gid));
         }
+        // Quarantine gate: an evicted member's Join is refused until its
+        // penalty elapses; the first post-penalty Join readmits it. The
+        // event applies at the *next* epoch, so that is the epoch the
+        // penalty is judged against.
+        if let MembershipEvent::Join(u) = &event {
+            if let Some(until_epoch) = self.quarantine.pending_until(u.0) {
+                if self.epoch + 1 < until_epoch {
+                    return Err(ServiceError::Quarantined {
+                        user: *u,
+                        until_epoch,
+                    });
+                }
+                self.quarantine.readmit(u.0);
+                self.metrics.members_readmitted += 1;
+            }
+        }
         self.shards[shard]
             .pending
             .entry(gid)
@@ -744,9 +874,18 @@ impl KeyService {
             );
         }
 
+        // Eviction synthesis runs before merge resolution and the shard
+        // fan-out, so the synthesized Leaves are in the queues this
+        // epoch's planners drain — the stalled group completes *this*
+        // tick, over the survivors.
+        let (evicted_pairs, certs_signed) = self.synthesize_evictions(epoch);
+
         let merges_started = Instant::now();
         let (mut merge_report, deferred_merges) = self.resolve_merges(epoch);
         merge_report.phases.execute.wall += merges_started.elapsed();
+        merge_report.members_evicted = evicted_pairs.len() as u64;
+        merge_report.blame_certs = certs_signed;
+        merge_report.evicted = evicted_pairs;
 
         // Fan out: shards are independent (no group spans two shards), so
         // this is lock-free parallelism; determinism is per-shard. The
@@ -894,6 +1033,12 @@ impl KeyService {
                 reg.add("rekeys_failed", merge_report.rekeys_failed);
                 reg.add("steps_retried", merge_report.steps_retried);
                 reg.add("nodes_died", merge_report.nodes_died);
+                // Robustness counters appear only once an eviction fires,
+                // keeping eviction-free expositions bit-identical.
+                if merge_report.members_evicted > 0 {
+                    reg.add("members_evicted", merge_report.members_evicted);
+                    reg.add("blame_certs", merge_report.blame_certs);
+                }
                 for ms in &merge_report.rekey_latencies_virtual_ms {
                     reg.observe("rekey_latency_vms", *ms);
                 }
@@ -932,6 +1077,124 @@ impl KeyService {
             );
         }
         merge_report
+    }
+
+    /// The eviction planner's tick-top pass: consults the stall ledger
+    /// (fed through the *previous* epoch), asks the armed
+    /// [`EvictionPolicy`] who must go, signs and WAL-logs one
+    /// [`BlameCert`] per evicting group, books the members into
+    /// quarantine, and injects the synthesized Leave events. Returns the
+    /// `(group, member)` eviction pairs and the number of certificates
+    /// signed. A no-op (and bit-for-bit invisible) without an armed
+    /// policy or when no streak has crossed the threshold.
+    fn synthesize_evictions(&mut self, epoch: u64) -> (Vec<(GroupId, UserId)>, u64) {
+        let Some(policy) = self.config.eviction else {
+            return (Vec::new(), 0);
+        };
+        let group_streaks: Vec<(u64, u64)> = self
+            .ledger
+            .group_records()
+            .into_iter()
+            .filter(|(gid, _)| self.group_exists(*gid))
+            .map(|(gid, s)| (gid, s.consecutive))
+            .collect();
+        let mut members: Vec<(u64, MemberEvidence)> = Vec::new();
+        for rec in self.ledger.member_records() {
+            if !self.group_exists(rec.group) {
+                continue;
+            }
+            let shard = self.shard_of(rec.group);
+            let in_session = self.shards[shard].groups[&rec.group]
+                .session
+                .member_ids()
+                .contains(&rec.member);
+            let queue = self.shards[shard].pending.get(&rec.group);
+            // A culprit that is only a *pending arrival* (a queued Join
+            // of an unreachable user) is evicted the same way: the
+            // synthesized Leave cancels the still-pending Join.
+            let join_pending = queue.is_some_and(|q| {
+                q.iter()
+                    .any(|ev| matches!(ev, MembershipEvent::Join(u) if *u == rec.member))
+            });
+            if !in_session && !join_pending {
+                continue;
+            }
+            // Already leaving on its own — nothing to synthesize.
+            let leave_pending = queue.is_some_and(|q| {
+                q.iter()
+                    .any(|ev| matches!(ev, MembershipEvent::Leave(u) if *u == rec.member))
+            });
+            if leave_pending {
+                continue;
+            }
+            members.push((
+                rec.group,
+                MemberEvidence {
+                    member: rec.member.0,
+                    streak: rec.stall.consecutive,
+                    cumulative: rec.stall.cumulative,
+                    cause: rec.stall.last_cause,
+                },
+            ));
+        }
+        let decisions = policy.plan(&group_streaks, &members);
+        if decisions.is_empty() {
+            return (Vec::new(), 0);
+        }
+        let coordinator = self
+            .coordinator
+            .clone()
+            .expect("coordinator key exists whenever eviction is armed");
+        let mut evicted_pairs: Vec<(GroupId, UserId)> = Vec::new();
+        let mut certs_signed = 0u64;
+        for decision in decisions {
+            let cert = BlameCert::sign(&coordinator, decision.group, epoch, decision.evicted);
+            if self.replaying {
+                // The logged certificate must be re-derived bit for bit;
+                // ticks cannot error, so divergence is parked for the
+                // epoch-commit record to surface as corruption.
+                match self.replay_certs.iter().position(|c| *c == cert) {
+                    Some(i) => {
+                        self.replay_certs.remove(i);
+                    }
+                    None => {
+                        self.replay_fault =
+                            Some("replayed eviction diverged from the logged blame certificate");
+                    }
+                }
+            } else {
+                self.log(WalRecord::Evict {
+                    cert: cert.encode(),
+                });
+            }
+            certs_signed += 1;
+            let shard = self.shard_of(decision.group);
+            for ev in &cert.evicted {
+                let user = UserId(ev.member);
+                self.shards[shard]
+                    .pending
+                    .entry(decision.group)
+                    .or_default()
+                    .push(MembershipEvent::Leave(user));
+                self.quarantine
+                    .quarantine(&policy, ev.member, epoch, ev.cumulative);
+                evicted_pairs.push((decision.group, user));
+                if self.trace_on() {
+                    let ts = self.coord_ts();
+                    self.config.trace.emit(
+                        Event::new(Phase::Instant, ts, COORD_PID, CONTROL_TID, "evict").with(
+                            Payload::Evict {
+                                group: decision.group,
+                                user: ev.member,
+                                streak: ev.streak,
+                            },
+                        ),
+                    );
+                }
+            }
+            self.blame_certs.push(cert);
+        }
+        (evicted_pairs, certs_signed)
     }
 
     /// Serializes the full service state (sealing session-key material
@@ -980,6 +1243,26 @@ impl KeyService {
         }
         groups.sort_by_key(|(gid, _)| *gid);
         pending.sort_by_key(|(gid, _)| *gid);
+        let stall_groups = self
+            .ledger
+            .group_records()
+            .into_iter()
+            .map(|(gid, s)| (gid, s.consecutive, s.cumulative, s.last_cause))
+            .collect();
+        let stall_members = self
+            .ledger
+            .member_records()
+            .into_iter()
+            .map(|r| {
+                (
+                    r.group,
+                    r.member.0,
+                    r.stall.consecutive,
+                    r.stall.cumulative,
+                    r.stall.last_cause,
+                )
+            })
+            .collect();
         let state = SnapshotState {
             shards: self.config.shards as u32,
             seed: self.config.seed,
@@ -991,6 +1274,10 @@ impl KeyService {
             batteries,
             groups,
             pending,
+            stall_groups,
+            stall_members,
+            quarantine: self.quarantine.rows(),
+            blame_certs: self.blame_certs.iter().map(BlameCert::encode).collect(),
         };
         let seal_seed = mix(mix(self.config.seed, seal_lsn), 0x5ea1);
         let bytes = encode_snapshot(&state, store, seal_seed);
@@ -1451,6 +1738,32 @@ impl KeyService {
     /// The per-member stall attribution ledger.
     pub fn stall_ledger(&self) -> &StallLedger {
         &self.ledger
+    }
+
+    /// Every blame certificate this service has signed (or re-derived
+    /// during recovery replay), in eviction order. Empty without an
+    /// armed eviction policy.
+    pub fn blame_certs(&self) -> &[BlameCert] {
+        &self.blame_certs
+    }
+
+    /// The coordinator's blame-verification key, when an eviction policy
+    /// is armed — hand it to anyone auditing [`BlameCert`]s.
+    pub fn blame_public(&self) -> Option<BlamePublic> {
+        self.coordinator.as_ref().map(CoordinatorKey::public)
+    }
+
+    /// Whether `member`'s quarantine penalty would refuse a Join
+    /// submitted right now.
+    pub fn is_quarantined(&self, member: UserId) -> bool {
+        self.quarantine.is_quarantined(member.0, self.epoch + 1)
+    }
+
+    /// The penalty box as `(member, until_epoch, evictions)` rows,
+    /// ascending by member — `until_epoch` 0 means readmitted, with the
+    /// eviction count retained for backoff escalation.
+    pub fn quarantine_rows(&self) -> Vec<(u32, u64, u32)> {
+        self.quarantine.rows()
     }
 
     /// Cumulative epoch phase profile: where tick wall time (and virtual

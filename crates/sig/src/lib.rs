@@ -16,7 +16,10 @@
 //! * [`certs`] — an X.509-like certificate format, DSA/ECDSA certifying
 //!   authorities, and the [`certs::CertStore`] verified-certificate cache
 //!   that reproduces the paper's "returning members don't re-verify
-//!   certificates" accounting.
+//!   certificates" accounting;
+//! * [`blame`] — the epoch coordinator's deterministic ECDSA key for
+//!   signing eviction blame certificates (`egka-robust`), reproducible bit
+//!   for bit across crash recovery.
 //!
 //! All schemes are built exclusively on the workspace's own substrates
 //! (`egka-bigint`, `egka-hash`, `egka-ec`); no external cryptography.
@@ -25,6 +28,7 @@
 #![warn(missing_docs)]
 
 pub mod batch;
+pub mod blame;
 pub mod certs;
 pub mod dsa;
 pub mod ecdsa;
@@ -35,6 +39,7 @@ pub use batch::{
     dsa_batch_verify, ecdsa_batch_verify, gq_batch_verify_split, DsaBatchItem, EcdsaBatchItem,
     GqSplitItem,
 };
+pub use blame::{BlamePublic, CoordinatorKey};
 pub use certs::{
     CaPublic, CaSignature, CertCheck, CertScheme, CertStore, Certificate, CertificateAuthority,
     SubjectKey,

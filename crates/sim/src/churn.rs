@@ -15,8 +15,8 @@ use egka_energy::{CpuModel, Transceiver};
 use egka_hash::ChaChaRng;
 use egka_medium::RadioProfile;
 use egka_service::{
-    GroupId, KeyService, MembershipEvent, RadioConfig, RecoveryReport, StoreConfig, SuiteId,
-    SuitePolicy, SuiteUsage,
+    EvictionPolicy, GroupId, KeyService, MembershipEvent, RadioConfig, RecoveryReport, StoreConfig,
+    SuiteId, SuitePolicy, SuiteUsage,
 };
 use rand::{Rng, SeedableRng};
 
@@ -62,6 +62,31 @@ impl RadioChurnConfig {
     }
 }
 
+/// A scripted misbehaviour the driver injects into the workload — the
+/// raw material the identifiable-abort eviction engine is judged on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultSpec {
+    /// `member` stops acknowledging rekeys from `from_epoch` (1-based)
+    /// onwards and never comes back: the classic byzantine-silent
+    /// culprit. Its group stalls until the engine evicts it.
+    ByzantineSilent {
+        /// Which user goes silent.
+        member: u32,
+        /// First epoch of silence.
+        from_epoch: u64,
+    },
+    /// `member`'s link flaps: down for `period` epochs, up for `period`,
+    /// repeating from epoch 1. Each down phase accrues a fresh stall
+    /// streak, so the member is evicted, readmitted once its quarantine
+    /// penalty elapses, and re-evicted with an escalated penalty.
+    Flapping {
+        /// Which user flaps.
+        member: u32,
+        /// Epochs per phase (down, then up).
+        period: u64,
+    },
+}
+
 /// Workload shape.
 #[derive(Clone, Debug)]
 pub struct ChurnConfig {
@@ -102,6 +127,15 @@ pub struct ChurnConfig {
     /// (wall-clock only; every fingerprint, counter and trace event is
     /// bit-identical to the sequential pump — `trace_churn` asserts it).
     pub parallel_pump: bool,
+    /// Arm the service's identifiable-abort eviction engine (`None`, the
+    /// default, keeps the legacy golden-pinned behaviour: stalled groups
+    /// retry forever).
+    pub eviction: Option<EvictionPolicy>,
+    /// Scripted faults the driver injects ([`FaultSpec`]). Evicted
+    /// members are rejoined by the driver once their link is up and
+    /// their quarantine penalty has elapsed, the way a real deployment's
+    /// clients would retry.
+    pub faults: Vec<FaultSpec>,
 }
 
 impl Default for ChurnConfig {
@@ -119,6 +153,8 @@ impl Default for ChurnConfig {
             suite_policy: SuitePolicy::default(),
             trace: None,
             parallel_pump: false,
+            eviction: None,
+            faults: Vec::new(),
         }
     }
 }
@@ -149,6 +185,36 @@ impl ChurnConfig {
             },
             ..ChurnConfig::default()
         }
+    }
+
+    /// Adds a byzantine-silent fault: `member` stops responding from
+    /// `from_epoch` (1-based) and never recovers.
+    pub fn byzantine_silent(mut self, member: u32, from_epoch: u64) -> Self {
+        self.faults
+            .push(FaultSpec::ByzantineSilent { member, from_epoch });
+        self
+    }
+
+    /// Adds a flapping fault: `member`'s link alternates `period` epochs
+    /// down, `period` epochs up, starting down at epoch 1.
+    pub fn flapping(mut self, member: u32, period: u64) -> Self {
+        self.faults.push(FaultSpec::Flapping { member, period });
+        self
+    }
+
+    /// The `robust_churn` bench scenario: 60 groups, eviction armed with
+    /// the default policy, one byzantine-silent member and one flapper
+    /// whose cadence forces the full evict → readmit → re-evict arc
+    /// inside the run. One definition shared by the bench binary and CI.
+    pub fn robust_bench() -> Self {
+        ChurnConfig {
+            groups: 60,
+            epochs: 12,
+            eviction: Some(EvictionPolicy::default()),
+            ..ChurnConfig::default()
+        }
+        .byzantine_silent(1, 2)
+        .flapping(5, 4)
     }
 }
 
@@ -234,6 +300,14 @@ pub struct ChurnReport {
     /// Per-member stall attribution rows, worst offenders included —
     /// empty on a fault-free run.
     pub member_stalls: Vec<egka_service::StallRecord>,
+    /// Quarantine cells `(member, until_epoch, evictions)` at scenario
+    /// end — non-empty only when the eviction engine fired.
+    pub quarantine: Vec<(u32, u64, u32)>,
+    /// Fault-injected groups still stalled at scenario end. The
+    /// robustness acceptance gate: with eviction armed this must be
+    /// zero — every group with a scripted culprit completes over the
+    /// survivors.
+    pub stalled_faulted_groups: u64,
     /// Trace events dropped by the ring sink (`None` untraced). Any
     /// nonzero value means the trace (and its fingerprints) is
     /// incomplete — the bench gates fail on it.
@@ -359,6 +433,9 @@ fn assemble_builder(
     if config.loss > 0.0 {
         builder = builder.loss(config.loss);
     }
+    if let Some(policy) = config.eviction {
+        builder = builder.eviction(policy);
+    }
     if let Some(store) = store {
         builder = builder.store(store);
     }
@@ -398,13 +475,68 @@ fn run_churn_inner(config: &ChurnConfig, crash: Option<(StoreConfig, u64)>) -> C
     let mut wall_latencies: Vec<Duration> = Vec::new();
     let mut evicted: std::collections::BTreeSet<UserId> = std::collections::BTreeSet::new();
     let mut recovery: Option<CrashSummary> = None;
+    // Robustness bookkeeping: links the fault script holds down, homes of
+    // members the engine evicted (so the driver can rejoin them), and the
+    // groups a scripted culprit ever belonged to (the acceptance gate).
+    let mut fault_down: std::collections::BTreeSet<u32> = std::collections::BTreeSet::new();
+    let scripted: std::collections::BTreeSet<u32> = config
+        .faults
+        .iter()
+        .map(|f| match *f {
+            FaultSpec::ByzantineSilent { member, .. } => member,
+            FaultSpec::Flapping { member, .. } => member,
+        })
+        .collect();
+    let mut evicted_home: std::collections::BTreeMap<u32, GroupId> =
+        std::collections::BTreeMap::new();
+    let mut faulted_groups: std::collections::BTreeSet<GroupId> = std::collections::BTreeSet::new();
     for epoch_idx in 0..config.epochs {
         let mut epoch_events = 0u64;
+        let epoch = epoch_idx + 1;
         // Evictions can legitimately dissolve a group (all its members
         // died or left); stop generating traffic for the tombstone.
-        if config.radio.is_some() {
+        if config.radio.is_some() || config.eviction.is_some() {
             let live: std::collections::BTreeSet<GroupId> = svc.group_ids().into_iter().collect();
             mirror.retain(|(g, _)| live.contains(g));
+        }
+        // The fault script: silence and flapping are link-level, so the
+        // driver detaches/reattaches the member. Every down transition
+        // also submits a fresh Join to the victim's group — guaranteed
+        // traffic, so the stall streak accrues deterministically instead
+        // of riding on the Poisson draw.
+        for fault in &config.faults {
+            let (member, goes_down) = match *fault {
+                FaultSpec::ByzantineSilent { member, from_epoch } => {
+                    if epoch != from_epoch {
+                        continue;
+                    }
+                    (member, true)
+                }
+                FaultSpec::Flapping { member, period } => {
+                    if (epoch - 1) % period != 0 {
+                        continue;
+                    }
+                    (member, ((epoch - 1) / period) % 2 == 0)
+                }
+            };
+            let u = UserId(member);
+            if goes_down {
+                svc.detach_member(u);
+                fault_down.insert(member);
+                if let Some(at) = mirror.iter().position(|(_, ms)| ms.contains(&u)) {
+                    let (g, members) = &mut mirror[at];
+                    faulted_groups.insert(*g);
+                    let j = UserId(next_user);
+                    next_user += 1;
+                    svc.submit(*g, MembershipEvent::Join(j))
+                        .expect("fault join submit");
+                    members.push(j);
+                    epoch_events += 1;
+                }
+            } else {
+                svc.attach_member(u);
+                fault_down.remove(&member);
+            }
         }
         // The deployment's failure detector: members whose battery died
         // in an earlier epoch are evicted with an ordinary Leave — the
@@ -418,6 +550,25 @@ fn run_churn_inner(config: &ChurnConfig, crash: Option<(StoreConfig, u64)>) -> C
             {
                 svc.submit(*g, MembershipEvent::Leave(u)).expect("evict");
                 members.retain(|&m| m != u);
+                epoch_events += 1;
+            }
+        }
+        // Members the engine evicted rejoin once their link is back up
+        // and their quarantine penalty has elapsed — the flapping
+        // re-eviction path runs through here.
+        let rejoinable: Vec<u32> = evicted_home
+            .keys()
+            .copied()
+            .filter(|m| !fault_down.contains(m) && !svc.is_quarantined(UserId(*m)))
+            .collect();
+        for m in rejoinable {
+            let g = evicted_home
+                .remove(&m)
+                .expect("rejoinable member has a home");
+            if let Some(at) = mirror.iter().position(|(gg, _)| *gg == g) {
+                svc.submit(g, MembershipEvent::Join(UserId(m)))
+                    .expect("readmission join submit");
+                mirror[at].1.push(UserId(m));
                 epoch_events += 1;
             }
         }
@@ -437,6 +588,9 @@ fn run_churn_inner(config: &ChurnConfig, crash: Option<(StoreConfig, u64)>) -> C
                     break; // keep every group rekeyable forever
                 }
                 let at = (rng.next_u64() % members.len() as u64) as usize;
+                if scripted.contains(&members[at].0) {
+                    continue; // the fault script owns its members' exits
+                }
                 let u = members.remove(at);
                 svc.submit(*g, MembershipEvent::Leave(u))
                     .expect("leave submit");
@@ -462,6 +616,12 @@ fn run_churn_inner(config: &ChurnConfig, crash: Option<(StoreConfig, u64)>) -> C
             report.events_rejected, 0,
             "driver generates only valid events"
         );
+        for &(g, u) in &report.evicted {
+            if let Some((_, members)) = mirror.iter_mut().find(|(gg, _)| *gg == g) {
+                members.retain(|&m| m != u);
+            }
+            evicted_home.insert(u.0, g);
+        }
         wall_latencies.extend_from_slice(&report.rekey_latencies);
         epochs.push(ChurnEpoch {
             epoch: report.epoch,
@@ -528,6 +688,13 @@ fn run_churn_inner(config: &ChurnConfig, crash: Option<(StoreConfig, u64)>) -> C
         })
         .fold(0u64, |acc, h| acc.rotate_left(1) ^ h);
 
+    let quarantine = svc.quarantine_rows();
+    let stalled_faulted_groups = match svc.health() {
+        egka_service::HealthReport::Stalled { ref groups } => {
+            groups.iter().filter(|g| faulted_groups.contains(g)).count() as u64
+        }
+        _ => 0,
+    };
     let (trace_drops, metrics_table) = match &config.trace {
         Some(tc) => (
             Some(tc.sink.dropped()),
@@ -556,6 +723,8 @@ fn run_churn_inner(config: &ChurnConfig, crash: Option<(StoreConfig, u64)>) -> C
         shards: svc.shard_stats(),
         health: svc.health(),
         member_stalls: svc.stall_ledger().member_records(),
+        quarantine,
+        stalled_faulted_groups,
         trace_drops,
         metrics_table,
         metrics,
@@ -701,6 +870,27 @@ impl ChurnReport {
                 .join("   ");
             let _ = writeln!(out, "stall ledger (worst): {attribution}");
         }
+        if self.metrics.members_evicted > 0 || !self.quarantine.is_empty() {
+            let cells = self
+                .quarantine
+                .iter()
+                .map(|&(m, until, n)| format!("u{m}: until e{until} ({n}x)"))
+                .collect::<Vec<_>>()
+                .join("   ");
+            let _ = writeln!(
+                out,
+                "evictions: {} members, {} blame certs, {} readmitted   quarantine: {}",
+                self.metrics.members_evicted,
+                self.metrics.blame_certs,
+                self.metrics.members_readmitted,
+                if cells.is_empty() { "-".into() } else { cells }
+            );
+            let _ = writeln!(
+                out,
+                "faulted groups stalled at end: {}",
+                self.stalled_faulted_groups
+            );
+        }
         if let Some(rec) = &self.recovery {
             let snap = match rec.snapshot_epoch {
                 Some(e) => format!("snapshot@{e}"),
@@ -750,6 +940,8 @@ mod tests {
             suite_policy: SuitePolicy::default(),
             trace: None,
             parallel_pump: false,
+            eviction: None,
+            faults: Vec::new(),
         }
     }
 
@@ -1154,6 +1346,98 @@ mod tests {
         assert!(events
             .iter()
             .any(|e| e.pid == egka_trace::STORE_PID && e.name == "store.append"));
+    }
+
+    #[test]
+    fn byzantine_silence_is_evicted_and_the_group_completes() {
+        let mut config = small();
+        config.epochs = 8;
+        config.eviction = Some(EvictionPolicy::default());
+        let config = config.byzantine_silent(1, 2);
+        let report = run_churn(&config);
+        assert!(report.metrics.members_evicted >= 1, "culprit evicted");
+        assert!(report.metrics.blame_certs >= 1, "eviction leaves a cert");
+        assert_eq!(
+            report.stalled_faulted_groups, 0,
+            "the victim group completes over the survivors"
+        );
+        assert!(report.quarantine.iter().any(|&(m, _, n)| m == 1 && n == 1));
+        assert_eq!(
+            report.metrics.members_readmitted, 0,
+            "a silent member never comes back"
+        );
+        assert!(report.render().contains("evictions:"));
+        let again = run_churn(&config);
+        assert_eq!(report.key_fingerprint, again.key_fingerprint);
+        assert_eq!(report.quarantine, again.quarantine);
+    }
+
+    #[test]
+    fn flapping_member_is_readmitted_then_reevicted_with_backoff() {
+        let mut config = small();
+        config.epochs = 12;
+        config.eviction = Some(EvictionPolicy::default());
+        let config = config.flapping(5, 4);
+        let report = run_churn(&config);
+        assert!(
+            report.metrics.members_evicted >= 2,
+            "down → evict → up → readmit → down → evict again, got {}",
+            report.metrics.members_evicted
+        );
+        assert_eq!(report.metrics.members_readmitted, 1);
+        let &(_, until, evictions) = report
+            .quarantine
+            .iter()
+            .find(|&&(m, _, _)| m == 5)
+            .expect("flapper is in the penalty box");
+        assert_eq!(evictions, 2);
+        assert!(
+            until > config.epochs + 4,
+            "second penalty is backoff-escalated (until e{until})"
+        );
+        assert_eq!(report.stalled_faulted_groups, 0);
+    }
+
+    #[test]
+    fn robust_bench_preset_completes_every_faulted_group() {
+        // The CI scenario, pinned here so the bench binary cannot drift
+        // away from a config where both fault arcs actually fire.
+        let report = run_churn(&ChurnConfig::robust_bench());
+        assert!(report.metrics.members_evicted >= 2);
+        assert!(report.metrics.blame_certs >= 2);
+        assert!(report.metrics.members_readmitted >= 1);
+        assert_eq!(report.stalled_faulted_groups, 0);
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(6))]
+        #[test]
+        fn crash_recovery_replays_evictions_bit_for_bit(kill_epoch in 1u64..=8) {
+            // Kill the controller at a random epoch of a faulted, durable
+            // run: the recovered run's keys, quarantine cells and stall
+            // ledger must be bit-for-bit the uninterrupted run's — the
+            // WAL'd blame certificates replay the evictions exactly.
+            use egka_service::{MemStore, StoreConfig};
+            use std::sync::OnceLock;
+            static BASELINE: OnceLock<ChurnReport> = OnceLock::new();
+            let config = || {
+                let mut c = small();
+                c.epochs = 8;
+                c.eviction = Some(EvictionPolicy::default());
+                c.byzantine_silent(1, 2).flapping(5, 4)
+            };
+            let baseline = BASELINE.get_or_init(|| run_churn(&config()));
+            let store = StoreConfig::new(std::sync::Arc::new(MemStore::new())).snapshot_every(2);
+            let crashed = run_churn_with_crash(&config(), store, kill_epoch);
+            proptest::prop_assert_eq!(crashed.key_fingerprint, baseline.key_fingerprint);
+            proptest::prop_assert_eq!(&crashed.quarantine, &baseline.quarantine);
+            proptest::prop_assert_eq!(&crashed.member_stalls, &baseline.member_stalls);
+            proptest::prop_assert_eq!(crashed.groups_active, baseline.groups_active);
+            proptest::prop_assert_eq!(
+                crashed.stalled_faulted_groups,
+                baseline.stalled_faulted_groups
+            );
+        }
     }
 
     #[test]

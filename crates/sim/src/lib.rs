@@ -29,8 +29,8 @@ pub mod scenario;
 pub mod tables;
 
 pub use churn::{
-    run_churn, run_churn_with_crash, ChurnConfig, ChurnReport, CrashSummary, RadioChurnConfig,
-    SuiteBreakdown,
+    run_churn, run_churn_with_crash, ChurnConfig, ChurnReport, CrashSummary, FaultSpec,
+    RadioChurnConfig, SuiteBreakdown,
 };
 pub use figure1::{check_shape, curve_letter, generate as generate_figure1, Figure1Config};
 pub use latency::{initial_gka_latency, node_latency, LatencyEstimate};

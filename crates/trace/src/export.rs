@@ -113,6 +113,16 @@ fn args_json(out: &mut String, payload: &Payload) {
         Payload::Death { user } => {
             let _ = write!(out, "{{\"user\":{user}}}");
         }
+        Payload::Evict {
+            group,
+            user,
+            streak,
+        } => {
+            let _ = write!(
+                out,
+                "{{\"group\":{group},\"user\":{user},\"streak\":{streak}}}"
+            );
+        }
     }
 }
 

@@ -116,6 +116,25 @@ impl StallCause {
             StallCause::BatteryDead => "battery_dead",
         }
     }
+
+    /// Stable persisted tag (blame-certificate and snapshot codecs).
+    pub fn code(self) -> u8 {
+        match self {
+            StallCause::Loss => 0,
+            StallCause::Detached => 1,
+            StallCause::BatteryDead => 2,
+        }
+    }
+
+    /// Inverse of [`StallCause::code`]; `None` on an unknown tag.
+    pub fn from_code(code: u8) -> Option<Self> {
+        match code {
+            0 => Some(StallCause::Loss),
+            1 => Some(StallCause::Detached),
+            2 => Some(StallCause::BatteryDead),
+            _ => None,
+        }
+    }
 }
 
 /// Typed event payload. Kept `Copy` (suite names are `&'static str`) so
@@ -212,6 +231,15 @@ pub enum Payload {
     Death {
         /// Member id.
         user: u32,
+    },
+    /// A member evicted by the robustness plane.
+    Evict {
+        /// The group the member is evicted from.
+        group: u64,
+        /// Member id.
+        user: u32,
+        /// Consecutive stalled epochs that triggered the eviction.
+        streak: u64,
     },
 }
 

@@ -61,6 +61,7 @@
 //! | [`core`] | the five GKA protocols + Join/Leave/Merge/Partition |
 //! | [`store`] | durable group state: checksummed WAL + compacting snapshots |
 //! | [`service`] | sharded multi-group key management, epoch-batched rekeying, crash recovery |
+//! | [`robust`] | identifiable-abort eviction: blame certificates, quarantine, backoff |
 //! | [`trace`] | virtual-clock structured tracing, metrics registry, Chrome-trace/flame export |
 //! | [`sim`] | Figure 1 and Table 4/5 harnesses, churn workloads, reports |
 
@@ -74,6 +75,7 @@ pub use egka_energy as energy;
 pub use egka_hash as hash;
 pub use egka_medium as medium;
 pub use egka_net as net;
+pub use egka_robust as robust;
 pub use egka_service as service;
 pub use egka_sig as sig;
 pub use egka_sim as sim;
@@ -94,9 +96,11 @@ pub mod prelude {
     };
     pub use egka_hash::ChaChaRng;
     pub use egka_medium::{BatteryBank, RadioProfile};
+    pub use egka_robust::{BlameCert, EvictionPolicy, Quarantine};
     pub use egka_service::{
-        EpochReport, FileStore, GroupId, KeyService, MemStore, MembershipEvent, RecoveryReport,
-        ServiceBuilder, ServiceMetrics, StoreConfig, SuitePolicy,
+        EpochReport, FileStore, GroupId, HealthReport, KeyService, MemStore, MembershipEvent,
+        RecoveryReport, ServiceBuilder, ServiceMetrics, StallCause, StallLedger, StoreConfig,
+        SuitePolicy,
     };
     pub use egka_sim::{Figure1Config, Table5Config};
     pub use rand::SeedableRng;

@@ -1,6 +1,7 @@
 //! Perf-regression gate: compare a freshly generated bench artifact
 //! (`BENCH_service_churn.json` / `BENCH_radio_churn.json` /
 //! `BENCH_trace_churn.json` / `BENCH_health_churn.json` /
+//! `BENCH_robust_churn.json` / `BENCH_massive_churn.json` /
 //! `BENCH_primitives.json`) against the committed baseline and fail on
 //! regression. Artifacts that carry a `trace_drops` count additionally
 //! fail outright when the fresh run's bounded ring dropped any event.
@@ -112,11 +113,12 @@ fn main() {
 
     let baseline = load(&baseline_path);
     let fresh = load(&fresh_path);
-    const SCHEMAS: [&str; 5] = [
+    const SCHEMAS: [&str; 6] = [
         "egka-service-churn/1",
         "egka-trace-churn/1",
         "egka-health-churn/1",
         "egka-robust-churn/1",
+        "egka-massive-churn/1",
         "egka-primitives/1",
     ];
     for (doc, path) in [(&baseline, &baseline_path), (&fresh, &fresh_path)] {
@@ -158,7 +160,7 @@ fn main() {
     // must stay a no-op) and with the *parallel pump* on (threading must
     // not cost wall time). Both obey the ordinary wall gate (relative
     // threshold + absolute noise floor), nothing tighter.
-    for key in ["wall_ms_untraced", "wall_ms_par"] {
+    for key in ["wall_ms_untraced", "wall_ms_par", "wall_ms_static"] {
         if baseline.get(key).is_some() && fresh.get(key).is_some() {
             gate.check_wall(
                 key,
@@ -193,6 +195,19 @@ fn main() {
             ));
         } else {
             gate.notes.push("stalled_faulted_groups: 0".into());
+        }
+    }
+    // The resharding artifact counts group-epochs stalled while the pool
+    // was growing live. Handoffs run between epochs by construction, so
+    // any stall is a liveness violation — outright failure.
+    if let Some(stalled) = fresh.get("groups_stalled").and_then(Json::as_f64) {
+        if stalled > 0.0 {
+            gate.failures.push(format!(
+                "groups_stalled: {stalled:.0} group-epoch(s) stalled during \
+                 live resharding — handoffs must never block an epoch"
+            ));
+        } else {
+            gate.notes.push("groups_stalled: 0".into());
         }
     }
 

@@ -22,6 +22,15 @@
 //!   central ablation: **batch vs individual GQ verification**;
 //! * `protocols` — full GKA rounds and dynamic events at small `n`;
 //! * `tables` — the table/figure generators (closed-form path).
+//!
+//! ```
+//! use egka_bench::fmt_joules;
+//!
+//! // Engineering-friendly energy formatting, as printed by the binaries.
+//! assert_eq!(fmt_joules(2.5), "2.500 J");
+//! assert_eq!(fmt_joules(0.0413), "41.300 mJ");
+//! assert_eq!(fmt_joules(42e-6), "42.000 µJ");
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -24,6 +24,15 @@
 //! * [`prime`] — Miller–Rabin, sequential & crossbeam-parallel prime search,
 //!   Schnorr-group generation.
 //! * [`rng`] — uniform sampling helpers over any [`rand::Rng`].
+//!
+//! ```
+//! use egka_bigint::{mod_pow, Ubig};
+//!
+//! // Fermat's little theorem: a^(p-1) ≡ 1 (mod p) for prime p.
+//! let (a, p) = (Ubig::from(7u64), Ubig::from(101u64));
+//! let e = Ubig::from(100u64);
+//! assert_eq!(mod_pow(&a, &e, &p), Ubig::from(1u64));
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

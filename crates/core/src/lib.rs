@@ -34,6 +34,20 @@
 //! instrumentation at exactly the granularity the paper's cost model
 //! prices. The `egka-sim` crate turns these runs into Figure 1 and
 //! Tables 1/4/5.
+//!
+//! ```
+//! use egka_core::{proposed, Pkg, RunConfig, SecurityProfile};
+//! use egka_hash::ChaChaRng;
+//! use rand::SeedableRng;
+//!
+//! // A real 4-member run of the paper's proposal (BD + GQ batch
+//! // verification) at toy parameters: every member derives the same key.
+//! let mut rng = ChaChaRng::seed_from_u64(1);
+//! let pkg = Pkg::setup(&mut rng, SecurityProfile::Toy);
+//! let keys = pkg.extract_group(4);
+//! let (report, _session) = proposed::run(pkg.params(), &keys, 1, RunConfig::default());
+//! assert!(report.keys_agree());
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -22,6 +22,20 @@
 //! * [`pairing`] — the modified Tate pairing on a supersingular curve
 //!   `y² = x³ + x` with embedding degree 2 (BKLS denominator elimination),
 //!   plus MapToPoint hashing and pairing-group parameter generation.
+//!
+//! ```
+//! use egka_bigint::Ubig;
+//! use egka_ec::tiny19;
+//!
+//! // Scalar multiplication distributes over the group law:
+//! // (2 + 3)·G = 2·G + 3·G.
+//! let curve = tiny19();
+//! let two_g = curve.mul_gen(&Ubig::from(2u64));
+//! let three_g = curve.mul_gen(&Ubig::from(3u64));
+//! let five_g = curve.mul_gen(&Ubig::from(5u64));
+//! assert_eq!(curve.add(&two_g, &three_g), five_g);
+//! assert!(curve.is_on_curve(&five_g));
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

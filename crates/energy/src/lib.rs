@@ -17,6 +17,18 @@
 //! Total per-node energy is always `comp_energy(counts) +
 //! comm_energy(counts)` — the paper's Figure 1 and Table 5 are exactly these
 //! two functions applied to either closed-form or instrumented counts.
+//!
+//! ```
+//! use egka_energy::{total_energy_mj, CpuModel, OpCounts, Transceiver};
+//!
+//! // 1000 bits on the paper's 100 kbps radio at 10.8 µJ/bit tx: pure
+//! // communication energy, no computation counted.
+//! let cpu = CpuModel::strongarm_133();
+//! let radio = Transceiver::radio_100kbps();
+//! let mut counts = OpCounts::new();
+//! counts.tx_bits = 1_000;
+//! assert!((total_energy_mj(&cpu, &radio, &counts) - 10.8).abs() < 1e-9);
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -10,6 +10,14 @@
 //!   (the workspace-wide randomness source);
 //! * [`fdh`] — full-domain hashing into `Z_n` / `Z_n^*` plus the paper's
 //!   160-bit challenge hash.
+//!
+//! ```
+//! use egka_hash::{Digest, Sha256};
+//!
+//! // FIPS 180-4 test vector: SHA-256("abc") starts ba7816bf…
+//! let digest = Sha256::digest(b"abc");
+//! assert_eq!(digest[..4], [0xba, 0x78, 0x16, 0xbf]);
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -30,6 +30,19 @@
 //! [`RadioProfile::ideal()`] configuration (zero delay, zero jitter, zero
 //! loss) preserves the instant medium's arrival order exactly — upstream
 //! goldens pin that equivalence bit for bit.
+//!
+//! ```
+//! use egka_medium::BatteryBank;
+//!
+//! // Finite per-mote batteries: debits succeed until the capacity is
+//! // spent, then the mote is dead and stays dead.
+//! let bank = BatteryBank::new(1_000.0); // default capacity, µJ
+//! bank.set_capacity(7, 5.0);
+//! assert!(bank.debit(7, 4.0));
+//! assert!(!bank.debit(7, 4.0)); // overdraw: mote 7 dies here
+//! assert!(bank.is_dead(7));
+//! assert_eq!(bank.dead(), vec![7]);
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

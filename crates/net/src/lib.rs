@@ -26,6 +26,20 @@
 //! `egka-medium` virtual-time radio) decides *when* — on its own clock —
 //! each receiver hears them via [`Medium::deliver_to`]. The instant path
 //! stays byte-for-byte untouched when no transport is attached.
+//!
+//! ```
+//! use bytes::Bytes;
+//! use egka_net::Medium;
+//!
+//! // Instant medium: a broadcast reaches every *other* endpoint with the
+//! // sender's paper-nominal bit accounting attached.
+//! let medium = Medium::new();
+//! let (a, b) = (medium.join(), medium.join());
+//! a.broadcast(1, Bytes::from_static(b"round 1"), 40);
+//! let pkt = b.recv();
+//! assert_eq!((pkt.from, pkt.kind, pkt.nominal_bits), (a.id(), 1, 40));
+//! assert_eq!(&pkt.payload[..], b"round 1");
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

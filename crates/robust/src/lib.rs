@@ -16,6 +16,25 @@
 //! The crate is deliberately policy-only: it speaks raw `u64` group ids
 //! and `u32` member ids and never touches sessions, shards, or the WAL
 //! itself — `egka-service` owns the wiring.
+//!
+//! ```
+//! use egka_robust::{EvictionPolicy, MemberEvidence};
+//! use egka_trace::StallCause;
+//!
+//! // Group 7 has stalled for 3 consecutive epochs, all blamed on member
+//! // 9 — that reaches the default streak threshold, so the plan evicts.
+//! let policy = EvictionPolicy::default();
+//! let evidence = MemberEvidence {
+//!     member: 9,
+//!     streak: 3,
+//!     cumulative: 3,
+//!     cause: StallCause::Loss,
+//! };
+//! let plan = policy.plan(&[(7, 3)], &[(7, evidence.clone())]);
+//! assert_eq!(plan.len(), 1);
+//! assert_eq!(plan[0].group, 7);
+//! assert_eq!(plan[0].evicted, vec![evidence]);
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

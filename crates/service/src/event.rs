@@ -69,6 +69,27 @@ pub enum ServiceError {
         /// First epoch at which a Join will be accepted again.
         until_epoch: u64,
     },
+    /// The referenced shard index is outside the live pool.
+    NoSuchShard(usize),
+    /// The pool cannot shrink below one shard.
+    LastShard,
+    /// Only the highest-index shard can be removed (jump-hash bucket
+    /// spaces are contiguous; removing a middle shard would leave a hole).
+    ShardNotHighest {
+        /// The shard the caller asked to remove.
+        shard: usize,
+        /// The only currently removable shard.
+        highest: usize,
+    },
+    /// A shard removal was refused because a resident group still has
+    /// pending membership events (an in-flight round): retiring the shard
+    /// now would drop queued work. Drain with a tick first.
+    ShardBusy {
+        /// The shard that refused.
+        shard: usize,
+        /// A resident group with pending events.
+        group: GroupId,
+    },
 }
 
 impl core::fmt::Display for ServiceError {
@@ -83,6 +104,20 @@ impl core::fmt::Display for ServiceError {
             }
             ServiceError::Quarantined { user, until_epoch } => {
                 write!(f, "user {user} is quarantined until epoch {until_epoch}")
+            }
+            ServiceError::NoSuchShard(s) => write!(f, "no such shard {s}"),
+            ServiceError::LastShard => write!(f, "cannot remove the last shard"),
+            ServiceError::ShardNotHighest { shard, highest } => {
+                write!(
+                    f,
+                    "only the highest shard ({highest}) can be removed, not {shard}"
+                )
+            }
+            ServiceError::ShardBusy { shard, group } => {
+                write!(
+                    f,
+                    "shard {shard} is busy: group {group} has pending events; tick first"
+                )
             }
         }
     }

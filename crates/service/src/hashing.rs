@@ -1,4 +1,4 @@
-//! Jump consistent hashing for elastic shard counts.
+//! Jump consistent hashing and the shard directory it seeds.
 //!
 //! The service used to place groups with a fixed `hash % N`: growing the
 //! shard pool from `N` to `N+1` remapped nearly every group (only `1/N+1`
@@ -8,6 +8,16 @@
 //! O(1), zero-state placement but moves only `≈ 1/(N+1)` of the keys on a
 //! grow — and every moved key lands on the *new* bucket, never between old
 //! ones. The unit tests pin both properties.
+//!
+//! [`ShardDirectory`] layers explicit per-group overrides on top of that
+//! default: a group sits on its jump-hash home unless a live handoff
+//! ([`crate::KeyService::move_group`] or the rebalancer) pinned it
+//! elsewhere. The directory is the single authority on placement — the
+//! service never calls [`jump_hash`] directly for routing.
+
+use std::collections::BTreeMap;
+
+use crate::event::GroupId;
 
 /// Maps `key` to a bucket in `0..buckets` such that growing `buckets` by
 /// one relocates only `≈ 1/buckets` of the keys (all onto the new bucket).
@@ -26,6 +36,143 @@ pub fn jump_hash(key: u64, buckets: u32) -> u32 {
         j = (((b + 1) as f64) * r) as i64;
     }
     b as u32
+}
+
+/// The group→shard map: jump-hash placement plus explicit overrides.
+///
+/// Placement is `override if pinned else jump_hash(key(gid), shards)`.
+/// Overrides are created by live handoffs (manual `move_group`, rebalancer
+/// moves, or relocations forced by a shrink) and dropped when a group is
+/// moved back onto its jump-hash home — so a directory with no overrides
+/// is exactly the stateless placement the service started with.
+#[derive(Clone, Debug)]
+pub struct ShardDirectory {
+    /// Live shard count — `jump_hash` bucket space.
+    shards: u32,
+    /// Salted placement key base; the directory hashes `salt ^ gid`
+    /// derivations supplied by the caller (see [`ShardDirectory::home`]).
+    salt: u64,
+    /// Pinned placements that differ from (or deliberately shadow) the
+    /// jump-hash home.
+    overrides: BTreeMap<GroupId, u32>,
+}
+
+impl ShardDirectory {
+    /// A directory over `shards` buckets using `salt` to key placement.
+    ///
+    /// # Panics
+    /// Panics if `shards` is zero.
+    pub fn new(shards: u32, salt: u64) -> Self {
+        assert!(shards > 0, "need at least one shard");
+        ShardDirectory {
+            shards,
+            salt,
+            overrides: BTreeMap::new(),
+        }
+    }
+
+    /// Live shard count.
+    pub fn shards(&self) -> u32 {
+        self.shards
+    }
+
+    /// The jump-hash home for `gid` at the current shard count, ignoring
+    /// overrides.
+    pub fn home(&self, gid: GroupId) -> u32 {
+        jump_hash(egka_core::suite::mix(self.salt, gid), self.shards)
+    }
+
+    /// Where `gid` lives right now: its override if pinned, else its home.
+    pub fn locate(&self, gid: GroupId) -> u32 {
+        self.overrides
+            .get(&gid)
+            .copied()
+            .unwrap_or_else(|| self.home(gid))
+    }
+
+    /// Whether `gid` is pinned away from pure jump-hash placement.
+    pub fn is_pinned(&self, gid: GroupId) -> bool {
+        self.overrides.contains_key(&gid)
+    }
+
+    /// Pins `gid` to `shard`. If `shard` is the group's jump-hash home the
+    /// pin is dropped instead — moving a group back to its home restores
+    /// stateless placement for it.
+    pub fn pin(&mut self, gid: GroupId, shard: u32) {
+        debug_assert!(shard < self.shards);
+        if self.home(gid) == shard {
+            self.overrides.remove(&gid);
+        } else {
+            self.overrides.insert(gid, shard);
+        }
+    }
+
+    /// Forgets `gid` entirely (group dissolved or merged away).
+    pub fn forget(&mut self, gid: GroupId) {
+        self.overrides.remove(&gid);
+    }
+
+    /// Grows the bucket space to `shards` (must be larger). Returns the
+    /// *unpinned* groups among `resident` whose jump-hash home moved — by
+    /// the jump-hash contract, all of them land on new buckets. Pinned
+    /// groups stay put: an operator placement outranks the hash.
+    pub fn grow(
+        &mut self,
+        shards: u32,
+        resident: impl Iterator<Item = GroupId>,
+    ) -> Vec<(GroupId, u32)> {
+        assert!(shards > self.shards, "grow must increase the shard count");
+        let old = self.shards;
+        self.shards = shards;
+        let mut moved = Vec::new();
+        for gid in resident {
+            if self.is_pinned(gid) {
+                continue;
+            }
+            let before = jump_hash(egka_core::suite::mix(self.salt, gid), old);
+            let after = self.home(gid);
+            if before != after {
+                moved.push((gid, after));
+            }
+        }
+        moved
+    }
+
+    /// Shrinks the bucket space to `shards` (must be smaller, nonzero).
+    /// Returns every group among `resident` currently placed on a removed
+    /// bucket, paired with its new home at the reduced count; their pins
+    /// (if any) are dropped so the new placement is authoritative.
+    pub fn shrink(
+        &mut self,
+        shards: u32,
+        resident: impl Iterator<Item = (GroupId, u32)>,
+    ) -> Vec<(GroupId, u32)> {
+        assert!(
+            shards > 0 && shards < self.shards,
+            "shrink must reduce the shard count"
+        );
+        self.shards = shards;
+        let mut moved = Vec::new();
+        for (gid, at) in resident {
+            if at >= shards {
+                self.overrides.remove(&gid);
+                moved.push((gid, self.home(gid)));
+            } else if self.overrides.get(&gid).is_some_and(|&o| o >= shards) {
+                self.overrides.remove(&gid);
+            }
+        }
+        moved
+    }
+
+    /// The pinned placements, ascending by group id — snapshot material.
+    pub fn overrides(&self) -> impl Iterator<Item = (GroupId, u32)> + '_ {
+        self.overrides.iter().map(|(&g, &s)| (g, s))
+    }
+
+    /// Restores pinned placements wholesale (recovery).
+    pub fn set_overrides(&mut self, overrides: impl Iterator<Item = (GroupId, u32)>) {
+        self.overrides = overrides.collect();
+    }
 }
 
 #[cfg(test)]
@@ -76,6 +223,80 @@ mod tests {
                     assert_eq!(after, n, "moved keys must land on the new bucket");
                 }
             }
+        }
+    }
+
+    #[test]
+    fn directory_defaults_to_jump_hash_and_pins_override() {
+        let mut dir = ShardDirectory::new(4, 0xabc);
+        let gid = 42;
+        assert_eq!(dir.locate(gid), dir.home(gid));
+        assert!(!dir.is_pinned(gid));
+
+        let target = (dir.home(gid) + 1) % 4;
+        dir.pin(gid, target);
+        assert_eq!(dir.locate(gid), target);
+        assert!(dir.is_pinned(gid));
+
+        // Pinning back to the home drops the override entirely.
+        dir.pin(gid, dir.home(gid));
+        assert!(!dir.is_pinned(gid));
+    }
+
+    #[test]
+    fn directory_grow_relocates_only_unpinned_movers() {
+        let mut dir = ShardDirectory::new(4, 0x51a7);
+        let gids: Vec<u64> = (0..200).collect();
+        // Pin one group that would otherwise move on the grow.
+        let pinned = gids
+            .iter()
+            .copied()
+            .find(|&g| {
+                jump_hash(egka_core::suite::mix(0x51a7, g), 4)
+                    != jump_hash(egka_core::suite::mix(0x51a7, g), 5)
+            })
+            .expect("some group moves on 4→5");
+        let before = dir.locate(pinned);
+        dir.pin(pinned, before); // no-op pin (home) …
+        dir.pin(pinned, (before + 1) % 4); // … then a real pin
+        let pinned_at = dir.locate(pinned);
+
+        let moved = dir.grow(5, gids.iter().copied());
+        assert!(
+            moved.iter().all(|&(_, to)| to == 4),
+            "grow movers land on the new shard"
+        );
+        assert!(
+            moved.iter().all(|&(g, _)| g != pinned),
+            "pinned groups never move on grow"
+        );
+        assert_eq!(dir.locate(pinned), pinned_at);
+        for (g, to) in moved {
+            assert_eq!(dir.locate(g), to);
+        }
+    }
+
+    #[test]
+    fn directory_shrink_evacuates_the_removed_bucket() {
+        let mut dir = ShardDirectory::new(5, 0x51a7);
+        let gids: Vec<u64> = (0..200).collect();
+        let placed: Vec<(u64, u32)> = gids.iter().map(|&g| (g, dir.locate(g))).collect();
+        let on_last: Vec<u64> = placed
+            .iter()
+            .filter(|&&(_, s)| s == 4)
+            .map(|&(g, _)| g)
+            .collect();
+        assert!(!on_last.is_empty());
+
+        let moved = dir.shrink(4, placed.iter().copied());
+        assert_eq!(
+            moved.iter().map(|&(g, _)| g).collect::<Vec<_>>(),
+            on_last,
+            "exactly the removed bucket's residents move"
+        );
+        for (g, to) in moved {
+            assert!(to < 4);
+            assert_eq!(dir.locate(g), to);
         }
     }
 

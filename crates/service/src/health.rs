@@ -70,6 +70,27 @@ pub struct ShardStats {
     pub latency_virtual: Histogram,
 }
 
+impl ShardStats {
+    /// Folds another shard's cumulative counters into this one — used when
+    /// a shard is removed, so its history is absorbed (by convention into
+    /// shard 0) instead of vanishing and breaking the stats-sum-to-metrics
+    /// partition invariant. Gauges (`groups`, `pending_events`) are *not*
+    /// summed: they describe live residency, which the relocations already
+    /// moved.
+    pub(crate) fn absorb(&mut self, other: &ShardStats) {
+        self.events_applied += other.events_applied;
+        self.events_rejected += other.events_rejected;
+        self.events_cancelled += other.events_cancelled;
+        self.rekeys_executed += other.rekeys_executed;
+        self.rekeys_failed += other.rekeys_failed;
+        self.groups_stalled += other.groups_stalled;
+        self.steps_retried += other.steps_retried;
+        self.energy_mj += other.energy_mj;
+        self.wal_bytes += other.wal_bytes;
+        self.latency_virtual.merge(&other.latency_virtual);
+    }
+}
+
 /// One `(group, member)` — or group-level — stall tally.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct MemberStall {

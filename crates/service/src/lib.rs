@@ -23,13 +23,22 @@
 //!                 └──────────────────────────────────────────────┘
 //! ```
 //!
-//! * **Sharded registry** (shard layer): groups are placed on `N` worker
-//!   shards by [`jump_hash`] (consistent: growing the pool relocates only
-//!   `≈ 1/(N+1)` of the groups); during a tick each shard runs
-//!   single-threaded over its own groups, so group state needs **no
-//!   locking** and results are deterministic regardless of thread
-//!   scheduling. Only shards — never individual groups — are fanned
-//!   across threads.
+//! * **Sharded registry** (shard layer): the [`ShardDirectory`] places
+//!   groups on `N` worker shards — [`jump_hash`] homes by default
+//!   (consistent: growing the pool relocates only `≈ 1/(N+1)` of the
+//!   groups), per-group pins after a live [`KeyService::move_group`]
+//!   handoff; during a tick each shard runs single-threaded over its own
+//!   groups, so group state needs **no locking** and results are
+//!   deterministic regardless of thread scheduling. Only shards — never
+//!   individual groups — are fanned across threads.
+//! * **Elastic resharding** ([`KeyService::add_shard`],
+//!   [`KeyService::remove_shard`], [`KeyService::move_group`], an armed
+//!   [`Rebalancer`]): the pool grows and shrinks *live*. Handoffs run
+//!   through the sealed snapshot codec between epochs (seal, install on
+//!   the target shard, flip the directory — no replay, no stalled
+//!   epochs), every placement mutation gets its own WAL record so
+//!   recovery rebuilds the directory bit for bit, and the rebalancer
+//!   drains pending-event hot spots with cooldown hysteresis.
 //! * **Shards are schedulers, not drivers**: every rekey step is a
 //!   sans-IO `egka_core::machine` execution, and within a tick the shard
 //!   **interleaves** all pending groups' round machines round-robin
@@ -123,7 +132,7 @@ pub use egka_sig::blame::BlamePublic;
 pub use egka_store::{FileStore, MemStore, Store, StoreError};
 pub use egka_trace::StallCause;
 pub use event::{GroupId, MembershipEvent, RejectReason, ServiceError};
-pub use hashing::jump_hash;
+pub use hashing::{jump_hash, ShardDirectory};
 pub use health::{
     HealthReport, MemberStall, PhaseBucket, PhaseProfile, ShardStats, StallEvent, StallLedger,
     StallRecord, STALLED_AFTER_EPOCHS,
@@ -131,7 +140,7 @@ pub use health::{
 pub use metrics::{quantiles3, EpochReport, ServiceMetrics, SuiteUsage};
 pub use persist::{RecoveryReport, StoreConfig};
 pub use plan::{plan_group, plan_group_suite, CostModel, RekeyPlan, RekeyStep, SuitePolicy};
-pub use service::{KeyService, RadioConfig, ServiceBuilder};
+pub use service::{KeyService, RadioConfig, Rebalancer, ServiceBuilder};
 pub use shard::{final_membership, GroupState};
 
 #[cfg(test)]
@@ -399,6 +408,193 @@ mod tests {
         assert_eq!(logged[0].evicted[0].streak, STALLED_AFTER_EPOCHS);
         assert!(logged[0].verify(&public), "coordinator signature verifies");
         assert_eq!(svc.blame_certs(), &logged[..]);
+    }
+
+    #[test]
+    fn add_remove_move_shards_keep_keys_bit_identical() {
+        let mut svc = service(21);
+        for g in 0..24u64 {
+            svc.create_group(g, &users(g as u32 * 8..g as u32 * 8 + 3))
+                .unwrap();
+        }
+        svc.tick();
+        let keys: Vec<_> = (0..24u64)
+            .map(|g| svc.group_key(g).unwrap().clone())
+            .collect();
+        let before = svc.shard_count();
+
+        // Grow twice: placements move, keys must not.
+        svc.add_shard();
+        svc.add_shard();
+        assert_eq!(svc.shard_count(), before + 2);
+        assert!(svc.metrics().groups_moved > 0, "growth relocated movers");
+
+        // Pin a group somewhere it does not hash to.
+        let gid = 5;
+        let target = (svc.shard_of(gid) + 1) % svc.shard_count();
+        svc.move_group(gid, target).unwrap();
+        assert_eq!(svc.shard_of(gid), target);
+
+        // Shrink all the way back down (evacuating residents each time).
+        while svc.shard_count() > 1 {
+            let highest = svc.shard_count() - 1;
+            svc.remove_shard(highest).unwrap();
+        }
+        assert_eq!(svc.groups_active(), 24, "no group lost in transit");
+        for (g, key) in keys.iter().enumerate() {
+            assert_eq!(
+                key,
+                svc.group_key(g as u64).unwrap(),
+                "handoffs must never touch key material"
+            );
+        }
+        // One shard left: everything is on shard 0, pins included.
+        for g in 0..24u64 {
+            assert_eq!(svc.shard_of(g), 0);
+        }
+        // And churn still works after all that movement.
+        svc.submit(3, MembershipEvent::Join(UserId(900))).unwrap();
+        let r = svc.tick();
+        assert_eq!(r.events_applied, 1);
+        assert!(svc.session(3).unwrap().invariant_holds());
+    }
+
+    #[test]
+    fn remove_shard_guards_and_busy_refusal() {
+        let mut svc = service(22);
+        for g in 0..16u64 {
+            svc.create_group(g, &users(g as u32 * 8..g as u32 * 8 + 3))
+                .unwrap();
+        }
+        let highest = svc.shard_count() - 1;
+        assert_eq!(
+            svc.remove_shard(highest + 5),
+            Err(ServiceError::NoSuchShard(highest + 5))
+        );
+        if highest > 0 {
+            assert_eq!(
+                svc.remove_shard(0),
+                Err(ServiceError::ShardNotHighest { shard: 0, highest })
+            );
+        }
+        // Queue an event on a group resident on the highest shard: the
+        // removal must refuse rather than relocate in-flight work.
+        let resident = (0..16u64)
+            .find(|&g| svc.shard_of(g) == highest)
+            .expect("some group lands on the highest shard");
+        svc.submit(resident, MembershipEvent::Join(UserId(800)))
+            .unwrap();
+        assert_eq!(
+            svc.remove_shard(highest),
+            Err(ServiceError::ShardBusy {
+                shard: highest,
+                group: resident
+            })
+        );
+        // Draining the backlog un-busies it.
+        svc.tick();
+        svc.remove_shard(highest).unwrap();
+        assert_eq!(svc.shard_count(), highest);
+        // The last shard can never go.
+        while svc.shard_count() > 1 {
+            svc.remove_shard(svc.shard_count() - 1).unwrap();
+        }
+        assert_eq!(svc.remove_shard(0), Err(ServiceError::LastShard));
+    }
+
+    #[test]
+    fn resharding_survives_crash_recovery_bit_for_bit() {
+        let mut rng = ChaChaRng::seed_from_u64(0x0e5d);
+        let pkg = Arc::new(Pkg::setup(&mut rng, SecurityProfile::Toy));
+        let backend: Arc<dyn Store> = Arc::new(MemStore::new());
+        let build = |backend: &Arc<dyn Store>| {
+            KeyService::builder()
+                .seed(0xd1f)
+                .shards(2)
+                .store(StoreConfig::new(Arc::clone(backend)).snapshot_every(0))
+        };
+        let mut svc = build(&backend).build(Arc::clone(&pkg));
+        for g in 0..12u64 {
+            svc.create_group(g, &users(g as u32 * 8..g as u32 * 8 + 3))
+                .unwrap();
+        }
+        svc.tick();
+        svc.add_shard();
+        svc.add_shard();
+        let pin_to = (svc.shard_of(7) + 1) % svc.shard_count();
+        svc.move_group(7, pin_to).unwrap();
+        svc.remove_shard(svc.shard_count() - 1).unwrap();
+        svc.submit(2, MembershipEvent::Join(UserId(700))).unwrap();
+        svc.tick();
+
+        // "Crash": rebuild purely from the store. Placement, keys, and
+        // metrics counters must all reconstruct exactly.
+        let (recovered, report) = build(&backend).recover(pkg).unwrap();
+        assert!(report.records_replayed > 0);
+        assert_eq!(recovered.shard_count(), svc.shard_count());
+        for g in svc.group_ids() {
+            assert_eq!(
+                recovered.shard_of(g),
+                svc.shard_of(g),
+                "group {g} placement"
+            );
+            assert_eq!(
+                recovered.group_key(g).unwrap(),
+                svc.group_key(g).unwrap(),
+                "group {g} key"
+            );
+        }
+        let (m, r) = (svc.metrics(), recovered.metrics());
+        assert_eq!(r.shards_added, m.shards_added);
+        assert_eq!(r.shards_removed, m.shards_removed);
+        assert_eq!(r.groups_moved, m.groups_moved);
+    }
+
+    #[test]
+    fn rebalancer_drains_hot_spots_deterministically() {
+        let build = |seed: u64| {
+            let mut rng = ChaChaRng::seed_from_u64(0x5e81 ^ seed);
+            let pkg = Arc::new(Pkg::setup(&mut rng, SecurityProfile::Toy));
+            KeyService::builder()
+                .seed(seed)
+                .shards(2)
+                .rebalancer(Rebalancer {
+                    max_pending: 1,
+                    cooldown_epochs: 1,
+                    max_moves_per_epoch: 2,
+                })
+                .build(pkg)
+        };
+        let run = |seed: u64| {
+            let mut svc = build(seed);
+            for g in 0..8u64 {
+                svc.create_group(g, &users(g as u32 * 16..g as u32 * 16 + 4))
+                    .unwrap();
+            }
+            // Pile events onto whichever groups share shard 0 so its
+            // backlog crosses the threshold.
+            for round in 0..4u32 {
+                for g in 0..8u64 {
+                    if svc.shard_of(g) == 0 {
+                        svc.submit(
+                            g,
+                            MembershipEvent::Join(UserId(2000 + round * 50 + g as u32)),
+                        )
+                        .unwrap();
+                    }
+                }
+                svc.tick();
+            }
+            let keys: Vec<_> = svc
+                .group_ids()
+                .iter()
+                .map(|&g| svc.group_key(g).unwrap().clone())
+                .collect();
+            (svc.metrics().groups_moved, keys)
+        };
+        let (moved, keys) = run(77);
+        assert!(moved > 0, "the hot shard sheds load");
+        assert_eq!((moved, keys), run(77), "rebalancing is deterministic");
     }
 
     #[test]

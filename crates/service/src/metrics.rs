@@ -99,6 +99,13 @@ pub struct ServiceMetrics {
     /// Cumulative rekeys and priced energy per GKA suite (group creations
     /// included) — the multi-backend cost ledger.
     pub per_suite: BTreeMap<SuiteId, SuiteUsage>,
+    /// Shards added to the live pool by [`crate::KeyService::add_shard`].
+    pub shards_added: u64,
+    /// Shards retired by [`crate::KeyService::remove_shard`].
+    pub shards_removed: u64,
+    /// Live group handoffs between shards (manual moves, rebalancer
+    /// moves, and relocations forced by pool resizes).
+    pub groups_moved: u64,
     /// Write-ahead log records appended (commands + epoch commits); 0
     /// without a configured store.
     pub wal_appends: u64,
@@ -166,6 +173,9 @@ impl ServiceMetrics {
             ops,
             traffic,
             per_suite,
+            shards_added,
+            shards_removed,
+            groups_moved,
             wal_appends,
             snapshots_written,
             store_syncs,
@@ -221,6 +231,9 @@ impl ServiceMetrics {
              \"latency_virtual_ms\": {latency}, \
              \"latency_samples\": {}, \
              \"per_suite\": {{{suites}}}, \
+             \"shards_added\": {shards_added}, \
+             \"shards_removed\": {shards_removed}, \
+             \"groups_moved\": {groups_moved}, \
              \"wal_appends\": {wal_appends}, \
              \"snapshots_written\": {snapshots_written}, \
              \"store_syncs\": {store_syncs}}}",

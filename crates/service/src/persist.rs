@@ -50,7 +50,7 @@ use crate::event::{GroupId, MembershipEvent};
 use crate::shard::GroupState;
 
 /// Snapshot format magic + version (bump on layout changes).
-const SNAPSHOT_MAGIC: &[u8; 8] = b"EGKASNP2";
+const SNAPSHOT_MAGIC: &[u8; 8] = b"EGKASNP3";
 /// WAL record format version.
 const WAL_VERSION: u8 = 1;
 
@@ -153,6 +153,16 @@ pub(crate) enum WalRecord {
     /// events take effect, so replay can cross-check that it re-derives
     /// the identical eviction from the replayed ledger.
     Evict { cert: Vec<u8> },
+    /// `add_shard()` grew the pool to `shards`. Logged *after* the grow's
+    /// relocations completed, so replay re-runs the identical handoffs.
+    AddShard { shards: u32 },
+    /// `remove_shard()` shrank the pool to `shards`.
+    RemoveShard { shards: u32 },
+    /// A group was pinned to `to` — manual `move_group`, a rebalancer
+    /// decision, or a relocation forced by a shrink. Replay re-applies the
+    /// pin so recovery rebuilds placement bit-for-bit even when the
+    /// triggering load statistics are not persisted.
+    MoveGroup { gid: GroupId, to: u32 },
 }
 
 mod tag {
@@ -165,6 +175,9 @@ mod tag {
     pub const SET_LOSS: u8 = 6;
     pub const EPOCH_COMMIT: u8 = 7;
     pub const EVICT: u8 = 9;
+    pub const ADD_SHARD: u8 = 10;
+    pub const REMOVE_SHARD: u8 = 11;
+    pub const MOVE_GROUP: u8 = 12;
 }
 
 mod event_tag {
@@ -239,6 +252,15 @@ impl WalRecord {
             WalRecord::Evict { cert } => {
                 w.put_u8(tag::EVICT).put_blob(cert);
             }
+            WalRecord::AddShard { shards } => {
+                w.put_u8(tag::ADD_SHARD).put_u32(*shards);
+            }
+            WalRecord::RemoveShard { shards } => {
+                w.put_u8(tag::REMOVE_SHARD).put_u32(*shards);
+            }
+            WalRecord::MoveGroup { gid, to } => {
+                w.put_u8(tag::MOVE_GROUP).put_u64(*gid).put_u32(*to);
+            }
         }
         w.finish().to_vec()
     }
@@ -283,6 +305,16 @@ impl WalRecord {
             tag::EVICT => WalRecord::Evict {
                 cert: r.get_blob()?.to_vec(),
             },
+            tag::ADD_SHARD => WalRecord::AddShard {
+                shards: r.get_u32()?,
+            },
+            tag::REMOVE_SHARD => WalRecord::RemoveShard {
+                shards: r.get_u32()?,
+            },
+            tag::MOVE_GROUP => WalRecord::MoveGroup {
+                gid: r.get_u64()?,
+                to: r.get_u32()?,
+            },
             _ => {
                 return Err(DecodeError {
                     what: "unknown wal record tag",
@@ -305,6 +337,13 @@ pub(crate) struct SnapshotState<'a> {
     pub epoch: u64,
     pub next_lsn: u64,
     pub loss: f64,
+    /// Live shard-directory bucket count (≥ `shards`, which stays the
+    /// *initial* builder topology for the config guard).
+    pub dir_shards: u32,
+    /// Directory overrides `(gid, shard)`, ascending by gid.
+    pub overrides: Vec<(GroupId, u32)>,
+    /// Rebalancer hysteresis stamps `(gid, epoch last moved)`, ascending.
+    pub last_moved: Vec<(GroupId, u64)>,
     pub detached: Vec<UserId>,
     pub known_dead: Vec<UserId>,
     /// `(user, capacity_uj, spent_uj)` battery cells, ascending by id.
@@ -334,6 +373,9 @@ pub(crate) struct RestoredState {
     pub epoch: u64,
     pub next_lsn: u64,
     pub loss: f64,
+    pub dir_shards: u32,
+    pub overrides: Vec<(GroupId, u32)>,
+    pub last_moved: Vec<(GroupId, u64)>,
     pub detached: Vec<UserId>,
     pub known_dead: Vec<UserId>,
     pub batteries: Vec<(u32, f64, f64)>,
@@ -362,6 +404,15 @@ pub(crate) fn encode_snapshot(
     w.put_u64(state.epoch)
         .put_u64(state.next_lsn)
         .put_f64(state.loss);
+    w.put_u32(state.dir_shards);
+    w.put_u32(state.overrides.len() as u32);
+    for &(gid, shard) in &state.overrides {
+        w.put_u64(gid).put_u32(shard);
+    }
+    w.put_u32(state.last_moved.len() as u32);
+    for &(gid, epoch) in &state.last_moved {
+        w.put_u64(gid).put_u64(epoch);
+    }
     w.put_u32(state.detached.len() as u32);
     for u in &state.detached {
         w.put_id(*u);
@@ -443,6 +494,23 @@ pub(crate) fn decode_snapshot(
     let loss = r.get_f64().map_err(de)?;
     if !(0.0..1.0).contains(&loss) {
         return Err(corrupt("snapshot loss out of range"));
+    }
+    let dir_shards = r.get_u32().map_err(de)?;
+    if dir_shards == 0 {
+        return Err(corrupt("snapshot directory has zero shards"));
+    }
+    let mut overrides = Vec::new();
+    for _ in 0..r.get_u32().map_err(de)? {
+        let gid = r.get_u64().map_err(de)?;
+        let shard = r.get_u32().map_err(de)?;
+        if shard >= dir_shards {
+            return Err(corrupt("snapshot override outside the shard pool"));
+        }
+        overrides.push((gid, shard));
+    }
+    let mut last_moved = Vec::new();
+    for _ in 0..r.get_u32().map_err(de)? {
+        last_moved.push((r.get_u64().map_err(de)?, r.get_u64().map_err(de)?));
     }
     let mut detached = Vec::new();
     for _ in 0..r.get_u32().map_err(de)? {
@@ -539,6 +607,9 @@ pub(crate) fn decode_snapshot(
         epoch,
         next_lsn,
         loss,
+        dir_shards,
+        overrides,
+        last_moved,
         detached,
         known_dead,
         batteries,
@@ -548,6 +619,55 @@ pub(crate) fn decode_snapshot(
         stall_members,
         quarantine,
         blame_certs,
+    })
+}
+
+/// Seals one group's state for shard-to-shard transit — the same
+/// `[suite][created_epoch][rekeys][sealed session]` layout the snapshot
+/// codec writes per group, so every live handoff exercises exactly the
+/// portability the snapshot guarantees (and nothing more: no membership
+/// replay, no re-keying).
+pub(crate) fn seal_group_state(g: &GroupState, envelope: &Envelope, seal_seed: u64) -> Vec<u8> {
+    let mut rng = ChaChaRng::seed_from_u64(seal_seed ^ 0x5ea1_5ea1);
+    let mut w = Writer::new();
+    w.put_u8(g.suite.code())
+        .put_u64(g.created_epoch)
+        .put_u64(g.rekeys);
+    let mut sw = Writer::new();
+    g.session.encode_state(&mut sw);
+    w.put_blob(&envelope.seal(&mut rng, &sw.finish()));
+    w.finish().to_vec()
+}
+
+/// Opens a [`seal_group_state`] blob. Damage or a wrong envelope key is
+/// typed corruption, exactly as for a snapshot.
+pub(crate) fn unseal_group_state(
+    bytes: &[u8],
+    envelope: &Envelope,
+    pkg: &Pkg,
+) -> Result<GroupState, StoreError> {
+    let mut r = Reader::new(bytes);
+    let de = |_: DecodeError| corrupt("sealed group state truncated or malformed");
+    let suite = SuiteId::from_code(r.get_u8().map_err(de)?)
+        .ok_or_else(|| corrupt("unknown suite code in sealed group state"))?;
+    let created_epoch = r.get_u64().map_err(de)?;
+    let rekeys = r.get_u64().map_err(de)?;
+    let sealed = r.get_blob().map_err(de)?;
+    let plain = envelope
+        .open(sealed)
+        .map_err(|_| corrupt("sealed session failed authentication (damaged or wrong seal key)"))?;
+    let mut sr = Reader::new(&plain);
+    let session = GroupSession::decode_state(&mut sr, pkg.params())
+        .map_err(|_| corrupt("sealed session payload malformed"))?;
+    sr.expect_end()
+        .map_err(|_| corrupt("sealed session has trailing bytes"))?;
+    r.expect_end()
+        .map_err(|_| corrupt("sealed group state has trailing bytes"))?;
+    Ok(GroupState {
+        session,
+        suite,
+        created_epoch,
+        rekeys,
     })
 }
 
@@ -589,6 +709,9 @@ mod tests {
             WalRecord::Evict {
                 cert: vec![0xde, 0xad, 0xbe, 0xef],
             },
+            WalRecord::AddShard { shards: 9 },
+            WalRecord::RemoveShard { shards: 7 },
+            WalRecord::MoveGroup { gid: 7, to: 3 },
         ];
         for (i, rec) in records.iter().enumerate() {
             let lsn = 100 + i as u64;

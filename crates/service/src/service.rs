@@ -11,20 +11,22 @@ use egka_energy::OpCounts;
 use egka_medium::{BatteryBank, BatteryStatus, RadioProfile};
 use egka_robust::{BlameCert, EvictionPolicy, MemberEvidence, Quarantine};
 use egka_sig::blame::{BlamePublic, CoordinatorKey};
-use egka_store::{wal_records, StoreError, TracedStore};
+use egka_store::{wal_stream_records, StoreError, TracedStore};
+use egka_symmetric::Envelope;
 use egka_trace::{
     group_tid, labeled, Event, Payload, Phase, StallCause, StepTrace, TraceConfig, Tracer,
     CONTROL_TID, COORD_PID, EPOCH_NS, SWEEP_NS,
 };
 
 use crate::event::{GroupId, MembershipEvent, RejectReason, ServiceError};
-use crate::hashing::jump_hash;
+use crate::hashing::ShardDirectory;
 use crate::health::{
     HealthReport, PhaseProfile, ShardStats, StallEvent, StallLedger, STALLED_AFTER_EPOCHS,
 };
 use crate::metrics::{add_per_suite, add_traffic, traffic_of, EpochReport, ServiceMetrics};
 use crate::persist::{
-    decode_snapshot, encode_snapshot, RecoveryReport, SnapshotState, StoreConfig, WalRecord,
+    decode_snapshot, encode_snapshot, seal_group_state, unseal_group_state, RecoveryReport,
+    SnapshotState, StoreConfig, WalRecord,
 };
 use crate::plan::{CostModel, SuitePolicy};
 use crate::shard::{mix, EpochCtx, GroupState, RadioEpoch, Shard};
@@ -56,6 +58,41 @@ impl RadioConfig {
     }
 }
 
+/// Salt mixed into group ids for [`ShardDirectory`] placement (kept
+/// identical to the pre-directory `jump_hash` salt so existing
+/// deployments' placements — and goldens — are unchanged).
+const PLACEMENT_SALT: u64 = 0x051a_6d0f_5ead;
+
+/// Load-driven shard rebalancing policy ([`ServiceBuilder::rebalancer`]).
+///
+/// At the top of every [`KeyService::tick`] the rebalancer compares
+/// per-shard **pending-event** counts (the one load signal that is both
+/// observable *and* exactly reconstructible from the WAL, so recovery
+/// replays identical decisions) and live-moves the hottest groups off any
+/// shard above `max_pending` onto the coldest shard. `cooldown_epochs` is
+/// the hysteresis: a group that just moved is immune for that many
+/// epochs, so two near-balanced shards cannot ping-pong one group
+/// forever.
+#[derive(Clone, Copy, Debug)]
+pub struct Rebalancer {
+    /// A shard whose pending-event count exceeds this shed load.
+    pub max_pending: u64,
+    /// Epochs a moved group is immune from further rebalancer moves.
+    pub cooldown_epochs: u64,
+    /// Upper bound on rebalancer moves per tick.
+    pub max_moves_per_epoch: usize,
+}
+
+impl Default for Rebalancer {
+    fn default() -> Self {
+        Rebalancer {
+            max_pending: 16,
+            cooldown_epochs: 4,
+            max_moves_per_epoch: 4,
+        }
+    }
+}
+
 /// Internal, fully-resolved configuration (assembled by
 /// [`ServiceBuilder`]).
 #[derive(Clone, Debug)]
@@ -71,6 +108,7 @@ pub(crate) struct Config {
     pub trace: Tracer,
     pub parallel_pump: bool,
     pub eviction: Option<EvictionPolicy>,
+    pub rebalancer: Option<Rebalancer>,
 }
 
 impl Default for Config {
@@ -87,6 +125,7 @@ impl Default for Config {
             trace: Tracer::disabled(),
             parallel_pump: false,
             eviction: None,
+            rebalancer: None,
         }
     }
 }
@@ -119,7 +158,12 @@ pub struct ServiceBuilder {
 }
 
 impl ServiceBuilder {
-    /// Number of worker shards groups are hashed across (default 8).
+    /// *Initial* number of worker shards groups are hashed across
+    /// (default 8). The pool can grow and shrink at runtime via
+    /// [`KeyService::add_shard`] / [`KeyService::remove_shard`]; this
+    /// value stays pinned in the WAL config header and snapshot guard, so
+    /// recovery always starts from the same topology and replays the
+    /// resize records to reach the live one.
     ///
     /// # Panics
     /// Panics if `shards` is zero.
@@ -208,6 +252,17 @@ impl ServiceBuilder {
         self
     }
 
+    /// Arms the load-driven [`Rebalancer`]: at the top of every tick,
+    /// groups are live-moved off shards whose pending-event backlog
+    /// exceeds the policy threshold (see the [`Rebalancer`] docs for the
+    /// determinism and hysteresis contract). Without this call — the
+    /// default — groups move only on explicit
+    /// [`KeyService::move_group`] / pool-resize calls.
+    pub fn rebalancer(mut self, policy: Rebalancer) -> Self {
+        self.cfg.rebalancer = Some(policy);
+        self
+    }
+
     /// Records structured trace events (and optional metrics) for every
     /// epoch, plan, protocol step, round, retransmission, battery death
     /// and WAL append, all on the **virtual clock** — so the export is
@@ -245,12 +300,16 @@ impl ServiceBuilder {
         let coordinator = cfg
             .eviction
             .map(|_| CoordinatorKey::from_seed(mix(cfg.seed, 0xb1a4e)));
+        let directory = ShardDirectory::new(cfg.shards as u32, PLACEMENT_SALT);
         KeyService {
             pkg,
             loss: cfg.loss,
             config: cfg,
             shards,
             health_shards,
+            directory,
+            last_moved: BTreeMap::new(),
+            handoffs: 0,
             ledger: StallLedger::default(),
             phase_totals: PhaseProfile::default(),
             epoch: 0,
@@ -304,6 +363,14 @@ impl ServiceBuilder {
             }
             svc.epoch = restored.epoch;
             svc.loss = restored.loss;
+            // Install the shard directory (live pool size + pinned
+            // placements) *before* placing any group: `shard_of` routes
+            // through it, so restoring groups first would scatter them
+            // across the initial topology instead of the snapshotted one.
+            svc.directory = ShardDirectory::new(restored.dir_shards, PLACEMENT_SALT);
+            svc.directory.set_overrides(restored.overrides.into_iter());
+            svc.last_moved = restored.last_moved.into_iter().collect();
+            svc.resize_pool(restored.dir_shards as usize);
             svc.detached = restored.detached.into_iter().collect();
             svc.known_dead = restored.known_dead.into_iter().collect();
             match &svc.bank {
@@ -381,17 +448,30 @@ impl ServiceBuilder {
             report.snapshot_epoch = Some(restored.epoch);
         }
         let watermark = svc.next_lsn;
-        for payload in wal_records(store.backend.as_ref())? {
-            let (lsn, record) = WalRecord::decode(&payload).map_err(|_| StoreError::Corrupt {
-                what: "wal record malformed",
-                offset: 0,
-            })?;
-            if lsn < watermark {
-                // Tail that predates the snapshot (the file backend's
-                // crash window between snapshot install and truncation):
-                // already folded in, skip.
-                continue;
+        // The WAL is striped across streams (stream 0 = control, stream
+        // k+1 = shard k's group-addressed records). Each stream is an
+        // independent clean prefix; the global command order is the LSN
+        // order, so decode every stream and merge-sort by LSN before
+        // replaying.
+        let mut tail: Vec<(u64, Vec<u8>, WalRecord)> = Vec::new();
+        for stream in store.backend.wal_streams()? {
+            for payload in wal_stream_records(store.backend.as_ref(), stream)? {
+                let (lsn, record) =
+                    WalRecord::decode(&payload).map_err(|_| StoreError::Corrupt {
+                        what: "wal record malformed",
+                        offset: 0,
+                    })?;
+                if lsn < watermark {
+                    // Tail that predates the snapshot (the file backend's
+                    // crash window between snapshot install and
+                    // truncation): already folded in, skip.
+                    continue;
+                }
+                tail.push((lsn, payload, record));
             }
+        }
+        tail.sort_by_key(|&(lsn, _, _)| lsn);
+        for (lsn, payload, record) in tail {
             if svc.trace_on() {
                 let ts = svc.coord_ts();
                 svc.config.trace.emit(
@@ -433,6 +513,16 @@ pub struct KeyService {
     /// never persisted; recovery re-accumulates them over the replayed
     /// WAL tail.
     health_shards: Vec<ShardStats>,
+    /// The group→shard map: jump-hash placement plus handoff overrides.
+    /// Snapshotted, and reshaped by replayed resize/move records, so
+    /// recovery rebuilds placement bit-for-bit.
+    directory: ShardDirectory,
+    /// Epoch each group last moved at — the rebalancer's hysteresis
+    /// stamps. Snapshotted alongside the directory.
+    last_moved: BTreeMap<GroupId, u64>,
+    /// Live handoffs performed — salts the transit seal so no two sealed
+    /// group blobs share an IV stream.
+    handoffs: u64,
     /// Per-member stall attribution (see [`StallLedger`]).
     ledger: StallLedger,
     /// Where tick time has gone, cumulatively, across the service's life.
@@ -520,21 +610,24 @@ impl KeyService {
             });
         }
         // Group-addressed records are charged to their shard's WAL-byte
-        // ledger; coordinator-wide records (epoch commits, config, fault
-        // toggles) stay unattributed.
+        // ledger *and* routed to that shard's WAL stream (stream k+1), so
+        // appends against different shards never serialize through one
+        // log. Coordinator-wide records (epoch commits, config, fault
+        // toggles, resize/move records) stay unattributed on stream 0.
         let byte_shard = match &record {
             WalRecord::CreateGroup { gid, .. } | WalRecord::Submit { gid, .. } => {
                 Some(self.shard_of(*gid))
             }
             _ => None,
         };
+        let stream = byte_shard.map_or(0, |s| s as u32 + 1);
         let store = self.config.store.as_ref().expect("checked above");
         let lsn = self.next_lsn;
         self.next_lsn += 1;
         let encoded = record.encode(lsn);
         store
             .backend
-            .append(&encoded)
+            .append_stream(stream, &encoded)
             .expect("write-ahead log append must not fail (fail-stop durability)");
         if let Some(s) = byte_shard {
             self.health_shards[s].wal_bytes += encoded.len() as u64;
@@ -638,14 +731,280 @@ impl KeyService {
                 self.replay_certs.push(cert);
                 Ok(())
             }
+            WalRecord::AddShard { shards } => {
+                if shards as usize != self.shards.len() + 1 {
+                    return Err(rejected("replayed shard add out of sequence"));
+                }
+                self.add_shard();
+                Ok(())
+            }
+            WalRecord::RemoveShard { shards } => {
+                if shards as usize + 1 != self.shards.len() {
+                    return Err(rejected("replayed shard removal out of sequence"));
+                }
+                self.remove_shard(self.shards.len() - 1)
+                    .map(|_| ())
+                    .map_err(|_| rejected("replayed shard removal was rejected"))
+            }
+            WalRecord::MoveGroup { gid, to } => self
+                .move_group(gid, to as usize)
+                .map_err(|_| rejected("replayed group move was rejected")),
         }
     }
 
-    /// The shard index `gid` hashes to — jump consistent hashing, so
-    /// growing the shard pool relocates only `≈ 1/(N+1)` of the groups
-    /// (see [`crate::hashing`]).
+    /// The shard `gid` lives on right now: its [`ShardDirectory`] pin if
+    /// a handoff moved it, else its jump-hash home — so growing the pool
+    /// relocates only `≈ 1/(N+1)` of the groups (see [`crate::hashing`]).
     pub fn shard_of(&self, gid: GroupId) -> usize {
-        jump_hash(mix(0x051a_6d0f_5ead, gid), self.shards.len() as u32) as usize
+        self.directory.locate(gid) as usize
+    }
+
+    /// Live shard count (grows and shrinks with
+    /// [`KeyService::add_shard`] / [`KeyService::remove_shard`]).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Grows the pool by one shard and live-moves every unpinned group
+    /// whose jump-hash home changed onto it — by the jump-hash contract,
+    /// `≈ 1/(N+1)` of the groups, each handed off through the sealed
+    /// snapshot codec (state sealed, installed on the target shard,
+    /// directory flipped; no replay, no stalled epochs). Pending queues
+    /// travel with their groups. Returns the new shard's index.
+    pub fn add_shard(&mut self) -> usize {
+        let new_count = self.shards.len() + 1;
+        self.resize_pool(new_count);
+        let resident: Vec<GroupId> = self.group_ids();
+        let moved = self.directory.grow(new_count as u32, resident.into_iter());
+        for &(gid, to) in &moved {
+            // Movers were resident on their *old* jump-hash home; the
+            // directory already points at the new one, so hand the state
+            // over from where it physically sits.
+            let from = self
+                .shards
+                .iter()
+                .position(|s| s.groups.contains_key(&gid))
+                .expect("mover is resident");
+            self.relocate_group(gid, from, to as usize);
+        }
+        self.metrics.shards_added += 1;
+        if self.trace_on() {
+            let ts = self.coord_ts();
+            self.config.trace.emit(
+                Event::new(Phase::Instant, ts, COORD_PID, CONTROL_TID, "shard.add").with(
+                    Payload::Epoch {
+                        epoch: self.epoch,
+                        groups: moved.len() as u64,
+                    },
+                ),
+            );
+        }
+        self.log(WalRecord::AddShard {
+            shards: new_count as u32,
+        });
+        new_count - 1
+    }
+
+    /// Retires shard `shard` (which must be the highest-index shard —
+    /// jump-hash bucket spaces are contiguous), live-moving its resident
+    /// groups onto their homes at the reduced count and absorbing its
+    /// cumulative stats into shard 0's so the
+    /// stats-sum-to-[`ServiceMetrics`] partition invariant survives.
+    ///
+    /// Refuses with [`ServiceError::ShardBusy`] while any resident group
+    /// has pending events (an in-flight round): relocating it would drop
+    /// queued work on the floor. Tick the backlog dry first.
+    pub fn remove_shard(&mut self, shard: usize) -> Result<(), ServiceError> {
+        let live = self.shards.len();
+        if shard >= live {
+            return Err(ServiceError::NoSuchShard(shard));
+        }
+        if live == 1 {
+            return Err(ServiceError::LastShard);
+        }
+        if shard != live - 1 {
+            return Err(ServiceError::ShardNotHighest {
+                shard,
+                highest: live - 1,
+            });
+        }
+        if let Some((&gid, _)) = self.shards[shard]
+            .pending
+            .iter()
+            .find(|(_, q)| !q.is_empty())
+        {
+            return Err(ServiceError::ShardBusy { shard, group: gid });
+        }
+        let placed: Vec<(GroupId, u32)> = self
+            .group_ids()
+            .into_iter()
+            .map(|gid| (gid, self.directory.locate(gid)))
+            .collect();
+        let moved = self.directory.shrink((live - 1) as u32, placed.into_iter());
+        for &(gid, to) in &moved {
+            self.relocate_group(gid, shard, to as usize);
+        }
+        let retired = self.health_shards.pop().expect("pool is non-empty");
+        self.health_shards[0].absorb(&retired);
+        self.shards.pop();
+        debug_assert!(retired.shard == shard);
+        self.metrics.shards_removed += 1;
+        if self.trace_on() {
+            let ts = self.coord_ts();
+            self.config.trace.emit(
+                Event::new(Phase::Instant, ts, COORD_PID, CONTROL_TID, "shard.remove").with(
+                    Payload::Epoch {
+                        epoch: self.epoch,
+                        groups: moved.len() as u64,
+                    },
+                ),
+            );
+        }
+        self.log(WalRecord::RemoveShard {
+            shards: (live - 1) as u32,
+        });
+        Ok(())
+    }
+
+    /// Live-moves `gid` onto shard `to` and pins it there (moving a group
+    /// back onto its jump-hash home drops the pin instead). The handoff
+    /// runs through the sealed snapshot codec between epochs: no replay,
+    /// no stalled epochs, and the pending queue travels along. Records
+    /// the move for the rebalancer's hysteresis.
+    pub fn move_group(&mut self, gid: GroupId, to: usize) -> Result<(), ServiceError> {
+        if to >= self.shards.len() {
+            return Err(ServiceError::NoSuchShard(to));
+        }
+        if !self.group_exists(gid) {
+            return Err(ServiceError::UnknownGroup(gid));
+        }
+        let from = self.shard_of(gid);
+        if from != to {
+            self.relocate_group(gid, from, to);
+        }
+        self.directory.pin(gid, to as u32);
+        self.last_moved.insert(gid, self.epoch);
+        if self.trace_on() {
+            let ts = self.coord_ts();
+            self.config.trace.emit(
+                Event::new(Phase::Instant, ts, COORD_PID, group_tid(gid), "group.move").with(
+                    Payload::Epoch {
+                        epoch: self.epoch,
+                        groups: to as u64,
+                    },
+                ),
+            );
+        }
+        self.log(WalRecord::MoveGroup { gid, to: to as u32 });
+        Ok(())
+    }
+
+    /// Grows (or shrinks) the physical pool and its stats rows to `n`
+    /// entries. Placement is not touched — callers adjust the directory.
+    fn resize_pool(&mut self, n: usize) {
+        while self.shards.len() < n {
+            self.health_shards.push(ShardStats {
+                shard: self.shards.len(),
+                ..ShardStats::default()
+            });
+            self.shards.push(Shard::default());
+        }
+        self.shards.truncate(n);
+        self.health_shards.truncate(n);
+    }
+
+    /// One live handoff: seal the group's state through the snapshot
+    /// codec, install it on the target shard, move the pending queue.
+    /// The seal/unseal round trip is deliberate — every handoff proves
+    /// the state is exactly as portable as a snapshot says it is, and a
+    /// failure surfaces as the same typed corruption.
+    fn relocate_group(&mut self, gid: GroupId, from: usize, to: usize) {
+        let state = self.shards[from]
+            .groups
+            .remove(&gid)
+            .expect("relocating a resident group");
+        let envelope = self
+            .config
+            .store
+            .as_ref()
+            .map(StoreConfig::envelope)
+            .unwrap_or_else(|| Envelope::from_key_material(&[0u8; 32]));
+        self.handoffs += 1;
+        let seal_seed = mix(mix(self.config.seed, gid), self.handoffs ^ 0x6d0e);
+        let sealed = seal_group_state(&state, &envelope, seal_seed);
+        drop(state);
+        let restored = unseal_group_state(&sealed, &envelope, &self.pkg)
+            .expect("transit-sealed group state must round-trip");
+        self.shards[to].groups.insert(gid, restored);
+        if let Some(queue) = self.shards[from].pending.remove(&gid) {
+            if !queue.is_empty() {
+                self.shards[to].pending.insert(gid, queue);
+            }
+        }
+        self.metrics.groups_moved += 1;
+    }
+
+    /// The tick-top rebalancer pass: while any shard's pending backlog
+    /// exceeds the armed policy's threshold, move its hottest
+    /// off-cooldown group to the coldest shard. Runs *before* the epoch
+    /// counter increments, and is suppressed during replay — the logged
+    /// [`WalRecord::MoveGroup`] records reproduce the exact moves, which
+    /// is what keeps recovery bit-identical even though the load stats
+    /// driving the decisions are not persisted.
+    fn rebalance(&mut self) {
+        if self.replaying {
+            return;
+        }
+        let Some(rb) = self.config.rebalancer else {
+            return;
+        };
+        if self.shards.len() < 2 {
+            return;
+        }
+        for _ in 0..rb.max_moves_per_epoch {
+            let loads: Vec<u64> = self
+                .shards
+                .iter()
+                .map(|s| s.pending.values().map(|q| q.len() as u64).sum())
+                .collect();
+            let mut hot = 0;
+            let mut cold = 0;
+            for i in 1..loads.len() {
+                if loads[i] > loads[hot] {
+                    hot = i;
+                }
+                if loads[i] < loads[cold] {
+                    cold = i;
+                }
+            }
+            if loads[hot] <= rb.max_pending || hot == cold {
+                break;
+            }
+            // Hottest group: largest queue, ties to the lowest group id
+            // (BTreeMap iteration is ascending, strict `>` keeps the
+            // first). Skip groups still inside their cooldown window.
+            let mut candidate: Option<(GroupId, usize)> = None;
+            for (&gid, queue) in &self.shards[hot].pending {
+                if queue.is_empty() {
+                    continue;
+                }
+                let cooled = self
+                    .last_moved
+                    .get(&gid)
+                    .is_none_or(|&at| self.epoch >= at + rb.cooldown_epochs);
+                if !cooled {
+                    continue;
+                }
+                if candidate.is_none_or(|(_, len)| queue.len() > len) {
+                    candidate = Some((gid, queue.len()));
+                }
+            }
+            let Some((gid, _)) = candidate else {
+                break;
+            };
+            self.move_group(gid, cold)
+                .expect("rebalancer moves between live shards cannot fail");
+        }
     }
 
     /// Injects per-delivery loss into every subsequent rekey step's
@@ -857,6 +1216,11 @@ impl KeyService {
     /// single-threaded *scheduler* interleaving its pending groups' round
     /// machines — and folds their reports.
     pub fn tick(&mut self) -> EpochReport {
+        // Rebalance *before* the epoch counter increments: the cooldown
+        // stamps written here must match the ones a WAL replay produces,
+        // and replayed MoveGroup records land before their epoch's
+        // EpochCommit advances the counter.
+        self.rebalance();
         self.epoch += 1;
         let epoch = self.epoch;
         let trace_enabled = self.trace_on();
@@ -963,6 +1327,20 @@ impl KeyService {
                 .rekey_latencies_virtual_ms
                 .extend(scratch.rekey_latencies_virtual_ms);
             add_per_suite(&mut merge_report.per_suite, &scratch.per_suite);
+        }
+        // Directory hygiene: groups that dissolved this epoch must not
+        // leave stale pins (or cooldown stamps) behind — a reused gid
+        // would inherit a dead group's placement.
+        let stale: Vec<GroupId> = self
+            .directory
+            .overrides()
+            .map(|(gid, _)| gid)
+            .chain(self.last_moved.keys().copied())
+            .filter(|&gid| !self.group_exists(gid))
+            .collect();
+        for gid in stale {
+            self.directory.forget(gid);
+            self.last_moved.remove(&gid);
         }
         // Harvest battery deaths: a drained member is powered off for good
         // — auto-detach it so the next epoch's planner fails fast instead
@@ -1278,6 +1656,9 @@ impl KeyService {
             stall_members,
             quarantine: self.quarantine.rows(),
             blame_certs: self.blame_certs.iter().map(BlameCert::encode).collect(),
+            dir_shards: self.directory.shards(),
+            overrides: self.directory.overrides().collect(),
+            last_moved: self.last_moved.iter().map(|(&g, &e)| (g, e)).collect(),
         };
         let seal_seed = mix(mix(self.config.seed, seal_lsn), 0x5ea1);
         let bytes = encode_snapshot(&state, store, seal_seed);
@@ -1505,6 +1886,8 @@ impl KeyService {
                         self.metrics.groups_merged_away += 1;
                         let ts = self.shard_of(t);
                         self.shards[ts].groups.remove(&t);
+                        self.directory.forget(t);
+                        self.last_moved.remove(&t);
                         let forwarded = self.shards[ts].pending.remove(&t).unwrap_or_default();
                         if !forwarded.is_empty() {
                             self.shards[host_shard]

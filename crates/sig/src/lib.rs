@@ -23,6 +23,22 @@
 //!
 //! All schemes are built exclusively on the workspace's own substrates
 //! (`egka-bigint`, `egka-hash`, `egka-ec`); no external cryptography.
+//!
+//! ```
+//! use egka_ec::secp160r1;
+//! use egka_hash::ChaChaRng;
+//! use egka_sig::Ecdsa;
+//! use rand::SeedableRng;
+//!
+//! // ECDSA over the paper's 160-bit curve: a good signature verifies,
+//! // and verification binds the message.
+//! let mut rng = ChaChaRng::seed_from_u64(5);
+//! let ecdsa = Ecdsa::new(secp160r1());
+//! let keys = ecdsa.keygen(&mut rng);
+//! let sig = ecdsa.sign(&mut rng, &keys, b"join round 2");
+//! assert!(ecdsa.verify(&keys.q, b"join round 2", &sig));
+//! assert!(!ecdsa.verify(&keys.q, b"a different message", &sig));
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

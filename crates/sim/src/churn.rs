@@ -15,8 +15,8 @@ use egka_energy::{CpuModel, Transceiver};
 use egka_hash::ChaChaRng;
 use egka_medium::RadioProfile;
 use egka_service::{
-    EvictionPolicy, GroupId, KeyService, MembershipEvent, RadioConfig, RecoveryReport, StoreConfig,
-    SuiteId, SuitePolicy, SuiteUsage,
+    EvictionPolicy, GroupId, KeyService, MembershipEvent, RadioConfig, Rebalancer, RecoveryReport,
+    StoreConfig, SuiteId, SuitePolicy, SuiteUsage,
 };
 use rand::{Rng, SeedableRng};
 
@@ -87,6 +87,38 @@ pub enum FaultSpec {
     },
 }
 
+/// Live resharding schedule for the churn scenario: starting at
+/// `from_epoch`, the driver calls [`KeyService::add_shard`] at the top of
+/// each epoch — mid-churn, with Poisson traffic already queued — until the
+/// pool reaches `target_shards`. Keys are placement-independent, so a
+/// resharded run must reproduce the static-pool fingerprint bit for bit;
+/// the driver's tests pin exactly that.
+#[derive(Clone, Copy, Debug)]
+pub struct ReshardPlan {
+    /// Shard-pool size to reach (the pool starts at
+    /// [`ChurnConfig::shards`]).
+    pub target_shards: usize,
+    /// First epoch (1-based) at which shards are added.
+    pub from_epoch: u64,
+    /// Shards added per epoch once the schedule starts.
+    pub per_epoch: usize,
+    /// Also arm the service's pending-load rebalancer.
+    pub rebalancer: Option<Rebalancer>,
+}
+
+impl ReshardPlan {
+    /// The `reshard_churn` scenario's schedule: grow 4 → 16 shards,
+    /// three per epoch from epoch 2, with the default rebalancer armed.
+    pub fn four_to_sixteen() -> Self {
+        ReshardPlan {
+            target_shards: 16,
+            from_epoch: 2,
+            per_epoch: 3,
+            rebalancer: Some(Rebalancer::default()),
+        }
+    }
+}
+
 /// Workload shape.
 #[derive(Clone, Debug)]
 pub struct ChurnConfig {
@@ -136,6 +168,9 @@ pub struct ChurnConfig {
     /// their quarantine penalty has elapsed, the way a real deployment's
     /// clients would retry.
     pub faults: Vec<FaultSpec>,
+    /// Grow the shard pool live, mid-churn ([`ReshardPlan`]). `None` (the
+    /// default) keeps the pool fixed at [`ChurnConfig::shards`].
+    pub reshard: Option<ReshardPlan>,
 }
 
 impl Default for ChurnConfig {
@@ -155,6 +190,7 @@ impl Default for ChurnConfig {
             parallel_pump: false,
             eviction: None,
             faults: Vec::new(),
+            reshard: None,
         }
     }
 }
@@ -215,6 +251,21 @@ impl ChurnConfig {
         }
         .byzantine_silent(1, 2)
         .flapping(5, 4)
+    }
+
+    /// The `reshard_churn` scenario: 400 groups on 4 shards, grown live
+    /// to 16 mid-churn under Poisson load with the rebalancer armed. One
+    /// definition shared by the bench binary, CI and the tests — the
+    /// acceptance gate is zero stalled epochs and a fingerprint
+    /// bit-identical to the same workload on a static pool.
+    pub fn reshard_bench() -> Self {
+        ChurnConfig {
+            groups: 400,
+            epochs: 8,
+            shards: 4,
+            reshard: Some(ReshardPlan::four_to_sixteen()),
+            ..ChurnConfig::default()
+        }
     }
 }
 
@@ -436,6 +487,9 @@ fn assemble_builder(
     if let Some(policy) = config.eviction {
         builder = builder.eviction(policy);
     }
+    if let Some(rb) = config.reshard.as_ref().and_then(|p| p.rebalancer) {
+        builder = builder.rebalancer(rb);
+    }
     if let Some(store) = store {
         builder = builder.store(store);
     }
@@ -493,6 +547,20 @@ fn run_churn_inner(config: &ChurnConfig, crash: Option<(StoreConfig, u64)>) -> C
     for epoch_idx in 0..config.epochs {
         let mut epoch_events = 0u64;
         let epoch = epoch_idx + 1;
+        // The resharding schedule runs at the top of the epoch, with the
+        // previous epochs' groups (and any still-queued events) live on
+        // the pool — every add is a mid-churn live handoff. Guarding on
+        // the service's own shard count makes the step idempotent across
+        // a crash: replayed AddShard records already grew the pool.
+        if let Some(plan) = &config.reshard {
+            if epoch >= plan.from_epoch {
+                for _ in 0..plan.per_epoch {
+                    if svc.shard_count() < plan.target_shards {
+                        svc.add_shard();
+                    }
+                }
+            }
+        }
         // Evictions can legitimately dissolve a group (all its members
         // died or left); stop generating traffic for the tombstone.
         if config.radio.is_some() || config.eviction.is_some() {
@@ -942,6 +1010,7 @@ mod tests {
             parallel_pump: false,
             eviction: None,
             faults: Vec::new(),
+            reshard: None,
         }
     }
 
@@ -1437,6 +1506,165 @@ mod tests {
                 crashed.stalled_faulted_groups,
                 baseline.stalled_faulted_groups
             );
+        }
+    }
+
+    #[test]
+    fn resharding_mid_churn_reproduces_the_static_pool_golden() {
+        // Keys are placement-independent: growing the pool live, with
+        // queued Poisson traffic and the rebalancer shuffling hot groups,
+        // must land on the exact static-pool golden — fingerprint,
+        // counters, priced energy — with zero stalled epochs.
+        let mut config = small();
+        config.reshard = Some(ReshardPlan {
+            target_shards: 9,
+            from_epoch: 2,
+            per_epoch: 3,
+            rebalancer: Some(Rebalancer::default()),
+        });
+        let report = run_churn(&config);
+        assert_eq!(report.key_fingerprint, 0x6e14_e41f_677b_0a8b);
+        assert_eq!(report.events_applied, 55);
+        assert_eq!(report.rekeys_executed, 36);
+        assert!((report.energy_mj - 41_399.819_52).abs() < 1e-3);
+        assert_eq!(report.groups_stalled, 0, "live handoffs stall nothing");
+        assert_eq!(report.shards.len(), 9, "the pool grew to target");
+        assert_eq!(report.metrics.shards_added, 5);
+        assert!(report.metrics.groups_moved > 0, "growth relocated movers");
+    }
+
+    #[test]
+    fn reshard_bench_preset_grows_4_to_16_without_stalls() {
+        // The CI scenario, pinned here so the bench binary cannot drift:
+        // 4 → 16 shards mid-churn, zero stalled epochs, deterministic
+        // fingerprint, and the per-shard stats still partition the
+        // service totals exactly after all that movement.
+        let config = ChurnConfig {
+            groups: 60, // trimmed for the unit-test tier; same shape
+            ..ChurnConfig::reshard_bench()
+        };
+        let report = run_churn(&config);
+        assert_eq!(report.shards.len(), 16);
+        assert_eq!(report.metrics.shards_added, 12);
+        assert_eq!(report.groups_stalled, 0);
+        let applied: u64 = report.shards.iter().map(|s| s.events_applied).sum();
+        assert_eq!(applied, report.metrics.events_applied);
+        let rekeys: u64 = report.shards.iter().map(|s| s.rekeys_executed).sum();
+        assert_eq!(rekeys, report.metrics.rekeys_executed);
+        let again = run_churn(&config);
+        assert_eq!(report.key_fingerprint, again.key_fingerprint);
+        assert_eq!(report.metrics.groups_moved, again.metrics.groups_moved);
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(6))]
+        #[test]
+        fn add_remove_move_preserves_the_partition_invariant(seed in 0u64..1 << 48) {
+            // Random add/remove/move sequences interleaved with random
+            // churn: every group must stay resident on exactly the shard
+            // the directory names, and the per-shard stats must keep
+            // summing exactly to the service totals.
+            use egka_core::{Pkg, SecurityProfile, UserId};
+            use rand::SeedableRng;
+            let mut rng = ChaChaRng::seed_from_u64(seed ^ 0x9e5a);
+            let mut setup = ChaChaRng::seed_from_u64(0x51ed);
+            let pkg = Arc::new(Pkg::setup(&mut setup, SecurityProfile::Toy));
+            let mut svc = KeyService::builder().shards(2).seed(seed).build(pkg);
+            let mut next_user = 0u32;
+            for g in 0..10u64 {
+                let members: Vec<UserId> = (next_user..next_user + 4).map(UserId).collect();
+                next_user += 4;
+                svc.create_group(g, &members).expect("create group");
+            }
+            for _ in 0..24 {
+                match rng.next_u64() % 5 {
+                    0 => {
+                        if svc.shard_count() < 12 {
+                            svc.add_shard();
+                        }
+                    }
+                    1 => {
+                        // Removal may legitimately refuse (busy / last);
+                        // refusal must leave the pool untouched.
+                        let before = svc.shard_count();
+                        if svc.remove_shard(before - 1).is_err() {
+                            proptest::prop_assert_eq!(svc.shard_count(), before);
+                        }
+                    }
+                    2 => {
+                        let gid = rng.next_u64() % 10;
+                        let to = (rng.next_u64() as usize) % svc.shard_count();
+                        svc.move_group(gid, to).expect("live group, live shard");
+                    }
+                    3 => {
+                        let gid = rng.next_u64() % 10;
+                        let u = UserId(next_user);
+                        next_user += 1;
+                        svc.submit(gid, MembershipEvent::Join(u)).expect("join");
+                    }
+                    _ => {
+                        svc.tick();
+                    }
+                }
+                // Every group stays reachable through the directory at
+                // every step (lookups go through `shard_of`, so a state
+                // left behind — or duplicated — on the wrong shard would
+                // surface here or in the gauge sum below).
+                for g in 0..10u64 {
+                    proptest::prop_assert!(svc.shard_of(g) < svc.shard_count());
+                    proptest::prop_assert!(svc.group_key(g).is_some(), "group {} alive", g);
+                }
+            }
+            svc.tick();
+            let stats = svc.shard_stats();
+            let m = svc.metrics();
+            proptest::prop_assert_eq!(stats.len(), svc.shard_count());
+            let applied: u64 = stats.iter().map(|s| s.events_applied).sum();
+            proptest::prop_assert_eq!(applied, m.events_applied);
+            let rekeys: u64 = stats.iter().map(|s| s.rekeys_executed).sum();
+            proptest::prop_assert_eq!(rekeys, m.rekeys_executed);
+            let groups: u64 = stats.iter().map(|s| s.groups).sum();
+            proptest::prop_assert_eq!(groups, m.groups_active);
+        }
+
+        #[test]
+        fn crash_mid_handoff_recovers_placement_and_keys_exactly(kill_epoch in 2u64..=4) {
+            // Kill the controller in the thick of the resharding window
+            // (shards were added and groups handed off this epoch; the
+            // records are in the WAL, the epoch commit is not). Recovery
+            // must land every group in exactly one shard, at the exact
+            // placement of the uninterrupted run, with bit-identical keys.
+            use egka_service::{MemStore, StoreConfig};
+            use std::sync::OnceLock;
+            static BASELINE: OnceLock<ChurnReport> = OnceLock::new();
+            let config = || {
+                let mut c = small();
+                c.shards = 2;
+                c.epochs = 4;
+                c.reshard = Some(ReshardPlan {
+                    target_shards: 7,
+                    from_epoch: 2,
+                    per_epoch: 2,
+                    rebalancer: Some(Rebalancer {
+                        max_pending: 1,
+                        cooldown_epochs: 1,
+                        max_moves_per_epoch: 2,
+                    }),
+                });
+                c
+            };
+            let baseline = BASELINE.get_or_init(|| run_churn(&config()));
+            let store = StoreConfig::new(std::sync::Arc::new(MemStore::new())).snapshot_every(2);
+            let crashed = run_churn_with_crash(&config(), store, kill_epoch);
+            proptest::prop_assert_eq!(crashed.key_fingerprint, baseline.key_fingerprint);
+            proptest::prop_assert_eq!(crashed.shards.len(), baseline.shards.len());
+            proptest::prop_assert_eq!(crashed.groups_active, baseline.groups_active);
+            let place = |r: &ChurnReport| -> Vec<u64> {
+                r.shards.iter().map(|s| s.groups).collect()
+            };
+            proptest::prop_assert_eq!(place(&crashed), place(baseline));
+            let groups: u64 = crashed.shards.iter().map(|s| s.groups).sum();
+            proptest::prop_assert_eq!(groups, crashed.groups_active);
         }
     }
 

@@ -17,6 +17,18 @@
 //!
 //! The `egka-bench` crate's `repro_*` binaries are thin wrappers over this
 //! crate.
+//!
+//! ```
+//! use egka_energy::InitialProtocol;
+//! use egka_sim::scenario::run_initial;
+//!
+//! // A real 4-member run of the paper's proposal at toy parameters; the
+//! // runner asserts the instrumented counts match the closed forms
+//! // before returning them, and the counts are deterministic per seed.
+//! let counts = run_initial(InitialProtocol::ProposedGqBatch, 4, 1);
+//! assert!(counts.tx_bits > 0);
+//! assert_eq!(counts, run_initial(InitialProtocol::ProposedGqBatch, 4, 1));
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -30,7 +42,7 @@ pub mod tables;
 
 pub use churn::{
     run_churn, run_churn_with_crash, ChurnConfig, ChurnReport, CrashSummary, FaultSpec,
-    RadioChurnConfig, SuiteBreakdown,
+    RadioChurnConfig, ReshardPlan, SuiteBreakdown,
 };
 pub use figure1::{check_shape, curve_letter, generate as generate_figure1, Figure1Config};
 pub use latency::{initial_gka_latency, node_latency, LatencyEstimate};

@@ -12,6 +12,8 @@ use crate::{Store, StoreError};
 #[derive(Debug)]
 struct FileState {
     wal: File,
+    /// Lazily-opened handles for streams > 0 (`wal.{n}.log`).
+    streams: std::collections::BTreeMap<u32, File>,
     syncs: u64,
 }
 
@@ -40,7 +42,11 @@ impl FileStore {
             .open(dir.join("wal.log"))?;
         Ok(FileStore {
             dir,
-            state: Mutex::new(FileState { wal, syncs: 0 }),
+            state: Mutex::new(FileState {
+                wal,
+                streams: std::collections::BTreeMap::new(),
+                syncs: 0,
+            }),
         })
     }
 
@@ -51,6 +57,27 @@ impl FileStore {
 
     fn snapshot_path(&self) -> PathBuf {
         self.dir.join("snapshot.bin")
+    }
+
+    fn stream_path(&self, stream: u32) -> PathBuf {
+        if stream == 0 {
+            self.dir.join("wal.log")
+        } else {
+            self.dir.join(format!("wal.{stream}.log"))
+        }
+    }
+
+    fn read_file(path: &Path) -> Result<Vec<u8>, StoreError> {
+        // Read through a fresh handle so append cursors are untouched.
+        let mut bytes = Vec::new();
+        match File::open(path) {
+            Ok(mut f) => {
+                f.read_to_end(&mut bytes)?;
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+            Err(e) => return Err(e.into()),
+        }
+        Ok(bytes)
     }
 }
 
@@ -64,16 +91,52 @@ impl Store for FileStore {
     }
 
     fn wal_bytes(&self) -> Result<Vec<u8>, StoreError> {
-        // Read through a fresh handle so the append cursor is untouched.
-        let mut bytes = Vec::new();
-        match File::open(self.dir.join("wal.log")) {
-            Ok(mut f) => {
-                f.read_to_end(&mut bytes)?;
-            }
-            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
-            Err(e) => return Err(e.into()),
+        Self::read_file(&self.dir.join("wal.log"))
+    }
+
+    fn append_stream(&self, stream: u32, payload: &[u8]) -> Result<(), StoreError> {
+        if stream == 0 {
+            return self.append(payload);
         }
-        Ok(bytes)
+        let mut state = self.state.lock();
+        let f = match state.streams.entry(stream) {
+            std::collections::btree_map::Entry::Occupied(e) => e.into_mut(),
+            std::collections::btree_map::Entry::Vacant(e) => e.insert(
+                OpenOptions::new()
+                    .create(true)
+                    .append(true)
+                    .read(true)
+                    .open(self.stream_path(stream))?,
+            ),
+        };
+        f.write_all(&frame(payload))?;
+        f.sync_data()?;
+        state.syncs += 1;
+        Ok(())
+    }
+
+    fn wal_stream_bytes(&self, stream: u32) -> Result<Vec<u8>, StoreError> {
+        Self::read_file(&self.stream_path(stream))
+    }
+
+    fn wal_streams(&self) -> Result<Vec<u32>, StoreError> {
+        let mut ids = vec![0];
+        for entry in std::fs::read_dir(&self.dir)? {
+            let name = entry?.file_name();
+            let Some(name) = name.to_str() else { continue };
+            if let Some(mid) = name
+                .strip_prefix("wal.")
+                .and_then(|s| s.strip_suffix(".log"))
+            {
+                if let Ok(id) = mid.parse::<u32>() {
+                    if id > 0 {
+                        ids.push(id);
+                    }
+                }
+            }
+        }
+        ids.sort_unstable();
+        Ok(ids)
     }
 
     fn install_snapshot(&self, snapshot: &[u8]) -> Result<(), StoreError> {
@@ -98,6 +161,29 @@ impl Store for FileStore {
         }
         state.wal.set_len(0)?;
         state.wal.sync_data()?;
+        for f in state.streams.values_mut() {
+            f.set_len(0)?;
+            f.sync_data()?;
+        }
+        // Streams that were written by a previous opening (no live handle)
+        // must be truncated too, or recovery would replay stale records.
+        for entry in std::fs::read_dir(&self.dir)? {
+            let entry = entry?;
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            if let Some(mid) = name
+                .strip_prefix("wal.")
+                .and_then(|s| s.strip_suffix(".log"))
+            {
+                if let Ok(id) = mid.parse::<u32>() {
+                    if id > 0 && !state.streams.contains_key(&id) {
+                        let f = OpenOptions::new().write(true).open(entry.path())?;
+                        f.set_len(0)?;
+                        f.sync_data()?;
+                    }
+                }
+            }
+        }
         state.syncs += 2;
         Ok(())
     }

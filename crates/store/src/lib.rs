@@ -29,6 +29,24 @@
 //!   checksum fails surfaces as [`StoreError::Corrupt`] — recovery either
 //!   reconstructs a strict prefix of committed epochs or reports the
 //!   damage; it never panics and never fabricates state.
+//!
+//! ```
+//! use egka_store::{wal_stream_records, MemStore, Store};
+//!
+//! // Per-stream WALs: stream 0 is the control log, stream k+1 belongs to
+//! // shard k. Each scans back independently, checksummed and in order.
+//! let store = MemStore::new();
+//! store.append(b"control record").unwrap();
+//! store.append_stream(1, b"shard-0 record").unwrap();
+//! assert_eq!(
+//!     wal_stream_records(&store, 0).unwrap(),
+//!     vec![b"control record".to_vec()]
+//! );
+//! assert_eq!(
+//!     wal_stream_records(&store, 1).unwrap(),
+//!     vec![b"shard-0 record".to_vec()]
+//! );
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -82,17 +100,57 @@ impl From<std::io::Error> for StoreError {
 /// Implementations are internally synchronized (`&self` methods): the
 /// service holds the store behind an `Arc` and appends from its
 /// coordinator thread, while tooling may read concurrently.
+///
+/// ## Streams
+///
+/// The WAL is a family of independent append-only **streams**, addressed
+/// by a `u32` id. Stream 0 is the default (and what the stream-oblivious
+/// [`Store::append`] / [`Store::wal_bytes`] pair addresses); the service
+/// layer uses stream 0 for coordinator-wide control records and one
+/// stream per shard for group-addressed records, so appends against
+/// different shards never serialize through one file. Each stream has its
+/// own torn-tail contract (a clean prefix per stream); global ordering is
+/// the service layer's business — its records carry LSNs and recovery
+/// merges the streams by LSN. Backends that ignore the stream id (the
+/// default trait methods) still satisfy the contract: everything lands on
+/// one log, merged order equals append order.
 pub trait Store: Send + Sync {
     /// Appends one record (framing it) and makes it durable before
-    /// returning — the write-ahead guarantee.
+    /// returning — the write-ahead guarantee. Equivalent to
+    /// [`Store::append_stream`] on stream 0.
     fn append(&self, payload: &[u8]) -> Result<(), StoreError>;
 
     /// The raw WAL byte stream, exactly as persisted (framing included).
+    /// Equivalent to [`Store::wal_stream_bytes`] on stream 0.
     fn wal_bytes(&self) -> Result<Vec<u8>, StoreError>;
 
+    /// Appends one record to the given stream, durable before returning.
+    /// The default implementation folds every stream onto stream 0 — a
+    /// single-log backend is a valid (if serialized) multi-stream store.
+    fn append_stream(&self, stream: u32, payload: &[u8]) -> Result<(), StoreError> {
+        let _ = stream;
+        self.append(payload)
+    }
+
+    /// The raw bytes of one stream (framing included); empty for a stream
+    /// never appended to.
+    fn wal_stream_bytes(&self, stream: u32) -> Result<Vec<u8>, StoreError> {
+        if stream == 0 {
+            self.wal_bytes()
+        } else {
+            Ok(Vec::new())
+        }
+    }
+
+    /// Every stream id holding persisted bytes, ascending. Recovery walks
+    /// this set and merges the decoded records by LSN.
+    fn wal_streams(&self) -> Result<Vec<u32>, StoreError> {
+        Ok(vec![0])
+    }
+
     /// Atomically replaces the snapshot with `snapshot` (framed +
-    /// checksummed by the implementation) and truncates the WAL — the
-    /// compaction point. Durable before returning.
+    /// checksummed by the implementation) and truncates **every** WAL
+    /// stream — the compaction point. Durable before returning.
     fn install_snapshot(&self, snapshot: &[u8]) -> Result<(), StoreError>;
 
     /// The last installed snapshot's payload, if any, checksum-verified.
@@ -110,6 +168,18 @@ impl<T: Store + ?Sized> Store for std::sync::Arc<T> {
 
     fn wal_bytes(&self) -> Result<Vec<u8>, StoreError> {
         (**self).wal_bytes()
+    }
+
+    fn append_stream(&self, stream: u32, payload: &[u8]) -> Result<(), StoreError> {
+        (**self).append_stream(stream, payload)
+    }
+
+    fn wal_stream_bytes(&self, stream: u32) -> Result<Vec<u8>, StoreError> {
+        (**self).wal_stream_bytes(stream)
+    }
+
+    fn wal_streams(&self) -> Result<Vec<u32>, StoreError> {
+        (**self).wal_streams()
     }
 
     fn install_snapshot(&self, snapshot: &[u8]) -> Result<(), StoreError> {
@@ -188,6 +258,20 @@ impl<S: Store> Store for TracedStore<S> {
         self.inner.wal_bytes()
     }
 
+    fn append_stream(&self, stream: u32, payload: &[u8]) -> Result<(), StoreError> {
+        self.span("store.append", payload.len() as u64, |s| {
+            s.append_stream(stream, payload)
+        })
+    }
+
+    fn wal_stream_bytes(&self, stream: u32) -> Result<Vec<u8>, StoreError> {
+        self.inner.wal_stream_bytes(stream)
+    }
+
+    fn wal_streams(&self) -> Result<Vec<u32>, StoreError> {
+        self.inner.wal_streams()
+    }
+
     fn install_snapshot(&self, snapshot: &[u8]) -> Result<(), StoreError> {
         self.span("store.snapshot_install", snapshot.len() as u64, |s| {
             s.install_snapshot(snapshot)
@@ -204,9 +288,18 @@ impl<S: Store> Store for TracedStore<S> {
 }
 
 /// Decodes a store's full WAL into complete record payloads (owned), using
-/// the [`wal::scan`] prefix/corrupt contract.
+/// the [`wal::scan`] prefix/corrupt contract. Stream 0 only — see
+/// [`wal_stream_records`] for the per-stream view.
 pub fn wal_records(store: &dyn Store) -> Result<Vec<Vec<u8>>, StoreError> {
     let bytes = store.wal_bytes()?;
+    let (records, _tail) = wal::scan(&bytes)?;
+    Ok(records.into_iter().map(<[u8]>::to_vec).collect())
+}
+
+/// Decodes one stream's WAL into complete record payloads (owned), with
+/// the same clean-prefix torn-tail contract as [`wal_records`].
+pub fn wal_stream_records(store: &dyn Store, stream: u32) -> Result<Vec<Vec<u8>>, StoreError> {
+    let bytes = store.wal_stream_bytes(stream)?;
     let (records, _tail) = wal::scan(&bytes)?;
     Ok(records.into_iter().map(<[u8]>::to_vec).collect())
 }
@@ -252,9 +345,77 @@ mod tests {
         assert!(store.sync_count() >= 4);
     }
 
+    fn exercise_streams(store: &dyn Store) {
+        store.append_stream(0, b"ctl-1").unwrap();
+        store.append_stream(3, b"s3-a").unwrap();
+        store.append_stream(1, b"s1-a").unwrap();
+        store.append_stream(3, b"s3-b").unwrap();
+
+        // Streams are independent: each sees only its own records.
+        assert_eq!(wal_records(store).unwrap(), vec![b"ctl-1".to_vec()]);
+        assert_eq!(
+            wal_stream_records(store, 0).unwrap(),
+            vec![b"ctl-1".to_vec()]
+        );
+        assert_eq!(
+            wal_stream_records(store, 1).unwrap(),
+            vec![b"s1-a".to_vec()]
+        );
+        assert_eq!(
+            wal_stream_records(store, 3).unwrap(),
+            vec![b"s3-a".to_vec(), b"s3-b".to_vec()]
+        );
+        assert!(wal_stream_records(store, 2).unwrap().is_empty());
+        assert_eq!(store.wal_streams().unwrap(), vec![0, 1, 3]);
+
+        // Compaction truncates every stream, not just stream 0.
+        store.install_snapshot(b"state@streams").unwrap();
+        assert!(wal_records(store).unwrap().is_empty());
+        assert!(wal_stream_records(store, 1).unwrap().is_empty());
+        assert!(wal_stream_records(store, 3).unwrap().is_empty());
+
+        store.append_stream(1, b"s1-post").unwrap();
+        assert_eq!(
+            wal_stream_records(store, 1).unwrap(),
+            vec![b"s1-post".to_vec()]
+        );
+    }
+
     #[test]
     fn mem_store_contract() {
         exercise(&MemStore::new());
+    }
+
+    #[test]
+    fn mem_store_stream_contract() {
+        exercise_streams(&MemStore::new());
+    }
+
+    #[test]
+    fn traced_store_stream_contract() {
+        let (cfg, ring) = egka_trace::TraceConfig::ring(1 << 10);
+        let traced = TracedStore::new(MemStore::new(), egka_trace::Tracer::from(cfg));
+        exercise_streams(&traced);
+        egka_trace::export::validate(&ring.events()).expect("balanced spans");
+    }
+
+    #[test]
+    fn file_store_stream_contract_and_reopen() {
+        let dir =
+            std::env::temp_dir().join(format!("egka-store-streams-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        exercise_streams(&FileStore::open(&dir).unwrap());
+        // Reopening sees the post-compaction stream state and truncates
+        // streams it has never opened a handle for on the next snapshot.
+        let reopened = FileStore::open(&dir).unwrap();
+        assert_eq!(
+            wal_stream_records(&reopened, 1).unwrap(),
+            vec![b"s1-post".to_vec()]
+        );
+        assert_eq!(reopened.wal_streams().unwrap(), vec![0, 1, 3]);
+        reopened.install_snapshot(b"state@reopen").unwrap();
+        assert!(wal_stream_records(&reopened, 1).unwrap().is_empty());
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -7,7 +7,10 @@ use crate::{Store, StoreError};
 
 #[derive(Debug, Default)]
 struct MemState {
+    /// Stream 0 — the control log every store has.
     wal: Vec<u8>,
+    /// Streams > 0, keyed by stream id; absent means empty.
+    streams: std::collections::BTreeMap<u32, Vec<u8>>,
     snapshot: Option<Vec<u8>>,
     syncs: u64,
 }
@@ -37,9 +40,21 @@ impl MemStore {
         MemStore {
             inner: std::sync::Arc::new(Mutex::new(MemState {
                 wal,
+                streams: std::collections::BTreeMap::new(),
                 snapshot: snapshot.map(|payload| frame(&payload)),
                 syncs: 0,
             })),
+        }
+    }
+
+    /// Replaces one stream's raw bytes (framing included) — the
+    /// multi-stream torture constructor. Stream 0 aliases the main WAL.
+    pub fn set_raw_stream(&self, stream: u32, bytes: Vec<u8>) {
+        let mut inner = self.inner.lock();
+        if stream == 0 {
+            inner.wal = bytes;
+        } else {
+            inner.streams.insert(stream, bytes);
         }
     }
 
@@ -70,10 +85,48 @@ impl Store for MemStore {
         Ok(self.inner.lock().wal.clone())
     }
 
+    fn append_stream(&self, stream: u32, payload: &[u8]) -> Result<(), StoreError> {
+        if stream == 0 {
+            return self.append(payload);
+        }
+        let mut inner = self.inner.lock();
+        let buf = inner.streams.entry(stream).or_default();
+        buf.extend_from_slice(&frame(payload));
+        inner.syncs += 1;
+        Ok(())
+    }
+
+    fn wal_stream_bytes(&self, stream: u32) -> Result<Vec<u8>, StoreError> {
+        if stream == 0 {
+            return self.wal_bytes();
+        }
+        Ok(self
+            .inner
+            .lock()
+            .streams
+            .get(&stream)
+            .cloned()
+            .unwrap_or_default())
+    }
+
+    fn wal_streams(&self) -> Result<Vec<u32>, StoreError> {
+        let inner = self.inner.lock();
+        let mut ids = vec![0];
+        ids.extend(
+            inner
+                .streams
+                .iter()
+                .filter(|(_, b)| !b.is_empty())
+                .map(|(id, _)| *id),
+        );
+        Ok(ids)
+    }
+
     fn install_snapshot(&self, snapshot: &[u8]) -> Result<(), StoreError> {
         let mut inner = self.inner.lock();
         inner.snapshot = Some(frame(snapshot));
         inner.wal.clear();
+        inner.streams.clear();
         inner.syncs += 1;
         Ok(())
     }

@@ -13,6 +13,19 @@
 //! exponentiations" (paper §7, citing Carman et al.); the energy model in
 //! `egka-energy` accordingly treats these operations as negligible-cost while
 //! the *bits on air* they produce are still charged per Table 3.
+//!
+//! ```
+//! use egka_hash::ChaChaRng;
+//! use egka_symmetric::Envelope;
+//! use rand::SeedableRng;
+//!
+//! // Authenticated encryption keyed from raw key material: seal with a
+//! // random IV, open verifies the tag before returning the plaintext.
+//! let mut rng = ChaChaRng::seed_from_u64(7);
+//! let envelope = Envelope::from_key_material(&[0x42; 32]);
+//! let sealed = envelope.seal(&mut rng, b"group state");
+//! assert_eq!(envelope.open(&sealed).unwrap(), b"group state");
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

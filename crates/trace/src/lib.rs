@@ -36,6 +36,18 @@
 //! * `tid 2g+1` — group `g`'s protocol lane (group-epoch → step → round).
 //! * `tid 2g+2` — group `g`'s air lane (per-transmission airtime spans),
 //!   kept separate so airtime never breaks the round spans' B/E nesting.
+//!
+//! ```
+//! use egka_trace::{Event, Phase, TraceConfig, Tracer};
+//!
+//! // Events emitted through a Tracer land in the bounded ring, in order.
+//! let (config, ring) = TraceConfig::ring(16);
+//! let tracer = Tracer::from(config);
+//! tracer.emit(Event::new(Phase::Instant, 0, 0, 0, "epoch"));
+//! let events = ring.events();
+//! assert_eq!(events.len(), 1);
+//! assert_eq!(events[0].name, "epoch");
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

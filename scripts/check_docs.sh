@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# Docs-consistency gate (CI lint job): every crate, bench binary, or
+# example that docs/*.md or README.md mentions must actually exist in
+# the workspace, so a rename can't silently strand the prose.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+pages=(docs/*.md README.md)
+fail=0
+
+# Crate mentions (`egka-foo` in prose, `egka_foo` in paths): the package
+# egka-<dir> lives at crates/<dir>. The lookahead skips artifact schema
+# tags (`egka-radio-churn/1`), which are names of JSON shapes, not crates.
+for name in $(grep -rhoP 'egka[-_][a-z0-9]+(?![a-z0-9/-])' "${pages[@]}" | sort -u); do
+  dir=${name#egka-}
+  dir=${dir#egka_}
+  if [[ ! -d "crates/$dir" ]]; then
+    echo "docs mention crate '$name' but crates/$dir does not exist" >&2
+    fail=1
+  fi
+done
+
+# `--bin foo` must be an egka-bench binary.
+for bin in $(grep -rhoE '[-][-]bin [a-z0-9_]+' "${pages[@]}" | awk '{print $2}' | sort -u); do
+  if [[ ! -f "crates/bench/src/bin/$bin.rs" ]]; then
+    echo "docs mention binary '$bin' but crates/bench/src/bin/$bin.rs does not exist" >&2
+    fail=1
+  fi
+done
+
+# `--example foo` must exist under examples/.
+for ex in $(grep -rhoE '[-][-]example [a-z0-9_]+' "${pages[@]}" | awk '{print $2}' | sort -u); do
+  if [[ ! -f "examples/$ex.rs" ]]; then
+    echo "docs mention example '$ex' but examples/$ex.rs does not exist" >&2
+    fail=1
+  fi
+done
+
+if [[ $fail -ne 0 ]]; then
+  echo "docs are out of date with the workspace — fix the prose or restore the artifact" >&2
+  exit 1
+fi
+echo "docs consistent: every mentioned crate, binary and example exists"
